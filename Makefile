@@ -1,0 +1,45 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test race bench experiments examples fuzz clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+## experiments regenerates the E1–E13 tables of EXPERIMENTS.md.
+experiments:
+	$(GO) run ./cmd/reprobench
+
+experiments-full:
+	$(GO) run ./cmd/reprobench -full -fsync
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/fundstransfer
+	$(GO) run ./examples/ticketagent
+	$(GO) run ./examples/batchbank
+	$(GO) run ./examples/failover
+
+## fuzz runs each fuzz target briefly.
+fuzz:
+	$(GO) test ./internal/enc -run xxx -fuzz '^FuzzReaderNeverPanics$$' -fuzztime 20s
+	$(GO) test ./internal/enc -run xxx -fuzz '^FuzzRoundTrip$$' -fuzztime 20s
+	$(GO) test ./internal/queue -run xxx -fuzz '^FuzzElementDecode$$' -fuzztime 20s
+	$(GO) test ./internal/queue -run xxx -fuzz '^FuzzRedoNeverPanics$$' -fuzztime 20s
+	$(GO) test ./internal/core -run xxx -fuzz '^FuzzParseRequestReply$$' -fuzztime 20s
+
+clean:
+	$(GO) clean ./...

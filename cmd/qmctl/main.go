@@ -1,0 +1,144 @@
+// Command qmctl administers a running qmd node over RPC.
+//
+//	qmctl -addr 127.0.0.1:7070 create -queue work -error-queue work.err -retry 3
+//	qmctl -addr 127.0.0.1:7070 enqueue -queue work -body 'hello' -priority 5
+//	qmctl -addr 127.0.0.1:7070 dequeue -queue work -wait 5s
+//	qmctl -addr 127.0.0.1:7070 depth -queue work
+//	qmctl -addr 127.0.0.1:7070 read -eid 42
+//	qmctl -addr 127.0.0.1:7070 kill -eid 42
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/queue"
+	"repro/internal/queue/qservice"
+	"repro/internal/rpc"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: qmctl -addr HOST:PORT {create|enqueue|dequeue|depth|queues|stats|read|kill} [flags]")
+	os.Exit(2)
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "qmd RPC address")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 1 {
+		usage()
+	}
+	cl := qservice.NewClient(rpc.NewClient(*addr, nil))
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	cmd, rest := args[0], args[1:]
+	var err error
+	switch cmd {
+	case "create":
+		fs := flag.NewFlagSet("create", flag.ExitOnError)
+		name := fs.String("queue", "", "queue name")
+		errq := fs.String("error-queue", "", "error queue name")
+		retry := fs.Int("retry", 0, "retry limit before error-queue diversion")
+		volatileQ := fs.Bool("volatile", false, "volatile (unlogged) queue")
+		strict := fs.Bool("strict-fifo", false, "strict FIFO dequeue order")
+		fs.Parse(rest)
+		err = cl.CreateQueue(ctx, queue.QueueConfig{
+			Name: *name, ErrorQueue: *errq, RetryLimit: int32(*retry),
+			Volatile: *volatileQ, StrictFIFO: *strict,
+		})
+		if err == nil {
+			fmt.Printf("created %s\n", *name)
+		}
+	case "enqueue":
+		fs := flag.NewFlagSet("enqueue", flag.ExitOnError)
+		name := fs.String("queue", "", "queue name")
+		body := fs.String("body", "", "element body")
+		prio := fs.Int("priority", 0, "priority (higher first)")
+		replyTo := fs.String("reply-to", "", "reply queue")
+		fs.Parse(rest)
+		var eid queue.EID
+		eid, err = cl.Enqueue(ctx, *name, queue.Element{
+			Body: []byte(*body), Priority: int32(*prio), ReplyTo: *replyTo,
+		}, "", nil)
+		if err == nil {
+			fmt.Printf("eid %d\n", eid)
+		}
+	case "dequeue":
+		fs := flag.NewFlagSet("dequeue", flag.ExitOnError)
+		name := fs.String("queue", "", "queue name")
+		wait := fs.Duration("wait", 0, "block up to this long")
+		fs.Parse(rest)
+		var e queue.Element
+		e, err = cl.Dequeue(ctx, *name, "", nil, *wait, nil)
+		if err == nil {
+			printElement(e)
+		}
+	case "depth":
+		fs := flag.NewFlagSet("depth", flag.ExitOnError)
+		name := fs.String("queue", "", "queue name")
+		fs.Parse(rest)
+		var d int
+		d, err = cl.Depth(ctx, *name)
+		if err == nil {
+			fmt.Println(d)
+		}
+	case "queues":
+		var names []string
+		names, err = cl.Queues(ctx)
+		for _, n := range names {
+			fmt.Println(n)
+		}
+	case "stats":
+		fs := flag.NewFlagSet("stats", flag.ExitOnError)
+		name := fs.String("queue", "", "queue name")
+		fs.Parse(rest)
+		var st queue.QueueStats
+		st, err = cl.Stats(ctx, *name)
+		if err == nil {
+			fmt.Printf("depth=%d in-flight=%d max-depth=%d\n", st.Depth, st.InFlight, st.MaxDepth)
+			fmt.Printf("enqueues=%d dequeues=%d abort-returns=%d error-diversions=%d kills=%d\n",
+				st.Enqueues, st.Dequeues, st.AbortReturns, st.ErrorDiversions, st.Kills)
+		}
+	case "read":
+		fs := flag.NewFlagSet("read", flag.ExitOnError)
+		eid := fs.Uint64("eid", 0, "element id")
+		fs.Parse(rest)
+		var e queue.Element
+		e, err = cl.Read(ctx, queue.EID(*eid))
+		if err == nil {
+			printElement(e)
+		}
+	case "kill":
+		fs := flag.NewFlagSet("kill", flag.ExitOnError)
+		eid := fs.Uint64("eid", 0, "element id")
+		fs.Parse(rest)
+		var killed bool
+		killed, err = cl.KillElement(ctx, queue.EID(*eid))
+		if err == nil {
+			fmt.Printf("killed=%v\n", killed)
+		}
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qmctl: %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+func printElement(e queue.Element) {
+	fmt.Printf("eid=%d queue=%s priority=%d aborts=%d\n", e.EID, e.Queue, e.Priority, e.AbortCount)
+	if e.ReplyTo != "" {
+		fmt.Printf("reply-to=%s\n", e.ReplyTo)
+	}
+	for k, v := range e.Headers {
+		fmt.Printf("header %s=%s\n", k, v)
+	}
+	fmt.Printf("body: %s\n", e.Body)
+}

@@ -1,0 +1,70 @@
+// Command qmd runs a queue-manager node: a recoverable queue repository
+// served over RPC (the back-end of the paper's fig. 4). Clients connect
+// with rrq.Dial or the qmctl tool.
+//
+//	qmd -dir /var/lib/qmd -listen 127.0.0.1:7070 -queues requests,requests.err
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"repro/rrq"
+)
+
+func main() {
+	var (
+		dir      = flag.String("dir", "", "durable state directory (required)")
+		listen   = flag.String("listen", "127.0.0.1:7070", "RPC listen address")
+		name     = flag.String("name", "", "node name (default: basename of -dir)")
+		queues   = flag.String("queues", "", "comma-separated queues to create at startup")
+		snapshot = flag.Int("snapshot-every", 10000, "checkpoint after this many logged operations")
+		noFsync  = flag.Bool("no-fsync", false, "disable fsync (testing only)")
+		groupCmt = flag.Bool("group-commit", false, "batch concurrent commits' fsyncs")
+	)
+	flag.Parse()
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "qmd: -dir is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	node, err := rrq.StartNode(rrq.NodeConfig{
+		Dir:           *dir,
+		Name:          *name,
+		ListenAddr:    *listen,
+		NoFsync:       *noFsync,
+		SnapshotEvery: *snapshot,
+		GroupCommit:   *groupCmt,
+	})
+	if err != nil {
+		log.Fatalf("qmd: %v", err)
+	}
+	for _, q := range strings.Split(*queues, ",") {
+		q = strings.TrimSpace(q)
+		if q == "" {
+			continue
+		}
+		if err := node.CreateQueue(rrq.QueueConfig{Name: q}); err != nil && !strings.Contains(err.Error(), "exists") {
+			log.Fatalf("qmd: create queue %s: %v", q, err)
+		}
+	}
+	log.Printf("qmd: node %q serving on %s (state in %s)", node.Repo().Name(), node.Addr(), *dir)
+	for _, q := range node.Repo().Queues() {
+		d, _ := node.Repo().Depth(q)
+		log.Printf("qmd: queue %-24s depth %d", q, d)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Print("qmd: shutting down (checkpointing)")
+	if err := node.Close(); err != nil {
+		log.Fatalf("qmd: close: %v", err)
+	}
+}

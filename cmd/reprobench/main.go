@@ -1,0 +1,55 @@
+// Command reprobench regenerates the experiment tables of EXPERIMENTS.md:
+// one table per experiment id (E1–E12), each validating a stated claim of
+// Bernstein, Hsu & Mann (SIGMOD 1990). See DESIGN.md §3 for the index.
+//
+//	reprobench                  # run everything, quick parameters
+//	reprobench -exp e3,e4       # selected experiments
+//	reprobench -full            # larger workloads, steadier numbers
+//	reprobench -fsync           # real fsync on every commit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "comma-separated experiment ids (default: all)")
+		full  = flag.Bool("full", false, "use the larger workload sizes")
+		fsync = flag.Bool("fsync", false, "enable real fsync on commits")
+		seed  = flag.Int64("seed", 42, "random seed")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range bench.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	cfg := bench.Config{Quick: !*full, Seed: *seed, Fsync: *fsync}
+
+	ids := bench.IDs()
+	if *exp != "" {
+		ids = strings.Split(*exp, ",")
+	}
+	failed := false
+	for _, id := range ids {
+		t, err := bench.Run(strings.TrimSpace(id), cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "reprobench: %s: %v\n", id, err)
+			failed = true
+			continue
+		}
+		t.Fprint(os.Stdout)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

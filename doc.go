@@ -1,0 +1,9 @@
+// Package repro is a from-scratch Go reproduction of Bernstein, Hsu &
+// Mann, "Implementing Recoverable Requests Using Queues" (SIGMOD 1990).
+//
+// The public API lives in repro/rrq; the substrates (write-ahead log, lock
+// manager, transaction manager, two-phase commit, queue manager, RPC,
+// failure injection) live under internal/. bench_test.go in this directory
+// holds the testing.B benchmark per experiment; cmd/reprobench regenerates
+// the full experiment tables of EXPERIMENTS.md.
+package repro

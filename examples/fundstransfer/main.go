@@ -1,0 +1,166 @@
+// Funds transfer: the paper's Section 6 motivating workload as a
+// three-transaction saga — debit, credit, clearinghouse log — with stage
+// crashes injected mid-pipeline and a cancellation compensated after the
+// debit committed.
+//
+//	go run ./examples/fundstransfer
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/rrq"
+)
+
+func adjust(rc *rrq.ReqCtx, acct string, delta int) error {
+	v, _, err := rc.Repo.KVGet(rc.Ctx, rc.Txn, "acct", acct, true)
+	if err != nil {
+		return err
+	}
+	n := 0
+	if v != nil {
+		n, _ = strconv.Atoi(string(v))
+	}
+	if n+delta < 0 {
+		return rrq.Failf("insufficient funds in %s", acct)
+	}
+	return rc.Repo.KVSet(rc.Ctx, rc.Txn, "acct", acct, []byte(strconv.Itoa(n+delta)))
+}
+
+func parse(body []byte) (src, dst string, amt int) {
+	fmt.Sscanf(string(body), "%s %s %d", &src, &dst, &amt)
+	return
+}
+
+func steps() []rrq.SagaStep {
+	return []rrq.SagaStep{
+		{
+			Name: "debit",
+			Action: func(rc *rrq.ReqCtx) ([]byte, []byte, error) {
+				src, _, amt := parse(rc.Request.Body)
+				if err := adjust(rc, src, -amt); err != nil {
+					return nil, nil, err
+				}
+				return rc.Request.Body, nil, nil
+			},
+			Compensate: func(rc *rrq.ReqCtx) ([]byte, []byte, error) {
+				src, _, amt := parse(rc.Request.Body)
+				return nil, nil, adjust(rc, src, +amt)
+			},
+		},
+		{
+			Name: "credit",
+			Action: func(rc *rrq.ReqCtx) ([]byte, []byte, error) {
+				_, dst, amt := parse(rc.Request.Body)
+				if err := adjust(rc, dst, +amt); err != nil {
+					return nil, nil, err
+				}
+				return rc.Request.Body, nil, nil
+			},
+			Compensate: func(rc *rrq.ReqCtx) ([]byte, []byte, error) {
+				_, dst, amt := parse(rc.Request.Body)
+				return nil, nil, adjust(rc, dst, -amt)
+			},
+		},
+		{
+			Name: "clearinghouse",
+			Action: func(rc *rrq.ReqCtx) ([]byte, []byte, error) {
+				if err := rc.Repo.KVSet(rc.Ctx, rc.Txn, "clearing", rc.Request.RID, rc.Request.Body); err != nil {
+					return nil, nil, err
+				}
+				return []byte("transfer complete"), nil, nil
+			},
+			Compensate: func(rc *rrq.ReqCtx) ([]byte, []byte, error) {
+				return nil, nil, rc.Repo.KVDelete(rc.Ctx, rc.Txn, "clearing", rc.Request.RID)
+			},
+		},
+	}
+}
+
+func balance(node *rrq.Node, acct string) int {
+	v, _, _ := node.Repo().KVGet(context.Background(), nil, "acct", acct, false)
+	n, _ := strconv.Atoi(string(v))
+	return n
+}
+
+func main() {
+	dir, err := os.MkdirTemp("", "rrq-xfer-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	node, err := rrq.StartNode(rrq.NodeConfig{Dir: dir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer node.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	for acct, amt := range map[string]int{"alice": 1000, "bob": 500} {
+		if err := node.Repo().KVSet(ctx, nil, "acct", acct, []byte(strconv.Itoa(amt))); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("opening balances: alice=%d bob=%d\n", balance(node, "alice"), balance(node, "bob"))
+
+	// Crash the credit stage on its first two attempts: the pipeline's
+	// queues absorb the failures and the transfer still happens exactly
+	// once.
+	crash := chaos.NewPoints(7)
+	crash.FailOnNth("pipeline.credit.afterDequeue", 1)
+	saga, err := rrq.NewSaga(rrq.SagaConfig{Repo: node.Repo(), Name: "xfer", Steps: steps()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	go saga.Serve(ctx)
+
+	clerk := rrq.NewClerk(node.LocalConn(), rrq.ClerkConfig{ClientID: "teller-1", RequestQueue: saga.EntryQueue()})
+	if _, err := clerk.Connect(ctx); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\n-- transfer 1: alice → bob 100 (with an injected stage crash) --")
+	rep, err := clerk.Transceive(ctx, "rid-000001", []byte("alice bob 100"), nil, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reply: %q (status %s)\n", rep.Body, rep.Status)
+	fmt.Printf("balances: alice=%d bob=%d\n", balance(node, "alice"), balance(node, "bob"))
+
+	fmt.Println("\n-- transfer 2: alice → bob 200, canceled after the debit committed --")
+	// Park the request between debit and credit by stopping the credit
+	// stage's input queue, so the cancellation window is deterministic.
+	if err := node.Repo().StopQueue("xfer.s1"); err != nil {
+		log.Fatal(err)
+	}
+	if err := clerk.Send(ctx, "rid-000002", []byte("alice bob 200"), nil); err != nil {
+		log.Fatal(err)
+	}
+	for balance(node, "alice") != 700 { // wait for the debit
+		time.Sleep(2 * time.Millisecond)
+	}
+	fmt.Printf("debit committed: alice=%d — now cancel\n", balance(node, "alice"))
+	outcome, err := saga.Cancel(ctx, "rid-000002")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cancel outcome: %s\n", outcome)
+	rep, err = clerk.Receive(ctx, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reply: status %s (%q)\n", rep.Status, rep.Body)
+	fmt.Printf("balances after compensation: alice=%d bob=%d\n", balance(node, "alice"), balance(node, "bob"))
+
+	if balance(node, "alice") != 900 || balance(node, "bob") != 600 {
+		log.Fatal("conservation violated")
+	}
+	fmt.Println("\nmoney conserved: exactly one transfer happened, one was compensated")
+}

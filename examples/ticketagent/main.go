@@ -1,0 +1,126 @@
+// Ticket agent: an interactive (pseudo-conversational) seat-selection
+// request (Section 8) followed by exactly-once ticket printing on a
+// non-idempotent, testable output device (Section 3) — the client crashes
+// after printing and proves, via the checkpoint, that it must not print
+// again.
+//
+//	go run ./examples/ticketagent
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/device"
+	"repro/rrq"
+)
+
+// agent is the conversation: offer seats → take a choice → confirm → book.
+func agent(rc *rrq.ReqCtx, state, input []byte, round int) (newState, output []byte, done bool, err error) {
+	switch round {
+	case 0:
+		return []byte("section=" + string(input)), []byte("available seats: 7A 7B 7C"), false, nil
+	case 1:
+		seat := string(input)
+		return append(state, []byte(";seat="+seat)...), []byte("holding " + seat + " — confirm? (yes/no)"), false, nil
+	case 2:
+		if string(input) != "yes" {
+			return nil, []byte("abandoned"), true, nil
+		}
+		base, _, _ := strings.Cut(rc.Request.RID, "#")
+		if err := rc.Repo.KVSet(rc.Ctx, rc.Txn, "bookings", base, state); err != nil {
+			return nil, nil, false, err
+		}
+		return nil, []byte("BOARDING PASS " + string(state)), true, nil
+	}
+	return nil, nil, false, fmt.Errorf("unexpected round %d", round)
+}
+
+func main() {
+	dir, err := os.MkdirTemp("", "rrq-ticket-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	node, err := rrq.StartNode(rrq.NodeConfig{Dir: dir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer node.Close()
+	if err := node.CreateQueue(rrq.QueueConfig{Name: "agent"}); err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go rrq.ServeConversational(ctx, rrq.ConvServerConfig{Repo: node.Repo(), Queue: "agent", Handler: agent})
+
+	printer := device.NewTicketPrinter()
+	guard := &device.ExactlyOnceGuard{Device: printer}
+
+	// --- the conversation (fig. 7) ---
+	clerk := rrq.NewClerk(node.LocalConn(), rrq.ClerkConfig{ClientID: "kiosk-1", RequestQueue: "agent"})
+	if _, err := clerk.Connect(ctx); err != nil {
+		log.Fatal(err)
+	}
+	sess := clerk.Interactive("rid-000001")
+	if err := sess.Start(ctx, []byte("economy")); err != nil {
+		log.Fatal(err)
+	}
+	out, _, err := sess.Receive(ctx, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("agent: %s\n", out.Body)
+	fmt.Println("kiosk: 7B")
+	if err := sess.SendInput(ctx, []byte("7B")); err != nil {
+		log.Fatal(err)
+	}
+	out, _, err = sess.Receive(ctx, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("agent: %s\n", out.Body)
+	fmt.Println("kiosk: yes")
+	if err := sess.SendInput(ctx, []byte("yes")); err != nil {
+		log.Fatal(err)
+	}
+
+	// --- exactly-once printing with the testable device ---
+	// Read the printer's state into the Receive checkpoint before
+	// receiving the final reply.
+	final, done, err := sess.Receive(ctx, guard.Ckpt())
+	if err != nil || !done {
+		log.Fatalf("final receive: done=%v err=%v", done, err)
+	}
+	serial := printer.Print(string(final.Body))
+	fmt.Printf("printed ticket #%d: %s\n", serial, final.Body)
+
+	// The kiosk crashes right here. Its new incarnation reconnects and
+	// must decide whether to print again.
+	fmt.Println("\n*** kiosk crashes and restarts ***")
+	clerk2 := rrq.NewClerk(node.LocalConn(), rrq.ClerkConfig{ClientID: "kiosk-1", RequestQueue: "agent"})
+	info, err := clerk2.Connect(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recovered: last sent %s, last reply for %s, outstanding=%v\n", info.SRID, info.RRID, info.Outstanding)
+	if !info.Outstanding {
+		if guard.AlreadyProcessed(info.Ckpt) {
+			fmt.Println("device state moved past the checkpoint: ticket was already printed — NOT printing again")
+		} else {
+			rep, err := clerk2.Rereceive(ctx)
+			if err != nil {
+				log.Fatal(err)
+			}
+			printer.Print(string(rep.Body))
+			fmt.Println("ticket had not been printed; printed now")
+		}
+	}
+	if printer.Count() != 1 {
+		log.Fatalf("printed %d tickets, want exactly 1", printer.Count())
+	}
+	fmt.Printf("\nexactly one physical ticket exists: %v\n", printer.Printed())
+}

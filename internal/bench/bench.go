@@ -1,0 +1,164 @@
+// Package bench is the experiment harness: it regenerates, as measured
+// tables, every performance and behaviour claim the paper makes. The paper
+// (a protocols paper) publishes no measurement tables of its own, so each
+// experiment id E1–E12 is defined in DESIGN.md §3 against the paper claim
+// it validates; EXPERIMENTS.md records claim vs. measured outcome.
+//
+// All experiments run on the real system — the same queue manager,
+// transaction manager, clerk, and server loops the tests exercise — with
+// deterministic seeds. The Quick configuration keeps every experiment
+// within a few seconds on a laptop.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Config parameterizes an experiment run.
+type Config struct {
+	// Quick shrinks workload sizes for fast runs; full mode multiplies
+	// request counts for steadier numbers.
+	Quick bool
+	// Seed drives every random choice.
+	Seed int64
+	// Dir is scratch space for repositories; empty uses the OS temp dir.
+	Dir string
+	// Fsync enables real fsync (off by default: experiment shapes, not
+	// absolute durability latency, are the point — see EXPERIMENTS.md).
+	Fsync bool
+}
+
+func (c *Config) scale(quick, full int) int {
+	if c.Quick {
+		return quick
+	}
+	return full
+}
+
+func (c *Config) tempDir(pattern string) (string, error) {
+	base := c.Dir
+	if base == "" {
+		base = os.TempDir()
+	}
+	return os.MkdirTemp(base, pattern)
+}
+
+// Table is one experiment's result.
+type Table struct {
+	ID      string
+	Title   string
+	Claim   string // the paper claim under test (with section reference)
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Notef appends a formatted note.
+func (t *Table) Notef(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Fprint renders the table as aligned text.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	fmt.Fprintf(w, "claim: %s\n\n", t.Claim)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Experiment runs one experiment.
+type Experiment func(cfg Config) (*Table, error)
+
+// registry maps lowercase experiment ids to implementations.
+var registry = map[string]Experiment{}
+
+func register(id string, e Experiment) { registry[strings.ToLower(id)] = e }
+
+// IDs returns all experiment ids in order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one experiment by id.
+func Run(id string, cfg Config) (*Table, error) {
+	e, ok := registry[strings.ToLower(id)]
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown experiment %q (have %v)", id, IDs())
+	}
+	return e(cfg)
+}
+
+// RunAll executes every experiment in id order.
+func RunAll(cfg Config) ([]*Table, error) {
+	var out []*Table
+	for _, id := range IDs() {
+		t, err := Run(id, cfg)
+		if err != nil {
+			return out, fmt.Errorf("bench: %s: %w", id, err)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// helpers shared by experiments
+
+func fmtRate(n int, seconds float64) string {
+	if seconds <= 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.0f", float64(n)/seconds)
+}
+
+func fmtMs(seconds float64) string {
+	return fmt.Sprintf("%.2fms", seconds*1000)
+}
+
+func fmtPct(p float64) string {
+	return fmt.Sprintf("%.0f%%", p*100)
+}

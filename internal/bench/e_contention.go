@@ -1,0 +1,419 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/core/baseline"
+	"repro/internal/queue"
+	"repro/internal/txn"
+)
+
+func init() {
+	register("e2", runE2)
+	register("e3", runE3)
+	register("e4", runE4)
+}
+
+// hotUpdate increments a single hot account under an exclusive lock — the
+// contended resource of E2 and E4.
+func hotUpdate(repo *queue.Repository) baseline.Handler {
+	return func(ctx context.Context, t *txn.Txn, rid string, body []byte) ([]byte, error) {
+		v, _, err := repo.KVGet(ctx, t, "acct", "hot", true)
+		if err != nil {
+			return nil, err
+		}
+		n := 0
+		if v != nil {
+			n, _ = strconv.Atoi(string(v))
+		}
+		if err := repo.KVSet(ctx, t, "acct", "hot", []byte(strconv.Itoa(n+1))); err != nil {
+			return nil, err
+		}
+		return []byte("ok"), nil
+	}
+}
+
+func hotValue(repo *queue.Repository) int {
+	v, _, _ := repo.KVGet(context.Background(), nil, "acct", "hot", false)
+	n, _ := strconv.Atoi(string(v))
+	return n
+}
+
+// runE2: the one-transaction client holds server locks across reply
+// processing; the queued design does not (Section 2).
+func runE2(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "E2",
+		Title: "One-transaction client vs queued design under slow reply processing",
+		Claim: "§2: \"processing the reply may be slow, which creates contention for resources (e.g., locks) " +
+			"that the server must hold until the transaction commits\" — the queued design avoids it.",
+		Columns: []string{"arm", "reply-delay", "clients", "requests", "elapsed", "req/s", "lock-wait-total"},
+	}
+	perClient := cfg.scale(12, 60)
+	const clients = 6
+	for _, delay := range []time.Duration{0, 2 * time.Millisecond, 8 * time.Millisecond} {
+		for _, arm := range []string{"one-txn", "queued"} {
+			elapsed, waitNanos, err := e2Arm(cfg, arm, delay, clients, perClient)
+			if err != nil {
+				return nil, err
+			}
+			n := clients * perClient
+			t.AddRow(arm, delay.String(), strconv.Itoa(clients), strconv.Itoa(n),
+				fmt.Sprintf("%.2fs", elapsed), fmtRate(n, elapsed),
+				fmt.Sprintf("%.1fms", float64(waitNanos)/1e6))
+		}
+	}
+	t.Notef("every request updates one hot account; lock-wait-total accumulates blocking across all transactions")
+	t.Notef("one-txn holds the hot lock for the whole reply delay; queued holds it only for the server transaction")
+	return t, nil
+}
+
+func e2Arm(cfg Config, arm string, delay time.Duration, clients, perClient int) (elapsedSec float64, lockWaitNanos uint64, err error) {
+	dir, err := cfg.tempDir("e2-*")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer os.RemoveAll(dir)
+	repo, _, err := queue.Open(dir, queue.Options{NoFsync: !cfg.Fsync})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer repo.Close()
+	handler := hotUpdate(repo)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	baseWait := repo.Locks().Stats().WaitNanos
+	start := time.Now()
+	switch arm {
+	case "one-txn":
+		var wg sync.WaitGroup
+		errCh := make(chan error, clients)
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for i := 0; i < perClient; i++ {
+					rid := fmt.Sprintf("c%d-%d", c, i)
+					err := baseline.OneTxnRequest(ctx, repo, handler, rid, nil, func([]byte) {
+						time.Sleep(delay) // reply processing inside the txn
+					})
+					if err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		select {
+		case err := <-errCh:
+			return 0, 0, err
+		default:
+		}
+	case "queued":
+		if err := repo.CreateQueue(queue.QueueConfig{Name: "req"}); err != nil {
+			return 0, 0, err
+		}
+		// Match the one-txn arm's parallelism: as many server instances as
+		// clients.
+		for s := 0; s < clients; s++ {
+			srv, err := core.NewServer(core.ServerConfig{
+				Repo: repo, Queue: "req", Name: fmt.Sprintf("srv-%d", s),
+				Handler: func(rc *core.ReqCtx) ([]byte, error) {
+					return handler(rc.Ctx, rc.Txn, rc.Request.RID, rc.Request.Body)
+				},
+			})
+			if err != nil {
+				return 0, 0, err
+			}
+			go srv.Serve(ctx)
+		}
+		var wg sync.WaitGroup
+		errCh := make(chan error, clients)
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				clerk := core.NewClerk(&core.LocalConn{Repo: repo}, core.ClerkConfig{
+					ClientID: fmt.Sprintf("client-%d", c), RequestQueue: "req",
+				})
+				if _, err := clerk.Connect(ctx); err != nil {
+					errCh <- err
+					return
+				}
+				for i := 0; i < perClient; i++ {
+					rid := fmt.Sprintf("c%d-%d", c, i)
+					if _, err := clerk.Transceive(ctx, rid, nil, nil, nil); err != nil {
+						errCh <- err
+						return
+					}
+					time.Sleep(delay) // reply processing outside any txn
+				}
+			}(c)
+		}
+		wg.Wait()
+		select {
+		case err := <-errCh:
+			return 0, 0, err
+		default:
+		}
+	default:
+		return 0, 0, fmt.Errorf("unknown arm %q", arm)
+	}
+	elapsed := time.Since(start).Seconds()
+	wait := repo.Locks().Stats().WaitNanos - baseWait
+	if got, want := hotValue(repo), clients*perClient; got != want {
+		return 0, 0, fmt.Errorf("hot counter %d, want %d", got, want)
+	}
+	return elapsed, wait, nil
+}
+
+// runE3: strict-FIFO dequeue vs the paper's recommended skip-locked scan
+// (Section 10).
+func runE3(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "E3",
+		Title: "Strict-FIFO vs skip-locked dequeue concurrency",
+		Claim: "§10: strict ordering would imply performance degradation; letting dequeuers \"scan the queue " +
+			"and ignore write-locked elements\" restores concurrency at the cost of tolerable ordering anomalies.",
+		Columns: []string{"mode", "workers", "elements", "elapsed", "deq/s", "fifo-inversions"},
+	}
+	n := cfg.scale(150, 1000)
+	for _, workers := range []int{1, 2, 4, 8} {
+		for _, strict := range []bool{true, false} {
+			elapsed, inversions, err := e3Arm(cfg, strict, workers, n)
+			if err != nil {
+				return nil, err
+			}
+			mode := "skip-locked"
+			if strict {
+				mode = "strict-fifo"
+			}
+			t.AddRow(mode, strconv.Itoa(workers), strconv.Itoa(n),
+				fmt.Sprintf("%.2fs", elapsed), fmtRate(n, elapsed), strconv.Itoa(inversions))
+		}
+	}
+	t.Notef("each dequeue holds its element ~500µs in a transaction; 10%% of attempts abort and retry")
+	t.Notef("an inversion = an element consumed after a later-enqueued element (the §10 anomaly)")
+	return t, nil
+}
+
+func e3Arm(cfg Config, strict bool, workers, n int) (elapsedSec float64, inversions int, err error) {
+	dir, err := cfg.tempDir("e3-*")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer os.RemoveAll(dir)
+	repo, _, err := queue.Open(dir, queue.Options{NoFsync: !cfg.Fsync})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer repo.Close()
+	if err := repo.CreateQueue(queue.QueueConfig{Name: "q", StrictFIFO: strict}); err != nil {
+		return 0, 0, err
+	}
+	for i := 0; i < n; i++ {
+		if _, err := repo.Enqueue(nil, "q", queue.Element{Body: []byte(strconv.Itoa(i))}, "", nil); err != nil {
+			return 0, 0, err
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			abortTick := 0
+			for {
+				t := repo.Begin()
+				el, err := repo.Dequeue(ctx, t, "q", "", queue.DequeueOpts{})
+				if err != nil {
+					t.Abort()
+					return // empty: done
+				}
+				time.Sleep(500 * time.Microsecond) // the element's transaction work
+				abortTick++
+				if abortTick%10 == 0 {
+					t.Abort() // 10% of attempts abort and the element retries
+					continue
+				}
+				idx, _ := strconv.Atoi(string(el.Body))
+				mu.Lock()
+				order = append(order, idx)
+				mu.Unlock()
+				if err := t.Commit(); err != nil {
+					mu.Lock()
+					order = order[:len(order)-1]
+					mu.Unlock()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	if len(order) != n {
+		return 0, 0, fmt.Errorf("consumed %d of %d", len(order), n)
+	}
+	maxSeen := -1
+	for _, idx := range order {
+		if idx < maxSeen {
+			inversions++
+		} else {
+			maxSeen = idx
+		}
+	}
+	return elapsed, inversions, nil
+}
+
+// runE4: one long transaction vs a multi-transaction request, without and
+// with request-level serializability (lock inheritance / application
+// locks) — Section 6.
+func runE4(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "E4",
+		Title: "Multi-transaction requests: serializability vs throughput",
+		Claim: "§6: splitting a request into several transactions avoids long-transaction lock contention but " +
+			"\"the execution of requests is not serializable\"; lock inheritance or persistent application locks " +
+			"restore it — application locks with \"limited\" performance from the overhead of setting locks.",
+		Columns: []string{"arm", "requests", "elapsed", "req/s", "lost-updates"},
+	}
+	n := cfg.scale(40, 200)
+	for _, arm := range []string{"one-long-txn", "pipeline/none", "pipeline/inherit", "pipeline/applock"} {
+		elapsed, lost, err := e4Arm(cfg, arm, n)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", arm, err)
+		}
+		t.AddRow(arm, strconv.Itoa(n), fmt.Sprintf("%.2fs", elapsed), fmtRate(n, elapsed), strconv.Itoa(lost))
+	}
+	t.Notef("workload: read hot account in stage 1, write it in stage 3 (a 3-transaction request); 4 clients, 2 instances/stage")
+	t.Notef("lost-updates must be 0 for one-long-txn, inherit, and applock; pipeline/none exposes the §6 anomaly")
+	return t, nil
+}
+
+func e4Arm(cfg Config, arm string, n int) (elapsedSec float64, lostUpdates int, err error) {
+	dir, err := cfg.tempDir("e4-*")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer os.RemoveAll(dir)
+	repo, _, err := queue.Open(dir, queue.Options{NoFsync: !cfg.Fsync})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer repo.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	const clients = 4
+	stageDelay := 300 * time.Microsecond
+
+	start := time.Now()
+	if arm == "one-long-txn" {
+		handler := hotUpdate(repo)
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for i := 0; i < n/clients; i++ {
+					_ = baseline.OneTxnRequest(ctx, repo, func(ctx context.Context, t *txn.Txn, rid string, body []byte) ([]byte, error) {
+						// One transaction spanning all three "stages".
+						out, err := handler(ctx, t, rid, body)
+						time.Sleep(3 * stageDelay)
+						return out, err
+					}, fmt.Sprintf("c%d-%d", c, i), nil, func([]byte) {})
+				}
+			}(c)
+		}
+		wg.Wait()
+	} else {
+		appLocks := &core.AppLocks{Repo: repo}
+		useAppLocks := arm == "pipeline/applock"
+		stages := []core.Stage{
+			{Name: "read", Handler: func(rc *core.ReqCtx) ([]byte, []byte, error) {
+				if useAppLocks {
+					if err := appLocks.Acquire(rc.Ctx, rc.Txn, "hot", rc.Request.RID); err != nil {
+						return nil, nil, err // abort; the queue retries
+					}
+				}
+				v, _, err := rc.Repo.KVGet(rc.Ctx, rc.Txn, "acct", "hot", true)
+				if err != nil {
+					return nil, nil, err
+				}
+				time.Sleep(stageDelay)
+				if v == nil {
+					v = []byte("0")
+				}
+				return rc.Request.Body, v, nil
+			}},
+			{Name: "middle", Handler: func(rc *core.ReqCtx) ([]byte, []byte, error) {
+				time.Sleep(stageDelay)
+				return rc.Request.Body, rc.Request.ScratchPad, nil
+			}},
+			{Name: "write", Handler: func(rc *core.ReqCtx) ([]byte, []byte, error) {
+				prev, _ := strconv.Atoi(string(rc.Request.ScratchPad))
+				if err := rc.Repo.KVSet(rc.Ctx, rc.Txn, "acct", "hot", []byte(strconv.Itoa(prev+1))); err != nil {
+					return nil, nil, err
+				}
+				time.Sleep(stageDelay)
+				if useAppLocks {
+					if err := appLocks.Release(rc.Ctx, rc.Txn, "hot", rc.Request.RID); err != nil {
+						return nil, nil, err
+					}
+				}
+				return []byte("done"), nil, nil
+			}},
+		}
+		pipe, err := core.NewPipeline(core.PipelineConfig{
+			Repo: repo, Name: "e4", Stages: stages,
+			LockInheritance: arm == "pipeline/inherit",
+			Instances:       2,
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		go pipe.Serve(ctx)
+
+		var wg sync.WaitGroup
+		errCh := make(chan error, clients)
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				clerk := core.NewClerk(&core.LocalConn{Repo: repo}, core.ClerkConfig{
+					ClientID: fmt.Sprintf("client-%d", c), RequestQueue: pipe.EntryQueue(),
+				})
+				if _, err := clerk.Connect(ctx); err != nil {
+					errCh <- err
+					return
+				}
+				for i := 0; i < n/clients; i++ {
+					rid := fmt.Sprintf("rid-c%d-%d", c, i)
+					if _, err := clerk.Transceive(ctx, rid, nil, nil, nil); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		select {
+		case err := <-errCh:
+			return 0, 0, err
+		default:
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	want := (n / clients) * clients
+	return elapsed, want - hotValue(repo), nil
+}

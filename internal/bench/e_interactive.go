@@ -1,0 +1,241 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/queue"
+)
+
+func init() { register("e9", runE9) }
+
+// runE9: pseudo-conversational vs single-transaction conversational
+// interactive requests (Section 8).
+func runE9(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "E9",
+		Title: "Interactive requests: pseudo-conversational vs one-transaction conversation",
+		Claim: "§8: pseudo-conversational transactions capture each intermediate input reliably at commit but " +
+			"lose late cancellation and request serializability; a one-transaction conversation can lose " +
+			"intermediate I/O on abort unless the client logs and replays it.",
+		Columns: []string{"arm", "conversations", "rounds", "server-aborts", "inputs-solicited", "inputs-replayed", "elapsed"},
+	}
+	convs := cfg.scale(8, 40)
+	const rounds = 3
+	const abortsPerConv = 2
+	for _, arm := range []string{"pseudo-conv", "conv-txn/iolog", "conv-txn/no-log"} {
+		row, err := e9Arm(cfg, arm, convs, rounds, abortsPerConv)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", arm, err)
+		}
+		t.AddRow(row...)
+	}
+	t.Notef("ideal inputs-solicited = conversations × rounds; anything above it is input the user had to re-enter")
+	t.Notef("pseudo-conv: aborts replay only the aborted round's input from the queue — the user re-enters nothing")
+	return t, nil
+}
+
+func e9Arm(cfg Config, arm string, convs, rounds, abortsPerConv int) ([]string, error) {
+	dir, err := cfg.tempDir("e9-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	repo, _, err := queue.Open(dir, queue.Options{NoFsync: !cfg.Fsync})
+	if err != nil {
+		return nil, err
+	}
+	defer repo.Close()
+	if err := repo.CreateQueue(queue.QueueConfig{Name: "req"}); err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	solicited, replayed := 0, 0
+	var aborts atomic.Int64
+	start := time.Now()
+
+	switch arm {
+	case "pseudo-conv":
+		// The conversational server aborts abortsPerConv rounds per
+		// conversation; the queued intermediate input survives each abort.
+		abortBudget := map[string]int{}
+		handler := func(rc *core.ReqCtx, state, input []byte, round int) ([]byte, []byte, bool, error) {
+			base := rc.Request.RID
+			if i := indexHash(base); i >= 0 {
+				base = base[:i]
+			}
+			if abortBudget[base] < abortsPerConv && round > 0 {
+				abortBudget[base]++
+				aborts.Add(1)
+				return nil, nil, false, fmt.Errorf("injected server abort")
+			}
+			sum := 0
+			if len(state) > 0 {
+				sum, _ = strconv.Atoi(string(state))
+			}
+			if round > 0 {
+				n, _ := strconv.Atoi(string(input))
+				sum += n
+			}
+			if round == rounds {
+				return nil, []byte(strconv.Itoa(sum)), true, nil
+			}
+			return []byte(strconv.Itoa(sum)), []byte("next?"), false, nil
+		}
+		go core.ServeConversational(ctx, core.ConvServerConfig{Repo: repo, Queue: "req", Handler: handler})
+
+		clerk := core.NewClerk(&core.LocalConn{Repo: repo}, core.ClerkConfig{ClientID: "e9c", RequestQueue: "req"})
+		if _, err := clerk.Connect(ctx); err != nil {
+			return nil, err
+		}
+		for c := 0; c < convs; c++ {
+			sess := clerk.Interactive(ridOf(c))
+			if err := sess.Start(ctx, nil); err != nil {
+				return nil, err
+			}
+			for {
+				rep, done, err := sess.Receive(ctx, nil)
+				if err != nil {
+					return nil, err
+				}
+				if done {
+					want := 0
+					for r := 1; r <= rounds; r++ {
+						want += r + 10
+					}
+					if string(rep.Body) != strconv.Itoa(want) {
+						return nil, fmt.Errorf("conversation %d sum %q, want %d", c, rep.Body, want)
+					}
+					break
+				}
+				solicited++ // the user types an answer
+				if err := sess.SendInput(ctx, []byte(strconv.Itoa(rep.Step+1+10))); err != nil {
+					return nil, err
+				}
+			}
+		}
+
+	case "conv-txn/iolog", "conv-txn/no-log":
+		ch, err := core.NewConvChannel(repo, "e9c")
+		if err != nil {
+			return nil, err
+		}
+		// Single-transaction conversational server: aborts abortsPerConv
+		// attempts per request after soliciting all inputs.
+		go serveConvTxnBench(ctx, repo, ch, rounds, abortsPerConv, &aborts)
+
+		clerk := core.NewClerk(&core.LocalConn{Repo: repo}, core.ClerkConfig{ClientID: "e9c", RequestQueue: "req"})
+		if _, err := clerk.Connect(ctx); err != nil {
+			return nil, err
+		}
+		lc := &core.LocalConn{Repo: repo}
+		for c := 0; c < convs; c++ {
+			if err := clerk.Send(ctx, ridOf(c), nil, nil); err != nil {
+				return nil, err
+			}
+			info, err := lc.Register(ctx, "req", "e9c", true)
+			if err != nil {
+				return nil, err
+			}
+			eid := info.LastEID
+			var ilog *core.IOLog
+			if arm == "conv-txn/iolog" {
+				ilog = core.NewIOLog()
+			}
+			convCtx, convCancel := context.WithCancel(ctx)
+			localSolicited, localReplayed := 0, 0
+			loopDone := make(chan struct{})
+			go func() {
+				defer close(loopDone)
+				ch.ConvClientLoop(convCtx, eid, ilog, func(round int, output []byte) []byte {
+					localSolicited++
+					return []byte(strconv.Itoa(round + 1 + 10))
+				}, &localReplayed)
+			}()
+			rep, err := clerk.Receive(ctx, nil)
+			convCancel()
+			<-loopDone
+			solicited += localSolicited
+			replayed += localReplayed
+			if err != nil {
+				return nil, err
+			}
+			want := 0
+			for r := 1; r <= rounds; r++ {
+				want += r + 10
+			}
+			if string(rep.Body) != strconv.Itoa(want) {
+				return nil, fmt.Errorf("conversation %d sum %q, want %d", c, rep.Body, want)
+			}
+		}
+
+	default:
+		return nil, fmt.Errorf("unknown arm %q", arm)
+	}
+
+	elapsed := time.Since(start).Seconds()
+	return []string{arm, strconv.Itoa(convs), strconv.Itoa(rounds), strconv.FormatInt(aborts.Load(), 10),
+		strconv.Itoa(solicited), strconv.Itoa(replayed), fmt.Sprintf("%.2fs", elapsed)}, nil
+}
+
+func indexHash(s string) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '#' {
+			return i
+		}
+	}
+	return -1
+}
+
+// serveConvTxnBench runs Section 8.3's single-transaction conversation:
+// solicit all inputs inside one transaction; abort the first abortsPerConv
+// attempts of each request (after the inputs were gathered), losing the
+// unprotected intermediate I/O.
+func serveConvTxnBench(ctx context.Context, repo *queue.Repository, ch *core.ConvChannel, rounds, abortsPerConv int, totalAborts *atomic.Int64) {
+	attempts := map[queue.EID]int{}
+	for ctx.Err() == nil {
+		tx := repo.Begin()
+		el, err := repo.Dequeue(ctx, tx, "req", "convtxn", queue.DequeueOpts{Wait: true})
+		if err != nil {
+			tx.Abort()
+			return
+		}
+		sum := 0
+		failed := false
+		for round := 0; round < rounds; round++ {
+			in, err := ch.Ask(ctx, el.EID, round, []byte("next?"))
+			if err != nil {
+				failed = true
+				break
+			}
+			n, _ := strconv.Atoi(string(in))
+			sum += n
+		}
+		if !failed && attempts[el.EID] < abortsPerConv {
+			attempts[el.EID]++
+			totalAborts.Add(1)
+			failed = true
+		}
+		if failed {
+			tx.Abort()
+			continue
+		}
+		req, err := core.ParseRequest(&el)
+		if err != nil {
+			tx.Abort()
+			continue
+		}
+		if _, err := repo.Enqueue(tx, req.ReplyTo, core.NewReplyElement(req.RID, core.StatusOK, []byte(strconv.Itoa(sum))), "", nil); err != nil {
+			tx.Abort()
+			continue
+		}
+		_ = tx.Commit()
+	}
+}

@@ -1,0 +1,349 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/queue"
+)
+
+func init() {
+	register("e5", runE5)
+	register("e10", runE10)
+	register("e11", runE11)
+}
+
+// runE5: error queues bound the retries of poison requests (Sections 4.2
+// and 5).
+func runE5(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "E5",
+		Title: "Error queues: bounded retries for poison requests",
+		Claim: "§4.2/§5: \"to avoid cyclic restart of the request (i.e., to guarantee termination), the server " +
+			"should use the error queue facility\"; the n-th abort diverts the element.",
+		Columns: []string{"retry-limit", "good-reqs", "poison-reqs", "good-done", "poison-diverted", "wasted-attempts", "elapsed"},
+	}
+	good := cfg.scale(40, 200)
+	poison := cfg.scale(8, 40)
+	for _, limit := range []int32{1, 3, 8} {
+		row, err := e5Arm(cfg, limit, good, poison)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(row...)
+	}
+	t.Notef("wasted-attempts = aborted server executions; it grows linearly with the retry limit — the knob's cost")
+	t.Notef("without an error queue a poison request restarts forever and the server loop never drains")
+	return t, nil
+}
+
+func e5Arm(cfg Config, limit int32, good, poison int) ([]string, error) {
+	dir, err := cfg.tempDir("e5-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	repo, _, err := queue.Open(dir, queue.Options{NoFsync: !cfg.Fsync})
+	if err != nil {
+		return nil, err
+	}
+	defer repo.Close()
+	if err := repo.CreateQueue(queue.QueueConfig{Name: "req", ErrorQueue: "req.err", RetryLimit: limit}); err != nil {
+		return nil, err
+	}
+	if err := repo.CreateQueue(queue.QueueConfig{Name: "req.err"}); err != nil {
+		return nil, err
+	}
+	srv, err := core.NewServer(core.ServerConfig{Repo: repo, Queue: "req", Handler: func(rc *core.ReqCtx) ([]byte, error) {
+		if string(rc.Request.Body) == "poison" {
+			return nil, fmt.Errorf("handler crash on poison input")
+		}
+		return []byte("ok"), nil
+	}})
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go srv.Serve(ctx)
+	go srv.Serve(ctx) // two instances sharing the queue
+
+	// Batch-feed the mixed workload (no replies needed).
+	total := good + poison
+	p := 0
+	for i := 0; i < total; i++ {
+		body := "work"
+		if p < poison && i%(total/poison) == 0 {
+			body = "poison"
+			p++
+		}
+		e := core.NewRequestElement(ridOf(i), "feed", "", []byte(body), nil)
+		if _, err := repo.Enqueue(nil, "req", e, "", nil); err != nil {
+			return nil, err
+		}
+	}
+	start := time.Now()
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		d, _ := repo.Depth("req")
+		st, _ := repo.Stats("req")
+		if d == 0 && st.InFlight == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("queue never drained (depth %d)", d)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	elapsed := time.Since(start).Seconds()
+	errDepth, _ := repo.Depth("req.err")
+	stats := srv.Stats()
+	return []string{
+		strconv.Itoa(int(limit)), strconv.Itoa(good), strconv.Itoa(p),
+		strconv.FormatUint(stats.Processed, 10), strconv.Itoa(errDepth),
+		strconv.FormatUint(stats.Aborts, 10), fmt.Sprintf("%.2fs", elapsed),
+	}, nil
+}
+
+// runE10: load sharing and burst buffering (Section 1).
+func runE10(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "E10",
+		Title: "Load sharing across server instances; queues as burst buffers",
+		Claim: "§1: \"since many processes can dequeue requests from a single queue, this automatically shares " +
+			"the workload\"; \"queues provide a buffer that mitigates the effects of bursts of requests\".",
+		Columns: []string{"instances", "burst", "drain-time", "req/s", "max-instance-share", "peak-depth"},
+	}
+	burst := cfg.scale(200, 1500)
+	for _, instances := range []int{1, 2, 4, 8} {
+		row, err := e10Arm(cfg, instances, burst)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(row...)
+	}
+	t.Notef("work per request ~1ms; near-linear scaling up to the worker count shows automatic load sharing")
+	t.Notef("the burst lands while servers run: peak-depth shows the queue absorbing it instead of refusing work")
+	return t, nil
+}
+
+func e10Arm(cfg Config, instances, burst int) ([]string, error) {
+	dir, err := cfg.tempDir("e10-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	repo, _, err := queue.Open(dir, queue.Options{NoFsync: !cfg.Fsync})
+	if err != nil {
+		return nil, err
+	}
+	defer repo.Close()
+	if err := repo.CreateQueue(queue.QueueConfig{Name: "req"}); err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	servers := make([]*core.Server, instances)
+	for i := range servers {
+		srv, err := core.NewServer(core.ServerConfig{
+			Repo: repo, Queue: "req", Name: fmt.Sprintf("s%d", i),
+			Handler: func(rc *core.ReqCtx) ([]byte, error) {
+				time.Sleep(time.Millisecond)
+				return []byte("ok"), nil
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		servers[i] = srv
+		go srv.Serve(ctx)
+	}
+
+	// Track peak depth while the burst lands.
+	var peakMu sync.Mutex
+	peak := 0
+	sampler := make(chan struct{})
+	go func() {
+		tick := time.NewTicker(time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-sampler:
+				return
+			case <-tick.C:
+				d, _ := repo.Depth("req")
+				peakMu.Lock()
+				if d > peak {
+					peak = d
+				}
+				peakMu.Unlock()
+			}
+		}
+	}()
+
+	start := time.Now()
+	for i := 0; i < burst; i++ {
+		e := core.NewRequestElement(ridOf(i), "burst", "", nil, nil)
+		if _, err := repo.Enqueue(nil, "req", e, "", nil); err != nil {
+			return nil, err
+		}
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		total := uint64(0)
+		for _, s := range servers {
+			total += s.Stats().Processed
+		}
+		if total >= uint64(burst) {
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("burst never drained (%d/%d)", total, burst)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	elapsed := time.Since(start).Seconds()
+	close(sampler)
+	maxShare := uint64(0)
+	for _, s := range servers {
+		if p := s.Stats().Processed; p > maxShare {
+			maxShare = p
+		}
+	}
+	peakMu.Lock()
+	pk := peak
+	peakMu.Unlock()
+	return []string{
+		strconv.Itoa(instances), strconv.Itoa(burst),
+		fmt.Sprintf("%.2fs", elapsed), fmtRate(burst, elapsed),
+		fmt.Sprintf("%.0f%%", 100*float64(maxShare)/float64(burst)), strconv.Itoa(pk),
+	}, nil
+}
+
+// runE11: the cancellation windows of Section 7.
+func runE11(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "E11",
+		Title: "Cancellation outcomes vs request age (KillElement and sagas)",
+		Claim: "§7: KillElement cancels a request until its first transaction commits; with compensating " +
+			"transactions (sagas), \"later cancellation can still be arranged\".",
+		Columns: []string{"cancel-delay", "attempts", "immediate", "compensated", "too-late", "balance-intact"},
+	}
+	attempts := cfg.scale(20, 100)
+	for _, delay := range []time.Duration{0, 3 * time.Millisecond, 12 * time.Millisecond, 50 * time.Millisecond} {
+		row, err := e11Arm(cfg, delay, attempts)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(row...)
+	}
+	t.Notef("3-step transfer saga, ~2ms per stage; later cancels shift from immediate → compensated → too-late")
+	t.Notef("balance-intact: canceled transfers left no money moved; completed ones moved it exactly once")
+	return t, nil
+}
+
+func e11Arm(cfg Config, delay time.Duration, attempts int) ([]string, error) {
+	dir, err := cfg.tempDir("e11-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	repo, _, err := queue.Open(dir, queue.Options{NoFsync: !cfg.Fsync})
+	if err != nil {
+		return nil, err
+	}
+	defer repo.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	adjust := func(rc *core.ReqCtx, acct string, delta int) error {
+		v, _, err := rc.Repo.KVGet(rc.Ctx, rc.Txn, "acct", acct, true)
+		if err != nil {
+			return err
+		}
+		n := 0
+		if v != nil {
+			n, _ = strconv.Atoi(string(v))
+		}
+		return rc.Repo.KVSet(rc.Ctx, rc.Txn, "acct", acct, []byte(strconv.Itoa(n+delta)))
+	}
+	step := func(acct string, delta int) core.SagaStep {
+		return core.SagaStep{
+			Name: acct,
+			Action: func(rc *core.ReqCtx) ([]byte, []byte, error) {
+				time.Sleep(2 * time.Millisecond)
+				if err := adjust(rc, acct, delta); err != nil {
+					return nil, nil, err
+				}
+				return rc.Request.Body, nil, nil
+			},
+			Compensate: func(rc *core.ReqCtx) ([]byte, []byte, error) {
+				return nil, nil, adjust(rc, acct, -delta)
+			},
+		}
+	}
+	saga, err := core.NewSaga(core.SagaConfig{Repo: repo, Name: "xfer", Steps: []core.SagaStep{
+		step("src", -1), step("dst", +1), step("fee", +0),
+	}})
+	if err != nil {
+		return nil, err
+	}
+	go saga.Serve(ctx)
+
+	clerk := core.NewClerk(&core.LocalConn{Repo: repo}, core.ClerkConfig{ClientID: "c", RequestQueue: saga.EntryQueue()})
+	if _, err := clerk.Connect(ctx); err != nil {
+		return nil, err
+	}
+	immediate, compensated, tooLate, completed := 0, 0, 0, 0
+	for i := 0; i < attempts; i++ {
+		rid := ridOf(i)
+		if err := clerk.Send(ctx, rid, []byte("move 1"), nil); err != nil {
+			return nil, err
+		}
+		time.Sleep(delay)
+		outcome, err := saga.Cancel(ctx, rid)
+		if err != nil {
+			return nil, err
+		}
+		switch outcome {
+		case core.CanceledImmediately:
+			immediate++
+		case core.CanceledWithCompensation:
+			compensated++
+		case core.NotCancelable:
+			tooLate++
+		}
+		rep, err := clerk.Receive(ctx, nil)
+		if err != nil {
+			return nil, err
+		}
+		if rep.Status == core.StatusOK {
+			completed++
+		}
+	}
+	// Conservation: completed transfers moved exactly 1 each; canceled
+	// ones moved nothing (after compensation settles).
+	deadline := time.Now().Add(30 * time.Second)
+	intact := false
+	for time.Now().Before(deadline) {
+		v, _, _ := repo.KVGet(ctx, nil, "acct", "src", false)
+		src, _ := strconv.Atoi(string(v))
+		v, _, _ = repo.KVGet(ctx, nil, "acct", "dst", false)
+		dst, _ := strconv.Atoi(string(v))
+		if src == -completed && dst == completed {
+			intact = true
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return []string{
+		delay.String(), strconv.Itoa(attempts),
+		strconv.Itoa(immediate), strconv.Itoa(compensated), strconv.Itoa(tooLate),
+		fmt.Sprintf("%v", intact),
+	}, nil
+}

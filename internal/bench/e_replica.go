@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"repro/internal/queue"
+	"repro/internal/replica"
+)
+
+func init() { register("e13", runE13) }
+
+// runE13: standby replication by log shipping — the paper's §10–11
+// suggestion that queues be replicated for availability.
+func runE13(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "E13",
+		Title: "Standby replication by log shipping: failover loss vs shipping cadence",
+		Claim: "§10–11: \"given the importance of reliably managing requests in a distributed system, queues " +
+			"are a good candidate for being stored as a replicated database\"; asynchronous shipping bounds " +
+			"failover loss by the shipping lag.",
+		Columns: []string{"ship-interval", "enqueued", "survived-failover", "lost", "ships", "bytes-shipped"},
+	}
+	for _, interval := range []time.Duration{time.Millisecond, 5 * time.Millisecond, 20 * time.Millisecond} {
+		row, err := e13Arm(cfg, interval)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(row...)
+	}
+	t.Notef("enqueues arrive at a steady ~5k/s for ~25 shipping intervals; the primary then crashes with no final ship")
+	t.Notef("loss ≈ one shipping window of arrivals — the asynchronous-replication trade, linear in the cadence")
+	t.Notef("promotion is ordinary crash recovery on the shipped files; registrations and retry counts survive too")
+	return t, nil
+}
+
+func e13Arm(cfg Config, interval time.Duration) ([]string, error) {
+	base, err := cfg.tempDir("e13-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(base)
+	primaryDir := filepath.Join(base, "primary")
+	standbyDir := filepath.Join(base, "standby")
+	primary, _, err := queue.Open(primaryDir, queue.Options{NoFsync: !cfg.Fsync})
+	if err != nil {
+		return nil, err
+	}
+	defer primary.Close()
+	if err := primary.CreateQueue(queue.QueueConfig{Name: "q"}); err != nil {
+		return nil, err
+	}
+	sh, err := replica.NewShipper(primaryDir, standbyDir)
+	if err != nil {
+		return nil, err
+	}
+	// Seed the standby with the schema before the workload starts.
+	if _, err := sh.SyncOnce(); err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	shipDone := make(chan struct{})
+	go func() {
+		defer close(shipDone)
+		sh.Run(ctx, interval)
+	}()
+
+	// A steady arrival stream for ~25 shipping intervals.
+	body := make([]byte, 64)
+	duration := 25 * interval
+	if duration < 50*time.Millisecond {
+		duration = 50 * time.Millisecond
+	}
+	deadline := time.Now().Add(duration)
+	n := 0
+	for time.Now().Before(deadline) {
+		if _, err := primary.Enqueue(nil, "q", queue.Element{Body: body}, "", nil); err != nil {
+			return nil, err
+		}
+		n++
+		time.Sleep(200 * time.Microsecond)
+	}
+	// The failure: the replication link dies (last successful ship is now
+	// in the past), arrivals continue for up to one shipping window, then
+	// the primary crashes. The standby is whatever was shipped.
+	cancel()
+	<-shipDone
+	lagDeadline := time.Now().Add(interval)
+	for time.Now().Before(lagDeadline) {
+		if _, err := primary.Enqueue(nil, "q", queue.Element{Body: body}, "", nil); err != nil {
+			return nil, err
+		}
+		n++
+		time.Sleep(200 * time.Microsecond)
+	}
+	primary.Crash()
+
+	standby, _, err := queue.Open(standbyDir, queue.Options{NoFsync: true})
+	if err != nil {
+		return nil, fmt.Errorf("promotion failed: %w", err)
+	}
+	defer standby.Close()
+	survived, err := standby.Depth("q")
+	if err != nil {
+		return nil, err
+	}
+	ships, bytes := sh.Stats()
+	return []string{
+		interval.String(), strconv.Itoa(n), strconv.Itoa(survived), strconv.Itoa(n - survived),
+		strconv.FormatUint(ships, 10), strconv.FormatUint(bytes, 10),
+	}, nil
+}

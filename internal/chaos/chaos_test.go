@@ -1,0 +1,155 @@
+package chaos
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/rpc"
+)
+
+func TestFailOnNth(t *testing.T) {
+	p := NewPoints(1)
+	p.FailOnNth("x", 3)
+	results := []bool{p.Hit("x"), p.Hit("x"), p.Hit("x"), p.Hit("x")}
+	want := []bool{false, false, true, false}
+	for i := range want {
+		if results[i] != want[i] {
+			t.Fatalf("hit %d = %v, want %v", i+1, results[i], want[i])
+		}
+	}
+	if p.Hits("x") != 4 || p.Fired("x") != 1 {
+		t.Fatalf("hits=%d fired=%d", p.Hits("x"), p.Fired("x"))
+	}
+}
+
+func TestFailWithProbLimit(t *testing.T) {
+	p := NewPoints(7)
+	p.FailWithProb("y", 1.0, 2)
+	fired := 0
+	for i := 0; i < 10; i++ {
+		if p.Hit("y") {
+			fired++
+		}
+	}
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2 (limit)", fired)
+	}
+}
+
+func TestProbZeroNeverFires(t *testing.T) {
+	p := NewPoints(7)
+	p.FailWithProb("z", 0, 0)
+	for i := 0; i < 100; i++ {
+		if p.Hit("z") {
+			t.Fatal("p=0 fired")
+		}
+	}
+}
+
+func TestProbIsDeterministic(t *testing.T) {
+	run := func() []bool {
+		p := NewPoints(42)
+		p.FailWithProb("d", 0.5, 0)
+		out := make([]bool, 20)
+		for i := range out {
+			out[i] = p.Hit("d")
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic at %d", i)
+		}
+	}
+}
+
+func TestClearAndUnruledPoints(t *testing.T) {
+	p := NewPoints(1)
+	if p.Hit("unknown") {
+		t.Fatal("unruled point fired")
+	}
+	p.FailOnNth("a", 1)
+	p.Clear("a")
+	if p.Hit("a") {
+		t.Fatal("cleared point fired")
+	}
+	if p.TotalFired() != 0 {
+		t.Fatal("TotalFired nonzero")
+	}
+}
+
+func TestDialRefusal(t *testing.T) {
+	n := NewNetwork(1)
+	n.SetDialFailProb(1.0)
+	d := n.Dialer(nil)
+	if _, err := d("127.0.0.1:1"); err == nil {
+		t.Fatal("dial succeeded under 100% refusal")
+	}
+}
+
+func TestPartitionSeversAndHeals(t *testing.T) {
+	srv := rpc.NewServer()
+	srv.Handle("ping", func(p []byte) ([]byte, error) { return []byte("pong"), nil })
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	n := NewNetwork(5)
+	c := rpc.NewClient(addr, rpc.Dialer(n.Dialer(nil)))
+	defer c.Close()
+	if _, err := c.Call(context.Background(), "ping", nil); err != nil {
+		t.Fatal(err)
+	}
+	n.Partition(true)
+	if _, err := c.Call(context.Background(), "ping", nil); err == nil {
+		t.Fatal("call succeeded across partition")
+	}
+	n.Partition(false)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, err := c.Call(context.Background(), "ping", nil); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("client never recovered after heal")
+		}
+	}
+}
+
+func TestCutProbSeversMidStream(t *testing.T) {
+	srv := rpc.NewServer()
+	srv.Handle("ping", func(p []byte) ([]byte, error) { return []byte("pong"), nil })
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	n := NewNetwork(99)
+	n.SetCutProb(1.0)
+	c := rpc.NewClient(addr, rpc.Dialer(n.Dialer(nil)))
+	defer c.Close()
+	if _, err := c.Call(context.Background(), "ping", nil); err == nil {
+		t.Fatal("call survived 100% cut probability")
+	}
+	// Heal and verify recovery (redial creates a fresh conn).
+	n.SetCutProb(0)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, err := c.Call(context.Background(), "ping", nil); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("client never recovered after cuts stopped")
+		}
+	}
+}
+
+func TestFaultConnImplementsNetConn(t *testing.T) {
+	var _ net.Conn = (*faultConn)(nil)
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/queue"
+	"repro/internal/txn"
+)
+
+// ErrAppLockHeld reports that another request holds the application lock.
+var ErrAppLockHeld = errors.New("core: application lock held")
+
+// AppLocks is the paper's alternative to lock inheritance for serializable
+// multi-transaction requests: "the application can mimic database system
+// locking by creating a persistent database of locks, setting the
+// appropriate locks for each database object it accesses, and releasing
+// all of these application locks just before the final transaction of the
+// multi-transaction request commits" (Section 6).
+//
+// Locks are rows in a repository table (owner = the request's rid), so
+// they are durable across crashes — with exactly the cost the paper
+// predicts: every acquire and release is a logged database update.
+type AppLocks struct {
+	// Repo hosts the lock table.
+	Repo *queue.Repository
+	// Table is the lock table name; empty means "applocks".
+	Table string
+}
+
+func (a *AppLocks) table() string {
+	if a.Table == "" {
+		return "applocks"
+	}
+	return a.Table
+}
+
+// Acquire takes (or re-takes, idempotently) the application lock on
+// resource for owner, inside t. A lock held by a different owner fails
+// with ErrAppLockHeld — the caller aborts and retries via the queue.
+func (a *AppLocks) Acquire(ctx context.Context, t *txn.Txn, resource, owner string) error {
+	cur, ok, err := a.Repo.KVGet(ctx, t, a.table(), resource, true)
+	if err != nil {
+		return err
+	}
+	if ok && string(cur) != owner {
+		return fmt.Errorf("%w: %s by %s", ErrAppLockHeld, resource, cur)
+	}
+	if ok {
+		return nil // re-entrant
+	}
+	return a.Repo.KVSet(ctx, t, a.table(), resource, []byte(owner))
+}
+
+// Release frees one application lock held by owner, inside t.
+func (a *AppLocks) Release(ctx context.Context, t *txn.Txn, resource, owner string) error {
+	cur, ok, err := a.Repo.KVGet(ctx, t, a.table(), resource, true)
+	if err != nil {
+		return err
+	}
+	if !ok || string(cur) != owner {
+		return fmt.Errorf("core: application lock %s not held by %s", resource, owner)
+	}
+	return a.Repo.KVDelete(ctx, t, a.table(), resource)
+}
+
+// ReleaseAll frees a set of application locks in the final transaction of
+// the multi-transaction request.
+func (a *AppLocks) ReleaseAll(ctx context.Context, t *txn.Txn, owner string, resources []string) error {
+	for _, r := range resources {
+		if err := a.Release(ctx, t, r, owner); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Holder reports the current holder of resource ("" if free); diagnostic.
+func (a *AppLocks) Holder(ctx context.Context, resource string) string {
+	v, ok, err := a.Repo.KVGet(ctx, nil, a.table(), resource, false)
+	if err != nil || !ok {
+		return ""
+	}
+	return string(v)
+}

@@ -1,0 +1,169 @@
+// Package baseline implements the request-processing designs the paper
+// argues against (Section 2), as comparison arms for the experiments:
+//
+//   - Raw messaging: requests and replies are ordinary messages. "An
+//     untimely system failure may cause either the request or the reply to
+//     be lost", and a client that cannot tell must either give up (lost
+//     work) or resubmit (duplicate execution of a non-idempotent request).
+//   - The one-transaction client: {send request, receive reply, process
+//     reply} inside one transaction. Correct, but "processing the reply may
+//     be slow, which creates contention for resources (e.g., locks) that
+//     the server must hold until the transaction commits".
+//   - The two-transaction client: {send, receive} inside a transaction,
+//     reply processed outside. Less contention, "but if the client fails
+//     after receiving the reply and before processing it, the reply may be
+//     lost".
+package baseline
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/enc"
+	"repro/internal/queue"
+	"repro/internal/rpc"
+	"repro/internal/txn"
+)
+
+// Handler executes one request body against the shared database inside t
+// and returns the reply body.
+type Handler func(ctx context.Context, t *txn.Txn, rid string, body []byte) ([]byte, error)
+
+// --- raw messaging (no queues) ---
+
+// RawServer executes requests the moment their message arrives. It keeps
+// no record of which requests it has seen: a resent request executes
+// again. (That is the point of this baseline.)
+type RawServer struct {
+	Repo    *queue.Repository
+	Handler Handler
+}
+
+// Attach registers the server's method on an rpc server.
+func (s *RawServer) Attach(srv *rpc.Server) {
+	srv.Handle("raw.exec", func(p []byte) ([]byte, error) {
+		r := enc.NewReader(p)
+		rid := r.String()
+		body := r.BytesField()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		t := s.Repo.Begin()
+		out, err := s.Handler(context.Background(), t, rid, body)
+		if err != nil {
+			t.Abort()
+			return nil, err
+		}
+		if err := t.Commit(); err != nil {
+			return nil, err
+		}
+		return out, nil
+	})
+}
+
+// RawOutcome classifies one raw request attempt from the client's view.
+type RawOutcome int
+
+const (
+	// RawOK: the reply arrived.
+	RawOK RawOutcome = iota
+	// RawLost: no reply; the client gave up. The request may or may not
+	// have executed — the client cannot tell.
+	RawLost
+	// RawRetried: the reply arrived only after one or more blind resends,
+	// each of which may have executed the request again.
+	RawRetried
+)
+
+// RawClient issues requests as plain RPCs.
+type RawClient struct {
+	RC *rpc.Client
+	// Timeout bounds each attempt.
+	Timeout time.Duration
+	// Retries is how many times to blindly resend on failure; zero means
+	// give up immediately (lost work instead of duplicates).
+	Retries int
+}
+
+// Do sends the request, applying the client's retry policy. It returns the
+// reply (if any) and the attempt classification.
+func (c *RawClient) Do(rid string, body []byte) ([]byte, RawOutcome) {
+	b := enc.NewBuffer(32 + len(body))
+	b.String(rid)
+	b.BytesField(body)
+	timeout := c.Timeout
+	if timeout <= 0 {
+		timeout = time.Second
+	}
+	for attempt := 0; ; attempt++ {
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		out, err := c.RC.Call(ctx, "raw.exec", b.Bytes())
+		cancel()
+		if err == nil {
+			if attempt > 0 {
+				return out, RawRetried
+			}
+			return out, RawOK
+		}
+		if attempt >= c.Retries {
+			return nil, RawLost
+		}
+	}
+}
+
+// --- the one-transaction client (Section 2) ---
+
+// OneTxnRequest executes {execute the request, receive the reply, process
+// the reply} as a single transaction: processReply runs while the
+// transaction — and every lock the request execution took — is still open.
+// Slow reply processing therefore blocks every conflicting request, the
+// contention the paper's design eliminates.
+func OneTxnRequest(ctx context.Context, repo *queue.Repository, handler Handler, rid string, body []byte, processReply func([]byte)) error {
+	t := repo.Begin()
+	reply, err := handler(ctx, t, rid, body)
+	if err != nil {
+		t.Abort()
+		return err
+	}
+	processReply(reply) // locks held across reply processing
+	if err := t.Commit(); err != nil {
+		return fmt.Errorf("baseline: one-txn commit: %w", err)
+	}
+	return nil
+}
+
+// --- the two-transaction client (Section 2) ---
+
+// TwoTxnOutcome reports what happened to the reply.
+type TwoTxnOutcome int
+
+const (
+	// TwoTxnProcessed: the reply was processed.
+	TwoTxnProcessed TwoTxnOutcome = iota
+	// TwoTxnReplyLost: the transaction committed (request executed,
+	// exactly once) but the client died before processing the reply — the
+	// reply is gone, with no Rereceive to recover it.
+	TwoTxnReplyLost
+)
+
+// TwoTxnRequest executes {send request, receive reply} inside a
+// transaction and processes the reply after commit. crashBeforeProcess
+// simulates the client dying in the unprotected window; the request's
+// effects stand but the reply is lost.
+func TwoTxnRequest(ctx context.Context, repo *queue.Repository, handler Handler, rid string, body []byte, crashBeforeProcess bool, processReply func([]byte)) (TwoTxnOutcome, error) {
+	t := repo.Begin()
+	reply, err := handler(ctx, t, rid, body)
+	if err != nil {
+		t.Abort()
+		return TwoTxnReplyLost, err
+	}
+	if err := t.Commit(); err != nil {
+		return TwoTxnReplyLost, err
+	}
+	if crashBeforeProcess {
+		return TwoTxnReplyLost, nil
+	}
+	processReply(reply)
+	return TwoTxnProcessed, nil
+}

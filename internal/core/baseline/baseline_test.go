@@ -1,0 +1,188 @@
+package baseline
+
+import (
+	"context"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/lock"
+	"repro/internal/queue"
+	"repro/internal/rpc"
+	"repro/internal/txn"
+)
+
+// countingHandler increments a per-rid execution counter — the witness for
+// duplicate or lost executions.
+func countingHandler(repo *queue.Repository) Handler {
+	return func(ctx context.Context, t *txn.Txn, rid string, body []byte) ([]byte, error) {
+		v, _, err := repo.KVGet(ctx, t, "execs", rid, true)
+		if err != nil {
+			return nil, err
+		}
+		n := 0
+		if v != nil {
+			n, _ = strconv.Atoi(string(v))
+		}
+		if err := repo.KVSet(ctx, t, "execs", rid, []byte(strconv.Itoa(n+1))); err != nil {
+			return nil, err
+		}
+		return []byte("done " + rid), nil
+	}
+}
+
+func execs(t *testing.T, repo *queue.Repository, rid string) int {
+	t.Helper()
+	v, ok, err := repo.KVGet(context.Background(), nil, "execs", rid, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		return 0
+	}
+	n, _ := strconv.Atoi(string(v))
+	return n
+}
+
+func newRepo(t *testing.T) *queue.Repository {
+	t.Helper()
+	repo, _, err := queue.Open(t.TempDir(), queue.Options{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { repo.Close() })
+	return repo
+}
+
+func TestRawHappyPath(t *testing.T) {
+	repo := newRepo(t)
+	srv := rpc.NewServer()
+	(&RawServer{Repo: repo, Handler: countingHandler(repo)}).Attach(srv)
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	c := &RawClient{RC: rpc.NewClient(addr, nil), Timeout: time.Second}
+	t.Cleanup(c.RC.Close)
+	out, outcome := c.Do("r1", []byte("x"))
+	if outcome != RawOK || string(out) != "done r1" {
+		t.Fatalf("Do = %q, %v", out, outcome)
+	}
+	if n := execs(t, repo, "r1"); n != 1 {
+		t.Fatalf("execs = %d", n)
+	}
+}
+
+func TestRawLosesWorkWithoutRetry(t *testing.T) {
+	repo := newRepo(t)
+	srv := rpc.NewServer()
+	(&RawServer{Repo: repo, Handler: countingHandler(repo)}).Attach(srv)
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+
+	net := chaos.NewNetwork(3)
+	c := &RawClient{RC: rpc.NewClient(addr, rpc.Dialer(net.Dialer(nil))), Timeout: 200 * time.Millisecond}
+	t.Cleanup(c.RC.Close)
+	net.SetCutProb(1.0) // every write severs the connection
+	_, outcome := c.Do("r1", []byte("x"))
+	if outcome != RawLost {
+		t.Fatalf("outcome = %v, want RawLost", outcome)
+	}
+}
+
+func TestRawBlindRetryDuplicates(t *testing.T) {
+	// The reply (not the request) is lost: the server executes, the client
+	// never hears, resends, and the request executes twice — the paper's
+	// non-idempotent-request hazard.
+	repo := newRepo(t)
+	srv := rpc.NewServer()
+	handler := countingHandler(repo)
+	// The handler is slow only on its first call, so the client times out
+	// once (the "lost reply"), retries blindly, and the request executes
+	// twice.
+	slowOnce := make(chan struct{}, 1)
+	slowOnce <- struct{}{}
+	(&RawServer{Repo: repo, Handler: func(ctx context.Context, tx *txn.Txn, rid string, body []byte) ([]byte, error) {
+		select {
+		case <-slowOnce:
+			time.Sleep(300 * time.Millisecond) // client already gone
+		default:
+		}
+		return handler(ctx, tx, rid, body)
+	}}).Attach(srv)
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+
+	c := &RawClient{RC: rpc.NewClient(addr, nil), Timeout: 150 * time.Millisecond, Retries: 2}
+	t.Cleanup(c.RC.Close)
+
+	out, outcome := c.Do("dup", []byte("x"))
+	if outcome != RawRetried || out == nil {
+		t.Fatalf("outcome = %v", outcome)
+	}
+	// Both executions committed: a duplicate, as the paper warns.
+	deadline := time.Now().Add(2 * time.Second)
+	for execs(t, repo, "dup") < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("execs = %d, want 2 (duplicate)", execs(t, repo, "dup"))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestOneTxnHoldsLocksDuringReplyProcessing(t *testing.T) {
+	repo := newRepo(t)
+	handler := countingHandler(repo)
+	processing := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- OneTxnRequest(context.Background(), repo, handler, "r1", []byte("x"), func(reply []byte) {
+			close(processing)
+			<-release // slow reply processing (e.g., waiting for the user)
+		})
+	}()
+	<-processing
+	// The execs lock for r1 is still held: a conflicting transaction blocks.
+	if err := repo.Locks().TryAcquire(424242, "kv/execs/r1", lock.Exclusive); err == nil {
+		t.Fatal("lock free during reply processing — contention hazard not modeled")
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if err := repo.Locks().TryAcquire(424242, "kv/execs/r1", lock.Exclusive); err != nil {
+		t.Fatalf("lock not released after commit: %v", err)
+	}
+	repo.Locks().ReleaseAll(424242)
+}
+
+func TestTwoTxnLosesReplyOnCrash(t *testing.T) {
+	repo := newRepo(t)
+	handler := countingHandler(repo)
+	processed := 0
+	out, err := TwoTxnRequest(context.Background(), repo, handler, "r1", []byte("x"), true, func([]byte) { processed++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != TwoTxnReplyLost || processed != 0 {
+		t.Fatalf("outcome = %v, processed = %d", out, processed)
+	}
+	// The request executed exactly once — only the reply is gone.
+	if n := execs(t, repo, "r1"); n != 1 {
+		t.Fatalf("execs = %d", n)
+	}
+	// Without the crash the reply is processed.
+	out, err = TwoTxnRequest(context.Background(), repo, handler, "r2", []byte("x"), false, func([]byte) { processed++ })
+	if err != nil || out != TwoTxnProcessed || processed != 1 {
+		t.Fatalf("second request: %v %v %d", out, err, processed)
+	}
+}

@@ -1,0 +1,148 @@
+package core
+
+import "fmt"
+
+// ClientState is a state of the client's state-transition diagram: fig. 1
+// for non-interactive requests, extended with the Intermediate-I/O state of
+// fig. 7 for interactive requests.
+type ClientState int8
+
+const (
+	// StateDisconnected: no session with the system.
+	StateDisconnected ClientState = iota
+	// StateConnected: Connect returned; resynchronisation pending.
+	StateConnected
+	// StateReqSent: a request is outstanding.
+	StateReqSent
+	// StateReplyRecvd: the last request's reply has been received; a new
+	// request may be entered.
+	StateReplyRecvd
+	// StateIntermediateIO: intermediate output received; the system awaits
+	// intermediate input (fig. 7).
+	StateIntermediateIO
+)
+
+func (s ClientState) String() string {
+	switch s {
+	case StateDisconnected:
+		return "Disconnected"
+	case StateConnected:
+		return "Connected"
+	case StateReqSent:
+		return "Req-Sent"
+	case StateReplyRecvd:
+		return "Reply-Recvd"
+	case StateIntermediateIO:
+		return "Intermediate-I/O"
+	default:
+		return fmt.Sprintf("ClientState(%d)", int8(s))
+	}
+}
+
+// ClientEvent is an edge label of the client state machine.
+type ClientEvent int8
+
+const (
+	// EvConnect: the Connect operation.
+	EvConnect ClientEvent = iota
+	// EvResyncReqSent: Connect's rids show an outstanding request.
+	EvResyncReqSent
+	// EvResyncReplyRecvd: Connect's rids show no outstanding request.
+	EvResyncReplyRecvd
+	// EvSend: the Send operation (a new request).
+	EvSend
+	// EvReceive: the Receive operation returned the final reply.
+	EvReceive
+	// EvReceiveIntermediate: the Receive operation returned intermediate
+	// output (interactive requests, fig. 7).
+	EvReceiveIntermediate
+	// EvSendIntermediate: intermediate input sent (fig. 7).
+	EvSendIntermediate
+	// EvRereceive: the Rereceive operation.
+	EvRereceive
+	// EvCancel: Cancel-last-request succeeded (the request will never
+	// execute; the client may enter a new request).
+	EvCancel
+	// EvDisconnect: the Disconnect operation.
+	EvDisconnect
+)
+
+func (e ClientEvent) String() string {
+	switch e {
+	case EvConnect:
+		return "Connect"
+	case EvResyncReqSent:
+		return "Resync→Req-Sent"
+	case EvResyncReplyRecvd:
+		return "Resync→Reply-Recvd"
+	case EvSend:
+		return "Send"
+	case EvReceive:
+		return "Receive"
+	case EvReceiveIntermediate:
+		return "Receive(intermediate)"
+	case EvSendIntermediate:
+		return "Send(intermediate)"
+	case EvRereceive:
+		return "Rereceive"
+	case EvCancel:
+		return "Cancel"
+	case EvDisconnect:
+		return "Disconnect"
+	default:
+		return fmt.Sprintf("ClientEvent(%d)", int8(e))
+	}
+}
+
+// clientTransitions is the legal-transition table of figs. 1 and 7.
+var clientTransitions = map[ClientState]map[ClientEvent]ClientState{
+	StateDisconnected: {
+		EvConnect: StateConnected,
+	},
+	StateConnected: {
+		EvResyncReqSent:    StateReqSent,
+		EvResyncReplyRecvd: StateReplyRecvd,
+		EvDisconnect:       StateDisconnected,
+	},
+	StateReqSent: {
+		EvReceive:             StateReplyRecvd,
+		EvReceiveIntermediate: StateIntermediateIO,
+		EvCancel:              StateReplyRecvd,
+	},
+	StateIntermediateIO: {
+		EvSendIntermediate: StateReqSent,
+	},
+	StateReplyRecvd: {
+		EvSend:       StateReqSent,
+		EvRereceive:  StateReplyRecvd,
+		EvDisconnect: StateDisconnected,
+	},
+}
+
+// ClientFSM validates that an implementation follows the paper's client
+// state machine. The clerk embeds one and rejects out-of-order operations.
+type ClientFSM struct {
+	state ClientState
+}
+
+// NewClientFSM starts in Disconnected.
+func NewClientFSM() *ClientFSM { return &ClientFSM{state: StateDisconnected} }
+
+// State returns the current state.
+func (f *ClientFSM) State() ClientState { return f.state }
+
+// Fire applies an event, failing if it is illegal in the current state.
+func (f *ClientFSM) Fire(ev ClientEvent) error {
+	next, ok := clientTransitions[f.state][ev]
+	if !ok {
+		return fmt.Errorf("core: illegal client transition %s in state %s", ev, f.state)
+	}
+	f.state = next
+	return nil
+}
+
+// Can reports whether the event is legal in the current state.
+func (f *ClientFSM) Can(ev ClientEvent) bool {
+	_, ok := clientTransitions[f.state][ev]
+	return ok
+}

@@ -1,0 +1,961 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/queue"
+	"repro/internal/queue/qservice"
+	"repro/internal/rpc"
+)
+
+// --- client FSM ---
+
+func TestClientFSMHappyPath(t *testing.T) {
+	f := NewClientFSM()
+	steps := []struct {
+		ev   ClientEvent
+		want ClientState
+	}{
+		{EvConnect, StateConnected},
+		{EvResyncReplyRecvd, StateReplyRecvd},
+		{EvSend, StateReqSent},
+		{EvReceive, StateReplyRecvd},
+		{EvSend, StateReqSent},
+		{EvReceiveIntermediate, StateIntermediateIO},
+		{EvSendIntermediate, StateReqSent},
+		{EvReceive, StateReplyRecvd},
+		{EvRereceive, StateReplyRecvd},
+		{EvDisconnect, StateDisconnected},
+	}
+	for _, s := range steps {
+		if err := f.Fire(s.ev); err != nil {
+			t.Fatalf("Fire(%s): %v", s.ev, err)
+		}
+		if f.State() != s.want {
+			t.Fatalf("after %s: state %s, want %s", s.ev, f.State(), s.want)
+		}
+	}
+}
+
+func TestClientFSMIllegalMoves(t *testing.T) {
+	f := NewClientFSM()
+	illegal := []ClientEvent{EvSend, EvReceive, EvRereceive, EvDisconnect, EvSendIntermediate}
+	for _, ev := range illegal {
+		if err := f.Fire(ev); err == nil {
+			t.Fatalf("Fire(%s) from Disconnected succeeded", ev)
+		}
+	}
+	if f.State() != StateDisconnected {
+		t.Fatalf("failed fire moved state to %s", f.State())
+	}
+	// Double connect.
+	if err := f.Fire(EvConnect); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Fire(EvConnect); err == nil {
+		t.Fatal("double Connect allowed")
+	}
+	// Receive without a request.
+	if err := f.Fire(EvResyncReplyRecvd); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Fire(EvReceive); err == nil {
+		t.Fatal("Receive without Send allowed")
+	}
+}
+
+func TestQuickFSMNeverReachesUnknownState(t *testing.T) {
+	known := map[ClientState]bool{
+		StateDisconnected: true, StateConnected: true, StateReqSent: true,
+		StateReplyRecvd: true, StateIntermediateIO: true,
+	}
+	f := func(events []byte) bool {
+		fsm := NewClientFSM()
+		for _, b := range events {
+			ev := ClientEvent(b % 10)
+			_ = fsm.Fire(ev) // illegal events must be rejected, not applied
+			if !known[fsm.State()] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- system model plumbing ---
+
+type sysEnv struct {
+	repo   *queue.Repository
+	server *Server
+	cancel context.CancelFunc
+	done   chan error
+}
+
+// echoHandler replies with "echo:" + body and records per-rid execution
+// counts in the shared database — the exactly-once witness.
+func echoHandler(rc *ReqCtx) ([]byte, error) {
+	key := rc.Request.RID
+	v, _, err := rc.Repo.KVGet(rc.Ctx, rc.Txn, "execs", key, true)
+	if err != nil {
+		return nil, err
+	}
+	n := 0
+	if v != nil {
+		n, _ = strconv.Atoi(string(v))
+	}
+	if err := rc.Repo.KVSet(rc.Ctx, rc.Txn, "execs", key, []byte(strconv.Itoa(n+1))); err != nil {
+		return nil, err
+	}
+	return append([]byte("echo:"), rc.Request.Body...), nil
+}
+
+func newSysEnv(t *testing.T, crash *chaos.Points) *sysEnv {
+	t.Helper()
+	repo, _, err := queue.Open(t.TempDir(), queue.Options{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { repo.Close() })
+	if err := repo.CreateQueue(queue.QueueConfig{Name: "req", ErrorQueue: "req.err", RetryLimit: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := repo.CreateQueue(queue.QueueConfig{Name: "req.err"}); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(ServerConfig{Repo: repo, Queue: "req", Name: "server-1", Handler: echoHandler, Crash: crash})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	e := &sysEnv{repo: repo, server: srv, cancel: cancel, done: make(chan error, 1)}
+	go func() { e.done <- srv.Serve(ctx) }()
+	return e
+}
+
+// restartServer starts a fresh Serve goroutine after an injected crash.
+func (e *sysEnv) restartServer(t *testing.T, ctx context.Context) {
+	t.Helper()
+	go func() { e.done <- e.server.Serve(ctx) }()
+}
+
+func execCount(t *testing.T, repo *queue.Repository, rid string) int {
+	t.Helper()
+	v, ok, err := repo.KVGet(context.Background(), nil, "execs", rid, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		return 0
+	}
+	n, _ := strconv.Atoi(string(v))
+	return n
+}
+
+// --- end-to-end non-interactive requests (figs. 4–5) ---
+
+func TestEndToEndLocal(t *testing.T) {
+	e := newSysEnv(t, nil)
+	ctx := context.Background()
+	clerk := NewClerk(&LocalConn{Repo: e.repo}, ClerkConfig{ClientID: "c1", RequestQueue: "req"})
+	info, err := clerk.Connect(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.SRID != "" || info.Outstanding {
+		t.Fatalf("fresh connect info = %+v", info)
+	}
+	if err := clerk.Send(ctx, "rid-1", []byte("hello"), nil); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := clerk.Receive(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RID != "rid-1" || string(rep.Body) != "echo:hello" || rep.IsError() {
+		t.Fatalf("reply %+v", rep)
+	}
+	if n := execCount(t, e.repo, "rid-1"); n != 1 {
+		t.Fatalf("executions = %d", n)
+	}
+	if err := clerk.Disconnect(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEndToEndRemote(t *testing.T) {
+	e := newSysEnv(t, nil)
+	rsrv := rpc.NewServer()
+	qservice.New(e.repo, rsrv)
+	addr, err := rsrv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rsrv.Close)
+	qc := qservice.NewClient(rpc.NewClient(addr, nil))
+	t.Cleanup(qc.Close)
+
+	ctx := context.Background()
+	clerk := NewClerk(qc, ClerkConfig{ClientID: "remote-1", RequestQueue: "req"})
+	if _, err := clerk.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := clerk.Transceive(ctx, "rid-9", []byte("over-the-wire"), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rep.Body) != "echo:over-the-wire" {
+		t.Fatalf("reply %q", rep.Body)
+	}
+}
+
+func TestRequestReplyMatchingAcrossClients(t *testing.T) {
+	e := newSysEnv(t, nil)
+	ctx := context.Background()
+	const clients = 5
+	const perClient = 20
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			clientID := fmt.Sprintf("client-%d", c)
+			clerk := NewClerk(&LocalConn{Repo: e.repo}, ClerkConfig{ClientID: clientID, RequestQueue: "req"})
+			if _, err := clerk.Connect(ctx); err != nil {
+				t.Errorf("%s connect: %v", clientID, err)
+				return
+			}
+			for i := 0; i < perClient; i++ {
+				rid := fmt.Sprintf("%s-r%d", clientID, i)
+				body := fmt.Sprintf("%s payload %d", clientID, i)
+				rep, err := clerk.Transceive(ctx, rid, []byte(body), nil, nil)
+				if err != nil {
+					t.Errorf("%s transceive: %v", clientID, err)
+					return
+				}
+				if rep.RID != rid {
+					t.Errorf("%s: reply rid %q for request %q", clientID, rep.RID, rid)
+					return
+				}
+				if string(rep.Body) != "echo:"+body {
+					t.Errorf("%s: cross-wired reply %q", clientID, rep.Body)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+}
+
+func TestClientResyncOutstandingRequest(t *testing.T) {
+	e := newSysEnv(t, nil)
+	ctx := context.Background()
+	clerk := NewClerk(&LocalConn{Repo: e.repo}, ClerkConfig{ClientID: "c1", RequestQueue: "req"})
+	if _, err := clerk.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := clerk.Send(ctx, "rid-5", []byte("x"), nil); err != nil {
+		t.Fatal(err)
+	}
+	// Client crashes here (drop the clerk). A new incarnation reconnects.
+	clerk2 := NewClerk(&LocalConn{Repo: e.repo}, ClerkConfig{ClientID: "c1", RequestQueue: "req"})
+	info, err := clerk2.Connect(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Outstanding || info.SRID != "rid-5" {
+		t.Fatalf("resync info = %+v", info)
+	}
+	if clerk2.State() != StateReqSent {
+		t.Fatalf("state = %s", clerk2.State())
+	}
+	rep, err := clerk2.Receive(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RID != "rid-5" || string(rep.Body) != "echo:x" {
+		t.Fatalf("reply %+v", rep)
+	}
+	// Exactly once despite the client crash.
+	if n := execCount(t, e.repo, "rid-5"); n != 1 {
+		t.Fatalf("executions = %d", n)
+	}
+}
+
+func TestClientResyncAfterReplyReceived(t *testing.T) {
+	e := newSysEnv(t, nil)
+	ctx := context.Background()
+	clerk := NewClerk(&LocalConn{Repo: e.repo}, ClerkConfig{ClientID: "c1", RequestQueue: "req"})
+	if _, err := clerk.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := clerk.Send(ctx, "rid-7", []byte("y"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := clerk.Receive(ctx, []byte("my-ckpt")); err != nil {
+		t.Fatal(err)
+	}
+	// Crash after receive, maybe before processing. Reconnect.
+	clerk2 := NewClerk(&LocalConn{Repo: e.repo}, ClerkConfig{ClientID: "c1", RequestQueue: "req"})
+	info, err := clerk2.Connect(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Outstanding {
+		t.Fatalf("info = %+v, want settled", info)
+	}
+	if info.SRID != "rid-7" || info.RRID != "rid-7" {
+		t.Fatalf("rids = %q/%q", info.SRID, info.RRID)
+	}
+	if string(info.Ckpt) != "my-ckpt" {
+		t.Fatalf("ckpt = %q", info.Ckpt)
+	}
+	// The client decides it didn't process the reply: Rereceive.
+	rep, err := clerk2.Rereceive(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RID != "rid-7" || string(rep.Body) != "echo:y" {
+		t.Fatalf("rereceive %+v", rep)
+	}
+	// Still exactly one execution.
+	if n := execCount(t, e.repo, "rid-7"); n != 1 {
+		t.Fatalf("executions = %d", n)
+	}
+}
+
+func TestAppErrorStillExactlyOnce(t *testing.T) {
+	repo, _, err := queue.Open(t.TempDir(), queue.Options{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { repo.Close() })
+	if err := repo.CreateQueue(queue.QueueConfig{Name: "req"}); err != nil {
+		t.Fatal(err)
+	}
+	var attempts sync.Map
+	srv, err := NewServer(ServerConfig{Repo: repo, Queue: "req", Handler: func(rc *ReqCtx) ([]byte, error) {
+		n, _ := attempts.LoadOrStore(rc.Request.RID, new(int))
+		*(n.(*int))++
+		return nil, Failf("insufficient funds for %s", rc.Request.RID)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	go srv.Serve(ctx)
+
+	clerk := NewClerk(&LocalConn{Repo: repo}, ClerkConfig{ClientID: "c", RequestQueue: "req"})
+	if _, err := clerk.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := clerk.Transceive(ctx, "rid-1", []byte("debit"), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.IsError() {
+		t.Fatalf("reply %+v, want error status", rep)
+	}
+	if string(rep.Body) != "insufficient funds for rid-1" {
+		t.Fatalf("error body %q", rep.Body)
+	}
+	// The failed attempt committed: no retry happened.
+	n, _ := attempts.Load("rid-1")
+	if *(n.(*int)) != 1 {
+		t.Fatalf("attempts = %d, want 1 (failed attempts are still exactly-once)", *(n.(*int)))
+	}
+}
+
+func TestPoisonRequestDivertsToErrorQueue(t *testing.T) {
+	repo, _, err := queue.Open(t.TempDir(), queue.Options{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { repo.Close() })
+	if err := repo.CreateQueue(queue.QueueConfig{Name: "req", ErrorQueue: "req.err", RetryLimit: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := repo.CreateQueue(queue.QueueConfig{Name: "req.err"}); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(ServerConfig{Repo: repo, Queue: "req", Handler: func(rc *ReqCtx) ([]byte, error) {
+		if string(rc.Request.Body) == "poison" {
+			return nil, errors.New("server bug: crash on this input")
+		}
+		return []byte("ok"), nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	go srv.Serve(ctx)
+
+	clerk := NewClerk(&LocalConn{Repo: repo}, ClerkConfig{ClientID: "c", RequestQueue: "req"})
+	if _, err := clerk.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// The poison request cannot produce a reply; it must terminate in the
+	// error queue (no cyclic restart, Section 5) and the server must keep
+	// serving later requests.
+	if err := clerk.Send(ctx, "rid-poison", []byte("poison"), nil); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if d, _ := repo.Depth("req.err"); d == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("poison request never diverted")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// A healthy client still gets service.
+	clerk2 := NewClerk(&LocalConn{Repo: repo}, ClerkConfig{ClientID: "c2", RequestQueue: "req"})
+	if _, err := clerk2.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := clerk2.Transceive(ctx, "rid-good", []byte("fine"), nil, nil)
+	if err != nil || string(rep.Body) != "ok" {
+		t.Fatalf("healthy request after poison: %q %v", rep.Body, err)
+	}
+	if st := srv.Stats(); st.Aborts < 3 {
+		t.Fatalf("aborts = %d, want >= 3", st.Aborts)
+	}
+}
+
+func TestCancelBeforeExecution(t *testing.T) {
+	// No server running: the request sits in the queue and can be killed.
+	repo, _, err := queue.Open(t.TempDir(), queue.Options{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { repo.Close() })
+	if err := repo.CreateQueue(queue.QueueConfig{Name: "req"}); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	clerk := NewClerk(&LocalConn{Repo: repo}, ClerkConfig{ClientID: "c", RequestQueue: "req"})
+	if _, err := clerk.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := clerk.Send(ctx, "rid-1", []byte("cancel me"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := clerk.CancelLastRequest(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if clerk.State() != StateReplyRecvd {
+		t.Fatalf("state after cancel = %s", clerk.State())
+	}
+	if d, _ := repo.Depth("req"); d != 0 {
+		t.Fatalf("request still queued: depth %d", d)
+	}
+	// The client can immediately enter a new request.
+	if err := clerk.Send(ctx, "rid-2", []byte("next"), nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCancelAfterExecutionFails(t *testing.T) {
+	e := newSysEnv(t, nil)
+	ctx := context.Background()
+	clerk := NewClerk(&LocalConn{Repo: e.repo}, ClerkConfig{ClientID: "c", RequestQueue: "req"})
+	if _, err := clerk.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := clerk.Send(ctx, "rid-1", []byte("x"), nil); err != nil {
+		t.Fatal(err)
+	}
+	// Let the server consume it.
+	deadline := time.Now().Add(5 * time.Second)
+	for execCount(t, e.repo, "rid-1") == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("server never processed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	err := clerk.CancelLastRequest(ctx)
+	if !errors.Is(err, ErrNotCancelable) {
+		t.Fatalf("cancel after execution: %v", err)
+	}
+	// The real reply is still there for the client.
+	rep, err := clerk.Receive(ctx, nil)
+	if err != nil || rep.RID != "rid-1" {
+		t.Fatalf("reply after failed cancel: %+v %v", rep, err)
+	}
+}
+
+func TestSequentialClientHappyPath(t *testing.T) {
+	e := newSysEnv(t, nil)
+	ctx := context.Background()
+	var processed []int
+	sc := &SequentialClient{
+		QM:    &LocalConn{Repo: e.repo},
+		Cfg:   ClerkConfig{ClientID: "seq-1", RequestQueue: "req"},
+		Total: 10,
+		Body:  func(i int) []byte { return []byte(fmt.Sprintf("work-%d", i)) },
+		ProcessReply: func(i int, rep Reply) {
+			processed = append(processed, i)
+		},
+	}
+	if err := sc.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if len(processed) != 10 {
+		t.Fatalf("processed %v", processed)
+	}
+	for i, p := range processed {
+		if p != i {
+			t.Fatalf("order %v", processed)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if n := execCount(t, e.repo, ridFor(i)); n != 1 {
+			t.Fatalf("rid %d executed %d times", i, n)
+		}
+	}
+}
+
+// TestExactlyOnceUnderClientCrashes is the paper's central guarantee under
+// a storm of client crashes at every protocol step: each request executes
+// exactly once, each reply is processed at least once.
+func TestExactlyOnceUnderClientCrashes(t *testing.T) {
+	e := newSysEnv(t, nil)
+	ctx := context.Background()
+	const total = 30
+	crash := chaos.NewPoints(1234)
+	crash.FailWithProb("client.beforeSend", 0.15, 0)
+	crash.FailWithProb("client.afterSend", 0.15, 0)
+	crash.FailWithProb("client.afterReceive", 0.15, 0)
+	crash.FailWithProb("client.afterProcess", 0.15, 0)
+
+	processCount := make(map[int]int)
+	sc := &SequentialClient{
+		QM:    &LocalConn{Repo: e.repo},
+		Cfg:   ClerkConfig{ClientID: "chaos-client", RequestQueue: "req"},
+		Total: total,
+		Body:  func(i int) []byte { return []byte(fmt.Sprintf("w%d", i)) },
+		ProcessReply: func(i int, rep Reply) {
+			processCount[i]++
+		},
+		Crash: crash,
+	}
+	crashes, err := sc.RunToCompletion(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crashes == 0 {
+		t.Fatal("chaos schedule produced no crashes; test is vacuous")
+	}
+	t.Logf("survived %d client crashes", crashes)
+	for i := 0; i < total; i++ {
+		if n := execCount(t, e.repo, ridFor(i)); n != 1 {
+			t.Errorf("request %d executed %d times, want exactly 1", i, n)
+		}
+		if processCount[i] < 1 {
+			t.Errorf("reply %d processed %d times, want at least 1", i, processCount[i])
+		}
+	}
+}
+
+// TestExactlyOnceUnderServerCrashes injects server crashes at every point
+// of the fig. 5 loop.
+func TestExactlyOnceUnderServerCrashes(t *testing.T) {
+	crash := chaos.NewPoints(777)
+	crash.FailWithProb("server.afterDequeue", 0.1, 0)
+	crash.FailWithProb("server.beforeReply", 0.1, 0)
+	crash.FailWithProb("server.beforeCommit", 0.1, 0)
+	e := newSysEnv(t, crash)
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+
+	// Supervisor: restart the server whenever it crashes.
+	supDone := make(chan struct{})
+	go func() {
+		defer close(supDone)
+		for {
+			select {
+			case err := <-e.done:
+				if errors.Is(err, ErrCrashed) {
+					e.restartServer(t, ctx)
+					continue
+				}
+				return
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	const total = 30
+	processCount := make(map[int]int)
+	sc := &SequentialClient{
+		QM:    &LocalConn{Repo: e.repo},
+		Cfg:   ClerkConfig{ClientID: "c", RequestQueue: "req", ReceiveWait: 500 * time.Millisecond},
+		Total: total,
+		Body:  func(i int) []byte { return []byte(fmt.Sprintf("w%d", i)) },
+		ProcessReply: func(i int, rep Reply) {
+			processCount[i]++
+		},
+	}
+	runCtx, runCancel := context.WithTimeout(ctx, 60*time.Second)
+	defer runCancel()
+	if _, err := sc.RunToCompletion(runCtx); err != nil {
+		t.Fatal(err)
+	}
+	if crash.TotalFired() == 0 {
+		t.Fatal("no server crashes fired; test is vacuous")
+	}
+	t.Logf("server crashed %d times", crash.TotalFired())
+	for i := 0; i < total; i++ {
+		if n := execCount(t, e.repo, ridFor(i)); n != 1 {
+			t.Errorf("request %d executed %d times, want exactly 1", i, n)
+		}
+		if processCount[i] < 1 {
+			t.Errorf("reply %d processed %d times", i, processCount[i])
+		}
+	}
+}
+
+// TestExactlyOnceUnderNodeCrashes crashes the whole repository (queue
+// manager + server node) and recovers it from the log mid-workload.
+func TestExactlyOnceUnderNodeCrashes(t *testing.T) {
+	dir := t.TempDir()
+	repo, _, err := queue.Open(dir, queue.Options{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := repo.CreateQueue(queue.QueueConfig{Name: "req", ErrorQueue: "req.err", RetryLimit: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := repo.CreateQueue(queue.QueueConfig{Name: "req.err"}); err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(55))
+	const total = 25
+	processCount := make(map[int]int)
+	done := make(chan struct{})
+
+	var mu sync.Mutex // guards repo swap
+	currentRepo := func() *queue.Repository {
+		mu.Lock()
+		defer mu.Unlock()
+		return repo
+	}
+
+	// The QM/server node: serve until crashed externally.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	startNode := func(r *queue.Repository) {
+		srv, err := NewServer(ServerConfig{Repo: r, Queue: "req", Handler: echoHandler})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		go srv.Serve(ctx)
+	}
+	startNode(repo)
+
+	// Crash the node a few times while the client works.
+	go func() {
+		defer close(done)
+		for k := 0; k < 4; k++ {
+			time.Sleep(time.Duration(50+rng.Intn(150)) * time.Millisecond)
+			mu.Lock()
+			repo.Crash()
+			r2, _, err := queue.Open(dir, queue.Options{NoFsync: true})
+			if err != nil {
+				mu.Unlock()
+				t.Error(err)
+				return
+			}
+			repo = r2
+			mu.Unlock()
+			startNode(r2)
+		}
+	}()
+
+	// The client retries Run across node crashes: a crashed repository
+	// surfaces as ErrClosed errors, which the client treats like losing
+	// connectivity — reconnect and resynchronize.
+	sc := &SequentialClient{
+		Total: total,
+		Cfg:   ClerkConfig{ClientID: "c", RequestQueue: "req", ReceiveWait: 300 * time.Millisecond},
+		Body:  func(i int) []byte { return []byte(fmt.Sprintf("w%d", i)) },
+		ProcessReply: func(i int, rep Reply) {
+			processCount[i]++
+		},
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		sc.QM = &LocalConn{Repo: currentRepo()}
+		err := sc.Run(ctx)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("workload never completed: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	<-done
+	final := currentRepo()
+	defer final.Close()
+	for i := 0; i < total; i++ {
+		if n := execCount(t, final, ridFor(i)); n != 1 {
+			t.Errorf("request %d executed %d times, want exactly 1", i, n)
+		}
+		if processCount[i] < 1 {
+			t.Errorf("reply %d processed %d times", i, processCount[i])
+		}
+	}
+}
+
+func TestLoadSharingAcrossServerInstances(t *testing.T) {
+	repo, _, err := queue.Open(t.TempDir(), queue.Options{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { repo.Close() })
+	if err := repo.CreateQueue(queue.QueueConfig{Name: "req"}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	// Three server instances share one queue (Section 1's load sharing).
+	servers := make([]*Server, 3)
+	for i := range servers {
+		srv, err := NewServer(ServerConfig{Repo: repo, Queue: "req", Name: fmt.Sprintf("s%d", i),
+			Handler: func(rc *ReqCtx) ([]byte, error) {
+				time.Sleep(time.Millisecond)
+				return echoHandler(rc)
+			}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers[i] = srv
+		go srv.Serve(ctx)
+	}
+	// Batch-feed the queue so all instances have simultaneous work; the
+	// handler takes ~1ms so a single instance cannot race through alone.
+	const total = 30
+	for i := 0; i < total; i++ {
+		e := NewRequestElement(fmt.Sprintf("rid-%d", i), "batch", "", []byte("x"), nil)
+		if _, err := repo.Enqueue(nil, "req", e, "", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		sum := uint64(0)
+		for _, s := range servers {
+			sum += s.Stats().Processed
+		}
+		if sum == total {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d processed", sum, total)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	busy := 0
+	for _, s := range servers {
+		if s.Stats().Processed > 0 {
+			busy++
+		}
+	}
+	if busy < 2 {
+		t.Fatalf("work not shared: only %d instances busy", busy)
+	}
+}
+
+func TestOneWaySendMode(t *testing.T) {
+	e := newSysEnv(t, nil)
+	ctx := context.Background()
+	clerk := NewClerk(&LocalConn{Repo: e.repo}, ClerkConfig{
+		ClientID: "ow", RequestQueue: "req", OneWaySend: true,
+	})
+	if _, err := clerk.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := clerk.Send(ctx, "rid-1", []byte("fire and forget"), nil); err != nil {
+		t.Fatal(err)
+	}
+	// The request element id is unknown after a one-way Send, so
+	// cancellation is impossible — the documented trade.
+	if err := clerk.CancelLastRequest(ctx); !errors.Is(err, ErrNotCancelable) {
+		t.Fatalf("cancel after one-way send: %v", err)
+	}
+	rep, err := clerk.Receive(ctx, nil)
+	if err != nil || rep.RID != "rid-1" {
+		t.Fatalf("reply %+v %v", rep, err)
+	}
+	// The tag was still recorded: reconnect recovers the rid and eid.
+	clerk2 := NewClerk(&LocalConn{Repo: e.repo}, ClerkConfig{ClientID: "ow", RequestQueue: "req"})
+	info, err := clerk2.Connect(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.SRID != "rid-1" || info.Outstanding {
+		t.Fatalf("info after one-way session: %+v", info)
+	}
+}
+
+func TestReceiveIllegalWithoutSend(t *testing.T) {
+	e := newSysEnv(t, nil)
+	ctx := context.Background()
+	clerk := NewClerk(&LocalConn{Repo: e.repo}, ClerkConfig{ClientID: "c", RequestQueue: "req"})
+	if _, err := clerk.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := clerk.Receive(ctx, nil); !errors.Is(err, ErrNoOutstanding) {
+		t.Fatalf("Receive without Send: %v", err)
+	}
+	// Send while a request is outstanding is illegal too.
+	if err := clerk.Send(ctx, "rid-1", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := clerk.Send(ctx, "rid-2", nil, nil); err == nil {
+		t.Fatal("second Send with request outstanding allowed")
+	}
+}
+
+func TestRereceiveBeforeAnyReceiveFails(t *testing.T) {
+	e := newSysEnv(t, nil)
+	ctx := context.Background()
+	clerk := NewClerk(&LocalConn{Repo: e.repo}, ClerkConfig{ClientID: "fresh", RequestQueue: "req"})
+	if _, err := clerk.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := clerk.Rereceive(ctx); err == nil {
+		t.Fatal("Rereceive with no prior Receive succeeded")
+	}
+}
+
+func TestDisconnectWithOutstandingRequestIllegal(t *testing.T) {
+	e := newSysEnv(t, nil)
+	ctx := context.Background()
+	clerk := NewClerk(&LocalConn{Repo: e.repo}, ClerkConfig{ClientID: "c9", RequestQueue: "req"})
+	if _, err := clerk.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := clerk.Send(ctx, "rid-1", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := clerk.Disconnect(ctx); err == nil {
+		t.Fatal("Disconnect in Req-Sent allowed")
+	}
+	// Receive the reply; now disconnect is legal.
+	if _, err := clerk.Receive(ctx, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := clerk.Disconnect(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeadlockVictimRetriesViaQueue: two server instances take KV locks in
+// opposite orders and deadlock; the lock manager kills one victim, whose
+// transaction aborts — and the queue machinery retries the request until
+// it succeeds. The deadlock is thus invisible to clients: both requests
+// complete exactly once.
+func TestDeadlockVictimRetriesViaQueue(t *testing.T) {
+	repo, _, err := queue.Open(t.TempDir(), queue.Options{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { repo.Close() })
+	if err := repo.CreateQueue(queue.QueueConfig{Name: "req", ErrorQueue: "req.err", RetryLimit: 50}); err != nil {
+		t.Fatal(err)
+	}
+	if err := repo.CreateQueue(queue.QueueConfig{Name: "req.err"}); err != nil {
+		t.Fatal(err)
+	}
+	// A rendezvous that makes the first attempts collide: each request
+	// locks its own account, waits for the other to have done the same,
+	// then locks the other's account. Later (retry) attempts find the
+	// barrier closed and just proceed, so they cannot deadlock again.
+	var barrier sync.WaitGroup
+	barrier.Add(2)
+	var once1, once2 sync.Once
+	firstMeeting := make(chan struct{})
+	go func() { barrier.Wait(); close(firstMeeting) }()
+
+	handler := func(rc *ReqCtx) ([]byte, error) {
+		mine := string(rc.Request.Body)
+		other := "acctB"
+		onc := &once1
+		if mine == "acctB" {
+			other = "acctA"
+			onc = &once2
+		}
+		if err := rc.Repo.KVSet(rc.Ctx, rc.Txn, "acct", mine, []byte("locked")); err != nil {
+			return nil, err
+		}
+		onc.Do(barrier.Done)
+		select {
+		case <-firstMeeting:
+		case <-time.After(2 * time.Second):
+		}
+		if err := rc.Repo.KVSet(rc.Ctx, rc.Txn, "acct", other, []byte("locked")); err != nil {
+			return nil, err // deadlock victim: abort and retry via the queue
+		}
+		return []byte("both locked by " + mine), nil
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	for i := 0; i < 2; i++ {
+		srv, err := NewServer(ServerConfig{Repo: repo, Queue: "req", Name: fmt.Sprintf("s%d", i), Handler: handler})
+		if err != nil {
+			t.Fatal(err)
+		}
+		go srv.Serve(ctx)
+	}
+	// Two concurrent clients, one request each.
+	var wg sync.WaitGroup
+	for _, acct := range []string{"acctA", "acctB"} {
+		wg.Add(1)
+		go func(acct string) {
+			defer wg.Done()
+			clerk := NewClerk(&LocalConn{Repo: repo}, ClerkConfig{ClientID: "dl-" + acct, RequestQueue: "req"})
+			if _, err := clerk.Connect(ctx); err != nil {
+				t.Errorf("%s: %v", acct, err)
+				return
+			}
+			rep, err := clerk.Transceive(ctx, "rid-"+acct, []byte(acct), nil, nil)
+			if err != nil {
+				t.Errorf("%s: %v", acct, err)
+				return
+			}
+			if rep.IsError() {
+				t.Errorf("%s: error reply %s", acct, rep.Body)
+			}
+		}(acct)
+	}
+	wg.Wait()
+	// No request fell into the error queue: the deadlock resolved by
+	// victim-retry, not by poisoning.
+	if d, _ := repo.Depth("req.err"); d != 0 {
+		t.Fatalf("%d requests poisoned by deadlock", d)
+	}
+	if st := repo.Locks().Stats(); st.Deadlocks == 0 {
+		t.Fatal("no deadlock occurred; test is vacuous")
+	}
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/queue"
+	"repro/internal/txn"
+)
+
+// Fork/join for multi-transaction requests (Section 6): "The main issue is
+// forking a request into multiple requests and rejoining the requests when
+// the concurrent branches complete. This can be handled by extending the
+// QM with a trigger mechanism. A trigger is set to send a request when all
+// of the replies to earlier concurrent requests have been received."
+//
+// Fork enqueues one sub-request per branch, each replying into a dedicated
+// join staging queue, and installs a QM trigger that fires a continuation
+// request when all replies have arrived. The staging queue, the branch
+// requests, and the trigger are all durable, so a crash anywhere between
+// fork and join recovers: branch replies re-accumulate, and the trigger
+// fires at recovery (RecheckTriggers) if its condition was already met.
+
+// BranchReq is one branch of a fork.
+type BranchReq struct {
+	// Queue is the branch server's input queue.
+	Queue string
+	// Body is the branch's request body.
+	Body []byte
+	// Headers are extra application headers.
+	Headers map[string]string
+}
+
+// joinQueueName returns the staging queue for a fork's replies.
+func joinQueueName(rid string) string { return "join." + rid }
+
+// Fork fans the request rid out to the branches and arranges for
+// continuation (a request element) to be enqueued into contQueue once
+// every branch reply has arrived in the join staging queue. Branch rids
+// are "<rid>&<i>". The branch enqueues run in one transaction; the trigger
+// is installed after it commits. If a failure strikes between the two,
+// re-running Fork's trigger step is safe: CreateTrigger with the same id
+// simply reinstates it and fires immediately when the condition already
+// holds.
+func Fork(repo *queue.Repository, rid, clientID string, branches []BranchReq, contQueue string, continuation queue.Element) error {
+	if len(branches) == 0 {
+		return errors.New("core: fork needs branches")
+	}
+	staging := joinQueueName(rid)
+	if err := repo.CreateQueue(queue.QueueConfig{Name: staging}); err != nil && !errors.Is(err, queue.ErrExists) {
+		return err
+	}
+	t := repo.Begin()
+	for i, b := range branches {
+		sub := requestElement(fmt.Sprintf("%s&%d", rid, i), clientID, staging, b.Body, b.Headers, nil, 0)
+		if _, err := repo.Enqueue(t, b.Queue, sub, "", nil); err != nil {
+			t.Abort()
+			return fmt.Errorf("core: fork branch %d: %w", i, err)
+		}
+	}
+	if err := t.Commit(); err != nil {
+		return fmt.Errorf("core: fork commit: %w", err)
+	}
+	continuation.Queue = contQueue
+	if err := repo.CreateTrigger("join."+rid, staging, int32(len(branches)), continuation); err != nil {
+		return fmt.Errorf("core: fork trigger: %w", err)
+	}
+	return nil
+}
+
+// CollectJoin drains the k branch replies from the fork's staging queue
+// inside t, returning them ordered by branch index. The continuation
+// server calls it when the trigger's request arrives.
+func CollectJoin(ctx context.Context, t *txn.Txn, repo *queue.Repository, rid string, k int) ([]Reply, error) {
+	staging := joinQueueName(rid)
+	replies := make([]Reply, 0, k)
+	for i := 0; i < k; i++ {
+		el, err := repo.Dequeue(ctx, t, staging, "", queue.DequeueOpts{Wait: true})
+		if err != nil {
+			return nil, fmt.Errorf("core: join collect: %w", err)
+		}
+		rep, err := parseReply(&el)
+		if err != nil {
+			return nil, err
+		}
+		replies = append(replies, rep)
+	}
+	sort.Slice(replies, func(a, b int) bool { return replies[a].RID < replies[b].RID })
+	return replies, nil
+}
+
+// DestroyJoin removes a fork's staging queue after the continuation
+// committed (it is empty by then).
+func DestroyJoin(repo *queue.Repository, rid string) error {
+	err := repo.DestroyQueue(joinQueueName(rid))
+	if errors.Is(err, queue.ErrNoQueue) {
+		return nil
+	}
+	return err
+}

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/queue"
+)
+
+// TestForkJoin runs the Section 6 fork/join: one request fans out to three
+// worker branches; a trigger fires the continuation when all replies have
+// landed; the continuation collects and answers the client.
+func TestForkJoin(t *testing.T) {
+	repo, _, err := queue.Open(t.TempDir(), queue.Options{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { repo.Close() })
+	for _, q := range []string{"front", "workers", "joiner"} {
+		if err := repo.CreateQueue(queue.QueueConfig{Name: q}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+
+	// Branch workers: square the input.
+	worker, err := NewServer(ServerConfig{Repo: repo, Queue: "workers", Handler: func(rc *ReqCtx) ([]byte, error) {
+		n, _ := strconv.Atoi(string(rc.Request.Body))
+		return []byte(strconv.Itoa(n * n)), nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go worker.Serve(ctx)
+	go worker.Serve(ctx)
+
+	// Joiner: collect the three branch replies and answer the client.
+	joiner, err := NewServer(ServerConfig{Repo: repo, Queue: "joiner", Handler: func(rc *ReqCtx) ([]byte, error) {
+		orig := rc.Request.Headers["orig"]
+		k, _ := strconv.Atoi(string(rc.Request.Body))
+		replies, err := CollectJoin(rc.Ctx, rc.Txn, repo, orig, k)
+		if err != nil {
+			return nil, err
+		}
+		sum := 0
+		var parts []string
+		for _, rep := range replies {
+			n, _ := strconv.Atoi(string(rep.Body))
+			sum += n
+			parts = append(parts, string(rep.Body))
+		}
+		return []byte(fmt.Sprintf("%s=%d", strings.Join(parts, "+"), sum)), nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go joiner.Serve(ctx)
+
+	// Drive the fork directly (the client's request is the fork itself).
+	if err := Fork(repo, "rid-1", "c1", []BranchReq{
+		{Queue: "workers", Body: []byte("2")},
+		{Queue: "workers", Body: []byte("3")},
+		{Queue: "workers", Body: []byte("4")},
+	}, "joiner", NewRequestElement("rid-1/join", "c1", "reply.c1", []byte("3"), map[string]string{"orig": "rid-1"})); err != nil {
+		t.Fatal(err)
+	}
+	if err := repo.CreateQueue(queue.QueueConfig{Name: "reply.c1"}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := repo.Dequeue(ctx, nil, "reply.c1", "", queue.DequeueOpts{Wait: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rep.Body) != "4+9+16=29" {
+		t.Fatalf("join result %q", rep.Body)
+	}
+	if err := DestroyJoin(repo, "rid-1"); err != nil {
+		t.Fatalf("destroy join: %v", err)
+	}
+}
+
+// TestForkJoinSurvivesCrashBetweenReplies crashes the node after two of
+// three branch replies arrived; the trigger (durable) fires after recovery
+// once the third reply lands.
+func TestForkJoinSurvivesCrashBetweenReplies(t *testing.T) {
+	dir := t.TempDir()
+	repo, _, err := queue.Open(dir, queue.Options{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{"workers", "joiner", "reply.c1"} {
+		if err := repo.CreateQueue(queue.QueueConfig{Name: q}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := Fork(repo, "rid-9", "c1", []BranchReq{
+		{Queue: "workers", Body: []byte("a")},
+		{Queue: "workers", Body: []byte("b")},
+		{Queue: "workers", Body: []byte("c")},
+	}, "joiner", NewRequestElement("rid-9/join", "c1", "reply.c1", []byte("3"), map[string]string{"orig": "rid-9"})); err != nil {
+		t.Fatal(err)
+	}
+
+	// Process two branches by hand, then crash.
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		tx := repo.Begin()
+		el, err := repo.Dequeue(ctx, tx, "workers", "", queue.DequeueOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		req, _ := parseRequest(&el)
+		if _, err := repo.Enqueue(tx, req.ReplyTo, replyElement(req.RID, StatusOK, []byte("done"), false, nil, 0), "", nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	repo.Crash()
+
+	repo2, inDoubt, err := queue.Open(dir, queue.Options{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { repo2.Close() })
+	if len(inDoubt) != 0 {
+		t.Fatalf("in-doubt: %d", len(inDoubt))
+	}
+	repo2.RecheckTriggers()
+	if got := repo2.Triggers(); len(got) != 1 {
+		t.Fatalf("trigger lost: %v", got)
+	}
+	// Third branch completes after recovery.
+	tx := repo2.Begin()
+	el, err := repo2.Dequeue(ctx, tx, "workers", "", queue.DequeueOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, _ := parseRequest(&el)
+	if _, err := repo2.Enqueue(tx, req.ReplyTo, replyElement(req.RID, StatusOK, []byte("done"), false, nil, 0), "", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// The trigger fires: the continuation appears in the joiner queue.
+	cont, err := repo2.Dequeue(ctx, nil, "joiner", "", queue.DequeueOpts{Wait: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cont.Headers["orig"] != "rid-9" {
+		t.Fatalf("continuation %+v", cont)
+	}
+	// All three replies are waiting in the staging queue.
+	if d, _ := repo2.Depth("join.rid-9"); d != 3 {
+		t.Fatalf("staging depth %d", d)
+	}
+}
+
+func TestThreadedClerk(t *testing.T) {
+	repo, _, err := queue.Open(t.TempDir(), queue.Options{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { repo.Close() })
+	if err := repo.CreateQueue(queue.QueueConfig{Name: "req"}); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(ServerConfig{Repo: repo, Queue: "req", Handler: func(rc *ReqCtx) ([]byte, error) {
+		return append([]byte("for "), rc.Request.Body...), nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	go srv.Serve(ctx)
+	go srv.Serve(ctx)
+
+	tc := NewThreadedClerk(&LocalConn{Repo: repo}, ClerkConfig{ClientID: "mt", RequestQueue: "req"}, 4)
+	infos, err := tc.ConnectAll(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 4 {
+		t.Fatalf("infos = %d", len(infos))
+	}
+	// All four threads issue requests concurrently; each gets its own
+	// replies (no cross-thread leakage).
+	var wg sync.WaitGroup
+	for i := 0; i < tc.Threads(); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			th := tc.Thread(i)
+			for j := 0; j < 10; j++ {
+				body := fmt.Sprintf("t%d-%d", i, j)
+				rep, err := th.Transceive(ctx, fmt.Sprintf("rid-%d-%d", i, j), []byte(body), nil, nil)
+				if err != nil {
+					t.Errorf("thread %d: %v", i, err)
+					return
+				}
+				if string(rep.Body) != "for "+body {
+					t.Errorf("thread %d got %q", i, rep.Body)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// Crash one thread mid-request; its recovery is independent.
+	th2 := tc.Thread(2)
+	if err := th2.Send(ctx, "rid-crash", []byte("pending"), nil); err != nil {
+		t.Fatal(err)
+	}
+	tc2 := NewThreadedClerk(&LocalConn{Repo: repo}, ClerkConfig{ClientID: "mt", RequestQueue: "req"}, 4)
+	infos2, err := tc2.ConnectAll(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The array of per-thread resynchronisation records: only thread 2 has
+	// an outstanding request.
+	for i, info := range infos2 {
+		if i == 2 {
+			if !info.Outstanding || info.SRID != "rid-crash" {
+				t.Fatalf("thread 2 info %+v", info)
+			}
+		} else if info.Outstanding {
+			t.Fatalf("thread %d spuriously outstanding: %+v", i, info)
+		}
+	}
+	rep, err := tc2.Thread(2).Receive(ctx, nil)
+	if err != nil || string(rep.Body) != "for pending" {
+		t.Fatalf("recovered thread reply %q %v", rep.Body, err)
+	}
+	if err := tc2.DisconnectAll(ctx); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/queue"
+)
+
+// FuzzParseRequestReply feeds arbitrary header/body combinations to the
+// protocol parsers: they must classify or reject, never panic, and
+// well-formed envelopes must round-trip.
+func FuzzParseRequestReply(f *testing.F) {
+	f.Add("rid-1", "client", "reply.q", []byte("body"), 0)
+	f.Add("", "", "", []byte{}, -1)
+	f.Add("rid#2", "c", "", []byte("x"), 3)
+	f.Fuzz(func(t *testing.T, rid, client, replyTo string, body []byte, step int) {
+		e := requestElement(rid, client, replyTo, body, nil, nil, step)
+		req, err := parseRequest(&e)
+		if err != nil {
+			// Only a malformed step header may fail, and we built it from
+			// an int, so parsing must succeed.
+			t.Fatalf("own request rejected: %v", err)
+		}
+		if req.RID != rid || req.ClientID != client || req.ReplyTo != replyTo {
+			t.Fatalf("request roundtrip: %+v", req)
+		}
+		wantStep := step
+		if step == 0 {
+			wantStep = 0
+		}
+		if step != 0 && req.Step != wantStep {
+			t.Fatalf("step %d != %d", req.Step, step)
+		}
+		// A request must never parse as a reply.
+		if _, err := parseReply(&e); err == nil {
+			t.Fatal("request parsed as reply")
+		}
+
+		rep := replyElement(rid, StatusOK, body, false, nil, 0)
+		pr, err := parseReply(&rep)
+		if err != nil || pr.RID != rid || pr.Intermediate {
+			t.Fatalf("reply roundtrip: %+v %v", pr, err)
+		}
+		if _, err := parseRequest(&rep); err == nil {
+			t.Fatal("reply parsed as request")
+		}
+	})
+}
+
+// FuzzParseForeignElement: arbitrary elements (e.g. batch-fed garbage) must
+// be rejected cleanly by both parsers.
+func FuzzParseForeignElement(f *testing.F) {
+	f.Add("kindless", "x", []byte("b"))
+	f.Add("req", "not-a-number", []byte{})
+	f.Fuzz(func(t *testing.T, kind, step string, body []byte) {
+		e := queue.Element{
+			Body:    body,
+			Headers: map[string]string{hdrKind: kind, hdrStep: step},
+		}
+		_, _ = parseRequest(&e)
+		_, _ = parseReply(&e)
+	})
+}

@@ -1,0 +1,307 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/queue"
+)
+
+// --- client side: interactive sessions (Section 8.1, fig. 7) ---
+
+// InteractiveSession drives an interactive request through the fig. 7
+// state machine on top of a clerk: Send, then alternate Receive
+// (intermediate output) / SendInput (intermediate input) until the final
+// reply.
+type InteractiveSession struct {
+	clerk   *Clerk
+	baseRID string
+	round   int
+	state   []byte // conversation scratch from the last intermediate output
+}
+
+// Interactive starts an interactive session for baseRID. Each intermediate
+// input is a fresh request (rid "<base>#<round>") — the
+// pseudo-conversational mapping of Section 8.2.
+func (c *Clerk) Interactive(baseRID string) *InteractiveSession {
+	return &InteractiveSession{clerk: c, baseRID: baseRID}
+}
+
+// Resume rebuilds a session mid-conversation after a client failure, from
+// the rid recovered at Connect ("<base>#<round>").
+func (c *Clerk) ResumeInteractive(recoveredRID string) *InteractiveSession {
+	base := recoveredRID
+	round := 0
+	if i := strings.IndexByte(recoveredRID, '#'); i >= 0 {
+		base = recoveredRID[:i]
+		fmt.Sscanf(recoveredRID[i+1:], "%d", &round)
+	}
+	return &InteractiveSession{clerk: c, baseRID: base, round: round}
+}
+
+// Start submits the interactive request.
+func (s *InteractiveSession) Start(ctx context.Context, body []byte) error {
+	return s.clerk.Send(ctx, s.baseRID, body, nil)
+}
+
+// Receive waits for the next message of the conversation. done is true
+// when rep is the final reply; otherwise rep is intermediate output and
+// the caller must SendInput next.
+func (s *InteractiveSession) Receive(ctx context.Context, ckpt []byte) (rep Reply, done bool, err error) {
+	rep, err = s.clerk.Receive(ctx, ckpt)
+	if err != nil {
+		return Reply{}, false, err
+	}
+	if rep.Intermediate {
+		s.state = rep.ScratchPad
+		s.round = rep.Step
+		return rep, false, nil
+	}
+	return rep, true, nil
+}
+
+// SendInput supplies intermediate input: a request for the next
+// transaction of the pseudo-conversation, carrying the conversation state
+// back to the (stateless) server in its scratch pad.
+func (s *InteractiveSession) SendInput(ctx context.Context, input []byte) error {
+	s.round++
+	rid := fmt.Sprintf("%s#%d", s.baseRID, s.round)
+	return s.clerk.SendIntermediate(ctx, rid, input, s.state, s.round)
+}
+
+// --- server side: pseudo-conversational transactions (Section 8.2) ---
+
+// ConvHandler runs one round of a conversation. state is nil on the first
+// round and otherwise the newState of the previous round (carried via the
+// queue elements' scratch pads — IMS's scratch pad, Section 9). Returning
+// done=false emits output as intermediate output and awaits input;
+// done=true emits output as the final reply.
+type ConvHandler func(rc *ReqCtx, state, input []byte, round int) (newState, output []byte, done bool, err error)
+
+// ConvServerConfig configures a pseudo-conversational server.
+type ConvServerConfig struct {
+	Repo    *queue.Repository
+	Queue   string
+	Name    string
+	Handler ConvHandler
+}
+
+// ServeConversational runs the pseudo-conversational loop: each round of
+// the conversation is one transaction of a serial multi-transaction
+// request, so every intermediate input is reliably captured the moment the
+// round commits (Section 8.2).
+func ServeConversational(ctx context.Context, cfg ConvServerConfig) error {
+	if cfg.Name == "" {
+		cfg.Name = "conv." + cfg.Queue
+	}
+	repo := cfg.Repo
+	if _, _, err := repo.Register(cfg.Queue, cfg.Name, false); err != nil {
+		return err
+	}
+	for {
+		if ctx.Err() != nil {
+			return nil
+		}
+		err := convOne(ctx, cfg)
+		switch {
+		case err == nil:
+		case errors.Is(err, queue.ErrClosed):
+			return nil
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			return nil
+		default:
+		}
+	}
+}
+
+func convOne(ctx context.Context, cfg ConvServerConfig) error {
+	repo := cfg.Repo
+	t := repo.Begin()
+	el, err := repo.Dequeue(ctx, t, cfg.Queue, cfg.Name, queue.DequeueOpts{Wait: true})
+	if err != nil {
+		t.Abort()
+		return err
+	}
+	req, err := parseRequest(&el)
+	if err != nil {
+		t.Abort()
+		return err
+	}
+	state := req.ScratchPad
+	if req.Step == 0 {
+		state = nil // first round: body is the original request
+	}
+	newState, output, done, herr := cfg.Handler(&ReqCtx{Ctx: ctx, Txn: t, Repo: repo, Request: req}, state, req.Body, req.Step)
+	var appErr *AppError
+	status := StatusOK
+	switch {
+	case herr == nil:
+	case errors.As(herr, &appErr):
+		status = StatusError
+		output = []byte(appErr.Msg)
+		done = true
+	default:
+		t.Abort()
+		return fmt.Errorf("core: conversation handler: %w", herr)
+	}
+	if req.ReplyTo != "" {
+		var rep queue.Element
+		if done {
+			rep = replyElement(req.RID, status, output, false, nil, 0)
+		} else {
+			rep = replyElement(req.RID, status, output, true, newState, req.Step)
+		}
+		if _, err := repo.Enqueue(t, req.ReplyTo, rep, "", nil); err != nil {
+			t.Abort()
+			return err
+		}
+	}
+	return t.Commit()
+}
+
+// --- the Section 8.3 alternative: one transaction, logged I/O replay ---
+
+// ConvChannel is the out-of-band message path of the single-transaction
+// conversational implementation: a pair of volatile queues ("ordinary
+// messages") between the executing transaction and the client. Nothing on
+// it is transaction-protected — which is exactly why intermediate I/O can
+// be lost on abort and why the client must log it (Section 8.3).
+type ConvChannel struct {
+	Repo *queue.Repository
+	Out  string // server → client intermediate output
+	In   string // client → server intermediate input
+}
+
+// NewConvChannel creates the volatile queue pair for one client.
+func NewConvChannel(repo *queue.Repository, clientID string) (*ConvChannel, error) {
+	ch := &ConvChannel{
+		Repo: repo,
+		Out:  "conv.out." + clientID,
+		In:   "conv.in." + clientID,
+	}
+	for _, q := range []string{ch.Out, ch.In} {
+		if err := repo.CreateQueue(queue.QueueConfig{Name: q, Volatile: true}); err != nil && !errors.Is(err, queue.ErrExists) {
+			return nil, err
+		}
+	}
+	return ch, nil
+}
+
+// Ask sends intermediate output and blocks for the matching input; called
+// by the server handler mid-transaction. The messages are labelled with
+// the request's eid and round so the client's log can replay (Section
+// 8.3).
+func (ch *ConvChannel) Ask(ctx context.Context, eid queue.EID, round int, output []byte) ([]byte, error) {
+	out := queue.Element{
+		Body: output,
+		Headers: map[string]string{
+			"eid":   fmt.Sprintf("%d", eid),
+			hdrStep: fmt.Sprintf("%d", round),
+		},
+	}
+	if _, err := ch.Repo.Enqueue(nil, ch.Out, out, "", nil); err != nil {
+		return nil, err
+	}
+	in, err := ch.Repo.Dequeue(ctx, nil, ch.In, "", queue.DequeueOpts{
+		Wait: true,
+		HeaderMatch: map[string]string{
+			"eid":   fmt.Sprintf("%d", eid),
+			hdrStep: fmt.Sprintf("%d", round),
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return in.Body, nil
+}
+
+// IOLog is the client-side intermediate-I/O log of Section 8.3: every
+// output/input pair is recorded, labelled with the request's eid; on a
+// replay (the interactive transaction aborted and restarted), logged
+// inputs are re-used as long as the replayed outputs match, and the log's
+// remaining suffix is discarded on the first divergence.
+type IOLog struct {
+	entries map[queue.EID][]ioEntry
+}
+
+type ioEntry struct {
+	output []byte
+	input  []byte
+}
+
+// NewIOLog returns an empty log.
+func NewIOLog() *IOLog { return &IOLog{entries: make(map[queue.EID][]ioEntry)} }
+
+// Answer resolves the input for (eid, round, output): a matching logged
+// entry replays its input (replayed=true); a diverging entry truncates the
+// log and falls through; otherwise ask is invoked for fresh input, which
+// is logged.
+func (l *IOLog) Answer(eid queue.EID, round int, output []byte, ask func() []byte) (input []byte, replayed bool) {
+	log := l.entries[eid]
+	if round < len(log) {
+		if bytes.Equal(log[round].output, output) {
+			return log[round].input, true
+		}
+		// Divergence: "discard the remaining logged intermediate input".
+		l.entries[eid] = log[:round]
+	}
+	in := ask()
+	l.entries[eid] = append(l.entries[eid], ioEntry{
+		output: append([]byte(nil), output...),
+		input:  append([]byte(nil), in...),
+	})
+	return in, false
+}
+
+// Forget drops a request's log once its final reply is processed.
+func (l *IOLog) Forget(eid queue.EID) { delete(l.entries, eid) }
+
+// Len returns the number of logged rounds for a request.
+func (l *IOLog) Len(eid queue.EID) int { return len(l.entries[eid]) }
+
+// ConvClientLoop services the client end of a single-transaction
+// conversation: it answers every Ask for the given request eid using the
+// I/O log, until ctx ends. A nil ilog disables logging — every input, even
+// on a replayed attempt, is re-solicited from the user (the unlogged
+// baseline of Section 8.3). replays counts inputs served from the log
+// (i.e., not re-solicited) — the measure of what logging saves across
+// server aborts.
+func (ch *ConvChannel) ConvClientLoop(ctx context.Context, eid queue.EID, ilog *IOLog, ask func(round int, output []byte) []byte, replays *int) error {
+	for {
+		out, err := ch.Repo.Dequeue(ctx, nil, ch.Out, "", queue.DequeueOpts{
+			Wait:        true,
+			HeaderMatch: map[string]string{"eid": fmt.Sprintf("%d", eid)},
+		})
+		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return nil
+			}
+			return err
+		}
+		round := 0
+		fmt.Sscanf(out.Headers[hdrStep], "%d", &round)
+		var input []byte
+		if ilog == nil {
+			input = ask(round, out.Body)
+		} else {
+			var replayed bool
+			input, replayed = ilog.Answer(eid, round, out.Body, func() []byte { return ask(round, out.Body) })
+			if replayed && replays != nil {
+				*replays++
+			}
+		}
+		in := queue.Element{
+			Body: input,
+			Headers: map[string]string{
+				"eid":   fmt.Sprintf("%d", eid),
+				hdrStep: fmt.Sprintf("%d", round),
+			},
+		}
+		if _, err := ch.Repo.Enqueue(nil, ch.In, in, "", nil); err != nil {
+			return err
+		}
+	}
+}

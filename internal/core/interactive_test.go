@@ -1,0 +1,330 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/queue"
+)
+
+// seatHandler is a two-round seat-selection conversation: the server
+// offers seats, the client picks one, the server confirms a hold count,
+// the client confirms, the server books. State crosses rounds via the
+// scratch pad only (the server is stateless across transactions).
+func seatHandler(rc *ReqCtx, state, input []byte, round int) (newState, output []byte, done bool, err error) {
+	switch round {
+	case 0:
+		// input is the original request: the desired section.
+		return []byte("offered:" + string(input)), []byte("seats available: 12A 12B 12C"), false, nil
+	case 1:
+		// input is the chosen seat.
+		if !strings.HasPrefix(string(state), "offered:") {
+			return nil, nil, false, fmt.Errorf("lost conversation state %q", state)
+		}
+		return append(state, ';'+byte(0)), []byte("hold placed on " + string(input) + "; confirm?"), false, nil
+	case 2:
+		if string(input) != "yes" {
+			return nil, []byte("booking abandoned"), true, nil
+		}
+		base, _, _ := strings.Cut(rc.Request.RID, "#")
+		if err := rc.Repo.KVSet(rc.Ctx, rc.Txn, "bookings", base, state); err != nil {
+			return nil, nil, false, err
+		}
+		return nil, []byte("booked"), true, nil
+	default:
+		return nil, nil, false, fmt.Errorf("unexpected round %d", round)
+	}
+}
+
+func newConvEnv(t *testing.T) *queue.Repository {
+	t.Helper()
+	repo, _, err := queue.Open(t.TempDir(), queue.Options{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { repo.Close() })
+	if err := repo.CreateQueue(queue.QueueConfig{Name: "req"}); err != nil {
+		t.Fatal(err)
+	}
+	return repo
+}
+
+func TestPseudoConversationalFlow(t *testing.T) {
+	repo := newConvEnv(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	go ServeConversational(ctx, ConvServerConfig{Repo: repo, Queue: "req", Handler: seatHandler})
+
+	clerk := NewClerk(&LocalConn{Repo: repo}, ClerkConfig{ClientID: "c", RequestQueue: "req"})
+	if _, err := clerk.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	sess := clerk.Interactive("rid-000001")
+	if err := sess.Start(ctx, []byte("economy")); err != nil {
+		t.Fatal(err)
+	}
+	out, done, err := sess.Receive(ctx, nil)
+	if err != nil || done {
+		t.Fatalf("round 0: %+v done=%v err=%v", out, done, err)
+	}
+	if string(out.Body) != "seats available: 12A 12B 12C" {
+		t.Fatalf("offer = %q", out.Body)
+	}
+	if clerk.State() != StateIntermediateIO {
+		t.Fatalf("state = %s", clerk.State())
+	}
+	if err := sess.SendInput(ctx, []byte("12B")); err != nil {
+		t.Fatal(err)
+	}
+	out, done, err = sess.Receive(ctx, nil)
+	if err != nil || done {
+		t.Fatalf("round 1: done=%v err=%v", done, err)
+	}
+	if !strings.Contains(string(out.Body), "hold placed on 12B") {
+		t.Fatalf("hold = %q", out.Body)
+	}
+	if err := sess.SendInput(ctx, []byte("yes")); err != nil {
+		t.Fatal(err)
+	}
+	out, done, err = sess.Receive(ctx, nil)
+	if err != nil || !done {
+		t.Fatalf("final: done=%v err=%v", done, err)
+	}
+	if string(out.Body) != "booked" {
+		t.Fatalf("final = %q", out.Body)
+	}
+	if clerk.State() != StateReplyRecvd {
+		t.Fatalf("state = %s", clerk.State())
+	}
+	if v, ok, _ := repo.KVGet(ctx, nil, "bookings", "rid-000001", false); !ok || len(v) == 0 {
+		t.Fatal("booking record missing")
+	}
+}
+
+func TestPseudoConversationalClientCrashMidConversation(t *testing.T) {
+	repo := newConvEnv(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	go ServeConversational(ctx, ConvServerConfig{Repo: repo, Queue: "req", Handler: seatHandler})
+
+	clerk := NewClerk(&LocalConn{Repo: repo}, ClerkConfig{ClientID: "c", RequestQueue: "req"})
+	if _, err := clerk.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	sess := clerk.Interactive("rid-000002")
+	if err := sess.Start(ctx, []byte("economy")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sess.Receive(ctx, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.SendInput(ctx, []byte("12C")); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: the client loses everything. Reconnect; the registration
+	// says the outstanding request is "rid-000002#1".
+	clerk2 := NewClerk(&LocalConn{Repo: repo}, ClerkConfig{ClientID: "c", RequestQueue: "req"})
+	info, err := clerk2.Connect(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Outstanding || info.SRID != "rid-000002#1" {
+		t.Fatalf("resync info %+v", info)
+	}
+	sess2 := clerk2.ResumeInteractive(info.SRID)
+	out, done, err := sess2.Receive(ctx, nil)
+	if err != nil || done {
+		t.Fatalf("resume receive: done=%v err=%v", done, err)
+	}
+	if !strings.Contains(string(out.Body), "hold placed on 12C") {
+		t.Fatalf("resumed output %q", out.Body)
+	}
+	if err := sess2.SendInput(ctx, []byte("yes")); err != nil {
+		t.Fatal(err)
+	}
+	out, done, err = sess2.Receive(ctx, nil)
+	if err != nil || !done || string(out.Body) != "booked" {
+		t.Fatalf("final after crash: %q done=%v err=%v", out.Body, done, err)
+	}
+}
+
+func TestPseudoConversationalInputCapturedAtCommit(t *testing.T) {
+	// The paper's Section 8.2 point: once the client receives intermediate
+	// output, its previous input is reliably captured and never re-sent.
+	// Kill the conversation server mid-conversation; a fresh server
+	// continues from the queued intermediate input.
+	repo := newConvEnv(t)
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	go ServeConversational(ctx1, ConvServerConfig{Repo: repo, Queue: "req", Handler: seatHandler})
+
+	ctx := context.Background()
+	clerk := NewClerk(&LocalConn{Repo: repo}, ClerkConfig{ClientID: "c", RequestQueue: "req"})
+	if _, err := clerk.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	sess := clerk.Interactive("rid-000003")
+	if err := sess.Start(ctx, []byte("economy")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sess.Receive(ctx, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Server dies.
+	cancel1()
+	time.Sleep(20 * time.Millisecond)
+	// Client supplies input while no server is up: captured in the queue.
+	if err := sess.SendInput(ctx, []byte("12A")); err != nil {
+		t.Fatal(err)
+	}
+	// New server instance picks the conversation up.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	t.Cleanup(cancel2)
+	go ServeConversational(ctx2, ConvServerConfig{Repo: repo, Queue: "req", Name: "conv2", Handler: seatHandler})
+	out, done, err := sess.Receive(ctx, nil)
+	if err != nil || done {
+		t.Fatalf("receive after server swap: done=%v err=%v", done, err)
+	}
+	if !strings.Contains(string(out.Body), "hold placed on 12A") {
+		t.Fatalf("output %q", out.Body)
+	}
+}
+
+// convTxnHandler is a Section 8.3 single-transaction conversational server:
+// the whole conversation runs in one transaction, soliciting input via a
+// ConvChannel; crashCountdown aborts the transaction after the given number
+// of rounds (simulating failures) to force replays.
+func serveConvTxn(ctx context.Context, t *testing.T, repo *queue.Repository, ch *ConvChannel, rounds int, abortFirstN int) {
+	t.Helper()
+	aborts := 0
+	for ctx.Err() == nil {
+		tx := repo.Begin()
+		el, err := repo.Dequeue(ctx, tx, "req", "convtxn", queue.DequeueOpts{Wait: true})
+		if err != nil {
+			tx.Abort()
+			return
+		}
+		req, err := parseRequest(&el)
+		if err != nil {
+			tx.Abort()
+			return
+		}
+		total := 0
+		failed := false
+		for round := 0; round < rounds; round++ {
+			in, err := ch.Ask(ctx, req.EID, round, []byte(fmt.Sprintf("give me number %d", round)))
+			if err != nil {
+				failed = true
+				break
+			}
+			n, _ := strconv.Atoi(string(in))
+			total += n
+			if aborts < abortFirstN && round == rounds-1 {
+				aborts++
+				failed = true
+				break
+			}
+		}
+		if failed {
+			tx.Abort() // intermediate I/O evaporates with the transaction
+			continue
+		}
+		rep := replyElement(req.RID, StatusOK, []byte(strconv.Itoa(total)), false, nil, 0)
+		if _, err := repo.Enqueue(tx, req.ReplyTo, rep, "", nil); err != nil {
+			tx.Abort()
+			continue
+		}
+		if err := tx.Commit(); err != nil {
+			continue
+		}
+	}
+}
+
+func TestConversationalSingleTxnWithIOLogReplay(t *testing.T) {
+	repo := newConvEnv(t)
+	ch, err := NewConvChannel(repo, "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	const rounds = 3
+	const abortedAttempts = 2
+	go serveConvTxn(ctx, t, repo, ch, rounds, abortedAttempts)
+
+	clerk := NewClerk(&LocalConn{Repo: repo}, ClerkConfig{ClientID: "c", RequestQueue: "req"})
+	if _, err := clerk.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := clerk.Send(ctx, "rid-1", []byte("sum"), nil); err != nil {
+		t.Fatal(err)
+	}
+	// The request element's eid labels the I/O log entries.
+	info, err := (&LocalConn{Repo: repo}).Register(ctx, "req", "c", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eid := info.LastEID
+
+	ilog := NewIOLog()
+	freshInputs := 0
+	replays := 0
+	convCtx, convCancel := context.WithCancel(ctx)
+	defer convCancel()
+	go ch.ConvClientLoop(convCtx, eid, ilog, func(round int, output []byte) []byte {
+		freshInputs++
+		return []byte(strconv.Itoa(round + 10)) // inputs 10, 11, 12
+	}, &replays)
+
+	rep, err := clerk.Receive(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rep.Body) != strconv.Itoa(10+11+12) {
+		t.Fatalf("sum = %q", rep.Body)
+	}
+	// Across 1 + abortedAttempts executions of a 3-round conversation, the
+	// user was asked only 3 times; every other input came from the log.
+	if freshInputs != rounds {
+		t.Fatalf("fresh inputs = %d, want %d (log replay failed)", freshInputs, rounds)
+	}
+	if replays != abortedAttempts*rounds {
+		t.Fatalf("replays = %d, want %d", replays, abortedAttempts*rounds)
+	}
+}
+
+func TestIOLogDivergenceDiscardsSuffix(t *testing.T) {
+	l := NewIOLog()
+	asked := 0
+	ask := func(v string) func() []byte {
+		return func() []byte { asked++; return []byte(v) }
+	}
+	// First incarnation: rounds 0..2.
+	l.Answer(7, 0, []byte("q0"), ask("a0"))
+	l.Answer(7, 1, []byte("q1"), ask("a1"))
+	l.Answer(7, 2, []byte("q2"), ask("a2"))
+	if asked != 3 || l.Len(7) != 3 {
+		t.Fatalf("asked=%d len=%d", asked, l.Len(7))
+	}
+	// Replay: round 0 matches (no ask), round 1 diverges → suffix dropped,
+	// fresh input; round 2 must also be fresh.
+	in, replayed := l.Answer(7, 0, []byte("q0"), ask("never"))
+	if !replayed || string(in) != "a0" {
+		t.Fatalf("round0 replay: %q %v", in, replayed)
+	}
+	in, replayed = l.Answer(7, 1, []byte("q1-changed"), ask("b1"))
+	if replayed || string(in) != "b1" {
+		t.Fatalf("diverged round: %q %v", in, replayed)
+	}
+	_, replayed = l.Answer(7, 2, []byte("q2"), ask("b2"))
+	if replayed {
+		t.Fatal("suffix not discarded after divergence")
+	}
+	l.Forget(7)
+	if l.Len(7) != 0 {
+		t.Fatal("Forget failed")
+	}
+}

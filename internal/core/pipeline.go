@@ -1,0 +1,271 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/queue"
+)
+
+// StageHandler processes a request at one stage of a multi-transaction
+// request (Section 6). It returns the body and scratch pad handed to the
+// next stage (the scratch pad is the only state that crosses transaction
+// boundaries: "an application programmer cannot rely on local program
+// variables to record the state of the request across multiple
+// transactions").
+type StageHandler func(rc *ReqCtx) (body []byte, scratch []byte, err error)
+
+// Stage is one transaction of a multi-transaction request.
+type Stage struct {
+	// Name names the stage (registrant and diagnostics).
+	Name string
+	// Handler runs the stage's transaction body.
+	Handler StageHandler
+}
+
+// PipelineConfig configures a fig. 6 pipeline: a sequence of server
+// processes joined by queue pairs, executing one request as a series of
+// transactions.
+type PipelineConfig struct {
+	// Repo hosts the stage queues (a single-node pipeline; the distributed
+	// variant moves elements between repositories with two-phase commit).
+	Repo *queue.Repository
+	// Name prefixes the stage queue names: "<name>.s<i>".
+	Name string
+	// Stages are the transactions, in order.
+	Stages []Stage
+	// LockInheritance makes each stage bequeath its locks to the next, so
+	// the whole request is serializable (Section 6): "each transaction's
+	// database locks are inherited by the next transaction in the
+	// sequence".
+	LockInheritance bool
+	// Crash is consulted at each stage's crash points
+	// ("pipeline.<stage>.afterDequeue", ".beforeCommit", ".afterCommit").
+	Crash *chaos.Points
+	// RetryLimit and ErrorQueue configure each stage queue; zero values
+	// mean retry forever / no error queue.
+	RetryLimit int32
+	ErrorQueue string
+	// Instances runs that many server processes per stage (load sharing);
+	// zero means one.
+	Instances int
+}
+
+// Pipeline runs the stage servers.
+type Pipeline struct {
+	cfg    PipelineConfig
+	queues []string
+}
+
+// StageQueue returns the input queue name of stage i.
+func (p *Pipeline) StageQueue(i int) string { return p.queues[i] }
+
+// EntryQueue returns the queue clients send requests to (stage 0's input).
+func (p *Pipeline) EntryQueue() string { return p.queues[0] }
+
+// NewPipeline creates the stage queues and returns the pipeline.
+func NewPipeline(cfg PipelineConfig) (*Pipeline, error) {
+	if cfg.Repo == nil || len(cfg.Stages) == 0 {
+		return nil, errors.New("core: pipeline needs Repo and Stages")
+	}
+	if cfg.Name == "" {
+		cfg.Name = "pipe"
+	}
+	p := &Pipeline{cfg: cfg}
+	for i := range cfg.Stages {
+		qname := fmt.Sprintf("%s.s%d", cfg.Name, i)
+		err := cfg.Repo.CreateQueue(queue.QueueConfig{
+			Name:       qname,
+			RetryLimit: cfg.RetryLimit,
+			ErrorQueue: cfg.ErrorQueue,
+		})
+		if err != nil && !errors.Is(err, queue.ErrExists) {
+			return nil, err
+		}
+		p.queues = append(p.queues, qname)
+	}
+	return p, nil
+}
+
+// lockBucket is the synthetic lock owner that carries a request's locks
+// between the transactions of its stages. The high bit keeps buckets
+// disjoint from transaction ids.
+func lockBucket(rid string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(rid))
+	return h.Sum64() | 1<<63
+}
+
+// ReleaseRequestLocks force-releases a request's inherited-lock bucket —
+// the escape hatch when a request dies mid-pipeline (diverted to an error
+// queue or compensated) while holding inherited locks.
+func (p *Pipeline) ReleaseRequestLocks(rid string) {
+	p.cfg.Repo.Locks().ReleaseAll(lockBucket(rid))
+}
+
+// Serve runs every stage (Instances goroutines each) until ctx is done.
+// An injected crash stops only the crashed stage instance; Serve restarts
+// it, modeling independent process failures.
+func (p *Pipeline) Serve(ctx context.Context) {
+	instances := p.cfg.Instances
+	if instances <= 0 {
+		instances = 1
+	}
+	var wg sync.WaitGroup
+	for i := range p.cfg.Stages {
+		for k := 0; k < instances; k++ {
+			wg.Add(1)
+			go func(i, k int) {
+				defer wg.Done()
+				for ctx.Err() == nil {
+					err := p.ServeStageInstance(ctx, i, k)
+					if errors.Is(err, ErrCrashed) {
+						continue // the stage process restarts
+					}
+					return
+				}
+			}(i, k)
+		}
+	}
+	wg.Wait()
+}
+
+// ServeStage runs stage i's fig. 5 loop until ctx ends, the repository
+// closes, or an injected crash fires (ErrCrashed).
+func (p *Pipeline) ServeStage(ctx context.Context, i int) error {
+	return p.ServeStageInstance(ctx, i, 0)
+}
+
+// ServeStageInstance runs one instance of stage i's loop.
+func (p *Pipeline) ServeStageInstance(ctx context.Context, i, instance int) error {
+	cfg := p.cfg
+	stage := cfg.Stages[i]
+	name := stage.Name
+	if name == "" {
+		name = fmt.Sprintf("%s.stage%d", cfg.Name, i)
+	}
+	if instance > 0 {
+		name = fmt.Sprintf("%s.i%d", name, instance)
+	}
+	if _, _, err := cfg.Repo.Register(p.queues[i], name, false); err != nil {
+		return err
+	}
+	for {
+		if ctx.Err() != nil {
+			return nil
+		}
+		err := p.stageOne(ctx, i, name)
+		switch {
+		case err == nil:
+		case errors.Is(err, ErrCrashed):
+			return err
+		case errors.Is(err, queue.ErrClosed):
+			return nil
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			return nil
+		default:
+			// Aborted attempt (or stopped queue): back off briefly, then
+			// retry via the queue.
+			select {
+			case <-ctx.Done():
+				return nil
+			case <-time.After(2 * time.Millisecond):
+			}
+		}
+	}
+}
+
+func (p *Pipeline) stageOne(ctx context.Context, i int, name string) error {
+	cfg := p.cfg
+	repo := cfg.Repo
+	crashPt := func(pt string) bool {
+		return cfg.Crash != nil && cfg.Crash.Hit(fmt.Sprintf("pipeline.%s.%s", name, pt))
+	}
+	t := repo.Begin()
+	el, err := repo.Dequeue(ctx, t, p.queues[i], name, queue.DequeueOpts{Wait: true})
+	if err != nil {
+		t.Abort()
+		return err
+	}
+	req, err := parseRequest(&el)
+	if err != nil {
+		t.Abort()
+		return err
+	}
+	if cfg.LockInheritance {
+		// Adopt the locks bequeathed by the previous stage. On abort they
+		// go back to the bucket so a retry re-adopts them.
+		bucket := lockBucket(req.RID)
+		repo.Locks().Transfer(bucket, t.ID())
+		t.OnAbort(func() { repo.Locks().Transfer(t.ID(), bucket) })
+	}
+	if crashPt("afterDequeue") {
+		t.Abort()
+		return ErrCrashed
+	}
+	body, scratch, herr := cfg.Stages[i].Handler(&ReqCtx{Ctx: ctx, Txn: t, Repo: repo, Request: req})
+	var appErr *AppError
+	switch {
+	case herr == nil:
+	case errors.As(herr, &appErr):
+		// Application failure: reply with the error now; later stages never
+		// run. Inherited locks for this request are released with this
+		// final transaction.
+		if cfg.LockInheritance {
+			repo.Locks().Transfer(lockBucket(req.RID), t.ID())
+		}
+		if req.ReplyTo != "" {
+			rep := replyElement(req.RID, StatusError, []byte(appErr.Msg), false, nil, 0)
+			if _, err := repo.Enqueue(t, req.ReplyTo, rep, "", nil); err != nil {
+				t.Abort()
+				return err
+			}
+		}
+		if err := t.Commit(); err != nil {
+			return err
+		}
+		return nil
+	default:
+		t.Abort()
+		return fmt.Errorf("core: stage %s: %w", name, herr)
+	}
+
+	last := i == len(cfg.Stages)-1
+	if last {
+		if req.ReplyTo != "" {
+			rep := replyElement(req.RID, StatusOK, body, false, nil, 0)
+			if _, err := repo.Enqueue(t, req.ReplyTo, rep, "", nil); err != nil {
+				t.Abort()
+				return err
+			}
+		}
+	} else {
+		next := requestElement(req.RID, req.ClientID, req.ReplyTo, body, req.Headers, scratch, req.Step+1)
+		if _, err := repo.Enqueue(t, p.queues[i+1], next, "", nil); err != nil {
+			t.Abort()
+			return err
+		}
+	}
+	if crashPt("beforeCommit") {
+		t.Abort()
+		return ErrCrashed
+	}
+	if cfg.LockInheritance && !last {
+		// Bequeath: move this transaction's locks to the request's bucket
+		// just before commit, so commit's lock release frees nothing and
+		// the next stage inherits.
+		repo.Locks().Transfer(t.ID(), lockBucket(req.RID))
+	}
+	if err := t.Commit(); err != nil {
+		return err
+	}
+	if crashPt("afterCommit") {
+		return ErrCrashed
+	}
+	return nil
+}

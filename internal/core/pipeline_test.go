@@ -1,0 +1,524 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/lock"
+	"repro/internal/queue"
+)
+
+// bank helpers: balances live in the repository's "acct" table.
+func setBalance(t *testing.T, repo *queue.Repository, acct string, amount int) {
+	t.Helper()
+	if err := repo.KVSet(context.Background(), nil, "acct", acct, []byte(strconv.Itoa(amount))); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func balance(t *testing.T, repo *queue.Repository, acct string) int {
+	t.Helper()
+	v, ok, err := repo.KVGet(context.Background(), nil, "acct", acct, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		return 0
+	}
+	n, _ := strconv.Atoi(string(v))
+	return n
+}
+
+func adjust(rc *ReqCtx, acct string, delta int) error {
+	v, _, err := rc.Repo.KVGet(rc.Ctx, rc.Txn, "acct", acct, true)
+	if err != nil {
+		return err
+	}
+	n := 0
+	if v != nil {
+		n, _ = strconv.Atoi(string(v))
+	}
+	return rc.Repo.KVSet(rc.Ctx, rc.Txn, "acct", acct, []byte(strconv.Itoa(n+delta)))
+}
+
+// transferSteps is the paper's Section 6 example: "a funds transfer request
+// may be processed as three separate transactions: debit source bank
+// account, credit target bank account, and log the transfer with a
+// clearinghouse". Request body: "src dst amount".
+func transferSteps() []SagaStep {
+	parse := func(body []byte) (src, dst string, amt int) {
+		fmt.Sscanf(string(body), "%s %s %d", &src, &dst, &amt)
+		return
+	}
+	return []SagaStep{
+		{
+			Name: "debit",
+			Action: func(rc *ReqCtx) ([]byte, []byte, error) {
+				src, _, amt := parse(rc.Request.Body)
+				if err := adjust(rc, src, -amt); err != nil {
+					return nil, nil, err
+				}
+				return rc.Request.Body, []byte("debited"), nil
+			},
+			Compensate: func(rc *ReqCtx) ([]byte, []byte, error) {
+				src, _, amt := parse(rc.Request.Body)
+				return nil, nil, adjust(rc, src, +amt)
+			},
+		},
+		{
+			Name: "credit",
+			Action: func(rc *ReqCtx) ([]byte, []byte, error) {
+				_, dst, amt := parse(rc.Request.Body)
+				if err := adjust(rc, dst, +amt); err != nil {
+					return nil, nil, err
+				}
+				return rc.Request.Body, []byte("credited"), nil
+			},
+			Compensate: func(rc *ReqCtx) ([]byte, []byte, error) {
+				_, dst, amt := parse(rc.Request.Body)
+				return nil, nil, adjust(rc, dst, -amt)
+			},
+		},
+		{
+			Name: "clearinghouse",
+			Action: func(rc *ReqCtx) ([]byte, []byte, error) {
+				if err := rc.Repo.KVSet(rc.Ctx, rc.Txn, "clearing", rc.Request.RID, rc.Request.Body); err != nil {
+					return nil, nil, err
+				}
+				return []byte("transfer complete"), nil, nil
+			},
+			Compensate: func(rc *ReqCtx) ([]byte, []byte, error) {
+				return nil, nil, rc.Repo.KVDelete(rc.Ctx, rc.Txn, "clearing", rc.Request.RID)
+			},
+		},
+	}
+}
+
+func newBankRepo(t *testing.T) *queue.Repository {
+	t.Helper()
+	repo, _, err := queue.Open(t.TempDir(), queue.Options{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { repo.Close() })
+	setBalance(t, repo, "alice", 1000)
+	setBalance(t, repo, "bob", 500)
+	return repo
+}
+
+func TestPipelineFundsTransfer(t *testing.T) {
+	repo := newBankRepo(t)
+	pipe, err := NewPipeline(PipelineConfig{Repo: repo, Name: "xfer", Stages: forwardStages(transferSteps())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	go pipe.Serve(ctx)
+
+	clerk := NewClerk(&LocalConn{Repo: repo}, ClerkConfig{ClientID: "c", RequestQueue: pipe.EntryQueue()})
+	if _, err := clerk.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := clerk.Transceive(ctx, "rid-1", []byte("alice bob 100"), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.IsError() || string(rep.Body) != "transfer complete" {
+		t.Fatalf("reply %+v", rep)
+	}
+	if a, b := balance(t, repo, "alice"), balance(t, repo, "bob"); a != 900 || b != 600 {
+		t.Fatalf("balances alice=%d bob=%d", a, b)
+	}
+	// Clearinghouse record written by the final stage.
+	if v, ok, _ := repo.KVGet(ctx, nil, "clearing", "rid-1", false); !ok || string(v) != "alice bob 100" {
+		t.Fatalf("clearing record %q %v", v, ok)
+	}
+}
+
+func TestPipelineSurvivesStageCrashes(t *testing.T) {
+	repo := newBankRepo(t)
+	crash := chaos.NewPoints(99)
+	crash.FailWithProb("pipeline.debit.afterDequeue", 0.3, 2)
+	crash.FailWithProb("pipeline.credit.beforeCommit", 0.3, 2)
+	crash.FailWithProb("pipeline.clearinghouse.afterCommit", 0.3, 2)
+	pipe, err := NewPipeline(PipelineConfig{
+		Repo: repo, Name: "xfer",
+		Stages: forwardStages(transferSteps()),
+		Crash:  crash,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	go pipe.Serve(ctx) // Serve restarts crashed stages
+
+	clerk := NewClerk(&LocalConn{Repo: repo}, ClerkConfig{ClientID: "c", RequestQueue: pipe.EntryQueue()})
+	if _, err := clerk.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		rep, err := clerk.Transceive(ctx, fmt.Sprintf("rid-%d", i), []byte("alice bob 10"), nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.IsError() {
+			t.Fatalf("transfer %d failed: %s", i, rep.Body)
+		}
+	}
+	// Exactly-once money movement despite the crashes.
+	if a, b := balance(t, repo, "alice"), balance(t, repo, "bob"); a != 900 || b != 600 {
+		t.Fatalf("balances alice=%d bob=%d (crashes double-ran a stage?)", a, b)
+	}
+	if crash.TotalFired() == 0 {
+		t.Fatal("no stage crashes fired; test is vacuous")
+	}
+}
+
+func TestPipelineAppErrorShortCircuits(t *testing.T) {
+	repo := newBankRepo(t)
+	steps := transferSteps()
+	// Make the credit stage reject transfers to "frozen".
+	origCredit := steps[1].Action
+	steps[1].Action = func(rc *ReqCtx) ([]byte, []byte, error) {
+		var src, dst string
+		var amt int
+		fmt.Sscanf(string(rc.Request.Body), "%s %s %d", &src, &dst, &amt)
+		if dst == "frozen" {
+			return nil, nil, Failf("account frozen")
+		}
+		return origCredit(rc)
+	}
+	pipe, err := NewPipeline(PipelineConfig{Repo: repo, Name: "xfer", Stages: forwardStages(steps)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	go pipe.Serve(ctx)
+
+	clerk := NewClerk(&LocalConn{Repo: repo}, ClerkConfig{ClientID: "c", RequestQueue: pipe.EntryQueue()})
+	if _, err := clerk.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := clerk.Transceive(ctx, "rid-1", []byte("alice frozen 100"), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.IsError() || string(rep.Body) != "account frozen" {
+		t.Fatalf("reply %+v", rep)
+	}
+	// The debit committed before the failure — the multi-transaction
+	// hazard the paper discusses; sagas (below) are the remedy.
+	if a := balance(t, repo, "alice"); a != 900 {
+		t.Fatalf("alice = %d", a)
+	}
+	// The clearinghouse stage never ran.
+	if _, ok, _ := repo.KVGet(ctx, nil, "clearing", "rid-1", false); ok {
+		t.Fatal("clearinghouse ran after failed credit")
+	}
+}
+
+func TestPipelineLockInheritance(t *testing.T) {
+	repo := newBankRepo(t)
+	gate := make(chan struct{})
+	stages := []Stage{
+		{Name: "read", Handler: func(rc *ReqCtx) ([]byte, []byte, error) {
+			v, _, err := rc.Repo.KVGet(rc.Ctx, rc.Txn, "acct", "alice", true)
+			if err != nil {
+				return nil, nil, err
+			}
+			return rc.Request.Body, v, nil
+		}},
+		{Name: "write", Handler: func(rc *ReqCtx) ([]byte, []byte, error) {
+			<-gate
+			n, _ := strconv.Atoi(string(rc.Request.ScratchPad))
+			err := rc.Repo.KVSet(rc.Ctx, rc.Txn, "acct", "alice", []byte(strconv.Itoa(n-1)))
+			return []byte("done"), nil, err
+		}},
+	}
+	pipe, err := NewPipeline(PipelineConfig{Repo: repo, Name: "inh", Stages: stages, LockInheritance: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	go pipe.Serve(ctx)
+
+	clerk := NewClerk(&LocalConn{Repo: repo}, ClerkConfig{ClientID: "c", RequestQueue: pipe.EntryQueue()})
+	if _, err := clerk.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := clerk.Send(ctx, "rid-inh", []byte("x"), nil); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until stage "write" holds the request (stage 0 committed).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, err := repo.Stats("inh.s1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Depth+st.InFlight >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("request never reached stage 1")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// The inherited lock on alice is still held even though stage 0's
+	// transaction committed — another transaction cannot touch it.
+	if err := repo.Locks().TryAcquire(999999, "kv/acct/alice", lock.Exclusive); !errors.Is(err, lock.ErrWouldBlock) {
+		t.Fatalf("lock released across transaction boundary: %v", err)
+	}
+	close(gate)
+	rep, err := clerk.Receive(ctx, nil)
+	if err != nil || string(rep.Body) != "done" {
+		t.Fatalf("reply %+v %v", rep, err)
+	}
+	// After the final stage commits the lock is free.
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		if err := repo.Locks().TryAcquire(999999, "kv/acct/alice", lock.Exclusive); err == nil {
+			repo.Locks().ReleaseAll(999999)
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("inherited lock never released")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := balance(t, repo, "alice"); got != 999 {
+		t.Fatalf("alice = %d", got)
+	}
+}
+
+func TestPipelineWithoutInheritanceReleasesEarly(t *testing.T) {
+	repo := newBankRepo(t)
+	gate := make(chan struct{})
+	stages := []Stage{
+		{Name: "read", Handler: func(rc *ReqCtx) ([]byte, []byte, error) {
+			v, _, err := rc.Repo.KVGet(rc.Ctx, rc.Txn, "acct", "alice", true)
+			return rc.Request.Body, v, err
+		}},
+		{Name: "write", Handler: func(rc *ReqCtx) ([]byte, []byte, error) {
+			<-gate
+			return []byte("done"), nil, nil
+		}},
+	}
+	pipe, err := NewPipeline(PipelineConfig{Repo: repo, Name: "noinh", Stages: stages})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	go pipe.Serve(ctx)
+
+	clerk := NewClerk(&LocalConn{Repo: repo}, ClerkConfig{ClientID: "c", RequestQueue: pipe.EntryQueue()})
+	if _, err := clerk.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := clerk.Send(ctx, "rid-1", []byte("x"), nil); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, err := repo.Stats("noinh.s1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Depth+st.InFlight >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("request never reached stage 1")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// Without inheritance the lock was released at stage 0's commit — the
+	// serializability loss the paper warns about (Section 6).
+	if err := repo.Locks().TryAcquire(999999, "kv/acct/alice", lock.Exclusive); err != nil {
+		t.Fatalf("lock still held without inheritance: %v", err)
+	}
+	repo.Locks().ReleaseAll(999999)
+	close(gate)
+	if _, err := clerk.Receive(ctx, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSagaCompleteTransfer(t *testing.T) {
+	repo := newBankRepo(t)
+	saga, err := NewSaga(SagaConfig{Repo: repo, Name: "xfer", Steps: transferSteps()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	go saga.Serve(ctx)
+
+	clerk := NewClerk(&LocalConn{Repo: repo}, ClerkConfig{ClientID: "c", RequestQueue: saga.EntryQueue()})
+	if _, err := clerk.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := clerk.Transceive(ctx, "rid-1", []byte("alice bob 100"), nil, nil)
+	if err != nil || rep.IsError() {
+		t.Fatalf("reply %+v %v", rep, err)
+	}
+	// Completed saga: cancel is too late.
+	out, err := saga.Cancel(ctx, "rid-1")
+	if err != nil || out != NotCancelable {
+		t.Fatalf("cancel of completed saga = %v, %v", out, err)
+	}
+	if a, b := balance(t, repo, "alice"), balance(t, repo, "bob"); a != 900 || b != 600 {
+		t.Fatalf("balances %d/%d", a, b)
+	}
+}
+
+func TestSagaCancelBeforeFirstCommit(t *testing.T) {
+	repo := newBankRepo(t)
+	saga, err := NewSaga(SagaConfig{Repo: repo, Name: "xfer", Steps: transferSteps()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No servers running: the request parks in stage 0's queue.
+	ctx := context.Background()
+	clerk := NewClerk(&LocalConn{Repo: repo}, ClerkConfig{ClientID: "c", RequestQueue: saga.EntryQueue()})
+	if _, err := clerk.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := clerk.Send(ctx, "rid-1", []byte("alice bob 100"), nil); err != nil {
+		t.Fatal(err)
+	}
+	out, err := saga.Cancel(ctx, "rid-1")
+	if err != nil || out != CanceledImmediately {
+		t.Fatalf("cancel = %v, %v", out, err)
+	}
+	rep, err := clerk.Receive(ctx, nil)
+	if err != nil || rep.Status != StatusCanceled {
+		t.Fatalf("canceled reply %+v %v", rep, err)
+	}
+	if a := balance(t, repo, "alice"); a != 1000 {
+		t.Fatalf("alice = %d, money moved for a canceled request", a)
+	}
+}
+
+func TestSagaCancelWithCompensation(t *testing.T) {
+	repo := newBankRepo(t)
+	saga, err := NewSaga(SagaConfig{Repo: repo, Name: "xfer", Steps: transferSteps()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Park the request after the debit commits: stop stage 1's queue.
+	if err := repo.StopQueue("xfer.s1"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	go saga.Serve(ctx)
+
+	clerk := NewClerk(&LocalConn{Repo: repo}, ClerkConfig{ClientID: "c", RequestQueue: saga.EntryQueue()})
+	if _, err := clerk.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := clerk.Send(ctx, "rid-1", []byte("alice bob 100"), nil); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the debit to commit (request parked in xfer.s1).
+	deadline := time.Now().Add(5 * time.Second)
+	for balance(t, repo, "alice") != 900 {
+		if time.Now().After(deadline) {
+			t.Fatal("debit never committed")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	out, err := saga.Cancel(ctx, "rid-1")
+	if err != nil || out != CanceledWithCompensation {
+		t.Fatalf("cancel = %v, %v", out, err)
+	}
+	rep, err := clerk.Receive(ctx, nil)
+	if err != nil || rep.Status != StatusCanceled {
+		t.Fatalf("canceled reply %+v %v", rep, err)
+	}
+	// Compensation restored the debit.
+	if a, b := balance(t, repo, "alice"), balance(t, repo, "bob"); a != 1000 || b != 500 {
+		t.Fatalf("balances after compensation: alice=%d bob=%d", a, b)
+	}
+}
+
+func TestAppLocks(t *testing.T) {
+	repo := newBankRepo(t)
+	ctx := context.Background()
+	al := &AppLocks{Repo: repo}
+
+	t1 := repo.Begin()
+	if err := al.Acquire(ctx, t1, "acct/alice", "req-1"); err != nil {
+		t.Fatal(err)
+	}
+	// Re-entrant for the same owner.
+	if err := al.Acquire(ctx, t1, "acct/alice", "req-1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// The application lock survives the transaction that set it — that is
+	// its whole point (Section 6).
+	t2 := repo.Begin()
+	err := al.Acquire(ctx, t2, "acct/alice", "req-2")
+	if !errors.Is(err, ErrAppLockHeld) {
+		t.Fatalf("conflicting acquire: %v", err)
+	}
+	t2.Abort()
+	if got := al.Holder(ctx, "acct/alice"); got != "req-1" {
+		t.Fatalf("holder = %q", got)
+	}
+	// Release in the final transaction.
+	t3 := repo.Begin()
+	if err := al.ReleaseAll(ctx, t3, "req-1", []string{"acct/alice"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := t3.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	t4 := repo.Begin()
+	if err := al.Acquire(ctx, t4, "acct/alice", "req-2"); err != nil {
+		t.Fatal(err)
+	}
+	t4.Abort()
+}
+
+func TestAppLocksDurableAcrossCrash(t *testing.T) {
+	dir := t.TempDir()
+	repo, _, err := queue.Open(dir, queue.Options{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	al := &AppLocks{Repo: repo}
+	t1 := repo.Begin()
+	if err := al.Acquire(ctx, t1, "res", "req-9"); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	repo.Crash()
+
+	repo2, _, err := queue.Open(dir, queue.Options{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer repo2.Close()
+	al2 := &AppLocks{Repo: repo2}
+	if got := al2.Holder(ctx, "res"); got != "req-9" {
+		t.Fatalf("application lock lost in crash: holder %q", got)
+	}
+}

@@ -1,0 +1,243 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/queue"
+)
+
+// SagaStep is one transaction of a compensatable multi-transaction request
+// (Section 7, citing Garcia-Molina & Salem's sagas): Action executes the
+// step; Compensate undoes a committed Action if the request is cancelled
+// later.
+type SagaStep struct {
+	// Name names the step.
+	Name string
+	// Action is the forward transaction.
+	Action StageHandler
+	// Compensate undoes a committed Action. It receives the body and
+	// scratch pad the request carried when it was cancelled, with
+	// Request.Step set to the step being compensated.
+	Compensate StageHandler
+}
+
+// SagaConfig configures a saga.
+type SagaConfig struct {
+	Repo  *queue.Repository
+	Name  string
+	Steps []SagaStep
+	// LockInheritance applies to the forward pipeline.
+	LockInheritance bool
+}
+
+// CancelOutcome classifies a cancellation attempt (Section 7).
+type CancelOutcome int
+
+const (
+	// NotCancelable: the request completed (or is completing); its reply
+	// stands.
+	NotCancelable CancelOutcome = iota
+	// CanceledImmediately: killed before the first transaction committed.
+	CanceledImmediately
+	// CanceledWithCompensation: killed mid-saga; committed steps are being
+	// compensated by a serial multi-transaction request.
+	CanceledWithCompensation
+)
+
+func (o CancelOutcome) String() string {
+	switch o {
+	case NotCancelable:
+		return "not-cancelable"
+	case CanceledImmediately:
+		return "canceled-immediately"
+	case CanceledWithCompensation:
+		return "canceled-with-compensation"
+	default:
+		return fmt.Sprintf("CancelOutcome(%d)", int(o))
+	}
+}
+
+// Saga runs a multi-transaction request pipeline whose committed prefix
+// can be undone by compensating transactions, extending cancellation past
+// the first commit: "one cancels the request by compensating for the
+// committed transactions that executed on behalf of the request ... as a
+// serial multi-transaction request" (Section 7).
+type Saga struct {
+	cfg SagaConfig
+	fwd *Pipeline
+}
+
+// NewSaga creates the forward and compensation queues.
+func NewSaga(cfg SagaConfig) (*Saga, error) {
+	if cfg.Name == "" {
+		cfg.Name = "saga"
+	}
+	fwd, err := NewPipeline(PipelineConfig{
+		Repo:            cfg.Repo,
+		Name:            cfg.Name,
+		Stages:          forwardStages(cfg.Steps),
+		LockInheritance: cfg.LockInheritance,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &Saga{cfg: cfg, fwd: fwd}
+	for i := range cfg.Steps {
+		qname := s.compQueue(i)
+		if err := cfg.Repo.CreateQueue(queue.QueueConfig{Name: qname}); err != nil && !errors.Is(err, queue.ErrExists) {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func forwardStages(steps []SagaStep) []Stage {
+	out := make([]Stage, len(steps))
+	for i, st := range steps {
+		out[i] = Stage{Name: st.Name, Handler: st.Action}
+	}
+	return out
+}
+
+func (s *Saga) compQueue(i int) string { return fmt.Sprintf("%s.c%d", s.cfg.Name, i) }
+
+// EntryQueue returns the queue clients submit saga requests to.
+func (s *Saga) EntryQueue() string { return s.fwd.EntryQueue() }
+
+// Serve runs the forward pipeline and the compensation servers until ctx
+// is done.
+func (s *Saga) Serve(ctx context.Context) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.fwd.Serve(ctx)
+	}()
+	for i := range s.cfg.Steps {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s.serveComp(ctx, i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// serveComp runs the compensation server for step i: it undoes step i and
+// forwards the compensation request to step i-1; compensating step 0
+// finishes with a canceled reply.
+func (s *Saga) serveComp(ctx context.Context, i int) {
+	repo := s.cfg.Repo
+	name := fmt.Sprintf("%s.comp%d", s.cfg.Name, i)
+	if _, _, err := repo.Register(s.compQueue(i), name, false); err != nil {
+		return
+	}
+	for ctx.Err() == nil {
+		err := s.compOne(ctx, i, name)
+		if errors.Is(err, queue.ErrClosed) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return
+		}
+		if err != nil {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(2 * time.Millisecond):
+			}
+		}
+	}
+}
+
+func (s *Saga) compOne(ctx context.Context, i int, name string) error {
+	repo := s.cfg.Repo
+	t := repo.Begin()
+	el, err := repo.Dequeue(ctx, t, s.compQueue(i), name, queue.DequeueOpts{Wait: true})
+	if err != nil {
+		t.Abort()
+		return err
+	}
+	req, err := parseRequest(&el)
+	if err != nil {
+		t.Abort()
+		return err
+	}
+	req.Step = i
+	if comp := s.cfg.Steps[i].Compensate; comp != nil {
+		if _, _, err := comp(&ReqCtx{Ctx: ctx, Txn: t, Repo: repo, Request: req}); err != nil {
+			t.Abort()
+			return fmt.Errorf("core: compensate %s: %w", name, err)
+		}
+	}
+	if i > 0 {
+		next := requestElement(req.RID, req.ClientID, req.ReplyTo, req.Body, req.Headers, req.ScratchPad, i-1)
+		if _, err := repo.Enqueue(t, s.compQueue(i-1), next, "", nil); err != nil {
+			t.Abort()
+			return err
+		}
+	} else if req.ReplyTo != "" {
+		rep := replyElement(req.RID, StatusCanceled, []byte("canceled by compensation"), false, nil, 0)
+		if _, err := repo.Enqueue(t, req.ReplyTo, rep, "", nil); err != nil {
+			t.Abort()
+			return err
+		}
+	}
+	return t.Commit()
+}
+
+// Cancel tries to cancel the saga request with the given rid: it hunts the
+// request element through the stage queues, kills it, and — if any steps
+// already committed — launches the compensation chain. The client
+// eventually receives a StatusCanceled reply (immediately on
+// CanceledImmediately, after compensation otherwise); NotCancelable means
+// the request finished and the real reply stands.
+func (s *Saga) Cancel(ctx context.Context, rid string) (CancelOutcome, error) {
+	repo := s.cfg.Repo
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		for i := len(s.cfg.Steps) - 1; i >= 0; i-- {
+			els, err := repo.ListElements(s.fwd.StageQueue(i), 0)
+			if err != nil {
+				return NotCancelable, err
+			}
+			for _, el := range els {
+				if el.Headers[hdrRID] != rid {
+					continue
+				}
+				killed, err := repo.KillElement(el.EID)
+				if err != nil {
+					return NotCancelable, err
+				}
+				if !killed {
+					break // moved on; rescan
+				}
+				if s.cfg.LockInheritance {
+					s.fwd.ReleaseRequestLocks(rid)
+				}
+				if i == 0 {
+					// Nothing committed: cancellation like Section 7's
+					// simple case, synthesize the canceled reply directly.
+					if el.ReplyTo != "" {
+						rep := replyElement(rid, StatusCanceled, nil, false, nil, 0)
+						if _, err := repo.Enqueue(nil, el.ReplyTo, rep, "", nil); err != nil {
+							return CanceledImmediately, err
+						}
+					}
+					return CanceledImmediately, nil
+				}
+				// Steps 0..i-1 committed: compensate them, newest first.
+				comp := requestElement(rid, el.Headers[hdrClient], el.ReplyTo, el.Body, nil, el.ScratchPad, i-1)
+				if _, err := repo.Enqueue(nil, s.compQueue(i-1), comp, "", nil); err != nil {
+					return CanceledWithCompensation, err
+				}
+				return CanceledWithCompensation, nil
+			}
+		}
+		if time.Now().After(deadline) || ctx.Err() != nil {
+			return NotCancelable, nil
+		}
+		time.Sleep(5 * time.Millisecond) // in-flight somewhere; retry briefly
+	}
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/chaos"
+	"repro/internal/enc"
+)
+
+// SequentialClient is the fig. 2 client program as a reusable component: a
+// fault-tolerant sequential program that submits a numbered sequence of
+// requests, each exactly once, and processes each reply at least once —
+// with no stable storage of its own. Its entire durable state is the queue
+// manager's persistent registration: the rid of its last Send, the rid of
+// its last received reply, and the checkpoint it piggybacked on its last
+// Receive (Sections 2–3).
+//
+// Run may be interrupted by injected crashes (returning ErrCrashed with
+// all volatile state lost); calling Run again resumes correctly from the
+// registration, re-executing fig. 2's connect-time resynchronisation.
+type SequentialClient struct {
+	// QM connects to the queue manager.
+	QM QMConn
+	// Cfg configures the underlying clerk.
+	Cfg ClerkConfig
+	// Total is the number of requests to submit.
+	Total int
+	// Body builds the i-th request body.
+	Body func(i int) []byte
+	// ProcessReply consumes the reply to request i; it is invoked at least
+	// once per reply (possibly again after a crash — the paper's
+	// at-least-once guarantee).
+	ProcessReply func(i int, rep Reply)
+	// Crash, when set, is consulted at the client's crash points:
+	// "client.beforeSend", "client.afterSend", "client.afterReceive",
+	// "client.afterProcess".
+	Crash *chaos.Points
+}
+
+func ridFor(i int) string { return fmt.Sprintf("rid-%06d", i) }
+
+// ridIndex recovers i from "rid-<i>"; interactive step suffixes ("#n") are
+// ignored.
+func ridIndex(rid string) (int, bool) {
+	rid, _, _ = strings.Cut(rid, "#")
+	s, ok := strings.CutPrefix(rid, "rid-")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// ckptFor encodes the client's tiny state — the index whose reply it is
+// about to process — piggybacked on each Receive (Section 2: "the client
+// can piggyback its state with its enqueue and dequeue operations").
+func ckptFor(i int) []byte {
+	b := enc.NewBuffer(8)
+	b.Uvarint(uint64(i))
+	return b.Bytes()
+}
+
+func ckptIndex(ckpt []byte) (int, bool) {
+	if len(ckpt) == 0 {
+		return 0, false
+	}
+	r := enc.NewReader(ckpt)
+	v := r.Uvarint()
+	if r.Err() != nil {
+		return 0, false
+	}
+	return int(v), true
+}
+
+func (s *SequentialClient) crash(point string) bool {
+	return s.Crash != nil && s.Crash.Hit(point)
+}
+
+// Run executes (or resumes) the fig. 2 program. It returns nil when all
+// Total replies have been processed, ErrCrashed on an injected crash, or
+// the first real error.
+func (s *SequentialClient) Run(ctx context.Context) error {
+	clerk := NewClerk(s.QM, s.Cfg)
+	info, err := clerk.Connect(ctx)
+	if err != nil {
+		return err
+	}
+
+	// Fig. 2 lines 2–11: resynchronize.
+	next := 0 // index of the next request to send
+	switch {
+	case info.Outstanding:
+		// A request is outstanding: receive (and process) its reply.
+		i, ok := ridIndex(info.SRID)
+		if !ok {
+			return fmt.Errorf("core: unintelligible recovered rid %q", info.SRID)
+		}
+		rep, err := clerk.Receive(ctx, ckptFor(i))
+		if err != nil {
+			return err
+		}
+		if s.crash("client.afterReceive") {
+			return ErrCrashed
+		}
+		s.ProcessReply(i, rep)
+		if s.crash("client.afterProcess") {
+			return ErrCrashed
+		}
+		next = i + 1
+	case info.SRID != "" && info.SRID == info.RRID:
+		// The reply was received before the failure; the client cannot
+		// tell whether it processed it, so it processes it again
+		// (at-least-once, Section 3).
+		i, ok := ridIndex(info.SRID)
+		if !ok {
+			return fmt.Errorf("core: unintelligible recovered rid %q", info.SRID)
+		}
+		rep, err := clerk.Rereceive(ctx)
+		if err != nil {
+			return err
+		}
+		s.ProcessReply(i, rep)
+		if s.crash("client.afterProcess") {
+			return ErrCrashed
+		}
+		next = i + 1
+	default:
+		// Fresh client.
+		next = 0
+	}
+	_ = info.Ckpt // the index is recoverable from the rids alone here
+
+	// Fig. 2 main loop: while there's work to do.
+	for i := next; i < s.Total; i++ {
+		if s.crash("client.beforeSend") {
+			return ErrCrashed
+		}
+		body := []byte(nil)
+		if s.Body != nil {
+			body = s.Body(i)
+		}
+		if err := clerk.Send(ctx, ridFor(i), body, nil); err != nil {
+			return err
+		}
+		if s.crash("client.afterSend") {
+			return ErrCrashed
+		}
+		rep, err := clerk.Receive(ctx, ckptFor(i))
+		if err != nil {
+			return err
+		}
+		if s.crash("client.afterReceive") {
+			return ErrCrashed
+		}
+		s.ProcessReply(i, rep)
+		if s.crash("client.afterProcess") {
+			return ErrCrashed
+		}
+	}
+	return clerk.Disconnect(ctx)
+}
+
+// RunToCompletion keeps re-running (crash, recover, resume) until the
+// workload finishes or ctx ends; it returns the number of crashes
+// survived. A non-crash error aborts the run.
+func (s *SequentialClient) RunToCompletion(ctx context.Context) (crashes int, err error) {
+	for {
+		err := s.Run(ctx)
+		if err == nil {
+			return crashes, nil
+		}
+		if errors.Is(err, ErrCrashed) {
+			crashes++
+			continue
+		}
+		return crashes, err
+	}
+}

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/enc"
+	"repro/internal/queue"
+)
+
+// StreamClerk implements the paper's closing extension (Section 11): "one
+// could extend the Client Model to support streaming of requests and
+// replies, as in the Mercury system". Up to Window requests are
+// outstanding at once; replies arrive in server-completion order.
+//
+// The fault-tolerance machinery is the same persistent registration the
+// one-at-a-time clerk uses, generalized exactly as Section 4.3 anticipates
+// ("different models will need to tag different client operations"): every
+// Send and every Receive is tagged with an operation counter plus the full
+// outstanding-rid set as of that operation. At reconnect the clerk reads
+// both queues' last tags, keeps the one with the higher counter, and has
+// its exact window back — nothing resent, nothing lost.
+//
+// The streaming trade-off: at-least-once reply *processing* is guaranteed
+// only for the most recent reply (the registration retains one stable
+// element copy per registrant). Windows of 1 degenerate to the base Client
+// Model and its full guarantee; applications that must reprocess every
+// reply after a crash should use the plain Clerk.
+type StreamClerk struct {
+	qm  QMConn
+	cfg ClerkConfig
+	// Window is the maximum number of outstanding requests.
+	window int
+
+	opNum       uint64
+	outstanding map[string]bool
+	connected   bool
+}
+
+// ErrWindowFull reports a Send beyond the streaming window.
+var ErrWindowFull = errors.New("core: streaming window full")
+
+// NewStreamClerk returns a disconnected streaming clerk with the given
+// window (minimum 1).
+func NewStreamClerk(qm QMConn, cfg ClerkConfig, window int) *StreamClerk {
+	if window < 1 {
+		window = 1
+	}
+	if cfg.ReplyQueue == "" {
+		cfg.ReplyQueue = "reply." + cfg.ClientID
+	}
+	if cfg.ReceiveWait <= 0 {
+		cfg.ReceiveWait = 30 * 1e9 // 30s, mirroring ClerkConfig's default
+	}
+	return &StreamClerk{qm: qm, cfg: cfg, window: window, outstanding: make(map[string]bool)}
+}
+
+// streamTag encodes {opNum, outstanding set} — the clerk's whole durable
+// state, piggybacked on each queue operation (Section 2's checkpointing).
+func streamTag(opNum uint64, outstanding map[string]bool) []byte {
+	rids := make([]string, 0, len(outstanding))
+	for rid := range outstanding {
+		rids = append(rids, rid)
+	}
+	sort.Strings(rids)
+	b := enc.NewBuffer(32)
+	b.Uvarint(opNum)
+	b.StringSlice(rids)
+	return b.Bytes()
+}
+
+func parseStreamTag(tag []byte) (opNum uint64, rids []string, ok bool) {
+	if len(tag) == 0 {
+		return 0, nil, false
+	}
+	r := enc.NewReader(tag)
+	opNum = r.Uvarint()
+	rids = r.StringSlice()
+	if r.Err() != nil {
+		return 0, nil, false
+	}
+	return opNum, rids, true
+}
+
+// Connect registers with both queues and reconstructs the outstanding
+// window from whichever operation (last Send or last Receive) happened
+// later. It returns the recovered outstanding rids, oldest-first.
+func (s *StreamClerk) Connect(ctx context.Context) ([]string, error) {
+	if s.connected {
+		return nil, errors.New("core: stream clerk already connected")
+	}
+	if err := s.qm.CreateQueue(ctx, queue.QueueConfig{Name: s.cfg.ReplyQueue}); err != nil {
+		return nil, err
+	}
+	reqInfo, err := s.qm.Register(ctx, s.cfg.RequestQueue, s.cfg.ClientID, true)
+	if err != nil {
+		return nil, err
+	}
+	repInfo, err := s.qm.Register(ctx, s.cfg.ReplyQueue, s.cfg.ClientID, true)
+	if err != nil {
+		return nil, err
+	}
+	var bestOp uint64
+	var bestRids []string
+	replyWon := false
+	if reqInfo.HasLast {
+		if op, rids, ok := parseStreamTag(reqInfo.LastTag); ok && op >= bestOp {
+			bestOp, bestRids = op, rids
+		}
+	}
+	if repInfo.HasLast {
+		if op, rids, ok := parseStreamTag(repInfo.LastTag); ok && op >= bestOp {
+			bestOp, bestRids = op, rids
+			replyWon = true
+		}
+	}
+	s.opNum = bestOp
+	s.outstanding = make(map[string]bool, len(bestRids))
+	for _, rid := range bestRids {
+		s.outstanding[rid] = true
+	}
+	if replyWon {
+		// A Receive's tag describes the window BEFORE that dequeue (the
+		// reply's identity is unknown until it arrives); the registration's
+		// stable element copy — written atomically with the same dequeue —
+		// tells us which rid to subtract.
+		if el, err := s.qm.ReadLast(ctx, s.cfg.ReplyQueue, s.cfg.ClientID); err == nil {
+			if rep, perr := parseReply(&el); perr == nil {
+				delete(s.outstanding, rep.RID)
+			}
+		}
+	}
+	s.connected = true
+	return s.Outstanding(), nil
+}
+
+// Outstanding returns the rids awaiting replies, sorted.
+func (s *StreamClerk) Outstanding() []string {
+	rids := make([]string, 0, len(s.outstanding))
+	for rid := range s.outstanding {
+		rids = append(rids, rid)
+	}
+	sort.Strings(rids)
+	return rids
+}
+
+// Send streams a request; it fails with ErrWindowFull at the window limit
+// (Receive first).
+func (s *StreamClerk) Send(ctx context.Context, rid string, body []byte, headers map[string]string) error {
+	if !s.connected {
+		return errors.New("core: stream clerk not connected")
+	}
+	if s.outstanding[rid] {
+		return fmt.Errorf("core: rid %q already outstanding", rid)
+	}
+	if len(s.outstanding) >= s.window {
+		return fmt.Errorf("%w: %d outstanding", ErrWindowFull, len(s.outstanding))
+	}
+	s.opNum++
+	s.outstanding[rid] = true
+	tag := streamTag(s.opNum, s.outstanding)
+	e := requestElement(rid, s.cfg.ClientID, s.cfg.ReplyQueue, body, headers, nil, 0)
+	if _, err := s.qm.Enqueue(ctx, s.cfg.RequestQueue, e, s.cfg.ClientID, tag); err != nil {
+		// Not stably sent: roll the window back.
+		delete(s.outstanding, rid)
+		s.opNum--
+		return err
+	}
+	return nil
+}
+
+// Receive returns the next available reply for any outstanding request
+// (server-completion order), blocking until one arrives or ctx ends.
+func (s *StreamClerk) Receive(ctx context.Context) (Reply, error) {
+	if !s.connected {
+		return Reply{}, errors.New("core: stream clerk not connected")
+	}
+	if len(s.outstanding) == 0 {
+		return Reply{}, ErrNoOutstanding
+	}
+	// The new window (after this receive) is committed atomically with the
+	// dequeue itself, but we do not know WHICH reply we will get until it
+	// arrives. Two-phase: peek-style dequeue cannot work transactionally
+	// from the non-transactional client, so instead the tag records the
+	// post-state lazily: we tag with the op number and the outstanding set
+	// *excluding nothing*, then correct on the next operation. Simpler and
+	// still sound: tag with the set minus the received rid — which requires
+	// knowing it first. We therefore dequeue tagged with a provisional tag,
+	// and the recovery merge tolerates it because the reply queue tag is
+	// written by the very dequeue that removed the reply.
+	//
+	// Concretely: the dequeue's tag must describe the state AFTER the
+	// dequeue. Since any reply in our private queue removes exactly the
+	// rid it carries, recovery can recompute it: tag = {opNum+1, current
+	// set}; at reconnect, if the reply-queue tag is newest, subtract the
+	// last dequeued element's rid (kept stably by the registration).
+	s.opNum++
+	tag := streamTag(s.opNum, s.outstanding)
+	el, err := s.qm.Dequeue(ctx, s.cfg.ReplyQueue, s.cfg.ClientID, tag, s.cfg.ReceiveWait, nil)
+	for errors.Is(err, queue.ErrEmpty) {
+		if ctx.Err() != nil {
+			s.opNum--
+			return Reply{}, ctx.Err()
+		}
+		el, err = s.qm.Dequeue(ctx, s.cfg.ReplyQueue, s.cfg.ClientID, tag, s.cfg.ReceiveWait, nil)
+	}
+	if err != nil {
+		s.opNum--
+		return Reply{}, err
+	}
+	rep, err := parseReply(&el)
+	if err != nil {
+		return Reply{}, err
+	}
+	if !s.outstanding[rep.RID] {
+		return Reply{}, fmt.Errorf("%w: streamed reply %q not outstanding", ErrRIDMismatch, rep.RID)
+	}
+	delete(s.outstanding, rep.RID)
+	return rep, nil
+}
+
+// Drain receives until no requests are outstanding, invoking process for
+// each reply.
+func (s *StreamClerk) Drain(ctx context.Context, process func(Reply)) error {
+	for len(s.outstanding) > 0 {
+		rep, err := s.Receive(ctx)
+		if err != nil {
+			return err
+		}
+		if process != nil {
+			process(rep)
+		}
+	}
+	return nil
+}
+
+// Disconnect deregisters (only with an empty window: outstanding requests
+// would lose their recovery state).
+func (s *StreamClerk) Disconnect(ctx context.Context) error {
+	if len(s.outstanding) != 0 {
+		return fmt.Errorf("core: disconnect with %d outstanding requests", len(s.outstanding))
+	}
+	if err := s.qm.Deregister(ctx, s.cfg.RequestQueue, s.cfg.ClientID); err != nil {
+		return err
+	}
+	s.connected = false
+	return s.qm.Deregister(ctx, s.cfg.ReplyQueue, s.cfg.ClientID)
+}

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/queue"
+)
+
+func newStreamEnv(t *testing.T, instances int, workDelay time.Duration) *queue.Repository {
+	t.Helper()
+	repo, _, err := queue.Open(t.TempDir(), queue.Options{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { repo.Close() })
+	if err := repo.CreateQueue(queue.QueueConfig{Name: "req"}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	for i := 0; i < instances; i++ {
+		srv, err := NewServer(ServerConfig{Repo: repo, Queue: "req", Name: fmt.Sprintf("s%d", i),
+			Handler: func(rc *ReqCtx) ([]byte, error) {
+				if workDelay > 0 {
+					time.Sleep(workDelay)
+				}
+				return echoHandler(rc)
+			}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		go srv.Serve(ctx)
+	}
+	return repo
+}
+
+func TestStreamBasicPipelining(t *testing.T) {
+	repo := newStreamEnv(t, 3, 0)
+	ctx := context.Background()
+	sc := NewStreamClerk(&LocalConn{Repo: repo}, ClerkConfig{ClientID: "sc", RequestQueue: "req"}, 4)
+	out, err := sc.Connect(ctx)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("connect: %v %v", out, err)
+	}
+	// Fill the window.
+	for i := 0; i < 4; i++ {
+		if err := sc.Send(ctx, ridFor(i), []byte(fmt.Sprintf("w%d", i)), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sc.Send(ctx, ridFor(9), nil, nil); !errors.Is(err, ErrWindowFull) {
+		t.Fatalf("over-window send: %v", err)
+	}
+	got := map[string]bool{}
+	if err := sc.Drain(ctx, func(rep Reply) { got[rep.RID] = true }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("drained %d replies", len(got))
+	}
+	for i := 0; i < 4; i++ {
+		if !got[ridFor(i)] {
+			t.Fatalf("missing reply for %s", ridFor(i))
+		}
+		if n := execCount(t, repo, ridFor(i)); n != 1 {
+			t.Fatalf("%s executed %d times", ridFor(i), n)
+		}
+	}
+	if err := sc.Disconnect(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamWindowRecoveryAfterCrash(t *testing.T) {
+	// The window crosses a client crash: replies received before the crash
+	// are not re-expected; unanswered requests are still expected; nothing
+	// is resent.
+	repo := newStreamEnv(t, 2, 0)
+	ctx := context.Background()
+	sc := NewStreamClerk(&LocalConn{Repo: repo}, ClerkConfig{ClientID: "sc", RequestQueue: "req"}, 8)
+	if _, err := sc.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if err := sc.Send(ctx, ridFor(i), []byte("x"), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Receive two replies, then crash.
+	received := map[string]bool{}
+	for k := 0; k < 2; k++ {
+		rep, err := sc.Receive(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		received[rep.RID] = true
+	}
+
+	sc2 := NewStreamClerk(&LocalConn{Repo: repo}, ClerkConfig{ClientID: "sc", RequestQueue: "req"}, 8)
+	outstanding, err := sc2.Connect(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outstanding) != 4 {
+		t.Fatalf("recovered outstanding = %v, want 4 rids", outstanding)
+	}
+	for _, rid := range outstanding {
+		if received[rid] {
+			t.Fatalf("recovered window re-expects already-received %s", rid)
+		}
+	}
+	if err := sc2.Drain(ctx, func(rep Reply) { received[rep.RID] = true }); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if !received[ridFor(i)] {
+			t.Fatalf("reply for %s never received", ridFor(i))
+		}
+		if n := execCount(t, repo, ridFor(i)); n != 1 {
+			t.Fatalf("%s executed %d times", ridFor(i), n)
+		}
+	}
+}
+
+func TestStreamCrashAfterSendIsRecovered(t *testing.T) {
+	// Crash immediately after a Send: the new incarnation sees it
+	// outstanding (the send tag won the op-number race).
+	repo := newStreamEnv(t, 1, 0)
+	ctx := context.Background()
+	sc := NewStreamClerk(&LocalConn{Repo: repo}, ClerkConfig{ClientID: "sc", RequestQueue: "req"}, 4)
+	if _, err := sc.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Send(ctx, "rid-000001", []byte("x"), nil); err != nil {
+		t.Fatal(err)
+	}
+
+	sc2 := NewStreamClerk(&LocalConn{Repo: repo}, ClerkConfig{ClientID: "sc", RequestQueue: "req"}, 4)
+	outstanding, err := sc2.Connect(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outstanding) != 1 || outstanding[0] != "rid-000001" {
+		t.Fatalf("outstanding = %v", outstanding)
+	}
+	rep, err := sc2.Receive(ctx)
+	if err != nil || rep.RID != "rid-000001" {
+		t.Fatalf("reply %+v %v", rep, err)
+	}
+	if n := execCount(t, repo, "rid-000001"); n != 1 {
+		t.Fatalf("executed %d times", n)
+	}
+}
+
+func TestStreamExactlyOnceUnderRandomCrashes(t *testing.T) {
+	// Randomized crash points across a streamed workload: every request
+	// executes exactly once, every reply is eventually received by some
+	// incarnation, and no request is ever re-sent.
+	repo := newStreamEnv(t, 3, time.Millisecond)
+	ctx := context.Background()
+	const total = 30
+	const window = 5
+	rng := rand.New(rand.NewSource(77))
+	received := map[string]bool{}
+	next := 0
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("workload never completed")
+		}
+		sc := NewStreamClerk(&LocalConn{Repo: repo}, ClerkConfig{
+			ClientID: "sc", RequestQueue: "req", ReceiveWait: 300 * time.Millisecond}, window)
+		outstanding, err := sc.Connect(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Don't resend recovered rids; continue numbering after the max.
+		for _, rid := range outstanding {
+			var i int
+			fmt.Sscanf(rid, "rid-%d", &i)
+			if i >= next {
+				next = i + 1
+			}
+		}
+		crashed := false
+		for !crashed {
+			// Keep the window full while work remains.
+			for len(sc.Outstanding()) < window && next < total {
+				if err := sc.Send(ctx, ridFor(next), []byte("x"), nil); err != nil {
+					t.Fatal(err)
+				}
+				next++
+				if rng.Intn(8) == 0 {
+					crashed = true
+					break
+				}
+			}
+			if crashed {
+				break
+			}
+			if len(sc.Outstanding()) == 0 {
+				if next >= total {
+					// Done.
+					for i := 0; i < total; i++ {
+						if !received[ridFor(i)] {
+							t.Fatalf("reply for %s never received", ridFor(i))
+						}
+						if n := execCount(t, repo, ridFor(i)); n != 1 {
+							t.Fatalf("%s executed %d times", ridFor(i), n)
+						}
+					}
+					return
+				}
+				continue
+			}
+			rep, err := sc.Receive(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if received[rep.RID] {
+				t.Fatalf("reply for %s delivered twice", rep.RID)
+			}
+			received[rep.RID] = true
+			if rng.Intn(8) == 0 {
+				crashed = true
+			}
+		}
+		// Crash: drop the clerk, loop to a new incarnation.
+	}
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"context"
+	"fmt"
+)
+
+// ThreadedClerk is the Section 5 in-client concurrency extension: "This
+// amounts to identifying a client by both a client-id and a 'thread'-id.
+// The system now maintains an array of [req-tag, reply-tag] pairs for the
+// client, one for each thread-id. The entire array is returned by a
+// Connect operation."
+//
+// Each thread is a full fig. 1 client: its registrant is
+// "<client-id>#t<i>" and its private reply queue is per-thread, so replies
+// can never cross threads. ConnectAll returns the whole array of
+// resynchronisation records, one per thread, exactly as the paper
+// describes.
+type ThreadedClerk struct {
+	qm      QMConn
+	cfg     ClerkConfig
+	threads []*Clerk
+}
+
+// NewThreadedClerk returns a clerk with n independent threads.
+func NewThreadedClerk(qm QMConn, cfg ClerkConfig, n int) *ThreadedClerk {
+	tc := &ThreadedClerk{qm: qm, cfg: cfg}
+	for i := 0; i < n; i++ {
+		tcfg := cfg
+		tcfg.ClientID = fmt.Sprintf("%s#t%d", cfg.ClientID, i)
+		tcfg.ReplyQueue = "" // derive per-thread from the thread's id
+		tc.threads = append(tc.threads, NewClerk(qm, tcfg))
+	}
+	return tc
+}
+
+// Threads returns the number of threads.
+func (tc *ThreadedClerk) Threads() int { return len(tc.threads) }
+
+// Thread returns thread i's clerk; each thread is used by one goroutine.
+func (tc *ThreadedClerk) Thread(i int) *Clerk { return tc.threads[i] }
+
+// ConnectAll connects every thread and returns the array of [s-rid, r-rid,
+// ckpt] resynchronisation records, indexed by thread-id.
+func (tc *ThreadedClerk) ConnectAll(ctx context.Context) ([]ConnectInfo, error) {
+	infos := make([]ConnectInfo, len(tc.threads))
+	for i, th := range tc.threads {
+		info, err := th.Connect(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("core: thread %d connect: %w", i, err)
+		}
+		infos[i] = info
+	}
+	return infos, nil
+}
+
+// DisconnectAll disconnects every thread.
+func (tc *ThreadedClerk) DisconnectAll(ctx context.Context) error {
+	for i, th := range tc.threads {
+		if th.State() == StateDisconnected {
+			continue
+		}
+		if err := th.Disconnect(ctx); err != nil {
+			return fmt.Errorf("core: thread %d disconnect: %w", i, err)
+		}
+	}
+	return nil
+}

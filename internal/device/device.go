@@ -1,0 +1,130 @@
+// Package device simulates the non-idempotent output devices of the
+// paper's exactly-once reply-processing discussion (Section 3, citing
+// Pausch 88): a ticket printer and a cash dispenser. Both are *testable*
+// devices — the client can read the device's state (the next ticket
+// serial, the dispensed total) before receiving a reply, record that state
+// in the Receive's ckpt parameter, and compare at recovery: "if they don't
+// match, then it knows the reply was already processed".
+package device
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+)
+
+// TicketPrinter prints serially numbered tickets. Printing is
+// non-idempotent: the same logical ticket printed twice produces two
+// physical tickets — the failure the ckpt protocol exists to prevent.
+type TicketPrinter struct {
+	mu      sync.Mutex
+	next    int
+	printed []string
+}
+
+// NewTicketPrinter starts at serial 1.
+func NewTicketPrinter() *TicketPrinter { return &TicketPrinter{next: 1} }
+
+// State returns the device-readable state: the serial the next Print will
+// use. This is the "testable device" read.
+func (p *TicketPrinter) State() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return strconv.Itoa(p.next)
+}
+
+// Print emits a ticket and advances the serial.
+func (p *TicketPrinter) Print(text string) (serial int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	serial = p.next
+	p.next++
+	p.printed = append(p.printed, fmt.Sprintf("#%d %s", serial, text))
+	return serial
+}
+
+// Printed returns every ticket ever printed (test inspection).
+func (p *TicketPrinter) Printed() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]string(nil), p.printed...)
+}
+
+// Count returns how many tickets have been printed.
+func (p *TicketPrinter) Count() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.printed)
+}
+
+// CashDispenser dispenses money; its testable state is the running total
+// dispensed.
+type CashDispenser struct {
+	mu        sync.Mutex
+	dispensed int
+	events    int
+}
+
+// NewCashDispenser returns an empty dispenser.
+func NewCashDispenser() *CashDispenser { return &CashDispenser{} }
+
+// State returns the total dispensed so far, as the device-readable state.
+func (d *CashDispenser) State() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return strconv.Itoa(d.dispensed)
+}
+
+// Dispense pays out amount.
+func (d *CashDispenser) Dispense(amount int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.dispensed += amount
+	d.events++
+}
+
+// Total returns the amount dispensed.
+func (d *CashDispenser) Total() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.dispensed
+}
+
+// Events returns how many dispense operations occurred.
+func (d *CashDispenser) Events() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.events
+}
+
+// Testable is the common surface of a testable device: its state register.
+type Testable interface {
+	State() string
+}
+
+var (
+	_ Testable = (*TicketPrinter)(nil)
+	_ Testable = (*CashDispenser)(nil)
+)
+
+// ExactlyOnceGuard implements the Section 3 protocol around a testable
+// device: read the device state before Receive, store it in the ckpt, and
+// at recovery compare the recovered ckpt with the device's current state —
+// unequal means the reply was already processed and must not be processed
+// again.
+type ExactlyOnceGuard struct {
+	Device Testable
+}
+
+// Ckpt returns the checkpoint to attach to a Receive: the device state
+// read just before receiving.
+func (g *ExactlyOnceGuard) Ckpt() []byte { return []byte(g.Device.State()) }
+
+// AlreadyProcessed reports whether the reply guarded by the recovered
+// ckpt was already processed: the device state moved past the checkpoint.
+func (g *ExactlyOnceGuard) AlreadyProcessed(recoveredCkpt []byte) bool {
+	if len(recoveredCkpt) == 0 {
+		return false
+	}
+	return g.Device.State() != string(recoveredCkpt)
+}

@@ -1,0 +1,169 @@
+package device
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/queue"
+)
+
+func TestTicketPrinter(t *testing.T) {
+	p := NewTicketPrinter()
+	if p.State() != "1" {
+		t.Fatalf("initial state %q", p.State())
+	}
+	if s := p.Print("first"); s != 1 {
+		t.Fatalf("serial %d", s)
+	}
+	if s := p.Print("second"); s != 2 {
+		t.Fatalf("serial %d", s)
+	}
+	if p.State() != "3" || p.Count() != 2 {
+		t.Fatalf("state %q count %d", p.State(), p.Count())
+	}
+	printed := p.Printed()
+	if printed[0] != "#1 first" || printed[1] != "#2 second" {
+		t.Fatalf("printed %v", printed)
+	}
+}
+
+func TestCashDispenser(t *testing.T) {
+	d := NewCashDispenser()
+	d.Dispense(100)
+	d.Dispense(50)
+	if d.Total() != 150 || d.Events() != 2 || d.State() != "150" {
+		t.Fatalf("total=%d events=%d state=%q", d.Total(), d.Events(), d.State())
+	}
+}
+
+func TestGuardDetectsProcessedReply(t *testing.T) {
+	p := NewTicketPrinter()
+	g := &ExactlyOnceGuard{Device: p}
+	ck := g.Ckpt()
+	if g.AlreadyProcessed(ck) {
+		t.Fatal("fresh ckpt reported processed")
+	}
+	p.Print("the ticket")
+	if !g.AlreadyProcessed(ck) {
+		t.Fatal("printed ticket not detected")
+	}
+	if g.AlreadyProcessed(nil) {
+		t.Fatal("empty ckpt reported processed")
+	}
+}
+
+// TestExactlyOnceTicketPrintingUnderCrashes is the full Section 3
+// scenario: a client prints one ticket per reply on a non-idempotent
+// printer, crashing randomly after receive and after processing. The
+// ckpt/testable-device protocol must yield exactly one physical ticket per
+// request despite at-least-once reply processing.
+func TestExactlyOnceTicketPrintingUnderCrashes(t *testing.T) {
+	repo, _, err := queue.Open(t.TempDir(), queue.Options{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { repo.Close() })
+	if err := repo.CreateQueue(queue.QueueConfig{Name: "req"}); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := core.NewServer(core.ServerConfig{Repo: repo, Queue: "req", Handler: func(rc *core.ReqCtx) ([]byte, error) {
+		return []byte("ticket for " + rc.Request.RID), nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	go srv.Serve(ctx)
+
+	printer := NewTicketPrinter()
+	guard := &ExactlyOnceGuard{Device: printer}
+	const total = 20
+
+	// The ticket client: like core.SequentialClient but with the testable-
+	// device ckpt discipline, hand-rolled because the ckpt must be read
+	// from the device immediately before each Receive.
+	crash := chaos.NewPoints(2024)
+	crash.FailWithProb("afterReceive", 0.25, 0)
+	crash.FailWithProb("afterPrint", 0.25, 0)
+
+	crashes := 0
+	for {
+		err := func() error {
+			clerk := core.NewClerk(&core.LocalConn{Repo: repo}, core.ClerkConfig{ClientID: "ticketc", RequestQueue: "req"})
+			info, err := clerk.Connect(ctx)
+			if err != nil {
+				return err
+			}
+			next := 0
+			if info.SRID != "" {
+				fmt.Sscanf(info.SRID, "rid-%d", &next)
+				if info.Outstanding {
+					// Reply never received: receive it with a fresh device
+					// checkpoint and print.
+					rep, err := clerk.Receive(ctx, guard.Ckpt())
+					if err != nil {
+						return err
+					}
+					if crash.Hit("afterReceive") {
+						return core.ErrCrashed
+					}
+					printer.Print(string(rep.Body))
+					if crash.Hit("afterPrint") {
+						return core.ErrCrashed
+					}
+				} else if !guard.AlreadyProcessed(info.Ckpt) {
+					// Reply received before the crash but the ticket was
+					// never printed: print from the retained reply.
+					rep, err := clerk.Rereceive(ctx)
+					if err != nil {
+						return err
+					}
+					printer.Print(string(rep.Body))
+					if crash.Hit("afterPrint") {
+						return core.ErrCrashed
+					}
+				}
+				// else: the device state moved past the ckpt — the ticket
+				// was printed; do NOT print again.
+				next++
+			}
+			for i := next; i < total; i++ {
+				rid := fmt.Sprintf("rid-%06d", i)
+				if err := clerk.Send(ctx, rid, []byte("seat"), nil); err != nil {
+					return err
+				}
+				rep, err := clerk.Receive(ctx, guard.Ckpt())
+				if err != nil {
+					return err
+				}
+				if crash.Hit("afterReceive") {
+					return core.ErrCrashed
+				}
+				printer.Print(string(rep.Body))
+				if crash.Hit("afterPrint") {
+					return core.ErrCrashed
+				}
+			}
+			return nil
+		}()
+		if err == nil {
+			break
+		}
+		if err == core.ErrCrashed {
+			crashes++
+			continue
+		}
+		t.Fatal(err)
+	}
+	if crashes == 0 {
+		t.Fatal("no crashes fired; test is vacuous")
+	}
+	t.Logf("survived %d crashes", crashes)
+	if printer.Count() != total {
+		t.Fatalf("printed %d tickets for %d requests — duplicates or losses", printer.Count(), total)
+	}
+}

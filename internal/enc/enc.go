@@ -1,0 +1,308 @@
+// Package enc provides small, allocation-conscious binary encoding helpers
+// shared by the write-ahead log, snapshot files, and the RPC wire format.
+//
+// The format is deliberately simple: unsigned varints for integers, and
+// length-prefixed byte strings. All multi-byte fixed-width values are
+// little-endian. Decoding is strict: every decode reports an error on
+// truncated or malformed input instead of panicking, because the inputs may
+// come from a torn log tail or from the network.
+package enc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Errors returned by the decoder.
+var (
+	// ErrShortBuffer reports that the input ended before a complete value.
+	ErrShortBuffer = errors.New("enc: short buffer")
+	// ErrOverflow reports a varint that does not fit the requested width.
+	ErrOverflow = errors.New("enc: varint overflow")
+	// ErrLength reports a length prefix that exceeds the remaining input.
+	ErrLength = errors.New("enc: length prefix exceeds remaining input")
+)
+
+// Buffer is an append-only encoder. The zero value is ready to use.
+type Buffer struct {
+	b []byte
+}
+
+// NewBuffer returns a Buffer with the given initial capacity.
+func NewBuffer(capacity int) *Buffer {
+	return &Buffer{b: make([]byte, 0, capacity)}
+}
+
+// Bytes returns the encoded bytes. The slice aliases the buffer's storage
+// and is invalidated by further writes.
+func (e *Buffer) Bytes() []byte { return e.b }
+
+// Len returns the number of encoded bytes.
+func (e *Buffer) Len() int { return len(e.b) }
+
+// Reset truncates the buffer to empty, retaining its storage.
+func (e *Buffer) Reset() { e.b = e.b[:0] }
+
+// Uvarint appends v as an unsigned varint.
+func (e *Buffer) Uvarint(v uint64) {
+	e.b = binary.AppendUvarint(e.b, v)
+}
+
+// Varint appends v as a zig-zag signed varint.
+func (e *Buffer) Varint(v int64) {
+	e.b = binary.AppendVarint(e.b, v)
+}
+
+// Uint8 appends a single byte.
+func (e *Buffer) Uint8(v uint8) { e.b = append(e.b, v) }
+
+// Uint32 appends a fixed-width little-endian uint32.
+func (e *Buffer) Uint32(v uint32) {
+	e.b = binary.LittleEndian.AppendUint32(e.b, v)
+}
+
+// Uint64 appends a fixed-width little-endian uint64.
+func (e *Buffer) Uint64(v uint64) {
+	e.b = binary.LittleEndian.AppendUint64(e.b, v)
+}
+
+// Bool appends a boolean as one byte (0 or 1).
+func (e *Buffer) Bool(v bool) {
+	if v {
+		e.b = append(e.b, 1)
+	} else {
+		e.b = append(e.b, 0)
+	}
+}
+
+// Bytes appends a length-prefixed byte string. A nil slice round-trips as an
+// empty slice.
+func (e *Buffer) BytesField(v []byte) {
+	e.Uvarint(uint64(len(v)))
+	e.b = append(e.b, v...)
+}
+
+// String appends a length-prefixed string.
+func (e *Buffer) String(v string) {
+	e.Uvarint(uint64(len(v)))
+	e.b = append(e.b, v...)
+}
+
+// StringMap appends a map of strings as a count followed by key/value pairs.
+// Iteration order of Go maps is randomized, so the encoding of a map is not
+// canonical; decoders must not assume any pair order.
+func (e *Buffer) StringMap(m map[string]string) {
+	e.Uvarint(uint64(len(m)))
+	for k, v := range m {
+		e.String(k)
+		e.String(v)
+	}
+}
+
+// StringSlice appends a count-prefixed slice of strings.
+func (e *Buffer) StringSlice(s []string) {
+	e.Uvarint(uint64(len(s)))
+	for _, v := range s {
+		e.String(v)
+	}
+}
+
+// Reader decodes values from a byte slice in the order they were appended.
+type Reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+// NewReader returns a Reader over b. The Reader does not copy b.
+func NewReader(b []byte) *Reader { return &Reader{b: b} }
+
+// Err returns the first error encountered while decoding, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of undecoded bytes.
+func (r *Reader) Remaining() int { return len(r.b) - r.off }
+
+// fail records the first decode error and returns it.
+func (r *Reader) fail(err error) error {
+	if r.err == nil {
+		r.err = err
+	}
+	return r.err
+}
+
+// Uvarint decodes an unsigned varint.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		if n == 0 {
+			r.fail(ErrShortBuffer)
+		} else {
+			r.fail(ErrOverflow)
+		}
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Varint decodes a zig-zag signed varint.
+func (r *Reader) Varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		if n == 0 {
+			r.fail(ErrShortBuffer)
+		} else {
+			r.fail(ErrOverflow)
+		}
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Uint8 decodes a single byte.
+func (r *Reader) Uint8() uint8 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.b) {
+		r.fail(ErrShortBuffer)
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+// Uint32 decodes a fixed-width little-endian uint32.
+func (r *Reader) Uint32() uint32 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+4 > len(r.b) {
+		r.fail(ErrShortBuffer)
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+// Uint64 decodes a fixed-width little-endian uint64.
+func (r *Reader) Uint64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+8 > len(r.b) {
+		r.fail(ErrShortBuffer)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+// Bool decodes a boolean byte. Any nonzero byte decodes as true.
+func (r *Reader) Bool() bool { return r.Uint8() != 0 }
+
+// BytesField decodes a length-prefixed byte string. The returned slice is a
+// copy and remains valid after the Reader's input is reused.
+func (r *Reader) BytesField() []byte {
+	n := r.Uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.b)-r.off) {
+		r.fail(ErrLength)
+		return nil
+	}
+	if n > math.MaxInt32 {
+		r.fail(ErrLength)
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.b[r.off:r.off+int(n)])
+	r.off += int(n)
+	return out
+}
+
+// String decodes a length-prefixed string.
+func (r *Reader) String() string {
+	n := r.Uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(len(r.b)-r.off) {
+		r.fail(ErrLength)
+		return ""
+	}
+	s := string(r.b[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s
+}
+
+// StringMap decodes a map written by Buffer.StringMap. A zero-length map
+// decodes as nil so that nil round-trips through empty.
+func (r *Reader) StringMap() map[string]string {
+	n := r.Uvarint()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	if n > uint64(r.Remaining()) {
+		// Each pair needs at least two length bytes; a count larger than the
+		// remaining byte count is certainly corrupt.
+		r.fail(ErrLength)
+		return nil
+	}
+	m := make(map[string]string, n)
+	for i := uint64(0); i < n; i++ {
+		k := r.String()
+		v := r.String()
+		if r.err != nil {
+			return nil
+		}
+		m[k] = v
+	}
+	return m
+}
+
+// StringSlice decodes a slice written by Buffer.StringSlice.
+func (r *Reader) StringSlice() []string {
+	n := r.Uvarint()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	if n > uint64(r.Remaining()) {
+		r.fail(ErrLength)
+		return nil
+	}
+	s := make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		s = append(s, r.String())
+		if r.err != nil {
+			return nil
+		}
+	}
+	return s
+}
+
+// Finish reports an error if decoding failed or input remains. Use it when a
+// message must be consumed exactly.
+func (r *Reader) Finish() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.Remaining() != 0 {
+		return fmt.Errorf("enc: %d trailing bytes", r.Remaining())
+	}
+	return nil
+}

@@ -1,0 +1,272 @@
+package enc
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripScalars(t *testing.T) {
+	b := NewBuffer(64)
+	b.Uvarint(0)
+	b.Uvarint(math.MaxUint64)
+	b.Varint(-1)
+	b.Varint(math.MinInt64)
+	b.Varint(math.MaxInt64)
+	b.Uint8(0xab)
+	b.Uint32(0xdeadbeef)
+	b.Uint64(0x0102030405060708)
+	b.Bool(true)
+	b.Bool(false)
+
+	r := NewReader(b.Bytes())
+	if got := r.Uvarint(); got != 0 {
+		t.Errorf("Uvarint = %d, want 0", got)
+	}
+	if got := r.Uvarint(); got != math.MaxUint64 {
+		t.Errorf("Uvarint = %d, want MaxUint64", got)
+	}
+	if got := r.Varint(); got != -1 {
+		t.Errorf("Varint = %d, want -1", got)
+	}
+	if got := r.Varint(); got != math.MinInt64 {
+		t.Errorf("Varint = %d, want MinInt64", got)
+	}
+	if got := r.Varint(); got != math.MaxInt64 {
+		t.Errorf("Varint = %d, want MaxInt64", got)
+	}
+	if got := r.Uint8(); got != 0xab {
+		t.Errorf("Uint8 = %#x, want 0xab", got)
+	}
+	if got := r.Uint32(); got != 0xdeadbeef {
+		t.Errorf("Uint32 = %#x", got)
+	}
+	if got := r.Uint64(); got != 0x0102030405060708 {
+		t.Errorf("Uint64 = %#x", got)
+	}
+	if got := r.Bool(); !got {
+		t.Error("Bool = false, want true")
+	}
+	if got := r.Bool(); got {
+		t.Error("Bool = true, want false")
+	}
+	if err := r.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+}
+
+func TestRoundTripComposite(t *testing.T) {
+	b := NewBuffer(0)
+	b.BytesField([]byte("hello"))
+	b.BytesField(nil)
+	b.String("world")
+	b.String("")
+	b.StringMap(map[string]string{"a": "1", "b": "2"})
+	b.StringSlice([]string{"x", "", "z"})
+
+	r := NewReader(b.Bytes())
+	if got := r.BytesField(); !bytes.Equal(got, []byte("hello")) {
+		t.Errorf("BytesField = %q", got)
+	}
+	if got := r.BytesField(); len(got) != 0 {
+		t.Errorf("nil BytesField = %q, want empty", got)
+	}
+	if got := r.String(); got != "world" {
+		t.Errorf("String = %q", got)
+	}
+	if got := r.String(); got != "" {
+		t.Errorf("empty String = %q", got)
+	}
+	m := r.StringMap()
+	if len(m) != 2 || m["a"] != "1" || m["b"] != "2" {
+		t.Errorf("StringMap = %v", m)
+	}
+	s := r.StringSlice()
+	if len(s) != 3 || s[0] != "x" || s[1] != "" || s[2] != "z" {
+		t.Errorf("StringSlice = %v", s)
+	}
+	if err := r.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+}
+
+func TestBytesFieldIsCopy(t *testing.T) {
+	b := NewBuffer(0)
+	b.BytesField([]byte{1, 2, 3})
+	raw := b.Bytes()
+	r := NewReader(raw)
+	got := r.BytesField()
+	raw[1] = 0xff // clobber the underlying storage
+	if got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("decoded bytes alias input: %v", got)
+	}
+}
+
+func TestTruncatedInputs(t *testing.T) {
+	// Build a complete message, then verify every strict prefix fails to
+	// decode cleanly rather than panicking or returning garbage silently.
+	b := NewBuffer(0)
+	b.Uvarint(300)
+	b.String("abcdef")
+	b.Uint64(42)
+	full := b.Bytes()
+
+	for n := 0; n < len(full); n++ {
+		r := NewReader(full[:n])
+		r.Uvarint()
+		_ = r.String()
+		r.Uint64()
+		if r.Err() == nil {
+			t.Fatalf("prefix len %d: expected decode error, got none", n)
+		}
+	}
+}
+
+func TestLengthPrefixBeyondInput(t *testing.T) {
+	b := NewBuffer(0)
+	b.Uvarint(1 << 40) // a huge claimed length with no payload
+	r := NewReader(b.Bytes())
+	if got := r.BytesField(); got != nil {
+		t.Errorf("BytesField = %v, want nil", got)
+	}
+	if r.Err() == nil {
+		t.Fatal("expected error for oversized length prefix")
+	}
+}
+
+func TestCorruptMapCount(t *testing.T) {
+	b := NewBuffer(0)
+	b.Uvarint(1 << 40)
+	r := NewReader(b.Bytes())
+	if m := r.StringMap(); m != nil {
+		t.Errorf("StringMap = %v, want nil", m)
+	}
+	if r.Err() == nil {
+		t.Fatal("expected error for corrupt map count")
+	}
+}
+
+func TestErrorSticky(t *testing.T) {
+	r := NewReader(nil)
+	r.Uint64() // fails
+	first := r.Err()
+	if first == nil {
+		t.Fatal("expected error")
+	}
+	r.Uint32()
+	_ = r.String()
+	if r.Err() != first {
+		t.Errorf("error not sticky: %v != %v", r.Err(), first)
+	}
+}
+
+func TestFinishTrailing(t *testing.T) {
+	b := NewBuffer(0)
+	b.Uint8(1)
+	b.Uint8(2)
+	r := NewReader(b.Bytes())
+	r.Uint8()
+	if err := r.Finish(); err == nil {
+		t.Fatal("Finish should report trailing bytes")
+	}
+}
+
+func TestReset(t *testing.T) {
+	b := NewBuffer(0)
+	b.String("abc")
+	b.Reset()
+	if b.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", b.Len())
+	}
+	b.Uint8(7)
+	r := NewReader(b.Bytes())
+	if got := r.Uint8(); got != 7 {
+		t.Errorf("after reset Uint8 = %d", got)
+	}
+	if err := r.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+}
+
+// quickMsg is an arbitrary composite message for the property test.
+type quickMsg struct {
+	U   uint64
+	V   int64
+	B   []byte
+	S   string
+	M   map[string]string
+	L   []string
+	F   bool
+	U32 uint32
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(m quickMsg) bool {
+		b := NewBuffer(0)
+		b.Uvarint(m.U)
+		b.Varint(m.V)
+		b.BytesField(m.B)
+		b.String(m.S)
+		b.StringMap(m.M)
+		b.StringSlice(m.L)
+		b.Bool(m.F)
+		b.Uint32(m.U32)
+
+		r := NewReader(b.Bytes())
+		if r.Uvarint() != m.U || r.Varint() != m.V {
+			return false
+		}
+		if gb := r.BytesField(); !bytes.Equal(gb, m.B) && !(len(gb) == 0 && len(m.B) == 0) {
+			return false
+		}
+		if r.String() != m.S {
+			return false
+		}
+		gm := r.StringMap()
+		if len(gm) != len(m.M) {
+			return false
+		}
+		for k, v := range m.M {
+			if gm[k] != v {
+				return false
+			}
+		}
+		gl := r.StringSlice()
+		if len(gl) != len(m.L) {
+			return false
+		}
+		for i := range m.L {
+			if gl[i] != m.L[i] {
+				return false
+			}
+		}
+		if r.Bool() != m.F || r.Uint32() != m.U32 {
+			return false
+		}
+		return r.Finish() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDecodeNeverPanics(t *testing.T) {
+	// Feed random byte soup into every decoder; it must error or succeed,
+	// never panic.
+	f := func(raw []byte) bool {
+		r := NewReader(raw)
+		r.Uvarint()
+		_ = r.String()
+		r.BytesField()
+		r.StringMap()
+		r.StringSlice()
+		r.Uint64()
+		r.Varint()
+		_ = r.Err()
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,61 @@
+package enc
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReaderNeverPanics feeds arbitrary bytes through every decoder; the
+// contract is error-or-value, never a panic or unbounded allocation.
+func FuzzReaderNeverPanics(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	b := NewBuffer(0)
+	b.Uvarint(3)
+	b.String("seed")
+	b.BytesField([]byte{1, 2, 3})
+	b.StringMap(map[string]string{"k": "v"})
+	f.Add(b.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(data)
+		r.Uvarint()
+		r.Varint()
+		_ = r.String()
+		r.BytesField()
+		r.StringMap()
+		r.StringSlice()
+		r.Uint8()
+		r.Uint32()
+		r.Uint64()
+		r.Bool()
+		_ = r.Err()
+		_ = r.Remaining()
+	})
+}
+
+// FuzzRoundTrip checks that any (string, bytes, uint) triple round-trips
+// exactly.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add("key", []byte("value"), uint64(42))
+	f.Add("", []byte{}, uint64(0))
+	f.Fuzz(func(t *testing.T, s string, p []byte, u uint64) {
+		b := NewBuffer(0)
+		b.String(s)
+		b.BytesField(p)
+		b.Uvarint(u)
+		r := NewReader(b.Bytes())
+		if got := r.String(); got != s {
+			t.Fatalf("string %q != %q", got, s)
+		}
+		if got := r.BytesField(); !bytes.Equal(got, p) && !(len(got) == 0 && len(p) == 0) {
+			t.Fatalf("bytes %v != %v", got, p)
+		}
+		if got := r.Uvarint(); got != u {
+			t.Fatalf("uvarint %d != %d", got, u)
+		}
+		if err := r.Finish(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

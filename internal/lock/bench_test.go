@@ -1,0 +1,93 @@
+package lock
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func BenchmarkAcquireReleaseUncontended(b *testing.B) {
+	m := NewManager()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Acquire(ctx, 1, "r", Exclusive); err != nil {
+			b.Fatal(err)
+		}
+		m.ReleaseAll(1)
+	}
+}
+
+func BenchmarkTryAcquireFree(b *testing.B) {
+	m := NewManager()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.TryAcquire(1, "r", Exclusive); err != nil {
+			b.Fatal(err)
+		}
+		m.ReleaseAll(1)
+	}
+}
+
+func BenchmarkTryAcquireBlocked(b *testing.B) {
+	m := NewManager()
+	if err := m.Acquire(context.Background(), 1, "r", Exclusive); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.TryAcquire(2, "r", Exclusive); err == nil {
+			b.Fatal("acquired held lock")
+		}
+	}
+}
+
+func BenchmarkContendedSharedParallel(b *testing.B) {
+	m := NewManager()
+	ctx := context.Background()
+	var owner atomic.Uint64
+	b.RunParallel(func(pb *testing.PB) {
+		id := owner.Add(1)
+		for pb.Next() {
+			if err := m.Acquire(ctx, id, "hot", Shared); err != nil {
+				b.Error(err)
+				return
+			}
+			m.ReleaseAll(id)
+		}
+	})
+}
+
+func BenchmarkDisjointExclusiveParallel(b *testing.B) {
+	m := NewManager()
+	ctx := context.Background()
+	var owner atomic.Uint64
+	b.RunParallel(func(pb *testing.PB) {
+		id := owner.Add(1)
+		res := fmt.Sprintf("r%d", id)
+		for pb.Next() {
+			if err := m.Acquire(ctx, id, res, Exclusive); err != nil {
+				b.Error(err)
+				return
+			}
+			m.ReleaseAll(id)
+		}
+	})
+}
+
+func BenchmarkTransfer(b *testing.B) {
+	m := NewManager()
+	ctx := context.Background()
+	for i := 0; i < 8; i++ {
+		if err := m.Acquire(ctx, 1, fmt.Sprintf("res-%d", i), Exclusive); err != nil {
+			b.Fatal(err)
+		}
+	}
+	from, to := uint64(1), uint64(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Transfer(from, to)
+		from, to = to, from
+	}
+}

@@ -1,0 +1,395 @@
+// Package lock implements the lock manager used by the transaction manager
+// and the queue manager.
+//
+// It provides strict two-phase locking with shared and exclusive modes,
+// FIFO wait queues, wait-for-graph deadlock detection, context-based
+// timeouts, non-blocking TryAcquire (the basis of the paper's skip-locked
+// queue scans, Section 10), and lock transfer between owners (the paper's
+// lock inheritance across the transactions of a multi-transaction request,
+// Section 6).
+//
+// Owners are identified by opaque uint64 ids — in practice transaction ids.
+// Resources are strings, namespaced by the caller (e.g. "q/<queue>/<eid>"
+// or "kv/<table>/<key>").
+package lock
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Mode is a lock mode.
+type Mode int8
+
+const (
+	// Shared permits concurrent holders that are all Shared.
+	Shared Mode = iota
+	// Exclusive permits exactly one holder.
+	Exclusive
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "X"
+	default:
+		return fmt.Sprintf("Mode(%d)", int8(m))
+	}
+}
+
+// compatible reports whether a new lock of mode b may be granted alongside
+// an existing holder of mode a.
+func compatible(a, b Mode) bool { return a == Shared && b == Shared }
+
+// Errors returned by Acquire.
+var (
+	// ErrDeadlock reports that granting the request would create a cycle in
+	// the wait-for graph; the requester is chosen as the victim.
+	ErrDeadlock = errors.New("lock: deadlock victim")
+	// ErrWouldBlock is returned by TryAcquire when the lock is unavailable.
+	ErrWouldBlock = errors.New("lock: would block")
+	// ErrNotHeld reports a release or transfer of a lock the owner does not
+	// hold.
+	ErrNotHeld = errors.New("lock: not held")
+)
+
+// Stats are cumulative counters for contention experiments.
+type Stats struct {
+	Acquires  uint64
+	Waits     uint64 // acquires that had to block
+	Deadlocks uint64
+	WaitNanos uint64 // total time spent blocked
+}
+
+// Manager is a lock manager. The zero value is not usable; call NewManager.
+type Manager struct {
+	mu    sync.Mutex
+	locks map[string]*lockState
+	held  map[uint64]map[string]Mode
+
+	acquires  atomic.Uint64
+	waits     atomic.Uint64
+	deadlocks atomic.Uint64
+	waitNanos atomic.Uint64
+}
+
+type lockState struct {
+	holders map[uint64]Mode
+	queue   []*waiter
+}
+
+type waiter struct {
+	owner uint64
+	mode  Mode
+	ready chan error // buffered(1); receives nil on grant or an error
+}
+
+// NewManager returns an empty lock manager.
+func NewManager() *Manager {
+	return &Manager{
+		locks: make(map[string]*lockState),
+		held:  make(map[uint64]map[string]Mode),
+	}
+}
+
+// Stats returns a snapshot of the cumulative counters.
+func (m *Manager) Stats() Stats {
+	return Stats{
+		Acquires:  m.acquires.Load(),
+		Waits:     m.waits.Load(),
+		Deadlocks: m.deadlocks.Load(),
+		WaitNanos: m.waitNanos.Load(),
+	}
+}
+
+// Acquire obtains resource in the given mode for owner, blocking until the
+// lock is granted, the context is done, or the request is chosen as a
+// deadlock victim. Re-acquiring a held lock is a no-op if the held mode is
+// at least as strong; a Shared-to-Exclusive upgrade is granted immediately
+// when owner is the sole holder and otherwise waits.
+func (m *Manager) Acquire(ctx context.Context, owner uint64, resource string, mode Mode) error {
+	m.acquires.Add(1)
+	m.mu.Lock()
+	ls := m.lockState(resource)
+
+	if cur, ok := ls.holders[owner]; ok {
+		if cur == Exclusive || mode == Shared {
+			m.mu.Unlock()
+			return nil // already strong enough
+		}
+		// Upgrade request.
+		if len(ls.holders) == 1 {
+			ls.holders[owner] = Exclusive
+			m.held[owner][resource] = Exclusive
+			m.mu.Unlock()
+			return nil
+		}
+		// Fall through to wait; the grant path understands upgrades.
+	}
+
+	if m.grantableLocked(ls, owner, mode) && len(ls.queue) == 0 {
+		m.grantLocked(ls, owner, resource, mode)
+		m.mu.Unlock()
+		return nil
+	}
+
+	// Must wait. Check for deadlock before enqueueing.
+	w := &waiter{owner: owner, mode: mode, ready: make(chan error, 1)}
+	ls.queue = append(ls.queue, w)
+	if m.wouldDeadlockLocked(owner) {
+		m.removeWaiterLocked(ls, w)
+		m.deadlocks.Add(1)
+		m.mu.Unlock()
+		return fmt.Errorf("%w: owner %d on %s", ErrDeadlock, owner, resource)
+	}
+	m.waits.Add(1)
+	m.mu.Unlock()
+
+	start := time.Now()
+	select {
+	case err := <-w.ready:
+		m.waitNanos.Add(uint64(time.Since(start).Nanoseconds()))
+		return err
+	case <-ctx.Done():
+		m.waitNanos.Add(uint64(time.Since(start).Nanoseconds()))
+		m.mu.Lock()
+		// We may have been granted between ctx firing and taking the lock.
+		select {
+		case err := <-w.ready:
+			m.mu.Unlock()
+			return err
+		default:
+		}
+		m.removeWaiterLocked(ls, w)
+		m.promoteLocked(ls, resource)
+		m.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// TryAcquire obtains the lock only if it is grantable immediately; it never
+// queues. Waiters ahead of the request do not block a TryAcquire — the
+// skip-locked scan wants "is it free right now", not fairness.
+func (m *Manager) TryAcquire(owner uint64, resource string, mode Mode) error {
+	m.acquires.Add(1)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ls := m.lockState(resource)
+	if cur, ok := ls.holders[owner]; ok {
+		if cur == Exclusive || mode == Shared {
+			return nil
+		}
+		if len(ls.holders) == 1 {
+			ls.holders[owner] = Exclusive
+			m.held[owner][resource] = Exclusive
+			return nil
+		}
+		return ErrWouldBlock
+	}
+	if m.grantableLocked(ls, owner, mode) {
+		m.grantLocked(ls, owner, resource, mode)
+		return nil
+	}
+	return ErrWouldBlock
+}
+
+// Release releases one resource held by owner and wakes eligible waiters.
+func (m *Manager) Release(owner uint64, resource string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.releaseLocked(owner, resource)
+}
+
+// ReleaseAll releases every lock held by owner (end of the two-phase
+// protocol) and wakes eligible waiters.
+func (m *Manager) ReleaseAll(owner uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for resource := range m.held[owner] {
+		_ = m.releaseLocked(owner, resource)
+	}
+	delete(m.held, owner)
+}
+
+// Transfer moves every lock held by from to owner to (the paper's lock
+// inheritance: "each transaction's database locks are inherited by the next
+// transaction in the sequence", Section 6). Waiters are unaffected: the
+// physical locks remain held throughout.
+func (m *Manager) Transfer(from, to uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for resource, mode := range m.held[from] {
+		ls := m.locks[resource]
+		delete(ls.holders, from)
+		// The destination may already hold it; keep the stronger mode.
+		if cur, ok := ls.holders[to]; !ok || mode == Exclusive && cur == Shared {
+			ls.holders[to] = mode
+		}
+		if m.held[to] == nil {
+			m.held[to] = make(map[string]Mode)
+		}
+		if cur, ok := m.held[to][resource]; !ok || mode == Exclusive && cur == Shared {
+			m.held[to][resource] = mode
+		}
+	}
+	delete(m.held, from)
+}
+
+// Holds reports whether owner holds resource in at least the given mode.
+func (m *Manager) Holds(owner uint64, resource string, mode Mode) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cur, ok := m.held[owner][resource]
+	return ok && (cur == Exclusive || mode == Shared)
+}
+
+// HeldBy returns the resources currently held by owner.
+func (m *Manager) HeldBy(owner uint64) []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.held[owner]))
+	for r := range m.held[owner] {
+		out = append(out, r)
+	}
+	return out
+}
+
+// --- internals (all require m.mu) ---
+
+func (m *Manager) lockState(resource string) *lockState {
+	ls, ok := m.locks[resource]
+	if !ok {
+		ls = &lockState{holders: make(map[uint64]Mode)}
+		m.locks[resource] = ls
+	}
+	return ls
+}
+
+func (m *Manager) grantableLocked(ls *lockState, owner uint64, mode Mode) bool {
+	for h, hm := range ls.holders {
+		if h == owner {
+			continue
+		}
+		if !compatible(hm, mode) {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *Manager) grantLocked(ls *lockState, owner uint64, resource string, mode Mode) {
+	if cur, ok := ls.holders[owner]; ok && cur == Exclusive {
+		mode = Exclusive
+	}
+	ls.holders[owner] = mode
+	if m.held[owner] == nil {
+		m.held[owner] = make(map[string]Mode)
+	}
+	m.held[owner][resource] = mode
+}
+
+func (m *Manager) releaseLocked(owner uint64, resource string) error {
+	ls, ok := m.locks[resource]
+	if !ok {
+		return fmt.Errorf("%w: %s by %d", ErrNotHeld, resource, owner)
+	}
+	if _, ok := ls.holders[owner]; !ok {
+		return fmt.Errorf("%w: %s by %d", ErrNotHeld, resource, owner)
+	}
+	delete(ls.holders, owner)
+	if held := m.held[owner]; held != nil {
+		delete(held, resource)
+		if len(held) == 0 {
+			delete(m.held, owner)
+		}
+	}
+	m.promoteLocked(ls, resource)
+	if len(ls.holders) == 0 && len(ls.queue) == 0 {
+		delete(m.locks, resource)
+	}
+	return nil
+}
+
+// promoteLocked grants queued waiters in FIFO order while compatible.
+func (m *Manager) promoteLocked(ls *lockState, resource string) {
+	for len(ls.queue) > 0 {
+		w := ls.queue[0]
+		// An upgrade waiter is grantable when it is the sole holder.
+		if cur, ok := ls.holders[w.owner]; ok && w.mode == Exclusive && cur == Shared {
+			if len(ls.holders) != 1 {
+				return
+			}
+			ls.holders[w.owner] = Exclusive
+			m.held[w.owner][resource] = Exclusive
+			ls.queue = ls.queue[1:]
+			w.ready <- nil
+			continue
+		}
+		if !m.grantableLocked(ls, w.owner, w.mode) {
+			return
+		}
+		m.grantLocked(ls, w.owner, resource, w.mode)
+		ls.queue = ls.queue[1:]
+		w.ready <- nil
+	}
+}
+
+func (m *Manager) removeWaiterLocked(ls *lockState, w *waiter) {
+	for i, q := range ls.queue {
+		if q == w {
+			ls.queue = append(ls.queue[:i], ls.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// wouldDeadlockLocked runs a DFS over the wait-for graph starting at the
+// requesting owner, returning true if the requester can reach itself.
+// Edges: each waiter waits for every incompatible holder of its resource
+// and for every incompatible waiter queued ahead of it.
+func (m *Manager) wouldDeadlockLocked(start uint64) bool {
+	// Build adjacency lazily during the walk.
+	visited := make(map[uint64]bool)
+	var stack []uint64
+	pushSuccessors := func(owner uint64) {
+		for resource, ls := range m.locks {
+			_ = resource
+			for i, w := range ls.queue {
+				if w.owner != owner {
+					continue
+				}
+				for h, hm := range ls.holders {
+					if h != owner && !compatible(hm, w.mode) {
+						stack = append(stack, h)
+					}
+				}
+				for j := 0; j < i; j++ {
+					ahead := ls.queue[j]
+					if ahead.owner != owner && !compatible(ahead.mode, w.mode) {
+						stack = append(stack, ahead.owner)
+					}
+				}
+			}
+		}
+	}
+	pushSuccessors(start)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n == start {
+			return true
+		}
+		if visited[n] {
+			continue
+		}
+		visited[n] = true
+		pushSuccessors(n)
+	}
+	return false
+}

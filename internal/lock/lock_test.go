@@ -1,0 +1,438 @@
+package lock
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSharedCompatible(t *testing.T) {
+	m := NewManager()
+	ctx := context.Background()
+	if err := m.Acquire(ctx, 1, "r", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(ctx, 2, "r", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Holds(1, "r", Shared) || !m.Holds(2, "r", Shared) {
+		t.Fatal("shared holders not recorded")
+	}
+}
+
+func TestExclusiveExcludes(t *testing.T) {
+	m := NewManager()
+	ctx := context.Background()
+	if err := m.Acquire(ctx, 1, "r", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.TryAcquire(2, "r", Shared); !errors.Is(err, ErrWouldBlock) {
+		t.Fatalf("TryAcquire = %v, want ErrWouldBlock", err)
+	}
+	if err := m.TryAcquire(2, "r", Exclusive); !errors.Is(err, ErrWouldBlock) {
+		t.Fatalf("TryAcquire = %v, want ErrWouldBlock", err)
+	}
+	m.ReleaseAll(1)
+	if err := m.TryAcquire(2, "r", Exclusive); err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+}
+
+func TestReentrant(t *testing.T) {
+	m := NewManager()
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if err := m.Acquire(ctx, 1, "r", Exclusive); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// X holder asking for S is a no-op and must not downgrade.
+	if err := m.Acquire(ctx, 1, "r", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Holds(1, "r", Exclusive) {
+		t.Fatal("mode downgraded by re-acquire")
+	}
+}
+
+func TestUpgradeSoleHolder(t *testing.T) {
+	m := NewManager()
+	ctx := context.Background()
+	if err := m.Acquire(ctx, 1, "r", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(ctx, 1, "r", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Holds(1, "r", Exclusive) {
+		t.Fatal("upgrade not applied")
+	}
+}
+
+func TestUpgradeWaitsForOtherReaders(t *testing.T) {
+	m := NewManager()
+	ctx := context.Background()
+	if err := m.Acquire(ctx, 1, "r", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(ctx, 2, "r", Shared); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- m.Acquire(ctx, 1, "r", Exclusive) }()
+	select {
+	case err := <-done:
+		t.Fatalf("upgrade granted with another reader: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	m.ReleaseAll(2)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if !m.Holds(1, "r", Exclusive) {
+		t.Fatal("upgrade lost")
+	}
+}
+
+func TestBlockingGrantFIFO(t *testing.T) {
+	m := NewManager()
+	ctx := context.Background()
+	if err := m.Acquire(ctx, 1, "r", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	var order []uint64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, id := range []uint64{2, 3, 4} {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			if err := m.Acquire(ctx, id, "r", Exclusive); err != nil {
+				t.Errorf("acquire %d: %v", id, err)
+				return
+			}
+			mu.Lock()
+			order = append(order, id)
+			mu.Unlock()
+			time.Sleep(5 * time.Millisecond)
+			m.ReleaseAll(id)
+		}(id)
+		time.Sleep(15 * time.Millisecond) // enforce queue order
+	}
+	m.ReleaseAll(1)
+	wg.Wait()
+	if len(order) != 3 || order[0] != 2 || order[1] != 3 || order[2] != 4 {
+		t.Fatalf("grant order = %v, want FIFO [2 3 4]", order)
+	}
+}
+
+func TestContextCancelWhileWaiting(t *testing.T) {
+	m := NewManager()
+	bg := context.Background()
+	if err := m.Acquire(bg, 1, "r", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(bg, 30*time.Millisecond)
+	defer cancel()
+	err := m.Acquire(ctx, 2, "r", Exclusive)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	// The canceled waiter must not receive the lock later.
+	m.ReleaseAll(1)
+	if m.Holds(2, "r", Shared) {
+		t.Fatal("canceled waiter was granted")
+	}
+	if err := m.TryAcquire(3, "r", Exclusive); err != nil {
+		t.Fatalf("lock leaked to canceled waiter: %v", err)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	m := NewManager()
+	ctx := context.Background()
+	if err := m.Acquire(ctx, 1, "a", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(ctx, 2, "b", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- m.Acquire(ctx, 1, "b", Exclusive) }() // 1 waits for 2
+	time.Sleep(20 * time.Millisecond)
+	err := m.Acquire(ctx, 2, "a", Exclusive) // 2 waits for 1: cycle
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+	// Victim (2) releases; 1 proceeds.
+	m.ReleaseAll(2)
+	if err := <-done; err != nil {
+		t.Fatalf("survivor: %v", err)
+	}
+	if st := m.Stats(); st.Deadlocks != 1 {
+		t.Fatalf("deadlocks = %d, want 1", st.Deadlocks)
+	}
+}
+
+func TestThreeWayDeadlock(t *testing.T) {
+	m := NewManager()
+	ctx := context.Background()
+	for i := uint64(1); i <= 3; i++ {
+		if err := m.Acquire(ctx, i, string(rune('a'+i-1)), Exclusive); err != nil {
+			t.Fatal(err)
+		}
+	}
+	errs := make(chan error, 3)
+	go func() { errs <- m.Acquire(ctx, 1, "b", Exclusive) }()
+	time.Sleep(20 * time.Millisecond)
+	go func() { errs <- m.Acquire(ctx, 2, "c", Exclusive) }()
+	time.Sleep(20 * time.Millisecond)
+	// Closing the cycle: 3 -> a held by 1.
+	err := m.Acquire(ctx, 3, "a", Exclusive)
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+	m.ReleaseAll(3)
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(2)
+	m.ReleaseAll(1)
+	// Drain remaining.
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSharedWaitersGrantedTogether(t *testing.T) {
+	m := NewManager()
+	ctx := context.Background()
+	if err := m.Acquire(ctx, 1, "r", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	var granted atomic.Int32
+	var wg sync.WaitGroup
+	for id := uint64(2); id <= 5; id++ {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			if err := m.Acquire(ctx, id, "r", Shared); err == nil {
+				granted.Add(1)
+			}
+		}(id)
+	}
+	time.Sleep(30 * time.Millisecond)
+	m.ReleaseAll(1)
+	wg.Wait()
+	if granted.Load() != 4 {
+		t.Fatalf("granted %d shared waiters, want 4", granted.Load())
+	}
+}
+
+func TestTransfer(t *testing.T) {
+	m := NewManager()
+	ctx := context.Background()
+	if err := m.Acquire(ctx, 1, "acct/7", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(ctx, 1, "acct/9", Shared); err != nil {
+		t.Fatal(err)
+	}
+	m.Transfer(1, 2)
+	if m.Holds(1, "acct/7", Shared) {
+		t.Fatal("source still holds after transfer")
+	}
+	if !m.Holds(2, "acct/7", Exclusive) || !m.Holds(2, "acct/9", Shared) {
+		t.Fatal("destination missing transferred locks")
+	}
+	// The lock was never free in between: a third party must still block.
+	if err := m.TryAcquire(3, "acct/7", Shared); !errors.Is(err, ErrWouldBlock) {
+		t.Fatalf("lock observable free during transfer: %v", err)
+	}
+	m.ReleaseAll(2)
+	if err := m.TryAcquire(3, "acct/7", Shared); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransferMergesModes(t *testing.T) {
+	m := NewManager()
+	ctx := context.Background()
+	if err := m.Acquire(ctx, 1, "r", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(ctx, 2, "r", Shared); err != nil {
+		t.Fatal(err)
+	}
+	m.Transfer(1, 2)
+	if !m.Holds(2, "r", Shared) {
+		t.Fatal("merge lost lock")
+	}
+	m.ReleaseAll(2)
+	if err := m.TryAcquire(3, "r", Exclusive); err != nil {
+		t.Fatalf("lock leaked after merge release: %v", err)
+	}
+}
+
+func TestReleaseNotHeld(t *testing.T) {
+	m := NewManager()
+	if err := m.Release(1, "r"); !errors.Is(err, ErrNotHeld) {
+		t.Fatalf("err = %v, want ErrNotHeld", err)
+	}
+	ctx := context.Background()
+	if err := m.Acquire(ctx, 1, "r", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Release(2, "r"); !errors.Is(err, ErrNotHeld) {
+		t.Fatalf("err = %v, want ErrNotHeld", err)
+	}
+}
+
+func TestHeldBy(t *testing.T) {
+	m := NewManager()
+	ctx := context.Background()
+	for _, r := range []string{"a", "b", "c"} {
+		if err := m.Acquire(ctx, 1, r, Exclusive); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.HeldBy(1); len(got) != 3 {
+		t.Fatalf("HeldBy = %v", got)
+	}
+	m.ReleaseAll(1)
+	if got := m.HeldBy(1); len(got) != 0 {
+		t.Fatalf("HeldBy after ReleaseAll = %v", got)
+	}
+}
+
+func TestStatsWaitTime(t *testing.T) {
+	m := NewManager()
+	ctx := context.Background()
+	if err := m.Acquire(ctx, 1, "r", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := m.Acquire(ctx, 2, "r", Exclusive); err != nil {
+			t.Error(err)
+		}
+	}()
+	time.Sleep(25 * time.Millisecond)
+	m.ReleaseAll(1)
+	<-done
+	st := m.Stats()
+	if st.Waits != 1 {
+		t.Fatalf("waits = %d, want 1", st.Waits)
+	}
+	if st.WaitNanos < uint64(10*time.Millisecond) {
+		t.Fatalf("wait nanos = %d, implausibly small", st.WaitNanos)
+	}
+}
+
+// TestNoPhantomExclusion is the core mutual-exclusion property under a
+// randomized workload: at no instant do two owners hold conflicting locks
+// on the same resource.
+func TestNoPhantomExclusion(t *testing.T) {
+	m := NewManager()
+	const resources = 4
+	const owners = 8
+	var holders [resources]atomic.Int64
+	var violations atomic.Int64
+	var wg sync.WaitGroup
+	for id := uint64(1); id <= owners; id++ {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(id)))
+			ctx := context.Background()
+			for i := 0; i < 200; i++ {
+				r := rng.Intn(resources)
+				res := string(rune('a' + r))
+				if err := m.Acquire(ctx, id, res, Exclusive); err != nil {
+					if errors.Is(err, ErrDeadlock) {
+						m.ReleaseAll(id)
+						continue
+					}
+					t.Errorf("acquire: %v", err)
+					return
+				}
+				if holders[r].Add(1) != 1 {
+					violations.Add(1)
+				}
+				holders[r].Add(-1)
+				m.ReleaseAll(id)
+			}
+		}(id)
+	}
+	wg.Wait()
+	if v := violations.Load(); v != 0 {
+		t.Fatalf("%d mutual-exclusion violations", v)
+	}
+}
+
+// TestRandomMixedModes drives shared and exclusive acquires concurrently
+// and checks the S/X invariant: a resource has either one X holder or any
+// number of S holders, never both.
+func TestRandomMixedModes(t *testing.T) {
+	m := NewManager()
+	type state struct {
+		mu sync.Mutex
+		s  int
+		x  int
+	}
+	var st state
+	var violations atomic.Int64
+	var wg sync.WaitGroup
+	for id := uint64(1); id <= 10; id++ {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(id) * 77))
+			ctx := context.Background()
+			for i := 0; i < 150; i++ {
+				mode := Shared
+				if rng.Intn(3) == 0 {
+					mode = Exclusive
+				}
+				if err := m.Acquire(ctx, id, "res", mode); err != nil {
+					if errors.Is(err, ErrDeadlock) {
+						m.ReleaseAll(id)
+						continue
+					}
+					t.Errorf("acquire: %v", err)
+					return
+				}
+				st.mu.Lock()
+				if mode == Shared {
+					st.s++
+					if st.x > 0 {
+						violations.Add(1)
+					}
+				} else {
+					st.x++
+					if st.x > 1 || st.s > 0 {
+						violations.Add(1)
+					}
+				}
+				st.mu.Unlock()
+				st.mu.Lock()
+				if mode == Shared {
+					st.s--
+				} else {
+					st.x--
+				}
+				st.mu.Unlock()
+				m.ReleaseAll(id)
+			}
+		}(id)
+	}
+	wg.Wait()
+	if v := violations.Load(); v != 0 {
+		t.Fatalf("%d S/X invariant violations", v)
+	}
+}

@@ -1,0 +1,116 @@
+package queue
+
+import (
+	"errors"
+
+	"repro/internal/enc"
+)
+
+// Errors returned by repository operations.
+var (
+	// ErrNoQueue reports an operation on a queue that does not exist.
+	ErrNoQueue = errors.New("queue: no such queue")
+	// ErrExists reports creation of a queue that already exists.
+	ErrExists = errors.New("queue: queue exists")
+	// ErrEmpty reports a non-waiting dequeue on a queue with no available
+	// element (strict-FIFO dequeues also report it when the head element is
+	// held by an uncommitted transaction).
+	ErrEmpty = errors.New("queue: empty")
+	// ErrStopped reports a dequeue from a stopped queue.
+	ErrStopped = errors.New("queue: stopped")
+	// ErrNotFound reports an element id that does not identify a live
+	// element.
+	ErrNotFound = errors.New("queue: element not found")
+	// ErrBusy reports destroying a queue that has elements held by
+	// in-flight transactions.
+	ErrBusy = errors.New("queue: busy")
+	// ErrFull reports an enqueue beyond the queue's MaxDepth.
+	ErrFull = errors.New("queue: full")
+	// ErrNotRegistered reports a tagged operation by an unknown registrant.
+	ErrNotRegistered = errors.New("queue: not registered")
+	// ErrClosed reports use of a closed repository.
+	ErrClosed = errors.New("queue: repository closed")
+	// ErrRedirectLoop reports a cycle in queue redirection.
+	ErrRedirectLoop = errors.New("queue: redirect loop")
+)
+
+// QueueConfig describes a queue. The zero value of every optional field is
+// a sensible default.
+type QueueConfig struct {
+	// Name identifies the queue within its repository.
+	Name string
+	// ErrorQueue names the queue that receives an element after RetryLimit
+	// successive aborts of its dequeuers (Section 4.2). Empty means the
+	// element is retried forever.
+	ErrorQueue string
+	// RetryLimit is the paper's n: the n-th abort diverts the element to
+	// the error queue. Zero means no limit.
+	RetryLimit int32
+	// Volatile queues are neither logged nor snapshotted; their contents
+	// are lost on restart (Section 10's volatile queues).
+	Volatile bool
+	// StrictFIFO makes dequeues honour exact FIFO order: a dequeue blocks
+	// behind (rather than skips) an element held by an uncommitted
+	// transaction. The default is the paper's recommended skip-locked
+	// behaviour (Section 10).
+	StrictFIFO bool
+	// RedirectTo forwards enqueues into this queue to another queue
+	// (DECintact's queue redirection, Section 9).
+	RedirectTo string
+	// AlertThreshold triggers the repository's alert callback when the
+	// visible depth reaches the threshold. Zero disables alerts.
+	AlertThreshold int32
+	// MaxDepth bounds the number of live elements; Enqueue beyond it fails
+	// with ErrFull. Zero means unbounded.
+	MaxDepth int32
+}
+
+func encodeConfig(b *enc.Buffer, c *QueueConfig) {
+	b.String(c.Name)
+	b.String(c.ErrorQueue)
+	b.Varint(int64(c.RetryLimit))
+	b.Bool(c.Volatile)
+	b.Bool(c.StrictFIFO)
+	b.String(c.RedirectTo)
+	b.Varint(int64(c.AlertThreshold))
+	b.Varint(int64(c.MaxDepth))
+}
+
+func decodeConfig(r *enc.Reader) QueueConfig {
+	var c QueueConfig
+	c.Name = r.String()
+	c.ErrorQueue = r.String()
+	c.RetryLimit = int32(r.Varint())
+	c.Volatile = r.Bool()
+	c.StrictFIFO = r.Bool()
+	c.RedirectTo = r.String()
+	c.AlertThreshold = int32(r.Varint())
+	c.MaxDepth = int32(r.Varint())
+	return c
+}
+
+// QueueStats are cumulative per-queue counters.
+type QueueStats struct {
+	Enqueues        uint64
+	Dequeues        uint64 // committed removals
+	AbortReturns    uint64 // elements returned by aborting dequeuers
+	ErrorDiversions uint64 // elements moved to the error queue
+	Kills           uint64
+	Depth           int // current visible depth
+	InFlight        int // elements held by uncommitted dequeuers
+	MaxDepth        int // high-water mark of visible depth
+}
+
+// RegInfo is what Register returns about the registrant's previous life
+// (Section 4.3): the type, tag, and element id of its last tagged
+// operation, used by clients to resynchronize after a failure.
+type RegInfo struct {
+	// HasLast reports whether a previous tagged operation exists.
+	HasLast bool
+	// LastOp is the type of the last tagged operation.
+	LastOp OpType
+	// LastEID is the element the last operation touched.
+	LastEID EID
+	// LastTag is the registrant-defined tag of the last operation.
+	LastTag []byte
+}

@@ -1,0 +1,153 @@
+// Package queue implements the recoverable queue manager (QM) of the
+// paper's Section 4, as a main-memory database (Section 10): all state
+// lives in memory, durability comes from the shared write-ahead log plus
+// periodic snapshots.
+//
+// A Repository holds named queues of elements, per-registrant persistent
+// registrations with operation tags (the paper's novel feature, Section
+// 4.3), transactional key-value tables (the shared database that servers
+// update while processing requests), and triggers (the fork/join mechanism
+// of Section 6). All data-manipulation operations are all-or-nothing and
+// serializable; invoked inside a transaction they obey transaction
+// semantics, invoked outside one they auto-commit — the queue is the
+// "gateway between the non-transaction world of front-ends and the
+// transactional world of back-ends" (Section 2).
+package queue
+
+import (
+	"fmt"
+
+	"repro/internal/enc"
+)
+
+// EID is an element identifier, unique within a repository for the lifetime
+// of the repository (never reused while any record of the element may
+// exist).
+type EID uint64
+
+// OpType distinguishes the kinds of tagged operations recorded in a
+// registration (Section 4.3: "the QM must maintain the type of the last
+// operation executed by each registrant").
+type OpType uint8
+
+const (
+	// OpNone means the registrant has performed no tagged operation.
+	OpNone OpType = iota
+	// OpEnqueue is a tagged Enqueue.
+	OpEnqueue
+	// OpDequeue is a tagged Dequeue.
+	OpDequeue
+)
+
+func (o OpType) String() string {
+	switch o {
+	case OpNone:
+		return "none"
+	case OpEnqueue:
+		return "enqueue"
+	case OpDequeue:
+		return "dequeue"
+	default:
+		return fmt.Sprintf("OpType(%d)", uint8(o))
+	}
+}
+
+// Element is a queue element. The queue manager treats Body as opaque; the
+// surrounding request-processing protocols define its contents.
+type Element struct {
+	// EID is assigned by the repository at Enqueue.
+	EID EID
+	// Queue is the queue currently holding the element.
+	Queue string
+	// Priority orders dequeues: higher first, FIFO within a priority.
+	Priority int32
+	// Body is the uninterpreted payload.
+	Body []byte
+	// Headers carry small key/value metadata; content-based retrieval
+	// matches on them.
+	Headers map[string]string
+	// ScratchPad passes state between the transactions of a
+	// multi-transaction request (the IMS scratch pad, Section 9).
+	ScratchPad []byte
+	// ReplyTo names the queue a reply should be enqueued into; servers use
+	// it to serve many clients with private reply queues (Section 5).
+	ReplyTo string
+	// AbortCount counts how many dequeuing transactions have aborted and
+	// returned the element (Section 4.2).
+	AbortCount int32
+	// AbortCode describes the last abort that returned the element; set
+	// when the element is diverted to an error queue.
+	AbortCode string
+
+	// seq fixes FIFO order within a priority; assigned at enqueue.
+	seq uint64
+}
+
+// Seq exposes the FIFO sequence for diagnostics and tests.
+func (e *Element) Seq() uint64 { return e.seq }
+
+// clone returns a deep copy so callers can never alias repository state.
+func (e *Element) clone() Element {
+	c := *e
+	if e.Body != nil {
+		c.Body = append([]byte(nil), e.Body...)
+	}
+	if e.ScratchPad != nil {
+		c.ScratchPad = append([]byte(nil), e.ScratchPad...)
+	}
+	if e.Headers != nil {
+		c.Headers = make(map[string]string, len(e.Headers))
+		for k, v := range e.Headers {
+			c.Headers[k] = v
+		}
+	}
+	return c
+}
+
+// encodeElement appends e to b.
+func encodeElement(b *enc.Buffer, e *Element) {
+	b.Uvarint(uint64(e.EID))
+	b.String(e.Queue)
+	b.Varint(int64(e.Priority))
+	b.BytesField(e.Body)
+	b.StringMap(e.Headers)
+	b.BytesField(e.ScratchPad)
+	b.String(e.ReplyTo)
+	b.Varint(int64(e.AbortCount))
+	b.String(e.AbortCode)
+	b.Uvarint(e.seq)
+}
+
+// decodeElement reads an element written by encodeElement.
+func decodeElement(r *enc.Reader) (Element, error) {
+	var e Element
+	e.EID = EID(r.Uvarint())
+	e.Queue = r.String()
+	e.Priority = int32(r.Varint())
+	e.Body = r.BytesField()
+	e.Headers = r.StringMap()
+	e.ScratchPad = r.BytesField()
+	e.ReplyTo = r.String()
+	e.AbortCount = int32(r.Varint())
+	e.AbortCode = r.String()
+	e.seq = r.Uvarint()
+	return e, r.Err()
+}
+
+// marshalElement returns the stand-alone encoding of e (used for the stable
+// element copies kept in registrations).
+func marshalElement(e *Element) []byte {
+	b := enc.NewBuffer(64 + len(e.Body))
+	encodeElement(b, e)
+	return b.Bytes()
+}
+
+// unmarshalElement decodes a stand-alone element encoding.
+func unmarshalElement(data []byte) (Element, error) {
+	r := enc.NewReader(data)
+	e, err := decodeElement(r)
+	if err != nil {
+		return Element{}, fmt.Errorf("queue: decode element: %w", err)
+	}
+	return e, nil
+}

@@ -1,0 +1,202 @@
+package queue
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// modelElem is the reference model's view of an element.
+type modelElem struct {
+	id     int // body index, unique
+	prio   int32
+	seq    int // enqueue order
+	aborts int32
+}
+
+// queueModel is a trivially-correct reference implementation of the queue
+// semantics: priority-descending, FIFO (by original enqueue order) within a
+// priority, abort returns with retry counting and error-queue diversion,
+// kill by id.
+type queueModel struct {
+	els        []modelElem
+	err        []modelElem
+	retryLimit int32
+}
+
+func (m *queueModel) enqueue(e modelElem) { m.els = append(m.els, e) }
+
+// next returns the dequeue candidate index, or -1.
+func (m *queueModel) next() int {
+	best := -1
+	for i := range m.els {
+		if best == -1 ||
+			m.els[i].prio > m.els[best].prio ||
+			(m.els[i].prio == m.els[best].prio && m.els[i].seq < m.els[best].seq) {
+			best = i
+		}
+	}
+	return best
+}
+
+func (m *queueModel) take(i int) modelElem {
+	e := m.els[i]
+	m.els = append(m.els[:i], m.els[i+1:]...)
+	return e
+}
+
+func (m *queueModel) abortReturn(e modelElem) {
+	e.aborts++
+	if m.retryLimit > 0 && e.aborts >= m.retryLimit {
+		m.err = append(m.err, e)
+		return
+	}
+	m.els = append(m.els, e)
+	// Keep the slice position irrelevant: ordering uses seq.
+	sort.SliceStable(m.els, func(a, b int) bool { return m.els[a].seq < m.els[b].seq })
+}
+
+// kill removes a live element by id — whether it waits in the main queue
+// or was diverted to the error queue (KillElement addresses elements, not
+// queues).
+func (m *queueModel) kill(id int) bool {
+	for i := range m.els {
+		if m.els[i].id == id {
+			m.els = append(m.els[:i], m.els[i+1:]...)
+			return true
+		}
+	}
+	for i := range m.err {
+		if m.err[i].id == id {
+			m.err = append(m.err[:i], m.err[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// TestModelEquivalence drives the real repository and the reference model
+// through the same randomized single-threaded operation sequence —
+// enqueues with random priorities, dequeues that commit or abort, kills,
+// checkpoints, and crash/recover cycles — and demands identical observable
+// behaviour at every step.
+func TestModelEquivalence(t *testing.T) {
+	for trial := 0; trial < 12; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(int64(trial)*131 + 7))
+			dir := t.TempDir()
+			r := openTest(t, dir)
+			mustCreate(t, r, QueueConfig{Name: "err"})
+			mustCreate(t, r, QueueConfig{Name: "q", ErrorQueue: "err", RetryLimit: 3})
+			model := &queueModel{retryLimit: 3}
+
+			idToEID := map[int]EID{}
+			nextID := 0
+			seq := 0
+			ctx := context.Background()
+
+			for step := 0; step < 300; step++ {
+				switch op := rng.Intn(10); {
+				case op < 4: // enqueue
+					prio := int32(rng.Intn(3))
+					id := nextID
+					nextID++
+					eid, err := r.Enqueue(nil, "q", Element{
+						Priority: prio,
+						Body:     []byte(fmt.Sprintf("%d", id)),
+					}, "", nil)
+					if err != nil {
+						t.Fatalf("step %d enqueue: %v", step, err)
+					}
+					idToEID[id] = eid
+					model.enqueue(modelElem{id: id, prio: prio, seq: seq})
+					seq++
+				case op < 8: // dequeue, commit or abort
+					tx := r.Begin()
+					got, err := r.Dequeue(ctx, tx, "q", "", DequeueOpts{})
+					want := model.next()
+					if errors.Is(err, ErrEmpty) {
+						tx.Abort()
+						if want != -1 {
+							t.Fatalf("step %d: real empty, model has %d elements", step, len(model.els))
+						}
+						continue
+					}
+					if err != nil {
+						t.Fatalf("step %d dequeue: %v", step, err)
+					}
+					if want == -1 {
+						t.Fatalf("step %d: real returned %q, model empty", step, got.Body)
+					}
+					wantElem := model.take(want)
+					if string(got.Body) != fmt.Sprintf("%d", wantElem.id) {
+						t.Fatalf("step %d: dequeued %q, model wants %d (prio %d seq %d)",
+							step, got.Body, wantElem.id, wantElem.prio, wantElem.seq)
+					}
+					if got.AbortCount != wantElem.aborts {
+						t.Fatalf("step %d: abort count %d, model %d", step, got.AbortCount, wantElem.aborts)
+					}
+					if rng.Intn(3) == 0 {
+						tx.Abort()
+						model.abortReturn(wantElem)
+					} else if err := tx.Commit(); err != nil {
+						t.Fatalf("step %d commit: %v", step, err)
+					}
+				case op == 8: // kill a random known element
+					if nextID == 0 {
+						continue
+					}
+					id := rng.Intn(nextID)
+					gotKilled, err := r.KillElement(idToEID[id])
+					if err != nil {
+						t.Fatalf("step %d kill: %v", step, err)
+					}
+					wantKilled := model.kill(id)
+					if gotKilled != wantKilled {
+						t.Fatalf("step %d: kill(%d) = %v, model %v", step, id, gotKilled, wantKilled)
+					}
+				default: // checkpoint and/or crash
+					if rng.Intn(2) == 0 {
+						if err := r.Checkpoint(); err != nil {
+							t.Fatal(err)
+						}
+					}
+					if rng.Intn(3) == 0 {
+						r = reopen(t, r, dir)
+					}
+				}
+				// Depth invariant after every step.
+				d, err := r.Depth("q")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if d != len(model.els) {
+					t.Fatalf("step %d: depth %d, model %d", step, d, len(model.els))
+				}
+			}
+			// Final check: the error queues agree (order-insensitive).
+			de, _ := r.Depth("err")
+			if de != len(model.err) {
+				t.Fatalf("error queue depth %d, model %d", de, len(model.err))
+			}
+			gotErr := map[string]bool{}
+			els, err := r.ListElements("err", 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range els {
+				gotErr[string(e.Body)] = true
+			}
+			for _, e := range model.err {
+				if !gotErr[fmt.Sprintf("%d", e.id)] {
+					t.Fatalf("model error element %d missing from real error queue", e.id)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,793 @@
+package queue
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+
+	"repro/internal/enc"
+	"repro/internal/lock"
+	"repro/internal/txn"
+)
+
+// DequeueOpts select and tag a dequeue.
+type DequeueOpts struct {
+	// Tag is the registrant-defined operation tag recorded stably with the
+	// dequeue (Section 4.3); nil leaves the registration untouched except
+	// for the op/eid bookkeeping.
+	Tag []byte
+	// Wait blocks until an element is available (the paper's blocking
+	// dequeue via "notify locks", Section 10). The context bounds the wait.
+	Wait bool
+	// Filter is a content-based retrieval predicate (local callers only).
+	Filter func(*Element) bool
+	// HeaderMatch is a wire-friendly content filter: every key must be
+	// present in the element's headers with an equal value.
+	HeaderMatch map[string]string
+	// Prefer is a content-based scheduling comparator (Section 10:
+	// requests "may be scheduled by priority, request contents (highest
+	// dollar amount first), submission time"): when set, the dequeue scans
+	// every available element and takes the one Prefer ranks best, rather
+	// than the first in priority/FIFO order. Local callers only.
+	Prefer func(a, b *Element) bool
+	// PreferHeaderDesc is the wire-friendly form of Prefer: take the
+	// element whose named header has the largest numeric value ("highest
+	// dollar amount first"). Ignored when Prefer is set.
+	PreferHeaderDesc string
+}
+
+// effectivePrefer resolves the comparator, materializing PreferHeaderDesc.
+func (o *DequeueOpts) effectivePrefer() func(a, b *Element) bool {
+	if o.Prefer != nil {
+		return o.Prefer
+	}
+	if o.PreferHeaderDesc == "" {
+		return nil
+	}
+	key := o.PreferHeaderDesc
+	return func(a, b *Element) bool {
+		av, _ := strconv.ParseFloat(a.Headers[key], 64)
+		bv, _ := strconv.ParseFloat(b.Headers[key], 64)
+		return av > bv
+	}
+}
+
+func (o *DequeueOpts) matches(e *Element) bool {
+	for k, v := range o.HeaderMatch {
+		if e.Headers[k] != v {
+			return false
+		}
+	}
+	if o.Filter != nil && !o.Filter(e) {
+		return false
+	}
+	return true
+}
+
+// Handle is a registrant's binding to one queue, returned by Register.
+type Handle struct {
+	r          *Repository
+	queue      string
+	registrant string
+}
+
+// Queue returns the handle's queue name.
+func (h *Handle) Queue() string { return h.queue }
+
+// Registrant returns the handle's registrant name.
+func (h *Handle) Registrant() string { return h.registrant }
+
+// --- registration ---
+
+// Register associates a uniquely-named registrant with a queue and returns
+// a handle plus the registrant's persistent last-operation info (Section
+// 4.3). Registering an already-registered registrant is the recovery path:
+// the existing registration is returned unchanged. stable selects whether
+// the QM maintains the registrant's last operation.
+func (r *Repository) Register(qname, registrant string, stable bool) (*Handle, RegInfo, error) {
+	var ri RegInfo
+	err := r.autoTxn(nil, func(t *txn.Txn) error {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		if r.closed {
+			return ErrClosed
+		}
+		if _, ok := r.queues[qname]; !ok {
+			return fmt.Errorf("%w: %s", ErrNoQueue, qname)
+		}
+		k := regKey{queue: qname, registrant: registrant}
+		if g, ok := r.regs[k]; ok {
+			ri = g.info()
+			return nil // re-registration: return prior state, log nothing
+		}
+		g := &registration{key: k, stable: stable}
+		r.regs[k] = g
+		ri = g.info()
+		t.OnUndo(func() {
+			r.mu.Lock()
+			delete(r.regs, k)
+			r.mu.Unlock()
+		})
+		b := enc.NewBuffer(32)
+		b.Uint8(opRegister)
+		b.String(qname)
+		b.String(registrant)
+		b.Bool(stable)
+		r.logOpLocked(t, b.Bytes())
+		return nil
+	})
+	if err != nil {
+		return nil, RegInfo{}, err
+	}
+	r.maybeSnapshot()
+	return &Handle{r: r, queue: qname, registrant: registrant}, ri, nil
+}
+
+// HandleFor returns a handle binding for an existing registration without
+// performing a registration; operations through it fail with
+// ErrNotRegistered if the registrant is unknown (tagged bookkeeping is
+// simply skipped for untagged uses).
+func (r *Repository) HandleFor(qname, registrant string) *Handle {
+	return &Handle{r: r, queue: qname, registrant: registrant}
+}
+
+// Deregister destroys all registration information about the registrant on
+// the handle's queue.
+func (r *Repository) Deregister(h *Handle) error {
+	err := r.autoTxn(nil, func(t *txn.Txn) error {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		if r.closed {
+			return ErrClosed
+		}
+		k := regKey{queue: h.queue, registrant: h.registrant}
+		g, ok := r.regs[k]
+		if !ok {
+			return fmt.Errorf("%w: %s on %s", ErrNotRegistered, h.registrant, h.queue)
+		}
+		delete(r.regs, k)
+		t.OnUndo(func() {
+			r.mu.Lock()
+			r.regs[k] = g
+			r.mu.Unlock()
+		})
+		b := enc.NewBuffer(32)
+		b.Uint8(opDeregister)
+		b.String(h.queue)
+		b.String(h.registrant)
+		r.logOpLocked(t, b.Bytes())
+		return nil
+	})
+	return err
+}
+
+// updateRegLocked applies a tagged-operation update to the registrant's
+// registration eagerly, registering an undo in t. Caller holds r.mu.
+func (r *Repository) updateRegLocked(t *txn.Txn, qname, registrant string, op OpType, eid EID, tag []byte, elemCopy []byte) {
+	if registrant == "" {
+		return
+	}
+	k := regKey{queue: qname, registrant: registrant}
+	g, ok := r.regs[k]
+	if !ok || !g.stable {
+		return
+	}
+	prev := *g
+	g.hasLast = true
+	g.lastOp = op
+	g.lastEID = eid
+	g.lastTag = append([]byte(nil), tag...)
+	if elemCopy != nil {
+		g.lastElem = elemCopy
+	}
+	t.OnUndo(func() {
+		r.mu.Lock()
+		*g = prev
+		r.mu.Unlock()
+	})
+}
+
+// --- enqueue ---
+
+// Enqueue creates an element in qname (following redirection) and returns
+// its element id. Inside a transaction the element becomes visible at
+// commit; with t == nil the operation auto-commits and the element is
+// visible (and durable, for non-volatile queues) when Enqueue returns —
+// this is the paper's Send guarantee ("when Send returns, the request and
+// rid have been stably stored", Section 3). registrant and tag feed the
+// persistent registration; pass "" / nil for untagged enqueues.
+func (r *Repository) Enqueue(t *txn.Txn, qname string, e Element, registrant string, tag []byte) (EID, error) {
+	var eid EID
+	err := r.autoTxn(t, func(t *txn.Txn) error {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		if r.closed {
+			return ErrClosed
+		}
+		qs, target, err := r.resolveRedirectLocked(qname)
+		if err != nil {
+			return err
+		}
+		if qs.cfg.MaxDepth > 0 && qs.live() >= int(qs.cfg.MaxDepth) {
+			return fmt.Errorf("%w: %s at max depth %d", ErrFull, target, qs.cfg.MaxDepth)
+		}
+		e := e.clone()
+		e.EID = EID(r.nextEID)
+		r.nextEID++
+		e.Queue = target
+		e.seq = r.nextSeq
+		r.nextSeq++
+		el := &elem{e: e, state: statePending, owner: t, q: qs}
+		qs.insert(el)
+		r.elems[e.EID] = el
+		eid = e.EID
+
+		var regCopy []byte
+		if registrant != "" {
+			if g, ok := r.regs[regKey{queue: qname, registrant: registrant}]; ok && g.stable {
+				regCopy = marshalElement(&e)
+			}
+		}
+		r.updateRegLocked(t, qname, registrant, OpEnqueue, e.EID, tag, regCopy)
+
+		t.OnUndo(func() {
+			r.mu.Lock()
+			qs.remove(el)
+			delete(r.elems, el.e.EID)
+			r.mu.Unlock()
+		})
+		t.OnCommit(func() {
+			r.mu.Lock()
+			el.state = stateVisible
+			el.owner = nil
+			qs.bumpDepth(1)
+			qs.stats.Enqueues++
+			depth := qs.stats.Depth
+			alert := qs.cfg.AlertThreshold > 0 && depth == int(qs.cfg.AlertThreshold)
+			fires := r.dueTriggersLocked(target)
+			r.cond.Broadcast()
+			r.mu.Unlock()
+			if alert {
+				r.fireAlert(target, depth)
+			}
+			for _, tr := range fires {
+				go r.fireTrigger(tr)
+			}
+		})
+		if !qs.cfg.Volatile {
+			b := enc.NewBuffer(64 + len(e.Body))
+			b.Uint8(opEnqueue)
+			encodeElement(b, &e)
+			b.String(registrant)
+			b.BytesField(tag)
+			b.String(qname) // registration queue; differs from e.Queue under redirection
+			r.logOpLocked(t, b.Bytes())
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	r.maybeSnapshot()
+	return eid, nil
+}
+
+// resolveRedirectLocked follows RedirectTo chains (Section 9's queue
+// redirection), returning the terminal queue.
+func (r *Repository) resolveRedirectLocked(qname string) (*queueState, string, error) {
+	target := qname
+	for hops := 0; ; hops++ {
+		if hops > 8 {
+			return nil, "", fmt.Errorf("%w: starting at %s", ErrRedirectLoop, qname)
+		}
+		qs, ok := r.queues[target]
+		if !ok {
+			return nil, "", fmt.Errorf("%w: %s", ErrNoQueue, target)
+		}
+		if qs.cfg.RedirectTo == "" {
+			return qs, target, nil
+		}
+		target = qs.cfg.RedirectTo
+	}
+}
+
+// --- dequeue ---
+
+// Dequeue removes and returns the next available element of qname. Element
+// order is priority-descending, FIFO within a priority, skipping elements
+// held by uncommitted transactions unless the queue is StrictFIFO. If the
+// dequeuing transaction aborts, the element returns to the queue with its
+// AbortCount incremented; the RetryLimit-th abort diverts it to the
+// queue's error queue (Section 4.2).
+func (r *Repository) Dequeue(ctx context.Context, t *txn.Txn, qname, registrant string, opts DequeueOpts) (Element, error) {
+	var out Element
+	err := r.autoTxn(t, func(t *txn.Txn) error {
+		return r.dequeueInto(ctx, t, qname, registrant, opts, &out)
+	})
+	if err != nil {
+		return Element{}, err
+	}
+	r.maybeSnapshot()
+	return out, nil
+}
+
+func (r *Repository) dequeueInto(ctx context.Context, t *txn.Txn, qname, registrant string, opts DequeueOpts, out *Element) error {
+	var stopWatch func() bool
+	if opts.Wait && ctx != nil {
+		stopWatch = context.AfterFunc(ctx, func() {
+			r.mu.Lock()
+			r.cond.Broadcast()
+			r.mu.Unlock()
+		})
+		defer stopWatch()
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for {
+		if r.closed {
+			return ErrClosed
+		}
+		qs, ok := r.queues[qname]
+		if !ok {
+			return fmt.Errorf("%w: %s", ErrNoQueue, qname)
+		}
+		if qs.stopped {
+			return fmt.Errorf("%w: %s", ErrStopped, qname)
+		}
+		el, blocked := scanQueueLocked(qs, &opts)
+		if el != nil {
+			r.claimLocked(t, el, qname, registrant, opts.Tag)
+			*out = el.e.clone()
+			return nil
+		}
+		_ = blocked // strict-FIFO in-flight head: wait like empty
+		if !opts.Wait {
+			return fmt.Errorf("%w: %s", ErrEmpty, qname)
+		}
+		if ctx != nil && ctx.Err() != nil {
+			return ctx.Err()
+		}
+		r.cond.Wait()
+	}
+}
+
+// scanQueueLocked finds the dequeue candidate. blocked reports that a
+// strict-FIFO queue's next element is held by an uncommitted transaction.
+func scanQueueLocked(qs *queueState, opts *DequeueOpts) (*elem, bool) {
+	prefer := opts.effectivePrefer()
+	var best *elem
+	for _, prio := range qs.prios {
+		for n := qs.lists[prio].Front(); n != nil; n = n.Next() {
+			el := n.Value.(*elem)
+			switch el.state {
+			case statePending:
+				continue // uncommitted enqueue: not yet in the queue
+			case stateDequeued:
+				if qs.cfg.StrictFIFO {
+					return nil, true // must not overtake the in-flight head
+				}
+				continue // skip-locked (Section 10)
+			case stateVisible:
+				if !opts.matches(&el.e) {
+					continue
+				}
+				if prefer == nil {
+					return el, false
+				}
+				// Content-based scheduling: rank the whole queue.
+				if best == nil || prefer(&el.e, &best.e) {
+					best = el
+				}
+			}
+		}
+	}
+	return best, false
+}
+
+// claimLocked marks el dequeued by t, wires undo/commit behaviour, updates
+// the registration, and logs the redo op. Caller holds r.mu.
+func (r *Repository) claimLocked(t *txn.Txn, el *elem, regQueue, registrant string, tag []byte) {
+	qs := el.q
+	el.state = stateDequeued
+	el.owner = t
+	qs.bumpDepth(-1)
+	qs.stats.InFlight++
+
+	var regCopy []byte
+	if registrant != "" {
+		if g, ok := r.regs[regKey{queue: regQueue, registrant: registrant}]; ok && g.stable {
+			regCopy = marshalElement(&el.e)
+		}
+	}
+	r.updateRegLocked(t, regQueue, registrant, OpDequeue, el.e.EID, tag, regCopy)
+
+	// Abort: return the element (or divert to the error queue on the n-th
+	// abort, or drop it if killed meanwhile). The durable record of the
+	// abort-return is written by the OnAbort hook, outside r.mu.
+	var returned struct {
+		count   int32
+		moved   string
+		volatil bool
+		killed  bool
+	}
+	t.OnUndo(func() {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		qs.stats.InFlight--
+		if el.killed {
+			qs.remove(el)
+			delete(r.elems, el.e.EID)
+			returned.killed = true
+			r.cond.Broadcast()
+			return
+		}
+		el.owner = nil
+		el.e.AbortCount++
+		returned.count = el.e.AbortCount
+		returned.volatil = qs.cfg.Volatile
+		qs.stats.AbortReturns++
+		if qs.cfg.RetryLimit > 0 && el.e.AbortCount >= qs.cfg.RetryLimit && qs.cfg.ErrorQueue != "" {
+			if eqs, ok := r.queues[qs.cfg.ErrorQueue]; ok {
+				qs.remove(el)
+				el.e.Queue = qs.cfg.ErrorQueue
+				el.e.AbortCode = fmt.Sprintf("aborted %d times", el.e.AbortCount)
+				el.q = eqs
+				el.state = stateVisible
+				eqs.insert(el)
+				eqs.bumpDepth(1)
+				qs.stats.ErrorDiversions++
+				returned.moved = qs.cfg.ErrorQueue
+				r.cond.Broadcast()
+				return
+			}
+		}
+		el.state = stateVisible
+		qs.bumpDepth(1)
+		r.cond.Broadcast()
+	})
+	t.OnAbort(func() {
+		if returned.killed || returned.volatil {
+			return
+		}
+		r.logAbortReturn(el.e.EID, returned.count, returned.moved)
+	})
+	t.OnCommit(func() {
+		r.mu.Lock()
+		qs.remove(el)
+		delete(r.elems, el.e.EID)
+		qs.stats.InFlight--
+		qs.stats.Dequeues++
+		r.cond.Broadcast() // strict-FIFO waiters behind this element
+		r.mu.Unlock()
+	})
+	if !qs.cfg.Volatile {
+		b := enc.NewBuffer(64)
+		b.Uint8(opDequeue)
+		b.String(el.e.Queue)
+		b.Uvarint(uint64(el.e.EID))
+		b.String(regQueue)
+		b.String(registrant)
+		b.BytesField(tag)
+		b.BytesField(regCopy)
+		r.logOpLocked(t, b.Bytes())
+	}
+}
+
+// logAbortReturn durably records that an aborted dequeue returned an
+// element (with its new abort count, possibly diverted to an error queue),
+// so retry counting survives crashes. Runs outside r.mu, in its own
+// system transaction.
+func (r *Repository) logAbortReturn(eid EID, count int32, movedTo string) {
+	st := r.tm.Begin()
+	b := enc.NewBuffer(24)
+	b.Uint8(opAbortReturn)
+	b.Uvarint(uint64(eid))
+	b.Varint(int64(count))
+	b.String(movedTo)
+	st.LogOp(rmName, b.Bytes())
+	_ = st.Commit() // best-effort: a crash here merely loses one retry tick
+}
+
+// DequeueSet dequeues the best available element across several queues (a
+// "queue set", Section 9): highest priority first, then oldest. All queues
+// must exist; StrictFIFO blocking applies per queue.
+func (r *Repository) DequeueSet(ctx context.Context, t *txn.Txn, qnames []string, registrant string, opts DequeueOpts) (Element, error) {
+	var out Element
+	err := r.autoTxn(t, func(t *txn.Txn) error {
+		var stopWatch func() bool
+		if opts.Wait && ctx != nil {
+			stopWatch = context.AfterFunc(ctx, func() {
+				r.mu.Lock()
+				r.cond.Broadcast()
+				r.mu.Unlock()
+			})
+			defer stopWatch()
+		}
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		for {
+			if r.closed {
+				return ErrClosed
+			}
+			var best *elem
+			var bestQueue string
+			for _, qname := range qnames {
+				qs, ok := r.queues[qname]
+				if !ok {
+					return fmt.Errorf("%w: %s", ErrNoQueue, qname)
+				}
+				if qs.stopped {
+					continue
+				}
+				el, _ := scanQueueLocked(qs, &opts)
+				if el == nil {
+					continue
+				}
+				if best == nil || el.e.Priority > best.e.Priority ||
+					(el.e.Priority == best.e.Priority && el.e.seq < best.e.seq) {
+					best = el
+					bestQueue = qname
+				}
+			}
+			if best != nil {
+				r.claimLocked(t, best, bestQueue, registrant, opts.Tag)
+				out = best.e.clone()
+				return nil
+			}
+			if !opts.Wait {
+				return fmt.Errorf("%w: set %v", ErrEmpty, qnames)
+			}
+			if ctx != nil && ctx.Err() != nil {
+				return ctx.Err()
+			}
+			r.cond.Wait()
+		}
+	})
+	if err != nil {
+		return Element{}, err
+	}
+	return out, nil
+}
+
+// --- read ---
+
+// Read returns a copy of a live element without modifying it (Section
+// 4.2). Elements held by uncommitted dequeuers are readable (their
+// committed state is "in the queue"); uncommitted enqueues are not.
+func (r *Repository) Read(eid EID) (Element, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	el, ok := r.elems[eid]
+	if !ok || el.state == statePending {
+		return Element{}, fmt.Errorf("%w: eid %d", ErrNotFound, eid)
+	}
+	return el.e.clone(), nil
+}
+
+// ReadLast returns the element most recently operated on by the handle's
+// registrant, served from the registration's stable copy — even if the
+// element has since been consumed (the basis of Rereceive, Sections 4.3
+// and 5).
+func (r *Repository) ReadLast(h *Handle) (Element, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.regs[regKey{queue: h.queue, registrant: h.registrant}]
+	if !ok {
+		return Element{}, fmt.Errorf("%w: %s on %s", ErrNotRegistered, h.registrant, h.queue)
+	}
+	if !g.hasLast || g.lastElem == nil {
+		return Element{}, fmt.Errorf("%w: no last element for %s", ErrNotFound, h.registrant)
+	}
+	return unmarshalElement(g.lastElem)
+}
+
+// --- cancellation ---
+
+// KillElement tries to delete the element (the paper's cancellation
+// primitive, Section 7): a waiting element is deleted; an element held by
+// an uncommitted dequeuer dooms that transaction and is deleted when it
+// rolls back; an element already consumed (or held by a prepared
+// transaction, whose outcome the coordinator owns) is not killed.
+// KillElement reports whether the element is now guaranteed dead. It is
+// always auto-committed.
+func (r *Repository) KillElement(eid EID) (bool, error) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return false, ErrClosed
+	}
+	el, ok := r.elems[eid]
+	if !ok {
+		r.mu.Unlock()
+		return false, nil // already consumed (or never existed)
+	}
+	switch el.state {
+	case statePending:
+		// Uncommitted enqueue: the killer cannot have learned this eid
+		// through a committed channel; treat as not-found.
+		r.mu.Unlock()
+		return false, nil
+	case stateDequeued:
+		// Mark killed first so the owner's abort-undo (which may run at any
+		// moment) drops the element instead of requeueing it; then ask the
+		// owner to die. Doom's answer is authoritative: true means the
+		// owner is guaranteed to abort.
+		owner := el.owner
+		volatil := el.q.cfg.Volatile
+		el.killed = true
+		r.mu.Unlock()
+		if owner != nil && owner.Doom() {
+			if !volatil {
+				r.logKill(eid)
+			}
+			return true, nil
+		}
+		// The owner's outcome is out of our hands: it committed (element
+		// consumed — not killed), is prepared (coordinator owns it), or
+		// already aborted. In the last case its undo ran before we set
+		// killed (state transitions under r.mu make later undos see the
+		// flag), so check whether the flag took effect.
+		r.mu.Lock()
+		cur, present := r.elems[eid]
+		if present && cur == el {
+			el.killed = false // owner will (or did) consume or keep it
+			r.mu.Unlock()
+			return false, nil
+		}
+		r.mu.Unlock()
+		if owner != nil && owner.State() == txn.Aborted {
+			// Element is gone and the owner aborted: the kill took effect.
+			if !volatil {
+				r.logKill(eid)
+			}
+			return true, nil
+		}
+		return false, nil
+	case stateVisible:
+		qs := el.q
+		qs.remove(el)
+		delete(r.elems, eid)
+		qs.bumpDepth(-1)
+		qs.stats.Kills++
+		volatil := qs.cfg.Volatile
+		r.mu.Unlock()
+		if !volatil {
+			r.logKill(eid)
+		}
+		return true, nil
+	}
+	r.mu.Unlock()
+	return false, nil
+}
+
+func (r *Repository) logKill(eid EID) {
+	st := r.tm.Begin()
+	b := enc.NewBuffer(12)
+	b.Uint8(opKill)
+	b.Uvarint(uint64(eid))
+	st.LogOp(rmName, b.Bytes())
+	_ = st.Commit()
+}
+
+// --- key-value tables (the server-side shared database) ---
+
+func kvResource(table, key string) string { return "kv/" + table + "/" + key }
+
+// KVSet transactionally writes table[key] = value under an exclusive lock.
+func (r *Repository) KVSet(ctx context.Context, t *txn.Txn, table, key string, value []byte) error {
+	return r.autoTxn(t, func(t *txn.Txn) error {
+		if err := t.Lock(ctx, kvResource(table, key), lock.Exclusive); err != nil {
+			return err
+		}
+		value := append([]byte(nil), value...)
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		if r.closed {
+			return ErrClosed
+		}
+		tbl, ok := r.tables[table]
+		if !ok {
+			tbl = make(map[string][]byte)
+			r.tables[table] = tbl
+		}
+		old, had := tbl[key]
+		tbl[key] = value
+		t.OnUndo(func() {
+			r.mu.Lock()
+			if had {
+				tbl[key] = old
+			} else {
+				delete(tbl, key)
+			}
+			r.mu.Unlock()
+		})
+		b := enc.NewBuffer(32 + len(value))
+		b.Uint8(opKVSet)
+		b.String(table)
+		b.String(key)
+		b.BytesField(value)
+		r.logOpLocked(t, b.Bytes())
+		return nil
+	})
+}
+
+// KVGet reads table[key]. Inside a transaction it takes a shared lock (or
+// exclusive when forUpdate), giving serializable reads; with t == nil it
+// reads committed state without locking.
+func (r *Repository) KVGet(ctx context.Context, t *txn.Txn, table, key string, forUpdate bool) ([]byte, bool, error) {
+	if t != nil {
+		mode := lock.Shared
+		if forUpdate {
+			mode = lock.Exclusive
+		}
+		if err := t.Lock(ctx, kvResource(table, key), mode); err != nil {
+			return nil, false, err
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, false, ErrClosed
+	}
+	v, ok := r.tables[table][key]
+	if !ok {
+		return nil, false, nil
+	}
+	return append([]byte(nil), v...), true, nil
+}
+
+// KVDelete transactionally deletes table[key].
+func (r *Repository) KVDelete(ctx context.Context, t *txn.Txn, table, key string) error {
+	return r.autoTxn(t, func(t *txn.Txn) error {
+		if err := t.Lock(ctx, kvResource(table, key), lock.Exclusive); err != nil {
+			return err
+		}
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		if r.closed {
+			return ErrClosed
+		}
+		tbl := r.tables[table]
+		old, had := tbl[key]
+		if had {
+			delete(tbl, key)
+			t.OnUndo(func() {
+				r.mu.Lock()
+				tbl[key] = old
+				r.mu.Unlock()
+			})
+		}
+		b := enc.NewBuffer(32)
+		b.Uint8(opKVDel)
+		b.String(table)
+		b.String(key)
+		r.logOpLocked(t, b.Bytes())
+		return nil
+	})
+}
+
+// --- handle conveniences (the paper's fig. 3 surface) ---
+
+// Enqueue enqueues into the handle's queue with the registrant's tag.
+func (h *Handle) Enqueue(t *txn.Txn, e Element, tag []byte) (EID, error) {
+	return h.r.Enqueue(t, h.queue, e, h.registrant, tag)
+}
+
+// Dequeue dequeues from the handle's queue with the registrant's tag.
+func (h *Handle) Dequeue(ctx context.Context, t *txn.Txn, opts DequeueOpts) (Element, error) {
+	return h.r.Dequeue(ctx, t, h.queue, h.registrant, opts)
+}
+
+// ReadLast returns the registrant's last-operated element (Rereceive).
+func (h *Handle) ReadLast() (Element, error) { return h.r.ReadLast(h) }
+
+// Info returns the registrant's current persistent registration info.
+func (h *Handle) Info() (RegInfo, error) {
+	h.r.mu.Lock()
+	defer h.r.mu.Unlock()
+	g, ok := h.r.regs[regKey{queue: h.queue, registrant: h.registrant}]
+	if !ok {
+		return RegInfo{}, fmt.Errorf("%w: %s on %s", ErrNotRegistered, h.registrant, h.queue)
+	}
+	return g.info(), nil
+}

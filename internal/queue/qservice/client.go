@@ -1,0 +1,251 @@
+package qservice
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/enc"
+	"repro/internal/queue"
+	"repro/internal/rpc"
+)
+
+// Client is the typed remote-QM client used by clerks. It mirrors the
+// repository's non-transactional surface.
+type Client struct {
+	rc *rpc.Client
+}
+
+// NewClient wraps an rpc client.
+func NewClient(rc *rpc.Client) *Client { return &Client{rc: rc} }
+
+// RPC exposes the underlying rpc client (stats, close).
+func (c *Client) RPC() *rpc.Client { return c.rc }
+
+// Close closes the underlying connection.
+func (c *Client) Close() { c.rc.Close() }
+
+// call performs the RPC and peels the status prefix.
+func (c *Client) call(ctx context.Context, method string, req *enc.Buffer) (*enc.Reader, error) {
+	out, err := c.rc.Call(ctx, method, req.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	r := enc.NewReader(out)
+	code := r.Uint8()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if code != stOK {
+		return nil, decodeErr(code, r.String())
+	}
+	return r, nil
+}
+
+// Register registers a registrant with a queue and returns its persistent
+// last-operation info.
+func (c *Client) Register(ctx context.Context, qname, registrant string, stable bool) (queue.RegInfo, error) {
+	b := enc.NewBuffer(64)
+	b.String(qname)
+	b.String(registrant)
+	b.Bool(stable)
+	r, err := c.call(ctx, MethodRegister, b)
+	if err != nil {
+		return queue.RegInfo{}, err
+	}
+	var ri queue.RegInfo
+	ri.HasLast = r.Bool()
+	ri.LastOp = queue.OpType(r.Uint8())
+	ri.LastEID = queue.EID(r.Uvarint())
+	ri.LastTag = r.BytesField()
+	return ri, r.Err()
+}
+
+// Deregister destroys the registration.
+func (c *Client) Deregister(ctx context.Context, qname, registrant string) error {
+	b := enc.NewBuffer(32)
+	b.String(qname)
+	b.String(registrant)
+	_, err := c.call(ctx, MethodDeregister, b)
+	return err
+}
+
+func encodeEnqueue(qname string, e queue.Element, registrant string, tag []byte) *enc.Buffer {
+	b := enc.NewBuffer(64 + len(e.Body))
+	b.String(qname)
+	wireElement(b, &e)
+	b.String(registrant)
+	b.BytesField(tag)
+	return b
+}
+
+// Enqueue stores an element; on return it is stably stored (the paper's
+// Send guarantee).
+func (c *Client) Enqueue(ctx context.Context, qname string, e queue.Element, registrant string, tag []byte) (queue.EID, error) {
+	r, err := c.call(ctx, MethodEnqueue, encodeEnqueue(qname, e, registrant, tag))
+	if err != nil {
+		return 0, err
+	}
+	eid := queue.EID(r.Uvarint())
+	return eid, r.Err()
+}
+
+// EnqueueOneWay fires the enqueue as a one-way message: no acknowledgement,
+// saving the response message in the common case (Section 5). The caller
+// learns the outcome when the reply arrives — or at reconnect, from the
+// registration tags.
+func (c *Client) EnqueueOneWay(qname string, e queue.Element, registrant string, tag []byte) error {
+	return c.rc.Send(MethodEnqueue1W, encodeEnqueue(qname, e, registrant, tag).Bytes())
+}
+
+// Dequeue removes and returns the next element; wait > 0 blocks up to that
+// duration before reporting ErrEmpty.
+func (c *Client) Dequeue(ctx context.Context, qname, registrant string, tag []byte, wait time.Duration, match map[string]string) (queue.Element, error) {
+	return c.dequeue(ctx, qname, registrant, tag, wait, match, "")
+}
+
+// DequeueBest removes the available element whose named header has the
+// largest numeric value — remote content-based scheduling ("highest dollar
+// amount first", Section 10).
+func (c *Client) DequeueBest(ctx context.Context, qname, registrant, preferHeader string, wait time.Duration) (queue.Element, error) {
+	return c.dequeue(ctx, qname, registrant, nil, wait, nil, preferHeader)
+}
+
+func (c *Client) dequeue(ctx context.Context, qname, registrant string, tag []byte, wait time.Duration, match map[string]string, preferHeader string) (queue.Element, error) {
+	b := enc.NewBuffer(64)
+	b.String(qname)
+	b.String(registrant)
+	b.BytesField(tag)
+	b.Uvarint(uint64(wait / time.Millisecond))
+	b.StringMap(match)
+	b.String(preferHeader)
+	callCtx := ctx
+	if wait > 0 {
+		// Leave headroom so the server's wait elapses before the RPC's.
+		var cancel context.CancelFunc
+		callCtx, cancel = context.WithTimeout(ctx, wait+5*time.Second)
+		defer cancel()
+	}
+	r, err := c.call(callCtx, MethodDequeue, b)
+	if err != nil {
+		return queue.Element{}, err
+	}
+	e := readWireElement(r)
+	return e, r.Err()
+}
+
+// ReadLast returns the registrant's last-operated element (Rereceive).
+func (c *Client) ReadLast(ctx context.Context, qname, registrant string) (queue.Element, error) {
+	b := enc.NewBuffer(32)
+	b.String(qname)
+	b.String(registrant)
+	r, err := c.call(ctx, MethodReadLast, b)
+	if err != nil {
+		return queue.Element{}, err
+	}
+	e := readWireElement(r)
+	return e, r.Err()
+}
+
+// Read returns a live element by id.
+func (c *Client) Read(ctx context.Context, eid queue.EID) (queue.Element, error) {
+	b := enc.NewBuffer(12)
+	b.Uvarint(uint64(eid))
+	r, err := c.call(ctx, MethodRead, b)
+	if err != nil {
+		return queue.Element{}, err
+	}
+	e := readWireElement(r)
+	return e, r.Err()
+}
+
+// KillElement cancels an element (Section 7).
+func (c *Client) KillElement(ctx context.Context, eid queue.EID) (bool, error) {
+	b := enc.NewBuffer(12)
+	b.Uvarint(uint64(eid))
+	r, err := c.call(ctx, MethodKill, b)
+	if err != nil {
+		return false, err
+	}
+	killed := r.Bool()
+	return killed, r.Err()
+}
+
+// CreateQueue creates a queue remotely (idempotent).
+func (c *Client) CreateQueue(ctx context.Context, cfg queue.QueueConfig) error {
+	b := enc.NewBuffer(64)
+	b.String(cfg.Name)
+	b.String(cfg.ErrorQueue)
+	b.Varint(int64(cfg.RetryLimit))
+	b.Bool(cfg.Volatile)
+	b.Bool(cfg.StrictFIFO)
+	b.String(cfg.RedirectTo)
+	b.Varint(int64(cfg.AlertThreshold))
+	b.Varint(int64(cfg.MaxDepth))
+	_, err := c.call(ctx, MethodCreateQueue, b)
+	return err
+}
+
+// Queues lists the repository's queue names.
+func (c *Client) Queues(ctx context.Context) ([]string, error) {
+	r, err := c.call(ctx, MethodQueues, enc.NewBuffer(0))
+	if err != nil {
+		return nil, err
+	}
+	names := r.StringSlice()
+	return names, r.Err()
+}
+
+// Stats returns a queue's cumulative counters.
+func (c *Client) Stats(ctx context.Context, qname string) (queue.QueueStats, error) {
+	b := enc.NewBuffer(16)
+	b.String(qname)
+	r, err := c.call(ctx, MethodStats, b)
+	if err != nil {
+		return queue.QueueStats{}, err
+	}
+	var st queue.QueueStats
+	st.Enqueues = r.Uvarint()
+	st.Dequeues = r.Uvarint()
+	st.AbortReturns = r.Uvarint()
+	st.ErrorDiversions = r.Uvarint()
+	st.Kills = r.Uvarint()
+	st.Depth = int(r.Varint())
+	st.InFlight = int(r.Varint())
+	st.MaxDepth = int(r.Varint())
+	return st, r.Err()
+}
+
+// DequeueSet removes the best element across several queues (Section 9's
+// queue sets): highest priority first, then oldest.
+func (c *Client) DequeueSet(ctx context.Context, qnames []string, registrant string, tag []byte, wait time.Duration, match map[string]string) (queue.Element, error) {
+	b := enc.NewBuffer(64)
+	b.StringSlice(qnames)
+	b.String(registrant)
+	b.BytesField(tag)
+	b.Uvarint(uint64(wait / time.Millisecond))
+	b.StringMap(match)
+	callCtx := ctx
+	if wait > 0 {
+		var cancel context.CancelFunc
+		callCtx, cancel = context.WithTimeout(ctx, wait+5*time.Second)
+		defer cancel()
+	}
+	r, err := c.call(callCtx, MethodDequeueSet, b)
+	if err != nil {
+		return queue.Element{}, err
+	}
+	e := readWireElement(r)
+	return e, r.Err()
+}
+
+// Depth returns a queue's visible depth.
+func (c *Client) Depth(ctx context.Context, qname string) (int, error) {
+	b := enc.NewBuffer(16)
+	b.String(qname)
+	r, err := c.call(ctx, MethodDepth, b)
+	if err != nil {
+		return 0, err
+	}
+	d := int(r.Uvarint())
+	return d, r.Err()
+}

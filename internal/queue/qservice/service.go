@@ -1,0 +1,344 @@
+// Package qservice exposes a queue.Repository over the rpc substrate — the
+// system model's wiring (fig. 4): the clerk in the client's process invokes
+// queue-manager operations by remote procedure call.
+//
+// Only the non-transactional (auto-commit) surface is remote, which is
+// exactly the paper's architecture: "the client accesses queues outside of
+// a transaction, while the server accesses queues within transactions"
+// (Section 2). Servers are co-located with their repository and use the
+// in-process transactional API.
+package qservice
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/enc"
+	"repro/internal/queue"
+	"repro/internal/rpc"
+)
+
+// Wire method names.
+const (
+	MethodRegister    = "qm.register"
+	MethodDeregister  = "qm.deregister"
+	MethodEnqueue     = "qm.enqueue"
+	MethodEnqueue1W   = "qm.enqueue1w" // one-way: no response (Section 5)
+	MethodDequeue     = "qm.dequeue"
+	MethodReadLast    = "qm.readlast"
+	MethodRead        = "qm.read"
+	MethodKill        = "qm.kill"
+	MethodCreateQueue = "qm.createqueue"
+	MethodDepth       = "qm.depth"
+	MethodQueues      = "qm.queues"
+	MethodStats       = "qm.stats"
+	MethodDequeueSet  = "qm.dequeueset"
+)
+
+// Status codes carried in every response payload.
+const (
+	stOK uint8 = iota
+	stEmpty
+	stNoQueue
+	stNotFound
+	stNotRegistered
+	stStopped
+	stFull
+	stOther
+)
+
+func encodeErr(err error) (uint8, string) {
+	switch {
+	case err == nil:
+		return stOK, ""
+	case errors.Is(err, queue.ErrEmpty):
+		return stEmpty, err.Error()
+	case errors.Is(err, queue.ErrNoQueue):
+		return stNoQueue, err.Error()
+	case errors.Is(err, queue.ErrNotFound):
+		return stNotFound, err.Error()
+	case errors.Is(err, queue.ErrNotRegistered):
+		return stNotRegistered, err.Error()
+	case errors.Is(err, queue.ErrStopped):
+		return stStopped, err.Error()
+	case errors.Is(err, queue.ErrFull):
+		return stFull, err.Error()
+	case errors.Is(err, context.DeadlineExceeded):
+		// A timed-out waiting dequeue is an empty queue to the client.
+		return stEmpty, "wait timeout"
+	default:
+		return stOther, err.Error()
+	}
+}
+
+func decodeErr(code uint8, msg string) error {
+	switch code {
+	case stOK:
+		return nil
+	case stEmpty:
+		return fmt.Errorf("%w: %s", queue.ErrEmpty, msg)
+	case stNoQueue:
+		return fmt.Errorf("%w: %s", queue.ErrNoQueue, msg)
+	case stNotFound:
+		return fmt.Errorf("%w: %s", queue.ErrNotFound, msg)
+	case stNotRegistered:
+		return fmt.Errorf("%w: %s", queue.ErrNotRegistered, msg)
+	case stStopped:
+		return fmt.Errorf("%w: %s", queue.ErrStopped, msg)
+	case stFull:
+		return fmt.Errorf("%w: %s", queue.ErrFull, msg)
+	default:
+		return errors.New(msg)
+	}
+}
+
+// respond builds a status-prefixed response.
+func respond(err error, body func(b *enc.Buffer)) []byte {
+	b := enc.NewBuffer(64)
+	code, msg := encodeErr(err)
+	b.Uint8(code)
+	if code != stOK {
+		b.String(msg)
+		return b.Bytes()
+	}
+	if body != nil {
+		body(b)
+	}
+	return b.Bytes()
+}
+
+// wireElement encodes an element for the wire (public fields only; the
+// fifo sequence is repository-internal and regenerated on enqueue).
+func wireElement(b *enc.Buffer, e *queue.Element) {
+	b.Uvarint(uint64(e.EID))
+	b.String(e.Queue)
+	b.Varint(int64(e.Priority))
+	b.BytesField(e.Body)
+	b.StringMap(e.Headers)
+	b.BytesField(e.ScratchPad)
+	b.String(e.ReplyTo)
+	b.Varint(int64(e.AbortCount))
+	b.String(e.AbortCode)
+}
+
+func readWireElement(r *enc.Reader) queue.Element {
+	var e queue.Element
+	e.EID = queue.EID(r.Uvarint())
+	e.Queue = r.String()
+	e.Priority = int32(r.Varint())
+	e.Body = r.BytesField()
+	e.Headers = r.StringMap()
+	e.ScratchPad = r.BytesField()
+	e.ReplyTo = r.String()
+	e.AbortCount = int32(r.Varint())
+	e.AbortCode = r.String()
+	return e
+}
+
+// Service serves one repository.
+type Service struct {
+	repo *queue.Repository
+	srv  *rpc.Server
+}
+
+// New registers the repository's methods on srv and returns the service.
+func New(repo *queue.Repository, srv *rpc.Server) *Service {
+	s := &Service{repo: repo, srv: srv}
+	srv.Handle(MethodRegister, s.handleRegister)
+	srv.Handle(MethodDeregister, s.handleDeregister)
+	srv.Handle(MethodEnqueue, s.handleEnqueue)
+	srv.Handle(MethodEnqueue1W, func(p []byte) ([]byte, error) {
+		s.handleEnqueue(p) // same work; the response is discarded
+		return nil, nil
+	})
+	srv.Handle(MethodDequeue, s.handleDequeue)
+	srv.Handle(MethodReadLast, s.handleReadLast)
+	srv.Handle(MethodRead, s.handleRead)
+	srv.Handle(MethodKill, s.handleKill)
+	srv.Handle(MethodCreateQueue, s.handleCreateQueue)
+	srv.Handle(MethodDepth, s.handleDepth)
+	srv.Handle(MethodQueues, s.handleQueues)
+	srv.Handle(MethodStats, s.handleStats)
+	srv.Handle(MethodDequeueSet, s.handleDequeueSet)
+	return s
+}
+
+func (s *Service) handleQueues(p []byte) ([]byte, error) {
+	names := s.repo.Queues()
+	return respond(nil, func(b *enc.Buffer) { b.StringSlice(names) }), nil
+}
+
+func (s *Service) handleStats(p []byte) ([]byte, error) {
+	r := enc.NewReader(p)
+	qname := r.String()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	st, err := s.repo.Stats(qname)
+	return respond(err, func(b *enc.Buffer) {
+		b.Uvarint(st.Enqueues)
+		b.Uvarint(st.Dequeues)
+		b.Uvarint(st.AbortReturns)
+		b.Uvarint(st.ErrorDiversions)
+		b.Uvarint(st.Kills)
+		b.Varint(int64(st.Depth))
+		b.Varint(int64(st.InFlight))
+		b.Varint(int64(st.MaxDepth))
+	}), nil
+}
+
+func (s *Service) handleDequeueSet(p []byte) ([]byte, error) {
+	r := enc.NewReader(p)
+	qnames := r.StringSlice()
+	registrant := r.String()
+	tag := r.BytesField()
+	waitMillis := r.Uvarint()
+	match := r.StringMap()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	opts := queue.DequeueOpts{Tag: tag, HeaderMatch: match}
+	ctx := context.Background()
+	if waitMillis > 0 {
+		opts.Wait = true
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(waitMillis)*time.Millisecond)
+		defer cancel()
+	}
+	e, err := s.repo.DequeueSet(ctx, nil, qnames, registrant, opts)
+	return respond(err, func(b *enc.Buffer) { wireElement(b, &e) }), nil
+}
+
+func (s *Service) handleRegister(p []byte) ([]byte, error) {
+	r := enc.NewReader(p)
+	qname := r.String()
+	registrant := r.String()
+	stable := r.Bool()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	_, ri, err := s.repo.Register(qname, registrant, stable)
+	return respond(err, func(b *enc.Buffer) {
+		b.Bool(ri.HasLast)
+		b.Uint8(uint8(ri.LastOp))
+		b.Uvarint(uint64(ri.LastEID))
+		b.BytesField(ri.LastTag)
+	}), nil
+}
+
+func (s *Service) handleDeregister(p []byte) ([]byte, error) {
+	r := enc.NewReader(p)
+	qname := r.String()
+	registrant := r.String()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	h := s.handleFor(qname, registrant)
+	return respond(s.repo.Deregister(h), nil), nil
+}
+
+// handleFor rebuilds a Handle without re-registering (handles are just
+// (queue, registrant) bindings).
+func (s *Service) handleFor(qname, registrant string) *queue.Handle {
+	return s.repo.HandleFor(qname, registrant)
+}
+
+func (s *Service) handleEnqueue(p []byte) ([]byte, error) {
+	r := enc.NewReader(p)
+	qname := r.String()
+	e := readWireElement(r)
+	registrant := r.String()
+	tag := r.BytesField()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	eid, err := s.repo.Enqueue(nil, qname, e, registrant, tag)
+	return respond(err, func(b *enc.Buffer) { b.Uvarint(uint64(eid)) }), nil
+}
+
+func (s *Service) handleDequeue(p []byte) ([]byte, error) {
+	r := enc.NewReader(p)
+	qname := r.String()
+	registrant := r.String()
+	tag := r.BytesField()
+	waitMillis := r.Uvarint()
+	match := r.StringMap()
+	preferHeader := r.String()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	opts := queue.DequeueOpts{Tag: tag, HeaderMatch: match, PreferHeaderDesc: preferHeader}
+	ctx := context.Background()
+	if waitMillis > 0 {
+		opts.Wait = true
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(waitMillis)*time.Millisecond)
+		defer cancel()
+	}
+	e, err := s.repo.Dequeue(ctx, nil, qname, registrant, opts)
+	return respond(err, func(b *enc.Buffer) { wireElement(b, &e) }), nil
+}
+
+func (s *Service) handleReadLast(p []byte) ([]byte, error) {
+	r := enc.NewReader(p)
+	qname := r.String()
+	registrant := r.String()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	e, err := s.handleFor(qname, registrant).ReadLast()
+	return respond(err, func(b *enc.Buffer) { wireElement(b, &e) }), nil
+}
+
+func (s *Service) handleRead(p []byte) ([]byte, error) {
+	r := enc.NewReader(p)
+	eid := queue.EID(r.Uvarint())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	e, err := s.repo.Read(eid)
+	return respond(err, func(b *enc.Buffer) { wireElement(b, &e) }), nil
+}
+
+func (s *Service) handleKill(p []byte) ([]byte, error) {
+	r := enc.NewReader(p)
+	eid := queue.EID(r.Uvarint())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	killed, err := s.repo.KillElement(eid)
+	return respond(err, func(b *enc.Buffer) { b.Bool(killed) }), nil
+}
+
+func (s *Service) handleCreateQueue(p []byte) ([]byte, error) {
+	r := enc.NewReader(p)
+	var cfg queue.QueueConfig
+	cfg.Name = r.String()
+	cfg.ErrorQueue = r.String()
+	cfg.RetryLimit = int32(r.Varint())
+	cfg.Volatile = r.Bool()
+	cfg.StrictFIFO = r.Bool()
+	cfg.RedirectTo = r.String()
+	cfg.AlertThreshold = int32(r.Varint())
+	cfg.MaxDepth = int32(r.Varint())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	err := s.repo.CreateQueue(cfg)
+	if errors.Is(err, queue.ErrExists) {
+		err = nil // idempotent remote creation
+	}
+	return respond(err, nil), nil
+}
+
+func (s *Service) handleDepth(p []byte) ([]byte, error) {
+	r := enc.NewReader(p)
+	qname := r.String()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	d, err := s.repo.Depth(qname)
+	return respond(err, func(b *enc.Buffer) { b.Uvarint(uint64(d)) }), nil
+}

@@ -1,0 +1,334 @@
+package qservice
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/queue"
+	"repro/internal/rpc"
+)
+
+type world struct {
+	repo *queue.Repository
+	srv  *rpc.Server
+	cl   *Client
+}
+
+func newWorld(t *testing.T) *world {
+	t.Helper()
+	repo, _, err := queue.Open(t.TempDir(), queue.Options{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { repo.Close() })
+	srv := rpc.NewServer()
+	New(repo, srv)
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	cl := NewClient(rpc.NewClient(addr, nil))
+	t.Cleanup(cl.Close)
+	return &world{repo: repo, srv: srv, cl: cl}
+}
+
+func TestRemoteCreateEnqueueDequeue(t *testing.T) {
+	w := newWorld(t)
+	ctx := context.Background()
+	if err := w.cl.CreateQueue(ctx, queue.QueueConfig{Name: "q"}); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent remote creation.
+	if err := w.cl.CreateQueue(ctx, queue.QueueConfig{Name: "q"}); err != nil {
+		t.Fatalf("second create: %v", err)
+	}
+	eid, err := w.cl.Enqueue(ctx, "q", queue.Element{Body: []byte("hi"), Priority: 3,
+		Headers: map[string]string{"k": "v"}, ReplyTo: "rq"}, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eid == 0 {
+		t.Fatal("zero eid")
+	}
+	d, err := w.cl.Depth(ctx, "q")
+	if err != nil || d != 1 {
+		t.Fatalf("Depth = %d, %v", d, err)
+	}
+	e, err := w.cl.Dequeue(ctx, "q", "", nil, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(e.Body) != "hi" || e.Priority != 3 || e.Headers["k"] != "v" || e.ReplyTo != "rq" || e.EID != eid {
+		t.Fatalf("element %+v", e)
+	}
+	if _, err := w.cl.Dequeue(ctx, "q", "", nil, 0, nil); !errors.Is(err, queue.ErrEmpty) {
+		t.Fatalf("empty dequeue: %v", err)
+	}
+}
+
+func TestRemoteErrorsMapToSentinels(t *testing.T) {
+	w := newWorld(t)
+	ctx := context.Background()
+	if _, err := w.cl.Enqueue(ctx, "missing", queue.Element{}, "", nil); !errors.Is(err, queue.ErrNoQueue) {
+		t.Fatalf("enqueue missing queue: %v", err)
+	}
+	if _, err := w.cl.Read(ctx, 999); !errors.Is(err, queue.ErrNotFound) {
+		t.Fatalf("read missing: %v", err)
+	}
+	if _, err := w.cl.Depth(ctx, "nope"); !errors.Is(err, queue.ErrNoQueue) {
+		t.Fatalf("depth missing: %v", err)
+	}
+}
+
+func TestRemoteRegistrationFlow(t *testing.T) {
+	w := newWorld(t)
+	ctx := context.Background()
+	if err := w.cl.CreateQueue(ctx, queue.QueueConfig{Name: "req"}); err != nil {
+		t.Fatal(err)
+	}
+	ri, err := w.cl.Register(ctx, "req", "client-1", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri.HasLast {
+		t.Fatalf("fresh reg: %+v", ri)
+	}
+	if _, err := w.cl.Enqueue(ctx, "req", queue.Element{Body: []byte("r1")}, "client-1", []byte("rid-1")); err != nil {
+		t.Fatal(err)
+	}
+	ri2, err := w.cl.Register(ctx, "req", "client-1", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ri2.HasLast || ri2.LastOp != queue.OpEnqueue || string(ri2.LastTag) != "rid-1" {
+		t.Fatalf("reg after enqueue: %+v", ri2)
+	}
+	// Consume and ReadLast (Rereceive path).
+	if _, err := w.cl.Dequeue(ctx, "req", "client-1", []byte("ck-1"), 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	last, err := w.cl.ReadLast(ctx, "req", "client-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(last.Body) != "r1" {
+		t.Fatalf("ReadLast = %q", last.Body)
+	}
+	if err := w.cl.Deregister(ctx, "req", "client-1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.cl.ReadLast(ctx, "req", "client-1"); !errors.Is(err, queue.ErrNotRegistered) {
+		t.Fatalf("ReadLast after deregister: %v", err)
+	}
+}
+
+func TestRemoteWaitingDequeue(t *testing.T) {
+	w := newWorld(t)
+	ctx := context.Background()
+	if err := w.cl.CreateQueue(ctx, queue.QueueConfig{Name: "q"}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan queue.Element, 1)
+	go func() {
+		e, err := w.cl.Dequeue(ctx, "q", "", nil, 5*time.Second, nil)
+		if err != nil {
+			t.Errorf("waiting dequeue: %v", err)
+			close(done)
+			return
+		}
+		done <- e
+	}()
+	time.Sleep(30 * time.Millisecond)
+	if _, err := w.cl.Enqueue(ctx, "q", queue.Element{Body: []byte("late")}, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case e := <-done:
+		if string(e.Body) != "late" {
+			t.Fatalf("got %q", e.Body)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("waiting dequeue never returned")
+	}
+}
+
+func TestRemoteWaitTimeoutIsEmpty(t *testing.T) {
+	w := newWorld(t)
+	ctx := context.Background()
+	if err := w.cl.CreateQueue(ctx, queue.QueueConfig{Name: "q"}); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err := w.cl.Dequeue(ctx, "q", "", nil, 50*time.Millisecond, nil)
+	if !errors.Is(err, queue.ErrEmpty) {
+		t.Fatalf("wait timeout: %v", err)
+	}
+	if time.Since(start) < 40*time.Millisecond {
+		t.Fatal("did not wait")
+	}
+}
+
+func TestRemoteOneWayEnqueue(t *testing.T) {
+	w := newWorld(t)
+	ctx := context.Background()
+	if err := w.cl.CreateQueue(ctx, queue.QueueConfig{Name: "q"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.cl.EnqueueOneWay("q", queue.Element{Body: []byte("fire")}, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	// It lands asynchronously.
+	e, err := w.cl.Dequeue(ctx, "q", "", nil, 3*time.Second, nil)
+	if err != nil || string(e.Body) != "fire" {
+		t.Fatalf("one-way element: %q %v", e.Body, err)
+	}
+	// One-way enqueue cost 1 client message; the regular dequeue cost 2.
+	st := w.cl.RPC().Stats()
+	if st.OneWays != 1 {
+		t.Fatalf("one-ways = %d", st.OneWays)
+	}
+}
+
+func TestRemoteKill(t *testing.T) {
+	w := newWorld(t)
+	ctx := context.Background()
+	if err := w.cl.CreateQueue(ctx, queue.QueueConfig{Name: "q"}); err != nil {
+		t.Fatal(err)
+	}
+	eid, err := w.cl.Enqueue(ctx, "q", queue.Element{Body: []byte("doomed")}, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	killed, err := w.cl.KillElement(ctx, eid)
+	if err != nil || !killed {
+		t.Fatalf("kill = %v, %v", killed, err)
+	}
+	killed, err = w.cl.KillElement(ctx, eid)
+	if err != nil || killed {
+		t.Fatalf("double kill = %v, %v", killed, err)
+	}
+}
+
+func TestRemoteHeaderMatch(t *testing.T) {
+	w := newWorld(t)
+	ctx := context.Background()
+	if err := w.cl.CreateQueue(ctx, queue.QueueConfig{Name: "q"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.cl.Enqueue(ctx, "q", queue.Element{Body: []byte("a"), Headers: map[string]string{"t": "1"}}, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.cl.Enqueue(ctx, "q", queue.Element{Body: []byte("b"), Headers: map[string]string{"t": "2"}}, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	e, err := w.cl.Dequeue(ctx, "q", "", nil, 0, map[string]string{"t": "2"})
+	if err != nil || string(e.Body) != "b" {
+		t.Fatalf("header-match dequeue: %q %v", e.Body, err)
+	}
+}
+
+func TestRemoteQueuesAndStats(t *testing.T) {
+	w := newWorld(t)
+	ctx := context.Background()
+	for _, q := range []string{"a", "b"} {
+		if err := w.cl.CreateQueue(ctx, queue.QueueConfig{Name: q}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names, err := w.cl.Queues(ctx)
+	if err != nil || len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("Queues = %v, %v", names, err)
+	}
+	if _, err := w.cl.Enqueue(ctx, "a", queue.Element{Body: []byte("x")}, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.cl.Dequeue(ctx, "a", "", nil, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	st, err := w.cl.Stats(ctx, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Enqueues != 1 || st.Dequeues != 1 || st.Depth != 0 || st.MaxDepth != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if _, err := w.cl.Stats(ctx, "missing"); !errors.Is(err, queue.ErrNoQueue) {
+		t.Fatalf("stats missing queue: %v", err)
+	}
+}
+
+func TestRemoteDequeueSet(t *testing.T) {
+	w := newWorld(t)
+	ctx := context.Background()
+	for _, q := range []string{"a", "b"} {
+		if err := w.cl.CreateQueue(ctx, queue.QueueConfig{Name: q}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := w.cl.Enqueue(ctx, "a", queue.Element{Priority: 1, Body: []byte("low")}, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.cl.Enqueue(ctx, "b", queue.Element{Priority: 9, Body: []byte("high")}, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	e, err := w.cl.DequeueSet(ctx, []string{"a", "b"}, "", nil, 0, nil)
+	if err != nil || string(e.Body) != "high" {
+		t.Fatalf("set pick %q %v", e.Body, err)
+	}
+	e, err = w.cl.DequeueSet(ctx, []string{"a", "b"}, "", nil, 0, nil)
+	if err != nil || string(e.Body) != "low" {
+		t.Fatalf("second pick %q %v", e.Body, err)
+	}
+	if _, err := w.cl.DequeueSet(ctx, []string{"a", "b"}, "", nil, 0, nil); !errors.Is(err, queue.ErrEmpty) {
+		t.Fatalf("empty set: %v", err)
+	}
+	// Waiting variant.
+	done := make(chan queue.Element, 1)
+	go func() {
+		e, err := w.cl.DequeueSet(ctx, []string{"a", "b"}, "", nil, 5*time.Second, nil)
+		if err != nil {
+			t.Errorf("waiting set: %v", err)
+			close(done)
+			return
+		}
+		done <- e
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if _, err := w.cl.Enqueue(ctx, "b", queue.Element{Body: []byte("late")}, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case e := <-done:
+		if string(e.Body) != "late" {
+			t.Fatalf("waiting set got %q", e.Body)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("waiting set never returned")
+	}
+}
+
+func TestRemoteDequeueBest(t *testing.T) {
+	w := newWorld(t)
+	ctx := context.Background()
+	if err := w.cl.CreateQueue(ctx, queue.QueueConfig{Name: "q"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, amt := range []string{"50", "900", "12"} {
+		if _, err := w.cl.Enqueue(ctx, "q", queue.Element{
+			Body: []byte(amt), Headers: map[string]string{"amount": amt},
+		}, "", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e, err := w.cl.DequeueBest(ctx, "q", "", "amount", 0)
+	if err != nil || string(e.Body) != "900" {
+		t.Fatalf("best pick %q %v", e.Body, err)
+	}
+	e, err = w.cl.DequeueBest(ctx, "q", "", "amount", 0)
+	if err != nil || string(e.Body) != "50" {
+		t.Fatalf("second pick %q %v", e.Body, err)
+	}
+}

@@ -1,0 +1,823 @@
+package queue
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/txn"
+)
+
+func openTest(t *testing.T, dir string) *Repository {
+	t.Helper()
+	r, inDoubt, err := Open(dir, Options{NoFsync: true})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if len(inDoubt) != 0 {
+		t.Fatalf("unexpected in-doubt txns: %d", len(inDoubt))
+	}
+	t.Cleanup(func() { r.Close() })
+	return r
+}
+
+func mustCreate(t *testing.T, r *Repository, cfg QueueConfig) {
+	t.Helper()
+	if err := r.CreateQueue(cfg); err != nil {
+		t.Fatalf("CreateQueue(%s): %v", cfg.Name, err)
+	}
+}
+
+func enq(t *testing.T, r *Repository, q string, body string) EID {
+	t.Helper()
+	eid, err := r.Enqueue(nil, q, Element{Body: []byte(body)}, "", nil)
+	if err != nil {
+		t.Fatalf("Enqueue(%s, %q): %v", q, body, err)
+	}
+	return eid
+}
+
+func deq(t *testing.T, r *Repository, q string) Element {
+	t.Helper()
+	e, err := r.Dequeue(context.Background(), nil, q, "", DequeueOpts{})
+	if err != nil {
+		t.Fatalf("Dequeue(%s): %v", q, err)
+	}
+	return e
+}
+
+func TestCreateDestroyQueue(t *testing.T) {
+	r := openTest(t, t.TempDir())
+	mustCreate(t, r, QueueConfig{Name: "q"})
+	if err := r.CreateQueue(QueueConfig{Name: "q"}); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate create: %v", err)
+	}
+	if got := r.Queues(); len(got) != 1 || got[0] != "q" {
+		t.Fatalf("Queues = %v", got)
+	}
+	if err := r.DestroyQueue("q"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.DestroyQueue("q"); !errors.Is(err, ErrNoQueue) {
+		t.Fatalf("destroy missing: %v", err)
+	}
+	if _, err := r.Enqueue(nil, "q", Element{}, "", nil); !errors.Is(err, ErrNoQueue) {
+		t.Fatalf("enqueue to destroyed queue: %v", err)
+	}
+}
+
+func TestEnqueueDequeueRoundTrip(t *testing.T) {
+	r := openTest(t, t.TempDir())
+	mustCreate(t, r, QueueConfig{Name: "q"})
+	eid := enq(t, r, "q", "hello")
+	if eid == 0 {
+		t.Fatal("zero eid")
+	}
+	d, err := r.Depth("q")
+	if err != nil || d != 1 {
+		t.Fatalf("Depth = %d, %v", d, err)
+	}
+	e := deq(t, r, "q")
+	if string(e.Body) != "hello" || e.EID != eid {
+		t.Fatalf("dequeued %+v", e)
+	}
+	if _, err := r.Dequeue(context.Background(), nil, "q", "", DequeueOpts{}); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("dequeue from empty: %v", err)
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	r := openTest(t, t.TempDir())
+	mustCreate(t, r, QueueConfig{Name: "q"})
+	for i := 0; i < 10; i++ {
+		enq(t, r, "q", fmt.Sprintf("m%d", i))
+	}
+	for i := 0; i < 10; i++ {
+		if got := string(deq(t, r, "q").Body); got != fmt.Sprintf("m%d", i) {
+			t.Fatalf("position %d: got %q", i, got)
+		}
+	}
+}
+
+func TestPriorityOrder(t *testing.T) {
+	r := openTest(t, t.TempDir())
+	mustCreate(t, r, QueueConfig{Name: "q"})
+	put := func(prio int32, body string) {
+		if _, err := r.Enqueue(nil, "q", Element{Priority: prio, Body: []byte(body)}, "", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put(0, "low1")
+	put(5, "high1")
+	put(0, "low2")
+	put(5, "high2")
+	put(2, "mid")
+	want := []string{"high1", "high2", "mid", "low1", "low2"}
+	for i, w := range want {
+		if got := string(deq(t, r, "q").Body); got != w {
+			t.Fatalf("position %d: got %q, want %q", i, got, w)
+		}
+	}
+}
+
+func TestTransactionalEnqueueVisibility(t *testing.T) {
+	r := openTest(t, t.TempDir())
+	mustCreate(t, r, QueueConfig{Name: "q"})
+	tx := r.Begin()
+	if _, err := r.Enqueue(tx, "q", Element{Body: []byte("x")}, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	// Invisible before commit.
+	if _, err := r.Dequeue(context.Background(), nil, "q", "", DequeueOpts{}); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("uncommitted element visible: %v", err)
+	}
+	if d, _ := r.Depth("q"); d != 0 {
+		t.Fatalf("depth of pending = %d", d)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := r.Depth("q"); d != 1 {
+		t.Fatalf("depth after commit = %d", d)
+	}
+	if got := string(deq(t, r, "q").Body); got != "x" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestTransactionalEnqueueAbort(t *testing.T) {
+	r := openTest(t, t.TempDir())
+	mustCreate(t, r, QueueConfig{Name: "q"})
+	tx := r.Begin()
+	eid, err := r.Enqueue(tx, "q", Element{Body: []byte("x")}, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := r.Depth("q"); d != 0 {
+		t.Fatalf("depth after abort = %d", d)
+	}
+	if _, err := r.Read(eid); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("aborted element readable: %v", err)
+	}
+}
+
+func TestDequeueAbortReturnsElement(t *testing.T) {
+	r := openTest(t, t.TempDir())
+	mustCreate(t, r, QueueConfig{Name: "q"})
+	enq(t, r, "q", "x")
+	tx := r.Begin()
+	e, err := r.Dequeue(context.Background(), tx, "q", "", DequeueOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	got := deq(t, r, "q")
+	if got.EID != e.EID {
+		t.Fatalf("different element after abort: %d vs %d", got.EID, e.EID)
+	}
+	if got.AbortCount != 1 {
+		t.Fatalf("AbortCount = %d, want 1", got.AbortCount)
+	}
+	st, _ := r.Stats("q")
+	if st.AbortReturns != 1 {
+		t.Fatalf("AbortReturns = %d", st.AbortReturns)
+	}
+}
+
+func TestDequeueCommitConsumes(t *testing.T) {
+	r := openTest(t, t.TempDir())
+	mustCreate(t, r, QueueConfig{Name: "q"})
+	eid := enq(t, r, "q", "x")
+	tx := r.Begin()
+	if _, err := r.Dequeue(context.Background(), tx, "q", "", DequeueOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Read(eid); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("consumed element readable: %v", err)
+	}
+	st, _ := r.Stats("q")
+	if st.Dequeues != 1 || st.Depth != 0 || st.InFlight != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestErrorQueueDiversion(t *testing.T) {
+	r := openTest(t, t.TempDir())
+	mustCreate(t, r, QueueConfig{Name: "err"})
+	mustCreate(t, r, QueueConfig{Name: "q", ErrorQueue: "err", RetryLimit: 3})
+	enq(t, r, "q", "poison")
+	for i := 0; i < 3; i++ {
+		tx := r.Begin()
+		if _, err := r.Dequeue(context.Background(), tx, "q", "", DequeueOpts{}); err != nil {
+			t.Fatalf("attempt %d: %v", i, err)
+		}
+		if err := tx.Abort(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The third abort diverted it.
+	if _, err := r.Dequeue(context.Background(), nil, "q", "", DequeueOpts{}); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("poison element still in main queue: %v", err)
+	}
+	e := deq(t, r, "err")
+	if string(e.Body) != "poison" || e.AbortCount != 3 || e.AbortCode == "" {
+		t.Fatalf("error-queue element %+v", e)
+	}
+	st, _ := r.Stats("q")
+	if st.ErrorDiversions != 1 {
+		t.Fatalf("ErrorDiversions = %d", st.ErrorDiversions)
+	}
+}
+
+func TestSkipLockedDequeue(t *testing.T) {
+	r := openTest(t, t.TempDir())
+	mustCreate(t, r, QueueConfig{Name: "q"})
+	enq(t, r, "q", "first")
+	enq(t, r, "q", "second")
+	tx1 := r.Begin()
+	e1, err := r.Dequeue(context.Background(), tx1, "q", "", DequeueOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(e1.Body) != "first" {
+		t.Fatalf("tx1 got %q", e1.Body)
+	}
+	// A second dequeuer skips the in-flight head (Section 10).
+	tx2 := r.Begin()
+	e2, err := r.Dequeue(context.Background(), tx2, "q", "", DequeueOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(e2.Body) != "second" {
+		t.Fatalf("tx2 got %q", e2.Body)
+	}
+	// The anomaly the paper tolerates: tx1 aborts, tx2 commits → non-FIFO.
+	if err := tx1.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(deq(t, r, "q").Body); got != "first" {
+		t.Fatalf("returned element = %q", got)
+	}
+}
+
+func TestStrictFIFOBlocksBehindInFlight(t *testing.T) {
+	r := openTest(t, t.TempDir())
+	mustCreate(t, r, QueueConfig{Name: "q", StrictFIFO: true})
+	enq(t, r, "q", "first")
+	enq(t, r, "q", "second")
+	tx1 := r.Begin()
+	if _, err := r.Dequeue(context.Background(), tx1, "q", "", DequeueOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	// Non-waiting dequeue cannot overtake.
+	if _, err := r.Dequeue(context.Background(), nil, "q", "", DequeueOpts{}); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("strict dequeue overtook in-flight head: %v", err)
+	}
+	// A waiting dequeue proceeds once tx1 commits.
+	done := make(chan Element, 1)
+	go func() {
+		e, err := r.Dequeue(context.Background(), nil, "q", "", DequeueOpts{Wait: true})
+		if err != nil {
+			t.Errorf("waiting dequeue: %v", err)
+		}
+		done <- e
+	}()
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case e := <-done:
+		t.Fatalf("strict waiter overtook: %q", e.Body)
+	default:
+	}
+	if err := tx1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	e := <-done
+	if string(e.Body) != "second" {
+		t.Fatalf("waiter got %q", e.Body)
+	}
+}
+
+func TestBlockingDequeue(t *testing.T) {
+	r := openTest(t, t.TempDir())
+	mustCreate(t, r, QueueConfig{Name: "q"})
+	done := make(chan Element, 1)
+	go func() {
+		e, err := r.Dequeue(context.Background(), nil, "q", "", DequeueOpts{Wait: true})
+		if err != nil {
+			t.Errorf("blocking dequeue: %v", err)
+			close(done)
+			return
+		}
+		done <- e
+	}()
+	time.Sleep(20 * time.Millisecond)
+	enq(t, r, "q", "wake")
+	select {
+	case e := <-done:
+		if string(e.Body) != "wake" {
+			t.Fatalf("got %q", e.Body)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocking dequeue never woke")
+	}
+}
+
+func TestBlockingDequeueContextTimeout(t *testing.T) {
+	r := openTest(t, t.TempDir())
+	mustCreate(t, r, QueueConfig{Name: "q"})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, err := r.Dequeue(ctx, nil, "q", "", DequeueOpts{Wait: true})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestHeaderMatchRetrieval(t *testing.T) {
+	r := openTest(t, t.TempDir())
+	mustCreate(t, r, QueueConfig{Name: "q"})
+	if _, err := r.Enqueue(nil, "q", Element{Body: []byte("a"), Headers: map[string]string{"type": "credit"}}, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Enqueue(nil, "q", Element{Body: []byte("b"), Headers: map[string]string{"type": "debit"}}, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	e, err := r.Dequeue(context.Background(), nil, "q", "", DequeueOpts{HeaderMatch: map[string]string{"type": "debit"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(e.Body) != "b" {
+		t.Fatalf("content-based dequeue got %q", e.Body)
+	}
+	// The non-matching element is still there.
+	if got := string(deq(t, r, "q").Body); got != "a" {
+		t.Fatalf("remaining = %q", got)
+	}
+}
+
+func TestFilterFunc(t *testing.T) {
+	r := openTest(t, t.TempDir())
+	mustCreate(t, r, QueueConfig{Name: "q"})
+	for i := 0; i < 5; i++ {
+		enq(t, r, "q", fmt.Sprintf("%d", i))
+	}
+	e, err := r.Dequeue(context.Background(), nil, "q", "", DequeueOpts{
+		Filter: func(e *Element) bool { return string(e.Body) == "3" },
+	})
+	if err != nil || string(e.Body) != "3" {
+		t.Fatalf("filter dequeue = %q, %v", e.Body, err)
+	}
+}
+
+func TestRegistrationTagsAndRecall(t *testing.T) {
+	r := openTest(t, t.TempDir())
+	mustCreate(t, r, QueueConfig{Name: "q"})
+	h, ri, err := r.Register("q", "client-1", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri.HasLast {
+		t.Fatalf("fresh registration has last op: %+v", ri)
+	}
+	eid, err := h.Enqueue(nil, Element{Body: []byte("req")}, []byte("rid-42"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-register (the recovery path) returns the enqueue's tag and eid.
+	_, ri2, err := r.Register("q", "client-1", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ri2.HasLast || ri2.LastOp != OpEnqueue || ri2.LastEID != eid || string(ri2.LastTag) != "rid-42" {
+		t.Fatalf("reg info after enqueue = %+v", ri2)
+	}
+	// Dequeue with a tag updates it.
+	if _, err := h.Dequeue(context.Background(), nil, DequeueOpts{Tag: []byte("ckpt-7")}); err != nil {
+		t.Fatal(err)
+	}
+	_, ri3, err := r.Register("q", "client-1", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri3.LastOp != OpDequeue || string(ri3.LastTag) != "ckpt-7" || ri3.LastEID != eid {
+		t.Fatalf("reg info after dequeue = %+v", ri3)
+	}
+	// ReadLast serves the consumed element from the stable copy.
+	last, err := h.ReadLast()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(last.Body) != "req" || last.EID != eid {
+		t.Fatalf("ReadLast = %+v", last)
+	}
+}
+
+func TestRegistrationAbortRestoresTag(t *testing.T) {
+	r := openTest(t, t.TempDir())
+	mustCreate(t, r, QueueConfig{Name: "q"})
+	h, _, err := r.Register("q", "c", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Enqueue(nil, Element{Body: []byte("a")}, []byte("tag-1")); err != nil {
+		t.Fatal(err)
+	}
+	tx := r.Begin()
+	if _, err := h.Dequeue(context.Background(), tx, DequeueOpts{Tag: []byte("tag-2")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	ri, err := h.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri.LastOp != OpEnqueue || string(ri.LastTag) != "tag-1" {
+		t.Fatalf("tag not restored on abort: %+v", ri)
+	}
+}
+
+func TestDeregister(t *testing.T) {
+	r := openTest(t, t.TempDir())
+	mustCreate(t, r, QueueConfig{Name: "q"})
+	h, _, err := r.Register("q", "c", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Deregister(h); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Info(); !errors.Is(err, ErrNotRegistered) {
+		t.Fatalf("Info after deregister: %v", err)
+	}
+	// Fresh registration after deregister has no history.
+	_, ri, err := r.Register("q", "c", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri.HasLast {
+		t.Fatalf("deregistered history leaked: %+v", ri)
+	}
+}
+
+func TestUnstableRegistrationKeepsNothing(t *testing.T) {
+	r := openTest(t, t.TempDir())
+	mustCreate(t, r, QueueConfig{Name: "q"})
+	h, _, err := r.Register("q", "server-1", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Enqueue(nil, Element{Body: []byte("x")}, []byte("tag")); err != nil {
+		t.Fatal(err)
+	}
+	_, ri, err := r.Register("q", "server-1", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri.HasLast {
+		t.Fatalf("unstable registration retained op: %+v", ri)
+	}
+}
+
+func TestReadStates(t *testing.T) {
+	r := openTest(t, t.TempDir())
+	mustCreate(t, r, QueueConfig{Name: "q"})
+	// Pending: unreadable.
+	tx := r.Begin()
+	eidPending, err := r.Enqueue(tx, "q", Element{Body: []byte("p")}, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Read(eidPending); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("pending element readable: %v", err)
+	}
+	tx.Abort()
+
+	// Visible: readable.
+	eid := enq(t, r, "q", "v")
+	if e, err := r.Read(eid); err != nil || string(e.Body) != "v" {
+		t.Fatalf("Read visible: %+v, %v", e, err)
+	}
+	// Dequeued-uncommitted: still readable (committed state is "present").
+	tx2 := r.Begin()
+	if _, err := r.Dequeue(context.Background(), tx2, "q", "", DequeueOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if e, err := r.Read(eid); err != nil || string(e.Body) != "v" {
+		t.Fatalf("Read dequeued: %+v, %v", e, err)
+	}
+	tx2.Commit()
+	if _, err := r.Read(eid); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Read consumed: %v", err)
+	}
+}
+
+func TestKillVisibleElement(t *testing.T) {
+	r := openTest(t, t.TempDir())
+	mustCreate(t, r, QueueConfig{Name: "q"})
+	eid := enq(t, r, "q", "x")
+	killed, err := r.KillElement(eid)
+	if err != nil || !killed {
+		t.Fatalf("KillElement = %v, %v", killed, err)
+	}
+	if d, _ := r.Depth("q"); d != 0 {
+		t.Fatalf("depth after kill = %d", d)
+	}
+	// Killing again: already gone.
+	killed, err = r.KillElement(eid)
+	if err != nil || killed {
+		t.Fatalf("second kill = %v, %v", killed, err)
+	}
+}
+
+func TestKillInFlightElementDoomsOwner(t *testing.T) {
+	r := openTest(t, t.TempDir())
+	mustCreate(t, r, QueueConfig{Name: "q"})
+	eid := enq(t, r, "q", "x")
+	tx := r.Begin()
+	if _, err := r.Dequeue(context.Background(), tx, "q", "", DequeueOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	killed, err := r.KillElement(eid)
+	if err != nil || !killed {
+		t.Fatalf("KillElement = %v, %v", killed, err)
+	}
+	if err := tx.Commit(); !errors.Is(err, txn.ErrDoomed) {
+		t.Fatalf("doomed owner commit: %v", err)
+	}
+	// Element is gone, not requeued.
+	if _, err := r.Dequeue(context.Background(), nil, "q", "", DequeueOpts{}); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("killed element requeued: %v", err)
+	}
+	if _, err := r.Read(eid); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("killed element readable: %v", err)
+	}
+}
+
+func TestKillConsumedElementFails(t *testing.T) {
+	r := openTest(t, t.TempDir())
+	mustCreate(t, r, QueueConfig{Name: "q"})
+	eid := enq(t, r, "q", "x")
+	deq(t, r, "q")
+	killed, err := r.KillElement(eid)
+	if err != nil || killed {
+		t.Fatalf("kill of consumed element = %v, %v", killed, err)
+	}
+}
+
+func TestRedirection(t *testing.T) {
+	r := openTest(t, t.TempDir())
+	mustCreate(t, r, QueueConfig{Name: "remote"})
+	mustCreate(t, r, QueueConfig{Name: "local", RedirectTo: "remote"})
+	enq(t, r, "local", "fwd")
+	if d, _ := r.Depth("local"); d != 0 {
+		t.Fatalf("local depth = %d", d)
+	}
+	e := deq(t, r, "remote")
+	if string(e.Body) != "fwd" || e.Queue != "remote" {
+		t.Fatalf("redirected element %+v", e)
+	}
+}
+
+func TestRedirectLoop(t *testing.T) {
+	r := openTest(t, t.TempDir())
+	mustCreate(t, r, QueueConfig{Name: "a", RedirectTo: "b"})
+	mustCreate(t, r, QueueConfig{Name: "b", RedirectTo: "a"})
+	if _, err := r.Enqueue(nil, "a", Element{}, "", nil); !errors.Is(err, ErrRedirectLoop) {
+		t.Fatalf("redirect loop: %v", err)
+	}
+}
+
+func TestMaxDepth(t *testing.T) {
+	r := openTest(t, t.TempDir())
+	mustCreate(t, r, QueueConfig{Name: "q", MaxDepth: 2})
+	enq(t, r, "q", "1")
+	enq(t, r, "q", "2")
+	if _, err := r.Enqueue(nil, "q", Element{}, "", nil); !errors.Is(err, ErrFull) {
+		t.Fatalf("enqueue beyond max depth: %v", err)
+	}
+	deq(t, r, "q")
+	enq(t, r, "q", "3") // room again
+}
+
+func TestStopStartQueue(t *testing.T) {
+	r := openTest(t, t.TempDir())
+	mustCreate(t, r, QueueConfig{Name: "q"})
+	enq(t, r, "q", "x")
+	if err := r.StopQueue("q"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Dequeue(context.Background(), nil, "q", "", DequeueOpts{}); !errors.Is(err, ErrStopped) {
+		t.Fatalf("dequeue from stopped: %v", err)
+	}
+	enq(t, r, "q", "y") // enqueues still allowed
+	if err := r.StartQueue("q"); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(deq(t, r, "q").Body); got != "x" {
+		t.Fatalf("after restart got %q", got)
+	}
+}
+
+func TestDequeueSet(t *testing.T) {
+	r := openTest(t, t.TempDir())
+	mustCreate(t, r, QueueConfig{Name: "a"})
+	mustCreate(t, r, QueueConfig{Name: "b"})
+	if _, err := r.Enqueue(nil, "a", Element{Priority: 1, Body: []byte("low")}, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Enqueue(nil, "b", Element{Priority: 9, Body: []byte("high")}, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	e, err := r.DequeueSet(context.Background(), nil, []string{"a", "b"}, "", DequeueOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(e.Body) != "high" {
+		t.Fatalf("queue set picked %q", e.Body)
+	}
+	e, err = r.DequeueSet(context.Background(), nil, []string{"a", "b"}, "", DequeueOpts{})
+	if err != nil || string(e.Body) != "low" {
+		t.Fatalf("second pick %q, %v", e.Body, err)
+	}
+	if _, err := r.DequeueSet(context.Background(), nil, []string{"a", "b"}, "", DequeueOpts{}); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("empty set: %v", err)
+	}
+}
+
+func TestAlertThreshold(t *testing.T) {
+	r := openTest(t, t.TempDir())
+	mustCreate(t, r, QueueConfig{Name: "q", AlertThreshold: 3})
+	alerts := make(chan int, 4)
+	r.SetAlertFunc(func(q string, depth int) {
+		if q == "q" {
+			alerts <- depth
+		}
+	})
+	for i := 0; i < 4; i++ {
+		enq(t, r, "q", "x")
+	}
+	select {
+	case d := <-alerts:
+		if d != 3 {
+			t.Fatalf("alert depth = %d", d)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no alert fired")
+	}
+	// Only the crossing fires, not every enqueue beyond it.
+	select {
+	case d := <-alerts:
+		t.Fatalf("spurious extra alert at depth %d", d)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestKVBasics(t *testing.T) {
+	r := openTest(t, t.TempDir())
+	ctx := context.Background()
+	if err := r.KVSet(ctx, nil, "acct", "alice", []byte("100")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := r.KVGet(ctx, nil, "acct", "alice", false)
+	if err != nil || !ok || string(v) != "100" {
+		t.Fatalf("KVGet = %q, %v, %v", v, ok, err)
+	}
+	// Transactional update with abort.
+	tx := r.Begin()
+	if err := r.KVSet(ctx, tx, "acct", "alice", []byte("50")); err != nil {
+		t.Fatal(err)
+	}
+	tx.Abort()
+	v, _, _ = r.KVGet(ctx, nil, "acct", "alice", false)
+	if string(v) != "100" {
+		t.Fatalf("abort did not restore: %q", v)
+	}
+	if err := r.KVDelete(ctx, nil, "acct", "alice"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := r.KVGet(ctx, nil, "acct", "alice", false); ok {
+		t.Fatal("delete did not remove")
+	}
+}
+
+func TestKVLockConflict(t *testing.T) {
+	r := openTest(t, t.TempDir())
+	ctx := context.Background()
+	tx1 := r.Begin()
+	if err := r.KVSet(ctx, tx1, "t", "k", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	tx2 := r.Begin()
+	ctx2, cancel := context.WithTimeout(ctx, 30*time.Millisecond)
+	defer cancel()
+	err := r.KVSet(ctx2, tx2, "t", "k", []byte("2"))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("conflicting write: %v", err)
+	}
+	tx2.Abort()
+	if err := tx1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	v, _, _ := r.KVGet(ctx, nil, "t", "k", false)
+	if string(v) != "1" {
+		t.Fatalf("v = %q", v)
+	}
+}
+
+func TestDequeueWithinSameTxnSeesOwnEnqueueInvisible(t *testing.T) {
+	// An element enqueued by an uncommitted transaction is pending and not
+	// dequeueable, even by its own transaction (the queue is a commit-time
+	// hand-off, per the paper's system model).
+	r := openTest(t, t.TempDir())
+	mustCreate(t, r, QueueConfig{Name: "q"})
+	tx := r.Begin()
+	if _, err := r.Enqueue(tx, "q", Element{Body: []byte("x")}, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Dequeue(context.Background(), tx, "q", "", DequeueOpts{}); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("own pending element dequeued: %v", err)
+	}
+	tx.Commit()
+}
+
+func TestScratchPadAndReplyTo(t *testing.T) {
+	r := openTest(t, t.TempDir())
+	mustCreate(t, r, QueueConfig{Name: "q"})
+	if _, err := r.Enqueue(nil, "q", Element{
+		Body:       []byte("b"),
+		ScratchPad: []byte("state-after-step-1"),
+		ReplyTo:    "client-77-replies",
+	}, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	e := deq(t, r, "q")
+	if string(e.ScratchPad) != "state-after-step-1" || e.ReplyTo != "client-77-replies" {
+		t.Fatalf("element %+v", e)
+	}
+}
+
+func TestElementCloneIsolation(t *testing.T) {
+	r := openTest(t, t.TempDir())
+	mustCreate(t, r, QueueConfig{Name: "q"})
+	body := []byte("mutable")
+	if _, err := r.Enqueue(nil, "q", Element{Body: body}, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	body[0] = 'X' // caller mutates its buffer after enqueue
+	e := deq(t, r, "q")
+	if !bytes.Equal(e.Body, []byte("mutable")) {
+		t.Fatalf("repository aliased caller buffer: %q", e.Body)
+	}
+	e.Body[0] = 'Y' // mutating the returned copy must not corrupt anything
+}
+
+func TestDestroyQueueBusy(t *testing.T) {
+	r := openTest(t, t.TempDir())
+	mustCreate(t, r, QueueConfig{Name: "q"})
+	enq(t, r, "q", "x")
+	tx := r.Begin()
+	if _, err := r.Dequeue(context.Background(), tx, "q", "", DequeueOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.DestroyQueue("q"); !errors.Is(err, ErrBusy) {
+		t.Fatalf("destroy with in-flight element: %v", err)
+	}
+	tx.Commit()
+	if err := r.DestroyQueue("q"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClosedRepositoryRejectsOps(t *testing.T) {
+	dir := t.TempDir()
+	r, _, err := Open(dir, Options{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustCreate(t, r, QueueConfig{Name: "q"})
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Enqueue(nil, "q", Element{}, "", nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("enqueue after close: %v", err)
+	}
+	if _, err := r.Dequeue(context.Background(), nil, "q", "", DequeueOpts{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("dequeue after close: %v", err)
+	}
+}

@@ -1,0 +1,749 @@
+package queue
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// reopen crashes r (no checkpoint) and recovers a fresh repository from the
+// same directory.
+func reopen(t *testing.T, r *Repository, dir string) *Repository {
+	t.Helper()
+	r.Crash()
+	r2, inDoubt, err := Open(dir, Options{NoFsync: true})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if len(inDoubt) != 0 {
+		t.Fatalf("unexpected in-doubt txns on reopen: %d", len(inDoubt))
+	}
+	t.Cleanup(func() { r2.Close() })
+	return r2
+}
+
+func TestRecoveryRestoresElements(t *testing.T) {
+	dir := t.TempDir()
+	r := openTest(t, dir)
+	mustCreate(t, r, QueueConfig{Name: "q"})
+	for i := 0; i < 5; i++ {
+		enq(t, r, "q", fmt.Sprintf("m%d", i))
+	}
+	deq(t, r, "q") // consume m0
+
+	r2 := reopen(t, r, dir)
+	if d, _ := r2.Depth("q"); d != 4 {
+		t.Fatalf("depth after recovery = %d, want 4", d)
+	}
+	for i := 1; i < 5; i++ {
+		if got := string(deq(t, r2, "q").Body); got != fmt.Sprintf("m%d", i) {
+			t.Fatalf("recovered order broken at %d: %q", i, got)
+		}
+	}
+}
+
+func TestRecoveryWithCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	r := openTest(t, dir)
+	mustCreate(t, r, QueueConfig{Name: "q"})
+	for i := 0; i < 10; i++ {
+		enq(t, r, "q", fmt.Sprintf("a%d", i))
+	}
+	if err := r.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-checkpoint activity must replay on top of the snapshot.
+	deq(t, r, "q")
+	enq(t, r, "q", "post")
+
+	r2 := reopen(t, r, dir)
+	if d, _ := r2.Depth("q"); d != 10 {
+		t.Fatalf("depth = %d, want 10", d)
+	}
+	var got []string
+	for i := 0; i < 10; i++ {
+		got = append(got, string(deq(t, r2, "q").Body))
+	}
+	want := []string{"a1", "a2", "a3", "a4", "a5", "a6", "a7", "a8", "a9", "post"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order after checkpointed recovery: %v", got)
+		}
+	}
+}
+
+func TestRepeatedCheckpointAndRecovery(t *testing.T) {
+	dir := t.TempDir()
+	r := openTest(t, dir)
+	mustCreate(t, r, QueueConfig{Name: "q"})
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 6; i++ {
+			enq(t, r, "q", fmt.Sprintf("r%d-%d", round, i))
+		}
+		for i := 0; i < 3; i++ {
+			deq(t, r, "q")
+		}
+		if round%2 == 0 {
+			if err := r.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		r = reopen(t, r, dir)
+	}
+	// 5 rounds × (6 in − 3 out) = 15 left.
+	if d, _ := r.Depth("q"); d != 15 {
+		t.Fatalf("depth = %d, want 15", d)
+	}
+}
+
+func TestRecoveryUncommittedInvisible(t *testing.T) {
+	dir := t.TempDir()
+	r := openTest(t, dir)
+	mustCreate(t, r, QueueConfig{Name: "q"})
+	enq(t, r, "q", "committed")
+	tx := r.Begin()
+	if _, err := r.Enqueue(tx, "q", Element{Body: []byte("uncommitted")}, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	tx2 := r.Begin()
+	if _, err := r.Dequeue(context.Background(), tx2, "q", "", DequeueOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	// Crash with both transactions in flight: the uncommitted enqueue
+	// vanishes; the in-flight dequeue rolls back (element available again).
+	r2 := reopen(t, r, dir)
+	if d, _ := r2.Depth("q"); d != 1 {
+		t.Fatalf("depth = %d, want 1", d)
+	}
+	if got := string(deq(t, r2, "q").Body); got != "committed" {
+		t.Fatalf("recovered %q", got)
+	}
+}
+
+func TestRecoveryRegistrationTags(t *testing.T) {
+	dir := t.TempDir()
+	r := openTest(t, dir)
+	mustCreate(t, r, QueueConfig{Name: "req"})
+	h, _, err := r.Register("req", "client-9", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eid, err := h.Enqueue(nil, Element{Body: []byte("the-request")}, []byte("rid-0017"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r2 := reopen(t, r, dir)
+	_, ri, err := r2.Register("req", "client-9", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ri.HasLast || ri.LastOp != OpEnqueue || ri.LastEID != eid || string(ri.LastTag) != "rid-0017" {
+		t.Fatalf("registration after crash = %+v", ri)
+	}
+}
+
+func TestRecoveryReadLastSurvivesConsumption(t *testing.T) {
+	// A reply dequeued (consumed) before a crash must still be re-readable
+	// by its registrant after recovery (at-least-once reply processing).
+	dir := t.TempDir()
+	r := openTest(t, dir)
+	mustCreate(t, r, QueueConfig{Name: "reply"})
+	h, _, err := r.Register("reply", "client-1", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Enqueue(nil, "reply", Element{Body: []byte("the-reply")}, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Dequeue(context.Background(), nil, DequeueOpts{Tag: []byte("ck")}); err != nil {
+		t.Fatal(err)
+	}
+
+	r2 := reopen(t, r, dir)
+	h2, ri, err := r2.Register("reply", "client-1", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri.LastOp != OpDequeue || string(ri.LastTag) != "ck" {
+		t.Fatalf("reg info = %+v", ri)
+	}
+	last, err := h2.ReadLast()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(last.Body) != "the-reply" {
+		t.Fatalf("ReadLast after crash = %q", last.Body)
+	}
+}
+
+func TestRecoveryAbortCountDurable(t *testing.T) {
+	dir := t.TempDir()
+	r := openTest(t, dir)
+	mustCreate(t, r, QueueConfig{Name: "err"})
+	mustCreate(t, r, QueueConfig{Name: "q", ErrorQueue: "err", RetryLimit: 3})
+	enq(t, r, "q", "poison")
+	for i := 0; i < 2; i++ {
+		tx := r.Begin()
+		if _, err := r.Dequeue(context.Background(), tx, "q", "", DequeueOpts{}); err != nil {
+			t.Fatal(err)
+		}
+		tx.Abort()
+	}
+
+	// Crash: the two abort returns must be remembered.
+	r2 := reopen(t, r, dir)
+	tx := r2.Begin()
+	e, err := r2.Dequeue(context.Background(), tx, "q", "", DequeueOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.AbortCount != 2 {
+		t.Fatalf("AbortCount after crash = %d, want 2", e.AbortCount)
+	}
+	tx.Abort() // third strike
+	if got := string(deq(t, r2, "err").Body); got != "poison" {
+		t.Fatalf("error queue after crash-spanning retries: %q", got)
+	}
+}
+
+func TestRecoveryErrorDiversionDurable(t *testing.T) {
+	dir := t.TempDir()
+	r := openTest(t, dir)
+	mustCreate(t, r, QueueConfig{Name: "err"})
+	mustCreate(t, r, QueueConfig{Name: "q", ErrorQueue: "err", RetryLimit: 1})
+	enq(t, r, "q", "bad")
+	tx := r.Begin()
+	if _, err := r.Dequeue(context.Background(), tx, "q", "", DequeueOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	tx.Abort() // diverted immediately
+
+	r2 := reopen(t, r, dir)
+	if d, _ := r2.Depth("q"); d != 0 {
+		t.Fatalf("main queue depth = %d", d)
+	}
+	if got := string(deq(t, r2, "err").Body); got != "bad" {
+		t.Fatalf("error queue lost element: %q", got)
+	}
+}
+
+func TestRecoveryKilledElementStaysDead(t *testing.T) {
+	dir := t.TempDir()
+	r := openTest(t, dir)
+	mustCreate(t, r, QueueConfig{Name: "q"})
+	eid := enq(t, r, "q", "x")
+	if killed, err := r.KillElement(eid); err != nil || !killed {
+		t.Fatalf("kill: %v %v", killed, err)
+	}
+	r2 := reopen(t, r, dir)
+	if d, _ := r2.Depth("q"); d != 0 {
+		t.Fatalf("killed element resurrected: depth %d", d)
+	}
+}
+
+func TestRecoveryVolatileQueueLost(t *testing.T) {
+	dir := t.TempDir()
+	r := openTest(t, dir)
+	mustCreate(t, r, QueueConfig{Name: "v", Volatile: true})
+	mustCreate(t, r, QueueConfig{Name: "d"})
+	enq(t, r, "v", "gone")
+	enq(t, r, "d", "kept")
+
+	r2 := reopen(t, r, dir)
+	// The volatile queue itself is gone (not snapshotted, creation not
+	// replayed into it)... its creation IS logged, so the queue exists but
+	// is empty.
+	if d, err := r2.Depth("v"); err != nil || d != 0 {
+		t.Fatalf("volatile queue after crash: depth=%d err=%v", d, err)
+	}
+	if got := string(deq(t, r2, "d").Body); got != "kept" {
+		t.Fatalf("durable element lost: %q", got)
+	}
+}
+
+func TestRecoveryQueueConfigAndStopState(t *testing.T) {
+	dir := t.TempDir()
+	r := openTest(t, dir)
+	mustCreate(t, r, QueueConfig{Name: "q", ErrorQueue: "e", RetryLimit: 7, StrictFIFO: true, MaxDepth: 100})
+	if err := r.StopQueue("q"); err != nil {
+		t.Fatal(err)
+	}
+
+	r2 := reopen(t, r, dir)
+	cfg, err := r2.Config("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.ErrorQueue != "e" || cfg.RetryLimit != 7 || !cfg.StrictFIFO || cfg.MaxDepth != 100 {
+		t.Fatalf("config after crash = %+v", cfg)
+	}
+	if _, err := r2.Dequeue(context.Background(), nil, "q", "", DequeueOpts{}); !errors.Is(err, ErrStopped) {
+		t.Fatalf("stop state lost: %v", err)
+	}
+}
+
+func TestRecoveryDestroyedQueueStaysGone(t *testing.T) {
+	dir := t.TempDir()
+	r := openTest(t, dir)
+	mustCreate(t, r, QueueConfig{Name: "q"})
+	enq(t, r, "q", "x")
+	deq(t, r, "q")
+	if err := r.DestroyQueue("q"); err != nil {
+		t.Fatal(err)
+	}
+	r2 := reopen(t, r, dir)
+	if _, err := r2.Depth("q"); !errors.Is(err, ErrNoQueue) {
+		t.Fatalf("destroyed queue recovered: %v", err)
+	}
+}
+
+func TestRecoveryKVTables(t *testing.T) {
+	dir := t.TempDir()
+	r := openTest(t, dir)
+	ctx := context.Background()
+	if err := r.KVSet(ctx, nil, "acct", "alice", []byte("100")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.KVSet(ctx, nil, "acct", "bob", []byte("200")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.KVDelete(ctx, nil, "acct", "bob"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.KVSet(ctx, nil, "acct", "alice", []byte("150")); err != nil {
+		t.Fatal(err)
+	}
+
+	r2 := reopen(t, r, dir)
+	v, ok, err := r2.KVGet(ctx, nil, "acct", "alice", false)
+	if err != nil || !ok || string(v) != "150" {
+		t.Fatalf("alice = %q %v %v", v, ok, err)
+	}
+	if _, ok, _ := r2.KVGet(ctx, nil, "acct", "bob", false); ok {
+		t.Fatal("deleted key recovered")
+	}
+}
+
+func TestRecoveryEIDsNeverReused(t *testing.T) {
+	dir := t.TempDir()
+	r := openTest(t, dir)
+	mustCreate(t, r, QueueConfig{Name: "q"})
+	var last EID
+	for i := 0; i < 10; i++ {
+		last = enq(t, r, "q", "x")
+		deq(t, r, "q")
+	}
+	r2 := reopen(t, r, dir)
+	next := enq(t, r2, "q", "y")
+	if next <= last {
+		t.Fatalf("eid reused after crash: %d <= %d", next, last)
+	}
+}
+
+func TestTriggerFiresOnDepth(t *testing.T) {
+	r := openTest(t, t.TempDir())
+	mustCreate(t, r, QueueConfig{Name: "replies"})
+	mustCreate(t, r, QueueConfig{Name: "next"})
+	if err := r.CreateTrigger("join-1", "replies", 3, Element{Queue: "next", Body: []byte("all-replies-in")}); err != nil {
+		t.Fatal(err)
+	}
+	enq(t, r, "replies", "r1")
+	enq(t, r, "replies", "r2")
+	// Not yet.
+	if _, err := r.Dequeue(context.Background(), nil, "next", "", DequeueOpts{}); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("trigger fired early: %v", err)
+	}
+	enq(t, r, "replies", "r3")
+	e, err := r.Dequeue(context.Background(), nil, "next", "", DequeueOpts{Wait: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(e.Body) != "all-replies-in" {
+		t.Fatalf("trigger element %q", e.Body)
+	}
+	if got := r.Triggers(); len(got) != 0 {
+		t.Fatalf("trigger not removed: %v", got)
+	}
+}
+
+func TestTriggerFiresImmediatelyIfMet(t *testing.T) {
+	r := openTest(t, t.TempDir())
+	mustCreate(t, r, QueueConfig{Name: "w"})
+	mustCreate(t, r, QueueConfig{Name: "out"})
+	enq(t, r, "w", "a")
+	enq(t, r, "w", "b")
+	if err := r.CreateTrigger("t", "w", 2, Element{Queue: "out", Body: []byte("go")}); err != nil {
+		t.Fatal(err)
+	}
+	e, err := r.Dequeue(context.Background(), nil, "out", "", DequeueOpts{Wait: true})
+	if err != nil || string(e.Body) != "go" {
+		t.Fatalf("immediate trigger: %q %v", e.Body, err)
+	}
+}
+
+func TestTriggerSurvivesCrash(t *testing.T) {
+	dir := t.TempDir()
+	r := openTest(t, dir)
+	mustCreate(t, r, QueueConfig{Name: "w"})
+	mustCreate(t, r, QueueConfig{Name: "out"})
+	if err := r.CreateTrigger("t", "w", 2, Element{Queue: "out", Body: []byte("go")}); err != nil {
+		t.Fatal(err)
+	}
+	enq(t, r, "w", "a")
+
+	r2 := reopen(t, r, dir)
+	if got := r2.Triggers(); len(got) != 1 || got[0] != "t" {
+		t.Fatalf("trigger lost in crash: %v", got)
+	}
+	enq(t, r2, "w", "b")
+	e, err := r2.Dequeue(context.Background(), nil, "out", "", DequeueOpts{Wait: true})
+	if err != nil || string(e.Body) != "go" {
+		t.Fatalf("post-crash trigger: %q %v", e.Body, err)
+	}
+}
+
+func TestTriggerRecheckAfterRecovery(t *testing.T) {
+	// Condition met, crash before the async fire completes: RecheckTriggers
+	// fires it after recovery.
+	dir := t.TempDir()
+	r := openTest(t, dir)
+	mustCreate(t, r, QueueConfig{Name: "w"})
+	mustCreate(t, r, QueueConfig{Name: "out"})
+	enq(t, r, "w", "a")
+	enq(t, r, "w", "b")
+	// Install the trigger state directly via a crash race simulation: create
+	// it while the watch queue is already at depth, then crash immediately.
+	// The CreateTrigger fast path fires asynchronously; crash first.
+	r.Crash()
+	r2, _, err := Open(dir, Options{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if err := r2.CreateTrigger("t", "w", 2, Element{Queue: "out", Body: []byte("go")}); err != nil {
+		t.Fatal(err)
+	}
+	r2.RecheckTriggers()
+	e, err := r2.Dequeue(context.Background(), nil, "out", "", DequeueOpts{Wait: true})
+	if err != nil || string(e.Body) != "go" {
+		t.Fatalf("recheck trigger: %q %v", e.Body, err)
+	}
+}
+
+func TestSnapshotCadence(t *testing.T) {
+	dir := t.TempDir()
+	r, _, err := Open(dir, Options{NoFsync: true, SnapshotEvery: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustCreate(t, r, QueueConfig{Name: "q"})
+	for i := 0; i < 50; i++ {
+		enq(t, r, "q", "x")
+	}
+	// Give automatic snapshots a moment; they run synchronously inside
+	// Enqueue, so state is already snapshotted. Just verify recovery works
+	// and is fast (log truncated).
+	stats := r.Log().Stats()
+	r.Crash()
+	r2, _, err := Open(dir, Options{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if d, _ := r2.Depth("q"); d != 50 {
+		t.Fatalf("depth = %d", d)
+	}
+	_ = stats
+}
+
+// TestQuickConservation is the queue-conservation property: under a random
+// mix of committed/aborted enqueues and dequeues with a crash at the end,
+// recovered state equals the committed history exactly — no element lost,
+// duplicated, or resurrected.
+func TestQuickConservation(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+			t.Parallel()
+			dir := t.TempDir()
+			r := openTest(t, dir)
+			mustCreate(t, r, QueueConfig{Name: "q"})
+			rng := rand.New(rand.NewSource(int64(trial) * 997))
+
+			alive := make(map[string]bool) // committed, not yet consumed
+			nextID := 0
+			for step := 0; step < 200; step++ {
+				switch rng.Intn(4) {
+				case 0, 1: // enqueue, maybe abort
+					body := fmt.Sprintf("e%d", nextID)
+					nextID++
+					tx := r.Begin()
+					if _, err := r.Enqueue(tx, "q", Element{Body: []byte(body)}, "", nil); err != nil {
+						t.Fatal(err)
+					}
+					if rng.Intn(4) == 0 {
+						tx.Abort()
+					} else {
+						if err := tx.Commit(); err != nil {
+							t.Fatal(err)
+						}
+						alive[body] = true
+					}
+				case 2: // dequeue, maybe abort
+					tx := r.Begin()
+					e, err := r.Dequeue(context.Background(), tx, "q", "", DequeueOpts{})
+					if errors.Is(err, ErrEmpty) {
+						tx.Abort()
+						continue
+					}
+					if err != nil {
+						t.Fatal(err)
+					}
+					if rng.Intn(3) == 0 {
+						tx.Abort() // element returns
+					} else {
+						if err := tx.Commit(); err != nil {
+							t.Fatal(err)
+						}
+						if !alive[string(e.Body)] {
+							t.Fatalf("dequeued element %q not in committed set", e.Body)
+						}
+						delete(alive, string(e.Body))
+					}
+				case 3: // occasionally checkpoint
+					if rng.Intn(10) == 0 {
+						if err := r.Checkpoint(); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+			}
+
+			r2 := reopen(t, r, dir)
+			els, err := r2.ListElements("q", 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got, want []string
+			for _, e := range els {
+				got = append(got, string(e.Body))
+			}
+			for b := range alive {
+				want = append(want, b)
+			}
+			sort.Strings(got)
+			sort.Strings(want)
+			if len(got) != len(want) {
+				t.Fatalf("recovered %d elements, want %d\n got: %v\nwant: %v", len(got), len(want), got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("conservation violated:\n got: %v\nwant: %v", got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentLoadSharing drives several producers and consumers through
+// one queue and verifies every element is consumed exactly once (the
+// paper's load-sharing property, Section 1).
+func TestConcurrentLoadSharing(t *testing.T) {
+	r := openTest(t, t.TempDir())
+	mustCreate(t, r, QueueConfig{Name: "work"})
+	const producers = 4
+	const perProducer = 50
+	const consumers = 3
+
+	consumed := make(chan string, producers*perProducer)
+	prodDone := make(chan error, producers)
+	for p := 0; p < producers; p++ {
+		go func(p int) {
+			for i := 0; i < perProducer; i++ {
+				if _, err := r.Enqueue(nil, "work", Element{Body: []byte(fmt.Sprintf("p%d-%d", p, i))}, "", nil); err != nil {
+					prodDone <- err
+					return
+				}
+			}
+			prodDone <- nil
+		}(p)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	consDone := make(chan int, consumers)
+	for c := 0; c < consumers; c++ {
+		go func() {
+			n := 0
+			for {
+				tx := r.Begin()
+				e, err := r.Dequeue(ctx, tx, "work", "", DequeueOpts{Wait: true})
+				if err != nil {
+					tx.Abort()
+					consDone <- n
+					return
+				}
+				if err := tx.Commit(); err != nil {
+					consDone <- n
+					return
+				}
+				consumed <- string(e.Body)
+				n++
+			}
+		}()
+	}
+	for p := 0; p < producers; p++ {
+		if err := <-prodDone; err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := make(map[string]bool)
+	for i := 0; i < producers*perProducer; i++ {
+		select {
+		case b := <-consumed:
+			if seen[b] {
+				t.Fatalf("element %q consumed twice", b)
+			}
+			seen[b] = true
+		case <-time.After(5 * time.Second):
+			t.Fatalf("only %d/%d elements consumed", len(seen), producers*perProducer)
+		}
+	}
+	cancel() // stop consumers
+	total := 0
+	for c := 0; c < consumers; c++ {
+		total += <-consDone
+	}
+	if total != producers*perProducer {
+		t.Fatalf("consumer total = %d", total)
+	}
+	if len(seen) != producers*perProducer {
+		t.Fatalf("exactly-once violated: %d unique", len(seen))
+	}
+}
+
+func TestVolatileQueueDefinitionSurvivesCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	r := openTest(t, dir)
+	mustCreate(t, r, QueueConfig{Name: "v", Volatile: true})
+	enq(t, r, "v", "ephemeral")
+	if err := r.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	r2 := reopen(t, r, dir)
+	d, err := r2.Depth("v")
+	if err != nil {
+		t.Fatalf("volatile queue definition lost after checkpoint: %v", err)
+	}
+	if d != 0 {
+		t.Fatalf("volatile contents survived: depth %d", d)
+	}
+}
+
+func TestCheckpointPreservesInDoubtPrepare(t *testing.T) {
+	// A transaction prepares (2PC), then a checkpoint runs, then the node
+	// crashes before the decision. The checkpoint's log truncation must
+	// not drop the prepare record: recovery must reinstate the in-doubt
+	// transaction.
+	dir := t.TempDir()
+	r := openTest(t, dir)
+	mustCreate(t, r, QueueConfig{Name: "q"})
+	enq(t, r, "q", "held")
+	tx := r.Begin()
+	if _, err := r.Dequeue(context.Background(), tx, "q", "", DequeueOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Prepare("coordX/7"); err != nil {
+		t.Fatal(err)
+	}
+	// Churn the log past several segments, then checkpoint: truncation
+	// would love to drop the old segments, but the outstanding prepare
+	// pins them.
+	for i := 0; i < 50; i++ {
+		enq(t, r, "q", fmt.Sprintf("churn-%d", i))
+	}
+	if err := r.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	r.Crash()
+
+	r2, inDoubt, err := Open(dir, Options{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if len(inDoubt) != 1 {
+		t.Fatalf("in-doubt after checkpoint+crash = %d, want 1", len(inDoubt))
+	}
+	if inDoubt[0].Coordinator != "coordX/7" {
+		t.Fatalf("coordinator = %q", inDoubt[0].Coordinator)
+	}
+	// The held element is still protected (in-flight), not double-counted.
+	d, _ := r2.Depth("q")
+	if d != 50 {
+		t.Fatalf("depth = %d, want 50 churn elements", d)
+	}
+	// Abort the in-doubt txn: the held element returns.
+	if err := inDoubt[0].Txn.AbortPrepared(); err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := r2.Depth("q"); d != 51 {
+		t.Fatalf("depth after in-doubt abort = %d, want 51", d)
+	}
+}
+
+func TestCheckpointThenCommitInDoubt(t *testing.T) {
+	// Same as above, but the coordinator decides commit after recovery:
+	// the element must be consumed exactly once.
+	dir := t.TempDir()
+	r := openTest(t, dir)
+	mustCreate(t, r, QueueConfig{Name: "q"})
+	enq(t, r, "q", "held")
+	tx := r.Begin()
+	if _, err := r.Dequeue(context.Background(), tx, "q", "", DequeueOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Prepare("c/1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	r.Crash()
+
+	r2, inDoubt, err := Open(dir, Options{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inDoubt) != 1 {
+		t.Fatalf("in-doubt = %d", len(inDoubt))
+	}
+	if err := inDoubt[0].Txn.CommitPrepared(); err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := r2.Depth("q"); d != 0 {
+		t.Fatalf("depth = %d after in-doubt commit", d)
+	}
+	r2.Crash()
+
+	// One more recovery: the decision is durable; nothing in doubt, the
+	// element stays consumed.
+	r3, inDoubt3, err := Open(dir, Options{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r3.Close()
+	if len(inDoubt3) != 0 {
+		t.Fatalf("in-doubt after decision = %d", len(inDoubt3))
+	}
+	if d, _ := r3.Depth("q"); d != 0 {
+		t.Fatalf("element resurrected: depth %d", d)
+	}
+}

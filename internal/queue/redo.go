@@ -1,0 +1,479 @@
+package queue
+
+import (
+	"fmt"
+
+	"repro/internal/enc"
+	"repro/internal/txn"
+)
+
+// Redo op kinds, the first byte of every queue-manager redo record.
+const (
+	opEnqueue       uint8 = 1
+	opDequeue       uint8 = 2
+	opKill          uint8 = 3
+	opAbortReturn   uint8 = 4
+	opCreateQueue   uint8 = 5
+	opDestroyQueue  uint8 = 6
+	opRegister      uint8 = 7
+	opDeregister    uint8 = 8
+	opSetStopped    uint8 = 9
+	opKVSet         uint8 = 10
+	opKVDel         uint8 = 11
+	opTriggerCreate uint8 = 12
+	opTriggerFire   uint8 = 13
+	opUpdateQueue   uint8 = 14
+)
+
+// RMName implements txn.ResourceManager.
+func (r *Repository) RMName() string { return rmName }
+
+// Redo re-applies one committed operation at recovery. Operations replay
+// in original commit order, so every precondition (queue exists, element
+// exists) holds by construction; violations indicate a corrupt log and are
+// reported.
+func (r *Repository) Redo(data []byte) error {
+	rd := enc.NewReader(data)
+	kind := rd.Uint8()
+	if err := rd.Err(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch kind {
+	case opEnqueue:
+		e, err := decodeElement(rd)
+		if err != nil {
+			return err
+		}
+		registrant := rd.String()
+		tag := rd.BytesField()
+		regQueue := rd.String()
+		if err := rd.Err(); err != nil {
+			return err
+		}
+		qs, ok := r.queues[e.Queue]
+		if !ok {
+			return fmt.Errorf("queue: redo enqueue into missing queue %s", e.Queue)
+		}
+		el := &elem{e: e, state: stateVisible, q: qs}
+		qs.insert(el)
+		qs.bumpDepth(1)
+		qs.stats.Enqueues++
+		r.elems[e.EID] = el
+		if uint64(e.EID) >= r.nextEID {
+			r.nextEID = uint64(e.EID) + 1
+		}
+		if e.seq >= r.nextSeq {
+			r.nextSeq = e.seq + 1
+		}
+		r.redoRegUpdateLocked(regQueue, registrant, OpEnqueue, e.EID, tag, marshalElement(&e))
+		return nil
+
+	case opDequeue:
+		_ = rd.String() // element's queue (diagnostic)
+		eid := EID(rd.Uvarint())
+		regQueue := rd.String()
+		registrant := rd.String()
+		tag := rd.BytesField()
+		regCopy := rd.BytesField()
+		if err := rd.Err(); err != nil {
+			return err
+		}
+		el, ok := r.elems[eid]
+		if !ok {
+			return fmt.Errorf("queue: redo dequeue of missing element %d", eid)
+		}
+		el.q.remove(el)
+		el.q.bumpDepth(-1)
+		el.q.stats.Dequeues++
+		delete(r.elems, eid)
+		if len(regCopy) == 0 {
+			regCopy = nil
+		}
+		r.redoRegUpdateLocked(regQueue, registrant, OpDequeue, eid, tag, regCopy)
+		return nil
+
+	case opKill:
+		eid := EID(rd.Uvarint())
+		if err := rd.Err(); err != nil {
+			return err
+		}
+		if el, ok := r.elems[eid]; ok {
+			el.q.remove(el)
+			if el.state == stateVisible {
+				el.q.bumpDepth(-1)
+			}
+			el.q.stats.Kills++
+			delete(r.elems, eid)
+		}
+		return nil
+
+	case opAbortReturn:
+		eid := EID(rd.Uvarint())
+		count := int32(rd.Varint())
+		movedTo := rd.String()
+		if err := rd.Err(); err != nil {
+			return err
+		}
+		el, ok := r.elems[eid]
+		if !ok {
+			return nil // element since consumed; count no longer matters
+		}
+		el.e.AbortCount = count
+		if movedTo != "" && el.e.Queue != movedTo {
+			if eqs, ok := r.queues[movedTo]; ok {
+				el.q.remove(el)
+				if el.state == stateVisible {
+					el.q.bumpDepth(-1)
+				}
+				el.q.stats.ErrorDiversions++
+				el.e.Queue = movedTo
+				el.e.AbortCode = fmt.Sprintf("aborted %d times", count)
+				el.q = eqs
+				eqs.insert(el)
+				if el.state == stateVisible {
+					eqs.bumpDepth(1)
+				}
+			}
+		}
+		return nil
+
+	case opCreateQueue:
+		cfg := decodeConfig(rd)
+		if err := rd.Err(); err != nil {
+			return err
+		}
+		if _, ok := r.queues[cfg.Name]; ok {
+			return fmt.Errorf("queue: redo create of existing queue %s", cfg.Name)
+		}
+		r.queues[cfg.Name] = newQueueState(cfg)
+		return nil
+
+	case opDestroyQueue:
+		name := rd.String()
+		if err := rd.Err(); err != nil {
+			return err
+		}
+		qs, ok := r.queues[name]
+		if !ok {
+			return nil
+		}
+		for _, l := range qs.lists {
+			for n := l.Front(); n != nil; n = n.Next() {
+				delete(r.elems, n.Value.(*elem).e.EID)
+			}
+		}
+		delete(r.queues, name)
+		return nil
+
+	case opRegister:
+		qname := rd.String()
+		registrant := rd.String()
+		stable := rd.Bool()
+		if err := rd.Err(); err != nil {
+			return err
+		}
+		k := regKey{queue: qname, registrant: registrant}
+		if _, ok := r.regs[k]; !ok {
+			r.regs[k] = &registration{key: k, stable: stable}
+		}
+		return nil
+
+	case opDeregister:
+		qname := rd.String()
+		registrant := rd.String()
+		if err := rd.Err(); err != nil {
+			return err
+		}
+		delete(r.regs, regKey{queue: qname, registrant: registrant})
+		return nil
+
+	case opSetStopped:
+		name := rd.String()
+		stopped := rd.Bool()
+		if err := rd.Err(); err != nil {
+			return err
+		}
+		if qs, ok := r.queues[name]; ok {
+			qs.stopped = stopped
+		}
+		return nil
+
+	case opKVSet:
+		table := rd.String()
+		key := rd.String()
+		value := rd.BytesField()
+		if err := rd.Err(); err != nil {
+			return err
+		}
+		tbl, ok := r.tables[table]
+		if !ok {
+			tbl = make(map[string][]byte)
+			r.tables[table] = tbl
+		}
+		tbl[key] = value
+		return nil
+
+	case opKVDel:
+		table := rd.String()
+		key := rd.String()
+		if err := rd.Err(); err != nil {
+			return err
+		}
+		delete(r.tables[table], key)
+		return nil
+
+	case opTriggerCreate:
+		tr := &trigger{}
+		tr.id = rd.String()
+		tr.watch = rd.String()
+		tr.threshold = int32(rd.Varint())
+		e, err := decodeElement(rd)
+		if err != nil {
+			return err
+		}
+		tr.fire = e
+		r.triggers[tr.id] = tr
+		return nil
+
+	case opTriggerFire:
+		id := rd.String()
+		if err := rd.Err(); err != nil {
+			return err
+		}
+		delete(r.triggers, id)
+		return nil
+
+	case opUpdateQueue:
+		cfg := decodeConfig(rd)
+		if err := rd.Err(); err != nil {
+			return err
+		}
+		if qs, ok := r.queues[cfg.Name]; ok {
+			cfg.Volatile = qs.cfg.Volatile
+			qs.cfg = cfg
+		}
+		return nil
+
+	default:
+		return fmt.Errorf("queue: unknown redo op %d", kind)
+	}
+}
+
+// redoRegUpdateLocked applies a tagged-operation update during replay.
+func (r *Repository) redoRegUpdateLocked(qname, registrant string, op OpType, eid EID, tag, elemCopy []byte) {
+	if registrant == "" {
+		return
+	}
+	g, ok := r.regs[regKey{queue: qname, registrant: registrant}]
+	if !ok || !g.stable {
+		return
+	}
+	g.hasLast = true
+	g.lastOp = op
+	g.lastEID = eid
+	g.lastTag = tag
+	if elemCopy != nil {
+		g.lastElem = elemCopy
+	}
+}
+
+// RedoPrepared re-applies an in-doubt operation as uncommitted state inside
+// t, re-acquiring the element's claim and re-registering undo/commit
+// behaviour exactly as the original execution did.
+func (r *Repository) RedoPrepared(t *txn.Txn, data []byte) error {
+	rd := enc.NewReader(data)
+	kind := rd.Uint8()
+	if err := rd.Err(); err != nil {
+		return err
+	}
+	switch kind {
+	case opEnqueue:
+		e, err := decodeElement(rd)
+		if err != nil {
+			return err
+		}
+		registrant := rd.String()
+		tag := rd.BytesField()
+		regQueue := rd.String()
+		if err := rd.Err(); err != nil {
+			return err
+		}
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		qs, ok := r.queues[e.Queue]
+		if !ok {
+			return fmt.Errorf("queue: redo-prepared enqueue into missing queue %s", e.Queue)
+		}
+		el := &elem{e: e, state: statePending, owner: t, q: qs}
+		qs.insert(el)
+		r.elems[e.EID] = el
+		if uint64(e.EID) >= r.nextEID {
+			r.nextEID = uint64(e.EID) + 1
+		}
+		if e.seq >= r.nextSeq {
+			r.nextSeq = e.seq + 1
+		}
+		var regCopy []byte
+		if registrant != "" {
+			if g, ok := r.regs[regKey{queue: regQueue, registrant: registrant}]; ok && g.stable {
+				regCopy = marshalElement(&e)
+			}
+		}
+		r.updateRegLocked(t, regQueue, registrant, OpEnqueue, e.EID, tag, regCopy)
+		t.OnUndo(func() {
+			r.mu.Lock()
+			qs.remove(el)
+			delete(r.elems, el.e.EID)
+			r.mu.Unlock()
+		})
+		t.OnCommit(func() {
+			r.mu.Lock()
+			el.state = stateVisible
+			el.owner = nil
+			qs.bumpDepth(1)
+			qs.stats.Enqueues++
+			r.cond.Broadcast()
+			r.mu.Unlock()
+		})
+		return nil
+
+	case opDequeue:
+		_ = rd.String()
+		eid := EID(rd.Uvarint())
+		regQueue := rd.String()
+		registrant := rd.String()
+		tag := rd.BytesField()
+		_ = rd.BytesField() // regCopy recomputed by claimLocked
+		if err := rd.Err(); err != nil {
+			return err
+		}
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		el, ok := r.elems[eid]
+		if !ok || el.state != stateVisible {
+			return fmt.Errorf("queue: redo-prepared dequeue of unavailable element %d", eid)
+		}
+		r.claimLocked(t, el, regQueue, registrant, tag)
+		return nil
+
+	default:
+		// Other ops never appear in prepared (2PC) transactions: prepare is
+		// used only by the distributed dequeue/enqueue path.
+		return fmt.Errorf("queue: unexpected prepared op %d", kind)
+	}
+}
+
+// --- triggers (Section 6 fork/join) ---
+
+// CreateTrigger installs a trigger: when watch's visible depth reaches
+// threshold, fire is enqueued into fire.Queue and the trigger is removed.
+// If the condition already holds, the trigger fires immediately.
+func (r *Repository) CreateTrigger(id, watch string, threshold int32, fire Element) error {
+	var fireNow *trigger
+	err := r.autoTxn(nil, func(t *txn.Txn) error {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		if r.closed {
+			return ErrClosed
+		}
+		if _, ok := r.queues[watch]; !ok {
+			return fmt.Errorf("%w: %s", ErrNoQueue, watch)
+		}
+		if _, ok := r.queues[fire.Queue]; !ok {
+			return fmt.Errorf("%w: %s", ErrNoQueue, fire.Queue)
+		}
+		tr := &trigger{id: id, watch: watch, threshold: threshold, fire: fire.clone()}
+		r.triggers[id] = tr
+		t.OnUndo(func() {
+			r.mu.Lock()
+			delete(r.triggers, id)
+			r.mu.Unlock()
+		})
+		b := enc.NewBuffer(64)
+		b.Uint8(opTriggerCreate)
+		b.String(id)
+		b.String(watch)
+		b.Varint(int64(threshold))
+		encodeElement(b, &tr.fire)
+		r.logOpLocked(t, b.Bytes())
+		if r.queues[watch].stats.Depth >= int(threshold) {
+			fireNow = tr
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if fireNow != nil {
+		go r.fireTrigger(fireNow)
+	}
+	return nil
+}
+
+// Triggers lists installed trigger ids.
+func (r *Repository) Triggers() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.triggers))
+	for id := range r.triggers {
+		out = append(out, id)
+	}
+	return out
+}
+
+// dueTriggersLocked collects triggers whose condition now holds on qname,
+// marking them so each fires once. Caller holds r.mu.
+func (r *Repository) dueTriggersLocked(qname string) []*trigger {
+	var due []*trigger
+	for id, tr := range r.triggers {
+		if tr.watch != qname {
+			continue
+		}
+		qs := r.queues[qname]
+		if qs != nil && qs.stats.Depth >= int(tr.threshold) {
+			due = append(due, tr)
+			delete(r.triggers, id) // claimed; durable removal in fireTrigger
+		}
+	}
+	return due
+}
+
+// fireTrigger durably fires a claimed trigger: one system transaction
+// removes the trigger and enqueues its element.
+func (r *Repository) fireTrigger(tr *trigger) {
+	st := r.tm.Begin()
+	b := enc.NewBuffer(16)
+	b.Uint8(opTriggerFire)
+	b.String(tr.id)
+	st.LogOp(rmName, b.Bytes())
+	if _, err := r.Enqueue(st, tr.fire.Queue, tr.fire, "", nil); err != nil {
+		_ = st.Abort()
+		// Re-install so the trigger is not lost.
+		r.mu.Lock()
+		r.triggers[tr.id] = tr
+		r.mu.Unlock()
+		return
+	}
+	_ = st.Commit()
+}
+
+// RecheckTriggers evaluates all triggers against current depths; Open's
+// caller uses it after recovery in case a trigger's condition was already
+// met before a crash.
+func (r *Repository) RecheckTriggers() {
+	r.mu.Lock()
+	var due []*trigger
+	for id, tr := range r.triggers {
+		qs := r.queues[tr.watch]
+		if qs != nil && qs.stats.Depth >= int(tr.threshold) {
+			due = append(due, tr)
+			delete(r.triggers, id)
+		}
+	}
+	r.mu.Unlock()
+	for _, tr := range due {
+		r.fireTrigger(tr)
+	}
+}

@@ -1,0 +1,775 @@
+package queue
+
+import (
+	"container/list"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/enc"
+	"repro/internal/lock"
+	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// rmName identifies the repository's redo records in the shared log.
+const rmName = "qm"
+
+// elemState tracks an element's transactional visibility.
+type elemState int8
+
+const (
+	// statePending: enqueued by an uncommitted transaction; invisible.
+	statePending elemState = iota
+	// stateVisible: committed and available for dequeue.
+	stateVisible
+	// stateDequeued: removed by an uncommitted transaction; invisible to
+	// dequeuers but still present (its committed state is "in the queue").
+	stateDequeued
+)
+
+// elem is the in-memory representation of one element.
+type elem struct {
+	e      Element
+	state  elemState
+	owner  *txn.Txn // while pending or dequeued
+	killed bool     // killed while dequeued; dropped on owner's abort
+	node   *list.Element
+	q      *queueState
+}
+
+// queueState is one queue's in-memory structure: per-priority FIFO lists.
+type queueState struct {
+	cfg     QueueConfig
+	lists   map[int32]*list.List
+	prios   []int32 // sorted descending
+	stopped bool
+	stats   QueueStats
+}
+
+func newQueueState(cfg QueueConfig) *queueState {
+	return &queueState{cfg: cfg, lists: make(map[int32]*list.List)}
+}
+
+func (q *queueState) listFor(prio int32) *list.List {
+	l, ok := q.lists[prio]
+	if !ok {
+		l = list.New()
+		q.lists[prio] = l
+		q.prios = append(q.prios, prio)
+		sort.Slice(q.prios, func(i, j int) bool { return q.prios[i] > q.prios[j] })
+	}
+	return l
+}
+
+// insert places el into FIFO position within its priority (ordered by seq,
+// so recovery re-inserts in original order even when replay order differs).
+func (q *queueState) insert(el *elem) {
+	l := q.listFor(el.e.Priority)
+	for n := l.Back(); n != nil; n = n.Prev() {
+		if n.Value.(*elem).e.seq <= el.e.seq {
+			el.node = l.InsertAfter(el, n)
+			return
+		}
+	}
+	el.node = l.PushFront(el)
+}
+
+func (q *queueState) remove(el *elem) {
+	if el.node != nil {
+		q.lists[el.e.Priority].Remove(el.node)
+		el.node = nil
+	}
+}
+
+// live counts elements in any state (pending, visible, dequeued).
+func (q *queueState) live() int {
+	n := 0
+	for _, l := range q.lists {
+		n += l.Len()
+	}
+	return n
+}
+
+func (q *queueState) bumpDepth(delta int) {
+	q.stats.Depth += delta
+	if q.stats.Depth > q.stats.MaxDepth {
+		q.stats.MaxDepth = q.stats.Depth
+	}
+}
+
+// regKey identifies a registration: a registrant is bound to one queue.
+type regKey struct {
+	queue      string
+	registrant string
+}
+
+// registration is the persistent per-registrant state (Section 4.3).
+type registration struct {
+	key      regKey
+	stable   bool
+	hasLast  bool
+	lastOp   OpType
+	lastEID  EID
+	lastTag  []byte
+	lastElem []byte // stable copy of the last element operated on
+}
+
+func (g *registration) info() RegInfo {
+	ri := RegInfo{HasLast: g.hasLast, LastOp: g.lastOp, LastEID: g.lastEID}
+	if g.lastTag != nil {
+		ri.LastTag = append([]byte(nil), g.lastTag...)
+	}
+	return ri
+}
+
+// trigger fires an enqueue when a watched queue's visible depth reaches a
+// threshold — the paper's fork/join mechanism: "a trigger is set to send a
+// request when all of the replies to earlier concurrent requests have been
+// received" (Section 6).
+type trigger struct {
+	id        string
+	watch     string
+	threshold int32
+	fire      Element // enqueued into fire.Queue when the trigger fires
+}
+
+// AlertFunc receives queue-depth alert notifications (Section 9's alert
+// thresholds). It is called on its own goroutine.
+type AlertFunc func(queue string, depth int)
+
+// Options configure a Repository.
+type Options struct {
+	// Name is the repository's system-wide unique name (Section 4.1).
+	Name string
+	// NoFsync disables physical fsync (tests and benchmarks).
+	NoFsync bool
+	// SnapshotEvery takes a snapshot after this many logged operations;
+	// zero disables automatic snapshots (Checkpoint can still be called).
+	SnapshotEvery int
+	// SegmentSize overrides the WAL segment size.
+	SegmentSize int64
+	// GroupCommit batches concurrent commits' fsyncs into one (the
+	// classic group-commit optimization); durability is unchanged — a
+	// commit still returns only after its record is on disk.
+	GroupCommit bool
+}
+
+// Repository is a queue repository: a named set of queues, registrations,
+// key-value tables and triggers, durable via one write-ahead log.
+type Repository struct {
+	name  string
+	dir   string
+	opts  Options
+	log   *wal.Log
+	locks *lock.Manager
+	tm    *txn.Manager
+	snap  *storage.Snapshotter
+
+	mu       sync.Mutex
+	cond     *sync.Cond // broadcast on any visibility change
+	closed   bool
+	queues   map[string]*queueState
+	elems    map[EID]*elem
+	regs     map[regKey]*registration
+	triggers map[string]*trigger
+	tables   map[string]map[string][]byte
+	nextEID  uint64
+	nextSeq  uint64
+	opCount  int // logged ops since last snapshot
+
+	alertMu sync.Mutex
+	alertFn AlertFunc
+}
+
+// Open opens (creating if necessary) the repository in dir and recovers it
+// from its snapshot and log. It returns any in-doubt prepared transactions
+// for the distributed-commit layer to resolve.
+func Open(dir string, opts Options) (*Repository, []txn.InDoubt, error) {
+	if opts.Name == "" {
+		opts.Name = filepath.Base(dir)
+	}
+	walOpts := wal.Options{
+		NoFsync:     opts.NoFsync,
+		SegmentSize: opts.SegmentSize,
+	}
+	if opts.GroupCommit {
+		walOpts.Sync = wal.SyncGroup
+	}
+	log, err := wal.Open(filepath.Join(dir, "wal"), walOpts)
+	if err != nil {
+		return nil, nil, err
+	}
+	snap, err := storage.NewSnapshotter(filepath.Join(dir, "snap"), opts.NoFsync)
+	if err != nil {
+		log.Close()
+		return nil, nil, err
+	}
+	lm := lock.NewManager()
+	r := &Repository{
+		name:     opts.Name,
+		dir:      dir,
+		opts:     opts,
+		log:      log,
+		locks:    lm,
+		tm:       txn.NewManager(log, lm),
+		snap:     snap,
+		queues:   make(map[string]*queueState),
+		elems:    make(map[EID]*elem),
+		regs:     make(map[regKey]*registration),
+		triggers: make(map[string]*trigger),
+		tables:   make(map[string]map[string][]byte),
+		nextEID:  1,
+		nextSeq:  1,
+	}
+	r.cond = sync.NewCond(&r.mu)
+	r.tm.RegisterRM(r)
+
+	// Recovery: snapshot, then log replay.
+	var snapLSN wal.LSN
+	data, lsn, err := snap.Load()
+	switch err {
+	case nil:
+		if err := r.loadSnapshot(data); err != nil {
+			log.Close()
+			return nil, nil, err
+		}
+		snapLSN = wal.LSN(lsn)
+	case storage.ErrNoSnapshot:
+		// fresh repository
+	default:
+		log.Close()
+		return nil, nil, err
+	}
+	inDoubt, err := r.tm.Recover(snapLSN)
+	if err != nil {
+		log.Close()
+		return nil, nil, fmt.Errorf("queue: recover %s: %w", opts.Name, err)
+	}
+	return r, inDoubt, nil
+}
+
+// Name returns the repository's unique name.
+func (r *Repository) Name() string { return r.name }
+
+// TM returns the repository's transaction manager; servers begin their
+// request-processing transactions through it.
+func (r *Repository) TM() *txn.Manager { return r.tm }
+
+// Locks returns the repository's lock manager, shared with application
+// locks (Section 6).
+func (r *Repository) Locks() *lock.Manager { return r.locks }
+
+// Log exposes the write-ahead log for stats.
+func (r *Repository) Log() *wal.Log { return r.log }
+
+// SetAlertFunc installs the queue-depth alert callback.
+func (r *Repository) SetAlertFunc(f AlertFunc) {
+	r.alertMu.Lock()
+	r.alertFn = f
+	r.alertMu.Unlock()
+}
+
+// Crash simulates a process failure: the write-ahead log is closed with no
+// checkpoint, and the repository rejects further operations. All volatile
+// state (in-flight transactions, volatile queues, unsnapshotted memory) is
+// abandoned exactly as a real crash would abandon it; reopen the directory
+// to recover. The chaos test harness is the intended caller.
+func (r *Repository) Crash() {
+	r.mu.Lock()
+	r.closed = true
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	_ = r.log.Close()
+}
+
+// Close snapshots and closes the repository.
+func (r *Repository) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	if err := r.Checkpoint(); err != nil {
+		r.log.Close()
+		return err
+	}
+	return r.log.Close()
+}
+
+// --- transactions ---
+
+// Begin starts a transaction against this repository.
+func (r *Repository) Begin() *txn.Txn { return r.tm.Begin() }
+
+// autoTxn runs op inside t, or inside a fresh auto-commit transaction when
+// t is nil (the paper's non-transactional front-end access). op must not
+// commit or abort t itself.
+func (r *Repository) autoTxn(t *txn.Txn, op func(t *txn.Txn) error) error {
+	if t != nil {
+		return op(t)
+	}
+	at := r.tm.Begin()
+	if err := op(at); err != nil {
+		// Roll back whatever the op half-did.
+		_ = at.Abort()
+		return err
+	}
+	return at.Commit()
+}
+
+// --- DDL ---
+
+// CreateQueue creates a queue. DDL is always auto-committed.
+func (r *Repository) CreateQueue(cfg QueueConfig) error {
+	if cfg.Name == "" {
+		return fmt.Errorf("queue: empty queue name")
+	}
+	return r.autoTxn(nil, func(t *txn.Txn) error {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		if r.closed {
+			return ErrClosed
+		}
+		if _, ok := r.queues[cfg.Name]; ok {
+			return fmt.Errorf("%w: %s", ErrExists, cfg.Name)
+		}
+		qs := newQueueState(cfg)
+		r.queues[cfg.Name] = qs
+		t.OnUndo(func() {
+			r.mu.Lock()
+			delete(r.queues, cfg.Name)
+			r.mu.Unlock()
+		})
+		b := enc.NewBuffer(32)
+		b.Uint8(opCreateQueue)
+		encodeConfig(b, &cfg)
+		r.logOpLocked(t, b.Bytes())
+		return nil
+	})
+}
+
+// DestroyQueue removes a queue and its elements. It fails with ErrBusy if
+// any element is held by an in-flight transaction.
+func (r *Repository) DestroyQueue(name string) error {
+	return r.autoTxn(nil, func(t *txn.Txn) error {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		if r.closed {
+			return ErrClosed
+		}
+		qs, ok := r.queues[name]
+		if !ok {
+			return fmt.Errorf("%w: %s", ErrNoQueue, name)
+		}
+		var doomed []*elem
+		for _, l := range qs.lists {
+			for n := l.Front(); n != nil; n = n.Next() {
+				el := n.Value.(*elem)
+				if el.state != stateVisible {
+					return fmt.Errorf("%w: %s has in-flight elements", ErrBusy, name)
+				}
+				doomed = append(doomed, el)
+			}
+		}
+		delete(r.queues, name)
+		for _, el := range doomed {
+			delete(r.elems, el.e.EID)
+		}
+		t.OnUndo(func() {
+			r.mu.Lock()
+			r.queues[name] = qs
+			for _, el := range doomed {
+				r.elems[el.e.EID] = el
+			}
+			r.mu.Unlock()
+		})
+		b := enc.NewBuffer(16)
+		b.Uint8(opDestroyQueue)
+		b.String(name)
+		r.logOpLocked(t, b.Bytes())
+		return nil
+	})
+}
+
+// UpdateQueueConfig modifies a queue's tunables in place (the "modify"
+// data-definition operation of Section 4.1): error queue, retry limit,
+// strict-FIFO mode, redirection, alert threshold, and max depth. The name
+// and volatility are immutable.
+func (r *Repository) UpdateQueueConfig(cfg QueueConfig) error {
+	return r.autoTxn(nil, func(t *txn.Txn) error {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		if r.closed {
+			return ErrClosed
+		}
+		qs, ok := r.queues[cfg.Name]
+		if !ok {
+			return fmt.Errorf("%w: %s", ErrNoQueue, cfg.Name)
+		}
+		prev := qs.cfg
+		cfg.Volatile = prev.Volatile // immutable
+		qs.cfg = cfg
+		r.cond.Broadcast() // strict-FIFO relaxation may unblock waiters
+		t.OnUndo(func() {
+			r.mu.Lock()
+			qs.cfg = prev
+			r.mu.Unlock()
+		})
+		b := enc.NewBuffer(64)
+		b.Uint8(opUpdateQueue)
+		encodeConfig(b, &cfg)
+		r.logOpLocked(t, b.Bytes())
+		return nil
+	})
+}
+
+// StopQueue pauses dequeues from a queue; enqueues still succeed.
+func (r *Repository) StopQueue(name string) error { return r.setStopped(name, true) }
+
+// StartQueue resumes dequeues from a stopped queue.
+func (r *Repository) StartQueue(name string) error { return r.setStopped(name, false) }
+
+func (r *Repository) setStopped(name string, stopped bool) error {
+	return r.autoTxn(nil, func(t *txn.Txn) error {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		if r.closed {
+			return ErrClosed
+		}
+		qs, ok := r.queues[name]
+		if !ok {
+			return fmt.Errorf("%w: %s", ErrNoQueue, name)
+		}
+		prev := qs.stopped
+		qs.stopped = stopped
+		if !stopped {
+			r.cond.Broadcast()
+		}
+		t.OnUndo(func() {
+			r.mu.Lock()
+			qs.stopped = prev
+			r.mu.Unlock()
+		})
+		b := enc.NewBuffer(16)
+		b.Uint8(opSetStopped)
+		b.String(name)
+		b.Bool(stopped)
+		r.logOpLocked(t, b.Bytes())
+		return nil
+	})
+}
+
+// Queues lists queue names.
+func (r *Repository) Queues() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.queues))
+	for name := range r.queues {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats returns a queue's counters.
+func (r *Repository) Stats(name string) (QueueStats, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	qs, ok := r.queues[name]
+	if !ok {
+		return QueueStats{}, fmt.Errorf("%w: %s", ErrNoQueue, name)
+	}
+	return qs.stats, nil
+}
+
+// Depth returns a queue's visible depth.
+func (r *Repository) Depth(name string) (int, error) {
+	st, err := r.Stats(name)
+	return st.Depth, err
+}
+
+// Config returns a queue's configuration.
+func (r *Repository) Config(name string) (QueueConfig, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	qs, ok := r.queues[name]
+	if !ok {
+		return QueueConfig{}, fmt.Errorf("%w: %s", ErrNoQueue, name)
+	}
+	return qs.cfg, nil
+}
+
+// ListElements returns up to max elements of a queue in dequeue order
+// (copies; diagnostic use).
+func (r *Repository) ListElements(name string, max int) ([]Element, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	qs, ok := r.queues[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoQueue, name)
+	}
+	var out []Element
+	for _, prio := range qs.prios {
+		for n := qs.lists[prio].Front(); n != nil; n = n.Next() {
+			el := n.Value.(*elem)
+			if el.state == statePending {
+				continue
+			}
+			out = append(out, el.e.clone())
+			if max > 0 && len(out) >= max {
+				return out, nil
+			}
+		}
+	}
+	return out, nil
+}
+
+// logOpLocked attaches a redo op to t and counts it toward the snapshot
+// cadence. Caller holds r.mu.
+func (r *Repository) logOpLocked(t *txn.Txn, data []byte) {
+	t.LogOp(rmName, data)
+	r.opCount++
+}
+
+// maybeSnapshot is called outside r.mu after committing an auto-op; it
+// takes a checkpoint when the configured cadence is reached.
+func (r *Repository) maybeSnapshot() {
+	if r.opts.SnapshotEvery <= 0 {
+		return
+	}
+	r.mu.Lock()
+	due := r.opCount >= r.opts.SnapshotEvery
+	if due {
+		r.opCount = 0
+	}
+	r.mu.Unlock()
+	if due {
+		_ = r.Checkpoint() // best effort; next cadence retries
+	}
+}
+
+// fireAlert delivers a depth alert without holding locks.
+func (r *Repository) fireAlert(queue string, depth int) {
+	r.alertMu.Lock()
+	f := r.alertFn
+	r.alertMu.Unlock()
+	if f != nil {
+		go f(queue, depth)
+	}
+}
+
+// --- snapshots ---
+
+// Checkpoint serializes committed state, writes a snapshot, and truncates
+// the log below min(snapshot LSN, oldest outstanding prepare).
+func (r *Repository) Checkpoint() error {
+	var data []byte
+	var lastLSN, cutoff wal.LSN
+	err := r.tm.BlockCommits(func() error {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		data = r.serializeLocked()
+		lastLSN = r.log.LastLSN()
+		cutoff = lastLSN + 1
+		if p := r.tm.OldestPrepareLSN(); p != 0 && p < cutoff {
+			cutoff = p
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if err := r.snap.Write(uint64(lastLSN), data); err != nil {
+		return fmt.Errorf("queue: checkpoint %s: %w", r.name, err)
+	}
+	if err := r.log.TruncateBefore(cutoff); err != nil {
+		return fmt.Errorf("queue: truncate %s: %w", r.name, err)
+	}
+	return nil
+}
+
+const snapVersion = 1
+
+// serializeLocked encodes committed state only: pending elements are
+// omitted (their transactions haven't committed), dequeued elements are
+// written as visible (their committed state is "still in the queue"; the
+// dequeuer's commit record, if any, has a later LSN and will be replayed).
+func (r *Repository) serializeLocked() []byte {
+	b := enc.NewBuffer(4096)
+	b.Uint8(snapVersion)
+	b.String(r.name)
+	b.Uvarint(r.nextEID)
+	b.Uvarint(r.nextSeq)
+	b.Uvarint(r.tm.NextID())
+
+	// Queues: definitions of volatile queues are durable, their contents
+	// are not.
+	var qnames []string
+	for name := range r.queues {
+		qnames = append(qnames, name)
+	}
+	sort.Strings(qnames)
+	b.Uvarint(uint64(len(qnames)))
+	for _, name := range qnames {
+		qs := r.queues[name]
+		encodeConfig(b, &qs.cfg)
+		b.Bool(qs.stopped)
+		var els []*elem
+		if !qs.cfg.Volatile {
+			for _, prio := range qs.prios {
+				for n := qs.lists[prio].Front(); n != nil; n = n.Next() {
+					el := n.Value.(*elem)
+					if el.state == statePending {
+						continue
+					}
+					els = append(els, el)
+				}
+			}
+		}
+		b.Uvarint(uint64(len(els)))
+		for _, el := range els {
+			encodeElement(b, &el.e)
+		}
+	}
+
+	// Registrations.
+	var rkeys []regKey
+	for k := range r.regs {
+		rkeys = append(rkeys, k)
+	}
+	sort.Slice(rkeys, func(i, j int) bool {
+		if rkeys[i].queue != rkeys[j].queue {
+			return rkeys[i].queue < rkeys[j].queue
+		}
+		return rkeys[i].registrant < rkeys[j].registrant
+	})
+	b.Uvarint(uint64(len(rkeys)))
+	for _, k := range rkeys {
+		g := r.regs[k]
+		b.String(k.queue)
+		b.String(k.registrant)
+		b.Bool(g.stable)
+		b.Bool(g.hasLast)
+		b.Uint8(uint8(g.lastOp))
+		b.Uvarint(uint64(g.lastEID))
+		b.BytesField(g.lastTag)
+		b.BytesField(g.lastElem)
+	}
+
+	// Triggers.
+	var tids []string
+	for id := range r.triggers {
+		tids = append(tids, id)
+	}
+	sort.Strings(tids)
+	b.Uvarint(uint64(len(tids)))
+	for _, id := range tids {
+		tr := r.triggers[id]
+		b.String(tr.id)
+		b.String(tr.watch)
+		b.Varint(int64(tr.threshold))
+		encodeElement(b, &tr.fire)
+	}
+
+	// Tables.
+	var tnames []string
+	for name := range r.tables {
+		tnames = append(tnames, name)
+	}
+	sort.Strings(tnames)
+	b.Uvarint(uint64(len(tnames)))
+	for _, name := range tnames {
+		tbl := r.tables[name]
+		b.String(name)
+		var keys []string
+		for k := range tbl {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b.Uvarint(uint64(len(keys)))
+		for _, k := range keys {
+			b.String(k)
+			b.BytesField(tbl[k])
+		}
+	}
+	return b.Bytes()
+}
+
+func (r *Repository) loadSnapshot(data []byte) error {
+	rd := enc.NewReader(data)
+	if v := rd.Uint8(); v != snapVersion {
+		return fmt.Errorf("queue: snapshot version %d unsupported", v)
+	}
+	r.name = rd.String()
+	r.nextEID = rd.Uvarint()
+	r.nextSeq = rd.Uvarint()
+	r.tm.SetNextID(rd.Uvarint())
+
+	nq := rd.Uvarint()
+	for i := uint64(0); i < nq && rd.Err() == nil; i++ {
+		cfg := decodeConfig(rd)
+		qs := newQueueState(cfg)
+		qs.stopped = rd.Bool()
+		r.queues[cfg.Name] = qs
+		ne := rd.Uvarint()
+		for j := uint64(0); j < ne && rd.Err() == nil; j++ {
+			e, err := decodeElement(rd)
+			if err != nil {
+				return fmt.Errorf("queue: snapshot element: %w", err)
+			}
+			el := &elem{e: e, state: stateVisible, q: qs}
+			qs.insert(el)
+			qs.bumpDepth(1)
+			r.elems[e.EID] = el
+		}
+	}
+
+	nr := rd.Uvarint()
+	for i := uint64(0); i < nr && rd.Err() == nil; i++ {
+		k := regKey{queue: rd.String(), registrant: rd.String()}
+		g := &registration{key: k}
+		g.stable = rd.Bool()
+		g.hasLast = rd.Bool()
+		g.lastOp = OpType(rd.Uint8())
+		g.lastEID = EID(rd.Uvarint())
+		g.lastTag = rd.BytesField()
+		g.lastElem = rd.BytesField()
+		r.regs[k] = g
+	}
+
+	nt := rd.Uvarint()
+	for i := uint64(0); i < nt && rd.Err() == nil; i++ {
+		tr := &trigger{}
+		tr.id = rd.String()
+		tr.watch = rd.String()
+		tr.threshold = int32(rd.Varint())
+		e, err := decodeElement(rd)
+		if err != nil {
+			return fmt.Errorf("queue: snapshot trigger: %w", err)
+		}
+		tr.fire = e
+		r.triggers[tr.id] = tr
+	}
+
+	ntbl := rd.Uvarint()
+	for i := uint64(0); i < ntbl && rd.Err() == nil; i++ {
+		name := rd.String()
+		nk := rd.Uvarint()
+		tbl := make(map[string][]byte, nk)
+		for j := uint64(0); j < nk && rd.Err() == nil; j++ {
+			k := rd.String()
+			tbl[k] = rd.BytesField()
+		}
+		r.tables[name] = tbl
+	}
+	if err := rd.Finish(); err != nil {
+		return fmt.Errorf("queue: snapshot decode: %w", err)
+	}
+	return nil
+}

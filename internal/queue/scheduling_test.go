@@ -1,0 +1,193 @@
+package queue
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"testing"
+	"testing/quick"
+)
+
+func TestPreferHighestDollarAmount(t *testing.T) {
+	// The paper's §10 example: requests "may be scheduled by priority,
+	// request contents (highest dollar amount first), submission time".
+	r := openTest(t, t.TempDir())
+	mustCreate(t, r, QueueConfig{Name: "q"})
+	amounts := []int{50, 900, 12, 301, 4500, 77}
+	for _, a := range amounts {
+		if _, err := r.Enqueue(nil, "q", Element{
+			Body:    []byte(strconv.Itoa(a)),
+			Headers: map[string]string{"amount": strconv.Itoa(a)},
+		}, "", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	byAmount := func(a, b *Element) bool {
+		x, _ := strconv.Atoi(a.Headers["amount"])
+		y, _ := strconv.Atoi(b.Headers["amount"])
+		return x > y
+	}
+	want := append([]int(nil), amounts...)
+	sort.Sort(sort.Reverse(sort.IntSlice(want)))
+	for i, w := range want {
+		e, err := r.Dequeue(context.Background(), nil, "q", "", DequeueOpts{Prefer: byAmount})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(e.Body) != strconv.Itoa(w) {
+			t.Fatalf("pick %d = %s, want %d", i, e.Body, w)
+		}
+	}
+}
+
+func TestPreferRespectsInFlightElements(t *testing.T) {
+	r := openTest(t, t.TempDir())
+	mustCreate(t, r, QueueConfig{Name: "q"})
+	for _, a := range []string{"10", "99", "50"} {
+		if _, err := r.Enqueue(nil, "q", Element{Body: []byte(a), Headers: map[string]string{"amount": a}}, "", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	byAmount := func(a, b *Element) bool { return string(a.Headers["amount"]) > string(b.Headers["amount"]) }
+	tx := r.Begin()
+	e, err := r.Dequeue(context.Background(), tx, "q", "", DequeueOpts{Prefer: byAmount})
+	if err != nil || string(e.Body) != "99" {
+		t.Fatalf("first pick %q %v", e.Body, err)
+	}
+	// 99 is in flight: the next pick skips it and takes 50.
+	e2, err := r.Dequeue(context.Background(), nil, "q", "", DequeueOpts{Prefer: byAmount})
+	if err != nil || string(e2.Body) != "50" {
+		t.Fatalf("second pick %q %v", e2.Body, err)
+	}
+	tx.Abort()
+	// 99 back: best again.
+	e3, err := r.Dequeue(context.Background(), nil, "q", "", DequeueOpts{Prefer: byAmount})
+	if err != nil || string(e3.Body) != "99" {
+		t.Fatalf("third pick %q %v", e3.Body, err)
+	}
+}
+
+// TestQuickPriorityFIFOInvariant: for any mix of priorities, dequeue order
+// is priority-descending and FIFO within a priority.
+func TestQuickPriorityFIFOInvariant(t *testing.T) {
+	f := func(prios []int8) bool {
+		if len(prios) == 0 {
+			return true
+		}
+		if len(prios) > 64 {
+			prios = prios[:64]
+		}
+		r, _, err := Open(t.TempDir(), Options{NoFsync: true})
+		if err != nil {
+			return false
+		}
+		defer r.Close()
+		if err := r.CreateQueue(QueueConfig{Name: "q"}); err != nil {
+			return false
+		}
+		type rec struct {
+			prio int8
+			seq  int
+		}
+		var want []rec
+		for i, p := range prios {
+			if _, err := r.Enqueue(nil, "q", Element{Priority: int32(p), Body: []byte(fmt.Sprintf("%d", i))}, "", nil); err != nil {
+				return false
+			}
+			want = append(want, rec{prio: p, seq: i})
+		}
+		sort.SliceStable(want, func(a, b int) bool { return want[a].prio > want[b].prio })
+		for _, w := range want {
+			e, err := r.Dequeue(context.Background(), nil, "q", "", DequeueOpts{})
+			if err != nil {
+				return false
+			}
+			if string(e.Body) != fmt.Sprintf("%d", w.seq) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickHeaderMatchNeverReturnsNonMatch: a filtered dequeue only ever
+// returns matching elements, and drains exactly the matching subset.
+func TestQuickHeaderMatchSubset(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		r, _, err := Open(t.TempDir(), Options{NoFsync: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.CreateQueue(QueueConfig{Name: "q"}); err != nil {
+			t.Fatal(err)
+		}
+		nA, nB := 0, 0
+		total := 5 + rng.Intn(30)
+		for i := 0; i < total; i++ {
+			kind := "a"
+			if rng.Intn(2) == 0 {
+				kind = "b"
+				nB++
+			} else {
+				nA++
+			}
+			if _, err := r.Enqueue(nil, "q", Element{Headers: map[string]string{"kind": kind}}, "", nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got := 0
+		for {
+			e, err := r.Dequeue(context.Background(), nil, "q", "", DequeueOpts{HeaderMatch: map[string]string{"kind": "a"}})
+			if err != nil {
+				break
+			}
+			if e.Headers["kind"] != "a" {
+				t.Fatalf("filter returned kind %q", e.Headers["kind"])
+			}
+			got++
+		}
+		if got != nA {
+			t.Fatalf("drained %d of %d kind-a elements", got, nA)
+		}
+		if d, _ := r.Depth("q"); d != nB {
+			t.Fatalf("left %d, want %d kind-b", d, nB)
+		}
+		r.Close()
+	}
+}
+
+func TestUpdateQueueConfig(t *testing.T) {
+	dir := t.TempDir()
+	r := openTest(t, dir)
+	mustCreate(t, r, QueueConfig{Name: "q", RetryLimit: 10})
+	mustCreate(t, r, QueueConfig{Name: "q.err"})
+	// Tighten the retry limit and add the error queue at runtime.
+	if err := r.UpdateQueueConfig(QueueConfig{Name: "q", RetryLimit: 1, ErrorQueue: "q.err"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.UpdateQueueConfig(QueueConfig{Name: "missing"}); !errors.Is(err, ErrNoQueue) {
+		t.Fatalf("update missing: %v", err)
+	}
+	enq(t, r, "q", "poison")
+	tx := r.Begin()
+	if _, err := r.Dequeue(context.Background(), tx, "q", "", DequeueOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	tx.Abort() // one strike now suffices
+	if got := string(deq(t, r, "q.err").Body); got != "poison" {
+		t.Fatalf("updated retry limit ignored: %q", got)
+	}
+	// The modification is durable.
+	r2 := reopen(t, r, dir)
+	cfg, err := r2.Config("q")
+	if err != nil || cfg.RetryLimit != 1 || cfg.ErrorQueue != "q.err" {
+		t.Fatalf("config after crash: %+v %v", cfg, err)
+	}
+}

@@ -1,0 +1,182 @@
+// Package replica implements standby replication for queue repositories by
+// log shipping.
+//
+// The paper's Section 10–11 implementation notes call queues "a good
+// candidate for being stored as a replicated database", since reliably
+// managing requests is the heart of the system's availability. This
+// package takes the classic approach the paper's durability design makes
+// almost free: a repository IS its write-ahead log plus snapshots, so a
+// standby is maintained by shipping exactly those files. Promotion is
+// ordinary crash recovery on the shipped copy — the same code path every
+// restart already exercises — so the standby's correctness is the
+// recovery's correctness, with data loss bounded by the shipping lag.
+//
+// Shipping is incremental: WAL segments are append-only (new bytes are
+// copied from the previous offset) and snapshot files are immutable once
+// published (copied whole, once). Files deleted at the source (log
+// truncation, snapshot GC) are deleted at the standby. A ship racing an
+// append may copy a torn tail; promotion's recovery treats it exactly like
+// a crash-torn tail and ignores it, and the next ship completes it.
+package replica
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Shipper incrementally mirrors a repository directory (its wal/ and snap/
+// subdirectories) to a standby directory.
+type Shipper struct {
+	src string
+	dst string
+
+	mu      sync.Mutex
+	offsets map[string]int64 // relative path -> bytes already shipped
+
+	ships        uint64
+	bytesShipped uint64
+}
+
+// NewShipper mirrors the repository at src into dst (created if needed).
+func NewShipper(src, dst string) (*Shipper, error) {
+	for _, sub := range []string{"wal", "snap"} {
+		if err := os.MkdirAll(filepath.Join(dst, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("replica: mkdir: %w", err)
+		}
+	}
+	return &Shipper{src: src, dst: dst, offsets: make(map[string]int64)}, nil
+}
+
+// Stats reports ships performed and bytes copied.
+func (s *Shipper) Stats() (ships, bytes uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ships, s.bytesShipped
+}
+
+// SyncOnce ships every new byte since the previous call and prunes files
+// the source has deleted. It returns the number of bytes copied.
+func (s *Shipper) SyncOnce() (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var copied int64
+	live := make(map[string]bool)
+	for _, sub := range []string{"wal", "snap"} {
+		srcDir := filepath.Join(s.src, sub)
+		entries, err := os.ReadDir(srcDir)
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			return copied, fmt.Errorf("replica: read %s: %w", srcDir, err)
+		}
+		for _, e := range entries {
+			if e.IsDir() {
+				continue
+			}
+			rel := filepath.Join(sub, e.Name())
+			live[rel] = true
+			n, err := s.shipFile(rel)
+			if err != nil {
+				// The file may have been truncated/removed mid-ship (log
+				// truncation); it will reconcile on the next pass.
+				if os.IsNotExist(err) {
+					continue
+				}
+				return copied, err
+			}
+			copied += n
+		}
+	}
+	// Prune deletions (truncated segments, GC'd snapshots).
+	for rel := range s.offsets {
+		if !live[rel] {
+			os.Remove(filepath.Join(s.dst, rel))
+			delete(s.offsets, rel)
+		}
+	}
+	s.ships++
+	s.bytesShipped += uint64(copied)
+	return copied, nil
+}
+
+func (s *Shipper) shipFile(rel string) (int64, error) {
+	srcPath := filepath.Join(s.src, rel)
+	fi, err := os.Stat(srcPath)
+	if err != nil {
+		return 0, err
+	}
+	have := s.offsets[rel]
+	if fi.Size() < have {
+		// Source shrank (e.g. torn-tail truncation at source recovery):
+		// restart the file from scratch.
+		have = 0
+	}
+	if fi.Size() == have {
+		return 0, nil
+	}
+	src, err := os.Open(srcPath)
+	if err != nil {
+		return 0, err
+	}
+	defer src.Close()
+	if _, err := src.Seek(have, io.SeekStart); err != nil {
+		return 0, err
+	}
+	dstPath := filepath.Join(s.dst, rel)
+	flags := os.O_CREATE | os.O_WRONLY
+	dst, err := os.OpenFile(dstPath, flags, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	defer dst.Close()
+	if have == 0 {
+		if err := dst.Truncate(0); err != nil {
+			return 0, err
+		}
+	}
+	if _, err := dst.Seek(have, io.SeekStart); err != nil {
+		return 0, err
+	}
+	n, err := io.Copy(dst, src)
+	if err != nil {
+		return n, fmt.Errorf("replica: copy %s: %w", rel, err)
+	}
+	s.offsets[rel] = have + n
+	return n, nil
+}
+
+// Run ships on the given interval until ctx ends; errors are retried on
+// the next tick.
+func (s *Shipper) Run(ctx context.Context, interval time.Duration) {
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			_, _ = s.SyncOnce()
+		}
+	}
+}
+
+// ErrNotShipped reports promotion of a standby directory that has no
+// shipped state at all.
+var ErrNotShipped = errors.New("replica: standby has no shipped state")
+
+// VerifyStandby sanity-checks that dst looks like a shipped repository
+// before promotion (promotion itself is just queue.Open on dst).
+func VerifyStandby(dst string) error {
+	entries, err := os.ReadDir(filepath.Join(dst, "wal"))
+	if err != nil || len(entries) == 0 {
+		return ErrNotShipped
+	}
+	return nil
+}

@@ -1,0 +1,272 @@
+package replica
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/queue"
+)
+
+func openRepo(t *testing.T, dir string) *queue.Repository {
+	t.Helper()
+	r, inDoubt, err := queue.Open(dir, queue.Options{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inDoubt) != 0 {
+		t.Fatalf("in-doubt: %d", len(inDoubt))
+	}
+	t.Cleanup(func() { r.Close() })
+	return r
+}
+
+func TestShipAndPromote(t *testing.T) {
+	primaryDir := t.TempDir()
+	standbyDir := t.TempDir()
+	primary := openRepo(t, primaryDir)
+	if err := primary.CreateQueue(queue.QueueConfig{Name: "q"}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := primary.Enqueue(nil, "q", queue.Element{Body: []byte(fmt.Sprintf("m%d", i))}, "", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Consume a few so the standby must reflect removals too.
+	for i := 0; i < 5; i++ {
+		if _, err := primary.Dequeue(context.Background(), nil, "q", "", queue.DequeueOpts{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	sh, err := NewShipper(primaryDir, standbyDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := sh.SyncOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("nothing shipped")
+	}
+	if err := VerifyStandby(standbyDir); err != nil {
+		t.Fatal(err)
+	}
+
+	// Primary dies; promote the standby.
+	primary.Crash()
+	standby := openRepo(t, standbyDir)
+	d, err := standby.Depth("q")
+	if err != nil || d != 15 {
+		t.Fatalf("standby depth = %d, %v", d, err)
+	}
+	e, err := standby.Dequeue(context.Background(), nil, "q", "", queue.DequeueOpts{})
+	if err != nil || string(e.Body) != "m5" {
+		t.Fatalf("standby head = %q %v", e.Body, err)
+	}
+}
+
+func TestIncrementalShipping(t *testing.T) {
+	primaryDir := t.TempDir()
+	standbyDir := t.TempDir()
+	primary := openRepo(t, primaryDir)
+	if err := primary.CreateQueue(queue.QueueConfig{Name: "q"}); err != nil {
+		t.Fatal(err)
+	}
+	sh, err := NewShipper(primaryDir, standbyDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := primary.Enqueue(nil, "q", queue.Element{Body: []byte("a")}, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	n1, err := sh.SyncOnce()
+	if err != nil || n1 == 0 {
+		t.Fatalf("first ship %d %v", n1, err)
+	}
+	// Nothing new: second ship copies nothing.
+	n2, err := sh.SyncOnce()
+	if err != nil || n2 != 0 {
+		t.Fatalf("idle ship copied %d bytes, %v", n2, err)
+	}
+	// One more record: the delta is small (one record's frame), not the
+	// whole log again.
+	if _, err := primary.Enqueue(nil, "q", queue.Element{Body: []byte("b")}, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	n3, err := sh.SyncOnce()
+	if err != nil || n3 == 0 || n3 >= n1 {
+		t.Fatalf("incremental ship %d (first was %d), %v", n3, n1, err)
+	}
+}
+
+func TestShippingSurvivesCheckpointTruncation(t *testing.T) {
+	primaryDir := t.TempDir()
+	standbyDir := t.TempDir()
+	primary := openRepo(t, primaryDir)
+	if err := primary.CreateQueue(queue.QueueConfig{Name: "q"}); err != nil {
+		t.Fatal(err)
+	}
+	sh, err := NewShipper(primaryDir, standbyDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if _, err := primary.Enqueue(nil, "q", queue.Element{Body: []byte(fmt.Sprintf("m%d", i))}, "", nil); err != nil {
+			t.Fatal(err)
+		}
+		if i%10 == 9 {
+			if _, err := sh.SyncOnce(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Checkpoint truncates the primary's log; the standby must converge to
+	// snapshot+tail.
+	if err := primary.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := primary.Enqueue(nil, "q", queue.Element{Body: []byte("post-ckpt")}, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sh.SyncOnce(); err != nil {
+		t.Fatal(err)
+	}
+	primary.Crash()
+
+	standby := openRepo(t, standbyDir)
+	d, err := standby.Depth("q")
+	if err != nil || d != 31 {
+		t.Fatalf("standby depth = %d, %v", d, err)
+	}
+}
+
+func TestShippingLagBoundsLoss(t *testing.T) {
+	primaryDir := t.TempDir()
+	standbyDir := t.TempDir()
+	primary := openRepo(t, primaryDir)
+	if err := primary.CreateQueue(queue.QueueConfig{Name: "q"}); err != nil {
+		t.Fatal(err)
+	}
+	sh, err := NewShipper(primaryDir, standbyDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := primary.Enqueue(nil, "q", queue.Element{Body: []byte("shipped")}, "", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := sh.SyncOnce(); err != nil {
+		t.Fatal(err)
+	}
+	// These land after the last ship: lost at failover — the documented
+	// bounded loss of asynchronous log shipping.
+	for i := 0; i < 3; i++ {
+		if _, err := primary.Enqueue(nil, "q", queue.Element{Body: []byte("lagged")}, "", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	primary.Crash()
+	standby := openRepo(t, standbyDir)
+	d, _ := standby.Depth("q")
+	if d != 10 {
+		t.Fatalf("standby depth = %d, want 10 (3 lagged lost)", d)
+	}
+}
+
+func TestContinuousShippingLoop(t *testing.T) {
+	primaryDir := t.TempDir()
+	standbyDir := t.TempDir()
+	primary := openRepo(t, primaryDir)
+	if err := primary.CreateQueue(queue.QueueConfig{Name: "q"}); err != nil {
+		t.Fatal(err)
+	}
+	sh, err := NewShipper(primaryDir, standbyDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sh.Run(ctx, 2*time.Millisecond)
+	}()
+	for i := 0; i < 50; i++ {
+		if _, err := primary.Enqueue(nil, "q", queue.Element{Body: []byte("x")}, "", nil); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+	// Let the loop catch up, then stop it.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := sh.SyncOnce(); err != nil {
+			t.Fatal(err)
+		}
+		n, _ := sh.SyncOnce()
+		if n == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("shipping never converged")
+		}
+	}
+	cancel()
+	<-done
+	primary.Crash()
+	standby := openRepo(t, standbyDir)
+	d, _ := standby.Depth("q")
+	if d != 50 {
+		t.Fatalf("standby depth = %d, want 50", d)
+	}
+	ships, bytes := sh.Stats()
+	if ships == 0 || bytes == 0 {
+		t.Fatalf("stats = %d ships, %d bytes", ships, bytes)
+	}
+}
+
+func TestVerifyStandbyEmpty(t *testing.T) {
+	if err := VerifyStandby(t.TempDir()); !errors.Is(err, ErrNotShipped) {
+		t.Fatalf("VerifyStandby on empty dir: %v", err)
+	}
+}
+
+func TestStandbyIsAFullReplicaIncludingRegistrations(t *testing.T) {
+	// Failover must preserve the paper's persistent registrations, or
+	// clients could not resynchronize against the promoted standby.
+	primaryDir := t.TempDir()
+	standbyDir := t.TempDir()
+	primary := openRepo(t, primaryDir)
+	if err := primary.CreateQueue(queue.QueueConfig{Name: "req"}); err != nil {
+		t.Fatal(err)
+	}
+	h, _, err := primary.Register("req", "client-1", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Enqueue(nil, queue.Element{Body: []byte("r")}, []byte("rid-42")); err != nil {
+		t.Fatal(err)
+	}
+	sh, err := NewShipper(primaryDir, standbyDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sh.SyncOnce(); err != nil {
+		t.Fatal(err)
+	}
+	primary.Crash()
+
+	standby := openRepo(t, standbyDir)
+	_, ri, err := standby.Register("req", "client-1", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ri.HasLast || string(ri.LastTag) != "rid-42" {
+		t.Fatalf("registration lost in failover: %+v", ri)
+	}
+}

@@ -1,0 +1,61 @@
+package rpc
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzReadFrame feeds arbitrary bytes to the wire decoder: it must return
+// a frame or an error, never panic or over-allocate (the length prefix is
+// bounded before any allocation).
+func FuzzReadFrame(f *testing.F) {
+	// A valid frame as seed.
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, &frame{kind: kindRequest, id: 7, method: "m", payload: []byte("p")}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff}) // oversized length prefix
+	f.Add([]byte{11, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		for {
+			fr, err := readFrame(r)
+			if err != nil {
+				return
+			}
+			if fr == nil {
+				t.Fatal("nil frame without error")
+			}
+		}
+	})
+}
+
+// FuzzFrameRoundTrip: any legal frame survives encode/decode.
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add(uint8(1), uint64(0), "method", []byte("payload"))
+	f.Add(uint8(3), uint64(1<<63), "", []byte{})
+	f.Fuzz(func(t *testing.T, kind uint8, id uint64, method string, payload []byte) {
+		if len(method) > 0xffff || len(payload) > 1<<20 {
+			t.Skip()
+		}
+		var buf bytes.Buffer
+		in := &frame{kind: kind, id: id, method: method, payload: payload}
+		if err := writeFrame(&buf, in); err != nil {
+			t.Skip() // over-limit frames are rejected at write time
+		}
+		out, err := readFrame(&buf)
+		if err != nil {
+			t.Fatalf("decode of own encoding: %v", err)
+		}
+		if out.kind != kind || out.id != id || out.method != method || !bytes.Equal(out.payload, payload) {
+			t.Fatalf("roundtrip mismatch: %+v vs %+v", out, in)
+		}
+		if _, err := readFrame(&buf); err != io.EOF {
+			t.Fatalf("trailing garbage after frame: %v", err)
+		}
+	})
+}

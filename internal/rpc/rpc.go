@@ -1,0 +1,426 @@
+// Package rpc is the interprocess communication substrate: a small framed
+// request/response protocol over net.Conn, in the spirit of the remote
+// procedure calls the paper assumes between clerk and queue manager
+// (Section 5, citing Birrell & Nelson).
+//
+// It supports plain request/response calls and one-way messages — the
+// paper's Send optimisation: "it can invoke Enqueue using a one-way
+// message, instead of a remote procedure call. ... This saves a message
+// from the QM to the client" (Section 5). Message counters expose exactly
+// that saving to the experiment harness.
+//
+// Wire format (all little-endian):
+//
+//	length  uint32  frame length excluding this field
+//	kind    uint8   1=request 2=response 3=one-way 4=error-response
+//	id      uint64  request id (0 for one-way)
+//	method  uint16-prefixed string (requests and one-ways)
+//	payload remaining bytes
+//
+// The chaos layer injects failures by wrapping net.Conn; this package is
+// deliberately transport-agnostic.
+package rpc
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	kindRequest uint8 = 1
+	kindResp    uint8 = 2
+	kindOneWay  uint8 = 3
+	kindError   uint8 = 4
+
+	// maxFrame bounds a frame; larger frames indicate corruption or abuse.
+	maxFrame = 16 << 20
+)
+
+// Errors returned by clients and servers.
+var (
+	// ErrConnClosed reports that the connection died before a response.
+	ErrConnClosed = errors.New("rpc: connection closed")
+	// ErrTooLarge reports an over-limit frame.
+	ErrTooLarge = errors.New("rpc: frame too large")
+	// ErrNoMethod is wired back to callers of unregistered methods.
+	ErrNoMethod = errors.New("rpc: no such method")
+)
+
+// Handler processes one request payload and returns a response payload.
+// Handlers run on their own goroutine, so a handler may block (e.g. a
+// waiting dequeue) without stalling the connection.
+type Handler func(payload []byte) ([]byte, error)
+
+// frame is one decoded wire frame.
+type frame struct {
+	kind    uint8
+	id      uint64
+	method  string
+	payload []byte
+}
+
+func writeFrame(w io.Writer, f *frame) error {
+	methodLen := len(f.method)
+	if methodLen > 0xffff {
+		return fmt.Errorf("rpc: method name too long")
+	}
+	n := 1 + 8 + 2 + methodLen + len(f.payload)
+	if n > maxFrame {
+		return ErrTooLarge
+	}
+	buf := make([]byte, 4+n)
+	binary.LittleEndian.PutUint32(buf, uint32(n))
+	buf[4] = f.kind
+	binary.LittleEndian.PutUint64(buf[5:], f.id)
+	binary.LittleEndian.PutUint16(buf[13:], uint16(methodLen))
+	copy(buf[15:], f.method)
+	copy(buf[15+methodLen:], f.payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+func readFrame(r io.Reader) (*frame, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(lenBuf[:])
+	if n < 11 || n > maxFrame { // kind(1) + id(8) + methodLen(2) minimum
+		return nil, ErrTooLarge
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	f := &frame{kind: buf[0], id: binary.LittleEndian.Uint64(buf[1:])}
+	methodLen := int(binary.LittleEndian.Uint16(buf[9:]))
+	if 11+methodLen > len(buf) {
+		return nil, fmt.Errorf("rpc: bad method length")
+	}
+	f.method = string(buf[11 : 11+methodLen])
+	f.payload = buf[11+methodLen:]
+	return f, nil
+}
+
+// Stats count wire messages for the experiment harness.
+type Stats struct {
+	MessagesSent     uint64
+	MessagesReceived uint64
+	Calls            uint64
+	OneWays          uint64
+}
+
+// Server dispatches incoming calls to registered handlers.
+type Server struct {
+	mu       sync.RWMutex
+	handlers map[string]Handler
+	lis      net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+
+	sent uint64
+	recv uint64
+}
+
+// NewServer returns an empty server.
+func NewServer() *Server {
+	return &Server{
+		handlers: make(map[string]Handler),
+		conns:    make(map[net.Conn]struct{}),
+	}
+}
+
+// Handle registers a handler for method.
+func (s *Server) Handle(method string, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[method] = h
+}
+
+// Stats returns the server's message counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		MessagesSent:     atomic.LoadUint64(&s.sent),
+		MessagesReceived: atomic.LoadUint64(&s.recv),
+	}
+}
+
+// Serve accepts connections on lis until Close. It returns after the
+// listener fails (normally because Close closed it).
+func (s *Server) Serve(lis net.Listener) {
+	s.mu.Lock()
+	s.lis = lis
+	s.mu.Unlock()
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// ListenAndServe listens on addr ("127.0.0.1:0" style) and serves in a
+// background goroutine, returning the bound address.
+func (s *Server) ListenAndServe(addr string) (string, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("rpc: listen: %w", err)
+	}
+	go s.Serve(lis)
+	return lis.Addr().String(), nil
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	var writeMu sync.Mutex
+	for {
+		f, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		atomic.AddUint64(&s.recv, 1)
+		s.mu.RLock()
+		h, ok := s.handlers[f.method]
+		s.mu.RUnlock()
+		switch f.kind {
+		case kindOneWay:
+			if ok {
+				go h(f.payload)
+			}
+		case kindRequest:
+			go func(f *frame) {
+				var resp frame
+				resp.id = f.id
+				if !ok {
+					resp.kind = kindError
+					resp.payload = []byte(ErrNoMethod.Error() + ": " + f.method)
+				} else if out, err := h(f.payload); err != nil {
+					resp.kind = kindError
+					resp.payload = []byte(err.Error())
+				} else {
+					resp.kind = kindResp
+					resp.payload = out
+				}
+				writeMu.Lock()
+				defer writeMu.Unlock()
+				if err := writeFrame(conn, &resp); err == nil {
+					atomic.AddUint64(&s.sent, 1)
+				}
+			}(f)
+		}
+	}
+}
+
+// Close stops the listener and severs all connections.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	lis := s.lis
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if lis != nil {
+		lis.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+}
+
+// Dialer opens a connection to an address; the chaos layer substitutes
+// fault-injecting dialers.
+type Dialer func(addr string) (net.Conn, error)
+
+// Client calls a Server. It lazily (re)connects on each call after a
+// connection failure, so a transient network fault surfaces as one failed
+// call, not a dead client.
+type Client struct {
+	addr   string
+	dialer Dialer
+
+	mu      sync.Mutex
+	conn    net.Conn
+	pending map[uint64]chan *frame
+	nextID  uint64
+	closed  bool
+
+	sent    uint64
+	recv    uint64
+	calls   uint64
+	oneWays uint64
+}
+
+// NewClient returns a client for addr. dialer nil means plain TCP.
+func NewClient(addr string, dialer Dialer) *Client {
+	if dialer == nil {
+		dialer = func(a string) (net.Conn, error) { return net.Dial("tcp", a) }
+	}
+	return &Client{addr: addr, dialer: dialer, pending: make(map[uint64]chan *frame)}
+}
+
+// Stats returns the client's message counters.
+func (c *Client) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{MessagesSent: c.sent, MessagesReceived: c.recv, Calls: c.calls, OneWays: c.oneWays}
+}
+
+// ensureConnLocked dials if needed. Caller holds c.mu.
+func (c *Client) ensureConnLocked() error {
+	if c.closed {
+		return ErrConnClosed
+	}
+	if c.conn != nil {
+		return nil
+	}
+	conn, err := c.dialer(c.addr)
+	if err != nil {
+		return fmt.Errorf("rpc: dial %s: %w", c.addr, err)
+	}
+	c.conn = conn
+	go c.readLoop(conn)
+	return nil
+}
+
+func (c *Client) readLoop(conn net.Conn) {
+	for {
+		f, err := readFrame(conn)
+		if err != nil {
+			c.dropConn(conn)
+			return
+		}
+		c.mu.Lock()
+		c.recv++
+		ch, ok := c.pending[f.id]
+		if ok {
+			delete(c.pending, f.id)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- f
+		}
+	}
+}
+
+// dropConn tears down a failed connection and fails its pending calls.
+func (c *Client) dropConn(conn net.Conn) {
+	c.mu.Lock()
+	if c.conn == conn {
+		c.conn = nil
+	}
+	stale := c.pending
+	c.pending = make(map[uint64]chan *frame)
+	c.mu.Unlock()
+	conn.Close()
+	for _, ch := range stale {
+		close(ch)
+	}
+}
+
+// Call performs a request/response RPC. A remote handler error comes back
+// as a *RemoteError.
+func (c *Client) Call(ctx context.Context, method string, payload []byte) ([]byte, error) {
+	c.mu.Lock()
+	if err := c.ensureConnLocked(); err != nil {
+		c.mu.Unlock()
+		return nil, err
+	}
+	conn := c.conn
+	c.nextID++
+	id := c.nextID
+	ch := make(chan *frame, 1)
+	c.pending[id] = ch
+	c.sent++
+	c.calls++
+	c.mu.Unlock()
+
+	if err := writeFrame(conn, &frame{kind: kindRequest, id: id, method: method, payload: payload}); err != nil {
+		c.dropConn(conn)
+		return nil, fmt.Errorf("rpc: write: %w", err)
+	}
+	select {
+	case f, ok := <-ch:
+		if !ok {
+			return nil, ErrConnClosed
+		}
+		if f.kind == kindError {
+			return nil, &RemoteError{Msg: string(f.payload)}
+		}
+		return f.payload, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// Send transmits a one-way message: no response, no delivery confirmation.
+func (c *Client) Send(method string, payload []byte) error {
+	c.mu.Lock()
+	if err := c.ensureConnLocked(); err != nil {
+		c.mu.Unlock()
+		return err
+	}
+	conn := c.conn
+	c.sent++
+	c.oneWays++
+	c.mu.Unlock()
+	if err := writeFrame(conn, &frame{kind: kindOneWay, method: method, payload: payload}); err != nil {
+		c.dropConn(conn)
+		return fmt.Errorf("rpc: send: %w", err)
+	}
+	return nil
+}
+
+// Close severs the connection and fails pending calls.
+func (c *Client) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	conn := c.conn
+	c.mu.Unlock()
+	if conn != nil {
+		c.dropConn(conn)
+	}
+}
+
+// RemoteError is an error produced by the remote handler (as opposed to a
+// transport failure — the distinction matters to the clerk's recovery
+// logic: a RemoteError means the server received and processed the call).
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return e.Msg }

@@ -1,0 +1,202 @@
+// Package storage provides crash-safe snapshot files for the main-memory
+// queue database.
+//
+// A snapshot is an atomic, checksummed image of a repository's committed
+// state, tagged with the WAL LSN it covers. Recovery loads the newest valid
+// snapshot and replays the log from its LSN. Snapshots are written with the
+// classic write-temp, fsync, rename dance so a crash mid-write can never
+// leave a half-written snapshot that recovery would trust: a corrupt or
+// partial file fails its checksum and is skipped in favour of the previous
+// one.
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+const (
+	snapPrefix = "snap-"
+	snapSuffix = ".db"
+	tmpSuffix  = ".tmp"
+	// snapMagic identifies a snapshot file; it guards against loading a
+	// foreign file that happens to match the name pattern.
+	snapMagic = uint32(0x52515348) // "RQSH"
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrNoSnapshot reports that no valid snapshot exists in the directory.
+var ErrNoSnapshot = errors.New("storage: no snapshot")
+
+// Snapshotter manages the snapshot files of one repository directory.
+type Snapshotter struct {
+	dir string
+	// keep is how many old snapshots to retain beyond the newest (for
+	// paranoia and debugging). Default 1.
+	keep int
+	// noFsync disables fsync for tests and volatile configurations.
+	noFsync bool
+}
+
+// NewSnapshotter returns a Snapshotter rooted at dir, creating it if needed.
+func NewSnapshotter(dir string, noFsync bool) (*Snapshotter, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: mkdir %s: %w", dir, err)
+	}
+	return &Snapshotter{dir: dir, keep: 1, noFsync: noFsync}, nil
+}
+
+func snapName(lsn uint64) string {
+	return fmt.Sprintf("%s%016x%s", snapPrefix, lsn, snapSuffix)
+}
+
+func parseSnapName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, snapPrefix) || !strings.HasSuffix(name, snapSuffix) {
+		return 0, false
+	}
+	hexPart := strings.TrimSuffix(strings.TrimPrefix(name, snapPrefix), snapSuffix)
+	v, err := strconv.ParseUint(hexPart, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// Write persists data as the snapshot covering WAL position lsn. On return
+// the snapshot is durable and will be preferred by Load. Older snapshots
+// beyond the retention count are removed.
+func (s *Snapshotter) Write(lsn uint64, data []byte) error {
+	// File layout: magic u32 | lsn u64 | len u32 | data | crc u32 (over all
+	// preceding bytes).
+	buf := make([]byte, 0, 16+len(data)+4)
+	buf = binary.LittleEndian.AppendUint32(buf, snapMagic)
+	buf = binary.LittleEndian.AppendUint64(buf, lsn)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(data)))
+	buf = append(buf, data...)
+	crc := crc32.Checksum(buf, castagnoli)
+	buf = binary.LittleEndian.AppendUint32(buf, crc)
+
+	final := filepath.Join(s.dir, snapName(lsn))
+	tmp := final + tmpSuffix
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: create snapshot: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("storage: write snapshot: %w", err)
+	}
+	if !s.noFsync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("storage: sync snapshot: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("storage: close snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("storage: publish snapshot: %w", err)
+	}
+	if !s.noFsync {
+		// fsync the directory so the rename itself is durable.
+		if d, err := os.Open(s.dir); err == nil {
+			_ = d.Sync()
+			d.Close()
+		}
+	}
+	s.gc(lsn)
+	return nil
+}
+
+// gc removes snapshots older than the newest, keeping s.keep extras, and any
+// leftover temp files.
+func (s *Snapshotter) gc(newest uint64) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	var lsns []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasSuffix(name, tmpSuffix) {
+			os.Remove(filepath.Join(s.dir, name))
+			continue
+		}
+		if lsn, ok := parseSnapName(name); ok && lsn < newest {
+			lsns = append(lsns, lsn)
+		}
+	}
+	sort.Slice(lsns, func(i, j int) bool { return lsns[i] > lsns[j] })
+	for i, lsn := range lsns {
+		if i >= s.keep {
+			os.Remove(filepath.Join(s.dir, snapName(lsn)))
+		}
+	}
+}
+
+// Load returns the newest valid snapshot's data and its covered LSN. A
+// corrupt newest snapshot is skipped (and reported via the cleanup return)
+// in favour of an older valid one. If none exists, ErrNoSnapshot is
+// returned.
+func (s *Snapshotter) Load() (data []byte, lsn uint64, err error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, 0, fmt.Errorf("storage: read dir: %w", err)
+	}
+	var lsns []uint64
+	for _, e := range entries {
+		if l, ok := parseSnapName(e.Name()); ok {
+			lsns = append(lsns, l)
+		}
+	}
+	sort.Slice(lsns, func(i, j int) bool { return lsns[i] > lsns[j] })
+	for _, l := range lsns {
+		data, err := readSnapshot(filepath.Join(s.dir, snapName(l)), l)
+		if err == nil {
+			return data, l, nil
+		}
+	}
+	return nil, 0, ErrNoSnapshot
+}
+
+func readSnapshot(path string, wantLSN uint64) ([]byte, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < 16+4 {
+		return nil, errors.New("storage: snapshot too short")
+	}
+	if binary.LittleEndian.Uint32(raw) != snapMagic {
+		return nil, errors.New("storage: bad magic")
+	}
+	lsn := binary.LittleEndian.Uint64(raw[4:])
+	if lsn != wantLSN {
+		return nil, errors.New("storage: lsn mismatch with filename")
+	}
+	n := binary.LittleEndian.Uint32(raw[12:])
+	if int(n) != len(raw)-16-4 {
+		return nil, errors.New("storage: length mismatch")
+	}
+	body := raw[:len(raw)-4]
+	crc := binary.LittleEndian.Uint32(raw[len(raw)-4:])
+	if crc32.Checksum(body, castagnoli) != crc {
+		return nil, errors.New("storage: checksum mismatch")
+	}
+	out := make([]byte, n)
+	copy(out, raw[16:16+n])
+	return out, nil
+}

@@ -1,0 +1,219 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func newTestSnapshotter(t *testing.T) *Snapshotter {
+	t.Helper()
+	s, err := NewSnapshotter(t.TempDir(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestWriteLoadRoundTrip(t *testing.T) {
+	s := newTestSnapshotter(t)
+	data := []byte("queue database image")
+	if err := s.Write(42, data); err != nil {
+		t.Fatal(err)
+	}
+	got, lsn, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 42 || !bytes.Equal(got, data) {
+		t.Fatalf("Load = (%q, %d)", got, lsn)
+	}
+}
+
+func TestLoadEmpty(t *testing.T) {
+	s := newTestSnapshotter(t)
+	_, _, err := s.Load()
+	if !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("err = %v, want ErrNoSnapshot", err)
+	}
+}
+
+func TestNewestWins(t *testing.T) {
+	s := newTestSnapshotter(t)
+	for i := uint64(1); i <= 5; i++ {
+		if err := s.Write(i*10, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, lsn, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 50 || got[0] != 5 {
+		t.Fatalf("Load = (%v, %d), want newest", got, lsn)
+	}
+}
+
+func TestCorruptNewestFallsBack(t *testing.T) {
+	s := newTestSnapshotter(t)
+	if err := s.Write(10, []byte("older")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(20, []byte("newest")); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the newest snapshot's payload.
+	path := filepath.Join(s.dir, snapName(20))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[17] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, lsn, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 10 || string(got) != "older" {
+		t.Fatalf("Load = (%q, %d), want fallback to older", got, lsn)
+	}
+}
+
+func TestTruncatedNewestFallsBack(t *testing.T) {
+	s := newTestSnapshotter(t)
+	if err := s.Write(10, []byte("older")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(20, bytes.Repeat([]byte("n"), 100)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(s.dir, snapName(20))
+	raw, _ := os.ReadFile(path)
+	if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, lsn, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 10 || string(got) != "older" {
+		t.Fatalf("Load = (%q, %d)", got, lsn)
+	}
+}
+
+func TestGCRetainsOne(t *testing.T) {
+	s := newTestSnapshotter(t)
+	for i := uint64(1); i <= 6; i++ {
+		if err := s.Write(i, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for _, e := range entries {
+		if _, ok := parseSnapName(e.Name()); ok {
+			count++
+		}
+	}
+	if count != 2 { // newest + 1 retained
+		t.Fatalf("retained %d snapshots, want 2", count)
+	}
+}
+
+func TestTempFilesCleaned(t *testing.T) {
+	s := newTestSnapshotter(t)
+	// Simulate a crash mid-write: a stray temp file.
+	stray := filepath.Join(s.dir, snapName(99)+tmpSuffix)
+	if err := os.WriteFile(stray, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(100, []byte("real")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stray); !os.IsNotExist(err) {
+		t.Fatalf("stray temp file survived: %v", err)
+	}
+	// Temp files must never be loaded.
+	got, lsn, err := s.Load()
+	if err != nil || lsn != 100 || string(got) != "real" {
+		t.Fatalf("Load = (%q, %d, %v)", got, lsn, err)
+	}
+}
+
+func TestForeignFileIgnored(t *testing.T) {
+	s := newTestSnapshotter(t)
+	if err := os.WriteFile(filepath.Join(s.dir, "notes.txt"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(s.dir, snapName(7)), []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Load(); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("err = %v, want ErrNoSnapshot", err)
+	}
+}
+
+func TestEmptyData(t *testing.T) {
+	s := newTestSnapshotter(t)
+	if err := s.Write(3, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, lsn, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 3 || len(got) != 0 {
+		t.Fatalf("Load = (%v, %d)", got, lsn)
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	s := newTestSnapshotter(t)
+	lsn := uint64(0)
+	f := func(data []byte) bool {
+		lsn++
+		if err := s.Write(lsn, data); err != nil {
+			return false
+		}
+		got, gotLSN, err := s.Load()
+		if err != nil {
+			return false
+		}
+		return gotLSN == lsn && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickArbitraryCutIsNeverTrusted(t *testing.T) {
+	// Property: a snapshot file truncated at any point either loads the
+	// full original data or is rejected — never partial data.
+	s := newTestSnapshotter(t)
+	data := bytes.Repeat([]byte("abcdefgh"), 20)
+	if err := s.Write(5, data); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(s.dir, snapName(5))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(raw); cut++ {
+		if err := os.WriteFile(path, raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := s.Load()
+		if err == nil {
+			t.Fatalf("cut %d: truncated snapshot loaded: %d bytes", cut, len(got))
+		}
+	}
+}

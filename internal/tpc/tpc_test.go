@@ -1,0 +1,376 @@
+package tpc
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/queue"
+	"repro/internal/txn"
+)
+
+// env is a two-repository world with one coordinator — the smallest
+// distributed system the paper's Section 5–6 model needs.
+type env struct {
+	dirA, dirB, dirC string
+	repoA, repoB     *queue.Repository
+	coord            *Coordinator
+}
+
+func newEnv(t *testing.T) *env {
+	t.Helper()
+	base := t.TempDir()
+	e := &env{
+		dirA: filepath.Join(base, "a"),
+		dirB: filepath.Join(base, "b"),
+		dirC: filepath.Join(base, "coord"),
+	}
+	e.openAll(t)
+	if err := e.repoA.CreateQueue(queue.QueueConfig{Name: "in"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.repoB.CreateQueue(queue.QueueConfig{Name: "out"}); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func (e *env) openAll(t *testing.T) {
+	t.Helper()
+	var err error
+	e.repoA, _, err = queue.Open(e.dirA, queue.Options{NoFsync: true, Name: "repoA"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.repoB, _, err = queue.Open(e.dirB, queue.Options{NoFsync: true, Name: "repoB"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.coord, err = OpenCoordinator("coord1", e.dirC, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		e.repoA.Close()
+		e.repoB.Close()
+		e.coord.Close()
+	})
+}
+
+// moveElement is the canonical distributed transaction: dequeue from
+// repoA/in, enqueue into repoB/out, atomically.
+func (e *env) moveElement(t *testing.T) error {
+	t.Helper()
+	tA := e.repoA.Begin()
+	tB := e.repoB.Begin()
+	el, err := e.repoA.Dequeue(context.Background(), tA, "in", "", queue.DequeueOpts{})
+	if err != nil {
+		tA.Abort()
+		tB.Abort()
+		return err
+	}
+	if _, err := e.repoB.Enqueue(tB, "out", queue.Element{Body: el.Body}, "", nil); err != nil {
+		tA.Abort()
+		tB.Abort()
+		return err
+	}
+	g := e.coord.Begin()
+	g.Enlist(&LocalBranch{Label: "repoA", Txn: tA})
+	g.Enlist(&LocalBranch{Label: "repoB", Txn: tB})
+	return g.Commit()
+}
+
+func TestCommitAcrossRepositories(t *testing.T) {
+	e := newEnv(t)
+	if _, err := e.repoA.Enqueue(nil, "in", queue.Element{Body: []byte("x")}, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.moveElement(t); err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := e.repoA.Depth("in"); d != 0 {
+		t.Fatalf("in depth = %d", d)
+	}
+	if d, _ := e.repoB.Depth("out"); d != 1 {
+		t.Fatalf("out depth = %d", d)
+	}
+	commits, aborts := e.coord.Stats()
+	if commits != 1 || aborts != 0 {
+		t.Fatalf("coordinator stats = %d/%d", commits, aborts)
+	}
+}
+
+func TestAbortRollsBackAllBranches(t *testing.T) {
+	e := newEnv(t)
+	if _, err := e.repoA.Enqueue(nil, "in", queue.Element{Body: []byte("x")}, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	tA := e.repoA.Begin()
+	tB := e.repoB.Begin()
+	if _, err := e.repoA.Dequeue(context.Background(), tA, "in", "", queue.DequeueOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.repoB.Enqueue(tB, "out", queue.Element{Body: []byte("x")}, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	g := e.coord.Begin()
+	g.Enlist(&LocalBranch{Label: "a", Txn: tA})
+	g.Enlist(&LocalBranch{Label: "b", Txn: tB})
+	if err := g.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := e.repoA.Depth("in"); d != 1 {
+		t.Fatalf("in depth = %d after abort", d)
+	}
+	if d, _ := e.repoB.Depth("out"); d != 0 {
+		t.Fatalf("out depth = %d after abort", d)
+	}
+}
+
+func TestPrepareFailureAbortsAll(t *testing.T) {
+	e := newEnv(t)
+	if _, err := e.repoA.Enqueue(nil, "in", queue.Element{Body: []byte("x")}, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	tA := e.repoA.Begin()
+	if _, err := e.repoA.Dequeue(context.Background(), tA, "in", "", queue.DequeueOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	tB := e.repoB.Begin()
+	tB.Doom() // will fail at Prepare
+	g := e.coord.Begin()
+	g.Enlist(&LocalBranch{Label: "a", Txn: tA})
+	g.Enlist(&LocalBranch{Label: "b", Txn: tB})
+	err := g.Commit()
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("commit = %v, want ErrAborted", err)
+	}
+	// repoA's element is back.
+	if d, _ := e.repoA.Depth("in"); d != 1 {
+		t.Fatalf("in depth = %d", d)
+	}
+}
+
+func TestDoubleFinishRejected(t *testing.T) {
+	e := newEnv(t)
+	g := e.coord.Begin()
+	if err := g.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Commit(); !errors.Is(err, ErrDone) {
+		t.Fatalf("second commit: %v", err)
+	}
+	if err := g.Abort(); !errors.Is(err, ErrDone) {
+		t.Fatalf("abort after commit: %v", err)
+	}
+}
+
+func TestGTIDs(t *testing.T) {
+	name, seq, ok := SplitGTID("coord1/42")
+	if !ok || name != "coord1" || seq != 42 {
+		t.Fatalf("SplitGTID = %q %d %v", name, seq, ok)
+	}
+	if _, _, ok := SplitGTID("malformed"); ok {
+		t.Fatal("malformed gtid parsed")
+	}
+	if _, _, ok := SplitGTID("x/notanumber"); ok {
+		t.Fatal("bad seq parsed")
+	}
+	// Nested name with slashes.
+	name, seq, ok = SplitGTID("node/coord/7")
+	if !ok || name != "node/coord" || seq != 7 {
+		t.Fatalf("nested = %q %d %v", name, seq, ok)
+	}
+}
+
+// crashAll simulates a whole-system crash: both repositories and the
+// coordinator go down; reopen recovers everything.
+func (e *env) crashAll(t *testing.T) []txn.InDoubt {
+	t.Helper()
+	e.repoA.Crash()
+	e.repoB.Crash()
+	e.coord.Close()
+	var err error
+	var inA, inB []txn.InDoubt
+	e.repoA, inA, err = queue.Open(e.dirA, queue.Options{NoFsync: true, Name: "repoA"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.repoB, inB, err = queue.Open(e.dirB, queue.Options{NoFsync: true, Name: "repoB"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.coord, err = OpenCoordinator("coord1", e.dirC, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		e.repoA.Close()
+		e.repoB.Close()
+		e.coord.Close()
+	})
+	return append(inA, inB...)
+}
+
+func TestCrashAfterPrepareBeforeDecisionAborts(t *testing.T) {
+	e := newEnv(t)
+	if _, err := e.repoA.Enqueue(nil, "in", queue.Element{Body: []byte("x")}, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	tA := e.repoA.Begin()
+	tB := e.repoB.Begin()
+	if _, err := e.repoA.Dequeue(context.Background(), tA, "in", "", queue.DequeueOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.repoB.Enqueue(tB, "out", queue.Element{Body: []byte("x")}, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	g := e.coord.Begin()
+	gtid := g.GTID()
+	// Manually drive phase 1 only, then crash (the coordinator never logs).
+	if err := tA.Prepare(gtid); err != nil {
+		t.Fatal(err)
+	}
+	if err := tB.Prepare(gtid); err != nil {
+		t.Fatal(err)
+	}
+
+	inDoubt := e.crashAll(t)
+	if len(inDoubt) != 2 {
+		t.Fatalf("in-doubt = %d, want 2", len(inDoubt))
+	}
+	committed, aborted := ResolveInDoubt(inDoubt, e.coord)
+	if committed != 0 || aborted != 2 {
+		t.Fatalf("resolution = %d committed / %d aborted, want presumed abort", committed, aborted)
+	}
+	if d, _ := e.repoA.Depth("in"); d != 1 {
+		t.Fatalf("in depth = %d (element lost)", d)
+	}
+	if d, _ := e.repoB.Depth("out"); d != 0 {
+		t.Fatalf("out depth = %d (phantom element)", d)
+	}
+}
+
+func TestCrashBetweenDecisionAndPhase2(t *testing.T) {
+	e := newEnv(t)
+	if _, err := e.repoA.Enqueue(nil, "in", queue.Element{Body: []byte("x")}, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	tA := e.repoA.Begin()
+	tB := e.repoB.Begin()
+	if _, err := e.repoA.Dequeue(context.Background(), tA, "in", "", queue.DequeueOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.repoB.Enqueue(tB, "out", queue.Element{Body: []byte("x")}, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	g := e.coord.Begin()
+	gtid := g.GTID()
+	if err := tA.Prepare(gtid); err != nil {
+		t.Fatal(err)
+	}
+	if err := tB.Prepare(gtid); err != nil {
+		t.Fatal(err)
+	}
+	// Decision: enlist nothing and commit — logs the decision durably for
+	// this seq without driving phase 2 (our simulated crash window).
+	if err := g.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	inDoubt := e.crashAll(t)
+	if len(inDoubt) != 2 {
+		t.Fatalf("in-doubt = %d, want 2", len(inDoubt))
+	}
+	committed, aborted := ResolveInDoubt(inDoubt, e.coord)
+	if committed != 2 || aborted != 0 {
+		t.Fatalf("resolution = %d/%d, want 2 committed", committed, aborted)
+	}
+	if d, _ := e.repoA.Depth("in"); d != 0 {
+		t.Fatalf("in depth = %d", d)
+	}
+	if d, _ := e.repoB.Depth("out"); d != 1 {
+		t.Fatalf("out depth = %d", d)
+	}
+}
+
+func TestCoordinatorDecisionsSurviveRestart(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCoordinator("c", dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := c.Begin()
+	gtid := g.GTID()
+	if err := g.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	g2 := c.Begin()
+	gtid2 := g2.GTID()
+	_ = g2.Abort()
+	c.Close()
+
+	c2, err := OpenCoordinator("c", dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if !c2.Committed(gtid) {
+		t.Fatal("committed decision lost")
+	}
+	if c2.Committed(gtid2) {
+		t.Fatal("aborted txn reported committed")
+	}
+	// Seqs must not be reused.
+	g3 := c2.Begin()
+	if g3.GTID() == gtid || g3.GTID() == gtid2 {
+		t.Fatalf("gtid reused: %s", g3.GTID())
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCoordinator("coordX", dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	g := c.Begin()
+	gtid := g.GTID()
+	if err := g.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	reg.Add("coordX", c)
+	if !reg.Committed(gtid) {
+		t.Fatal("registry missed decision")
+	}
+	if reg.Committed("unknown/1") {
+		t.Fatal("unknown coordinator presumed commit")
+	}
+	if reg.Committed("garbage") {
+		t.Fatal("malformed gtid presumed commit")
+	}
+}
+
+func TestReservationFailurePoisonsTransaction(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCoordinator("c", dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exhaust the pre-reserved block's bookkeeping by closing the log:
+	// further reservations fail, and transactions started after that must
+	// refuse to commit rather than risk reissuing a sequence number.
+	c.log.Close()
+	// Drain the in-memory ceiling so Begin needs a fresh (failing) block.
+	c.mu.Lock()
+	c.nextSeq = c.seqCeil
+	c.mu.Unlock()
+	g := c.Begin()
+	err = g.Commit()
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("commit with unreserved seq: %v", err)
+	}
+}

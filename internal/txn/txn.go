@@ -1,0 +1,617 @@
+// Package txn implements the transaction manager shared by the queue
+// manager and the transactional key-value store.
+//
+// Design: main-memory resource managers apply changes eagerly under locks
+// and register (a) an undo closure, run if the transaction aborts, and (b)
+// a redo record, written to the write-ahead log when the transaction
+// commits. A transaction's redo records are written as one atomic commit
+// record, so the log never contains a partial transaction: recovery is
+// redo-only — load the latest snapshot, then re-apply every committed
+// record after it, in LSN order.
+//
+// For distributed transactions (a server dequeuing from one repository and
+// enqueueing into another, paper Sections 5–6), a transaction can instead
+// be prepared: its redo records are logged in a prepare record, and a later
+// decision record commits or aborts it. Recovery re-instates prepared but
+// undecided transactions as in-doubt, re-applying their effects as
+// uncommitted state so their locks are re-held until the coordinator's
+// decision arrives (presumed abort).
+package txn
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/enc"
+	"repro/internal/lock"
+	"repro/internal/wal"
+)
+
+// Log record types used by the transaction manager.
+const (
+	recCommit   uint8 = 1 // redo ops of a locally committed transaction
+	recPrepare  uint8 = 2 // redo ops of a prepared (in-doubt) transaction
+	recDecision uint8 = 3 // commit/abort decision for a prepared transaction
+)
+
+// State is a transaction's lifecycle state.
+type State int8
+
+const (
+	// Active transactions accept operations.
+	Active State = iota
+	// Prepared transactions await a commit/abort decision (2PC phase 2).
+	Prepared
+	// Committed is terminal.
+	Committed
+	// Aborted is terminal.
+	Aborted
+)
+
+func (s State) String() string {
+	switch s {
+	case Active:
+		return "active"
+	case Prepared:
+		return "prepared"
+	case Committed:
+		return "committed"
+	case Aborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("State(%d)", int8(s))
+	}
+}
+
+// Errors returned by the transaction manager.
+var (
+	// ErrNotActive reports an operation on a transaction that has left the
+	// Active state.
+	ErrNotActive = errors.New("txn: not active")
+	// ErrNotPrepared reports a decision for a transaction that is not
+	// prepared.
+	ErrNotPrepared = errors.New("txn: not prepared")
+	// ErrUnknownRM reports a recovery record naming an unregistered
+	// resource manager.
+	ErrUnknownRM = errors.New("txn: unknown resource manager")
+	// ErrDoomed reports a commit attempt on a transaction that was doomed
+	// (e.g. its dequeued element was killed by a cancellation, paper
+	// Section 7). The transaction is rolled back instead.
+	ErrDoomed = errors.New("txn: doomed")
+)
+
+// Op is one redo operation belonging to a resource manager.
+type Op struct {
+	RM   string
+	Data []byte
+}
+
+// ResourceManager replays redo records at recovery.
+type ResourceManager interface {
+	// RMName identifies the resource manager in redo records.
+	RMName() string
+	// Redo re-applies a committed operation to in-memory state. It must be
+	// idempotent-free safe in the sense that it is called exactly once per
+	// logged op, in original commit order.
+	Redo(data []byte) error
+	// RedoPrepared re-applies an in-doubt operation as uncommitted state
+	// inside t: it must re-acquire the affected resources' locks via t and
+	// re-register undo and commit hooks, exactly as the original execution
+	// did.
+	RedoPrepared(t *Txn, data []byte) error
+}
+
+// Manager coordinates transactions over one write-ahead log and one lock
+// manager (one per repository/node).
+type Manager struct {
+	log   *wal.Log
+	locks *lock.Manager
+
+	mu     sync.Mutex
+	nextID uint64
+	active map[uint64]*Txn
+	rms    map[string]ResourceManager
+
+	// commitGate serializes commits against snapshotting: commits hold it
+	// shared, snapshot serialization holds it exclusively so a snapshot
+	// never observes a half-applied commit.
+	commitGate sync.RWMutex
+
+	commits uint64
+	aborts  uint64
+}
+
+// NewManager returns a Manager writing to log and locking through lm.
+func NewManager(log *wal.Log, lm *lock.Manager) *Manager {
+	return &Manager{
+		log:    log,
+		locks:  lm,
+		nextID: 1,
+		active: make(map[uint64]*Txn),
+		rms:    make(map[string]ResourceManager),
+	}
+}
+
+// RegisterRM registers a resource manager for recovery replay.
+func (m *Manager) RegisterRM(rm ResourceManager) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rms[rm.RMName()] = rm
+}
+
+// Locks exposes the lock manager (shared with resource managers).
+func (m *Manager) Locks() *lock.Manager { return m.locks }
+
+// Log exposes the write-ahead log.
+func (m *Manager) Log() *wal.Log { return m.log }
+
+// NextID returns the next transaction id that will be assigned. Snapshots
+// persist it so ids never repeat across restarts.
+func (m *Manager) NextID() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.nextID
+}
+
+// SetNextID raises the next transaction id; used when loading a snapshot.
+func (m *Manager) SetNextID(id uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if id > m.nextID {
+		m.nextID = id
+	}
+}
+
+// Stats reports commit/abort counters.
+func (m *Manager) Stats() (commits, aborts uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.commits, m.aborts
+}
+
+// Begin starts a transaction.
+func (m *Manager) Begin() *Txn {
+	m.mu.Lock()
+	id := m.nextID
+	m.nextID++
+	t := &Txn{m: m, id: id, state: Active}
+	m.active[id] = t
+	m.mu.Unlock()
+	return t
+}
+
+// BlockCommits runs f while no commit is in flight; the repository uses it
+// to serialize snapshots against commits.
+func (m *Manager) BlockCommits(f func() error) error {
+	m.commitGate.Lock()
+	defer m.commitGate.Unlock()
+	return f()
+}
+
+// Txn is a single transaction. A Txn is not safe for concurrent use by
+// multiple goroutines; each transaction belongs to one worker.
+type Txn struct {
+	m     *Manager
+	id    uint64
+	state State
+
+	ops        []Op
+	undo       []func()
+	onCommit   []func()
+	onAbort    []func()
+	prepareLSN wal.LSN // set while Prepared; guards log truncation
+
+	// doomMu guards state transitions against Doom, the only cross-
+	// goroutine entry point on a Txn. It is held across the commit-record
+	// append so that Doom's answer ("will this transaction abort?") is
+	// final: once a commit record is durable, Doom returns false.
+	doomMu sync.Mutex
+	doomed bool
+}
+
+// ID returns the transaction id (also its lock-owner id).
+func (t *Txn) ID() uint64 { return t.id }
+
+// State returns the transaction's state.
+func (t *Txn) State() State {
+	t.doomMu.Lock()
+	defer t.doomMu.Unlock()
+	return t.state
+}
+
+// Doom condemns an active transaction from another goroutine: its Commit
+// (or Prepare) will fail with ErrDoomed and roll back. Doom returns true if
+// the transaction is now guaranteed to abort, false if it already left the
+// Active state (its outcome is no longer influenceable). The paper's
+// KillElement uses this to abort the transaction that holds a request
+// being cancelled.
+func (t *Txn) Doom() bool {
+	t.doomMu.Lock()
+	defer t.doomMu.Unlock()
+	if t.state != Active {
+		return false
+	}
+	t.doomed = true
+	return true
+}
+
+// Lock acquires resource in mode on behalf of the transaction, blocking per
+// the lock manager's rules.
+func (t *Txn) Lock(ctx context.Context, resource string, mode lock.Mode) error {
+	if t.state != Active {
+		return ErrNotActive
+	}
+	return t.m.locks.Acquire(ctx, t.id, resource, mode)
+}
+
+// TryLock acquires resource only if free (skip-locked scans).
+func (t *Txn) TryLock(resource string, mode lock.Mode) error {
+	if t.state != Active {
+		return ErrNotActive
+	}
+	return t.m.locks.TryAcquire(t.id, resource, mode)
+}
+
+// LogOp appends a redo record to the transaction.
+func (t *Txn) LogOp(rm string, data []byte) {
+	t.ops = append(t.ops, Op{RM: rm, Data: data})
+}
+
+// OnUndo registers a closure run (in reverse order) if the transaction
+// aborts; resource managers use it to roll back eager in-memory changes.
+func (t *Txn) OnUndo(f func()) { t.undo = append(t.undo, f) }
+
+// OnCommit registers a closure run after the commit record is durable;
+// resource managers use it to publish changes (e.g. make an enqueued
+// element visible).
+func (t *Txn) OnCommit(f func()) { t.onCommit = append(t.onCommit, f) }
+
+// OnAbort registers a closure run after all undo closures on abort.
+func (t *Txn) OnAbort(f func()) { t.onAbort = append(t.onAbort, f) }
+
+func encodeOps(b *enc.Buffer, id uint64, ops []Op) {
+	b.Uvarint(id)
+	b.Uvarint(uint64(len(ops)))
+	for _, op := range ops {
+		b.String(op.RM)
+		b.BytesField(op.Data)
+	}
+}
+
+func decodeOps(r *enc.Reader) (id uint64, ops []Op, err error) {
+	id = r.Uvarint()
+	n := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return 0, nil, err
+	}
+	ops = make([]Op, 0, n)
+	for i := uint64(0); i < n; i++ {
+		rm := r.String()
+		data := r.BytesField()
+		if err := r.Err(); err != nil {
+			return 0, nil, err
+		}
+		ops = append(ops, Op{RM: rm, Data: data})
+	}
+	return id, ops, r.Err()
+}
+
+// Commit makes the transaction durable and visible: its redo ops are
+// written as one log record, commit hooks run, and all locks release. A
+// doomed transaction rolls back and reports ErrDoomed.
+func (t *Txn) Commit() error {
+	t.doomMu.Lock()
+	if t.state != Active {
+		st := t.state
+		t.doomMu.Unlock()
+		return fmt.Errorf("%w: commit of %s txn %d", ErrNotActive, st, t.id)
+	}
+	if t.doomed {
+		t.doomMu.Unlock()
+		t.rollback()
+		return fmt.Errorf("txn %d: %w", t.id, ErrDoomed)
+	}
+	t.m.commitGate.RLock()
+	if len(t.ops) > 0 {
+		b := enc.NewBuffer(64)
+		encodeOps(b, t.id, t.ops)
+		lsn, err := t.m.log.Append(recCommit, b.Bytes())
+		if err == nil {
+			// Under group commit the append is not yet durable; wait for
+			// (or lead) the batched fsync. A no-op under SyncAlways.
+			err = t.m.log.SyncTo(lsn)
+		}
+		if err != nil {
+			t.m.commitGate.RUnlock()
+			t.doomMu.Unlock()
+			// With a failed append/sync the record cannot be trusted on
+			// disk, so rolling back keeps memory consistent with what
+			// recovery will reconstruct.
+			t.rollback()
+			return fmt.Errorf("txn %d: commit log: %w", t.id, err)
+		}
+	}
+	t.state = Committed
+	t.doomMu.Unlock()
+	for _, f := range t.onCommit {
+		f()
+	}
+	t.m.commitGate.RUnlock()
+	t.finish(true)
+	return nil
+}
+
+// Abort rolls back the transaction: undo closures run in reverse order,
+// abort hooks run, and all locks release. Nothing is logged — an unlogged
+// transaction is invisible to recovery by construction.
+func (t *Txn) Abort() error {
+	t.doomMu.Lock()
+	if t.state != Active {
+		st := t.state
+		t.doomMu.Unlock()
+		return fmt.Errorf("%w: abort of %s txn %d", ErrNotActive, st, t.id)
+	}
+	t.doomMu.Unlock()
+	t.rollback()
+	return nil
+}
+
+func (t *Txn) rollback() {
+	t.doomMu.Lock()
+	t.state = Aborted
+	t.doomMu.Unlock()
+	for i := len(t.undo) - 1; i >= 0; i-- {
+		t.undo[i]()
+	}
+	for _, f := range t.onAbort {
+		f()
+	}
+	t.finish(false)
+}
+
+func (t *Txn) finish(committed bool) {
+	t.m.locks.ReleaseAll(t.id)
+	t.m.mu.Lock()
+	delete(t.m.active, t.id)
+	if committed {
+		t.m.commits++
+	} else {
+		t.m.aborts++
+	}
+	t.m.mu.Unlock()
+	t.ops, t.undo, t.onCommit, t.onAbort = nil, nil, nil, nil
+}
+
+// Prepare logs the transaction's redo ops as an in-doubt prepare record and
+// moves it to the Prepared state. The coordinator name is recorded so
+// recovery knows whom to ask. Locks remain held.
+func (t *Txn) Prepare(coordinator string) error {
+	t.doomMu.Lock()
+	if t.state != Active {
+		st := t.state
+		t.doomMu.Unlock()
+		return fmt.Errorf("%w: prepare of %s txn %d", ErrNotActive, st, t.id)
+	}
+	if t.doomed {
+		t.doomMu.Unlock()
+		t.rollback()
+		return fmt.Errorf("txn %d: %w", t.id, ErrDoomed)
+	}
+	b := enc.NewBuffer(64)
+	b.String(coordinator)
+	encodeOps(b, t.id, t.ops)
+	lsn, err := t.m.log.Append(recPrepare, b.Bytes())
+	if err == nil {
+		err = t.m.log.SyncTo(lsn)
+	}
+	if err != nil {
+		t.doomMu.Unlock()
+		t.rollback()
+		return fmt.Errorf("txn %d: prepare log: %w", t.id, err)
+	}
+	t.prepareLSN = lsn
+	t.state = Prepared
+	t.doomMu.Unlock()
+	return nil
+}
+
+// OldestPrepareLSN returns the smallest prepare-record LSN among currently
+// prepared transactions, or 0 if none. Log truncation must not remove
+// segments at or after this LSN, or recovery would lose an in-doubt
+// transaction.
+func (m *Manager) OldestPrepareLSN() wal.LSN {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var oldest wal.LSN
+	for _, t := range m.active {
+		if t.state == Prepared && t.prepareLSN != 0 && (oldest == 0 || t.prepareLSN < oldest) {
+			oldest = t.prepareLSN
+		}
+	}
+	return oldest
+}
+
+// CommitPrepared completes a prepared transaction with a commit decision.
+func (t *Txn) CommitPrepared() error {
+	t.doomMu.Lock()
+	if t.state != Prepared {
+		st := t.state
+		t.doomMu.Unlock()
+		return fmt.Errorf("%w: txn %d is %s", ErrNotPrepared, t.id, st)
+	}
+	b := enc.NewBuffer(16)
+	b.Uvarint(t.id)
+	b.Bool(true)
+	t.m.commitGate.RLock()
+	lsn, err := t.m.log.Append(recDecision, b.Bytes())
+	if err == nil {
+		err = t.m.log.SyncTo(lsn)
+	}
+	if err != nil {
+		t.m.commitGate.RUnlock()
+		t.doomMu.Unlock()
+		return fmt.Errorf("txn %d: decision log: %w", t.id, err)
+	}
+	t.state = Committed
+	t.doomMu.Unlock()
+	for _, f := range t.onCommit {
+		f()
+	}
+	t.m.commitGate.RUnlock()
+	t.finish(true)
+	return nil
+}
+
+// AbortPrepared completes a prepared transaction with an abort decision.
+func (t *Txn) AbortPrepared() error {
+	t.doomMu.Lock()
+	if t.state != Prepared {
+		st := t.state
+		t.doomMu.Unlock()
+		return fmt.Errorf("%w: txn %d is %s", ErrNotPrepared, t.id, st)
+	}
+	b := enc.NewBuffer(16)
+	b.Uvarint(t.id)
+	b.Bool(false)
+	if lsn, err := t.m.log.Append(recDecision, b.Bytes()); err != nil {
+		t.doomMu.Unlock()
+		return fmt.Errorf("txn %d: decision log: %w", t.id, err)
+	} else if err := t.m.log.SyncTo(lsn); err != nil {
+		t.doomMu.Unlock()
+		return fmt.Errorf("txn %d: decision sync: %w", t.id, err)
+	}
+	t.doomMu.Unlock()
+	t.rollback()
+	return nil
+}
+
+// InDoubt describes a prepared transaction reconstructed at recovery.
+type InDoubt struct {
+	Txn         *Txn
+	Coordinator string
+}
+
+// Recover rebuilds transactional state after a restart. snapLSN is the WAL
+// position covered by the loaded snapshot (0 for none). The entire
+// remaining log is scanned — truncation guarantees it still contains every
+// record that matters — but effects are applied only for records with LSN
+// beyond snapLSN, since earlier committed effects are already in the
+// snapshot. Committed records re-apply through the registered resource
+// managers; prepare records are held until a decision resolves them;
+// unresolved prepares are re-instated as in-doubt transactions (effects
+// re-applied as uncommitted via RedoPrepared, locks re-held) and returned
+// for coordinator resolution (presumed abort).
+func (m *Manager) Recover(snapLSN wal.LSN) ([]InDoubt, error) {
+	recs, err := m.log.ReadFrom(1)
+	if err != nil {
+		return nil, fmt.Errorf("txn: recovery scan: %w", err)
+	}
+	type pending struct {
+		coordinator string
+		ops         []Op
+		lsn         wal.LSN
+	}
+	inDoubt := make(map[uint64]*pending)
+	var order []uint64 // prepare order, for deterministic reinstatement
+	maxID := uint64(0)
+
+	apply := func(ops []Op) error {
+		for _, op := range ops {
+			rm, ok := m.rms[op.RM]
+			if !ok {
+				return fmt.Errorf("%w: %q", ErrUnknownRM, op.RM)
+			}
+			if err := rm.Redo(op.Data); err != nil {
+				return fmt.Errorf("txn: redo %s: %w", op.RM, err)
+			}
+		}
+		return nil
+	}
+
+	for _, rec := range recs {
+		switch rec.Type {
+		case recCommit:
+			r := enc.NewReader(rec.Payload)
+			id, ops, err := decodeOps(r)
+			if err != nil {
+				return nil, fmt.Errorf("txn: decode commit at %d: %w", rec.LSN, err)
+			}
+			if id > maxID {
+				maxID = id
+			}
+			if rec.LSN <= snapLSN {
+				continue // already reflected in the snapshot
+			}
+			if err := apply(ops); err != nil {
+				return nil, err
+			}
+		case recPrepare:
+			r := enc.NewReader(rec.Payload)
+			coord := r.String()
+			id, ops, err := decodeOps(r)
+			if err != nil {
+				return nil, fmt.Errorf("txn: decode prepare at %d: %w", rec.LSN, err)
+			}
+			if id > maxID {
+				maxID = id
+			}
+			inDoubt[id] = &pending{coordinator: coord, ops: ops, lsn: rec.LSN}
+			order = append(order, id)
+		case recDecision:
+			r := enc.NewReader(rec.Payload)
+			id := r.Uvarint()
+			commit := r.Bool()
+			if err := r.Err(); err != nil {
+				return nil, fmt.Errorf("txn: decode decision at %d: %w", rec.LSN, err)
+			}
+			p, ok := inDoubt[id]
+			if !ok {
+				continue // repeated or already-resolved decision
+			}
+			delete(inDoubt, id)
+			// Apply only if the decision is a commit that the snapshot has
+			// not already absorbed (prepared effects enter the snapshot at
+			// the moment the commit decision lands, so the decision LSN is
+			// the visibility point).
+			if commit && rec.LSN > snapLSN {
+				if err := apply(p.ops); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	m.mu.Lock()
+	if maxID >= m.nextID {
+		m.nextID = maxID + 1
+	}
+	m.mu.Unlock()
+
+	var out []InDoubt
+	for _, id := range order {
+		p, ok := inDoubt[id]
+		if !ok {
+			continue
+		}
+		t := &Txn{m: m, id: id, state: Active}
+		for _, op := range p.ops {
+			rm, ok := m.rms[op.RM]
+			if !ok {
+				return nil, fmt.Errorf("%w: %q", ErrUnknownRM, op.RM)
+			}
+			if err := rm.RedoPrepared(t, op.Data); err != nil {
+				return nil, fmt.Errorf("txn: redo prepared %s: %w", op.RM, err)
+			}
+		}
+		t.ops = p.ops
+		t.prepareLSN = p.lsn
+		t.state = Prepared
+		m.mu.Lock()
+		m.active[id] = t
+		m.mu.Unlock()
+		out = append(out, InDoubt{Txn: t, Coordinator: p.coordinator})
+	}
+	return out, nil
+}

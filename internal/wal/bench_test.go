@@ -1,0 +1,89 @@
+package wal
+
+import "testing"
+
+func benchLog(b *testing.B, opts Options) *Log {
+	b.Helper()
+	l, err := Open(b.TempDir(), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { l.Close() })
+	return l
+}
+
+func BenchmarkAppendNoFsync(b *testing.B) {
+	l := benchLog(b, Options{NoFsync: true})
+	payload := make([]byte, 128)
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Append(1, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAppendFsync(b *testing.B) {
+	l := benchLog(b, Options{})
+	payload := make([]byte, 128)
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Append(1, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAppendGroupCommitParallel(b *testing.B) {
+	l := benchLog(b, Options{Sync: SyncGroup})
+	payload := make([]byte, 128)
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			lsn, err := l.Append(1, payload)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if err := l.SyncTo(lsn); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+func BenchmarkAppendFsyncParallel(b *testing.B) {
+	l := benchLog(b, Options{})
+	payload := make([]byte, 128)
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := l.Append(1, payload); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+func BenchmarkRecoveryScan(b *testing.B) {
+	l := benchLog(b, Options{NoFsync: true})
+	payload := make([]byte, 128)
+	for i := 0; i < 10000; i++ {
+		if _, err := l.Append(1, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		recs, err := l.ReadFrom(1)
+		if err != nil || len(recs) != 10000 {
+			b.Fatalf("%d records, %v", len(recs), err)
+		}
+	}
+}

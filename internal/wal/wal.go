@@ -1,0 +1,580 @@
+// Package wal implements a segmented, checksummed write-ahead log.
+//
+// The log is the durability backbone of the queue manager. Per the paper's
+// implementation notes (Section 10), queue repositories are managed as
+// main-memory databases: all reads are served from memory, and the log plus
+// periodic snapshots provide recoverability. The log therefore only ever
+// needs to be read at recovery time, sequentially.
+//
+// Records are opaque to this package; the transaction manager defines their
+// contents. Each record is framed as
+//
+//	lsn     uint64  little-endian
+//	length  uint32  little-endian, payload length
+//	type    uint8
+//	payload [length]byte
+//	crc     uint32  little-endian, CRC-32C over the preceding fields
+//
+// LSNs are assigned densely starting at 1. The log is split into segment
+// files named wal-<first-lsn>.seg so that TruncateBefore can drop whole
+// files. A torn write at the tail of the last segment (from a crash mid-
+// append) is detected by the CRC and treated as the end of the log.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// LSN is a log sequence number. LSNs start at 1 and increase by one per
+// appended record. Zero is never a valid LSN; it is used as "before the
+// first record".
+type LSN uint64
+
+// Record is a single log entry.
+type Record struct {
+	LSN     LSN
+	Type    uint8
+	Payload []byte
+}
+
+// SyncPolicy controls when appends are forced to stable storage.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs on every Append. This is the default and the only
+	// policy under which a returned Append implies durability.
+	SyncAlways SyncPolicy = iota
+	// SyncManual leaves fsync to explicit Sync calls. Appends are buffered
+	// by the OS; a crash may lose the unsynced suffix (never a prefix).
+	SyncManual
+	// SyncNever performs no fsync at all; for volatile or benchmark use.
+	SyncNever
+	// SyncGroup implements group commit: Append does not fsync; a
+	// committer calls SyncTo(lsn) and one physical fsync satisfies every
+	// committer whose records it covers. Under concurrent commit load
+	// this amortizes the dominant logging cost.
+	SyncGroup
+)
+
+// Options configure Open.
+type Options struct {
+	// SegmentSize is the byte size at which a new segment file is started.
+	// Zero means the default (4 MiB).
+	SegmentSize int64
+	// Sync selects the sync policy. The zero value is SyncAlways.
+	Sync SyncPolicy
+	// NoFsync disables the physical fsync syscall while keeping SyncAlways
+	// bookkeeping. Tests use it to keep the durability accounting without
+	// paying disk latency; correctness tests that crash processes must not
+	// set it.
+	NoFsync bool
+}
+
+const (
+	defaultSegmentSize = 4 << 20
+	headerSize         = 8 + 4 + 1 // lsn + length + type
+	trailerSize        = 4         // crc
+	segPrefix          = "wal-"
+	segSuffix          = ".seg"
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Errors returned by the log.
+var (
+	// ErrClosed reports use of a closed log.
+	ErrClosed = errors.New("wal: log closed")
+	// ErrCorrupt reports a checksum or framing failure before the tail.
+	ErrCorrupt = errors.New("wal: corrupt record")
+)
+
+// Log is an append-only segmented write-ahead log. It is safe for
+// concurrent use.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	closed   bool
+	active   *os.File
+	activeSz int64
+	firstLSN LSN // first LSN of the active segment
+	nextLSN  LSN
+	dirty    bool // unsynced appends exist
+	segments []segmentInfo
+
+	// Group-commit state: syncedLSN is the highest LSN known durable;
+	// syncing marks a leader's fsync in flight (performed outside mu so
+	// appends keep flowing); syncCond wakes followers.
+	syncedLSN LSN
+	syncing   bool
+	syncCond  *sync.Cond
+
+	// testSyncDelay simulates fsync latency when NoFsync is set, so tests
+	// can observe group-commit batching deterministically.
+	testSyncDelay time.Duration
+
+	// appends counts records appended since Open; syncs counts fsyncs.
+	appends uint64
+	syncs   uint64
+}
+
+type segmentInfo struct {
+	first LSN
+	path  string
+}
+
+// Open opens or creates a log in dir. Existing segments are scanned to find
+// the next LSN; a torn final record is truncated away.
+func Open(dir string, opts Options) (*Log, error) {
+	if opts.SegmentSize <= 0 {
+		opts.SegmentSize = defaultSegmentSize
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", dir, err)
+	}
+	l := &Log{dir: dir, opts: opts, nextLSN: 1}
+	l.syncCond = sync.NewCond(&l.mu)
+	if err := l.loadSegments(); err != nil {
+		return nil, err
+	}
+	if err := l.openActive(); err != nil {
+		return nil, err
+	}
+	l.syncedLSN = l.nextLSN - 1 // everything recovered is on disk
+	return l, nil
+}
+
+func segName(first LSN) string {
+	return fmt.Sprintf("%s%016x%s", segPrefix, uint64(first), segSuffix)
+}
+
+func parseSegName(name string) (LSN, bool) {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return 0, false
+	}
+	hexPart := strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix)
+	v, err := strconv.ParseUint(hexPart, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return LSN(v), true
+}
+
+func (l *Log) loadSegments() error {
+	entries, err := os.ReadDir(l.dir)
+	if err != nil {
+		return fmt.Errorf("wal: read dir: %w", err)
+	}
+	for _, e := range entries {
+		if first, ok := parseSegName(e.Name()); ok {
+			l.segments = append(l.segments, segmentInfo{first: first, path: filepath.Join(l.dir, e.Name())})
+		}
+	}
+	sort.Slice(l.segments, func(i, j int) bool { return l.segments[i].first < l.segments[j].first })
+	// Determine nextLSN by scanning the last segment; earlier segments are
+	// trusted (they were complete when rotated).
+	if len(l.segments) == 0 {
+		return nil
+	}
+	last := l.segments[len(l.segments)-1]
+	lastLSN, validLen, err := scanSegment(last.path, last.first)
+	if err != nil {
+		return err
+	}
+	// Truncate a torn tail so the next append lands on a clean boundary.
+	if fi, err := os.Stat(last.path); err == nil && fi.Size() > validLen {
+		if err := os.Truncate(last.path, validLen); err != nil {
+			return fmt.Errorf("wal: truncate torn tail: %w", err)
+		}
+	}
+	if lastLSN >= l.nextLSN {
+		l.nextLSN = lastLSN + 1
+	}
+	if lastLSN == 0 {
+		// Empty last segment: next LSN is its declared first LSN, which may
+		// reflect records in earlier segments.
+		if last.first > l.nextLSN {
+			l.nextLSN = last.first
+		}
+	}
+	return nil
+}
+
+// scanSegment walks a segment validating frames, returning the last valid
+// LSN (0 if none) and the byte length of the valid prefix.
+func scanSegment(path string, first LSN) (LSN, int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, fmt.Errorf("wal: scan %s: %w", path, err)
+	}
+	var last LSN
+	off := int64(0)
+	want := first
+	for {
+		rec, n, ok := decodeFrame(data[off:])
+		if !ok {
+			break
+		}
+		if rec.LSN != want {
+			break // sequence break: treat as end of valid prefix
+		}
+		last = rec.LSN
+		want++
+		off += n
+	}
+	return last, off, nil
+}
+
+// decodeFrame decodes one frame from b. It returns ok=false on any
+// truncation or checksum failure.
+func decodeFrame(b []byte) (Record, int64, bool) {
+	if len(b) < headerSize+trailerSize {
+		return Record{}, 0, false
+	}
+	lsn := binary.LittleEndian.Uint64(b)
+	length := binary.LittleEndian.Uint32(b[8:])
+	typ := b[12]
+	total := int64(headerSize) + int64(length) + trailerSize
+	if int64(len(b)) < total {
+		return Record{}, 0, false
+	}
+	payload := b[headerSize : headerSize+int(length)]
+	crc := binary.LittleEndian.Uint32(b[headerSize+int(length):])
+	if crc32.Checksum(b[:headerSize+int(length)], castagnoli) != crc {
+		return Record{}, 0, false
+	}
+	p := make([]byte, length)
+	copy(p, payload)
+	return Record{LSN: LSN(lsn), Type: typ, Payload: p}, total, true
+}
+
+func (l *Log) openActive() error {
+	var first LSN
+	if n := len(l.segments); n > 0 {
+		first = l.segments[n-1].first
+	} else {
+		first = l.nextLSN
+		path := filepath.Join(l.dir, segName(first))
+		l.segments = append(l.segments, segmentInfo{first: first, path: path})
+	}
+	path := l.segments[len(l.segments)-1].path
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: open active segment: %w", err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("wal: stat active segment: %w", err)
+	}
+	l.active = f
+	l.activeSz = fi.Size()
+	l.firstLSN = first
+	return nil
+}
+
+// NextLSN returns the LSN that the next Append will be assigned.
+func (l *Log) NextLSN() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN
+}
+
+// LastLSN returns the LSN of the most recently appended record, or 0 if the
+// log is empty.
+func (l *Log) LastLSN() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN - 1
+}
+
+// Append writes a record and returns its LSN. Under SyncAlways the record
+// is durable when Append returns.
+func (l *Log) Append(typ uint8, payload []byte) (LSN, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	lsn, err := l.appendLocked(typ, payload)
+	if err != nil {
+		return 0, err
+	}
+	if l.opts.Sync == SyncAlways {
+		if err := l.syncLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return lsn, nil
+}
+
+// AppendBatch writes several records with a single sync at the end (under
+// SyncAlways). It returns the LSN of the last record written.
+func (l *Log) AppendBatch(recs []Record) (LSN, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	var last LSN
+	for _, r := range recs {
+		lsn, err := l.appendLocked(r.Type, r.Payload)
+		if err != nil {
+			return 0, err
+		}
+		last = lsn
+	}
+	if l.opts.Sync == SyncAlways {
+		if err := l.syncLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return last, nil
+}
+
+func (l *Log) appendLocked(typ uint8, payload []byte) (LSN, error) {
+	if l.activeSz >= l.opts.SegmentSize {
+		if err := l.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	lsn := l.nextLSN
+	frame := make([]byte, headerSize+len(payload)+trailerSize)
+	binary.LittleEndian.PutUint64(frame, uint64(lsn))
+	binary.LittleEndian.PutUint32(frame[8:], uint32(len(payload)))
+	frame[12] = typ
+	copy(frame[headerSize:], payload)
+	crc := crc32.Checksum(frame[:headerSize+len(payload)], castagnoli)
+	binary.LittleEndian.PutUint32(frame[headerSize+len(payload):], crc)
+	if _, err := l.active.Write(frame); err != nil {
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	l.activeSz += int64(len(frame))
+	l.nextLSN++
+	l.dirty = true
+	l.appends++
+	return lsn, nil
+}
+
+func (l *Log) rotateLocked() error {
+	if err := l.syncLocked(); err != nil {
+		return err
+	}
+	if err := l.active.Close(); err != nil {
+		return fmt.Errorf("wal: rotate close: %w", err)
+	}
+	first := l.nextLSN
+	path := filepath.Join(l.dir, segName(first))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: rotate open: %w", err)
+	}
+	l.segments = append(l.segments, segmentInfo{first: first, path: path})
+	l.active = f
+	l.activeSz = 0
+	l.firstLSN = first
+	return nil
+}
+
+// Sync forces buffered appends to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if !l.dirty || l.opts.Sync == SyncNever {
+		l.dirty = false
+		l.syncedLSN = l.nextLSN - 1
+		return nil
+	}
+	l.syncs++
+	l.dirty = false
+	if l.opts.NoFsync {
+		l.syncedLSN = l.nextLSN - 1
+		return nil
+	}
+	if err := l.active.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	l.syncedLSN = l.nextLSN - 1
+	return nil
+}
+
+// SyncTo blocks until every record up to lsn is durable. Under SyncGroup
+// one committer becomes the leader and its single fsync (performed without
+// holding the log mutex, so appends keep flowing) satisfies every waiter
+// whose records it covers — classic group commit. Under other policies it
+// returns immediately once lsn is covered (SyncAlways already synced it).
+func (l *Log) SyncTo(lsn LSN) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		if l.closed {
+			return ErrClosed
+		}
+		if l.syncedLSN >= lsn {
+			return nil
+		}
+		if l.syncing {
+			l.syncCond.Wait()
+			continue
+		}
+		// Leader: flush everything appended so far.
+		l.syncing = true
+		target := l.nextLSN - 1
+		f := l.active
+		l.syncs++
+		l.dirty = false
+		noFsync := l.opts.NoFsync || l.opts.Sync == SyncNever
+		l.mu.Unlock()
+		var err error
+		if !noFsync {
+			err = f.Sync()
+		} else if l.testSyncDelay > 0 {
+			time.Sleep(l.testSyncDelay)
+		}
+		l.mu.Lock()
+		l.syncing = false
+		if err != nil && l.syncedLSN >= target {
+			// A concurrent rotation synced and closed the file under us;
+			// the records are durable regardless.
+			err = nil
+		}
+		if err == nil && target > l.syncedLSN {
+			l.syncedLSN = target
+		}
+		l.syncCond.Broadcast()
+		if err != nil {
+			return fmt.Errorf("wal: group sync: %w", err)
+		}
+	}
+}
+
+// Stats reports operation counters since Open.
+type Stats struct {
+	Appends  uint64
+	Syncs    uint64
+	Segments int
+	NextLSN  LSN
+}
+
+// Stats returns a snapshot of the log's counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{Appends: l.appends, Syncs: l.syncs, Segments: len(l.segments), NextLSN: l.nextLSN}
+}
+
+// TruncateBefore removes whole segments whose records all precede lsn. It
+// never splits a segment, so some records below lsn may survive; recovery
+// must tolerate replaying from earlier than requested.
+func (l *Log) TruncateBefore(lsn LSN) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	keep := l.segments[:0:0]
+	for i, s := range l.segments {
+		// A segment may be removed if the next segment starts at or below
+		// lsn (so this one holds only records < lsn) and it is not active.
+		if i+1 < len(l.segments) && l.segments[i+1].first <= lsn {
+			if err := os.Remove(s.path); err != nil && !os.IsNotExist(err) {
+				return fmt.Errorf("wal: truncate: %w", err)
+			}
+			continue
+		}
+		keep = append(keep, s)
+	}
+	l.segments = keep
+	return nil
+}
+
+// ReadFrom returns all records with LSN >= from, in order. It re-reads the
+// segment files; callers use it only during recovery, so appends during a
+// scan see an undefined suffix. Under the lock we only snapshot the segment
+// list; file contents are immutable except the active tail, which recovery
+// never races with.
+func (l *Log) ReadFrom(from LSN) ([]Record, error) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil, ErrClosed
+	}
+	segs := append([]segmentInfo(nil), l.segments...)
+	if err := l.syncLocked(); err != nil {
+		l.mu.Unlock()
+		return nil, err
+	}
+	l.mu.Unlock()
+
+	var out []Record
+	for _, s := range segs {
+		data, err := os.ReadFile(s.path)
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			return nil, fmt.Errorf("wal: read segment: %w", err)
+		}
+		off := int64(0)
+		for {
+			rec, n, ok := decodeFrame(data[off:])
+			if !ok {
+				break
+			}
+			if rec.LSN >= from {
+				out = append(out, rec)
+			}
+			off += n
+		}
+	}
+	return out, nil
+}
+
+// Close syncs and closes the log.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	err := l.syncLocked()
+	l.closed = true
+	if cerr := l.active.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// CopyTail is a test/diagnostic helper: it returns the raw bytes of the
+// active segment so crash tests can simulate torn writes.
+func (l *Log) CopyTail() ([]byte, string, error) {
+	l.mu.Lock()
+	path := l.segments[len(l.segments)-1].path
+	l.mu.Unlock()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", err
+	}
+	return b, path, nil
+}
+
+var _ io.Closer = (*Log)(nil)

@@ -1,0 +1,318 @@
+// Package rrq ("recoverable request queues") is the public API of this
+// reproduction of Bernstein, Hsu & Mann, "Implementing Recoverable
+// Requests Using Queues" (SIGMOD 1990).
+//
+// A Node is one back-end: a recoverable queue repository (queues, shared
+// database tables, persistent registrations) with its write-ahead log,
+// transaction manager, two-phase-commit coordinator, and — optionally — an
+// RPC endpoint for remote clients. Clients talk to a node through a Clerk
+// (the paper's Client Model: Connect / Send / Receive / Rereceive /
+// Disconnect with exactly-once request processing); servers attach
+// handlers with NewServer, multi-transaction pipelines with NewPipeline,
+// compensatable pipelines with NewSaga, and conversations with
+// ServeConversational.
+//
+// See the examples/ directory for runnable end-to-end programs.
+package rrq
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/queue"
+	"repro/internal/queue/qservice"
+	"repro/internal/rpc"
+	"repro/internal/tpc"
+	"repro/internal/txn"
+)
+
+// Re-exported types: the full vocabulary a downstream user needs, in one
+// import.
+type (
+	// Element is a queue element.
+	Element = queue.Element
+	// EID identifies an element within a repository.
+	EID = queue.EID
+	// QueueConfig describes a queue.
+	QueueConfig = queue.QueueConfig
+	// DequeueOpts select and tag a dequeue.
+	DequeueOpts = queue.DequeueOpts
+	// RegInfo is a registrant's persistent last-operation record.
+	RegInfo = queue.RegInfo
+	// Repository is a queue repository (advanced/direct use).
+	Repository = queue.Repository
+	// Txn is a transaction.
+	Txn = txn.Txn
+
+	// Clerk is the client-side runtime library (fig. 5).
+	Clerk = core.Clerk
+	// ClerkConfig configures a Clerk.
+	ClerkConfig = core.ClerkConfig
+	// ConnectInfo is what Connect returns for resynchronisation.
+	ConnectInfo = core.ConnectInfo
+	// Request is a server handler's view of a request.
+	Request = core.Request
+	// Reply is a client's view of a reply.
+	Reply = core.Reply
+	// ReqCtx is the handler execution context.
+	ReqCtx = core.ReqCtx
+	// Handler processes one request.
+	Handler = core.Handler
+	// Server is the fig. 5 server loop.
+	Server = core.Server
+	// ServerConfig configures a Server.
+	ServerConfig = core.ServerConfig
+	// Stage is one transaction of a multi-transaction request.
+	Stage = core.Stage
+	// StageHandler runs one stage.
+	StageHandler = core.StageHandler
+	// Pipeline is a fig. 6 multi-transaction pipeline.
+	Pipeline = core.Pipeline
+	// PipelineConfig configures a Pipeline.
+	PipelineConfig = core.PipelineConfig
+	// Saga is a compensatable pipeline (Section 7).
+	Saga = core.Saga
+	// SagaConfig configures a Saga.
+	SagaConfig = core.SagaConfig
+	// SagaStep pairs an action with its compensation.
+	SagaStep = core.SagaStep
+	// CancelOutcome classifies a cancellation.
+	CancelOutcome = core.CancelOutcome
+	// InteractiveSession drives a fig. 7 interactive request.
+	InteractiveSession = core.InteractiveSession
+	// ConvHandler runs one round of a pseudo-conversation.
+	ConvHandler = core.ConvHandler
+	// ConvServerConfig configures a conversational server.
+	ConvServerConfig = core.ConvServerConfig
+	// SequentialClient is the fig. 2 fault-tolerant client program.
+	SequentialClient = core.SequentialClient
+	// QMConn is the clerk's connection to a queue manager.
+	QMConn = core.QMConn
+	// AppLocks is the persistent application-lock table (Section 6).
+	AppLocks = core.AppLocks
+	// ThreadedClerk is the Section 5 in-client concurrency extension.
+	ThreadedClerk = core.ThreadedClerk
+	// BranchReq is one branch of a Section 6 fork/join.
+	BranchReq = core.BranchReq
+	// StreamClerk is the Section 11 streaming extension (Mercury-style
+	// pipelined requests and replies).
+	StreamClerk = core.StreamClerk
+)
+
+// Re-exported constructors and constants.
+var (
+	// NewClerk returns a disconnected clerk.
+	NewClerk = core.NewClerk
+	// NewServer returns a server loop.
+	NewServer = core.NewServer
+	// NewPipeline creates a multi-transaction pipeline.
+	NewPipeline = core.NewPipeline
+	// NewSaga creates a compensatable pipeline.
+	NewSaga = core.NewSaga
+	// ServeConversational runs a pseudo-conversational server.
+	ServeConversational = core.ServeConversational
+	// Failf builds an application-level failure (committed error reply).
+	Failf = core.Failf
+	// NewRequestElement builds a request element for direct (batch)
+	// enqueueing without a clerk.
+	NewRequestElement = core.NewRequestElement
+	// NewThreadedClerk returns a clerk with n independent threads.
+	NewThreadedClerk = core.NewThreadedClerk
+	// NewStreamClerk returns a windowed streaming clerk (Section 11).
+	NewStreamClerk = core.NewStreamClerk
+	// Fork fans a request out to parallel branches with a trigger-based
+	// join (Section 6).
+	Fork = core.Fork
+	// CollectJoin drains a fork's branch replies.
+	CollectJoin = core.CollectJoin
+	// DestroyJoin tears down a fork's staging queue.
+	DestroyJoin = core.DestroyJoin
+)
+
+// Cancellation outcomes.
+const (
+	NotCancelable            = core.NotCancelable
+	CanceledImmediately      = core.CanceledImmediately
+	CanceledWithCompensation = core.CanceledWithCompensation
+	StatusOK                 = core.StatusOK
+	StatusError              = core.StatusError
+	StatusCanceled           = core.StatusCanceled
+)
+
+// NodeConfig configures a back-end node.
+type NodeConfig struct {
+	// Dir is the node's durable state directory.
+	Dir string
+	// Name is the node's (and its repository's) unique name; empty derives
+	// it from Dir.
+	Name string
+	// ListenAddr, when non-empty, serves the queue manager over RPC
+	// ("127.0.0.1:0" picks a port; see Node.Addr).
+	ListenAddr string
+	// NoFsync disables physical fsync (tests and benchmarks only).
+	NoFsync bool
+	// SnapshotEvery checkpoints after that many logged operations; zero
+	// disables automatic checkpoints.
+	SnapshotEvery int
+	// GroupCommit batches concurrent commits' fsyncs (durability
+	// unchanged).
+	GroupCommit bool
+	// Resolver resolves in-doubt distributed transactions found at
+	// recovery; nil uses only the node's own coordinator (presumed abort
+	// for foreign ones).
+	Resolver tpc.Resolver
+}
+
+// Node is a running back-end node.
+type Node struct {
+	repo   *queue.Repository
+	coord  *tpc.Coordinator
+	rpcSrv *rpc.Server
+	addr   string
+}
+
+// StartNode opens (recovering if necessary) a node. In-doubt distributed
+// transactions found during recovery are resolved through the configured
+// resolver with presumed abort.
+func StartNode(cfg NodeConfig) (*Node, error) {
+	if cfg.Name == "" {
+		cfg.Name = filepath.Base(cfg.Dir)
+	}
+	repo, inDoubt, err := queue.Open(cfg.Dir, queue.Options{
+		Name:          cfg.Name,
+		NoFsync:       cfg.NoFsync,
+		SnapshotEvery: cfg.SnapshotEvery,
+		GroupCommit:   cfg.GroupCommit,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("rrq: open node %s: %w", cfg.Name, err)
+	}
+	coord, err := tpc.OpenCoordinator(cfg.Name+".coord", filepath.Join(cfg.Dir, "coord"), cfg.NoFsync)
+	if err != nil {
+		repo.Close()
+		return nil, fmt.Errorf("rrq: open coordinator: %w", err)
+	}
+	resolver := cfg.Resolver
+	if resolver == nil {
+		reg := tpc.NewRegistry()
+		reg.Add(coord.Name(), coord)
+		resolver = reg
+	}
+	tpc.ResolveInDoubt(inDoubt, resolver)
+	repo.RecheckTriggers()
+
+	n := &Node{repo: repo, coord: coord}
+	if cfg.ListenAddr != "" {
+		n.rpcSrv = rpc.NewServer()
+		qservice.New(repo, n.rpcSrv)
+		addr, err := n.rpcSrv.ListenAndServe(cfg.ListenAddr)
+		if err != nil {
+			repo.Close()
+			coord.Close()
+			return nil, fmt.Errorf("rrq: listen: %w", err)
+		}
+		n.addr = addr
+	}
+	return n, nil
+}
+
+// Repo exposes the node's repository for servers (which are co-located
+// with their queue manager, per the paper's system model).
+func (n *Node) Repo() *queue.Repository { return n.repo }
+
+// Coordinator exposes the node's two-phase-commit coordinator.
+func (n *Node) Coordinator() *tpc.Coordinator { return n.coord }
+
+// Addr returns the RPC address ("" if not listening).
+func (n *Node) Addr() string { return n.addr }
+
+// LocalConn returns an in-process clerk connection to this node.
+func (n *Node) LocalConn() QMConn { return &core.LocalConn{Repo: n.repo} }
+
+// CreateQueue creates a queue on the node.
+func (n *Node) CreateQueue(cfg QueueConfig) error { return n.repo.CreateQueue(cfg) }
+
+// Begin starts a local transaction on the node.
+func (n *Node) Begin() *Txn { return n.repo.Begin() }
+
+// TransferElement moves the next element of fromQueue on this node into
+// toQueue on another node as one distributed transaction (two-phase
+// commit); ErrEmpty when there is nothing to move. RunForwarder loops
+// this.
+func (n *Node) TransferElement(ctx context.Context, fromQueue string, dst *Node, toQueue string) error {
+	return n.transferOne(ctx, fromQueue, dst, toQueue, false)
+}
+
+// RunForwarder drains fromQueue on this node into toQueue on dst, each
+// move one distributed transaction, until ctx ends. This is the paper's
+// availability pattern (Section 1): "if a client enqueues its requests to
+// a local queue, and periodically moves its local requests to the remote
+// input queue of a server process, then the server appears to provide a
+// reliable service to the client even if the client and server nodes are
+// frequently partitioned". Transfer failures (the destination down, a
+// partition) back off and retry; nothing is ever lost or duplicated — the
+// element either moved atomically or stayed.
+func (n *Node) RunForwarder(ctx context.Context, fromQueue string, dst *Node, toQueue string) {
+	for ctx.Err() == nil {
+		err := n.transferOne(ctx, fromQueue, dst, toQueue, true)
+		if err == nil {
+			continue
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+func (n *Node) transferOne(ctx context.Context, fromQueue string, dst *Node, toQueue string, wait bool) error {
+	tSrc := n.repo.Begin()
+	el, err := n.repo.Dequeue(ctx, tSrc, fromQueue, "", queue.DequeueOpts{Wait: wait})
+	if err != nil {
+		tSrc.Abort()
+		return err
+	}
+	tDst := dst.repo.Begin()
+	moved := el
+	moved.EID = 0
+	if _, err := dst.repo.Enqueue(tDst, toQueue, moved, "", nil); err != nil {
+		tSrc.Abort()
+		tDst.Abort()
+		return err
+	}
+	g := n.coord.Begin()
+	g.Enlist(&tpc.LocalBranch{Label: n.repo.Name(), Txn: tSrc})
+	g.Enlist(&tpc.LocalBranch{Label: dst.repo.Name(), Txn: tDst})
+	return g.Commit()
+}
+
+// Crash simulates a node crash (tests and experiments): all volatile state
+// is abandoned; StartNode on the same directory recovers.
+func (n *Node) Crash() {
+	n.repo.Crash()
+	if n.rpcSrv != nil {
+		n.rpcSrv.Close()
+	}
+	n.coord.Close()
+}
+
+// Close checkpoints and shuts the node down.
+func (n *Node) Close() error {
+	if n.rpcSrv != nil {
+		n.rpcSrv.Close()
+	}
+	err := n.repo.Close()
+	if cerr := n.coord.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Dial returns a clerk connection to a remote node.
+func Dial(addr string) QMConn {
+	return qservice.NewClient(rpc.NewClient(addr, nil))
+}

@@ -1,0 +1,334 @@
+package rrq
+
+import (
+	"context"
+	"fmt"
+	"repro/internal/tpc"
+	"testing"
+	"time"
+)
+
+func startTestNode(t *testing.T, dir string, listen bool) *Node {
+	t.Helper()
+	cfg := NodeConfig{Dir: dir, NoFsync: true}
+	if listen {
+		cfg.ListenAddr = "127.0.0.1:0"
+	}
+	n, err := StartNode(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { n.Close() })
+	return n
+}
+
+func TestNodeLocalRoundTrip(t *testing.T) {
+	n := startTestNode(t, t.TempDir(), false)
+	if err := n.CreateQueue(QueueConfig{Name: "req"}); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(ServerConfig{Repo: n.Repo(), Queue: "req", Handler: func(rc *ReqCtx) ([]byte, error) {
+		return append([]byte("pong:"), rc.Request.Body...), nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	go srv.Serve(ctx)
+
+	clerk := NewClerk(n.LocalConn(), ClerkConfig{ClientID: "c", RequestQueue: "req"})
+	if _, err := clerk.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := clerk.Transceive(ctx, "rid-1", []byte("ping"), nil, nil)
+	if err != nil || string(rep.Body) != "pong:ping" {
+		t.Fatalf("reply %+v %v", rep, err)
+	}
+}
+
+func TestNodeRemoteRoundTrip(t *testing.T) {
+	n := startTestNode(t, t.TempDir(), true)
+	if n.Addr() == "" {
+		t.Fatal("no address")
+	}
+	if err := n.CreateQueue(QueueConfig{Name: "req"}); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(ServerConfig{Repo: n.Repo(), Queue: "req", Handler: func(rc *ReqCtx) ([]byte, error) {
+		return []byte("remote ok"), nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	go srv.Serve(ctx)
+
+	clerk := NewClerk(Dial(n.Addr()), ClerkConfig{ClientID: "rc", RequestQueue: "req"})
+	if _, err := clerk.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := clerk.Transceive(ctx, "rid-1", []byte("x"), nil, nil)
+	if err != nil || string(rep.Body) != "remote ok" {
+		t.Fatalf("reply %+v %v", rep, err)
+	}
+}
+
+func TestNodeCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	n, err := StartNode(NodeConfig{Dir: dir, NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.CreateQueue(QueueConfig{Name: "q"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Repo().Enqueue(nil, "q", Element{Body: []byte("survivor")}, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	n.Crash()
+
+	n2 := startTestNode(t, dir, false)
+	d, err := n2.Repo().Depth("q")
+	if err != nil || d != 1 {
+		t.Fatalf("depth after node recovery = %d, %v", d, err)
+	}
+}
+
+func TestTransferElementAcrossNodes(t *testing.T) {
+	a := startTestNode(t, t.TempDir(), false)
+	b := startTestNode(t, t.TempDir(), false)
+	if err := a.CreateQueue(QueueConfig{Name: "outbox"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CreateQueue(QueueConfig{Name: "inbox"}); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		if _, err := a.Repo().Enqueue(nil, "outbox", Element{Body: []byte(fmt.Sprintf("m%d", i))}, "", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The forwarder: drain the local outbox into the remote inbox, each
+	// move a distributed transaction.
+	for i := 0; i < 5; i++ {
+		if err := a.TransferElement(ctx, "outbox", b, "inbox"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d, _ := a.Repo().Depth("outbox"); d != 0 {
+		t.Fatalf("outbox depth %d", d)
+	}
+	if d, _ := b.Repo().Depth("inbox"); d != 5 {
+		t.Fatalf("inbox depth %d", d)
+	}
+	// FIFO preserved across the transfer.
+	e, err := b.Repo().Dequeue(ctx, nil, "inbox", "", DequeueOpts{})
+	if err != nil || string(e.Body) != "m0" {
+		t.Fatalf("first transferred = %q %v", e.Body, err)
+	}
+}
+
+func TestEndToEndAcrossNodesWithForwarder(t *testing.T) {
+	// The Section 1 availability pattern: the client enqueues to a local
+	// queue; a forwarder moves requests to the remote server's input
+	// queue; replies flow back the same way.
+	front := startTestNode(t, t.TempDir(), false)
+	back := startTestNode(t, t.TempDir(), false)
+	for _, q := range []string{"outbox", "reply.c"} {
+		if err := front.CreateQueue(QueueConfig{Name: q}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The back end stages replies in a queue with the same name as the
+	// client's reply queue; the reply forwarder drains it homeward (store
+	// and forward).
+	for _, q := range []string{"req", "reply.c"} {
+		if err := back.CreateQueue(QueueConfig{Name: q}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	// Server on the back end replies into its local replies.out.
+	srv, err := NewServer(ServerConfig{Repo: back.Repo(), Queue: "req", Handler: func(rc *ReqCtx) ([]byte, error) {
+		return []byte("processed " + rc.Request.RID), nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ctx)
+
+	// Forwarders: front.outbox → back.req, back.reply.c → front.reply.c.
+	go front.RunForwarder(ctx, "outbox", back, "req")
+	go back.RunForwarder(ctx, "reply.c", front, "reply.c")
+
+	// The client talks only to its local (front-end) node.
+	clerk := NewClerk(front.LocalConn(), ClerkConfig{ClientID: "c", RequestQueue: "outbox", ReplyQueue: "reply.c"})
+	if _, err := clerk.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := clerk.Send(ctx, "rid-1", []byte("work"), nil); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := clerk.Receive(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rep.Body) != "processed rid-1" {
+		t.Fatalf("reply %q", rep.Body)
+	}
+}
+
+func TestForwarderMasksPartition(t *testing.T) {
+	// §1: "the server appears to provide a reliable service to the client
+	// even if the client and server nodes are frequently partitioned".
+	// While the link is down (no forwarder running), requests accumulate
+	// safely in the local outbox; when it heals, everything flows and the
+	// client's blocking Receive completes as if nothing happened.
+	front := startTestNode(t, t.TempDir(), false)
+	back := startTestNode(t, t.TempDir(), false)
+	for _, q := range []string{"outbox", "reply.c"} {
+		if err := front.CreateQueue(QueueConfig{Name: q}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, q := range []string{"req", "reply.c"} {
+		if err := back.CreateQueue(QueueConfig{Name: q}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	srv, err := NewServer(ServerConfig{Repo: back.Repo(), Queue: "req", Handler: func(rc *ReqCtx) ([]byte, error) {
+		return []byte("ok " + rc.Request.RID), nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ctx)
+
+	clerk := NewClerk(front.LocalConn(), ClerkConfig{ClientID: "c", RequestQueue: "outbox", ReplyQueue: "reply.c"})
+	if _, err := clerk.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Partitioned: send anyway. The Send succeeds against the LOCAL node.
+	if err := clerk.Send(ctx, "rid-1", []byte("during partition"), nil); err != nil {
+		t.Fatalf("send during partition failed: %v", err)
+	}
+	if d, _ := front.Repo().Depth("outbox"); d != 1 {
+		t.Fatalf("outbox depth %d", d)
+	}
+	// Receive blocks in the background; the reply cannot arrive yet.
+	type recvResult struct {
+		rep Reply
+		err error
+	}
+	got := make(chan recvResult, 1)
+	go func() {
+		rep, err := clerk.Receive(ctx, nil)
+		got <- recvResult{rep, err}
+	}()
+	select {
+	case r := <-got:
+		t.Fatalf("reply crossed the partition: %+v %v", r.rep, r.err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	// Heal: start the forwarders.
+	go front.RunForwarder(ctx, "outbox", back, "req")
+	go back.RunForwarder(ctx, "reply.c", front, "reply.c")
+	select {
+	case r := <-got:
+		if r.err != nil || string(r.rep.Body) != "ok rid-1" {
+			t.Fatalf("after heal: %+v %v", r.rep, r.err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("reply never arrived after heal")
+	}
+}
+
+func TestCrossNodeInDoubtResolution(t *testing.T) {
+	// A forwarder's distributed transaction is caught mid-2PC by a crash
+	// of BOTH nodes: the source prepared and the coordinator logged the
+	// commit decision, but the destination (also prepared) never heard it.
+	// On restart, each node resolves its in-doubt branches through a
+	// resolver registry that knows the other node's coordinator.
+	dirA, dirB := t.TempDir(), t.TempDir()
+	a, err := StartNode(NodeConfig{Dir: dirA, NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := StartNode(NodeConfig{Dir: dirB, NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.CreateQueue(QueueConfig{Name: "out"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CreateQueue(QueueConfig{Name: "in"}); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := a.Repo().Enqueue(nil, "out", Element{Body: []byte("m")}, "", nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drive 2PC by hand up to the decision, then crash everything before
+	// phase 2 reaches the participants.
+	tA := a.Repo().Begin()
+	tB := b.Repo().Begin()
+	el, err := a.Repo().Dequeue(ctx, tA, "out", "", DequeueOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	el.EID = 0
+	if _, err := b.Repo().Enqueue(tB, "in", el, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	g := a.Coordinator().Begin()
+	gtid := g.GTID()
+	if err := tA.Prepare(gtid); err != nil {
+		t.Fatal(err)
+	}
+	if err := tB.Prepare(gtid); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Commit(); err != nil { // no branches enlisted: logs the decision only
+		t.Fatal(err)
+	}
+	a.Crash()
+	b.Crash()
+
+	// Restart A first (it owns the coordinator), then B with a registry
+	// that can reach A's coordinator.
+	a2, err := StartNode(NodeConfig{Dir: dirA, NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a2.Close() })
+	reg := tpc.NewRegistry()
+	reg.Add(a2.Coordinator().Name(), a2.Coordinator())
+	b2, err := StartNode(NodeConfig{Dir: dirB, NoFsync: true, Resolver: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b2.Close() })
+
+	// A resolved its in-doubt branch against its own coordinator's
+	// decision log (commit: element consumed from "out"); B resolved via
+	// the registry (commit: element published in "in").
+	if d, _ := a2.Repo().Depth("out"); d != 0 {
+		t.Fatalf("source element resurrected: depth %d", d)
+	}
+	if d, _ := b2.Repo().Depth("in"); d != 1 {
+		t.Fatalf("destination element lost: depth %d", d)
+	}
+	// Without the registry, B's branch would have presumed abort; with it,
+	// the element moved exactly once.
+	e, err := b2.Repo().Dequeue(ctx, nil, "in", "", DequeueOpts{})
+	if err != nil || string(e.Body) != "m" {
+		t.Fatalf("moved element: %q %v", e.Body, err)
+	}
+}

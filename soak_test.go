@@ -1,0 +1,414 @@
+package repro
+
+// The system soak test: one node hosting an echo service, a funds-transfer
+// saga, and a conversational server, serving three concurrent client
+// workloads while the node itself is crash-cycled (full recovery from the
+// write-ahead log each time) and servers are restarted. At the end, every
+// paper guarantee is checked at once: exactly-once execution, at-least-once
+// reply processing, request/reply matching, money conservation across
+// completed and compensated transfers, and conversation-state integrity.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/rrq"
+)
+
+// soakWorld owns the crash-cycled node and rebuilds its servers after every
+// recovery.
+type soakWorld struct {
+	t   *testing.T
+	dir string
+
+	mu   sync.RWMutex
+	node *rrq.Node
+	gen  int // bumped at every recovery
+
+	serveCtx    context.Context
+	serveCancel context.CancelFunc
+}
+
+func (w *soakWorld) current() (*rrq.Node, int) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.node, w.gen
+}
+
+func soakAdjust(rc *rrq.ReqCtx, acct string, delta int) error {
+	v, _, err := rc.Repo.KVGet(rc.Ctx, rc.Txn, "acct", acct, true)
+	if err != nil {
+		return err
+	}
+	n := 0
+	if v != nil {
+		n, _ = strconv.Atoi(string(v))
+	}
+	return rc.Repo.KVSet(rc.Ctx, rc.Txn, "acct", acct, []byte(strconv.Itoa(n+delta)))
+}
+
+func soakSagaSteps() []rrq.SagaStep {
+	step := func(acct string, delta int) rrq.SagaStep {
+		return rrq.SagaStep{
+			Name: acct,
+			Action: func(rc *rrq.ReqCtx) ([]byte, []byte, error) {
+				if err := soakAdjust(rc, acct, delta); err != nil {
+					return nil, nil, err
+				}
+				return rc.Request.Body, nil, nil
+			},
+			Compensate: func(rc *rrq.ReqCtx) ([]byte, []byte, error) {
+				return nil, nil, soakAdjust(rc, acct, -delta)
+			},
+		}
+	}
+	return []rrq.SagaStep{step("alice", -10), step("bob", +10)}
+}
+
+// startServers wires every service onto the current node.
+func (w *soakWorld) startServers(node *rrq.Node) {
+	// Echo service with exactly-once witness, two instances.
+	for i := 0; i < 2; i++ {
+		srv, err := rrq.NewServer(rrq.ServerConfig{
+			Repo: node.Repo(), Queue: "echo", Name: fmt.Sprintf("echo-%d", i),
+			Handler: func(rc *rrq.ReqCtx) ([]byte, error) {
+				v, _, err := rc.Repo.KVGet(rc.Ctx, rc.Txn, "execs", rc.Request.RID, true)
+				if err != nil {
+					return nil, err
+				}
+				n := 0
+				if v != nil {
+					n, _ = strconv.Atoi(string(v))
+				}
+				if err := rc.Repo.KVSet(rc.Ctx, rc.Txn, "execs", rc.Request.RID, []byte(strconv.Itoa(n+1))); err != nil {
+					return nil, err
+				}
+				return append([]byte("echo:"), rc.Request.Body...), nil
+			},
+		})
+		if err != nil {
+			w.t.Error(err)
+			return
+		}
+		go srv.Serve(w.serveCtx)
+	}
+	// The transfer saga.
+	saga, err := rrq.NewSaga(rrq.SagaConfig{Repo: node.Repo(), Name: "xfer", Steps: soakSagaSteps()})
+	if err != nil {
+		w.t.Error(err)
+		return
+	}
+	go saga.Serve(w.serveCtx)
+	// The conversational seat server.
+	go rrq.ServeConversational(w.serveCtx, rrq.ConvServerConfig{
+		Repo: node.Repo(), Queue: "conv",
+		Handler: func(rc *rrq.ReqCtx, state, input []byte, round int) ([]byte, []byte, bool, error) {
+			switch round {
+			case 0:
+				return []byte("offer:" + string(input)), []byte("pick a seat"), false, nil
+			case 1:
+				newState := append(state, []byte("|"+string(input))...)
+				return newState, []byte("confirm?"), false, nil
+			default:
+				base, _, _ := strings.Cut(rc.Request.RID, "#")
+				if err := rc.Repo.KVSet(rc.Ctx, rc.Txn, "bookings", base, state); err != nil {
+					return nil, nil, false, err
+				}
+				return nil, append([]byte("booked:"), state...), true, nil
+			}
+		},
+	})
+}
+
+// crashCycle crashes the node and recovers it.
+func (w *soakWorld) crashCycle() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.serveCancel()
+	w.node.Crash()
+	node, err := rrq.StartNode(rrq.NodeConfig{Dir: w.dir, NoFsync: true})
+	if err != nil {
+		w.t.Errorf("recovery: %v", err)
+		return
+	}
+	w.node = node
+	w.gen++
+	w.serveCtx, w.serveCancel = context.WithCancel(context.Background())
+	w.startServers(node)
+}
+
+func TestSystemSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	dir := t.TempDir()
+	node, err := rrq.StartNode(rrq.NodeConfig{Dir: dir, NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{"echo", "conv"} {
+		if err := node.CreateQueue(rrq.QueueConfig{Name: q}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx := context.Background()
+	if err := node.Repo().KVSet(ctx, nil, "acct", "alice", []byte("1000")); err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Repo().KVSet(ctx, nil, "acct", "bob", []byte("0")); err != nil {
+		t.Fatal(err)
+	}
+	// The saga's queues must exist before clients send.
+	if _, err := rrq.NewSaga(rrq.SagaConfig{Repo: node.Repo(), Name: "xfer", Steps: soakSagaSteps()}); err != nil {
+		t.Fatal(err)
+	}
+
+	w := &soakWorld{t: t, dir: dir, node: node, gen: 0}
+	w.serveCtx, w.serveCancel = context.WithCancel(ctx)
+	w.startServers(node)
+	t.Cleanup(func() {
+		w.mu.Lock()
+		defer w.mu.Unlock()
+		w.serveCancel()
+		w.node.Close()
+	})
+
+	// The crash gremlin: 4 full node crash/recover cycles while the
+	// workloads run.
+	gremlinDone := make(chan struct{})
+	go func() {
+		defer close(gremlinDone)
+		rng := rand.New(rand.NewSource(1990))
+		for k := 0; k < 4; k++ {
+			time.Sleep(time.Duration(80+rng.Intn(120)) * time.Millisecond)
+			w.crashCycle()
+		}
+	}()
+
+	var wg sync.WaitGroup
+	deadline := time.Now().Add(90 * time.Second)
+
+	// Workload A: sequential echo client (the fig. 2 program), retried
+	// across node crashes.
+	const echoTotal = 40
+	echoProcessed := make(map[int]int)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			n, _ := w.current()
+			sc := &rrq.SequentialClient{
+				QM:    n.LocalConn(),
+				Cfg:   rrq.ClerkConfig{ClientID: "soak-echo", RequestQueue: "echo", ReceiveWait: 250 * time.Millisecond},
+				Total: echoTotal,
+				Body:  func(i int) []byte { return []byte(fmt.Sprintf("w%d", i)) },
+				ProcessReply: func(i int, rep rrq.Reply) {
+					echoProcessed[i]++
+				},
+			}
+			if err := sc.Run(ctx); err == nil {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Error("echo workload never completed")
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+
+	// Workload B: transfers through the saga; every reply is ok or
+	// canceled; conservation must hold either way.
+	const transfers = 15
+	okTransfers := 0
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		i := 0
+		for i < transfers {
+			if time.Now().After(deadline) {
+				t.Error("transfer workload never completed")
+				return
+			}
+			n, _ := w.current()
+			err := func() error {
+				clerk := rrq.NewClerk(n.LocalConn(), rrq.ClerkConfig{
+					ClientID: "soak-xfer", RequestQueue: "xfer.s0", ReceiveWait: 250 * time.Millisecond,
+				})
+				info, err := clerk.Connect(ctx)
+				if err != nil {
+					return err
+				}
+				if info.Outstanding {
+					rep, err := clerk.Receive(ctx, nil)
+					if err != nil {
+						return err
+					}
+					if rep.Status == rrq.StatusOK {
+						okTransfers++
+					}
+					fmt.Sscanf(info.SRID, "xfer-%d", &i)
+					i++
+				}
+				for ; i < transfers; i++ {
+					rid := fmt.Sprintf("xfer-%06d", i)
+					if err := clerk.Send(ctx, rid, []byte("move"), nil); err != nil {
+						return err
+					}
+					rep, err := clerk.Receive(ctx, nil)
+					if err != nil {
+						return err
+					}
+					if rep.RID != rid {
+						t.Errorf("transfer reply mismatch: %q for %q", rep.RID, rid)
+					}
+					if rep.Status == rrq.StatusOK {
+						okTransfers++
+					}
+				}
+				return nil
+			}()
+			if err == nil {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+
+	// Workload C: conversations, resumed across crashes.
+	const convs = 5
+	booked := 0
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c := 0
+		for c < convs {
+			if time.Now().After(deadline) {
+				t.Error("conversation workload never completed")
+				return
+			}
+			n, _ := w.current()
+			err := func() error {
+				clerk := rrq.NewClerk(n.LocalConn(), rrq.ClerkConfig{
+					ClientID: "soak-conv", RequestQueue: "conv", ReceiveWait: 250 * time.Millisecond,
+				})
+				info, err := clerk.Connect(ctx)
+				if err != nil {
+					return err
+				}
+				var sess *rrq.InteractiveSession
+				if info.Outstanding {
+					sess = clerk.ResumeInteractive(info.SRID)
+					fmt.Sscanf(info.SRID, "conv-%d", &c)
+				} else {
+					sess = clerk.Interactive(fmt.Sprintf("conv-%06d", c))
+					if err := sess.Start(ctx, []byte("economy")); err != nil {
+						return err
+					}
+				}
+				for {
+					rep, done, err := sess.Receive(ctx, nil)
+					if err != nil {
+						return err
+					}
+					if done {
+						if strings.HasPrefix(string(rep.Body), "booked:") {
+							booked++
+						}
+						c++
+						if c >= convs {
+							return nil
+						}
+						sess = clerk.Interactive(fmt.Sprintf("conv-%06d", c))
+						if err := sess.Start(ctx, []byte("economy")); err != nil {
+							return err
+						}
+						continue
+					}
+					if strings.Contains(string(rep.Body), "pick") {
+						if err := sess.SendInput(ctx, []byte("12C")); err != nil {
+							return err
+						}
+					} else {
+						if err := sess.SendInput(ctx, []byte("yes")); err != nil {
+							return err
+						}
+					}
+				}
+			}()
+			if err == nil {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+
+	wg.Wait()
+	<-gremlinDone
+	if t.Failed() {
+		return
+	}
+
+	// --- the verdicts ---
+	final, gen := w.current()
+	if gen == 0 {
+		t.Fatal("gremlin never crashed the node; soak is vacuous")
+	}
+	t.Logf("survived %d node crash/recovery cycles; %d/%d transfers completed (rest canceled/none)", gen, okTransfers, transfers)
+
+	// Exactly-once echo execution, at-least-once reply processing.
+	for i := 0; i < echoTotal; i++ {
+		rid := fmt.Sprintf("rid-%06d", i)
+		v, _, err := final.Repo().KVGet(ctx, nil, "execs", rid, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, _ := strconv.Atoi(string(v))
+		if n != 1 {
+			t.Errorf("echo %s executed %d times", rid, n)
+		}
+		if echoProcessed[i] < 1 {
+			t.Errorf("echo reply %d processed %d times", i, echoProcessed[i])
+		}
+	}
+
+	// Conservation: alice + bob == 1000 always; completed transfers moved
+	// exactly 10 each.
+	getBal := func(acct string) int {
+		v, _, _ := final.Repo().KVGet(ctx, nil, "acct", acct, false)
+		n, _ := strconv.Atoi(string(v))
+		return n
+	}
+	alice, bob := getBal("alice"), getBal("bob")
+	if alice+bob != 1000 {
+		t.Errorf("money created or destroyed: alice=%d bob=%d", alice, bob)
+	}
+	if bob != okTransfers*10 {
+		t.Errorf("bob=%d, want %d (10 per completed transfer)", bob, okTransfers*10)
+	}
+
+	// Conversations: every booked conversation has a durable record with
+	// the chosen seat.
+	bookedRecords := 0
+	for c := 0; c < convs; c++ {
+		v, ok, _ := final.Repo().KVGet(ctx, nil, "bookings", fmt.Sprintf("conv-%06d", c), false)
+		if ok {
+			bookedRecords++
+			if !strings.Contains(string(v), "12C") {
+				t.Errorf("booking %d lost its seat: %q", c, v)
+			}
+		}
+	}
+	if bookedRecords != booked {
+		t.Errorf("booked replies %d but %d durable records", booked, bookedRecords)
+	}
+	if booked != convs {
+		t.Errorf("booked %d of %d conversations", booked, convs)
+	}
+}
