@@ -11,7 +11,7 @@ build:
 	$(GO) vet ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on -count=1 ./...
 
 race:
 	$(GO) test -race ./...
@@ -39,7 +39,10 @@ fuzz:
 	$(GO) test ./internal/enc -run xxx -fuzz '^FuzzRoundTrip$$' -fuzztime 20s
 	$(GO) test ./internal/queue -run xxx -fuzz '^FuzzElementDecode$$' -fuzztime 20s
 	$(GO) test ./internal/queue -run xxx -fuzz '^FuzzRedoNeverPanics$$' -fuzztime 20s
+	$(GO) test ./internal/rpc -run xxx -fuzz '^FuzzReadFrame$$' -fuzztime 20s
+	$(GO) test ./internal/rpc -run xxx -fuzz '^FuzzFrameRoundTrip$$' -fuzztime 20s
 	$(GO) test ./internal/core -run xxx -fuzz '^FuzzParseRequestReply$$' -fuzztime 20s
+	$(GO) test ./internal/core -run xxx -fuzz '^FuzzParseForeignElement$$' -fuzztime 20s
 
 clean:
 	$(GO) clean ./...

@@ -4,6 +4,8 @@
 //	qmctl -addr 127.0.0.1:7070 enqueue -queue work -body 'hello' -priority 5
 //	qmctl -addr 127.0.0.1:7070 dequeue -queue work -wait 5s
 //	qmctl -addr 127.0.0.1:7070 depth -queue work
+//	qmctl -addr 127.0.0.1:7070 stats                 # full metrics registry
+//	qmctl -addr 127.0.0.1:7070 stats -queue work     # one queue's counters
 //	qmctl -addr 127.0.0.1:7070 read -eid 42
 //	qmctl -addr 127.0.0.1:7070 kill -eid 42
 package main
@@ -13,8 +15,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/queue"
 	"repro/internal/queue/qservice"
 	"repro/internal/rpc"
@@ -96,8 +100,16 @@ func main() {
 		}
 	case "stats":
 		fs := flag.NewFlagSet("stats", flag.ExitOnError)
-		name := fs.String("queue", "", "queue name")
+		name := fs.String("queue", "", "queue name (empty: full metrics registry)")
 		fs.Parse(rest)
+		if *name == "" {
+			var snap obs.Snapshot
+			snap, err = cl.Metrics(ctx)
+			if err == nil {
+				printSnapshot(snap)
+			}
+			break
+		}
 		var st queue.QueueStats
 		st, err = cl.Stats(ctx, *name)
 		if err == nil {
@@ -129,6 +141,37 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "qmctl: %s: %v\n", cmd, err)
 		os.Exit(1)
+	}
+}
+
+// printSnapshot renders the whole registry: counters and gauges as
+// name=value lines, histograms as count/mean/median/p99 summaries.
+func printSnapshot(s obs.Snapshot) {
+	var names []string
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("%-40s %d\n", n, s.Counters[n])
+	}
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("%-40s %d\n", n, s.Gauges[n])
+	}
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := s.Histograms[n]
+		fmt.Printf("%-40s count=%d mean=%.0f p50=%d p99=%d\n",
+			n, h.Count, h.Mean(), h.Quantile(0.5), h.Quantile(0.99))
 	}
 }
 

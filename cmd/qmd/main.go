@@ -6,6 +6,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -21,6 +22,7 @@ func main() {
 	var (
 		dir      = flag.String("dir", "", "durable state directory (required)")
 		listen   = flag.String("listen", "127.0.0.1:7070", "RPC listen address")
+		admin    = flag.String("admin", "", "admin HTTP listen address (GET /metrics serves the metrics registry as JSON)")
 		name     = flag.String("name", "", "node name (default: basename of -dir)")
 		queues   = flag.String("queues", "", "comma-separated queues to create at startup")
 		snapshot = flag.Int("snapshot-every", 10000, "checkpoint after this many logged operations")
@@ -38,6 +40,7 @@ func main() {
 		Dir:           *dir,
 		Name:          *name,
 		ListenAddr:    *listen,
+		AdminAddr:     *admin,
 		NoFsync:       *noFsync,
 		SnapshotEvery: *snapshot,
 		GroupCommit:   *groupCmt,
@@ -50,11 +53,14 @@ func main() {
 		if q == "" {
 			continue
 		}
-		if err := node.CreateQueue(rrq.QueueConfig{Name: q}); err != nil && !strings.Contains(err.Error(), "exists") {
+		if err := node.CreateQueue(rrq.QueueConfig{Name: q}); err != nil && !errors.Is(err, rrq.ErrQueueExists) {
 			log.Fatalf("qmd: create queue %s: %v", q, err)
 		}
 	}
 	log.Printf("qmd: node %q serving on %s (state in %s)", node.Repo().Name(), node.Addr(), *dir)
+	if a := node.AdminAddr(); a != "" {
+		log.Printf("qmd: admin endpoint on http://%s/metrics", a)
+	}
 	for _, q := range node.Repo().Queues() {
 		d, _ := node.Repo().Depth(q)
 		log.Printf("qmd: queue %-24s depth %d", q, d)

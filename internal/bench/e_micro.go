@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/queue"
 	"repro/internal/tpc"
 )
@@ -171,13 +172,14 @@ func runE8(cfg Config) (*Table, error) {
 			name = "enqueue ×8 writers, group commit"
 		}
 		gOps := n / 4
-		elapsed, syncs, err := e8GroupCommitArm(cfg, group, 8, gOps)
+		elapsed, syncs, batchMean, err := e8GroupCommitArm(cfg, group, 8, gOps)
 		if err != nil {
 			return nil, err
 		}
 		t.AddRow(name, strconv.Itoa(gOps), fmt.Sprintf("%.3fs", elapsed),
 			fmtRate(gOps, elapsed), fmt.Sprintf("%.1f", elapsed*1e6/float64(gOps)))
-		t.Notef("%s used %d physical fsyncs for %d commits", name, syncs, gOps)
+		t.Notef("%s used %d physical fsyncs for %d commits (%.2f fsyncs/commit, mean batch %.1f records)",
+			name, syncs, gOps, float64(syncs)/float64(gOps), batchMean)
 	}
 
 	if !cfg.Fsync {
@@ -188,23 +190,25 @@ func runE8(cfg Config) (*Table, error) {
 }
 
 // e8GroupCommitArm measures concurrent durable enqueues with and without
-// group commit, fsync enabled.
-func e8GroupCommitArm(cfg Config, group bool, writers, total int) (elapsedSec float64, syncs uint64, err error) {
+// group commit, fsync enabled. Alongside the timing it reports metric
+// deltas from the repository's registry: physical fsyncs and the mean
+// group-commit batch size (records made durable per fsync).
+func e8GroupCommitArm(cfg Config, group bool, writers, total int) (elapsedSec float64, syncs uint64, batchMean float64, err error) {
 	dir, err := cfg.tempDir("e8gc-*")
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	defer os.RemoveAll(dir)
 	repo, _, err := queue.Open(dir, queue.Options{GroupCommit: group})
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	defer repo.Close()
 	if err := repo.CreateQueue(queue.QueueConfig{Name: "q"}); err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	body := make([]byte, 128)
-	baseSyncs := repo.Log().Stats().Syncs
+	before := repo.Metrics().Snapshot()
 	start := time.Now()
 	errCh := make(chan error, writers)
 	for w := 0; w < writers; w++ {
@@ -220,11 +224,17 @@ func e8GroupCommitArm(cfg Config, group bool, writers, total int) (elapsedSec fl
 	}
 	for w := 0; w < writers; w++ {
 		if err := <-errCh; err != nil {
-			return 0, 0, err
+			return 0, 0, 0, err
 		}
 	}
 	elapsed := time.Since(start).Seconds()
-	return elapsed, repo.Log().Stats().Syncs - baseSyncs, nil
+	after := repo.Metrics().Snapshot()
+	syncs = obs.CounterDelta(before, after, "wal.fsyncs")
+	hb, ha := before.Histograms["wal.group_commit_batch"], after.Histograms["wal.group_commit_batch"]
+	if dc := ha.Count - hb.Count; dc > 0 {
+		batchMean = float64(ha.Sum-hb.Sum) / float64(dc)
+	}
+	return elapsed, syncs, batchMean, nil
 }
 
 // runE12: the cost of spanning two repositories with one server

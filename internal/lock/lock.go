@@ -18,8 +18,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Mode is a lock mode.
@@ -64,6 +65,7 @@ type Stats struct {
 	Acquires  uint64
 	Waits     uint64 // acquires that had to block
 	Deadlocks uint64
+	Timeouts  uint64 // waits abandoned because the context ended
 	WaitNanos uint64 // total time spent blocked
 }
 
@@ -73,10 +75,13 @@ type Manager struct {
 	locks map[string]*lockState
 	held  map[uint64]map[string]Mode
 
-	acquires  atomic.Uint64
-	waits     atomic.Uint64
-	deadlocks atomic.Uint64
-	waitNanos atomic.Uint64
+	// Instruments (lock.acquires, lock.waits, lock.deadlocks,
+	// lock.timeouts, lock.wait_ns), resolved once at construction.
+	acquires  *obs.Counter
+	waits     *obs.Counter
+	deadlocks *obs.Counter
+	timeouts  *obs.Counter
+	waitNanos *obs.Histogram
 }
 
 type lockState struct {
@@ -90,21 +95,35 @@ type waiter struct {
 	ready chan error // buffered(1); receives nil on grant or an error
 }
 
-// NewManager returns an empty lock manager.
-func NewManager() *Manager {
+// NewManager returns an empty lock manager with a private metrics
+// registry.
+func NewManager() *Manager { return NewManagerWith(nil) }
+
+// NewManagerWith returns an empty lock manager whose instruments live in
+// reg (nil gives it a private registry).
+func NewManagerWith(reg *obs.Registry) *Manager {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	return &Manager{
-		locks: make(map[string]*lockState),
-		held:  make(map[uint64]map[string]Mode),
+		locks:     make(map[string]*lockState),
+		held:      make(map[uint64]map[string]Mode),
+		acquires:  reg.Counter("lock.acquires"),
+		waits:     reg.Counter("lock.waits"),
+		deadlocks: reg.Counter("lock.deadlocks"),
+		timeouts:  reg.Counter("lock.timeouts"),
+		waitNanos: reg.Histogram("lock.wait_ns"),
 	}
 }
 
 // Stats returns a snapshot of the cumulative counters.
 func (m *Manager) Stats() Stats {
 	return Stats{
-		Acquires:  m.acquires.Load(),
-		Waits:     m.waits.Load(),
-		Deadlocks: m.deadlocks.Load(),
-		WaitNanos: m.waitNanos.Load(),
+		Acquires:  m.acquires.Value(),
+		Waits:     m.waits.Value(),
+		Deadlocks: m.deadlocks.Value(),
+		Timeouts:  m.timeouts.Value(),
+		WaitNanos: m.waitNanos.Sum(),
 	}
 }
 
@@ -114,7 +133,7 @@ func (m *Manager) Stats() Stats {
 // at least as strong; a Shared-to-Exclusive upgrade is granted immediately
 // when owner is the sole holder and otherwise waits.
 func (m *Manager) Acquire(ctx context.Context, owner uint64, resource string, mode Mode) error {
-	m.acquires.Add(1)
+	m.acquires.Inc()
 	m.mu.Lock()
 	ls := m.lockState(resource)
 
@@ -144,20 +163,20 @@ func (m *Manager) Acquire(ctx context.Context, owner uint64, resource string, mo
 	ls.queue = append(ls.queue, w)
 	if m.wouldDeadlockLocked(owner) {
 		m.removeWaiterLocked(ls, w)
-		m.deadlocks.Add(1)
+		m.deadlocks.Inc()
 		m.mu.Unlock()
 		return fmt.Errorf("%w: owner %d on %s", ErrDeadlock, owner, resource)
 	}
-	m.waits.Add(1)
+	m.waits.Inc()
 	m.mu.Unlock()
 
 	start := time.Now()
 	select {
 	case err := <-w.ready:
-		m.waitNanos.Add(uint64(time.Since(start).Nanoseconds()))
+		m.waitNanos.Observe(time.Since(start).Nanoseconds())
 		return err
 	case <-ctx.Done():
-		m.waitNanos.Add(uint64(time.Since(start).Nanoseconds()))
+		m.waitNanos.Observe(time.Since(start).Nanoseconds())
 		m.mu.Lock()
 		// We may have been granted between ctx firing and taking the lock.
 		select {
@@ -168,6 +187,7 @@ func (m *Manager) Acquire(ctx context.Context, owner uint64, resource string, mo
 		}
 		m.removeWaiterLocked(ls, w)
 		m.promoteLocked(ls, resource)
+		m.timeouts.Inc()
 		m.mu.Unlock()
 		return ctx.Err()
 	}
@@ -177,7 +197,7 @@ func (m *Manager) Acquire(ctx context.Context, owner uint64, resource string, mo
 // queues. Waiters ahead of the request do not block a TryAcquire — the
 // skip-locked scan wants "is it free right now", not fairness.
 func (m *Manager) TryAcquire(owner uint64, resource string, mode Mode) error {
-	m.acquires.Add(1)
+	m.acquires.Inc()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	ls := m.lockState(resource)

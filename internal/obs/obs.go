@@ -1,0 +1,305 @@
+// Package obs is the observability substrate: zero-dependency, race-safe
+// counters, gauges, and histograms behind a named Registry.
+//
+// The paper's operational claims (queue-manager overhead, group-commit
+// amortization, lock contention, 2PC cost — §§2, 6, 8, 10) are about hot
+// paths, so the instruments are built to live on hot paths: a Counter or
+// Gauge is one atomic add, a Histogram observation is two atomic adds plus
+// one atomic add into a fixed power-of-two bucket — no locks, no
+// allocation, no map lookups. Registry lookups (which do take a mutex and
+// allocate) happen once at wiring time; callers hold the returned
+// instrument pointers.
+//
+// Snapshot() renders the whole registry deterministically (names sorted),
+// which is what the metrics-invariant tests, the qmd admin endpoint, and
+// qmctl stats consume.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous signed value (e.g. a queue depth).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds delta (negative to decrement).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// histBuckets is the fixed bucket count: bucket i holds observations v
+// with bits.Len64(v) == i, i.e. exponential base-2 buckets [2^(i-1), 2^i).
+// Bucket 0 holds v == 0. 65 buckets cover the entire uint64 range.
+const histBuckets = 65
+
+// Histogram is a fixed-bucket exponential (base-2) histogram. Observe is
+// lock-free: bucket selection is a bit-length computation, recording is
+// three atomic adds. Negative observations clamp to zero.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v int64) {
+	u := uint64(v)
+	if v < 0 {
+		u = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(u)
+	h.buckets[bits.Len64(u)].Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() uint64 { return h.sum.Load() }
+
+// Bucket is one non-empty histogram bucket in a snapshot. Le is the
+// bucket's inclusive upper bound (2^i - 1); Count is the observations in
+// (previous Le, Le].
+type Bucket struct {
+	Le    uint64 `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// HistogramSnapshot is a histogram's state at one instant.
+type HistogramSnapshot struct {
+	Count   uint64   `json:"count"`
+	Sum     uint64   `json:"sum"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Mean returns the average observation (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile returns an upper bound on the q-quantile (0 < q <= 1) from the
+// bucket boundaries; exact values are not retained, so the answer is the
+// upper edge of the bucket containing the quantile.
+func (s HistogramSnapshot) Quantile(q float64) uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(s.Count))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for _, b := range s.Buckets {
+		seen += b.Count
+		if seen >= rank {
+			return b.Le
+		}
+	}
+	return s.Buckets[len(s.Buckets)-1].Le
+}
+
+// snapshot captures the histogram. Concurrent observations may tear
+// between count/sum/buckets; each individual value is still a valid
+// point-in-time atomic read, which is all the consumers need.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		var le uint64
+		if i == 0 {
+			le = 0
+		} else if i >= 64 {
+			le = ^uint64(0)
+		} else {
+			le = 1<<uint(i) - 1
+		}
+		s.Buckets = append(s.Buckets, Bucket{Le: le, Count: n})
+	}
+	return s
+}
+
+// Registry is a named collection of instruments. Lookups are get-or-create
+// and safe for concurrent use; a name identifies exactly one instrument,
+// and re-looking-up a name returns the same instrument. Kinds share one
+// namespace: registering "x" as a counter and again as a gauge panics,
+// which catches wiring mistakes at startup rather than corrupting data.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	kinds      map[string]string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+		kinds:      make(map[string]string),
+	}
+}
+
+// Name composes a metric name from a base and label pairs:
+// Name("queue.enqueues", "queue", "work") == `queue.enqueues{queue=work}`.
+// Labels are sorted by key so the same label set always yields the same
+// name. Panics on an odd number of label arguments (a wiring bug).
+func Name(base string, labels ...string) string {
+	if len(labels) == 0 {
+		return base
+	}
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("obs: odd label list for %s: %v", base, labels))
+	}
+	pairs := make([]string, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		pairs = append(pairs, labels[i]+"="+labels[i+1])
+	}
+	sort.Strings(pairs)
+	return base + "{" + strings.Join(pairs, ",") + "}"
+}
+
+func (r *Registry) checkKind(name, kind string) {
+	if prev, ok := r.kinds[name]; ok && prev != kind {
+		panic(fmt.Sprintf("obs: %s already registered as %s, requested as %s", name, prev, kind))
+	}
+	r.kinds[name] = kind
+}
+
+// Counter returns the counter registered under Name(base, labels...),
+// creating it on first use.
+func (r *Registry) Counter(base string, labels ...string) *Counter {
+	name := Name(base, labels...)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checkKind(name, "counter")
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under Name(base, labels...), creating
+// it on first use.
+func (r *Registry) Gauge(base string, labels ...string) *Gauge {
+	name := Name(base, labels...)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checkKind(name, "gauge")
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under Name(base, labels...),
+// creating it on first use.
+func (r *Registry) Histogram(base string, labels ...string) *Histogram {
+	name := Name(base, labels...)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checkKind(name, "histogram")
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time copy of a registry. Map keys are full metric
+// names (base plus rendered labels); encoding/json emits map keys sorted,
+// so the JSON form is deterministic for a given state.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures every registered instrument.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]uint64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.histograms)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		s.Histograms[name] = h.snapshot()
+	}
+	return s
+}
+
+// MarshalJSON renders the snapshot (deterministically; see Snapshot).
+func (r *Registry) MarshalJSON() ([]byte, error) {
+	return json.Marshal(r.Snapshot())
+}
+
+// CounterDelta returns after minus before for a counter name, tolerating
+// absence in either snapshot (an absent counter reads 0). Experiment
+// tables use it to report why a configuration wins, not just that it does.
+func CounterDelta(before, after Snapshot, name string) uint64 {
+	return after.Counters[name] - before.Counters[name]
+}
+
+// SortedNames returns every metric name in the snapshot, sorted — the
+// deterministic iteration order for rendering.
+func (s Snapshot) SortedNames() []string {
+	names := make([]string, 0, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

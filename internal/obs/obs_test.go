@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("c") != c {
+		t.Fatal("second lookup returned a different counter")
+	}
+	g := r.Gauge("g")
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h")
+	for _, v := range []int64{0, 1, 2, 3, 4, 100, 1 << 40, -5} {
+		h.Observe(v)
+	}
+	s := r.Snapshot().Histograms["h"]
+	if s.Count != 8 {
+		t.Fatalf("count = %d, want 8", s.Count)
+	}
+	wantSum := uint64(0 + 1 + 2 + 3 + 4 + 100 + 1<<40 + 0)
+	if s.Sum != wantSum {
+		t.Fatalf("sum = %d, want %d", s.Sum, wantSum)
+	}
+	var n uint64
+	for _, b := range s.Buckets {
+		n += b.Count
+	}
+	if n != s.Count {
+		t.Fatalf("bucket counts sum to %d, want %d", n, s.Count)
+	}
+	// 0 and -5 land in the zero bucket.
+	if s.Buckets[0].Le != 0 || s.Buckets[0].Count != 2 {
+		t.Fatalf("zero bucket = %+v", s.Buckets[0])
+	}
+	// The quantile upper bound must cover the largest observation.
+	if q := s.Quantile(1.0); q < 1<<40 {
+		t.Fatalf("p100 = %d, want >= 2^40", q)
+	}
+	if m := s.Mean(); m <= 0 {
+		t.Fatalf("mean = %f, want > 0", m)
+	}
+}
+
+func TestLabeledNames(t *testing.T) {
+	if got := Name("queue.depth", "queue", "work"); got != "queue.depth{queue=work}" {
+		t.Fatalf("Name = %q", got)
+	}
+	// Label order must not matter.
+	a := Name("m", "b", "2", "a", "1")
+	b := Name("m", "a", "1", "b", "2")
+	if a != b {
+		t.Fatalf("label order changed name: %q vs %q", a, b)
+	}
+	r := NewRegistry()
+	if r.Counter("queue.enqueues", "queue", "x") == r.Counter("queue.enqueues", "queue", "y") {
+		t.Fatal("distinct labels shared an instrument")
+	}
+}
+
+func TestKindCollisionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind collision")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("x")
+	r.Gauge("x")
+}
+
+func TestSnapshotJSONDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b").Inc()
+	r.Counter("a").Add(2)
+	r.Gauge("g").Set(-1)
+	r.Histogram("h").Observe(3)
+	j1, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(j1) != string(j2) {
+		t.Fatalf("registry and snapshot JSON differ:\n%s\n%s", j1, j2)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(j1, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["a"] != 2 || back.Counters["b"] != 1 || back.Gauges["g"] != -1 {
+		t.Fatalf("roundtrip lost values: %+v", back)
+	}
+	if back.Histograms["h"].Count != 1 || back.Histograms["h"].Sum != 3 {
+		t.Fatalf("roundtrip lost histogram: %+v", back.Histograms["h"])
+	}
+}
+
+func TestCounterDelta(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x")
+	before := r.Snapshot()
+	c.Add(7)
+	after := r.Snapshot()
+	if d := CounterDelta(before, after, "x"); d != 7 {
+		t.Fatalf("delta = %d, want 7", d)
+	}
+	if d := CounterDelta(before, after, "absent"); d != 0 {
+		t.Fatalf("absent delta = %d, want 0", d)
+	}
+}
+
+// TestConcurrent hammers one registry from many goroutines; run under
+// -race this is the package's thread-safety proof.
+func TestConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("shared")
+			g := r.Gauge("depth")
+			h := r.Histogram("lat")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(int64(i))
+				if i%100 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Counters["shared"] != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", s.Counters["shared"], workers*perWorker)
+	}
+	if s.Gauges["depth"] != 0 {
+		t.Fatalf("gauge = %d, want 0", s.Gauges["depth"])
+	}
+	if s.Histograms["lat"].Count != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", s.Histograms["lat"].Count, workers*perWorker)
+	}
+}

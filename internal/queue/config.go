@@ -10,8 +10,12 @@ import (
 var (
 	// ErrNoQueue reports an operation on a queue that does not exist.
 	ErrNoQueue = errors.New("queue: no such queue")
-	// ErrExists reports creation of a queue that already exists.
-	ErrExists = errors.New("queue: queue exists")
+	// ErrQueueExists reports creation of a queue that already exists.
+	// Callers match it with errors.Is rather than inspecting the message.
+	ErrQueueExists = errors.New("queue: queue exists")
+	// ErrExists is the historical name for ErrQueueExists, kept so
+	// existing errors.Is call sites continue to match.
+	ErrExists = ErrQueueExists
 	// ErrEmpty reports a non-waiting dequeue on a queue with no available
 	// element (strict-FIFO dequeues also report it when the head element is
 	// held by an uncommitted transaction).

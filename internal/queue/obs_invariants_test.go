@@ -1,0 +1,278 @@
+package queue
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// These tests check the metrics subsystem against conservation laws the
+// repository must obey: counters are not decorative — they are claims
+// about what the system did, and the laws cross-check them against the
+// recovered state across crash/recovery cycles.
+//
+// The baseline for each cycle is taken immediately after Open, because
+// recovery replay itself bumps the operation counters (replayed enqueues
+// count as enqueues); per-cycle deltas therefore contain only new work.
+
+// obsReopen crashes r and reopens it with group commit and the same
+// registry discipline the test started with (a fresh private registry per
+// incarnation, like a restarted process).
+func obsReopen(t *testing.T, r *Repository, dir string) *Repository {
+	t.Helper()
+	r.Crash()
+	r2, inDoubt, err := Open(dir, Options{NoFsync: true, GroupCommit: true})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if len(inDoubt) != 0 {
+		t.Fatalf("unexpected in-doubt txns on reopen: %d", len(inDoubt))
+	}
+	t.Cleanup(func() { r2.Close() })
+	return r2
+}
+
+// gaugeOf reads one gauge from a snapshot (0 when absent).
+func gaugeOf(s obs.Snapshot, name string, labels ...string) int64 {
+	return s.Gauges[obs.Name(name, labels...)]
+}
+
+func counterOf(s obs.Snapshot, name string, labels ...string) uint64 {
+	return s.Counters[obs.Name(name, labels...)]
+}
+
+// runObsWorkload drives workers through randomized transactional
+// enqueue/dequeue work (roughly half the transactions abort) and returns
+// when every worker has finished, so no transactions are in flight.
+func runObsWorkload(t *testing.T, r *Repository, qnames []string, seed int64, workers, opsPerWorker int) {
+	t.Helper()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)))
+			for i := 0; i < opsPerWorker; i++ {
+				q := qnames[rng.Intn(len(qnames))]
+				tx := r.Begin()
+				if _, err := r.Enqueue(tx, q, Element{Body: []byte(fmt.Sprintf("w%d-%d", w, i))}, "", nil); err != nil {
+					t.Errorf("enqueue: %v", err)
+					tx.Abort()
+					return
+				}
+				if rng.Intn(2) == 0 {
+					_, err := r.Dequeue(context.Background(), tx, q, "", DequeueOpts{})
+					if err != nil && !errors.Is(err, ErrEmpty) {
+						t.Errorf("dequeue: %v", err)
+						tx.Abort()
+						return
+					}
+				}
+				if rng.Intn(4) == 0 {
+					if err := tx.Abort(); err != nil {
+						t.Errorf("abort: %v", err)
+						return
+					}
+				} else if err := tx.Commit(); err != nil {
+					t.Errorf("commit: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestObsConservationAcrossRecovery drives a concurrent transactional
+// workload through several crash/recovery cycles and asserts, per cycle
+// and cumulatively:
+//
+//	txn.begun == txn.committed + txn.aborted + txn.active   (active == 0 at rest)
+//	Σ (enqueues − dequeues) deltas across cycles == final visible depth
+//	queue.depth gauge == QueueStats.Depth after every cycle and recovery
+//	wal.fsyncs ≤ wal.appends under group commit
+func TestObsConservationAcrossRecovery(t *testing.T) {
+	dir := t.TempDir()
+	qnames := []string{"a", "b"}
+	r, inDoubt, err := Open(dir, Options{NoFsync: true, GroupCommit: true})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if len(inDoubt) != 0 {
+		t.Fatalf("in-doubt on fresh open: %d", len(inDoubt))
+	}
+	t.Cleanup(func() { r.Close() })
+	for _, q := range qnames {
+		mustCreate(t, r, QueueConfig{Name: q})
+	}
+
+	const cycles = 3
+	netFlow := make(map[string]int64) // Σ per-cycle (Δenqueues − Δdequeues)
+	for cycle := 0; cycle < cycles; cycle++ {
+		base := r.Metrics().Snapshot()
+
+		// The baseline must itself be at rest and self-consistent.
+		if a := gaugeOf(base, "txn.active"); a != 0 {
+			t.Fatalf("cycle %d: txn.active = %d at baseline, want 0", cycle, a)
+		}
+		for _, q := range qnames {
+			st, err := r.Stats(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g := gaugeOf(base, "queue.depth", "queue", q); g != int64(st.Depth) {
+				t.Fatalf("cycle %d: recovered depth gauge %s = %d, stats say %d", cycle, q, g, st.Depth)
+			}
+		}
+
+		runObsWorkload(t, r, qnames, int64(1000*cycle+7), 4, 150)
+		end := r.Metrics().Snapshot()
+
+		// Transaction conservation: every begun transaction ended.
+		dBegun := obs.CounterDelta(base, end, "txn.begun")
+		dCommitted := obs.CounterDelta(base, end, "txn.committed")
+		dAborted := obs.CounterDelta(base, end, "txn.aborted")
+		if active := gaugeOf(end, "txn.active"); active != 0 {
+			t.Fatalf("cycle %d: txn.active = %d after join, want 0", cycle, active)
+		}
+		if dBegun != dCommitted+dAborted {
+			t.Fatalf("cycle %d: begun %d != committed %d + aborted %d", cycle, dBegun, dCommitted, dAborted)
+		}
+		if dBegun == 0 {
+			t.Fatalf("cycle %d: workload ran no transactions", cycle)
+		}
+
+		// Queue-flow conservation: committed enqueues minus committed
+		// dequeues is exactly the depth change, per queue.
+		for _, q := range qnames {
+			dEnq := int64(obs.CounterDelta(base, end, obs.Name("queue.enqueues", "queue", q)))
+			dDeq := int64(obs.CounterDelta(base, end, obs.Name("queue.dequeues", "queue", q)))
+			dDepth := gaugeOf(end, "queue.depth", "queue", q) - gaugeOf(base, "queue.depth", "queue", q)
+			if dEnq-dDeq != dDepth {
+				t.Fatalf("cycle %d: queue %s: Δenq %d − Δdeq %d != Δdepth %d", cycle, q, dEnq, dDeq, dDepth)
+			}
+			netFlow[q] += dEnq - dDeq
+			if f := gaugeOf(end, "queue.in_flight", "queue", q); f != 0 {
+				t.Fatalf("cycle %d: queue %s: in_flight = %d at rest, want 0", cycle, q, f)
+			}
+			if d := obs.CounterDelta(base, end, obs.Name("queue.error_diversions", "queue", q)); d != 0 {
+				t.Fatalf("cycle %d: queue %s: unexpected error diversions %d", cycle, q, d)
+			}
+		}
+
+		// Durability accounting: group commit may batch fsyncs but can
+		// never need more syncs than appends.
+		dAppends := obs.CounterDelta(base, end, "wal.appends")
+		dFsyncs := obs.CounterDelta(base, end, "wal.fsyncs")
+		if dFsyncs > dAppends {
+			t.Fatalf("cycle %d: wal.fsyncs %d > wal.appends %d", cycle, dFsyncs, dAppends)
+		}
+		if dAppends == 0 {
+			t.Fatalf("cycle %d: workload appended nothing", cycle)
+		}
+
+		r = obsReopen(t, r, dir)
+	}
+
+	// Cross-restart conservation: the sum of committed net flow over all
+	// cycles is the depth the final recovery reconstructed.
+	for _, q := range qnames {
+		st, err := r.Stats(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(st.Depth) != netFlow[q] {
+			t.Fatalf("queue %s: recovered depth %d != Σ net flow %d", q, st.Depth, netFlow[q])
+		}
+		final := r.Metrics().Snapshot()
+		if g := gaugeOf(final, "queue.depth", "queue", q); g != netFlow[q] {
+			t.Fatalf("queue %s: final depth gauge %d != Σ net flow %d", q, g, netFlow[q])
+		}
+	}
+}
+
+// TestObsAbortRequeueAccounting pins down the abort path: an aborted
+// dequeue returns its element (counted as a requeue) and moves no depth,
+// and the retry-limit diversion shows up in the diversion counter.
+func TestObsAbortRequeueAccounting(t *testing.T) {
+	dir := t.TempDir()
+	r, _, err := Open(dir, Options{NoFsync: true})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { r.Close() })
+	mustCreate(t, r, QueueConfig{Name: "err"})
+	mustCreate(t, r, QueueConfig{Name: "q", ErrorQueue: "err", RetryLimit: 2})
+	enq(t, r, "q", "poison")
+
+	base := r.Metrics().Snapshot()
+	for i := 0; i < 2; i++ {
+		tx := r.Begin()
+		if _, err := r.Dequeue(context.Background(), tx, "q", "", DequeueOpts{}); err != nil {
+			t.Fatalf("dequeue %d: %v", i, err)
+		}
+		if err := tx.Abort(); err != nil {
+			t.Fatalf("abort %d: %v", i, err)
+		}
+	}
+	end := r.Metrics().Snapshot()
+	if d := obs.CounterDelta(base, end, obs.Name("queue.requeues", "queue", "q")); d != 2 {
+		t.Fatalf("requeues = %d, want 2", d)
+	}
+	if d := obs.CounterDelta(base, end, obs.Name("queue.error_diversions", "queue", "q")); d != 1 {
+		t.Fatalf("error diversions = %d, want 1", d)
+	}
+	if g := gaugeOf(end, "queue.depth", "queue", "q"); g != 0 {
+		t.Fatalf("poison queue depth gauge = %d, want 0 (diverted)", g)
+	}
+	if g := gaugeOf(end, "queue.depth", "queue", "err"); g != 1 {
+		t.Fatalf("error queue depth gauge = %d, want 1", g)
+	}
+	// Dequeues never committed, so the counter must not move.
+	if d := obs.CounterDelta(base, end, obs.Name("queue.dequeues", "queue", "q")); d != 0 {
+		t.Fatalf("dequeues = %d, want 0 (all aborted)", d)
+	}
+}
+
+// TestObsRegistrySharedAcrossLayers asserts the repository exposes one
+// registry with every layer's instruments present — the admin endpoint
+// and qmctl depend on finding them all in a single snapshot.
+func TestObsRegistrySharedAcrossLayers(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	r, _, err := Open(dir, Options{NoFsync: true, Metrics: reg})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { r.Close() })
+	if r.Metrics() != reg {
+		t.Fatal("repository did not adopt the supplied registry")
+	}
+	mustCreate(t, r, QueueConfig{Name: "q"})
+	enq(t, r, "q", "x")
+	deq(t, r, "q")
+
+	s := reg.Snapshot()
+	for _, want := range []string{
+		"wal.appends", "wal.fsyncs",
+		"txn.begun", "txn.committed",
+		"lock.acquires",
+		obs.Name("queue.enqueues", "queue", "q"),
+		obs.Name("queue.dequeues", "queue", "q"),
+	} {
+		if _, ok := s.Counters[want]; !ok {
+			t.Errorf("counter %q missing from shared registry", want)
+		}
+	}
+	if _, ok := s.Gauges[obs.Name("queue.depth", "queue", "q")]; !ok {
+		t.Error("queue.depth gauge missing from shared registry")
+	}
+	if _, ok := s.Histograms["wal.fsync_ns"]; !ok {
+		t.Error("wal.fsync_ns histogram missing from shared registry")
+	}
+}

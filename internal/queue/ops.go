@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"strconv"
+	"time"
 
 	"repro/internal/enc"
 	"repro/internal/lock"
@@ -241,7 +242,7 @@ func (r *Repository) Enqueue(t *txn.Txn, qname string, e Element, registrant str
 			el.state = stateVisible
 			el.owner = nil
 			qs.bumpDepth(1)
-			qs.stats.Enqueues++
+			qs.countEnqueue()
 			depth := qs.stats.Depth
 			alert := qs.cfg.AlertThreshold > 0 && depth == int(qs.cfg.AlertThreshold)
 			fires := r.dueTriggersLocked(target)
@@ -312,6 +313,7 @@ func (r *Repository) Dequeue(ctx context.Context, t *txn.Txn, qname, registrant 
 }
 
 func (r *Repository) dequeueInto(ctx context.Context, t *txn.Txn, qname, registrant string, opts DequeueOpts, out *Element) error {
+	var waitStart time.Time
 	var stopWatch func() bool
 	if opts.Wait && ctx != nil {
 		stopWatch = context.AfterFunc(ctx, func() {
@@ -336,6 +338,9 @@ func (r *Repository) dequeueInto(ctx context.Context, t *txn.Txn, qname, registr
 		}
 		el, blocked := scanQueueLocked(qs, &opts)
 		if el != nil {
+			if !waitStart.IsZero() {
+				r.mWaitNanos.Observe(time.Since(waitStart).Nanoseconds())
+			}
 			r.claimLocked(t, el, qname, registrant, opts.Tag)
 			*out = el.e.clone()
 			return nil
@@ -346,6 +351,9 @@ func (r *Repository) dequeueInto(ctx context.Context, t *txn.Txn, qname, registr
 		}
 		if ctx != nil && ctx.Err() != nil {
 			return ctx.Err()
+		}
+		if waitStart.IsZero() {
+			waitStart = time.Now()
 		}
 		r.cond.Wait()
 	}
@@ -391,7 +399,7 @@ func (r *Repository) claimLocked(t *txn.Txn, el *elem, regQueue, registrant stri
 	el.state = stateDequeued
 	el.owner = t
 	qs.bumpDepth(-1)
-	qs.stats.InFlight++
+	qs.bumpInFlight(1)
 
 	var regCopy []byte
 	if registrant != "" {
@@ -413,7 +421,7 @@ func (r *Repository) claimLocked(t *txn.Txn, el *elem, regQueue, registrant stri
 	t.OnUndo(func() {
 		r.mu.Lock()
 		defer r.mu.Unlock()
-		qs.stats.InFlight--
+		qs.bumpInFlight(-1)
 		if el.killed {
 			qs.remove(el)
 			delete(r.elems, el.e.EID)
@@ -425,7 +433,7 @@ func (r *Repository) claimLocked(t *txn.Txn, el *elem, regQueue, registrant stri
 		el.e.AbortCount++
 		returned.count = el.e.AbortCount
 		returned.volatil = qs.cfg.Volatile
-		qs.stats.AbortReturns++
+		qs.countRequeue()
 		if qs.cfg.RetryLimit > 0 && el.e.AbortCount >= qs.cfg.RetryLimit && qs.cfg.ErrorQueue != "" {
 			if eqs, ok := r.queues[qs.cfg.ErrorQueue]; ok {
 				qs.remove(el)
@@ -435,7 +443,7 @@ func (r *Repository) claimLocked(t *txn.Txn, el *elem, regQueue, registrant stri
 				el.state = stateVisible
 				eqs.insert(el)
 				eqs.bumpDepth(1)
-				qs.stats.ErrorDiversions++
+				qs.countDiversion()
 				returned.moved = qs.cfg.ErrorQueue
 				r.cond.Broadcast()
 				return
@@ -455,8 +463,8 @@ func (r *Repository) claimLocked(t *txn.Txn, el *elem, regQueue, registrant stri
 		r.mu.Lock()
 		qs.remove(el)
 		delete(r.elems, el.e.EID)
-		qs.stats.InFlight--
-		qs.stats.Dequeues++
+		qs.bumpInFlight(-1)
+		qs.countDequeue()
 		r.cond.Broadcast() // strict-FIFO waiters behind this element
 		r.mu.Unlock()
 	})
@@ -648,7 +656,7 @@ func (r *Repository) KillElement(eid EID) (bool, error) {
 		qs.remove(el)
 		delete(r.elems, eid)
 		qs.bumpDepth(-1)
-		qs.stats.Kills++
+		qs.countKill()
 		volatil := qs.cfg.Volatile
 		r.mu.Unlock()
 		if !volatil {

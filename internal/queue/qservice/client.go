@@ -2,9 +2,11 @@ package qservice
 
 import (
 	"context"
+	"encoding/json"
 	"time"
 
 	"repro/internal/enc"
+	"repro/internal/obs"
 	"repro/internal/queue"
 	"repro/internal/rpc"
 )
@@ -213,6 +215,23 @@ func (c *Client) Stats(ctx context.Context, qname string) (queue.QueueStats, err
 	st.InFlight = int(r.Varint())
 	st.MaxDepth = int(r.Varint())
 	return st, r.Err()
+}
+
+// Metrics fetches the server's full metrics registry snapshot.
+func (c *Client) Metrics(ctx context.Context) (obs.Snapshot, error) {
+	r, err := c.call(ctx, MethodMetrics, enc.NewBuffer(0))
+	if err != nil {
+		return obs.Snapshot{}, err
+	}
+	j := r.BytesField()
+	if err := r.Err(); err != nil {
+		return obs.Snapshot{}, err
+	}
+	var s obs.Snapshot
+	if err := json.Unmarshal(j, &s); err != nil {
+		return obs.Snapshot{}, err
+	}
+	return s, nil
 }
 
 // DequeueSet removes the best element across several queues (Section 9's

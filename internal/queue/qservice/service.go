@@ -11,6 +11,7 @@ package qservice
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"time"
@@ -35,6 +36,7 @@ const (
 	MethodQueues      = "qm.queues"
 	MethodStats       = "qm.stats"
 	MethodDequeueSet  = "qm.dequeueset"
+	MethodMetrics     = "qm.metrics"
 )
 
 // Status codes carried in every response payload.
@@ -162,7 +164,16 @@ func New(repo *queue.Repository, srv *rpc.Server) *Service {
 	srv.Handle(MethodQueues, s.handleQueues)
 	srv.Handle(MethodStats, s.handleStats)
 	srv.Handle(MethodDequeueSet, s.handleDequeueSet)
+	srv.Handle(MethodMetrics, s.handleMetrics)
 	return s
+}
+
+// handleMetrics returns the repository's full metrics registry as JSON —
+// the same document the admin HTTP endpoint serves, so qmctl can read it
+// over the RPC port without a second listener.
+func (s *Service) handleMetrics(p []byte) ([]byte, error) {
+	j, err := json.Marshal(s.repo.Metrics())
+	return respond(err, func(b *enc.Buffer) { b.BytesField(j) }), nil
 }
 
 func (s *Service) handleQueues(p []byte) ([]byte, error) {

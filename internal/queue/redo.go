@@ -59,7 +59,7 @@ func (r *Repository) Redo(data []byte) error {
 		el := &elem{e: e, state: stateVisible, q: qs}
 		qs.insert(el)
 		qs.bumpDepth(1)
-		qs.stats.Enqueues++
+		qs.countEnqueue()
 		r.elems[e.EID] = el
 		if uint64(e.EID) >= r.nextEID {
 			r.nextEID = uint64(e.EID) + 1
@@ -86,7 +86,7 @@ func (r *Repository) Redo(data []byte) error {
 		}
 		el.q.remove(el)
 		el.q.bumpDepth(-1)
-		el.q.stats.Dequeues++
+		el.q.countDequeue()
 		delete(r.elems, eid)
 		if len(regCopy) == 0 {
 			regCopy = nil
@@ -104,7 +104,7 @@ func (r *Repository) Redo(data []byte) error {
 			if el.state == stateVisible {
 				el.q.bumpDepth(-1)
 			}
-			el.q.stats.Kills++
+			el.q.countKill()
 			delete(r.elems, eid)
 		}
 		return nil
@@ -127,7 +127,7 @@ func (r *Repository) Redo(data []byte) error {
 				if el.state == stateVisible {
 					el.q.bumpDepth(-1)
 				}
-				el.q.stats.ErrorDiversions++
+				el.q.countDiversion()
 				el.e.Queue = movedTo
 				el.e.AbortCode = fmt.Sprintf("aborted %d times", count)
 				el.q = eqs
@@ -147,7 +147,7 @@ func (r *Repository) Redo(data []byte) error {
 		if _, ok := r.queues[cfg.Name]; ok {
 			return fmt.Errorf("queue: redo create of existing queue %s", cfg.Name)
 		}
-		r.queues[cfg.Name] = newQueueState(cfg)
+		r.queues[cfg.Name] = r.newQueueState(cfg)
 		return nil
 
 	case opDestroyQueue:
@@ -165,6 +165,7 @@ func (r *Repository) Redo(data []byte) error {
 			}
 		}
 		delete(r.queues, name)
+		qs.m.depth.Add(-int64(qs.stats.Depth))
 		return nil
 
 	case opRegister:
@@ -333,7 +334,7 @@ func (r *Repository) RedoPrepared(t *txn.Txn, data []byte) error {
 			el.state = stateVisible
 			el.owner = nil
 			qs.bumpDepth(1)
-			qs.stats.Enqueues++
+			qs.countEnqueue()
 			r.cond.Broadcast()
 			r.mu.Unlock()
 		})

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/enc"
 	"repro/internal/lock"
+	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/txn"
 	"repro/internal/wal"
@@ -47,10 +48,50 @@ type queueState struct {
 	prios   []int32 // sorted descending
 	stopped bool
 	stats   QueueStats
+	m       qmetrics
 }
 
-func newQueueState(cfg QueueConfig) *queueState {
-	return &queueState{cfg: cfg, lists: make(map[int32]*list.List)}
+// qmetrics holds the queue's registry instruments, resolved once at queue
+// creation so the per-operation cost is a single atomic add. Every
+// qs.stats bump is mirrored here; the stats struct stays the synchronous
+// per-queue API while the registry gives the cross-layer labeled view.
+type qmetrics struct {
+	enqueues   *obs.Counter
+	dequeues   *obs.Counter
+	requeues   *obs.Counter // abort-returns back onto the queue
+	kills      *obs.Counter
+	diversions *obs.Counter // retry-limit diversions to the error queue
+	depth      *obs.Gauge
+	inFlight   *obs.Gauge
+}
+
+// newQueueState builds a queue's state with instruments labeled by queue
+// name. Counters for a re-created queue continue from the prior
+// incarnation's values (cumulative by design); the depth gauge is zeroed
+// on destroy so it always reflects live visible depth.
+func (r *Repository) newQueueState(cfg QueueConfig) *queueState {
+	qs := &queueState{cfg: cfg, lists: make(map[int32]*list.List)}
+	qs.m = qmetrics{
+		enqueues:   r.reg.Counter("queue.enqueues", "queue", cfg.Name),
+		dequeues:   r.reg.Counter("queue.dequeues", "queue", cfg.Name),
+		requeues:   r.reg.Counter("queue.requeues", "queue", cfg.Name),
+		kills:      r.reg.Counter("queue.kills", "queue", cfg.Name),
+		diversions: r.reg.Counter("queue.error_diversions", "queue", cfg.Name),
+		depth:      r.reg.Gauge("queue.depth", "queue", cfg.Name),
+		inFlight:   r.reg.Gauge("queue.in_flight", "queue", cfg.Name),
+	}
+	return qs
+}
+
+func (q *queueState) countEnqueue()   { q.stats.Enqueues++; q.m.enqueues.Inc() }
+func (q *queueState) countDequeue()   { q.stats.Dequeues++; q.m.dequeues.Inc() }
+func (q *queueState) countRequeue()   { q.stats.AbortReturns++; q.m.requeues.Inc() }
+func (q *queueState) countKill()      { q.stats.Kills++; q.m.kills.Inc() }
+func (q *queueState) countDiversion() { q.stats.ErrorDiversions++; q.m.diversions.Inc() }
+
+func (q *queueState) bumpInFlight(delta int) {
+	q.stats.InFlight += delta
+	q.m.inFlight.Add(int64(delta))
 }
 
 func (q *queueState) listFor(prio int32) *list.List {
@@ -98,6 +139,7 @@ func (q *queueState) bumpDepth(delta int) {
 	if q.stats.Depth > q.stats.MaxDepth {
 		q.stats.MaxDepth = q.stats.Depth
 	}
+	q.m.depth.Add(int64(delta))
 }
 
 // regKey identifies a registration: a registrant is bound to one queue.
@@ -155,6 +197,10 @@ type Options struct {
 	// classic group-commit optimization); durability is unchanged — a
 	// commit still returns only after its record is on disk.
 	GroupCommit bool
+	// Metrics, when non-nil, is the registry all layers (WAL, lock, txn,
+	// queue) record into. When nil the repository creates a private one,
+	// retrievable via Metrics().
+	Metrics *obs.Registry
 }
 
 // Repository is a queue repository: a named set of queues, registrations,
@@ -167,6 +213,11 @@ type Repository struct {
 	locks *lock.Manager
 	tm    *txn.Manager
 	snap  *storage.Snapshotter
+	reg   *obs.Registry
+
+	// mWaitNanos records how long blocking dequeuers waited for an
+	// element to become visible.
+	mWaitNanos *obs.Histogram
 
 	mu       sync.Mutex
 	cond     *sync.Cond // broadcast on any visibility change
@@ -191,9 +242,14 @@ func Open(dir string, opts Options) (*Repository, []txn.InDoubt, error) {
 	if opts.Name == "" {
 		opts.Name = filepath.Base(dir)
 	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	walOpts := wal.Options{
 		NoFsync:     opts.NoFsync,
 		SegmentSize: opts.SegmentSize,
+		Metrics:     reg,
 	}
 	if opts.GroupCommit {
 		walOpts.Sync = wal.SyncGroup
@@ -207,22 +263,24 @@ func Open(dir string, opts Options) (*Repository, []txn.InDoubt, error) {
 		log.Close()
 		return nil, nil, err
 	}
-	lm := lock.NewManager()
+	lm := lock.NewManagerWith(reg)
 	r := &Repository{
-		name:     opts.Name,
-		dir:      dir,
-		opts:     opts,
-		log:      log,
-		locks:    lm,
-		tm:       txn.NewManager(log, lm),
-		snap:     snap,
-		queues:   make(map[string]*queueState),
-		elems:    make(map[EID]*elem),
-		regs:     make(map[regKey]*registration),
-		triggers: make(map[string]*trigger),
-		tables:   make(map[string]map[string][]byte),
-		nextEID:  1,
-		nextSeq:  1,
+		name:       opts.Name,
+		dir:        dir,
+		opts:       opts,
+		log:        log,
+		locks:      lm,
+		tm:         txn.NewManagerWith(log, lm, reg),
+		snap:       snap,
+		reg:        reg,
+		mWaitNanos: reg.Histogram("queue.dequeue_wait_ns"),
+		queues:     make(map[string]*queueState),
+		elems:      make(map[EID]*elem),
+		regs:       make(map[regKey]*registration),
+		triggers:   make(map[string]*trigger),
+		tables:     make(map[string]map[string][]byte),
+		nextEID:    1,
+		nextSeq:    1,
 	}
 	r.cond = sync.NewCond(&r.mu)
 	r.tm.RegisterRM(r)
@@ -264,6 +322,10 @@ func (r *Repository) Locks() *lock.Manager { return r.locks }
 
 // Log exposes the write-ahead log for stats.
 func (r *Repository) Log() *wal.Log { return r.log }
+
+// Metrics returns the registry all of the repository's layers (WAL, lock
+// manager, transaction manager, queues) record into.
+func (r *Repository) Metrics() *obs.Registry { return r.reg }
 
 // SetAlertFunc installs the queue-depth alert callback.
 func (r *Repository) SetAlertFunc(f AlertFunc) {
@@ -337,9 +399,9 @@ func (r *Repository) CreateQueue(cfg QueueConfig) error {
 			return ErrClosed
 		}
 		if _, ok := r.queues[cfg.Name]; ok {
-			return fmt.Errorf("%w: %s", ErrExists, cfg.Name)
+			return fmt.Errorf("%w: %s", ErrQueueExists, cfg.Name)
 		}
-		qs := newQueueState(cfg)
+		qs := r.newQueueState(cfg)
 		r.queues[cfg.Name] = qs
 		t.OnUndo(func() {
 			r.mu.Lock()
@@ -381,12 +443,14 @@ func (r *Repository) DestroyQueue(name string) error {
 		for _, el := range doomed {
 			delete(r.elems, el.e.EID)
 		}
+		qs.m.depth.Add(-int64(qs.stats.Depth)) // gauge reflects live queues only
 		t.OnUndo(func() {
 			r.mu.Lock()
 			r.queues[name] = qs
 			for _, el := range doomed {
 				r.elems[el.e.EID] = el
 			}
+			qs.m.depth.Add(int64(qs.stats.Depth))
 			r.mu.Unlock()
 		})
 		b := enc.NewBuffer(16)
@@ -714,7 +778,7 @@ func (r *Repository) loadSnapshot(data []byte) error {
 	nq := rd.Uvarint()
 	for i := uint64(0); i < nq && rd.Err() == nil; i++ {
 		cfg := decodeConfig(rd)
-		qs := newQueueState(cfg)
+		qs := r.newQueueState(cfg)
 		qs.stopped = rd.Bool()
 		r.queues[cfg.Name] = qs
 		ne := rd.Uvarint()

@@ -29,7 +29,9 @@ import (
 	"io"
 	"net"
 	"sync"
-	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
 const (
@@ -125,15 +127,30 @@ type Server struct {
 	closed   bool
 	wg       sync.WaitGroup
 
-	sent uint64
-	recv uint64
+	mSent     *obs.Counter
+	mRecv     *obs.Counter
+	mRequests *obs.Counter
+	mOneWays  *obs.Counter
+	mErrors   *obs.Counter
 }
 
-// NewServer returns an empty server.
-func NewServer() *Server {
+// NewServer returns an empty server with a private metrics registry.
+func NewServer() *Server { return NewServerWith(nil) }
+
+// NewServerWith returns an empty server recording into reg (nil creates a
+// private registry).
+func NewServerWith(reg *obs.Registry) *Server {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	return &Server{
-		handlers: make(map[string]Handler),
-		conns:    make(map[net.Conn]struct{}),
+		handlers:  make(map[string]Handler),
+		conns:     make(map[net.Conn]struct{}),
+		mSent:     reg.Counter("rpc.server.sent"),
+		mRecv:     reg.Counter("rpc.server.recv"),
+		mRequests: reg.Counter("rpc.server.requests"),
+		mOneWays:  reg.Counter("rpc.server.oneways"),
+		mErrors:   reg.Counter("rpc.server.errors"),
 	}
 }
 
@@ -147,8 +164,8 @@ func (s *Server) Handle(method string, h Handler) {
 // Stats returns the server's message counters.
 func (s *Server) Stats() Stats {
 	return Stats{
-		MessagesSent:     atomic.LoadUint64(&s.sent),
-		MessagesReceived: atomic.LoadUint64(&s.recv),
+		MessagesSent:     s.mSent.Value(),
+		MessagesReceived: s.mRecv.Value(),
 	}
 }
 
@@ -201,16 +218,18 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err != nil {
 			return
 		}
-		atomic.AddUint64(&s.recv, 1)
+		s.mRecv.Inc()
 		s.mu.RLock()
 		h, ok := s.handlers[f.method]
 		s.mu.RUnlock()
 		switch f.kind {
 		case kindOneWay:
+			s.mOneWays.Inc()
 			if ok {
 				go h(f.payload)
 			}
 		case kindRequest:
+			s.mRequests.Inc()
 			go func(f *frame) {
 				var resp frame
 				resp.id = f.id
@@ -224,10 +243,13 @@ func (s *Server) serveConn(conn net.Conn) {
 					resp.kind = kindResp
 					resp.payload = out
 				}
+				if resp.kind == kindError {
+					s.mErrors.Inc()
+				}
 				writeMu.Lock()
 				defer writeMu.Unlock()
 				if err := writeFrame(conn, &resp); err == nil {
-					atomic.AddUint64(&s.sent, 1)
+					s.mSent.Inc()
 				}
 			}(f)
 		}
@@ -274,25 +296,53 @@ type Client struct {
 	nextID  uint64
 	closed  bool
 
-	sent    uint64
-	recv    uint64
-	calls   uint64
-	oneWays uint64
+	mSent     *obs.Counter
+	mRecv     *obs.Counter
+	mCalls    *obs.Counter
+	mOneWays  *obs.Counter
+	mErrors   *obs.Counter // transport-level failures (dial, write, dropped conn)
+	mRedials  *obs.Counter // reconnects after the first successful dial
+	mCallNans *obs.Histogram
+	dialed    bool // a connection has been established at least once
 }
 
-// NewClient returns a client for addr. dialer nil means plain TCP.
+// NewClient returns a client for addr with a private metrics registry.
+// dialer nil means plain TCP.
 func NewClient(addr string, dialer Dialer) *Client {
+	return NewClientWith(addr, dialer, nil)
+}
+
+// NewClientWith returns a client recording into reg (nil creates a private
+// registry).
+func NewClientWith(addr string, dialer Dialer, reg *obs.Registry) *Client {
 	if dialer == nil {
 		dialer = func(a string) (net.Conn, error) { return net.Dial("tcp", a) }
 	}
-	return &Client{addr: addr, dialer: dialer, pending: make(map[uint64]chan *frame)}
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &Client{
+		addr:      addr,
+		dialer:    dialer,
+		pending:   make(map[uint64]chan *frame),
+		mSent:     reg.Counter("rpc.client.sent"),
+		mRecv:     reg.Counter("rpc.client.recv"),
+		mCalls:    reg.Counter("rpc.client.calls"),
+		mOneWays:  reg.Counter("rpc.client.oneways"),
+		mErrors:   reg.Counter("rpc.client.errors"),
+		mRedials:  reg.Counter("rpc.client.redials"),
+		mCallNans: reg.Histogram("rpc.client.call_ns"),
+	}
 }
 
 // Stats returns the client's message counters.
 func (c *Client) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return Stats{MessagesSent: c.sent, MessagesReceived: c.recv, Calls: c.calls, OneWays: c.oneWays}
+	return Stats{
+		MessagesSent:     c.mSent.Value(),
+		MessagesReceived: c.mRecv.Value(),
+		Calls:            c.mCalls.Value(),
+		OneWays:          c.mOneWays.Value(),
+	}
 }
 
 // ensureConnLocked dials if needed. Caller holds c.mu.
@@ -305,8 +355,13 @@ func (c *Client) ensureConnLocked() error {
 	}
 	conn, err := c.dialer(c.addr)
 	if err != nil {
+		c.mErrors.Inc()
 		return fmt.Errorf("rpc: dial %s: %w", c.addr, err)
 	}
+	if c.dialed {
+		c.mRedials.Inc()
+	}
+	c.dialed = true
 	c.conn = conn
 	go c.readLoop(conn)
 	return nil
@@ -319,8 +374,8 @@ func (c *Client) readLoop(conn net.Conn) {
 			c.dropConn(conn)
 			return
 		}
+		c.mRecv.Inc()
 		c.mu.Lock()
-		c.recv++
 		ch, ok := c.pending[f.id]
 		if ok {
 			delete(c.pending, f.id)
@@ -350,6 +405,7 @@ func (c *Client) dropConn(conn net.Conn) {
 // Call performs a request/response RPC. A remote handler error comes back
 // as a *RemoteError.
 func (c *Client) Call(ctx context.Context, method string, payload []byte) ([]byte, error) {
+	start := time.Now()
 	c.mu.Lock()
 	if err := c.ensureConnLocked(); err != nil {
 		c.mu.Unlock()
@@ -360,19 +416,24 @@ func (c *Client) Call(ctx context.Context, method string, payload []byte) ([]byt
 	id := c.nextID
 	ch := make(chan *frame, 1)
 	c.pending[id] = ch
-	c.sent++
-	c.calls++
 	c.mu.Unlock()
+	c.mSent.Inc()
+	c.mCalls.Inc()
 
 	if err := writeFrame(conn, &frame{kind: kindRequest, id: id, method: method, payload: payload}); err != nil {
+		c.mErrors.Inc()
 		c.dropConn(conn)
 		return nil, fmt.Errorf("rpc: write: %w", err)
 	}
 	select {
 	case f, ok := <-ch:
 		if !ok {
+			c.mErrors.Inc()
 			return nil, ErrConnClosed
 		}
+		// A response arrived — a complete round trip, even if the handler
+		// reported an error — so it counts toward the latency histogram.
+		c.mCallNans.Observe(time.Since(start).Nanoseconds())
 		if f.kind == kindError {
 			return nil, &RemoteError{Msg: string(f.payload)}
 		}
@@ -393,10 +454,11 @@ func (c *Client) Send(method string, payload []byte) error {
 		return err
 	}
 	conn := c.conn
-	c.sent++
-	c.oneWays++
 	c.mu.Unlock()
+	c.mSent.Inc()
+	c.mOneWays.Inc()
 	if err := writeFrame(conn, &frame{kind: kindOneWay, method: method, payload: payload}); err != nil {
+		c.mErrors.Inc()
 		c.dropConn(conn)
 		return fmt.Errorf("rpc: send: %w", err)
 	}

@@ -23,9 +23,11 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/enc"
 	"repro/internal/lock"
+	"repro/internal/obs"
 	"repro/internal/wal"
 )
 
@@ -119,18 +121,45 @@ type Manager struct {
 	// never observes a half-applied commit.
 	commitGate sync.RWMutex
 
-	commits uint64
-	aborts  uint64
+	// Instruments (txn.begun, txn.committed, txn.aborted, txn.prepared,
+	// txn.active, txn.commit_ns, txn.prepare_ns), resolved once at
+	// construction. begun == committed + aborted + active is the package's
+	// conservation law: every transaction ever begun (or reinstated
+	// in-doubt at recovery) is either finished or still active.
+	mBegun       *obs.Counter
+	mCommitted   *obs.Counter
+	mAborted     *obs.Counter
+	mPrepared    *obs.Counter
+	mActive      *obs.Gauge
+	mCommitNanos *obs.Histogram
+	mPrepNanos   *obs.Histogram
 }
 
-// NewManager returns a Manager writing to log and locking through lm.
+// NewManager returns a Manager writing to log and locking through lm, with
+// a private metrics registry.
 func NewManager(log *wal.Log, lm *lock.Manager) *Manager {
+	return NewManagerWith(log, lm, nil)
+}
+
+// NewManagerWith is NewManager with the instruments registered in reg (nil
+// gives the manager a private registry).
+func NewManagerWith(log *wal.Log, lm *lock.Manager, reg *obs.Registry) *Manager {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	return &Manager{
-		log:    log,
-		locks:  lm,
-		nextID: 1,
-		active: make(map[uint64]*Txn),
-		rms:    make(map[string]ResourceManager),
+		log:          log,
+		locks:        lm,
+		nextID:       1,
+		active:       make(map[uint64]*Txn),
+		rms:          make(map[string]ResourceManager),
+		mBegun:       reg.Counter("txn.begun"),
+		mCommitted:   reg.Counter("txn.committed"),
+		mAborted:     reg.Counter("txn.aborted"),
+		mPrepared:    reg.Counter("txn.prepared"),
+		mActive:      reg.Gauge("txn.active"),
+		mCommitNanos: reg.Histogram("txn.commit_ns"),
+		mPrepNanos:   reg.Histogram("txn.prepare_ns"),
 	}
 }
 
@@ -166,9 +195,7 @@ func (m *Manager) SetNextID(id uint64) {
 
 // Stats reports commit/abort counters.
 func (m *Manager) Stats() (commits, aborts uint64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.commits, m.aborts
+	return m.mCommitted.Value(), m.mAborted.Value()
 }
 
 // Begin starts a transaction.
@@ -179,6 +206,8 @@ func (m *Manager) Begin() *Txn {
 	t := &Txn{m: m, id: id, state: Active}
 	m.active[id] = t
 	m.mu.Unlock()
+	m.mBegun.Inc()
+	m.mActive.Add(1)
 	return t
 }
 
@@ -302,6 +331,7 @@ func decodeOps(r *enc.Reader) (id uint64, ops []Op, err error) {
 // written as one log record, commit hooks run, and all locks release. A
 // doomed transaction rolls back and reports ErrDoomed.
 func (t *Txn) Commit() error {
+	start := time.Now()
 	t.doomMu.Lock()
 	if t.state != Active {
 		st := t.state
@@ -340,6 +370,7 @@ func (t *Txn) Commit() error {
 	}
 	t.m.commitGate.RUnlock()
 	t.finish(true)
+	t.m.mCommitNanos.Observe(time.Since(start).Nanoseconds())
 	return nil
 }
 
@@ -375,12 +406,13 @@ func (t *Txn) finish(committed bool) {
 	t.m.locks.ReleaseAll(t.id)
 	t.m.mu.Lock()
 	delete(t.m.active, t.id)
-	if committed {
-		t.m.commits++
-	} else {
-		t.m.aborts++
-	}
 	t.m.mu.Unlock()
+	if committed {
+		t.m.mCommitted.Inc()
+	} else {
+		t.m.mAborted.Inc()
+	}
+	t.m.mActive.Add(-1)
 	t.ops, t.undo, t.onCommit, t.onAbort = nil, nil, nil, nil
 }
 
@@ -388,6 +420,7 @@ func (t *Txn) finish(committed bool) {
 // moves it to the Prepared state. The coordinator name is recorded so
 // recovery knows whom to ask. Locks remain held.
 func (t *Txn) Prepare(coordinator string) error {
+	start := time.Now()
 	t.doomMu.Lock()
 	if t.state != Active {
 		st := t.state
@@ -414,6 +447,8 @@ func (t *Txn) Prepare(coordinator string) error {
 	t.prepareLSN = lsn
 	t.state = Prepared
 	t.doomMu.Unlock()
+	t.m.mPrepared.Inc()
+	t.m.mPrepNanos.Observe(time.Since(start).Nanoseconds())
 	return nil
 }
 
@@ -611,6 +646,11 @@ func (m *Manager) Recover(snapLSN wal.LSN) ([]InDoubt, error) {
 		m.mu.Lock()
 		m.active[id] = t
 		m.mu.Unlock()
+		// Reinstated in-doubt txns count as begun again in this incarnation
+		// so the conservation law begun == committed+aborted+active holds
+		// across restarts.
+		m.mBegun.Inc()
+		m.mActive.Add(1)
 		out = append(out, InDoubt{Txn: t, Coordinator: p.coordinator})
 	}
 	return out, nil

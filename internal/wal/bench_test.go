@@ -1,6 +1,11 @@
 package wal
 
-import "testing"
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
 
 func benchLog(b *testing.B, opts Options) *Log {
 	b.Helper()
@@ -22,6 +27,42 @@ func BenchmarkAppendNoFsync(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkAppendNoFsyncWithSnapshots is the observability worst case:
+// the instrumented append hot path while a concurrent reader snapshots
+// the shared registry every 100µs (a hyperactive admin endpoint).
+// Compare with BenchmarkAppendNoFsync — the instruments themselves are
+// identical in both (appends always count); this adds only snapshot
+// contention, which the lock-free counters shrug off.
+func BenchmarkAppendNoFsyncWithSnapshots(b *testing.B) {
+	reg := obs.NewRegistry()
+	l := benchLog(b, Options{NoFsync: true, Metrics: reg})
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = reg.Snapshot()
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+	}()
+	payload := make([]byte, 128)
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Append(1, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	<-done
 }
 
 func BenchmarkAppendFsync(b *testing.B) {

@@ -34,6 +34,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // LSN is a log sequence number. LSNs start at 1 and increase by one per
@@ -79,6 +81,10 @@ type Options struct {
 	// paying disk latency; correctness tests that crash processes must not
 	// set it.
 	NoFsync bool
+	// Metrics receives the log's instruments (wal.appends, wal.append_bytes,
+	// wal.fsyncs, wal.fsync_ns, wal.group_commit_batch, wal.rotations). Nil
+	// gives the log a private registry, so instrumentation is always live.
+	Metrics *obs.Registry
 }
 
 const (
@@ -125,9 +131,14 @@ type Log struct {
 	// can observe group-commit batching deterministically.
 	testSyncDelay time.Duration
 
-	// appends counts records appended since Open; syncs counts fsyncs.
-	appends uint64
-	syncs   uint64
+	// Instruments, resolved once at Open (obs hot-path contract). appends
+	// and syncs also back the Stats API.
+	mAppends     *obs.Counter
+	mAppendBytes *obs.Counter
+	mFsyncs      *obs.Counter
+	mFsyncNanos  *obs.Histogram
+	mGroupBatch  *obs.Histogram
+	mRotations   *obs.Counter
 }
 
 type segmentInfo struct {
@@ -144,7 +155,17 @@ func Open(dir string, opts Options) (*Log, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: open %s: %w", dir, err)
 	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	l := &Log{dir: dir, opts: opts, nextLSN: 1}
+	l.mAppends = reg.Counter("wal.appends")
+	l.mAppendBytes = reg.Counter("wal.append_bytes")
+	l.mFsyncs = reg.Counter("wal.fsyncs")
+	l.mFsyncNanos = reg.Histogram("wal.fsync_ns")
+	l.mGroupBatch = reg.Histogram("wal.group_commit_batch")
+	l.mRotations = reg.Counter("wal.rotations")
 	l.syncCond = sync.NewCond(&l.mu)
 	if err := l.loadSegments(); err != nil {
 		return nil, err
@@ -364,7 +385,8 @@ func (l *Log) appendLocked(typ uint8, payload []byte) (LSN, error) {
 	l.activeSz += int64(len(frame))
 	l.nextLSN++
 	l.dirty = true
-	l.appends++
+	l.mAppends.Inc()
+	l.mAppendBytes.Add(uint64(len(frame)))
 	return lsn, nil
 }
 
@@ -385,6 +407,7 @@ func (l *Log) rotateLocked() error {
 	l.active = f
 	l.activeSz = 0
 	l.firstLSN = first
+	l.mRotations.Inc()
 	return nil
 }
 
@@ -404,15 +427,18 @@ func (l *Log) syncLocked() error {
 		l.syncedLSN = l.nextLSN - 1
 		return nil
 	}
-	l.syncs++
+	l.mFsyncs.Inc()
+	l.mGroupBatch.Observe(int64(l.nextLSN - 1 - l.syncedLSN))
 	l.dirty = false
 	if l.opts.NoFsync {
 		l.syncedLSN = l.nextLSN - 1
 		return nil
 	}
+	start := time.Now()
 	if err := l.active.Sync(); err != nil {
 		return fmt.Errorf("wal: sync: %w", err)
 	}
+	l.mFsyncNanos.Observe(time.Since(start).Nanoseconds())
 	l.syncedLSN = l.nextLSN - 1
 	return nil
 }
@@ -440,13 +466,16 @@ func (l *Log) SyncTo(lsn LSN) error {
 		l.syncing = true
 		target := l.nextLSN - 1
 		f := l.active
-		l.syncs++
+		l.mFsyncs.Inc()
+		l.mGroupBatch.Observe(int64(target - l.syncedLSN))
 		l.dirty = false
 		noFsync := l.opts.NoFsync || l.opts.Sync == SyncNever
 		l.mu.Unlock()
 		var err error
+		start := time.Now()
 		if !noFsync {
 			err = f.Sync()
+			l.mFsyncNanos.Observe(time.Since(start).Nanoseconds())
 		} else if l.testSyncDelay > 0 {
 			time.Sleep(l.testSyncDelay)
 		}
@@ -475,11 +504,12 @@ type Stats struct {
 	NextLSN  LSN
 }
 
-// Stats returns a snapshot of the log's counters.
+// Stats returns a snapshot of the log's counters (backed by the same
+// instruments the metrics registry exposes).
 func (l *Log) Stats() Stats {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return Stats{Appends: l.appends, Syncs: l.syncs, Segments: len(l.segments), NextLSN: l.nextLSN}
+	return Stats{Appends: l.mAppends.Value(), Syncs: l.mFsyncs.Value(), Segments: len(l.segments), NextLSN: l.nextLSN}
 }
 
 // TruncateBefore removes whole segments whose records all precede lsn. It

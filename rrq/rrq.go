@@ -18,10 +18,13 @@ package rrq
 import (
 	"context"
 	"fmt"
+	"net"
+	"net/http"
 	"path/filepath"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/queue"
 	"repro/internal/queue/qservice"
 	"repro/internal/rpc"
@@ -46,6 +49,10 @@ type (
 	Repository = queue.Repository
 	// Txn is a transaction.
 	Txn = txn.Txn
+	// Metrics is the cross-layer metrics registry (see Node.Metrics).
+	Metrics = obs.Registry
+	// MetricsSnapshot is a point-in-time copy of a registry.
+	MetricsSnapshot = obs.Snapshot
 
 	// Clerk is the client-side runtime library (fig. 5).
 	Clerk = core.Clerk
@@ -132,6 +139,16 @@ var (
 	DestroyJoin = core.DestroyJoin
 )
 
+// Re-exported error sentinels, matched with errors.Is.
+var (
+	// ErrQueueExists reports creation of a queue that already exists.
+	ErrQueueExists = queue.ErrQueueExists
+	// ErrEmpty reports a dequeue from an empty queue.
+	ErrEmpty = queue.ErrEmpty
+	// ErrNoQueue reports an operation on a queue that does not exist.
+	ErrNoQueue = queue.ErrNoQueue
+)
+
 // Cancellation outcomes.
 const (
 	NotCancelable            = core.NotCancelable
@@ -152,6 +169,14 @@ type NodeConfig struct {
 	// ListenAddr, when non-empty, serves the queue manager over RPC
 	// ("127.0.0.1:0" picks a port; see Node.Addr).
 	ListenAddr string
+	// AdminAddr, when non-empty, serves the admin HTTP endpoint: GET
+	// /metrics returns the node's metrics registry as JSON (see
+	// Node.AdminAddr for the bound address).
+	AdminAddr string
+	// Metrics, when non-nil, is the registry every layer of the node
+	// (WAL, locks, transactions, queues, RPC server) records into; nil
+	// creates a private one, retrievable via Node.Metrics.
+	Metrics *obs.Registry
 	// NoFsync disables physical fsync (tests and benchmarks only).
 	NoFsync bool
 	// SnapshotEvery checkpoints after that many logged operations; zero
@@ -168,10 +193,13 @@ type NodeConfig struct {
 
 // Node is a running back-end node.
 type Node struct {
-	repo   *queue.Repository
-	coord  *tpc.Coordinator
-	rpcSrv *rpc.Server
-	addr   string
+	repo      *queue.Repository
+	coord     *tpc.Coordinator
+	rpcSrv    *rpc.Server
+	addr      string
+	adminSrv  *http.Server
+	adminLis  net.Listener
+	adminAddr string
 }
 
 // StartNode opens (recovering if necessary) a node. In-doubt distributed
@@ -181,11 +209,16 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	if cfg.Name == "" {
 		cfg.Name = filepath.Base(cfg.Dir)
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	repo, inDoubt, err := queue.Open(cfg.Dir, queue.Options{
 		Name:          cfg.Name,
 		NoFsync:       cfg.NoFsync,
 		SnapshotEvery: cfg.SnapshotEvery,
 		GroupCommit:   cfg.GroupCommit,
+		Metrics:       reg,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("rrq: open node %s: %w", cfg.Name, err)
@@ -206,7 +239,7 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 
 	n := &Node{repo: repo, coord: coord}
 	if cfg.ListenAddr != "" {
-		n.rpcSrv = rpc.NewServer()
+		n.rpcSrv = rpc.NewServerWith(reg)
 		qservice.New(repo, n.rpcSrv)
 		addr, err := n.rpcSrv.ListenAndServe(cfg.ListenAddr)
 		if err != nil {
@@ -216,7 +249,38 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		}
 		n.addr = addr
 	}
+	if cfg.AdminAddr != "" {
+		if err := n.startAdmin(cfg.AdminAddr); err != nil {
+			n.Close()
+			return nil, fmt.Errorf("rrq: admin listen: %w", err)
+		}
+	}
 	return n, nil
+}
+
+// startAdmin serves the admin HTTP endpoint: GET /metrics returns the
+// node's metrics registry as a deterministic JSON document.
+func (n *Node) startAdmin(addr string) error {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		j, err := n.repo.Metrics().MarshalJSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Write(j)
+		w.Write([]byte("\n"))
+	})
+	n.adminSrv = &http.Server{Handler: mux}
+	n.adminLis = lis
+	n.adminAddr = lis.Addr().String()
+	go n.adminSrv.Serve(lis)
+	return nil
 }
 
 // Repo exposes the node's repository for servers (which are co-located
@@ -228,6 +292,12 @@ func (n *Node) Coordinator() *tpc.Coordinator { return n.coord }
 
 // Addr returns the RPC address ("" if not listening).
 func (n *Node) Addr() string { return n.addr }
+
+// AdminAddr returns the admin HTTP address ("" if not serving).
+func (n *Node) AdminAddr() string { return n.adminAddr }
+
+// Metrics returns the registry all of the node's layers record into.
+func (n *Node) Metrics() *obs.Registry { return n.repo.Metrics() }
 
 // LocalConn returns an in-process clerk connection to this node.
 func (n *Node) LocalConn() QMConn { return &core.LocalConn{Repo: n.repo} }
@@ -297,7 +367,15 @@ func (n *Node) Crash() {
 	if n.rpcSrv != nil {
 		n.rpcSrv.Close()
 	}
+	n.closeAdmin()
 	n.coord.Close()
+}
+
+func (n *Node) closeAdmin() {
+	if n.adminSrv != nil {
+		n.adminSrv.Close()
+		n.adminSrv = nil
+	}
 }
 
 // Close checkpoints and shuts the node down.
@@ -305,6 +383,7 @@ func (n *Node) Close() error {
 	if n.rpcSrv != nil {
 		n.rpcSrv.Close()
 	}
+	n.closeAdmin()
 	err := n.repo.Close()
 	if cerr := n.coord.Close(); err == nil {
 		err = cerr

@@ -2,6 +2,7 @@ package rrq
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"repro/internal/tpc"
 	"testing"
@@ -44,6 +45,27 @@ func TestNodeLocalRoundTrip(t *testing.T) {
 	rep, err := clerk.Transceive(ctx, "rid-1", []byte("ping"), nil, nil)
 	if err != nil || string(rep.Body) != "pong:ping" {
 		t.Fatalf("reply %+v %v", rep, err)
+	}
+}
+
+// TestCreateQueueExistsSentinel pins the duplicate-create contract qmd
+// relies on: the error must match the ErrQueueExists sentinel via
+// errors.Is, not by substring inspection of the message.
+func TestCreateQueueExistsSentinel(t *testing.T) {
+	n := startTestNode(t, t.TempDir(), false)
+	if err := n.CreateQueue(QueueConfig{Name: "dup"}); err != nil {
+		t.Fatal(err)
+	}
+	err := n.CreateQueue(QueueConfig{Name: "dup"})
+	if err == nil {
+		t.Fatal("duplicate create succeeded")
+	}
+	if !errors.Is(err, ErrQueueExists) {
+		t.Fatalf("duplicate create error %v does not match ErrQueueExists", err)
+	}
+	// Wrapping must not break the match — qmd may add context.
+	if wrapped := fmt.Errorf("create queue dup: %w", err); !errors.Is(wrapped, ErrQueueExists) {
+		t.Fatalf("wrapped error %v lost the sentinel", wrapped)
 	}
 }
 
