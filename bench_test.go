@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -508,6 +509,70 @@ func BenchmarkE10_ParallelConsumers(b *testing.B) {
 			}
 		}
 	})
+}
+
+// --- queue sharding: disjoint-queue contention ---
+
+// benchmarkShardedContention runs one producer and one blocking consumer
+// per queue on nq disjoint queues — a multi-tenant repository where each
+// tenant is mostly idle (a global pacing token keeps one element in flight
+// across the repository, so at every commit the other tenants' consumers
+// are parked on empty queues). Independent queues should not serialize
+// against each other, and a commit on one queue should wake only that
+// queue's consumer — the benchmark degrades with nq when every visibility
+// change wakes every parked consumer with a repository-global broadcast,
+// because each of the nq-1 idle consumers then rescans its empty queue
+// under the global mutex.
+//
+// The volatile variant takes the WAL out of the picture entirely, so the
+// repository's concurrency control (locks and wakeups) is the entire
+// measured cost; the durable variant shows the same effect diluted by the
+// per-commit log write.
+func benchmarkShardedContention(b *testing.B, nq int, volatile bool) {
+	repo := benchRepo(b)
+	for i := 0; i < nq; i++ {
+		mustQueue(b, repo, queue.QueueConfig{Name: fmt.Sprintf("q%d", i), Volatile: volatile})
+	}
+	ctx := context.Background()
+	perQ := b.N/nq + 1
+	body := []byte("x")
+	token := make(chan struct{}, 1) // one element in flight repository-wide
+	token <- struct{}{}
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for i := 0; i < nq; i++ {
+		qname := fmt.Sprintf("q%d", i)
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perQ; j++ {
+				<-token
+				if _, err := repo.Enqueue(nil, qname, queue.Element{Body: body}, "", nil); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perQ; j++ {
+				if _, err := repo.Dequeue(ctx, nil, qname, "", queue.DequeueOpts{Wait: true}); err != nil {
+					b.Error(err)
+					return
+				}
+				token <- struct{}{}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func BenchmarkRepositoryShardedContention_1Q(b *testing.B)  { benchmarkShardedContention(b, 1, true) }
+func BenchmarkRepositoryShardedContention_4Q(b *testing.B)  { benchmarkShardedContention(b, 4, true) }
+func BenchmarkRepositoryShardedContention_16Q(b *testing.B) { benchmarkShardedContention(b, 16, true) }
+
+func BenchmarkRepositoryShardedContention_16QDurable(b *testing.B) {
+	benchmarkShardedContention(b, 16, false)
 }
 
 // --- E11: cancellation primitive ---

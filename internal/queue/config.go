@@ -40,8 +40,15 @@ var (
 
 // QueueConfig describes a queue. The zero value of every optional field is
 // a sensible default.
+//
+// Concurrency: the repository stores one config per queue, written only
+// under the exclusive repository lock plus the queue's shard lock
+// (UpdateQueueConfig replaces the struct wholesale), so readers may rely
+// on either lock. Name and Volatile are immutable after CreateQueue —
+// UpdateQueueConfig preserves them — which lets hot paths read the
+// queue's cached copies without any lock (see queueState in shard.go).
 type QueueConfig struct {
-	// Name identifies the queue within its repository.
+	// Name identifies the queue within its repository. Immutable.
 	Name string
 	// ErrorQueue names the queue that receives an element after RetryLimit
 	// successive aborts of its dequeuers (Section 4.2). Empty means the
@@ -51,7 +58,10 @@ type QueueConfig struct {
 	// the error queue. Zero means no limit.
 	RetryLimit int32
 	// Volatile queues are neither logged nor snapshotted; their contents
-	// are lost on restart (Section 10's volatile queues).
+	// are lost on restart (Section 10's volatile queues). Immutable: a
+	// queue cannot change durability after creation, and auto-committed
+	// operations on volatile queues take a direct path that bypasses the
+	// transaction manager entirely (see enqueueFast/dequeueFast).
 	Volatile bool
 	// StrictFIFO makes dequeues honour exact FIFO order: a dequeue blocks
 	// behind (rather than skips) an element held by an uncommitted

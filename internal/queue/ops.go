@@ -3,6 +3,7 @@ package queue
 import (
 	"context"
 	"fmt"
+	"sort"
 	"strconv"
 	"time"
 
@@ -88,33 +89,38 @@ func (h *Handle) Registrant() string { return h.registrant }
 func (r *Repository) Register(qname, registrant string, stable bool) (*Handle, RegInfo, error) {
 	var ri RegInfo
 	err := r.autoTxn(nil, func(t *txn.Txn) error {
-		r.mu.Lock()
-		defer r.mu.Unlock()
+		r.mu.RLock()
 		if r.closed {
+			r.mu.RUnlock()
 			return ErrClosed
 		}
 		if _, ok := r.queues[qname]; !ok {
+			r.mu.RUnlock()
 			return fmt.Errorf("%w: %s", ErrNoQueue, qname)
 		}
+		r.mu.RUnlock()
 		k := regKey{queue: qname, registrant: registrant}
+		r.regMu.Lock()
 		if g, ok := r.regs[k]; ok {
 			ri = g.info()
+			r.regMu.Unlock()
 			return nil // re-registration: return prior state, log nothing
 		}
 		g := &registration{key: k, stable: stable}
 		r.regs[k] = g
 		ri = g.info()
+		r.regMu.Unlock()
 		t.OnUndo(func() {
-			r.mu.Lock()
+			r.regMu.Lock()
 			delete(r.regs, k)
-			r.mu.Unlock()
+			r.regMu.Unlock()
 		})
 		b := enc.NewBuffer(32)
 		b.Uint8(opRegister)
 		b.String(qname)
 		b.String(registrant)
 		b.Bool(stable)
-		r.logOpLocked(t, b.Bytes())
+		r.logOp(t, b.Bytes())
 		return nil
 	})
 	if err != nil {
@@ -136,56 +142,65 @@ func (r *Repository) HandleFor(qname, registrant string) *Handle {
 // the handle's queue.
 func (r *Repository) Deregister(h *Handle) error {
 	err := r.autoTxn(nil, func(t *txn.Txn) error {
-		r.mu.Lock()
-		defer r.mu.Unlock()
+		r.mu.RLock()
 		if r.closed {
+			r.mu.RUnlock()
 			return ErrClosed
 		}
+		r.mu.RUnlock()
 		k := regKey{queue: h.queue, registrant: h.registrant}
+		r.regMu.Lock()
 		g, ok := r.regs[k]
 		if !ok {
+			r.regMu.Unlock()
 			return fmt.Errorf("%w: %s on %s", ErrNotRegistered, h.registrant, h.queue)
 		}
 		delete(r.regs, k)
+		r.regMu.Unlock()
 		t.OnUndo(func() {
-			r.mu.Lock()
+			r.regMu.Lock()
 			r.regs[k] = g
-			r.mu.Unlock()
+			r.regMu.Unlock()
 		})
 		b := enc.NewBuffer(32)
 		b.Uint8(opDeregister)
 		b.String(h.queue)
 		b.String(h.registrant)
-		r.logOpLocked(t, b.Bytes())
+		r.logOp(t, b.Bytes())
 		return nil
 	})
 	return err
 }
 
-// updateRegLocked applies a tagged-operation update to the registrant's
-// registration eagerly, registering an undo in t. Caller holds r.mu.
-func (r *Repository) updateRegLocked(t *txn.Txn, qname, registrant string, op OpType, eid EID, tag []byte, elemCopy []byte) {
+// updateReg applies a tagged-operation update to the registrant's
+// registration eagerly, registering an undo in t, and returns the stable
+// copy of e it recorded (nil for unregistered or non-stable registrants).
+// Called with no shard lock held; regMu is a leaf lock.
+func (r *Repository) updateReg(t *txn.Txn, qname, registrant string, op OpType, eid EID, tag []byte, e *Element) []byte {
 	if registrant == "" {
-		return
+		return nil
 	}
 	k := regKey{queue: qname, registrant: registrant}
+	r.regMu.Lock()
 	g, ok := r.regs[k]
 	if !ok || !g.stable {
-		return
+		r.regMu.Unlock()
+		return nil
 	}
+	regCopy := marshalElement(e)
 	prev := *g
 	g.hasLast = true
 	g.lastOp = op
 	g.lastEID = eid
 	g.lastTag = append([]byte(nil), tag...)
-	if elemCopy != nil {
-		g.lastElem = elemCopy
-	}
+	g.lastElem = regCopy
+	r.regMu.Unlock()
 	t.OnUndo(func() {
-		r.mu.Lock()
+		r.regMu.Lock()
 		*g = prev
-		r.mu.Unlock()
+		r.regMu.Unlock()
 	})
+	return regCopy
 }
 
 // --- enqueue ---
@@ -198,56 +213,66 @@ func (r *Repository) updateRegLocked(t *txn.Txn, qname, registrant string, op Op
 // rid have been stably stored", Section 3). registrant and tag feed the
 // persistent registration; pass "" / nil for untagged enqueues.
 func (r *Repository) Enqueue(t *txn.Txn, qname string, e Element, registrant string, tag []byte) (EID, error) {
+	if t == nil {
+		if eid, ok, err := r.enqueueFast(qname, e, registrant, tag); ok {
+			if err != nil {
+				return 0, err
+			}
+			r.maybeSnapshot()
+			return eid, nil
+		}
+	}
 	var eid EID
 	err := r.autoTxn(t, func(t *txn.Txn) error {
-		r.mu.Lock()
-		defer r.mu.Unlock()
+		r.mu.RLock()
 		if r.closed {
+			r.mu.RUnlock()
 			return ErrClosed
 		}
-		qs, target, err := r.resolveRedirectLocked(qname)
+		qs, target, err := r.resolveRedirect(qname)
 		if err != nil {
+			r.mu.RUnlock()
 			return err
 		}
+		e := e.clone()
+		e.EID = EID(r.nextEID.Add(1) - 1)
+		e.Queue = target
+		e.seq = r.nextSeq.Add(1) - 1
+		el := &elem{e: e, state: statePending, owner: t}
+		el.q.Store(qs)
+		qs.lock()
+		r.mu.RUnlock()
 		if qs.cfg.MaxDepth > 0 && qs.live() >= int(qs.cfg.MaxDepth) {
+			qs.unlock()
 			return fmt.Errorf("%w: %s at max depth %d", ErrFull, target, qs.cfg.MaxDepth)
 		}
-		e := e.clone()
-		e.EID = EID(r.nextEID)
-		r.nextEID++
-		e.Queue = target
-		e.seq = r.nextSeq
-		r.nextSeq++
-		el := &elem{e: e, state: statePending, owner: t, q: qs}
 		qs.insert(el)
-		r.elems[e.EID] = el
+		qs.unlock()
+		r.elems.put(e.EID, el)
 		eid = e.EID
 
-		var regCopy []byte
-		if registrant != "" {
-			if g, ok := r.regs[regKey{queue: qname, registrant: registrant}]; ok && g.stable {
-				regCopy = marshalElement(&e)
-			}
-		}
-		r.updateRegLocked(t, qname, registrant, OpEnqueue, e.EID, tag, regCopy)
+		r.updateReg(t, qname, registrant, OpEnqueue, e.EID, tag, &e)
 
 		t.OnUndo(func() {
-			r.mu.Lock()
+			qs.lock()
 			qs.remove(el)
-			delete(r.elems, el.e.EID)
-			r.mu.Unlock()
+			qs.unlock()
+			r.elems.del(el.e.EID)
 		})
 		t.OnCommit(func() {
-			r.mu.Lock()
+			qs.lock()
 			el.state = stateVisible
 			el.owner = nil
 			qs.bumpDepth(1)
 			qs.countEnqueue()
 			depth := qs.stats.Depth
 			alert := qs.cfg.AlertThreshold > 0 && depth == int(qs.cfg.AlertThreshold)
-			fires := r.dueTriggersLocked(target)
-			r.cond.Broadcast()
-			r.mu.Unlock()
+			qs.notifyLocked() // this queue's waiters only
+			qs.unlock()
+			// Alerts and triggers run strictly after the shard lock is
+			// released: both re-enter the repository (fireTrigger enqueues,
+			// the alert callback may).
+			fires := r.dueTriggers(target, depth)
 			if alert {
 				r.fireAlert(target, depth)
 			}
@@ -255,14 +280,14 @@ func (r *Repository) Enqueue(t *txn.Txn, qname string, e Element, registrant str
 				go r.fireTrigger(tr)
 			}
 		})
-		if !qs.cfg.Volatile {
+		if !qs.volatile {
 			b := enc.NewBuffer(64 + len(e.Body))
 			b.Uint8(opEnqueue)
 			encodeElement(b, &e)
 			b.String(registrant)
 			b.BytesField(tag)
 			b.String(qname) // registration queue; differs from e.Queue under redirection
-			r.logOpLocked(t, b.Bytes())
+			r.logOp(t, b.Bytes())
 		}
 		return nil
 	})
@@ -273,9 +298,86 @@ func (r *Repository) Enqueue(t *txn.Txn, qname string, e Element, registrant str
 	return eid, nil
 }
 
-// resolveRedirectLocked follows RedirectTo chains (Section 9's queue
-// redirection), returning the terminal queue.
-func (r *Repository) resolveRedirectLocked(qname string) (*queueState, string, error) {
+// enqueueFast is the direct path for auto-committed enqueues into
+// volatile queues, enabled by the striped design: a volatile enqueue logs
+// nothing and an auto-commit transaction around it cannot abort between
+// insert and commit, so making the element visible inside one shard
+// critical section is indistinguishable from an instantly-committed
+// transaction — without paying for one. Returns ok=false (untouched
+// state) when the target queue is durable and the caller must take the
+// transactional path.
+func (r *Repository) enqueueFast(qname string, e Element, registrant string, tag []byte) (EID, bool, error) {
+	r.mu.RLock()
+	if r.closed {
+		r.mu.RUnlock()
+		return 0, true, ErrClosed
+	}
+	qs, target, err := r.resolveRedirect(qname)
+	if err != nil {
+		r.mu.RUnlock()
+		return 0, true, err
+	}
+	if !qs.volatile {
+		r.mu.RUnlock()
+		return 0, false, nil
+	}
+	e = e.clone()
+	e.EID = EID(r.nextEID.Add(1) - 1)
+	e.Queue = target
+	e.seq = r.nextSeq.Add(1) - 1
+	el := &elem{e: e, state: stateVisible}
+	el.q.Store(qs)
+	qs.lock()
+	r.mu.RUnlock()
+	if qs.cfg.MaxDepth > 0 && qs.live() >= int(qs.cfg.MaxDepth) {
+		qs.unlock()
+		return 0, true, fmt.Errorf("%w: %s at max depth %d", ErrFull, target, qs.cfg.MaxDepth)
+	}
+	qs.insert(el)
+	qs.bumpDepth(1)
+	qs.countEnqueue()
+	depth := qs.stats.Depth
+	alert := qs.cfg.AlertThreshold > 0 && depth == int(qs.cfg.AlertThreshold)
+	qs.notifyLocked()
+	qs.unlock()
+	r.elems.put(e.EID, el)
+	r.fastRegUpdate(qname, registrant, OpEnqueue, e.EID, tag, &e)
+	fires := r.dueTriggers(target, depth)
+	if alert {
+		r.fireAlert(target, depth)
+	}
+	for _, tr := range fires {
+		go r.fireTrigger(tr)
+	}
+	return e.EID, true, nil
+}
+
+// fastRegUpdate applies a tagged-operation update for an auto-committed
+// operation: eager and undo-free, since the operation can no longer
+// abort.
+func (r *Repository) fastRegUpdate(qname, registrant string, op OpType, eid EID, tag []byte, e *Element) {
+	if registrant == "" {
+		return
+	}
+	k := regKey{queue: qname, registrant: registrant}
+	r.regMu.Lock()
+	g, ok := r.regs[k]
+	if !ok || !g.stable {
+		r.regMu.Unlock()
+		return
+	}
+	g.hasLast = true
+	g.lastOp = op
+	g.lastEID = eid
+	g.lastTag = append([]byte(nil), tag...)
+	g.lastElem = marshalElement(e)
+	r.regMu.Unlock()
+}
+
+// resolveRedirect follows RedirectTo chains (Section 9's queue
+// redirection), returning the terminal queue. Caller holds r.mu in either
+// mode (configs only change under the exclusive lock).
+func (r *Repository) resolveRedirect(qname string) (*queueState, string, error) {
 	target := qname
 	for hops := 0; ; hops++ {
 		if hops > 8 {
@@ -302,6 +404,15 @@ func (r *Repository) resolveRedirectLocked(qname string) (*queueState, string, e
 // queue's error queue (Section 4.2).
 func (r *Repository) Dequeue(ctx context.Context, t *txn.Txn, qname, registrant string, opts DequeueOpts) (Element, error) {
 	var out Element
+	if t == nil {
+		if ok, err := r.dequeueFast(ctx, qname, registrant, opts, &out); ok {
+			if err != nil {
+				return Element{}, err
+			}
+			r.maybeSnapshot()
+			return out, nil
+		}
+	}
 	err := r.autoTxn(t, func(t *txn.Txn) error {
 		return r.dequeueInto(ctx, t, qname, registrant, opts, &out)
 	})
@@ -312,55 +423,180 @@ func (r *Repository) Dequeue(ctx context.Context, t *txn.Txn, qname, registrant 
 	return out, nil
 }
 
+// dequeueFast is the direct path for auto-committed dequeues from
+// volatile queues: claim and commit collapse into one shard critical
+// section (remove the element, bump the counters, done). An auto-commit
+// transaction around a volatile dequeue stages no log record and so
+// cannot fail between claim and commit; removing the element outright is
+// the same observable history with no window for Doom to land in.
+// Returns ok=false (untouched state) when the queue is durable.
+func (r *Repository) dequeueFast(ctx context.Context, qname, registrant string, opts DequeueOpts, out *Element) (bool, error) {
+	var waitStart time.Time
+	woken := false
+	var stopWatch func() bool
+	defer func() {
+		if stopWatch != nil {
+			stopWatch()
+		}
+	}()
+	for {
+		r.mu.RLock()
+		if r.closed {
+			r.mu.RUnlock()
+			return true, ErrClosed
+		}
+		qs, ok := r.queues[qname]
+		if !ok {
+			r.mu.RUnlock()
+			return true, fmt.Errorf("%w: %s", ErrNoQueue, qname)
+		}
+		if !qs.volatile {
+			r.mu.RUnlock()
+			return false, nil
+		}
+		qs.lock()
+		r.mu.RUnlock()
+		if qs.stopped {
+			qs.unlock()
+			return true, fmt.Errorf("%w: %s", ErrStopped, qname)
+		}
+		el, blocked := scanQueueLocked(qs, &opts)
+		if el != nil {
+			qs.remove(el)
+			qs.bumpDepth(-1)
+			qs.countDequeue()
+			qs.unlock()
+			r.elems.del(el.e.EID)
+			if woken {
+				r.mWakeTargeted.Inc()
+			}
+			if !waitStart.IsZero() {
+				r.mWaitNanos.Observe(time.Since(waitStart).Nanoseconds())
+			}
+			r.fastRegUpdate(qname, registrant, OpDequeue, el.e.EID, opts.Tag, &el.e)
+			// el is unreachable now (out of the lists and the eid index);
+			// hand its element over without a defensive copy.
+			*out = el.e
+			return true, nil
+		}
+		_ = blocked // strict-FIFO in-flight head: wait like empty
+		if !opts.Wait {
+			qs.unlock()
+			return true, fmt.Errorf("%w: %s", ErrEmpty, qname)
+		}
+		if ctx != nil && ctx.Err() != nil {
+			qs.unlock()
+			return true, ctx.Err()
+		}
+		if woken {
+			r.mWakeSpurious.Inc()
+		}
+		if waitStart.IsZero() {
+			waitStart = time.Now()
+		}
+		if stopWatch == nil && ctx != nil && ctx.Done() != nil {
+			// Installed lazily, before the first wait: the non-blocking
+			// path never pays for the cancellation watcher.
+			stopWatch = context.AfterFunc(ctx, func() { r.wakeQueue(qname) })
+		}
+		qs.cond.Wait()
+		woken = true
+		qs.unlock()
+	}
+}
+
 func (r *Repository) dequeueInto(ctx context.Context, t *txn.Txn, qname, registrant string, opts DequeueOpts, out *Element) error {
 	var waitStart time.Time
+	woken := false
 	var stopWatch func() bool
-	if opts.Wait && ctx != nil {
-		stopWatch = context.AfterFunc(ctx, func() {
-			r.mu.Lock()
-			r.cond.Broadcast()
-			r.mu.Unlock()
-		})
-		defer stopWatch()
-	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	defer func() {
+		if stopWatch != nil {
+			stopWatch()
+		}
+	}()
 	for {
+		r.mu.RLock()
 		if r.closed {
+			r.mu.RUnlock()
 			return ErrClosed
 		}
 		qs, ok := r.queues[qname]
 		if !ok {
+			r.mu.RUnlock()
 			return fmt.Errorf("%w: %s", ErrNoQueue, qname)
 		}
+		qs.lock()
+		r.mu.RUnlock()
 		if qs.stopped {
+			qs.unlock()
 			return fmt.Errorf("%w: %s", ErrStopped, qname)
 		}
 		el, blocked := scanQueueLocked(qs, &opts)
 		if el != nil {
+			claimShardLocked(qs, el, t)
+			qs.unlock()
+			if woken {
+				r.mWakeTargeted.Inc()
+			}
 			if !waitStart.IsZero() {
 				r.mWaitNanos.Observe(time.Since(waitStart).Nanoseconds())
 			}
-			r.claimLocked(t, el, qname, registrant, opts.Tag)
+			r.wireClaim(t, el, qname, registrant, opts.Tag)
+			// el is exclusively owned by t now; cloning outside the shard
+			// lock is safe (only t's own undo mutates it later).
 			*out = el.e.clone()
 			return nil
 		}
 		_ = blocked // strict-FIFO in-flight head: wait like empty
 		if !opts.Wait {
+			qs.unlock()
 			return fmt.Errorf("%w: %s", ErrEmpty, qname)
 		}
 		if ctx != nil && ctx.Err() != nil {
+			qs.unlock()
 			return ctx.Err()
+		}
+		if woken {
+			r.mWakeSpurious.Inc()
 		}
 		if waitStart.IsZero() {
 			waitStart = time.Now()
 		}
-		r.cond.Wait()
+		if stopWatch == nil && ctx != nil && ctx.Done() != nil {
+			// Wake this queue's waiters on cancellation so the loop can
+			// observe ctx.Err(). Installed lazily, before the first wait,
+			// so the non-blocking path never pays for the watcher.
+			stopWatch = context.AfterFunc(ctx, func() { r.wakeQueue(qname) })
+		}
+		// Park on this queue's condition variable; only commits touching
+		// this queue (or DDL on it, or close) signal it. The wait releases
+		// just the shard lock, so checkpoints and other queues proceed.
+		qs.cond.Wait()
+		woken = true
+		qs.unlock()
+		// Re-resolve by name: the queue may have been destroyed (dead) or
+		// destroyed-and-recreated while we were parked.
 	}
+}
+
+// wakeQueue broadcasts on one queue's condition variable (context
+// cancellation path).
+func (r *Repository) wakeQueue(qname string) {
+	r.mu.RLock()
+	qs, ok := r.queues[qname]
+	if !ok {
+		r.mu.RUnlock()
+		return
+	}
+	qs.lock()
+	r.mu.RUnlock()
+	qs.cond.Broadcast()
+	qs.unlock()
 }
 
 // scanQueueLocked finds the dequeue candidate. blocked reports that a
 // strict-FIFO queue's next element is held by an uncommitted transaction.
+// Caller holds the shard lock.
 func scanQueueLocked(qs *queueState, opts *DequeueOpts) (*elem, bool) {
 	prefer := opts.effectivePrefer()
 	var best *elem
@@ -392,67 +628,36 @@ func scanQueueLocked(qs *queueState, opts *DequeueOpts) (*elem, bool) {
 	return best, false
 }
 
-// claimLocked marks el dequeued by t, wires undo/commit behaviour, updates
-// the registration, and logs the redo op. Caller holds r.mu.
-func (r *Repository) claimLocked(t *txn.Txn, el *elem, regQueue, registrant string, tag []byte) {
-	qs := el.q
+// claimShardLocked is the in-shard half of a dequeue claim. Caller holds
+// el's shard lock and follows up with wireClaim after releasing it.
+func claimShardLocked(qs *queueState, el *elem, t *txn.Txn) {
 	el.state = stateDequeued
 	el.owner = t
 	qs.bumpDepth(-1)
 	qs.bumpInFlight(1)
+}
 
-	var regCopy []byte
-	if registrant != "" {
-		if g, ok := r.regs[regKey{queue: regQueue, registrant: registrant}]; ok && g.stable {
-			regCopy = marshalElement(&el.e)
-		}
-	}
-	r.updateRegLocked(t, regQueue, registrant, OpDequeue, el.e.EID, tag, regCopy)
+// claimReturn records what the abort path did, for the OnAbort hook's
+// durable abort-return record.
+type claimReturn struct {
+	count   int32
+	moved   string
+	volatil bool
+	killed  bool
+}
+
+// wireClaim finishes a dequeue claim outside the shard lock: registration
+// update, undo/abort/commit behaviour, and redo-record staging (the WAL
+// record is staged here and appended by the transaction's commit — never
+// under a shard lock).
+func (r *Repository) wireClaim(t *txn.Txn, el *elem, regQueue, registrant string, tag []byte) {
+	regCopy := r.updateReg(t, regQueue, registrant, OpDequeue, el.e.EID, tag, &el.e)
 
 	// Abort: return the element (or divert to the error queue on the n-th
 	// abort, or drop it if killed meanwhile). The durable record of the
-	// abort-return is written by the OnAbort hook, outside r.mu.
-	var returned struct {
-		count   int32
-		moved   string
-		volatil bool
-		killed  bool
-	}
-	t.OnUndo(func() {
-		r.mu.Lock()
-		defer r.mu.Unlock()
-		qs.bumpInFlight(-1)
-		if el.killed {
-			qs.remove(el)
-			delete(r.elems, el.e.EID)
-			returned.killed = true
-			r.cond.Broadcast()
-			return
-		}
-		el.owner = nil
-		el.e.AbortCount++
-		returned.count = el.e.AbortCount
-		returned.volatil = qs.cfg.Volatile
-		qs.countRequeue()
-		if qs.cfg.RetryLimit > 0 && el.e.AbortCount >= qs.cfg.RetryLimit && qs.cfg.ErrorQueue != "" {
-			if eqs, ok := r.queues[qs.cfg.ErrorQueue]; ok {
-				qs.remove(el)
-				el.e.Queue = qs.cfg.ErrorQueue
-				el.e.AbortCode = fmt.Sprintf("aborted %d times", el.e.AbortCount)
-				el.q = eqs
-				el.state = stateVisible
-				eqs.insert(el)
-				eqs.bumpDepth(1)
-				qs.countDiversion()
-				returned.moved = qs.cfg.ErrorQueue
-				r.cond.Broadcast()
-				return
-			}
-		}
-		el.state = stateVisible
-		qs.bumpDepth(1)
-		r.cond.Broadcast()
-	})
+	// abort-return is written by the OnAbort hook, outside all locks.
+	returned := &claimReturn{}
+	t.OnUndo(func() { r.undoClaim(el, returned) })
 	t.OnAbort(func() {
 		if returned.killed || returned.volatil {
 			return
@@ -460,15 +665,18 @@ func (r *Repository) claimLocked(t *txn.Txn, el *elem, regQueue, registrant stri
 		r.logAbortReturn(el.e.EID, returned.count, returned.moved)
 	})
 	t.OnCommit(func() {
-		r.mu.Lock()
+		qs := el.q.Load() // stable while dequeued (diversion happens only on abort)
+		qs.lock()
 		qs.remove(el)
-		delete(r.elems, el.e.EID)
 		qs.bumpInFlight(-1)
 		qs.countDequeue()
-		r.cond.Broadcast() // strict-FIFO waiters behind this element
-		r.mu.Unlock()
+		if qs.cfg.StrictFIFO {
+			qs.notifyLocked() // waiters were blocked behind this in-flight head
+		}
+		qs.unlock()
+		r.elems.del(el.e.EID)
 	})
-	if !qs.cfg.Volatile {
+	if !el.q.Load().volatile {
 		b := enc.NewBuffer(64)
 		b.Uint8(opDequeue)
 		b.String(el.e.Queue)
@@ -477,14 +685,68 @@ func (r *Repository) claimLocked(t *txn.Txn, el *elem, regQueue, registrant stri
 		b.String(registrant)
 		b.BytesField(tag)
 		b.BytesField(regCopy)
-		r.logOpLocked(t, b.Bytes())
+		r.logOp(t, b.Bytes())
 	}
+}
+
+// undoClaim returns a claimed element to its queue when the claiming
+// transaction rolls back: plain requeue, error-queue diversion on the
+// retry limit, or drop if killed meanwhile. Runs with no locks held; the
+// two-shard diversion case locks both shards in name order (lockPair).
+func (r *Repository) undoClaim(el *elem, returned *claimReturn) {
+	r.mu.RLock()
+	qs := el.q.Load() // stable: only this undo moves a dequeued element
+	var eqs *queueState
+	if qs.cfg.RetryLimit > 0 && qs.cfg.ErrorQueue != "" {
+		eqs = r.queues[qs.cfg.ErrorQueue] // may be nil (missing error queue)
+	}
+	lockPair(qs, eqs)
+	r.mu.RUnlock()
+
+	qs.bumpInFlight(-1)
+	if el.killed {
+		qs.remove(el)
+		returned.killed = true
+		strict := qs.cfg.StrictFIFO
+		if strict {
+			qs.notifyLocked() // removal unblocks waiters behind the head
+		}
+		unlockPair(qs, eqs)
+		r.elems.del(el.e.EID)
+		return
+	}
+	el.owner = nil
+	el.e.AbortCount++
+	returned.count = el.e.AbortCount
+	returned.volatil = qs.volatile
+	qs.countRequeue()
+	if eqs != nil && el.e.AbortCount >= qs.cfg.RetryLimit {
+		qs.remove(el)
+		el.e.Queue = eqs.name
+		el.e.AbortCode = fmt.Sprintf("aborted %d times", el.e.AbortCount)
+		el.q.Store(eqs)
+		el.state = stateVisible
+		eqs.insert(el)
+		eqs.bumpDepth(1)
+		qs.countDiversion()
+		returned.moved = eqs.name
+		eqs.notifyLocked() // new visible element in the error queue
+		if eqs != qs && qs.cfg.StrictFIFO {
+			qs.notifyLocked() // head removed from the source queue
+		}
+		unlockPair(qs, eqs)
+		return
+	}
+	el.state = stateVisible
+	qs.bumpDepth(1)
+	qs.notifyLocked() // element visible again
+	unlockPair(qs, eqs)
 }
 
 // logAbortReturn durably records that an aborted dequeue returned an
 // element (with its new abort count, possibly diverted to an error queue),
-// so retry counting survives crashes. Runs outside r.mu, in its own
-// system transaction.
+// so retry counting survives crashes. Runs outside all repository locks,
+// in its own system transaction.
 func (r *Repository) logAbortReturn(eid EID, count int32, movedTo string) {
 	st := r.tm.Begin()
 	b := enc.NewBuffer(24)
@@ -498,32 +760,69 @@ func (r *Repository) logAbortReturn(eid EID, count int32, movedTo string) {
 
 // DequeueSet dequeues the best available element across several queues (a
 // "queue set", Section 9): highest priority first, then oldest. All queues
-// must exist; StrictFIFO blocking applies per queue.
+// must exist; StrictFIFO blocking applies per queue. While waiting, the
+// caller registers a waiter token on every member queue, so a commit on
+// any member wakes this set — and commits elsewhere wake nothing.
 func (r *Repository) DequeueSet(ctx context.Context, t *txn.Txn, qnames []string, registrant string, opts DequeueOpts) (Element, error) {
 	var out Element
 	err := r.autoTxn(t, func(t *txn.Txn) error {
-		var stopWatch func() bool
-		if opts.Wait && ctx != nil {
-			stopWatch = context.AfterFunc(ctx, func() {
-				r.mu.Lock()
-				r.cond.Broadcast()
-				r.mu.Unlock()
-			})
-			defer stopWatch()
+		// Sorted unique names give the ordered multi-shard acquisition.
+		names := append([]string(nil), qnames...)
+		sort.Strings(names)
+		uniq := names[:0]
+		for i, n := range names {
+			if i == 0 || n != names[i-1] {
+				uniq = append(uniq, n)
+			}
 		}
-		r.mu.Lock()
-		defer r.mu.Unlock()
+		names = uniq
+		if len(names) == 0 {
+			return fmt.Errorf("%w: empty set", ErrNoQueue)
+		}
+
+		var sw *setWaiter
+		var registered []*queueState // shards carrying sw, for cleanup
+		if opts.Wait {
+			sw = newSetWaiter()
+			if ctx != nil && ctx.Done() != nil {
+				stop := context.AfterFunc(ctx, sw.fire)
+				defer stop()
+			}
+			defer func() {
+				for _, qs := range registered {
+					qs.lock()
+					delete(qs.setWaiters, sw)
+					qs.unlock()
+				}
+			}()
+		}
+
+		var waitStart time.Time
+		woken := false
+		cur := make([]*queueState, len(names))
 		for {
+			r.mu.RLock()
 			if r.closed {
+				r.mu.RUnlock()
 				return ErrClosed
 			}
-			var best *elem
-			var bestQueue string
-			for _, qname := range qnames {
-				qs, ok := r.queues[qname]
+			for i, n := range names {
+				qs, ok := r.queues[n]
 				if !ok {
-					return fmt.Errorf("%w: %s", ErrNoQueue, qname)
+					r.mu.RUnlock()
+					return fmt.Errorf("%w: %s", ErrNoQueue, n)
 				}
+				cur[i] = qs
+			}
+			for _, qs := range cur {
+				qs.lock()
+			}
+			r.mu.RUnlock()
+
+			var best *elem
+			var bestQS *queueState
+			var bestQueue string
+			for i, qs := range cur {
 				if qs.stopped {
 					continue
 				}
@@ -534,21 +833,57 @@ func (r *Repository) DequeueSet(ctx context.Context, t *txn.Txn, qnames []string
 				if best == nil || el.e.Priority > best.e.Priority ||
 					(el.e.Priority == best.e.Priority && el.e.seq < best.e.seq) {
 					best = el
-					bestQueue = qname
+					bestQS = qs
+					bestQueue = names[i]
 				}
 			}
 			if best != nil {
-				r.claimLocked(t, best, bestQueue, registrant, opts.Tag)
+				claimShardLocked(bestQS, best, t)
+				for i := len(cur) - 1; i >= 0; i-- {
+					cur[i].unlock()
+				}
+				if woken {
+					r.mWakeTargeted.Inc()
+				}
+				if !waitStart.IsZero() {
+					r.mWaitNanos.Observe(time.Since(waitStart).Nanoseconds())
+				}
+				r.wireClaim(t, best, bestQueue, registrant, opts.Tag)
 				out = best.e.clone()
 				return nil
 			}
 			if !opts.Wait {
+				for i := len(cur) - 1; i >= 0; i-- {
+					cur[i].unlock()
+				}
 				return fmt.Errorf("%w: set %v", ErrEmpty, qnames)
 			}
 			if ctx != nil && ctx.Err() != nil {
+				for i := len(cur) - 1; i >= 0; i-- {
+					cur[i].unlock()
+				}
 				return ctx.Err()
 			}
-			r.cond.Wait()
+			if woken {
+				r.mWakeSpurious.Inc()
+			}
+			// Subscribe to every member while still holding all shard
+			// locks: any commit after this release finds the token, so no
+			// wakeup is lost between scan and wait.
+			for _, qs := range cur {
+				if _, ok := qs.setWaiters[sw]; !ok {
+					qs.setWaiters[sw] = struct{}{}
+					registered = append(registered, qs)
+				}
+			}
+			for i := len(cur) - 1; i >= 0; i-- {
+				cur[i].unlock()
+			}
+			if waitStart.IsZero() {
+				waitStart = time.Now()
+			}
+			sw.wait()
+			woken = true
 		}
 	})
 	if err != nil {
@@ -563,13 +898,21 @@ func (r *Repository) DequeueSet(ctx context.Context, t *txn.Txn, qnames []string
 // 4.2). Elements held by uncommitted dequeuers are readable (their
 // committed state is "in the queue"); uncommitted enqueues are not.
 func (r *Repository) Read(eid EID) (Element, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	el, ok := r.elems[eid]
-	if !ok || el.state == statePending {
+	el, ok := r.elems.get(eid)
+	if !ok {
 		return Element{}, fmt.Errorf("%w: eid %d", ErrNotFound, eid)
 	}
-	return el.e.clone(), nil
+	qs := r.lockElem(el)
+	if qs == nil {
+		return Element{}, fmt.Errorf("%w: eid %d", ErrNotFound, eid)
+	}
+	if el.state == statePending {
+		qs.unlock()
+		return Element{}, fmt.Errorf("%w: eid %d", ErrNotFound, eid)
+	}
+	e := el.e.clone()
+	qs.unlock()
+	return e, nil
 }
 
 // ReadLast returns the element most recently operated on by the handle's
@@ -577,16 +920,19 @@ func (r *Repository) Read(eid EID) (Element, error) {
 // element has since been consumed (the basis of Rereceive, Sections 4.3
 // and 5).
 func (r *Repository) ReadLast(h *Handle) (Element, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.regMu.Lock()
 	g, ok := r.regs[regKey{queue: h.queue, registrant: h.registrant}]
 	if !ok {
+		r.regMu.Unlock()
 		return Element{}, fmt.Errorf("%w: %s on %s", ErrNotRegistered, h.registrant, h.queue)
 	}
 	if !g.hasLast || g.lastElem == nil {
+		r.regMu.Unlock()
 		return Element{}, fmt.Errorf("%w: no last element for %s", ErrNotFound, h.registrant)
 	}
-	return unmarshalElement(g.lastElem)
+	data := g.lastElem
+	r.regMu.Unlock()
+	return unmarshalElement(data)
 }
 
 // --- cancellation ---
@@ -599,21 +945,25 @@ func (r *Repository) ReadLast(h *Handle) (Element, error) {
 // KillElement reports whether the element is now guaranteed dead. It is
 // always auto-committed.
 func (r *Repository) KillElement(eid EID) (bool, error) {
-	r.mu.Lock()
+	r.mu.RLock()
 	if r.closed {
-		r.mu.Unlock()
+		r.mu.RUnlock()
 		return false, ErrClosed
 	}
-	el, ok := r.elems[eid]
+	r.mu.RUnlock()
+	el, ok := r.elems.get(eid)
 	if !ok {
-		r.mu.Unlock()
 		return false, nil // already consumed (or never existed)
+	}
+	qs := r.lockElem(el)
+	if qs == nil {
+		return false, nil // consumed (or its queue destroyed) meanwhile
 	}
 	switch el.state {
 	case statePending:
 		// Uncommitted enqueue: the killer cannot have learned this eid
 		// through a committed channel; treat as not-found.
-		r.mu.Unlock()
+		qs.unlock()
 		return false, nil
 	case stateDequeued:
 		// Mark killed first so the owner's abort-undo (which may run at any
@@ -621,9 +971,9 @@ func (r *Repository) KillElement(eid EID) (bool, error) {
 		// owner to die. Doom's answer is authoritative: true means the
 		// owner is guaranteed to abort.
 		owner := el.owner
-		volatil := el.q.cfg.Volatile
+		volatil := qs.volatile
 		el.killed = true
-		r.mu.Unlock()
+		qs.unlock()
 		if owner != nil && owner.Doom() {
 			if !volatil {
 				r.logKill(eid)
@@ -633,16 +983,16 @@ func (r *Repository) KillElement(eid EID) (bool, error) {
 		// The owner's outcome is out of our hands: it committed (element
 		// consumed — not killed), is prepared (coordinator owns it), or
 		// already aborted. In the last case its undo ran before we set
-		// killed (state transitions under r.mu make later undos see the
-		// flag), so check whether the flag took effect.
-		r.mu.Lock()
-		cur, present := r.elems[eid]
+		// killed (state transitions under the shard lock make later undos
+		// see the flag), so check whether the flag took effect.
+		cur, present := r.elems.get(eid)
 		if present && cur == el {
-			el.killed = false // owner will (or did) consume or keep it
-			r.mu.Unlock()
-			return false, nil
+			if qs2 := r.lockElem(el); qs2 != nil {
+				el.killed = false // owner will (or did) consume or keep it
+				qs2.unlock()
+				return false, nil
+			}
 		}
-		r.mu.Unlock()
 		if owner != nil && owner.State() == txn.Aborted {
 			// Element is gone and the owner aborted: the kill took effect.
 			if !volatil {
@@ -652,19 +1002,18 @@ func (r *Repository) KillElement(eid EID) (bool, error) {
 		}
 		return false, nil
 	case stateVisible:
-		qs := el.q
 		qs.remove(el)
-		delete(r.elems, eid)
 		qs.bumpDepth(-1)
 		qs.countKill()
-		volatil := qs.cfg.Volatile
-		r.mu.Unlock()
+		volatil := qs.volatile
+		qs.unlock()
+		r.elems.del(eid)
 		if !volatil {
 			r.logKill(eid)
 		}
 		return true, nil
 	}
-	r.mu.Unlock()
+	qs.unlock()
 	return false, nil
 }
 
@@ -688,11 +1037,13 @@ func (r *Repository) KVSet(ctx context.Context, t *txn.Txn, table, key string, v
 			return err
 		}
 		value := append([]byte(nil), value...)
-		r.mu.Lock()
-		defer r.mu.Unlock()
+		r.mu.RLock()
 		if r.closed {
+			r.mu.RUnlock()
 			return ErrClosed
 		}
+		r.mu.RUnlock()
+		r.kvMu.Lock()
 		tbl, ok := r.tables[table]
 		if !ok {
 			tbl = make(map[string][]byte)
@@ -700,21 +1051,22 @@ func (r *Repository) KVSet(ctx context.Context, t *txn.Txn, table, key string, v
 		}
 		old, had := tbl[key]
 		tbl[key] = value
+		r.kvMu.Unlock()
 		t.OnUndo(func() {
-			r.mu.Lock()
+			r.kvMu.Lock()
 			if had {
 				tbl[key] = old
 			} else {
 				delete(tbl, key)
 			}
-			r.mu.Unlock()
+			r.kvMu.Unlock()
 		})
 		b := enc.NewBuffer(32 + len(value))
 		b.Uint8(opKVSet)
 		b.String(table)
 		b.String(key)
 		b.BytesField(value)
-		r.logOpLocked(t, b.Bytes())
+		r.logOp(t, b.Bytes())
 		return nil
 	})
 }
@@ -732,11 +1084,14 @@ func (r *Repository) KVGet(ctx context.Context, t *txn.Txn, table, key string, f
 			return nil, false, err
 		}
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
 	if r.closed {
+		r.mu.RUnlock()
 		return nil, false, ErrClosed
 	}
+	r.mu.RUnlock()
+	r.kvMu.Lock()
+	defer r.kvMu.Unlock()
 	v, ok := r.tables[table][key]
 	if !ok {
 		return nil, false, nil
@@ -750,26 +1105,29 @@ func (r *Repository) KVDelete(ctx context.Context, t *txn.Txn, table, key string
 		if err := t.Lock(ctx, kvResource(table, key), lock.Exclusive); err != nil {
 			return err
 		}
-		r.mu.Lock()
-		defer r.mu.Unlock()
+		r.mu.RLock()
 		if r.closed {
+			r.mu.RUnlock()
 			return ErrClosed
 		}
+		r.mu.RUnlock()
+		r.kvMu.Lock()
 		tbl := r.tables[table]
 		old, had := tbl[key]
 		if had {
 			delete(tbl, key)
 			t.OnUndo(func() {
-				r.mu.Lock()
+				r.kvMu.Lock()
 				tbl[key] = old
-				r.mu.Unlock()
+				r.kvMu.Unlock()
 			})
 		}
+		r.kvMu.Unlock()
 		b := enc.NewBuffer(32)
 		b.Uint8(opKVDel)
 		b.String(table)
 		b.String(key)
-		r.logOpLocked(t, b.Bytes())
+		r.logOp(t, b.Bytes())
 		return nil
 	})
 }
@@ -791,8 +1149,8 @@ func (h *Handle) ReadLast() (Element, error) { return h.r.ReadLast(h) }
 
 // Info returns the registrant's current persistent registration info.
 func (h *Handle) Info() (RegInfo, error) {
-	h.r.mu.Lock()
-	defer h.r.mu.Unlock()
+	h.r.regMu.Lock()
+	defer h.r.regMu.Unlock()
 	g, ok := h.r.regs[regKey{queue: h.queue, registrant: h.registrant}]
 	if !ok {
 		return RegInfo{}, fmt.Errorf("%w: %s on %s", ErrNotRegistered, h.registrant, h.queue)

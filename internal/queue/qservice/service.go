@@ -344,6 +344,10 @@ func (s *Service) handleCreateQueue(p []byte) ([]byte, error) {
 	return respond(err, nil), nil
 }
 
+// handleDepth serves qm.depth. Depth is a lock-free gauge read on the
+// repository side (it serializes against nothing but the queue lookup),
+// so remote pollers — load balancers watching backlog, qmctl watch loops
+// — can call it at high rate without perturbing enqueuers or dequeuers.
 func (s *Service) handleDepth(p []byte) ([]byte, error) {
 	r := enc.NewReader(p)
 	qname := r.String()

@@ -2,6 +2,7 @@ package queue
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/enc"
 	"repro/internal/txn"
@@ -28,18 +29,46 @@ const (
 // RMName implements txn.ResourceManager.
 func (r *Repository) RMName() string { return rmName }
 
+// raiseFloor lifts an atomic counter to at least min (CAS max; recovery
+// replays concurrently-allocated ids in commit order).
+func raiseFloor(a *atomic.Uint64, min uint64) {
+	for {
+		cur := a.Load()
+		if cur >= min {
+			return
+		}
+		if a.CompareAndSwap(cur, min) {
+			return
+		}
+	}
+}
+
+// lockedQueue looks up a queue by name and returns it with its shard lock
+// held (nil if absent). Replay-path helper; follows the repo→shard order.
+func (r *Repository) lockedQueue(name string) *queueState {
+	r.mu.RLock()
+	qs, ok := r.queues[name]
+	if !ok {
+		r.mu.RUnlock()
+		return nil
+	}
+	qs.lock()
+	r.mu.RUnlock()
+	return qs
+}
+
 // Redo re-applies one committed operation at recovery. Operations replay
 // in original commit order, so every precondition (queue exists, element
 // exists) holds by construction; violations indicate a corrupt log and are
-// reported.
+// reported. Replay is single-threaded, but it takes the same fine-grained
+// locks as live traffic so the invariants hold uniformly (and stay clean
+// under the race detector in tests that replay concurrently with reads).
 func (r *Repository) Redo(data []byte) error {
 	rd := enc.NewReader(data)
 	kind := rd.Uint8()
 	if err := rd.Err(); err != nil {
 		return err
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	switch kind {
 	case opEnqueue:
 		e, err := decodeElement(rd)
@@ -52,22 +81,20 @@ func (r *Repository) Redo(data []byte) error {
 		if err := rd.Err(); err != nil {
 			return err
 		}
-		qs, ok := r.queues[e.Queue]
-		if !ok {
+		qs := r.lockedQueue(e.Queue)
+		if qs == nil {
 			return fmt.Errorf("queue: redo enqueue into missing queue %s", e.Queue)
 		}
-		el := &elem{e: e, state: stateVisible, q: qs}
+		el := &elem{e: e, state: stateVisible}
+		el.q.Store(qs)
 		qs.insert(el)
 		qs.bumpDepth(1)
 		qs.countEnqueue()
-		r.elems[e.EID] = el
-		if uint64(e.EID) >= r.nextEID {
-			r.nextEID = uint64(e.EID) + 1
-		}
-		if e.seq >= r.nextSeq {
-			r.nextSeq = e.seq + 1
-		}
-		r.redoRegUpdateLocked(regQueue, registrant, OpEnqueue, e.EID, tag, marshalElement(&e))
+		qs.unlock()
+		r.elems.put(e.EID, el)
+		raiseFloor(&r.nextEID, uint64(e.EID)+1)
+		raiseFloor(&r.nextSeq, e.seq+1)
+		r.redoRegUpdate(regQueue, registrant, OpEnqueue, e.EID, tag, marshalElement(&e))
 		return nil
 
 	case opDequeue:
@@ -80,18 +107,23 @@ func (r *Repository) Redo(data []byte) error {
 		if err := rd.Err(); err != nil {
 			return err
 		}
-		el, ok := r.elems[eid]
+		el, ok := r.elems.get(eid)
 		if !ok {
 			return fmt.Errorf("queue: redo dequeue of missing element %d", eid)
 		}
-		el.q.remove(el)
-		el.q.bumpDepth(-1)
-		el.q.countDequeue()
-		delete(r.elems, eid)
+		qs := r.lockElem(el)
+		if qs == nil {
+			return fmt.Errorf("queue: redo dequeue of missing element %d", eid)
+		}
+		qs.remove(el)
+		qs.bumpDepth(-1)
+		qs.countDequeue()
+		qs.unlock()
+		r.elems.del(eid)
 		if len(regCopy) == 0 {
 			regCopy = nil
 		}
-		r.redoRegUpdateLocked(regQueue, registrant, OpDequeue, eid, tag, regCopy)
+		r.redoRegUpdate(regQueue, registrant, OpDequeue, eid, tag, regCopy)
 		return nil
 
 	case opKill:
@@ -99,13 +131,16 @@ func (r *Repository) Redo(data []byte) error {
 		if err := rd.Err(); err != nil {
 			return err
 		}
-		if el, ok := r.elems[eid]; ok {
-			el.q.remove(el)
-			if el.state == stateVisible {
-				el.q.bumpDepth(-1)
+		if el, ok := r.elems.get(eid); ok {
+			if qs := r.lockElem(el); qs != nil {
+				qs.remove(el)
+				if el.state == stateVisible {
+					qs.bumpDepth(-1)
+				}
+				qs.countKill()
+				qs.unlock()
 			}
-			el.q.countKill()
-			delete(r.elems, eid)
+			r.elems.del(eid)
 		}
 		return nil
 
@@ -116,27 +151,34 @@ func (r *Repository) Redo(data []byte) error {
 		if err := rd.Err(); err != nil {
 			return err
 		}
-		el, ok := r.elems[eid]
+		el, ok := r.elems.get(eid)
 		if !ok {
 			return nil // element since consumed; count no longer matters
 		}
-		el.e.AbortCount = count
+		r.mu.RLock()
+		qs := el.q.Load()
+		var eqs *queueState
 		if movedTo != "" && el.e.Queue != movedTo {
-			if eqs, ok := r.queues[movedTo]; ok {
-				el.q.remove(el)
-				if el.state == stateVisible {
-					el.q.bumpDepth(-1)
-				}
-				el.q.countDiversion()
-				el.e.Queue = movedTo
-				el.e.AbortCode = fmt.Sprintf("aborted %d times", count)
-				el.q = eqs
-				eqs.insert(el)
-				if el.state == stateVisible {
-					eqs.bumpDepth(1)
-				}
+			eqs = r.queues[movedTo]
+		}
+		lockPair(qs, eqs)
+		r.mu.RUnlock()
+		el.e.AbortCount = count
+		if eqs != nil && eqs != qs {
+			qs.remove(el)
+			if el.state == stateVisible {
+				qs.bumpDepth(-1)
+			}
+			qs.countDiversion()
+			el.e.Queue = movedTo
+			el.e.AbortCode = fmt.Sprintf("aborted %d times", count)
+			el.q.Store(eqs)
+			eqs.insert(el)
+			if el.state == stateVisible {
+				eqs.bumpDepth(1)
 			}
 		}
+		unlockPair(qs, eqs)
 		return nil
 
 	case opCreateQueue:
@@ -144,6 +186,8 @@ func (r *Repository) Redo(data []byte) error {
 		if err := rd.Err(); err != nil {
 			return err
 		}
+		r.mu.Lock()
+		defer r.mu.Unlock()
 		if _, ok := r.queues[cfg.Name]; ok {
 			return fmt.Errorf("queue: redo create of existing queue %s", cfg.Name)
 		}
@@ -155,17 +199,26 @@ func (r *Repository) Redo(data []byte) error {
 		if err := rd.Err(); err != nil {
 			return err
 		}
+		r.mu.Lock()
+		defer r.mu.Unlock()
 		qs, ok := r.queues[name]
 		if !ok {
 			return nil
 		}
+		qs.lock()
+		var eids []EID
 		for _, l := range qs.lists {
 			for n := l.Front(); n != nil; n = n.Next() {
-				delete(r.elems, n.Value.(*elem).e.EID)
+				eids = append(eids, n.Value.(*elem).e.EID)
 			}
 		}
 		delete(r.queues, name)
+		qs.dead = true
 		qs.m.depth.Add(-int64(qs.stats.Depth))
+		qs.unlock()
+		for _, eid := range eids {
+			r.elems.del(eid)
+		}
 		return nil
 
 	case opRegister:
@@ -176,9 +229,11 @@ func (r *Repository) Redo(data []byte) error {
 			return err
 		}
 		k := regKey{queue: qname, registrant: registrant}
+		r.regMu.Lock()
 		if _, ok := r.regs[k]; !ok {
 			r.regs[k] = &registration{key: k, stable: stable}
 		}
+		r.regMu.Unlock()
 		return nil
 
 	case opDeregister:
@@ -187,7 +242,9 @@ func (r *Repository) Redo(data []byte) error {
 		if err := rd.Err(); err != nil {
 			return err
 		}
+		r.regMu.Lock()
 		delete(r.regs, regKey{queue: qname, registrant: registrant})
+		r.regMu.Unlock()
 		return nil
 
 	case opSetStopped:
@@ -196,8 +253,12 @@ func (r *Repository) Redo(data []byte) error {
 		if err := rd.Err(); err != nil {
 			return err
 		}
+		r.mu.Lock()
+		defer r.mu.Unlock()
 		if qs, ok := r.queues[name]; ok {
+			qs.lock()
 			qs.stopped = stopped
+			qs.unlock()
 		}
 		return nil
 
@@ -208,12 +269,14 @@ func (r *Repository) Redo(data []byte) error {
 		if err := rd.Err(); err != nil {
 			return err
 		}
+		r.kvMu.Lock()
 		tbl, ok := r.tables[table]
 		if !ok {
 			tbl = make(map[string][]byte)
 			r.tables[table] = tbl
 		}
 		tbl[key] = value
+		r.kvMu.Unlock()
 		return nil
 
 	case opKVDel:
@@ -222,7 +285,9 @@ func (r *Repository) Redo(data []byte) error {
 		if err := rd.Err(); err != nil {
 			return err
 		}
+		r.kvMu.Lock()
 		delete(r.tables[table], key)
+		r.kvMu.Unlock()
 		return nil
 
 	case opTriggerCreate:
@@ -235,7 +300,9 @@ func (r *Repository) Redo(data []byte) error {
 			return err
 		}
 		tr.fire = e
+		r.trigMu.Lock()
 		r.triggers[tr.id] = tr
+		r.trigMu.Unlock()
 		return nil
 
 	case opTriggerFire:
@@ -243,7 +310,9 @@ func (r *Repository) Redo(data []byte) error {
 		if err := rd.Err(); err != nil {
 			return err
 		}
+		r.trigMu.Lock()
 		delete(r.triggers, id)
+		r.trigMu.Unlock()
 		return nil
 
 	case opUpdateQueue:
@@ -251,9 +320,13 @@ func (r *Repository) Redo(data []byte) error {
 		if err := rd.Err(); err != nil {
 			return err
 		}
+		r.mu.Lock()
+		defer r.mu.Unlock()
 		if qs, ok := r.queues[cfg.Name]; ok {
+			qs.lock()
 			cfg.Volatile = qs.cfg.Volatile
 			qs.cfg = cfg
+			qs.unlock()
 		}
 		return nil
 
@@ -262,11 +335,13 @@ func (r *Repository) Redo(data []byte) error {
 	}
 }
 
-// redoRegUpdateLocked applies a tagged-operation update during replay.
-func (r *Repository) redoRegUpdateLocked(qname, registrant string, op OpType, eid EID, tag, elemCopy []byte) {
+// redoRegUpdate applies a tagged-operation update during replay.
+func (r *Repository) redoRegUpdate(qname, registrant string, op OpType, eid EID, tag, elemCopy []byte) {
 	if registrant == "" {
 		return
 	}
+	r.regMu.Lock()
+	defer r.regMu.Unlock()
 	g, ok := r.regs[regKey{queue: qname, registrant: registrant}]
 	if !ok || !g.stable {
 		return
@@ -301,42 +376,32 @@ func (r *Repository) RedoPrepared(t *txn.Txn, data []byte) error {
 		if err := rd.Err(); err != nil {
 			return err
 		}
-		r.mu.Lock()
-		defer r.mu.Unlock()
-		qs, ok := r.queues[e.Queue]
-		if !ok {
+		qs := r.lockedQueue(e.Queue)
+		if qs == nil {
 			return fmt.Errorf("queue: redo-prepared enqueue into missing queue %s", e.Queue)
 		}
-		el := &elem{e: e, state: statePending, owner: t, q: qs}
+		el := &elem{e: e, state: statePending, owner: t}
+		el.q.Store(qs)
 		qs.insert(el)
-		r.elems[e.EID] = el
-		if uint64(e.EID) >= r.nextEID {
-			r.nextEID = uint64(e.EID) + 1
-		}
-		if e.seq >= r.nextSeq {
-			r.nextSeq = e.seq + 1
-		}
-		var regCopy []byte
-		if registrant != "" {
-			if g, ok := r.regs[regKey{queue: regQueue, registrant: registrant}]; ok && g.stable {
-				regCopy = marshalElement(&e)
-			}
-		}
-		r.updateRegLocked(t, regQueue, registrant, OpEnqueue, e.EID, tag, regCopy)
+		qs.unlock()
+		r.elems.put(e.EID, el)
+		raiseFloor(&r.nextEID, uint64(e.EID)+1)
+		raiseFloor(&r.nextSeq, e.seq+1)
+		r.updateReg(t, regQueue, registrant, OpEnqueue, e.EID, tag, &e)
 		t.OnUndo(func() {
-			r.mu.Lock()
+			qs.lock()
 			qs.remove(el)
-			delete(r.elems, el.e.EID)
-			r.mu.Unlock()
+			qs.unlock()
+			r.elems.del(el.e.EID)
 		})
 		t.OnCommit(func() {
-			r.mu.Lock()
+			qs.lock()
 			el.state = stateVisible
 			el.owner = nil
 			qs.bumpDepth(1)
 			qs.countEnqueue()
-			r.cond.Broadcast()
-			r.mu.Unlock()
+			qs.notifyLocked()
+			qs.unlock()
 		})
 		return nil
 
@@ -346,17 +411,24 @@ func (r *Repository) RedoPrepared(t *txn.Txn, data []byte) error {
 		regQueue := rd.String()
 		registrant := rd.String()
 		tag := rd.BytesField()
-		_ = rd.BytesField() // regCopy recomputed by claimLocked
+		_ = rd.BytesField() // regCopy recomputed by wireClaim
 		if err := rd.Err(); err != nil {
 			return err
 		}
-		r.mu.Lock()
-		defer r.mu.Unlock()
-		el, ok := r.elems[eid]
-		if !ok || el.state != stateVisible {
+		el, ok := r.elems.get(eid)
+		if !ok {
 			return fmt.Errorf("queue: redo-prepared dequeue of unavailable element %d", eid)
 		}
-		r.claimLocked(t, el, regQueue, registrant, tag)
+		qs := r.lockElem(el)
+		if qs == nil || el.state != stateVisible {
+			if qs != nil {
+				qs.unlock()
+			}
+			return fmt.Errorf("queue: redo-prepared dequeue of unavailable element %d", eid)
+		}
+		claimShardLocked(qs, el, t)
+		qs.unlock()
+		r.wireClaim(t, el, regQueue, registrant, tag)
 		return nil
 
 	default:
@@ -374,23 +446,29 @@ func (r *Repository) RedoPrepared(t *txn.Txn, data []byte) error {
 func (r *Repository) CreateTrigger(id, watch string, threshold int32, fire Element) error {
 	var fireNow *trigger
 	err := r.autoTxn(nil, func(t *txn.Txn) error {
-		r.mu.Lock()
-		defer r.mu.Unlock()
+		r.mu.RLock()
 		if r.closed {
+			r.mu.RUnlock()
 			return ErrClosed
 		}
 		if _, ok := r.queues[watch]; !ok {
+			r.mu.RUnlock()
 			return fmt.Errorf("%w: %s", ErrNoQueue, watch)
 		}
 		if _, ok := r.queues[fire.Queue]; !ok {
+			r.mu.RUnlock()
 			return fmt.Errorf("%w: %s", ErrNoQueue, fire.Queue)
 		}
+		watchDepth := int(r.queues[watch].m.depth.Value())
+		r.mu.RUnlock()
 		tr := &trigger{id: id, watch: watch, threshold: threshold, fire: fire.clone()}
+		r.trigMu.Lock()
 		r.triggers[id] = tr
+		r.trigMu.Unlock()
 		t.OnUndo(func() {
-			r.mu.Lock()
+			r.trigMu.Lock()
 			delete(r.triggers, id)
-			r.mu.Unlock()
+			r.trigMu.Unlock()
 		})
 		b := enc.NewBuffer(64)
 		b.Uint8(opTriggerCreate)
@@ -398,8 +476,8 @@ func (r *Repository) CreateTrigger(id, watch string, threshold int32, fire Eleme
 		b.String(watch)
 		b.Varint(int64(threshold))
 		encodeElement(b, &tr.fire)
-		r.logOpLocked(t, b.Bytes())
-		if r.queues[watch].stats.Depth >= int(threshold) {
+		r.logOp(t, b.Bytes())
+		if watchDepth >= int(threshold) {
 			fireNow = tr
 		}
 		return nil
@@ -408,15 +486,24 @@ func (r *Repository) CreateTrigger(id, watch string, threshold int32, fire Eleme
 		return err
 	}
 	if fireNow != nil {
-		go r.fireTrigger(fireNow)
+		// Claim it (dueTriggers may have raced us) before firing.
+		r.trigMu.Lock()
+		_, ok := r.triggers[fireNow.id]
+		if ok {
+			delete(r.triggers, fireNow.id)
+		}
+		r.trigMu.Unlock()
+		if ok {
+			go r.fireTrigger(fireNow)
+		}
 	}
 	return nil
 }
 
 // Triggers lists installed trigger ids.
 func (r *Repository) Triggers() []string {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.trigMu.Lock()
+	defer r.trigMu.Unlock()
 	out := make([]string, 0, len(r.triggers))
 	for id := range r.triggers {
 		out = append(out, id)
@@ -424,16 +511,18 @@ func (r *Repository) Triggers() []string {
 	return out
 }
 
-// dueTriggersLocked collects triggers whose condition now holds on qname,
-// marking them so each fires once. Caller holds r.mu.
-func (r *Repository) dueTriggersLocked(qname string) []*trigger {
+// dueTriggers collects triggers whose condition now holds on qname, given
+// its visible depth at commit time, marking them so each fires once.
+// Called with no shard lock held (trigMu is a leaf lock).
+func (r *Repository) dueTriggers(qname string, depth int) []*trigger {
+	r.trigMu.Lock()
+	defer r.trigMu.Unlock()
 	var due []*trigger
 	for id, tr := range r.triggers {
 		if tr.watch != qname {
 			continue
 		}
-		qs := r.queues[qname]
-		if qs != nil && qs.stats.Depth >= int(tr.threshold) {
+		if depth >= int(tr.threshold) {
 			due = append(due, tr)
 			delete(r.triggers, id) // claimed; durable removal in fireTrigger
 		}
@@ -452,9 +541,9 @@ func (r *Repository) fireTrigger(tr *trigger) {
 	if _, err := r.Enqueue(st, tr.fire.Queue, tr.fire, "", nil); err != nil {
 		_ = st.Abort()
 		// Re-install so the trigger is not lost.
-		r.mu.Lock()
+		r.trigMu.Lock()
 		r.triggers[tr.id] = tr
-		r.mu.Unlock()
+		r.trigMu.Unlock()
 		return
 	}
 	_ = st.Commit()
@@ -462,18 +551,29 @@ func (r *Repository) fireTrigger(tr *trigger) {
 
 // RecheckTriggers evaluates all triggers against current depths; Open's
 // caller uses it after recovery in case a trigger's condition was already
-// met before a crash.
+// met before a crash. Candidates are collected first, then re-claimed one
+// at a time (depth reads take the repo read lock, which must not nest
+// inside trigMu).
 func (r *Repository) RecheckTriggers() {
-	r.mu.Lock()
-	var due []*trigger
-	for id, tr := range r.triggers {
-		qs := r.queues[tr.watch]
-		if qs != nil && qs.stats.Depth >= int(tr.threshold) {
-			due = append(due, tr)
-			delete(r.triggers, id)
-		}
+	r.trigMu.Lock()
+	cands := make([]*trigger, 0, len(r.triggers))
+	for _, tr := range r.triggers {
+		cands = append(cands, tr)
 	}
-	r.mu.Unlock()
+	r.trigMu.Unlock()
+	var due []*trigger
+	for _, tr := range cands {
+		d, err := r.Depth(tr.watch)
+		if err != nil || d < int(tr.threshold) {
+			continue
+		}
+		r.trigMu.Lock()
+		if _, ok := r.triggers[tr.id]; ok {
+			delete(r.triggers, tr.id)
+			due = append(due, tr)
+		}
+		r.trigMu.Unlock()
+	}
 	for _, tr := range due {
 		r.fireTrigger(tr)
 	}

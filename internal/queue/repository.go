@@ -1,11 +1,11 @@
 package queue
 
 import (
-	"container/list"
 	"fmt"
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/enc"
 	"repro/internal/lock"
@@ -17,130 +17,6 @@ import (
 
 // rmName identifies the repository's redo records in the shared log.
 const rmName = "qm"
-
-// elemState tracks an element's transactional visibility.
-type elemState int8
-
-const (
-	// statePending: enqueued by an uncommitted transaction; invisible.
-	statePending elemState = iota
-	// stateVisible: committed and available for dequeue.
-	stateVisible
-	// stateDequeued: removed by an uncommitted transaction; invisible to
-	// dequeuers but still present (its committed state is "in the queue").
-	stateDequeued
-)
-
-// elem is the in-memory representation of one element.
-type elem struct {
-	e      Element
-	state  elemState
-	owner  *txn.Txn // while pending or dequeued
-	killed bool     // killed while dequeued; dropped on owner's abort
-	node   *list.Element
-	q      *queueState
-}
-
-// queueState is one queue's in-memory structure: per-priority FIFO lists.
-type queueState struct {
-	cfg     QueueConfig
-	lists   map[int32]*list.List
-	prios   []int32 // sorted descending
-	stopped bool
-	stats   QueueStats
-	m       qmetrics
-}
-
-// qmetrics holds the queue's registry instruments, resolved once at queue
-// creation so the per-operation cost is a single atomic add. Every
-// qs.stats bump is mirrored here; the stats struct stays the synchronous
-// per-queue API while the registry gives the cross-layer labeled view.
-type qmetrics struct {
-	enqueues   *obs.Counter
-	dequeues   *obs.Counter
-	requeues   *obs.Counter // abort-returns back onto the queue
-	kills      *obs.Counter
-	diversions *obs.Counter // retry-limit diversions to the error queue
-	depth      *obs.Gauge
-	inFlight   *obs.Gauge
-}
-
-// newQueueState builds a queue's state with instruments labeled by queue
-// name. Counters for a re-created queue continue from the prior
-// incarnation's values (cumulative by design); the depth gauge is zeroed
-// on destroy so it always reflects live visible depth.
-func (r *Repository) newQueueState(cfg QueueConfig) *queueState {
-	qs := &queueState{cfg: cfg, lists: make(map[int32]*list.List)}
-	qs.m = qmetrics{
-		enqueues:   r.reg.Counter("queue.enqueues", "queue", cfg.Name),
-		dequeues:   r.reg.Counter("queue.dequeues", "queue", cfg.Name),
-		requeues:   r.reg.Counter("queue.requeues", "queue", cfg.Name),
-		kills:      r.reg.Counter("queue.kills", "queue", cfg.Name),
-		diversions: r.reg.Counter("queue.error_diversions", "queue", cfg.Name),
-		depth:      r.reg.Gauge("queue.depth", "queue", cfg.Name),
-		inFlight:   r.reg.Gauge("queue.in_flight", "queue", cfg.Name),
-	}
-	return qs
-}
-
-func (q *queueState) countEnqueue()   { q.stats.Enqueues++; q.m.enqueues.Inc() }
-func (q *queueState) countDequeue()   { q.stats.Dequeues++; q.m.dequeues.Inc() }
-func (q *queueState) countRequeue()   { q.stats.AbortReturns++; q.m.requeues.Inc() }
-func (q *queueState) countKill()      { q.stats.Kills++; q.m.kills.Inc() }
-func (q *queueState) countDiversion() { q.stats.ErrorDiversions++; q.m.diversions.Inc() }
-
-func (q *queueState) bumpInFlight(delta int) {
-	q.stats.InFlight += delta
-	q.m.inFlight.Add(int64(delta))
-}
-
-func (q *queueState) listFor(prio int32) *list.List {
-	l, ok := q.lists[prio]
-	if !ok {
-		l = list.New()
-		q.lists[prio] = l
-		q.prios = append(q.prios, prio)
-		sort.Slice(q.prios, func(i, j int) bool { return q.prios[i] > q.prios[j] })
-	}
-	return l
-}
-
-// insert places el into FIFO position within its priority (ordered by seq,
-// so recovery re-inserts in original order even when replay order differs).
-func (q *queueState) insert(el *elem) {
-	l := q.listFor(el.e.Priority)
-	for n := l.Back(); n != nil; n = n.Prev() {
-		if n.Value.(*elem).e.seq <= el.e.seq {
-			el.node = l.InsertAfter(el, n)
-			return
-		}
-	}
-	el.node = l.PushFront(el)
-}
-
-func (q *queueState) remove(el *elem) {
-	if el.node != nil {
-		q.lists[el.e.Priority].Remove(el.node)
-		el.node = nil
-	}
-}
-
-// live counts elements in any state (pending, visible, dequeued).
-func (q *queueState) live() int {
-	n := 0
-	for _, l := range q.lists {
-		n += l.Len()
-	}
-	return n
-}
-
-func (q *queueState) bumpDepth(delta int) {
-	q.stats.Depth += delta
-	if q.stats.Depth > q.stats.MaxDepth {
-		q.stats.MaxDepth = q.stats.Depth
-	}
-	q.m.depth.Add(int64(delta))
-}
 
 // regKey identifies a registration: a registrant is bound to one queue.
 type regKey struct {
@@ -205,6 +81,12 @@ type Options struct {
 
 // Repository is a queue repository: a named set of queues, registrations,
 // key-value tables and triggers, durable via one write-ahead log.
+//
+// Concurrency control is striped per queue: mu guards only the queue map
+// (DDL and checkpoints take it exclusively, element operations take it
+// shared), and each queueState carries its own latch and condition
+// variable so disjoint queues never serialize and a commit wakes only the
+// affected queue's waiters. The full lock order is documented in shard.go.
 type Repository struct {
 	name  string
 	dir   string
@@ -218,18 +100,35 @@ type Repository struct {
 	// mWaitNanos records how long blocking dequeuers waited for an
 	// element to become visible.
 	mWaitNanos *obs.Histogram
+	// mShardWait records contended shard-lock acquisitions (uncontended
+	// TryLock hits are not observed; see queueState.lock).
+	mShardWait *obs.Histogram
+	// mWakeTargeted / mWakeSpurious classify waiter wakeups: targeted
+	// wakeups find an element on the rescan, spurious ones park again.
+	// With per-queue signaling, commits on disjoint queues produce no
+	// spurious wakeups at all (the thundering-herd regression test pins
+	// this to zero).
+	mWakeTargeted *obs.Counter
+	mWakeSpurious *obs.Counter
 
-	mu       sync.Mutex
-	cond     *sync.Cond // broadcast on any visibility change
-	closed   bool
-	queues   map[string]*queueState
-	elems    map[EID]*elem
-	regs     map[regKey]*registration
+	mu     sync.RWMutex // queue map + closed; never acquired under a shard lock
+	closed bool
+	queues map[string]*queueState
+
+	elems *elemTable // eid index, striped independently of the shards
+
+	regMu sync.Mutex // registrations (leaf lock)
+	regs  map[regKey]*registration
+
+	trigMu   sync.Mutex // triggers (leaf lock)
 	triggers map[string]*trigger
-	tables   map[string]map[string][]byte
-	nextEID  uint64
-	nextSeq  uint64
-	opCount  int // logged ops since last snapshot
+
+	kvMu   sync.Mutex // key-value tables (leaf lock)
+	tables map[string]map[string][]byte
+
+	nextEID atomic.Uint64
+	nextSeq atomic.Uint64
+	opCount atomic.Int64 // logged ops since last snapshot
 
 	alertMu sync.Mutex
 	alertFn AlertFunc
@@ -265,24 +164,26 @@ func Open(dir string, opts Options) (*Repository, []txn.InDoubt, error) {
 	}
 	lm := lock.NewManagerWith(reg)
 	r := &Repository{
-		name:       opts.Name,
-		dir:        dir,
-		opts:       opts,
-		log:        log,
-		locks:      lm,
-		tm:         txn.NewManagerWith(log, lm, reg),
-		snap:       snap,
-		reg:        reg,
-		mWaitNanos: reg.Histogram("queue.dequeue_wait_ns"),
-		queues:     make(map[string]*queueState),
-		elems:      make(map[EID]*elem),
-		regs:       make(map[regKey]*registration),
-		triggers:   make(map[string]*trigger),
-		tables:     make(map[string]map[string][]byte),
-		nextEID:    1,
-		nextSeq:    1,
+		name:          opts.Name,
+		dir:           dir,
+		opts:          opts,
+		log:           log,
+		locks:         lm,
+		tm:            txn.NewManagerWith(log, lm, reg),
+		snap:          snap,
+		reg:           reg,
+		mWaitNanos:    reg.Histogram("queue.dequeue_wait_ns"),
+		mShardWait:    reg.Histogram("queue.shard_lock_wait_ns"),
+		mWakeTargeted: reg.Counter("queue.wakeups_targeted"),
+		mWakeSpurious: reg.Counter("queue.wakeups_spurious"),
+		queues:        make(map[string]*queueState),
+		elems:         newElemTable(),
+		regs:          make(map[regKey]*registration),
+		triggers:      make(map[string]*trigger),
+		tables:        make(map[string]map[string][]byte),
 	}
-	r.cond = sync.NewCond(&r.mu)
+	r.nextEID.Store(1)
+	r.nextSeq.Store(1)
 	r.tm.RegisterRM(r)
 
 	// Recovery: snapshot, then log replay.
@@ -334,6 +235,16 @@ func (r *Repository) SetAlertFunc(f AlertFunc) {
 	r.alertMu.Unlock()
 }
 
+// wakeAllLocked wakes every parked waiter on every queue so they observe
+// the closed flag. Caller holds r.mu exclusively.
+func (r *Repository) wakeAllLocked() {
+	for _, qs := range r.queues {
+		qs.lock()
+		qs.notifyLocked()
+		qs.unlock()
+	}
+}
+
 // Crash simulates a process failure: the write-ahead log is closed with no
 // checkpoint, and the repository rejects further operations. All volatile
 // state (in-flight transactions, volatile queues, unsnapshotted memory) is
@@ -342,7 +253,7 @@ func (r *Repository) SetAlertFunc(f AlertFunc) {
 func (r *Repository) Crash() {
 	r.mu.Lock()
 	r.closed = true
-	r.cond.Broadcast()
+	r.wakeAllLocked()
 	r.mu.Unlock()
 	_ = r.log.Close()
 }
@@ -355,7 +266,7 @@ func (r *Repository) Close() error {
 		return nil
 	}
 	r.closed = true
-	r.cond.Broadcast()
+	r.wakeAllLocked()
 	r.mu.Unlock()
 	if err := r.Checkpoint(); err != nil {
 		r.log.Close()
@@ -411,7 +322,7 @@ func (r *Repository) CreateQueue(cfg QueueConfig) error {
 		b := enc.NewBuffer(32)
 		b.Uint8(opCreateQueue)
 		encodeConfig(b, &cfg)
-		r.logOpLocked(t, b.Bytes())
+		r.logOp(t, b.Bytes())
 		return nil
 	})
 }
@@ -429,34 +340,42 @@ func (r *Repository) DestroyQueue(name string) error {
 		if !ok {
 			return fmt.Errorf("%w: %s", ErrNoQueue, name)
 		}
+		qs.lock()
 		var doomed []*elem
 		for _, l := range qs.lists {
 			for n := l.Front(); n != nil; n = n.Next() {
 				el := n.Value.(*elem)
 				if el.state != stateVisible {
+					qs.unlock()
 					return fmt.Errorf("%w: %s has in-flight elements", ErrBusy, name)
 				}
 				doomed = append(doomed, el)
 			}
 		}
 		delete(r.queues, name)
-		for _, el := range doomed {
-			delete(r.elems, el.e.EID)
-		}
+		qs.dead = true
 		qs.m.depth.Add(-int64(qs.stats.Depth)) // gauge reflects live queues only
+		qs.notifyLocked()                      // parked waiters re-resolve and fail
+		qs.unlock()
+		for _, el := range doomed {
+			r.elems.del(el.e.EID)
+		}
 		t.OnUndo(func() {
 			r.mu.Lock()
 			r.queues[name] = qs
-			for _, el := range doomed {
-				r.elems[el.e.EID] = el
-			}
+			qs.lock()
+			qs.dead = false
 			qs.m.depth.Add(int64(qs.stats.Depth))
+			qs.unlock()
+			for _, el := range doomed {
+				r.elems.put(el.e.EID, el)
+			}
 			r.mu.Unlock()
 		})
 		b := enc.NewBuffer(16)
 		b.Uint8(opDestroyQueue)
 		b.String(name)
-		r.logOpLocked(t, b.Bytes())
+		r.logOp(t, b.Bytes())
 		return nil
 	})
 }
@@ -476,19 +395,23 @@ func (r *Repository) UpdateQueueConfig(cfg QueueConfig) error {
 		if !ok {
 			return fmt.Errorf("%w: %s", ErrNoQueue, cfg.Name)
 		}
+		qs.lock()
 		prev := qs.cfg
 		cfg.Volatile = prev.Volatile // immutable
 		qs.cfg = cfg
-		r.cond.Broadcast() // strict-FIFO relaxation may unblock waiters
+		qs.notifyLocked() // strict-FIFO relaxation may unblock waiters
+		qs.unlock()
 		t.OnUndo(func() {
 			r.mu.Lock()
+			qs.lock()
 			qs.cfg = prev
+			qs.unlock()
 			r.mu.Unlock()
 		})
 		b := enc.NewBuffer(64)
 		b.Uint8(opUpdateQueue)
 		encodeConfig(b, &cfg)
-		r.logOpLocked(t, b.Bytes())
+		r.logOp(t, b.Bytes())
 		return nil
 	})
 }
@@ -510,29 +433,35 @@ func (r *Repository) setStopped(name string, stopped bool) error {
 		if !ok {
 			return fmt.Errorf("%w: %s", ErrNoQueue, name)
 		}
+		qs.lock()
 		prev := qs.stopped
 		qs.stopped = stopped
-		if !stopped {
-			r.cond.Broadcast()
-		}
+		// Wake parked waiters in both directions: a start lets them race
+		// for elements, a stop lets them observe ErrStopped instead of
+		// sleeping forever (with per-queue signaling there is no global
+		// broadcast to rescue them by accident).
+		qs.notifyLocked()
+		qs.unlock()
 		t.OnUndo(func() {
 			r.mu.Lock()
+			qs.lock()
 			qs.stopped = prev
+			qs.unlock()
 			r.mu.Unlock()
 		})
 		b := enc.NewBuffer(16)
 		b.Uint8(opSetStopped)
 		b.String(name)
 		b.Bool(stopped)
-		r.logOpLocked(t, b.Bytes())
+		r.logOp(t, b.Bytes())
 		return nil
 	})
 }
 
 // Queues lists queue names.
 func (r *Repository) Queues() []string {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	out := make([]string, 0, len(r.queues))
 	for name := range r.queues {
 		out = append(out, name)
@@ -541,27 +470,40 @@ func (r *Repository) Queues() []string {
 	return out
 }
 
-// Stats returns a queue's counters.
+// Stats returns a queue's counters. It takes only the repository read
+// lock and the queue's shard lock, so monitoring never stalls traffic on
+// other queues.
 func (r *Repository) Stats(name string) (QueueStats, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
 	qs, ok := r.queues[name]
 	if !ok {
+		r.mu.RUnlock()
 		return QueueStats{}, fmt.Errorf("%w: %s", ErrNoQueue, name)
 	}
-	return qs.stats, nil
+	qs.lock()
+	r.mu.RUnlock()
+	st := qs.stats
+	qs.unlock()
+	return st, nil
 }
 
-// Depth returns a queue's visible depth.
+// Depth returns a queue's visible depth. It is lock-free past the queue
+// lookup: the depth gauge is maintained atomically under the shard lock,
+// so monitoring reads never contend with enqueues and dequeues at all.
 func (r *Repository) Depth(name string) (int, error) {
-	st, err := r.Stats(name)
-	return st.Depth, err
+	r.mu.RLock()
+	qs, ok := r.queues[name]
+	r.mu.RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoQueue, name)
+	}
+	return int(qs.m.depth.Value()), nil
 }
 
 // Config returns a queue's configuration.
 func (r *Repository) Config(name string) (QueueConfig, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	qs, ok := r.queues[name]
 	if !ok {
 		return QueueConfig{}, fmt.Errorf("%w: %s", ErrNoQueue, name)
@@ -572,12 +514,15 @@ func (r *Repository) Config(name string) (QueueConfig, error) {
 // ListElements returns up to max elements of a queue in dequeue order
 // (copies; diagnostic use).
 func (r *Repository) ListElements(name string, max int) ([]Element, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
 	qs, ok := r.queues[name]
 	if !ok {
+		r.mu.RUnlock()
 		return nil, fmt.Errorf("%w: %s", ErrNoQueue, name)
 	}
+	qs.lock()
+	r.mu.RUnlock()
+	defer qs.unlock()
 	var out []Element
 	for _, prio := range qs.prios {
 		for n := qs.lists[prio].Front(); n != nil; n = n.Next() {
@@ -594,27 +539,31 @@ func (r *Repository) ListElements(name string, max int) ([]Element, error) {
 	return out, nil
 }
 
-// logOpLocked attaches a redo op to t and counts it toward the snapshot
-// cadence. Caller holds r.mu.
-func (r *Repository) logOpLocked(t *txn.Txn, data []byte) {
+// logOp attaches a redo op to t and counts it toward the snapshot
+// cadence. Called with no shard lock held: records are staged here and
+// appended to the WAL by the transaction's commit, so the log write never
+// happens inside a queue critical section.
+func (r *Repository) logOp(t *txn.Txn, data []byte) {
 	t.LogOp(rmName, data)
-	r.opCount++
+	r.opCount.Add(1)
 }
 
-// maybeSnapshot is called outside r.mu after committing an auto-op; it
-// takes a checkpoint when the configured cadence is reached.
+// maybeSnapshot is called with no locks held after committing an auto-op;
+// it takes a checkpoint when the configured cadence is reached.
 func (r *Repository) maybeSnapshot() {
-	if r.opts.SnapshotEvery <= 0 {
+	every := r.opts.SnapshotEvery
+	if every <= 0 {
 		return
 	}
-	r.mu.Lock()
-	due := r.opCount >= r.opts.SnapshotEvery
-	if due {
-		r.opCount = 0
-	}
-	r.mu.Unlock()
-	if due {
-		_ = r.Checkpoint() // best effort; next cadence retries
+	for {
+		c := r.opCount.Load()
+		if int(c) < every {
+			return
+		}
+		if r.opCount.CompareAndSwap(c, 0) {
+			_ = r.Checkpoint() // best effort; next cadence retries
+			return
+		}
 	}
 }
 
@@ -631,14 +580,29 @@ func (r *Repository) fireAlert(queue string, depth int) {
 // --- snapshots ---
 
 // Checkpoint serializes committed state, writes a snapshot, and truncates
-// the log below min(snapshot LSN, oldest outstanding prepare).
+// the log below min(snapshot LSN, oldest outstanding prepare). Quiescing
+// is hierarchical: BlockCommits excludes commit hooks, the exclusive repo
+// lock excludes DDL and new element operations, and the ordered sweep of
+// every shard lock excludes in-flight abort hooks (which are not gated by
+// BlockCommits and can move elements across queues).
 func (r *Repository) Checkpoint() error {
 	var data []byte
 	var lastLSN, cutoff wal.LSN
 	err := r.tm.BlockCommits(func() error {
 		r.mu.Lock()
 		defer r.mu.Unlock()
-		data = r.serializeLocked()
+		names := make([]string, 0, len(r.queues))
+		for name := range r.queues {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			r.queues[name].lock()
+		}
+		data = r.serializeLocked(names)
+		for i := len(names) - 1; i >= 0; i-- {
+			r.queues[names[i]].unlock()
+		}
 		lastLSN = r.log.LastLSN()
 		cutoff = lastLSN + 1
 		if p := r.tm.OldestPrepareLSN(); p != 0 && p < cutoff {
@@ -664,28 +628,25 @@ const snapVersion = 1
 // omitted (their transactions haven't committed), dequeued elements are
 // written as visible (their committed state is "still in the queue"; the
 // dequeuer's commit record, if any, has a later LSN and will be replayed).
-func (r *Repository) serializeLocked() []byte {
+// Caller holds r.mu exclusively plus every shard lock, with names the
+// sorted queue names; the leaf locks are taken per section here.
+func (r *Repository) serializeLocked(names []string) []byte {
 	b := enc.NewBuffer(4096)
 	b.Uint8(snapVersion)
 	b.String(r.name)
-	b.Uvarint(r.nextEID)
-	b.Uvarint(r.nextSeq)
+	b.Uvarint(r.nextEID.Load())
+	b.Uvarint(r.nextSeq.Load())
 	b.Uvarint(r.tm.NextID())
 
 	// Queues: definitions of volatile queues are durable, their contents
 	// are not.
-	var qnames []string
-	for name := range r.queues {
-		qnames = append(qnames, name)
-	}
-	sort.Strings(qnames)
-	b.Uvarint(uint64(len(qnames)))
-	for _, name := range qnames {
+	b.Uvarint(uint64(len(names)))
+	for _, name := range names {
 		qs := r.queues[name]
 		encodeConfig(b, &qs.cfg)
 		b.Bool(qs.stopped)
 		var els []*elem
-		if !qs.cfg.Volatile {
+		if !qs.volatile {
 			for _, prio := range qs.prios {
 				for n := qs.lists[prio].Front(); n != nil; n = n.Next() {
 					el := n.Value.(*elem)
@@ -703,6 +664,7 @@ func (r *Repository) serializeLocked() []byte {
 	}
 
 	// Registrations.
+	r.regMu.Lock()
 	var rkeys []regKey
 	for k := range r.regs {
 		rkeys = append(rkeys, k)
@@ -725,8 +687,10 @@ func (r *Repository) serializeLocked() []byte {
 		b.BytesField(g.lastTag)
 		b.BytesField(g.lastElem)
 	}
+	r.regMu.Unlock()
 
 	// Triggers.
+	r.trigMu.Lock()
 	var tids []string
 	for id := range r.triggers {
 		tids = append(tids, id)
@@ -740,8 +704,10 @@ func (r *Repository) serializeLocked() []byte {
 		b.Varint(int64(tr.threshold))
 		encodeElement(b, &tr.fire)
 	}
+	r.trigMu.Unlock()
 
 	// Tables.
+	r.kvMu.Lock()
 	var tnames []string
 	for name := range r.tables {
 		tnames = append(tnames, name)
@@ -762,17 +728,20 @@ func (r *Repository) serializeLocked() []byte {
 			b.BytesField(tbl[k])
 		}
 	}
+	r.kvMu.Unlock()
 	return b.Bytes()
 }
 
+// loadSnapshot rebuilds state from a snapshot. It runs single-threaded
+// inside Open, before any API traffic, so no locks are taken.
 func (r *Repository) loadSnapshot(data []byte) error {
 	rd := enc.NewReader(data)
 	if v := rd.Uint8(); v != snapVersion {
 		return fmt.Errorf("queue: snapshot version %d unsupported", v)
 	}
 	r.name = rd.String()
-	r.nextEID = rd.Uvarint()
-	r.nextSeq = rd.Uvarint()
+	r.nextEID.Store(rd.Uvarint())
+	r.nextSeq.Store(rd.Uvarint())
 	r.tm.SetNextID(rd.Uvarint())
 
 	nq := rd.Uvarint()
@@ -787,10 +756,11 @@ func (r *Repository) loadSnapshot(data []byte) error {
 			if err != nil {
 				return fmt.Errorf("queue: snapshot element: %w", err)
 			}
-			el := &elem{e: e, state: stateVisible, q: qs}
+			el := &elem{e: e, state: stateVisible}
+			el.q.Store(qs)
 			qs.insert(el)
 			qs.bumpDepth(1)
-			r.elems[e.EID] = el
+			r.elems.put(e.EID, el)
 		}
 	}
 

@@ -1,0 +1,322 @@
+package queue
+
+import (
+	"container/list"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/txn"
+)
+
+// Concurrency control is striped per queue (see DESIGN.md §8). The lock
+// order, outermost first, is:
+//
+//	r.mu (RWMutex over the queue map) → queueState.mu (two shards in
+//	ascending name order) → elemTable stripe → regMu / trigMu / kvMu /
+//	setWaiter.mu → alertMu
+//
+// The WAL is never appended to — and redo records are never staged —
+// while a shard lock is held; transactions stage records after the shard
+// critical section and the commit path orders them. r.mu is never
+// acquired while holding a shard lock (an RWMutex blocks new readers
+// once a writer waits, so shard→repo would deadlock against DDL).
+
+// elemState tracks an element's transactional visibility.
+type elemState int8
+
+const (
+	// statePending: enqueued by an uncommitted transaction; invisible.
+	statePending elemState = iota
+	// stateVisible: committed and available for dequeue.
+	stateVisible
+	// stateDequeued: removed by an uncommitted transaction; invisible to
+	// dequeuers but still present (its committed state is "in the queue").
+	stateDequeued
+)
+
+// elem is the in-memory representation of one element. All fields except
+// q are guarded by the shard lock of the queue currently holding the
+// element; q itself is atomic because error-queue diversion moves an
+// element between shards and eid-addressed readers must chase it (see
+// lockElem).
+type elem struct {
+	e      Element
+	state  elemState
+	owner  *txn.Txn // while pending or dequeued
+	killed bool     // killed while dequeued; dropped on owner's abort
+	node   *list.Element
+	q      atomic.Pointer[queueState]
+}
+
+// queueState is one queue's in-memory structure — per-priority FIFO
+// lists — plus its own latch and condition variable, so operations on
+// disjoint queues never serialize and a visibility change wakes only
+// this queue's waiters.
+type queueState struct {
+	name     string // immutable copy of cfg.Name (lock-free reads)
+	volatile bool   // immutable copy of cfg.Volatile (lock-free reads)
+
+	mu   sync.Mutex
+	cond *sync.Cond // signaled on this queue's visibility changes
+	// setWaiters are DequeueSet waiters subscribed to this queue; a
+	// commit here fires only the sets that include this queue.
+	setWaiters map[*setWaiter]struct{}
+	dead       bool // destroyed; parked callers must re-resolve by name
+
+	cfg     QueueConfig // writes hold r.mu (W) AND mu; reads hold either
+	lists   map[int32]*list.List
+	prios   []int32 // sorted descending
+	stopped bool    // writes hold r.mu (W) AND mu; reads hold either
+	stats   QueueStats
+	m       qmetrics
+
+	// mShardWait is the repository's shard-lock contention histogram
+	// (shared across queues; see lock()).
+	mShardWait *obs.Histogram
+}
+
+// lock acquires the shard latch, observing the wait only when contended
+// (TryLock first keeps the uncontended fast path free of clock reads).
+func (q *queueState) lock() {
+	if q.mu.TryLock() {
+		return
+	}
+	t0 := time.Now()
+	q.mu.Lock()
+	q.mShardWait.Observe(time.Since(t0).Nanoseconds())
+}
+
+func (q *queueState) unlock() { q.mu.Unlock() }
+
+// notifyLocked wakes this queue's parked dequeuers and any queue-set
+// waiters subscribed to it. Caller holds q.mu.
+func (q *queueState) notifyLocked() {
+	q.cond.Broadcast()
+	for sw := range q.setWaiters {
+		sw.fire()
+	}
+}
+
+// lockPair locks one or two shards in ascending name order — the
+// repository-wide two-shard order (error-queue diversion, abort-return
+// replay). b may be nil or equal to a.
+func lockPair(a, b *queueState) {
+	if b == nil || b == a {
+		a.lock()
+		return
+	}
+	if b.name < a.name {
+		a, b = b, a
+	}
+	a.lock()
+	b.lock()
+}
+
+func unlockPair(a, b *queueState) {
+	a.unlock()
+	if b != nil && b != a {
+		b.unlock()
+	}
+}
+
+// setWaiter is a DequeueSet's wakeup token, registered on every member
+// queue so that a commit on any one of them wakes the set — and nothing
+// else does. fire is safe to call with shard locks held (setWaiter.mu is
+// a leaf); wait is called with no locks held.
+type setWaiter struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	fired bool
+}
+
+func newSetWaiter() *setWaiter {
+	w := &setWaiter{}
+	w.cond = sync.NewCond(&w.mu)
+	return w
+}
+
+func (w *setWaiter) fire() {
+	w.mu.Lock()
+	w.fired = true
+	w.cond.Signal()
+	w.mu.Unlock()
+}
+
+// wait parks until the next fire. A fire that lands before wait is not
+// lost: the fired flag stays set until consumed here.
+func (w *setWaiter) wait() {
+	w.mu.Lock()
+	for !w.fired {
+		w.cond.Wait()
+	}
+	w.fired = false
+	w.mu.Unlock()
+}
+
+// elemTable is the eid → element index, striped so eid-addressed reads
+// (Read, KillElement) and hot-path insert/delete don't share one lock.
+const elemStripes = 64
+
+type elemTable struct {
+	stripes [elemStripes]elemStripe
+}
+
+type elemStripe struct {
+	mu sync.Mutex
+	m  map[EID]*elem
+}
+
+func newElemTable() *elemTable {
+	t := &elemTable{}
+	for i := range t.stripes {
+		t.stripes[i].m = make(map[EID]*elem)
+	}
+	return t
+}
+
+func (t *elemTable) stripe(eid EID) *elemStripe {
+	return &t.stripes[uint64(eid)%elemStripes]
+}
+
+func (t *elemTable) put(eid EID, el *elem) {
+	s := t.stripe(eid)
+	s.mu.Lock()
+	s.m[eid] = el
+	s.mu.Unlock()
+}
+
+func (t *elemTable) get(eid EID) (*elem, bool) {
+	s := t.stripe(eid)
+	s.mu.Lock()
+	el, ok := s.m[eid]
+	s.mu.Unlock()
+	return el, ok
+}
+
+func (t *elemTable) del(eid EID) {
+	s := t.stripe(eid)
+	s.mu.Lock()
+	delete(s.m, eid)
+	s.mu.Unlock()
+}
+
+// lockElem locks the shard currently holding el, revalidating after each
+// acquisition: an abort-time error diversion can move an element between
+// queues, and DestroyQueue can drop its queue wholesale. Returns nil —
+// with no lock held — when el is no longer live.
+func (r *Repository) lockElem(el *elem) *queueState {
+	for {
+		qs := el.q.Load()
+		qs.lock()
+		if el.q.Load() == qs {
+			if qs.dead || el.node == nil {
+				qs.unlock()
+				return nil
+			}
+			return qs
+		}
+		qs.unlock()
+	}
+}
+
+// qmetrics holds the queue's registry instruments, resolved once at queue
+// creation so the per-operation cost is a single atomic add. Every
+// qs.stats bump is mirrored here; the stats struct stays the synchronous
+// per-queue API while the registry gives the cross-layer labeled view.
+type qmetrics struct {
+	enqueues   *obs.Counter
+	dequeues   *obs.Counter
+	requeues   *obs.Counter // abort-returns back onto the queue
+	kills      *obs.Counter
+	diversions *obs.Counter // retry-limit diversions to the error queue
+	depth      *obs.Gauge
+	inFlight   *obs.Gauge
+}
+
+// newQueueState builds a queue's state with instruments labeled by queue
+// name. Counters for a re-created queue continue from the prior
+// incarnation's values (cumulative by design); the depth gauge is zeroed
+// on destroy so it always reflects live visible depth.
+func (r *Repository) newQueueState(cfg QueueConfig) *queueState {
+	qs := &queueState{
+		name:       cfg.Name,
+		volatile:   cfg.Volatile,
+		cfg:        cfg,
+		lists:      make(map[int32]*list.List),
+		setWaiters: make(map[*setWaiter]struct{}),
+		mShardWait: r.mShardWait,
+	}
+	qs.cond = sync.NewCond(&qs.mu)
+	qs.m = qmetrics{
+		enqueues:   r.reg.Counter("queue.enqueues", "queue", cfg.Name),
+		dequeues:   r.reg.Counter("queue.dequeues", "queue", cfg.Name),
+		requeues:   r.reg.Counter("queue.requeues", "queue", cfg.Name),
+		kills:      r.reg.Counter("queue.kills", "queue", cfg.Name),
+		diversions: r.reg.Counter("queue.error_diversions", "queue", cfg.Name),
+		depth:      r.reg.Gauge("queue.depth", "queue", cfg.Name),
+		inFlight:   r.reg.Gauge("queue.in_flight", "queue", cfg.Name),
+	}
+	return qs
+}
+
+func (q *queueState) countEnqueue()   { q.stats.Enqueues++; q.m.enqueues.Inc() }
+func (q *queueState) countDequeue()   { q.stats.Dequeues++; q.m.dequeues.Inc() }
+func (q *queueState) countRequeue()   { q.stats.AbortReturns++; q.m.requeues.Inc() }
+func (q *queueState) countKill()      { q.stats.Kills++; q.m.kills.Inc() }
+func (q *queueState) countDiversion() { q.stats.ErrorDiversions++; q.m.diversions.Inc() }
+
+func (q *queueState) bumpInFlight(delta int) {
+	q.stats.InFlight += delta
+	q.m.inFlight.Add(int64(delta))
+}
+
+func (q *queueState) listFor(prio int32) *list.List {
+	l, ok := q.lists[prio]
+	if !ok {
+		l = list.New()
+		q.lists[prio] = l
+		q.prios = append(q.prios, prio)
+		sort.Slice(q.prios, func(i, j int) bool { return q.prios[i] > q.prios[j] })
+	}
+	return l
+}
+
+// insert places el into FIFO position within its priority (ordered by seq,
+// so recovery re-inserts in original order even when replay order differs).
+func (q *queueState) insert(el *elem) {
+	l := q.listFor(el.e.Priority)
+	for n := l.Back(); n != nil; n = n.Prev() {
+		if n.Value.(*elem).e.seq <= el.e.seq {
+			el.node = l.InsertAfter(el, n)
+			return
+		}
+	}
+	el.node = l.PushFront(el)
+}
+
+func (q *queueState) remove(el *elem) {
+	if el.node != nil {
+		q.lists[el.e.Priority].Remove(el.node)
+		el.node = nil
+	}
+}
+
+// live counts elements in any state (pending, visible, dequeued).
+func (q *queueState) live() int {
+	n := 0
+	for _, l := range q.lists {
+		n += l.Len()
+	}
+	return n
+}
+
+func (q *queueState) bumpDepth(delta int) {
+	q.stats.Depth += delta
+	if q.stats.Depth > q.stats.MaxDepth {
+		q.stats.MaxDepth = q.stats.Depth
+	}
+	q.m.depth.Add(int64(delta))
+}
