@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench experiments examples fuzz clean
+.PHONY: all build test race bench experiments examples fuzz trace-demo clean
 
 all: build test
 
@@ -32,11 +32,17 @@ examples:
 	$(GO) run ./examples/ticketagent
 	$(GO) run ./examples/batchbank
 	$(GO) run ./examples/failover
+	$(GO) run ./examples/tracedemo
+
+## trace-demo drives one traced request end to end and dumps its span tree.
+trace-demo:
+	$(GO) run ./examples/tracedemo
 
 ## fuzz runs each fuzz target briefly.
 fuzz:
 	$(GO) test ./internal/enc -run xxx -fuzz '^FuzzReaderNeverPanics$$' -fuzztime 20s
 	$(GO) test ./internal/enc -run xxx -fuzz '^FuzzRoundTrip$$' -fuzztime 20s
+	$(GO) test ./internal/enc -run xxx -fuzz '^FuzzTraceTailRoundTrip$$' -fuzztime 20s
 	$(GO) test ./internal/queue -run xxx -fuzz '^FuzzElementDecode$$' -fuzztime 20s
 	$(GO) test ./internal/queue -run xxx -fuzz '^FuzzRedoNeverPanics$$' -fuzztime 20s
 	$(GO) test ./internal/rpc -run xxx -fuzz '^FuzzReadFrame$$' -fuzztime 20s

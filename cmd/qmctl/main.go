@@ -8,14 +8,18 @@
 //	qmctl -addr 127.0.0.1:7070 stats -queue work     # one queue's counters
 //	qmctl -addr 127.0.0.1:7070 read -eid 42
 //	qmctl -addr 127.0.0.1:7070 kill -eid 42
+//	qmctl -addr 127.0.0.1:7070 trace 4f3c…            # one request's span tree
+//	qmctl -addr 127.0.0.1:7070 traces -slowest 5      # slowest retained traces
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/obs"
@@ -25,7 +29,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: qmctl -addr HOST:PORT {create|enqueue|dequeue|depth|queues|stats|read|kill} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: qmctl -addr HOST:PORT {create|enqueue|dequeue|depth|queues|stats|read|kill|trace|traces} [flags]")
 	os.Exit(2)
 }
 
@@ -126,6 +130,27 @@ func main() {
 		if err == nil {
 			printElement(e)
 		}
+	case "trace":
+		fs := flag.NewFlagSet("trace", flag.ExitOnError)
+		fs.Parse(rest)
+		if fs.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: qmctl trace <trace-id>")
+			os.Exit(2)
+		}
+		var j []byte
+		j, err = cl.TraceTree(ctx, fs.Arg(0))
+		if err == nil {
+			err = printTraceTree(j)
+		}
+	case "traces":
+		fs := flag.NewFlagSet("traces", flag.ExitOnError)
+		nSlow := fs.Int("slowest", 10, "number of slowest traces to list")
+		fs.Parse(rest)
+		var j []byte
+		j, err = cl.SlowTraces(ctx, *nSlow)
+		if err == nil {
+			err = printTraceSummaries(j)
+		}
 	case "kill":
 		fs := flag.NewFlagSet("kill", flag.ExitOnError)
 		eid := fs.Uint64("eid", 0, "element id")
@@ -173,6 +198,80 @@ func printSnapshot(s obs.Snapshot) {
 		fmt.Printf("%-40s count=%d mean=%.0f p50=%d p99=%d\n",
 			n, h.Count, h.Mean(), h.Quantile(0.5), h.Quantile(0.99))
 	}
+}
+
+// traceNode mirrors the admin endpoint's span-tree JSON.
+type traceNode struct {
+	Trace    string         `json:"trace"`
+	Span     string         `json:"span"`
+	Parent   string         `json:"parent"`
+	Name     string         `json:"name"`
+	Start    int64          `json:"start_ns"`
+	Dur      int64          `json:"dur_ns"`
+	Attrs    map[string]any `json:"attrs"`
+	Children []*traceNode   `json:"children"`
+}
+
+// printTraceTree pretty-prints one span tree: each span indented under
+// its parent with its offset from the trace start and its duration.
+func printTraceTree(j []byte) error {
+	var roots []*traceNode
+	if err := json.Unmarshal(j, &roots); err != nil {
+		return fmt.Errorf("decode trace tree: %w", err)
+	}
+	if len(roots) == 0 {
+		fmt.Println("(empty trace)")
+		return nil
+	}
+	base := roots[0].Start
+	for _, r := range roots {
+		if r.Start < base {
+			base = r.Start
+		}
+	}
+	fmt.Printf("trace %s\n", roots[0].Trace)
+	for _, r := range roots {
+		printTraceNode(r, 0, base)
+	}
+	return nil
+}
+
+func printTraceNode(n *traceNode, depth int, base int64) {
+	var attrs []string
+	for k, v := range n.Attrs {
+		attrs = append(attrs, fmt.Sprintf("%s=%v", k, v))
+	}
+	sort.Strings(attrs)
+	fmt.Printf("%s%-14s +%-12s %-12s %s\n",
+		strings.Repeat("  ", depth+1), n.Name,
+		time.Duration(n.Start-base), time.Duration(n.Dur),
+		strings.Join(attrs, " "))
+	for _, c := range n.Children {
+		printTraceNode(c, depth+1, base)
+	}
+}
+
+// printTraceSummaries lists the slowest retained traces, one per line.
+func printTraceSummaries(j []byte) error {
+	var sums []struct {
+		Trace string `json:"trace"`
+		Spans int    `json:"spans"`
+		Start int64  `json:"start_ns"`
+		Dur   int64  `json:"dur_ns"`
+		Root  string `json:"root"`
+	}
+	if err := json.Unmarshal(j, &sums); err != nil {
+		return fmt.Errorf("decode trace summaries: %w", err)
+	}
+	if len(sums) == 0 {
+		fmt.Println("(no traces retained)")
+		return nil
+	}
+	for _, s := range sums {
+		fmt.Printf("%s  %-12s spans=%-3d %s\n",
+			s.Trace, time.Duration(s.Dur), s.Spans, s.Root)
+	}
+	return nil
 }
 
 func printElement(e queue.Element) {

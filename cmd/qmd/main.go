@@ -28,6 +28,9 @@ func main() {
 		snapshot = flag.Int("snapshot-every", 10000, "checkpoint after this many logged operations")
 		noFsync  = flag.Bool("no-fsync", false, "disable fsync (testing only)")
 		groupCmt = flag.Bool("group-commit", false, "batch concurrent commits' fsyncs")
+		traceOn  = flag.Bool("trace", false, "record request span trees (GET /trace/{id} on the admin endpoint)")
+		traceCap = flag.Int("trace-spans", 4096, "trace ring capacity in spans")
+		slow     = flag.Duration("trace-slow", 0, "emit span trees of requests slower than this to stderr (0 disables)")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -44,6 +47,9 @@ func main() {
 		NoFsync:       *noFsync,
 		SnapshotEvery: *snapshot,
 		GroupCommit:   *groupCmt,
+		Trace:         *traceOn || *slow > 0,
+		TraceSpans:    *traceCap,
+		SlowTrace:     *slow,
 	})
 	if err != nil {
 		log.Fatalf("qmd: %v", err)
@@ -60,6 +66,9 @@ func main() {
 	log.Printf("qmd: node %q serving on %s (state in %s)", node.Repo().Name(), node.Addr(), *dir)
 	if a := node.AdminAddr(); a != "" {
 		log.Printf("qmd: admin endpoint on http://%s/metrics", a)
+	}
+	if node.Tracer() != nil {
+		log.Printf("qmd: tracing enabled (%d-span ring)", *traceCap)
 	}
 	for _, q := range node.Repo().Queues() {
 		d, _ := node.Repo().Depth(q)

@@ -1,0 +1,93 @@
+// Tracedemo: submit one request through a traced node and dump its
+// assembled span tree — submit, enqueue (with its WAL LSN), queue
+// residency, processing transaction, commit, reply — from the admin
+// endpoint.
+//
+//	go run ./examples/tracedemo
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/rrq"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "rrq-tracedemo-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	node, err := rrq.StartNode(rrq.NodeConfig{
+		Dir:       dir,
+		AdminAddr: "127.0.0.1:0",
+		Trace:     true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer node.Close()
+	if err := node.CreateQueue(rrq.QueueConfig{Name: "requests"}); err != nil {
+		log.Fatal(err)
+	}
+
+	srv, err := rrq.NewServer(rrq.ServerConfig{
+		Repo:  node.Repo(),
+		Queue: "requests",
+		Handler: func(rc *rrq.ReqCtx) ([]byte, error) {
+			time.Sleep(2 * time.Millisecond) // visible handler time
+			return []byte("done: " + string(rc.Request.Body)), nil
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go srv.Serve(ctx)
+
+	// The clerk stamps each Send with a fresh trace id; every layer the
+	// request touches adds spans under it.
+	clerk := rrq.NewClerk(node.LocalConn(), rrq.ClerkConfig{
+		ClientID:     "tracedemo-client",
+		RequestQueue: "requests",
+		Tracer:       node.Tracer(),
+	})
+	if _, err := clerk.Connect(ctx); err != nil {
+		log.Fatal(err)
+	}
+	if err := clerk.Send(ctx, "rid-000001", []byte("trace me"), nil); err != nil {
+		log.Fatal(err)
+	}
+	rep, err := clerk.Receive(ctx, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reply: %q\n", rep.Body)
+
+	id := clerk.LastTrace()
+	url := fmt.Sprintf("http://%s/trace/%s", node.AdminAddr(), id)
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	j, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var pretty bytes.Buffer
+	if err := json.Indent(&pretty, j, "", "  "); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("span tree (GET %s):\n%s\n", url, pretty.String())
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/enc"
+	"repro/internal/obs/trace"
 	"repro/internal/queue"
 )
 
@@ -82,6 +83,10 @@ type ClerkConfig struct {
 	// OneWaySend makes Send use a one-way message, forgoing the stable-
 	// storage acknowledgement (Section 5's optimisation).
 	OneWaySend bool
+	// Tracer, when enabled, stamps every Send with a fresh trace id and a
+	// root "submit" span; the id travels with the element through the
+	// queue, the server's transaction, and recovery replay. nil disables.
+	Tracer *trace.Tracer
 }
 
 // Clerk is the client-side runtime library of fig. 5: it translates the
@@ -95,6 +100,7 @@ type Clerk struct {
 
 	sRID        string    // rid of the outstanding (or last) Send
 	lastSendEID queue.EID // its element id, for cancellation
+	lastTrace   trace.ID  // trace id stamped on the last Send (zero if untraced)
 }
 
 // NewClerk returns a disconnected clerk.
@@ -113,6 +119,11 @@ func (c *Clerk) State() ClientState { return c.fsm.State() }
 
 // ReplyQueue returns the clerk's private reply queue name.
 func (c *Clerk) ReplyQueue() string { return c.cfg.ReplyQueue }
+
+// LastTrace returns the trace id stamped on the clerk's last Send, or the
+// zero id when tracing was off. It identifies the request's span tree in
+// the queue manager's trace ring.
+func (c *Clerk) LastTrace() trace.ID { return c.lastTrace }
 
 // Connect registers the client with the request and reply queues and
 // returns the persistent rids and checkpoint of its previous life
@@ -183,6 +194,19 @@ func (c *Clerk) send(ctx context.Context, ev ClientEvent, rid string, body []byt
 		return fmt.Errorf("core: illegal %s in state %s", ev, c.fsm.State())
 	}
 	e := requestElement(rid, c.cfg.ClientID, c.cfg.ReplyQueue, body, headers, scratch, step)
+	c.lastTrace = trace.ID{}
+	if c.cfg.Tracer.Enabled() {
+		// Root span of the request's causal tree: everything downstream —
+		// the enqueue, the server's processing after (possibly) a crash
+		// and replay, the reply — parents under it via the element.
+		e.Trace = trace.NewID()
+		sp, _ := c.cfg.Tracer.Begin(trace.Ref{Trace: e.Trace}, "submit")
+		sp.Annotate(trace.Str("rid", rid), trace.Str("client", c.cfg.ClientID))
+		e.Span = sp.ID
+		c.lastTrace = e.Trace
+		ctx = trace.With(ctx, sp.Ref())
+		defer c.cfg.Tracer.Finish(&sp)
+	}
 	if c.cfg.OneWaySend {
 		if err := c.qm.EnqueueOneWay(c.cfg.RequestQueue, e, c.cfg.ClientID, []byte(rid)); err != nil {
 			return err

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/chaos"
+	"repro/internal/obs/trace"
 	"repro/internal/queue"
 	"repro/internal/txn"
 )
@@ -162,6 +163,27 @@ func (s *Server) serveOne(ctx context.Context) error {
 		s.aborts.Add(1)
 		return err
 	}
+	// The processing span resumes the request's trace — after a crash the
+	// replayed element carries the original trace id, so the re-execution
+	// lands in the same tree. Final: finishing it assembles the tree for
+	// slow-trace emission. retry counts every prior attempt the element
+	// survived: aborts (AbortCount) plus a crash-recovery redelivery.
+	sp, traced := repo.Tracer().Begin(el.TraceRef(), "process")
+	if traced {
+		sp.Final = true
+		retry := int64(el.AbortCount)
+		if el.Redelivered {
+			retry++
+		}
+		sp.Annotate(
+			trace.Str("rid", req.RID),
+			trace.Str("server", s.cfg.Name),
+			trace.Int64("retry", retry),
+			trace.Int64("txn", int64(t.ID())),
+		)
+		t.SetTrace(sp.Ref())
+		defer repo.Tracer().Finish(&sp)
+	}
 	body, herr := s.cfg.Handler(&ReqCtx{Ctx: ctx, Txn: t, Repo: repo, Request: req})
 	status := StatusOK
 	var appErr *AppError
@@ -175,6 +197,9 @@ func (s *Server) serveOne(ctx context.Context) error {
 		s.aborts.Add(1)
 		return fmt.Errorf("core: handler: %w", herr)
 	}
+	if traced {
+		sp.Annotate(trace.Str("status", status))
+	}
 	if s.crash("server.beforeReply") {
 		t.Abort()
 		s.aborts.Add(1)
@@ -183,6 +208,12 @@ func (s *Server) serveOne(ctx context.Context) error {
 	if req.ReplyTo != "" {
 		rep := replyElement(req.RID, status, body, false, nil, 0)
 		rep.Priority = s.cfg.ReplyPriority
+		if traced {
+			// The reply rides the same trace; its enqueue span parents
+			// under the processing span.
+			rep.Trace = el.Trace
+			rep.Span = sp.ID
+		}
 		if _, err := repo.Enqueue(t, req.ReplyTo, rep, "", nil); err != nil {
 			t.Abort()
 			s.aborts.Add(1)

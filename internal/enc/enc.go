@@ -109,6 +109,23 @@ func (e *Buffer) StringSlice(s []string) {
 	}
 }
 
+// TraceTail appends optional trace context as a self-delimiting tail:
+// one marker byte 0 when id is all-zero (untraced), or marker 1
+// followed by the 16 raw id bytes and the span as an unsigned varint.
+// Paired with Reader.TraceTail, which treats *absent* bytes as
+// untraced, this lets trace context ride at the end of pre-existing
+// record formats (element blobs, redo records, snapshots) while
+// pre-trace encodings keep decoding unchanged.
+func (e *Buffer) TraceTail(id [16]byte, span uint64) {
+	if id == ([16]byte{}) {
+		e.Uint8(0)
+		return
+	}
+	e.Uint8(1)
+	e.b = append(e.b, id[:]...)
+	e.Uvarint(span)
+}
+
 // Reader decodes values from a byte slice in the order they were appended.
 type Reader struct {
 	b   []byte
@@ -293,6 +310,37 @@ func (r *Reader) StringSlice() []string {
 		}
 	}
 	return s
+}
+
+// TraceTail decodes a tail written by Buffer.TraceTail. When the input
+// is already exhausted (or a prior decode failed) it returns the zero
+// id and span WITHOUT recording an error: a record that simply ends
+// before the tail is an old-format record from a pre-trace WAL or
+// snapshot, and decodes as untraced. A present but truncated or
+// malformed tail is still an error.
+func (r *Reader) TraceTail() (id [16]byte, span uint64) {
+	if r.err != nil || r.Remaining() == 0 {
+		return id, 0
+	}
+	switch marker := r.Uint8(); marker {
+	case 0:
+		return id, 0
+	case 1:
+		if r.off+16 > len(r.b) {
+			r.fail(ErrShortBuffer)
+			return [16]byte{}, 0
+		}
+		copy(id[:], r.b[r.off:r.off+16])
+		r.off += 16
+		span = r.Uvarint()
+		if r.err != nil {
+			return [16]byte{}, 0
+		}
+		return id, span
+	default:
+		r.fail(fmt.Errorf("enc: bad trace tail marker %d", marker))
+		return [16]byte{}, 0
+	}
 }
 
 // Finish reports an error if decoding failed or input remains. Use it when a

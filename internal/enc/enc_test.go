@@ -270,3 +270,65 @@ func TestQuickDecodeNeverPanics(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestTraceTail(t *testing.T) {
+	id := [16]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
+
+	// Traced: full round trip.
+	b := NewBuffer(0)
+	b.String("prefix")
+	b.TraceTail(id, 42)
+	r := NewReader(b.Bytes())
+	if got := r.String(); got != "prefix" {
+		t.Fatalf("prefix = %q", got)
+	}
+	gotID, gotSpan := r.TraceTail()
+	if gotID != id || gotSpan != 42 {
+		t.Fatalf("tail = (%x, %d)", gotID, gotSpan)
+	}
+	if err := r.Finish(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Untraced: one marker byte.
+	b.Reset()
+	b.TraceTail([16]byte{}, 0)
+	if b.Len() != 1 {
+		t.Fatalf("untraced tail is %d bytes, want 1", b.Len())
+	}
+	r = NewReader(b.Bytes())
+	if gotID, gotSpan = r.TraceTail(); gotID != ([16]byte{}) || gotSpan != 0 {
+		t.Fatalf("untraced tail = (%x, %d)", gotID, gotSpan)
+	}
+	if err := r.Finish(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Absent (old format): no bytes at all decodes as untraced, no error.
+	b.Reset()
+	b.String("old record")
+	r = NewReader(b.Bytes())
+	_ = r.String()
+	if gotID, gotSpan = r.TraceTail(); gotID != ([16]byte{}) || gotSpan != 0 {
+		t.Fatalf("absent tail = (%x, %d)", gotID, gotSpan)
+	}
+	if err := r.Finish(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncated tail: marker present but id cut short -> error.
+	b.Reset()
+	b.TraceTail(id, 42)
+	r = NewReader(b.Bytes()[:9])
+	r.TraceTail()
+	if r.Err() == nil {
+		t.Fatal("truncated tail decoded without error")
+	}
+
+	// Bad marker -> error.
+	r = NewReader([]byte{7})
+	r.TraceTail()
+	if r.Err() == nil {
+		t.Fatal("bad marker decoded without error")
+	}
+}

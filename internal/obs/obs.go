@@ -193,6 +193,29 @@ func Name(base string, labels ...string) string {
 	return base + "{" + strings.Join(pairs, ",") + "}"
 }
 
+// canonicalName re-renders a metric name with its label pairs sorted.
+// Registry lookups compose names through Name, which sorts, but callers
+// may register pre-composed names ("x{b=2,a=1}") whose label order
+// reflects call-site accident; canonicalizing at snapshot time makes
+// the rendered snapshot byte-for-byte deterministic regardless of how
+// or in what order instruments were registered.
+func canonicalName(name string) string {
+	open := strings.IndexByte(name, '{')
+	if open < 0 || !strings.HasSuffix(name, "}") {
+		return name
+	}
+	inner := name[open+1 : len(name)-1]
+	if inner == "" {
+		return name
+	}
+	pairs := strings.Split(inner, ",")
+	if sort.StringsAreSorted(pairs) {
+		return name
+	}
+	sort.Strings(pairs)
+	return name[:open] + "{" + strings.Join(pairs, ",") + "}"
+}
+
 func (r *Registry) checkKind(name, kind string) {
 	if prev, ok := r.kinds[name]; ok && prev != kind {
 		panic(fmt.Sprintf("obs: %s already registered as %s, requested as %s", name, prev, kind))
@@ -264,15 +287,43 @@ func (r *Registry) Snapshot() Snapshot {
 		Histograms: make(map[string]HistogramSnapshot, len(r.histograms)),
 	}
 	for name, c := range r.counters {
-		s.Counters[name] = c.Value()
+		s.Counters[canonicalName(name)] += c.Value()
 	}
 	for name, g := range r.gauges {
-		s.Gauges[name] = g.Value()
+		s.Gauges[canonicalName(name)] += g.Value()
 	}
 	for name, h := range r.histograms {
-		s.Histograms[name] = h.snapshot()
+		cn := canonicalName(name)
+		hs := h.snapshot()
+		if prev, ok := s.Histograms[cn]; ok {
+			hs = mergeHistograms(prev, hs)
+		}
+		s.Histograms[cn] = hs
 	}
 	return s
+}
+
+// mergeHistograms combines two snapshots of the same canonical metric
+// (registered under differently-ordered label renderings) so snapshot
+// content is independent of map iteration order.
+func mergeHistograms(a, b HistogramSnapshot) HistogramSnapshot {
+	out := HistogramSnapshot{Count: a.Count + b.Count, Sum: a.Sum + b.Sum}
+	i, j := 0, 0
+	for i < len(a.Buckets) || j < len(b.Buckets) {
+		switch {
+		case j >= len(b.Buckets) || (i < len(a.Buckets) && a.Buckets[i].Le < b.Buckets[j].Le):
+			out.Buckets = append(out.Buckets, a.Buckets[i])
+			i++
+		case i >= len(a.Buckets) || b.Buckets[j].Le < a.Buckets[i].Le:
+			out.Buckets = append(out.Buckets, b.Buckets[j])
+			j++
+		default:
+			out.Buckets = append(out.Buckets, Bucket{Le: a.Buckets[i].Le, Count: a.Buckets[i].Count + b.Buckets[j].Count})
+			i++
+			j++
+		}
+	}
+	return out
 }
 
 // MarshalJSON renders the snapshot (deterministically; see Snapshot).

@@ -129,6 +129,63 @@ func TestCounterDelta(t *testing.T) {
 	}
 }
 
+// TestSnapshotDeterministicUnderConcurrentRegistration registers
+// instruments — including adversarially pre-composed names whose label
+// order varies by goroutine — from 8 goroutines and requires two
+// subsequent snapshots to marshal byte-for-byte identically. This is
+// the regression test for snapshot-time label canonicalization.
+func TestSnapshotDeterministicUnderConcurrentRegistration(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Counter("ops", "worker", "w", "idx", "0").Inc()
+				// Pre-composed names with label order depending on
+				// which goroutine registered first.
+				if w%2 == 0 {
+					r.Counter("raw{a=1,b=2}").Inc()
+					r.Gauge("rawg{z=9,y=8}").Add(1)
+					r.Histogram("rawh{n=2,m=1}").Observe(int64(i))
+				} else {
+					r.Counter("raw{b=2,a=1}").Inc()
+					r.Gauge("rawg{y=8,z=9}").Add(1)
+					r.Histogram("rawh{m=1,n=2}").Observe(int64(i))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	j1, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(j1) != string(j2) {
+		t.Fatalf("snapshots differ:\n%s\n%s", j1, j2)
+	}
+	s := r.Snapshot()
+	// Both orderings canonicalize and merge into one entry.
+	if got := s.Counters["raw{a=1,b=2}"]; got != workers*200 {
+		t.Fatalf("canonical counter = %d, want %d", got, workers*200)
+	}
+	if _, ok := s.Counters["raw{b=2,a=1}"]; ok {
+		t.Fatal("non-canonical counter name survived in snapshot")
+	}
+	if got := s.Gauges["rawg{y=8,z=9}"]; got != workers*200 {
+		t.Fatalf("canonical gauge = %d, want %d", got, workers*200)
+	}
+	if got := s.Histograms["rawh{m=1,n=2}"].Count; got != workers*200 {
+		t.Fatalf("canonical histogram count = %d, want %d", got, workers*200)
+	}
+}
+
 // TestConcurrent hammers one registry from many goroutines; run under
 // -race this is the package's thread-safety proof.
 func TestConcurrent(t *testing.T) {

@@ -1,0 +1,22 @@
+package trace
+
+import "context"
+
+type ctxKey struct{}
+
+// With returns ctx carrying ref; the RPC client lifts it onto the wire.
+func With(ctx context.Context, ref Ref) context.Context {
+	if !ref.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, ref)
+}
+
+// From returns the ref carried by ctx, or the zero Ref.
+func From(ctx context.Context) Ref {
+	if ctx == nil {
+		return Ref{}
+	}
+	ref, _ := ctx.Value(ctxKey{}).(Ref)
+	return ref
+}

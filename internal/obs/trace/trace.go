@@ -1,0 +1,576 @@
+// Package trace is the request-tracing half of the observability
+// substrate: 128-bit trace IDs, spans with parent links, and a bounded
+// lock-striped ring that holds recently finished spans for assembly into
+// per-request trees.
+//
+// The paper's unit of reasoning is the lifecycle of one recoverable
+// request — submitted, enqueued, dequeued, executed under a transaction,
+// replied, and possibly re-executed after a crash (§§3–5). Counters
+// (package obs) aggregate over many requests; a trace follows one. The
+// trace ID travels with the request: stamped by the clerk at submit,
+// carried as RPC frame metadata, persisted in the element's durable
+// encoding so recovery replay resumes the *same* trace after a crash,
+// and tagged onto commit/prepare records' spans by the transaction
+// layer.
+//
+// Recording is designed for hot paths: when tracing is disabled every
+// entry point is one atomic load; when enabled, finishing a span takes
+// one stripe mutex (chosen by trace ID, so one request's spans colocate
+// and assembly scans one stripe first) and writes into a fixed circular
+// buffer. The ring is bounded: old spans are overwritten, and every
+// overwrite increments a drop counter — backpressure-free by
+// construction, honest about loss.
+package trace
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// ID is a 128-bit trace identifier. The zero ID means "untraced".
+type ID [16]byte
+
+// IsZero reports whether the ID is the zero (untraced) ID.
+func (id ID) IsZero() bool { return id == ID{} }
+
+// String renders the ID as 32 lowercase hex digits.
+func (id ID) String() string { return hex.EncodeToString(id[:]) }
+
+// ParseID parses the 32-hex-digit form produced by String.
+func ParseID(s string) (ID, error) {
+	var id ID
+	if len(s) != 32 {
+		return ID{}, fmt.Errorf("trace: bad id length %d", len(s))
+	}
+	if _, err := hex.Decode(id[:], []byte(s)); err != nil {
+		return ID{}, fmt.Errorf("trace: bad id %q: %v", s, err)
+	}
+	return id, nil
+}
+
+// SpanID identifies one span within a trace. Zero means "no span" (a
+// root span has Parent == 0).
+type SpanID uint64
+
+// idState seeds a cheap splitmix64 generator from crypto/rand once;
+// NewID and NewSpanID then cost one atomic add each. splitmix64 is a
+// bijection of the counter, so IDs never collide within a process.
+var idState atomic.Uint64
+
+func init() {
+	var seed [8]byte
+	if _, err := rand.Read(seed[:]); err == nil {
+		idState.Store(binary.LittleEndian.Uint64(seed[:]))
+	} else {
+		idState.Store(uint64(time.Now().UnixNano()))
+	}
+}
+
+func next64() uint64 {
+	z := idState.Add(0x9e3779b97f4a7c15)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// NewID returns a fresh random trace ID (never zero).
+func NewID() ID {
+	var id ID
+	for {
+		binary.LittleEndian.PutUint64(id[:8], next64())
+		binary.LittleEndian.PutUint64(id[8:], next64())
+		if !id.IsZero() {
+			return id
+		}
+	}
+}
+
+// NewSpanID returns a fresh span ID (never zero).
+func NewSpanID() SpanID {
+	for {
+		if v := next64(); v != 0 {
+			return SpanID(v)
+		}
+	}
+}
+
+// Ref is a point in a trace: the trace ID plus the current span, i.e.
+// the causal parent for whatever happens next. The zero Ref means
+// "untraced".
+type Ref struct {
+	Trace ID
+	Span  SpanID
+}
+
+// Valid reports whether the ref carries a live trace.
+func (r Ref) Valid() bool { return !r.Trace.IsZero() }
+
+// Attr is one typed span annotation: Str == "" means the value is Int
+// (LSNs, txn IDs, retry counts, nanosecond waits); otherwise Str holds
+// a string value (queue name, status).
+type Attr struct {
+	Key string
+	Str string
+	Int int64
+}
+
+// Int64 builds a numeric attribute.
+func Int64(key string, v int64) Attr { return Attr{Key: key, Int: v} }
+
+// Str builds a string attribute.
+func Str(key, v string) Attr { return Attr{Key: key, Str: v} }
+
+// Span is one timed operation within a trace. Start and End are
+// nanosecond wall-clock timestamps (UnixNano); durations inside one
+// process are measured monotonically and applied to Start, so End-Start
+// is immune to wall-clock steps even though Start is wall time.
+type Span struct {
+	Trace  ID
+	ID     SpanID
+	Parent SpanID
+	Name   string
+	Start  int64 // UnixNano
+	End    int64 // UnixNano
+	Attrs  []Attr
+
+	// Final marks the span whose finish completes the request's local
+	// span tree (the server's process span); finishing it triggers the
+	// slow-trace check.
+	Final bool
+
+	startMono time.Time // monotonic anchor for duration; zero for RecordAt spans
+	tr        *Tracer
+}
+
+// Annotate appends attributes to an unfinished span.
+func (s *Span) Annotate(attrs ...Attr) {
+	if s == nil || s.tr == nil {
+		return
+	}
+	s.Attrs = append(s.Attrs, attrs...)
+}
+
+// Duration returns End-Start.
+func (s *Span) Duration() time.Duration { return time.Duration(s.End - s.Start) }
+
+// Ref returns the ref for parenting children under this span. On a
+// disabled tracer (zero Span) it degrades to the original ref.
+func (s *Span) Ref() Ref {
+	if s == nil {
+		return Ref{}
+	}
+	return Ref{Trace: s.Trace, Span: s.ID}
+}
+
+// stripes is the number of ring stripes. Spans land in the stripe
+// selected by their trace ID, so one request's spans share a stripe.
+const stripes = 8
+
+// stripe is one bounded circular span buffer.
+type stripe struct {
+	mu    sync.Mutex
+	spans []Span // fixed capacity ring
+	next  int    // next write index
+	used  int    // number of occupied slots (<= len(spans))
+}
+
+// Tracer records spans into a bounded lock-striped ring. The zero value
+// is unusable; use New. A nil *Tracer is a valid disabled tracer: every
+// method nil-checks, so call sites need no guards.
+type Tracer struct {
+	enabled atomic.Bool
+
+	st [stripes]stripe
+
+	recorded *obs.Counter
+	dropped  *obs.Counter
+
+	// slowNanos is the slow-request threshold; finishing a Final span
+	// whose trace's assembled extent is >= slowNanos emits the span
+	// tree as one JSON line to sink.
+	slowNanos atomic.Int64
+	sinkMu    sync.Mutex
+	sink      io.Writer
+}
+
+// New returns an enabled tracer whose ring holds capacity spans total
+// (rounded up to a multiple of the stripe count, minimum 64). reg may
+// be nil; when set, trace.spans_recorded and trace.spans_dropped
+// counters register there.
+func New(capacity int, reg *obs.Registry) *Tracer {
+	per := (capacity + stripes - 1) / stripes
+	if per < 8 {
+		per = 8
+	}
+	t := &Tracer{}
+	for i := range t.st {
+		t.st[i].spans = make([]Span, per)
+	}
+	if reg != nil {
+		t.recorded = reg.Counter("trace.spans_recorded")
+		t.dropped = reg.Counter("trace.spans_dropped")
+	} else {
+		t.recorded = &obs.Counter{}
+		t.dropped = &obs.Counter{}
+	}
+	t.enabled.Store(true)
+	return t
+}
+
+// SetEnabled flips recording. Disabled tracers reject Begin/RecordAt at
+// the cost of one atomic load.
+func (t *Tracer) SetEnabled(on bool) {
+	if t != nil {
+		t.enabled.Store(on)
+	}
+}
+
+// Enabled reports whether the tracer records spans. Safe on nil.
+func (t *Tracer) Enabled() bool { return t != nil && t.enabled.Load() }
+
+// SetSlowThreshold arms slow-trace emission: when a Final span finishes
+// and its trace's assembled extent is at least d, the whole span tree
+// is written to w as one JSON line. d <= 0 disarms.
+func (t *Tracer) SetSlowThreshold(d time.Duration, w io.Writer) {
+	if t == nil {
+		return
+	}
+	t.sinkMu.Lock()
+	t.sink = w
+	t.sinkMu.Unlock()
+	t.slowNanos.Store(int64(d))
+}
+
+// Dropped returns the number of spans overwritten before retrieval.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Value()
+}
+
+// Begin starts a span under ref. ok is false — and the returned span
+// inert — when the tracer is disabled or ref is untraced, so callers
+// can guard expensive annotation with the ok bit and otherwise pass
+// the span around unconditionally.
+func (t *Tracer) Begin(ref Ref, name string) (Span, bool) {
+	if !t.Enabled() || !ref.Valid() {
+		return Span{}, false
+	}
+	now := time.Now()
+	return Span{
+		Trace:     ref.Trace,
+		ID:        NewSpanID(),
+		Parent:    ref.Span,
+		Name:      name,
+		Start:     now.UnixNano(),
+		startMono: now,
+		tr:        t,
+	}, true
+}
+
+// Finish stamps the span's end time and records it. Inert spans (from
+// a disabled Begin) are ignored.
+func (t *Tracer) Finish(s *Span) {
+	if t == nil || s == nil || s.tr == nil {
+		return
+	}
+	s.End = s.Start + int64(time.Since(s.startMono))
+	t.record(*s)
+	if s.Final {
+		t.maybeEmitSlow(s.Trace)
+	}
+	s.tr = nil
+}
+
+// RecordAt records a fully formed span with explicit wall-clock
+// endpoints — for intervals whose start predates the recording site
+// (queue wait measured at dequeue) or instantaneous events (recovery
+// replay). Zero start/end collapse to now.
+func (t *Tracer) RecordAt(ref Ref, name string, start, end time.Time, attrs ...Attr) SpanID {
+	if !t.Enabled() || !ref.Valid() {
+		return 0
+	}
+	if start.IsZero() {
+		start = time.Now()
+	}
+	if end.Before(start) {
+		end = start
+	}
+	s := Span{
+		Trace:  ref.Trace,
+		ID:     NewSpanID(),
+		Parent: ref.Span,
+		Name:   name,
+		Start:  start.UnixNano(),
+		End:    end.UnixNano(),
+		Attrs:  attrs,
+	}
+	t.record(s)
+	return s.ID
+}
+
+func (t *Tracer) stripeFor(id ID) *stripe {
+	return &t.st[id[0]%stripes]
+}
+
+func (t *Tracer) record(s Span) {
+	s.tr = nil
+	s.startMono = time.Time{}
+	st := t.stripeFor(s.Trace)
+	st.mu.Lock()
+	if st.used == len(st.spans) {
+		t.dropped.Inc()
+	} else {
+		st.used++
+	}
+	st.spans[st.next] = s
+	st.next = (st.next + 1) % len(st.spans)
+	st.mu.Unlock()
+	t.recorded.Inc()
+}
+
+// collect returns copies of every retained span of the trace.
+func (t *Tracer) collect(id ID) []Span {
+	if t == nil {
+		return nil
+	}
+	st := t.stripeFor(id)
+	var out []Span
+	st.mu.Lock()
+	for i := 0; i < st.used; i++ {
+		idx := (st.next - st.used + i + len(st.spans)) % len(st.spans)
+		if st.spans[idx].Trace == id {
+			sp := st.spans[idx]
+			sp.Attrs = append([]Attr(nil), sp.Attrs...)
+			out = append(out, sp)
+		}
+	}
+	st.mu.Unlock()
+	return out
+}
+
+// Node is one span plus its children — the tree form served by the
+// admin endpoint and pretty-printed by qmctl.
+type Node struct {
+	Span     Span
+	Children []*Node
+}
+
+// Trace assembles the retained spans of id into a forest. Spans whose
+// parent was dropped from the ring (or lives on another node) surface
+// as roots, so partial traces still render. Returns nil when nothing is
+// retained. Siblings and roots sort by start time.
+func (t *Tracer) Trace(id ID) []*Node {
+	spans := t.collect(id)
+	if len(spans) == 0 {
+		return nil
+	}
+	byID := make(map[SpanID]*Node, len(spans))
+	for i := range spans {
+		byID[spans[i].ID] = &Node{Span: spans[i]}
+	}
+	var roots []*Node
+	for _, n := range byID {
+		if p, ok := byID[n.Span.Parent]; ok && p != n {
+			p.Children = append(p.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	sortNodes(roots)
+	for _, n := range byID {
+		sortNodes(n.Children)
+	}
+	return roots
+}
+
+func sortNodes(ns []*Node) {
+	sort.Slice(ns, func(i, j int) bool {
+		if ns[i].Span.Start != ns[j].Span.Start {
+			return ns[i].Span.Start < ns[j].Span.Start
+		}
+		return ns[i].Span.ID < ns[j].Span.ID
+	})
+}
+
+// Summary is one trace's extent, for the "slowest N" listing.
+type Summary struct {
+	Trace    ID
+	Spans    int
+	Start    int64 // earliest span start, UnixNano
+	Duration time.Duration
+	Root     string // name of the earliest span
+}
+
+// MarshalJSON renders the summary with the trace id in hex (a raw [16]byte
+// would marshal as a JSON number array).
+func (s Summary) MarshalJSON() ([]byte, error) {
+	type wire struct {
+		Trace    string `json:"trace"`
+		Spans    int    `json:"spans"`
+		Start    int64  `json:"start_ns"`
+		Duration int64  `json:"dur_ns"`
+		Root     string `json:"root"`
+	}
+	return json.Marshal(wire{
+		Trace:    s.Trace.String(),
+		Spans:    s.Spans,
+		Start:    s.Start,
+		Duration: int64(s.Duration),
+		Root:     s.Root,
+	})
+}
+
+// Slowest returns up to n retained traces ordered by descending extent
+// (latest end minus earliest start across the trace's retained spans).
+func (t *Tracer) Slowest(n int) []Summary {
+	if t == nil || n <= 0 {
+		return nil
+	}
+	type agg struct {
+		min, max int64
+		spans    int
+		root     string
+	}
+	traces := make(map[ID]*agg)
+	for i := range t.st {
+		st := &t.st[i]
+		st.mu.Lock()
+		for j := 0; j < st.used; j++ {
+			idx := (st.next - st.used + j + len(st.spans)) % len(st.spans)
+			sp := &st.spans[idx]
+			a, ok := traces[sp.Trace]
+			if !ok {
+				a = &agg{min: sp.Start, max: sp.End, root: sp.Name}
+				traces[sp.Trace] = a
+			}
+			if sp.Start < a.min {
+				a.min = sp.Start
+				a.root = sp.Name
+			}
+			if sp.End > a.max {
+				a.max = sp.End
+			}
+			a.spans++
+		}
+		st.mu.Unlock()
+	}
+	out := make([]Summary, 0, len(traces))
+	for id, a := range traces {
+		out = append(out, Summary{
+			Trace:    id,
+			Spans:    a.spans,
+			Start:    a.min,
+			Duration: time.Duration(a.max - a.min),
+			Root:     a.root,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Duration != out[j].Duration {
+			return out[i].Duration > out[j].Duration
+		}
+		return out[i].Trace.String() < out[j].Trace.String()
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// maybeEmitSlow writes the assembled tree of id to the sink if the
+// trace's extent meets the slow threshold.
+func (t *Tracer) maybeEmitSlow(id ID) {
+	thresh := t.slowNanos.Load()
+	if thresh <= 0 {
+		return
+	}
+	roots := t.Trace(id)
+	if len(roots) == 0 {
+		return
+	}
+	var min, max int64
+	first := true
+	var walk func(*Node)
+	walk = func(n *Node) {
+		if first || n.Span.Start < min {
+			min = n.Span.Start
+		}
+		if first || n.Span.End > max {
+			max = n.Span.End
+		}
+		first = false
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	for _, r := range roots {
+		walk(r)
+	}
+	if max-min < thresh {
+		return
+	}
+	line, err := json.Marshal(map[string]any{
+		"slow_trace": id.String(),
+		"dur_ns":     max - min,
+		"spans":      roots,
+	})
+	if err != nil {
+		return
+	}
+	line = append(line, '\n')
+	t.sinkMu.Lock()
+	if t.sink != nil {
+		t.sink.Write(line)
+	}
+	t.sinkMu.Unlock()
+}
+
+// MarshalJSON renders a node as the wire/JSON tree form: hex trace and
+// span IDs, nanosecond start, duration, attrs as a flat map.
+func (n *Node) MarshalJSON() ([]byte, error) {
+	attrs := make(map[string]any, len(n.Span.Attrs))
+	for _, a := range n.Span.Attrs {
+		if a.Str != "" {
+			attrs[a.Key] = a.Str
+		} else {
+			attrs[a.Key] = a.Int
+		}
+	}
+	type wire struct {
+		Trace    string         `json:"trace"`
+		Span     string         `json:"span"`
+		Parent   string         `json:"parent,omitempty"`
+		Name     string         `json:"name"`
+		Start    int64          `json:"start_ns"`
+		DurNS    int64          `json:"dur_ns"`
+		Attrs    map[string]any `json:"attrs,omitempty"`
+		Children []*Node        `json:"children,omitempty"`
+	}
+	w := wire{
+		Trace:    n.Span.Trace.String(),
+		Span:     fmt.Sprintf("%016x", uint64(n.Span.ID)),
+		Name:     n.Span.Name,
+		Start:    n.Span.Start,
+		DurNS:    n.Span.End - n.Span.Start,
+		Attrs:    attrs,
+		Children: n.Children,
+	}
+	if n.Span.Parent != 0 {
+		w.Parent = fmt.Sprintf("%016x", uint64(n.Span.Parent))
+	}
+	if len(attrs) == 0 {
+		w.Attrs = nil
+	}
+	return json.Marshal(w)
+}

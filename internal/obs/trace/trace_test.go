@@ -1,0 +1,255 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestIDRoundTrip(t *testing.T) {
+	id := NewID()
+	if id.IsZero() {
+		t.Fatal("NewID returned zero")
+	}
+	got, err := ParseID(id.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != id {
+		t.Fatalf("round trip: %v != %v", got, id)
+	}
+	if _, err := ParseID("xyz"); err == nil {
+		t.Fatal("ParseID accepted garbage")
+	}
+	if _, err := ParseID(strings.Repeat("g", 32)); err == nil {
+		t.Fatal("ParseID accepted non-hex")
+	}
+}
+
+func TestIDsDistinct(t *testing.T) {
+	seen := make(map[ID]bool)
+	for i := 0; i < 10000; i++ {
+		id := NewID()
+		if seen[id] {
+			t.Fatalf("duplicate ID after %d draws", i)
+		}
+		seen[id] = true
+	}
+}
+
+func TestBeginFinishTree(t *testing.T) {
+	tr := New(256, nil)
+	id := NewID()
+	root, ok := tr.Begin(Ref{Trace: id}, "root")
+	if !ok {
+		t.Fatal("Begin rejected valid ref")
+	}
+	root.Annotate(Str("queue", "work"), Int64("lsn", 42))
+	child, ok := tr.Begin(root.Ref(), "child")
+	if !ok {
+		t.Fatal("Begin child failed")
+	}
+	tr.Finish(&child)
+	tr.Finish(&root)
+
+	roots := tr.Trace(id)
+	if len(roots) != 1 {
+		t.Fatalf("got %d roots, want 1", len(roots))
+	}
+	if roots[0].Span.Name != "root" || len(roots[0].Children) != 1 {
+		t.Fatalf("bad tree shape: %+v", roots[0])
+	}
+	if roots[0].Children[0].Span.Name != "child" {
+		t.Fatalf("bad child: %+v", roots[0].Children[0])
+	}
+	if roots[0].Children[0].Span.Parent != roots[0].Span.ID {
+		t.Fatal("child parent link wrong")
+	}
+	if roots[0].Span.End < roots[0].Span.Start {
+		t.Fatal("span ends before it starts")
+	}
+}
+
+func TestDisabledAndNil(t *testing.T) {
+	var nilT *Tracer
+	if nilT.Enabled() {
+		t.Fatal("nil tracer enabled")
+	}
+	if _, ok := nilT.Begin(Ref{Trace: NewID()}, "x"); ok {
+		t.Fatal("nil tracer began a span")
+	}
+	nilT.Finish(&Span{})
+	nilT.RecordAt(Ref{Trace: NewID()}, "x", time.Now(), time.Now())
+	if nilT.Trace(NewID()) != nil || nilT.Slowest(5) != nil {
+		t.Fatal("nil tracer returned data")
+	}
+
+	tr := New(64, nil)
+	tr.SetEnabled(false)
+	if _, ok := tr.Begin(Ref{Trace: NewID()}, "x"); ok {
+		t.Fatal("disabled tracer began a span")
+	}
+	// Untraced ref is also rejected.
+	tr.SetEnabled(true)
+	if _, ok := tr.Begin(Ref{}, "x"); ok {
+		t.Fatal("zero ref began a span")
+	}
+}
+
+func TestRingDropCounting(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := New(1, reg) // rounds up to 8 per stripe
+	// All spans of one trace land in one stripe; overfill it.
+	id := NewID()
+	const n = 100
+	for i := 0; i < n; i++ {
+		tr.RecordAt(Ref{Trace: id}, "s", time.Now(), time.Now())
+	}
+	if got := tr.Dropped(); got != n-8 {
+		t.Fatalf("dropped = %d, want %d", got, n-8)
+	}
+	if got := len(tr.collect(id)); got != 8 {
+		t.Fatalf("retained %d spans, want 8", got)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["trace.spans_recorded"] != n {
+		t.Fatalf("spans_recorded = %d", snap.Counters["trace.spans_recorded"])
+	}
+	if snap.Counters["trace.spans_dropped"] != n-8 {
+		t.Fatalf("spans_dropped = %d", snap.Counters["trace.spans_dropped"])
+	}
+}
+
+func TestOrphanBecomesRoot(t *testing.T) {
+	tr := New(256, nil)
+	id := NewID()
+	// Parent span 12345 was never recorded (dropped, or on another node).
+	tr.RecordAt(Ref{Trace: id, Span: 12345}, "orphan", time.Now(), time.Now())
+	roots := tr.Trace(id)
+	if len(roots) != 1 || roots[0].Span.Name != "orphan" {
+		t.Fatalf("orphan not surfaced as root: %+v", roots)
+	}
+}
+
+func TestSlowest(t *testing.T) {
+	tr := New(1024, nil)
+	base := time.Now()
+	var slow ID
+	for i := 0; i < 5; i++ {
+		id := NewID()
+		d := time.Duration(i+1) * time.Millisecond
+		tr.RecordAt(Ref{Trace: id}, "req", base, base.Add(d))
+		if i == 4 {
+			slow = id
+		}
+	}
+	top := tr.Slowest(3)
+	if len(top) != 3 {
+		t.Fatalf("got %d summaries, want 3", len(top))
+	}
+	if top[0].Trace != slow || top[0].Duration != 5*time.Millisecond {
+		t.Fatalf("slowest wrong: %+v", top[0])
+	}
+	if top[0].Root != "req" || top[0].Spans != 1 {
+		t.Fatalf("summary fields wrong: %+v", top[0])
+	}
+}
+
+func TestSlowSinkEmission(t *testing.T) {
+	tr := New(256, nil)
+	var buf bytes.Buffer
+	tr.SetSlowThreshold(time.Microsecond, &buf)
+	id := NewID()
+	sp, _ := tr.Begin(Ref{Trace: id}, "process")
+	sp.Final = true
+	time.Sleep(2 * time.Millisecond)
+	tr.Finish(&sp)
+	line := buf.String()
+	if line == "" {
+		t.Fatal("slow sink got nothing")
+	}
+	var parsed map[string]any
+	if err := json.Unmarshal([]byte(line), &parsed); err != nil {
+		t.Fatalf("sink line not JSON: %v\n%s", err, line)
+	}
+	if parsed["slow_trace"] != id.String() {
+		t.Fatalf("wrong trace in sink: %v", parsed["slow_trace"])
+	}
+
+	// Fast traces don't emit.
+	buf.Reset()
+	tr.SetSlowThreshold(time.Hour, &buf)
+	sp2, _ := tr.Begin(Ref{Trace: NewID()}, "process")
+	sp2.Final = true
+	tr.Finish(&sp2)
+	if buf.Len() != 0 {
+		t.Fatalf("fast trace emitted: %s", buf.String())
+	}
+}
+
+func TestNodeJSON(t *testing.T) {
+	tr := New(64, nil)
+	id := NewID()
+	root, _ := tr.Begin(Ref{Trace: id}, "root")
+	root.Annotate(Int64("lsn", 7), Str("queue", "work"))
+	tr.Finish(&root)
+	roots := tr.Trace(id)
+	b, err := json.Marshal(roots[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["trace"] != id.String() || m["name"] != "root" {
+		t.Fatalf("bad JSON: %s", b)
+	}
+	attrs := m["attrs"].(map[string]any)
+	if attrs["lsn"].(float64) != 7 || attrs["queue"] != "work" {
+		t.Fatalf("bad attrs: %s", b)
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	ref := Ref{Trace: NewID(), Span: 9}
+	ctx := With(context.Background(), ref)
+	if got := From(ctx); got != ref {
+		t.Fatalf("ctx round trip: %+v", got)
+	}
+	if got := From(context.Background()); got.Valid() {
+		t.Fatalf("empty ctx carried a ref: %+v", got)
+	}
+	// Zero ref is not stored.
+	if ctx2 := With(context.Background(), Ref{}); From(ctx2).Valid() {
+		t.Fatal("zero ref stored")
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	tr := New(4096, obs.NewRegistry())
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				id := NewID()
+				sp, _ := tr.Begin(Ref{Trace: id}, "op")
+				child, _ := tr.Begin(sp.Ref(), "inner")
+				child.Annotate(Int64("i", int64(i)))
+				tr.Finish(&child)
+				tr.Finish(&sp)
+				tr.Trace(id)
+				tr.Slowest(3)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"repro/internal/enc"
+	"repro/internal/obs/trace"
 )
 
 // EID is an element identifier, unique within a repository for the lifetime
@@ -78,9 +79,27 @@ type Element struct {
 	// AbortCode describes the last abort that returned the element; set
 	// when the element is diverted to an error queue.
 	AbortCode string
+	// Trace is the request's trace ID, stamped by the submitting client
+	// and persisted with the element so a dequeuing server — including
+	// one re-executing the request after crash recovery — resumes the
+	// same trace. Zero means untraced.
+	Trace trace.ID
+	// Span is the span under which the element's subsequent lifecycle
+	// parents (the enqueue span once enqueued).
+	Span trace.SpanID
+	// Redelivered reports that this copy of the element was
+	// reconstructed from the log or a snapshot (crash recovery) rather
+	// than enqueued in this process lifetime. In-memory only — never
+	// encoded — it drives the trace retry annotation.
+	Redelivered bool
 
 	// seq fixes FIFO order within a priority; assigned at enqueue.
 	seq uint64
+}
+
+// TraceRef returns the element's trace context for parenting new spans.
+func (e *Element) TraceRef() trace.Ref {
+	return trace.Ref{Trace: e.Trace, Span: e.Span}
 }
 
 // Seq exposes the FIFO sequence for diagnostics and tests.
@@ -134,20 +153,43 @@ func decodeElement(r *enc.Reader) (Element, error) {
 	return e, r.Err()
 }
 
+// encodeTraceTail appends e's trace context after an encodeElement body.
+// Kept separate from encodeElement so every container (redo record,
+// registration blob, snapshot, wire frame) appends it explicitly at its
+// own tail position, where absent bytes decode as untraced — which is
+// how pre-trace encodings stay readable.
+func encodeTraceTail(b *enc.Buffer, e *Element) {
+	b.TraceTail([16]byte(e.Trace), uint64(e.Span))
+}
+
+// decodeTraceTail reads a tail written by encodeTraceTail (or nothing,
+// for old-format data) into e.
+func decodeTraceTail(r *enc.Reader, e *Element) {
+	id, span := r.TraceTail()
+	e.Trace = trace.ID(id)
+	e.Span = trace.SpanID(span)
+}
+
 // marshalElement returns the stand-alone encoding of e (used for the stable
-// element copies kept in registrations).
+// element copies kept in registrations), trace tail included.
 func marshalElement(e *Element) []byte {
 	b := enc.NewBuffer(64 + len(e.Body))
 	encodeElement(b, e)
+	encodeTraceTail(b, e)
 	return b.Bytes()
 }
 
-// unmarshalElement decodes a stand-alone element encoding.
+// unmarshalElement decodes a stand-alone element encoding. Blobs written
+// before trace support simply end early and decode as untraced.
 func unmarshalElement(data []byte) (Element, error) {
 	r := enc.NewReader(data)
 	e, err := decodeElement(r)
 	if err != nil {
 		return Element{}, fmt.Errorf("queue: decode element: %w", err)
+	}
+	decodeTraceTail(r, &e)
+	if err := r.Err(); err != nil {
+		return Element{}, fmt.Errorf("queue: decode element trace: %w", err)
 	}
 	return e, nil
 }

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/enc"
 	"repro/internal/lock"
+	"repro/internal/obs/trace"
 	"repro/internal/txn"
 )
 
@@ -238,6 +239,15 @@ func (r *Repository) Enqueue(t *txn.Txn, qname string, e Element, registrant str
 		e.EID = EID(r.nextEID.Add(1) - 1)
 		e.Queue = target
 		e.seq = r.nextSeq.Add(1) - 1
+		// Begin the enqueue span before the element is stored or logged:
+		// rewriting e.Span to the enqueue span makes everything downstream
+		// — the persisted record, recovery replay, the dequeuing server —
+		// parent under this span.
+		sp, traced := r.tracer.Begin(e.TraceRef(), "enqueue")
+		if traced {
+			sp.Annotate(trace.Str("queue", target), trace.Int64("eid", int64(e.EID)))
+			e.Span = sp.ID
+		}
 		el := &elem{e: e, state: statePending, owner: t}
 		el.q.Store(qs)
 		qs.lock()
@@ -263,6 +273,9 @@ func (r *Repository) Enqueue(t *txn.Txn, qname string, e Element, registrant str
 			qs.lock()
 			el.state = stateVisible
 			el.owner = nil
+			if traced {
+				el.visibleAt = time.Now().UnixNano()
+			}
 			qs.bumpDepth(1)
 			qs.countEnqueue()
 			depth := qs.stats.Depth
@@ -280,13 +293,28 @@ func (r *Repository) Enqueue(t *txn.Txn, qname string, e Element, registrant str
 				go r.fireTrigger(tr)
 			}
 		})
+		if traced {
+			// Registered separately, capturing a traced-only heap copy of
+			// the span: letting the commit hook capture sp directly would
+			// move it to the heap on every enqueue even with tracing off
+			// (escape analysis is flow-insensitive).
+			spc := new(trace.Span)
+			*spc = sp
+			t.OnCommit(func() {
+				if lsn := t.CommitLSN(); lsn != 0 {
+					spc.Annotate(trace.Int64("lsn", int64(lsn)))
+				}
+				r.tracer.Finish(spc)
+			})
+		}
 		if !qs.volatile {
-			b := enc.NewBuffer(64 + len(e.Body))
+			b := enc.NewBuffer(96 + len(e.Body))
 			b.Uint8(opEnqueue)
 			encodeElement(b, &e)
 			b.String(registrant)
 			b.BytesField(tag)
 			b.String(qname) // registration queue; differs from e.Queue under redirection
+			encodeTraceTail(b, &e)
 			r.logOp(t, b.Bytes())
 		}
 		return nil
@@ -325,7 +353,15 @@ func (r *Repository) enqueueFast(qname string, e Element, registrant string, tag
 	e.EID = EID(r.nextEID.Add(1) - 1)
 	e.Queue = target
 	e.seq = r.nextSeq.Add(1) - 1
+	sp, traced := r.tracer.Begin(e.TraceRef(), "enqueue")
+	if traced {
+		sp.Annotate(trace.Str("queue", target), trace.Int64("eid", int64(e.EID)))
+		e.Span = sp.ID
+	}
 	el := &elem{e: e, state: stateVisible}
+	if traced {
+		el.visibleAt = time.Now().UnixNano()
+	}
 	el.q.Store(qs)
 	qs.lock()
 	r.mu.RUnlock()
@@ -341,6 +377,9 @@ func (r *Repository) enqueueFast(qname string, e Element, registrant string, tag
 	qs.notifyLocked()
 	qs.unlock()
 	r.elems.put(e.EID, el)
+	if traced {
+		r.tracer.Finish(&sp)
+	}
 	r.fastRegUpdate(qname, registrant, OpEnqueue, e.EID, tag, &e)
 	fires := r.dueTriggers(target, depth)
 	if alert {
@@ -474,6 +513,7 @@ func (r *Repository) dequeueFast(ctx context.Context, qname, registrant string, 
 				r.mWaitNanos.Observe(time.Since(waitStart).Nanoseconds())
 			}
 			r.fastRegUpdate(qname, registrant, OpDequeue, el.e.EID, opts.Tag, &el.e)
+			r.recordDequeueSpan(el)
 			// el is unreachable now (out of the lists and the eid index);
 			// hand its element over without a defensive copy.
 			*out = el.e
@@ -542,6 +582,7 @@ func (r *Repository) dequeueInto(ctx context.Context, t *txn.Txn, qname, registr
 				r.mWaitNanos.Observe(time.Since(waitStart).Nanoseconds())
 			}
 			r.wireClaim(t, el, qname, registrant, opts.Tag)
+			r.recordDequeueSpan(el)
 			// el is exclusively owned by t now; cloning outside the shard
 			// lock is safe (only t's own undo mutates it later).
 			*out = el.e.clone()
@@ -635,6 +676,26 @@ func claimShardLocked(qs *queueState, el *elem, t *txn.Txn) {
 	el.owner = t
 	qs.bumpDepth(-1)
 	qs.bumpInFlight(1)
+}
+
+// recordDequeueSpan records the element's queue-residency interval — from
+// the moment it became visible (or was reconstructed by recovery) to the
+// claiming dequeue — as a "dequeue" span parented under the element's
+// enqueue span. Called after the claim, when the caller owns el
+// exclusively; one element re-dequeued after aborts or crashes honestly
+// yields one such span per attempt.
+func (r *Repository) recordDequeueSpan(el *elem) {
+	if !r.tracer.Enabled() || el.e.Trace.IsZero() {
+		return
+	}
+	attrs := []trace.Attr{
+		trace.Str("queue", el.e.Queue),
+		trace.Int64("eid", int64(el.e.EID)),
+	}
+	if el.e.Redelivered {
+		attrs = append(attrs, trace.Int64("redelivered", 1))
+	}
+	r.tracer.RecordAt(el.e.TraceRef(), "dequeue", time.Unix(0, el.visibleAt), time.Now(), attrs...)
 }
 
 // claimReturn records what the abort path did, for the OnAbort hook's
@@ -738,6 +799,9 @@ func (r *Repository) undoClaim(el *elem, returned *claimReturn) {
 		return
 	}
 	el.state = stateVisible
+	if el.visibleAt != 0 {
+		el.visibleAt = time.Now().UnixNano() // residency restarts for the retry's span
+	}
 	qs.bumpDepth(1)
 	qs.notifyLocked() // element visible again
 	unlockPair(qs, eqs)
@@ -849,6 +913,7 @@ func (r *Repository) DequeueSet(ctx context.Context, t *txn.Txn, qnames []string
 					r.mWaitNanos.Observe(time.Since(waitStart).Nanoseconds())
 				}
 				r.wireClaim(t, best, bestQueue, registrant, opts.Tag)
+				r.recordDequeueSpan(best)
 				out = best.e.clone()
 				return nil
 			}

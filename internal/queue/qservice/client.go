@@ -234,6 +234,32 @@ func (c *Client) Metrics(ctx context.Context) (obs.Snapshot, error) {
 	return s, nil
 }
 
+// TraceTree fetches one assembled span tree as raw JSON (an array of
+// root nodes) from the server's trace ring. ErrNotFound when the server
+// retains no spans for id.
+func (c *Client) TraceTree(ctx context.Context, id string) ([]byte, error) {
+	b := enc.NewBuffer(48)
+	b.String(id)
+	r, err := c.call(ctx, MethodTrace, b)
+	if err != nil {
+		return nil, err
+	}
+	j := r.BytesField()
+	return j, r.Err()
+}
+
+// SlowTraces fetches the slowest-n retained trace summaries as raw JSON.
+func (c *Client) SlowTraces(ctx context.Context, n int) ([]byte, error) {
+	b := enc.NewBuffer(8)
+	b.Uvarint(uint64(n))
+	r, err := c.call(ctx, MethodTraces, b)
+	if err != nil {
+		return nil, err
+	}
+	j := r.BytesField()
+	return j, r.Err()
+}
+
 // DequeueSet removes the best element across several queues (Section 9's
 // queue sets): highest priority first, then oldest.
 func (c *Client) DequeueSet(ctx context.Context, qnames []string, registrant string, tag []byte, wait time.Duration, match map[string]string) (queue.Element, error) {

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/enc"
+	"repro/internal/obs/trace"
 	"repro/internal/queue"
 	"repro/internal/rpc"
 )
@@ -37,6 +38,8 @@ const (
 	MethodStats       = "qm.stats"
 	MethodDequeueSet  = "qm.dequeueset"
 	MethodMetrics     = "qm.metrics"
+	MethodTrace       = "qm.trace"  // one span tree as JSON
+	MethodTraces      = "qm.traces" // slowest-N summaries as JSON
 )
 
 // Status codes carried in every response payload.
@@ -112,7 +115,10 @@ func respond(err error, body func(b *enc.Buffer)) []byte {
 }
 
 // wireElement encodes an element for the wire (public fields only; the
-// fifo sequence is repository-internal and regenerated on enqueue).
+// fifo sequence is repository-internal and regenerated on enqueue). The
+// trace context rides as a self-delimiting tail: old peers that stop
+// reading after AbortCode still parse the prefix, and their elements
+// decode here as untraced.
 func wireElement(b *enc.Buffer, e *queue.Element) {
 	b.Uvarint(uint64(e.EID))
 	b.String(e.Queue)
@@ -123,6 +129,7 @@ func wireElement(b *enc.Buffer, e *queue.Element) {
 	b.String(e.ReplyTo)
 	b.Varint(int64(e.AbortCount))
 	b.String(e.AbortCode)
+	b.TraceTail(e.Trace, uint64(e.Span))
 }
 
 func readWireElement(r *enc.Reader) queue.Element {
@@ -136,6 +143,9 @@ func readWireElement(r *enc.Reader) queue.Element {
 	e.ReplyTo = r.String()
 	e.AbortCount = int32(r.Varint())
 	e.AbortCode = r.String()
+	id, span := r.TraceTail()
+	e.Trace = trace.ID(id)
+	e.Span = trace.SpanID(span)
 	return e
 }
 
@@ -146,16 +156,19 @@ type Service struct {
 }
 
 // New registers the repository's methods on srv and returns the service.
+// The hot-path methods are trace-aware (HandleRef): a traced call gets an
+// "rpc.<method>" server span and its element operations parent under it.
 func New(repo *queue.Repository, srv *rpc.Server) *Service {
 	s := &Service{repo: repo, srv: srv}
+	srv.SetTracer(repo.Tracer())
 	srv.Handle(MethodRegister, s.handleRegister)
 	srv.Handle(MethodDeregister, s.handleDeregister)
-	srv.Handle(MethodEnqueue, s.handleEnqueue)
-	srv.Handle(MethodEnqueue1W, func(p []byte) ([]byte, error) {
-		s.handleEnqueue(p) // same work; the response is discarded
+	srv.HandleRef(MethodEnqueue, s.handleEnqueue)
+	srv.HandleRef(MethodEnqueue1W, func(ref trace.Ref, p []byte) ([]byte, error) {
+		s.handleEnqueue(ref, p) // same work; the response is discarded
 		return nil, nil
 	})
-	srv.Handle(MethodDequeue, s.handleDequeue)
+	srv.HandleRef(MethodDequeue, s.handleDequeue)
 	srv.Handle(MethodReadLast, s.handleReadLast)
 	srv.Handle(MethodRead, s.handleRead)
 	srv.Handle(MethodKill, s.handleKill)
@@ -163,9 +176,46 @@ func New(repo *queue.Repository, srv *rpc.Server) *Service {
 	srv.Handle(MethodDepth, s.handleDepth)
 	srv.Handle(MethodQueues, s.handleQueues)
 	srv.Handle(MethodStats, s.handleStats)
-	srv.Handle(MethodDequeueSet, s.handleDequeueSet)
+	srv.HandleRef(MethodDequeueSet, s.handleDequeueSet)
 	srv.Handle(MethodMetrics, s.handleMetrics)
+	srv.Handle(MethodTrace, s.handleTrace)
+	srv.Handle(MethodTraces, s.handleTraces)
 	return s
+}
+
+// handleTrace returns one assembled span tree as JSON (qm.trace).
+func (s *Service) handleTrace(p []byte) ([]byte, error) {
+	r := enc.NewReader(p)
+	idStr := r.String()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	id, err := trace.ParseID(idStr)
+	if err != nil {
+		return respond(fmt.Errorf("%w: %v", queue.ErrNotFound, err), nil), nil
+	}
+	nodes := s.repo.Tracer().Trace(id)
+	if len(nodes) == 0 {
+		return respond(fmt.Errorf("%w: trace %s", queue.ErrNotFound, idStr), nil), nil
+	}
+	j, err := json.Marshal(nodes)
+	return respond(err, func(b *enc.Buffer) { b.BytesField(j) }), nil
+}
+
+// handleTraces returns the slowest-N retained trace summaries as JSON
+// (qm.traces).
+func (s *Service) handleTraces(p []byte) ([]byte, error) {
+	r := enc.NewReader(p)
+	n := int(r.Uvarint())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	sums := s.repo.Tracer().Slowest(n)
+	if sums == nil {
+		sums = []trace.Summary{}
+	}
+	j, err := json.Marshal(sums)
+	return respond(err, func(b *enc.Buffer) { b.BytesField(j) }), nil
 }
 
 // handleMetrics returns the repository's full metrics registry as JSON —
@@ -200,7 +250,7 @@ func (s *Service) handleStats(p []byte) ([]byte, error) {
 	}), nil
 }
 
-func (s *Service) handleDequeueSet(p []byte) ([]byte, error) {
+func (s *Service) handleDequeueSet(_ trace.Ref, p []byte) ([]byte, error) {
 	r := enc.NewReader(p)
 	qnames := r.StringSlice()
 	registrant := r.String()
@@ -256,7 +306,7 @@ func (s *Service) handleFor(qname, registrant string) *queue.Handle {
 	return s.repo.HandleFor(qname, registrant)
 }
 
-func (s *Service) handleEnqueue(p []byte) ([]byte, error) {
+func (s *Service) handleEnqueue(ref trace.Ref, p []byte) ([]byte, error) {
 	r := enc.NewReader(p)
 	qname := r.String()
 	e := readWireElement(r)
@@ -265,11 +315,21 @@ func (s *Service) handleEnqueue(p []byte) ([]byte, error) {
 	if err := r.Err(); err != nil {
 		return nil, err
 	}
+	// Parent the repository's enqueue span under the server's rpc span
+	// (ref is that span's context when the call was traced).
+	if ref.Valid() {
+		if e.Trace.IsZero() {
+			e.Trace = ref.Trace
+		}
+		if e.Trace == ref.Trace {
+			e.Span = ref.Span
+		}
+	}
 	eid, err := s.repo.Enqueue(nil, qname, e, registrant, tag)
 	return respond(err, func(b *enc.Buffer) { b.Uvarint(uint64(eid)) }), nil
 }
 
-func (s *Service) handleDequeue(p []byte) ([]byte, error) {
+func (s *Service) handleDequeue(_ trace.Ref, p []byte) ([]byte, error) {
 	r := enc.NewReader(p)
 	qname := r.String()
 	registrant := r.String()

@@ -3,8 +3,10 @@ package queue
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/enc"
+	"repro/internal/obs/trace"
 	"repro/internal/txn"
 )
 
@@ -78,14 +80,25 @@ func (r *Repository) Redo(data []byte) error {
 		registrant := rd.String()
 		tag := rd.BytesField()
 		regQueue := rd.String()
+		decodeTraceTail(rd, &e) // absent on pre-trace records
 		if err := rd.Err(); err != nil {
 			return err
 		}
+		// The element is reconstructed by recovery: it resumes its
+		// original trace, and any server that dequeues it is
+		// re-executing the request after a crash.
+		e.Redelivered = true
 		qs := r.lockedQueue(e.Queue)
 		if qs == nil {
 			return fmt.Errorf("queue: redo enqueue into missing queue %s", e.Queue)
 		}
 		el := &elem{e: e, state: stateVisible}
+		if r.tracer.Enabled() && !e.Trace.IsZero() {
+			now := time.Now()
+			el.visibleAt = now.UnixNano()
+			r.tracer.RecordAt(e.TraceRef(), "replay", now, now,
+				trace.Str("queue", e.Queue), trace.Int64("eid", int64(e.EID)))
+		}
 		el.q.Store(qs)
 		qs.insert(el)
 		qs.bumpDepth(1)
@@ -373,9 +386,11 @@ func (r *Repository) RedoPrepared(t *txn.Txn, data []byte) error {
 		registrant := rd.String()
 		tag := rd.BytesField()
 		regQueue := rd.String()
+		decodeTraceTail(rd, &e)
 		if err := rd.Err(); err != nil {
 			return err
 		}
+		e.Redelivered = true
 		qs := r.lockedQueue(e.Queue)
 		if qs == nil {
 			return fmt.Errorf("queue: redo-prepared enqueue into missing queue %s", e.Queue)

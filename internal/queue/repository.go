@@ -10,6 +10,7 @@ import (
 	"repro/internal/enc"
 	"repro/internal/lock"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/storage"
 	"repro/internal/txn"
 	"repro/internal/wal"
@@ -77,6 +78,10 @@ type Options struct {
 	// queue) record into. When nil the repository creates a private one,
 	// retrievable via Metrics().
 	Metrics *obs.Registry
+	// Tracer, when non-nil, records request spans across the queue and
+	// transaction layers. nil disables tracing; every trace check then
+	// costs one nil test, keeping the hot paths unchanged.
+	Tracer *trace.Tracer
 }
 
 // Repository is a queue repository: a named set of queues, registrations,
@@ -94,8 +99,9 @@ type Repository struct {
 	log   *wal.Log
 	locks *lock.Manager
 	tm    *txn.Manager
-	snap  *storage.Snapshotter
-	reg   *obs.Registry
+	snap   *storage.Snapshotter
+	reg    *obs.Registry
+	tracer *trace.Tracer // nil when tracing is off
 
 	// mWaitNanos records how long blocking dequeuers waited for an
 	// element to become visible.
@@ -172,6 +178,7 @@ func Open(dir string, opts Options) (*Repository, []txn.InDoubt, error) {
 		tm:            txn.NewManagerWith(log, lm, reg),
 		snap:          snap,
 		reg:           reg,
+		tracer:        opts.Tracer,
 		mWaitNanos:    reg.Histogram("queue.dequeue_wait_ns"),
 		mShardWait:    reg.Histogram("queue.shard_lock_wait_ns"),
 		mWakeTargeted: reg.Counter("queue.wakeups_targeted"),
@@ -185,6 +192,7 @@ func Open(dir string, opts Options) (*Repository, []txn.InDoubt, error) {
 	r.nextEID.Store(1)
 	r.nextSeq.Store(1)
 	r.tm.RegisterRM(r)
+	r.tm.SetTracer(opts.Tracer)
 
 	// Recovery: snapshot, then log replay.
 	var snapLSN wal.LSN
@@ -227,6 +235,9 @@ func (r *Repository) Log() *wal.Log { return r.log }
 // Metrics returns the registry all of the repository's layers (WAL, lock
 // manager, transaction manager, queues) record into.
 func (r *Repository) Metrics() *obs.Registry { return r.reg }
+
+// Tracer returns the repository's tracer (nil when tracing is off).
+func (r *Repository) Tracer() *trace.Tracer { return r.tracer }
 
 // SetAlertFunc installs the queue-depth alert callback.
 func (r *Repository) SetAlertFunc(f AlertFunc) {
@@ -622,7 +633,11 @@ func (r *Repository) Checkpoint() error {
 	return nil
 }
 
-const snapVersion = 1
+// snapVersion 2 appends a trace tail (enc.TraceTail) after every
+// encoded element — queue elements and trigger fire elements — so
+// traces survive snapshot-based recovery. Version-1 snapshots (no
+// tails) still load.
+const snapVersion = 2
 
 // serializeLocked encodes committed state only: pending elements are
 // omitted (their transactions haven't committed), dequeued elements are
@@ -660,6 +675,7 @@ func (r *Repository) serializeLocked(names []string) []byte {
 		b.Uvarint(uint64(len(els)))
 		for _, el := range els {
 			encodeElement(b, &el.e)
+			encodeTraceTail(b, &el.e)
 		}
 	}
 
@@ -703,6 +719,7 @@ func (r *Repository) serializeLocked(names []string) []byte {
 		b.String(tr.watch)
 		b.Varint(int64(tr.threshold))
 		encodeElement(b, &tr.fire)
+		encodeTraceTail(b, &tr.fire)
 	}
 	r.trigMu.Unlock()
 
@@ -736,9 +753,11 @@ func (r *Repository) serializeLocked(names []string) []byte {
 // inside Open, before any API traffic, so no locks are taken.
 func (r *Repository) loadSnapshot(data []byte) error {
 	rd := enc.NewReader(data)
-	if v := rd.Uint8(); v != snapVersion {
+	v := rd.Uint8()
+	if v != 1 && v != snapVersion {
 		return fmt.Errorf("queue: snapshot version %d unsupported", v)
 	}
+	hasTrace := v >= 2
 	r.name = rd.String()
 	r.nextEID.Store(rd.Uvarint())
 	r.nextSeq.Store(rd.Uvarint())
@@ -756,6 +775,12 @@ func (r *Repository) loadSnapshot(data []byte) error {
 			if err != nil {
 				return fmt.Errorf("queue: snapshot element: %w", err)
 			}
+			if hasTrace {
+				decodeTraceTail(rd, &e)
+			}
+			// Snapshot-loaded elements predate this process: any server
+			// that dequeues one is re-executing after a crash.
+			e.Redelivered = true
 			el := &elem{e: e, state: stateVisible}
 			el.q.Store(qs)
 			qs.insert(el)
@@ -786,6 +811,9 @@ func (r *Repository) loadSnapshot(data []byte) error {
 		e, err := decodeElement(rd)
 		if err != nil {
 			return fmt.Errorf("queue: snapshot trigger: %w", err)
+		}
+		if hasTrace {
+			decodeTraceTail(rd, &e)
 		}
 		tr.fire = e
 		r.triggers[tr.id] = tr

@@ -49,6 +49,13 @@ type elem struct {
 	killed bool     // killed while dequeued; dropped on owner's abort
 	node   *list.Element
 	q      atomic.Pointer[queueState]
+
+	// visibleAt is when (unix ns) the element, if traced, last became
+	// visible — enqueue commit, abort return, or recovery — and anchors
+	// the start of the queue-residency "dequeue" span. Zero for
+	// untraced elements. An int64 rather than a time.Time to keep the
+	// per-element footprint small.
+	visibleAt int64
 }
 
 // queueState is one queue's in-memory structure — per-priority FIFO

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"io"
 	"testing"
+
+	"repro/internal/obs/trace"
 )
 
 // FuzzReadFrame feeds arbitrary bytes to the wire decoder: it must return
@@ -34,16 +36,24 @@ func FuzzReadFrame(f *testing.F) {
 	})
 }
 
-// FuzzFrameRoundTrip: any legal frame survives encode/decode.
+// FuzzFrameRoundTrip: any legal frame — traced or not — survives
+// encode/decode. The kind's high bit is the trace flag, owned by the
+// codec, so inputs are masked to the 7-bit kind space.
 func FuzzFrameRoundTrip(f *testing.F) {
-	f.Add(uint8(1), uint64(0), "method", []byte("payload"))
-	f.Add(uint8(3), uint64(1<<63), "", []byte{})
-	f.Fuzz(func(t *testing.T, kind uint8, id uint64, method string, payload []byte) {
+	f.Add(uint8(1), uint64(0), "method", []byte("payload"), []byte{}, uint64(0))
+	f.Add(uint8(3), uint64(1<<63), "", []byte{}, []byte{}, uint64(0))
+	f.Add(uint8(1), uint64(9), "qm.enqueue", []byte("p"),
+		[]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}, uint64(42))
+	f.Fuzz(func(t *testing.T, kind uint8, id uint64, method string, payload []byte, traceID []byte, span uint64) {
 		if len(method) > 0xffff || len(payload) > 1<<20 {
 			t.Skip()
 		}
+		kind &^= kindTraceFlag
+		var ref trace.Ref
+		copy(ref.Trace[:], traceID)
+		ref.Span = trace.SpanID(span)
 		var buf bytes.Buffer
-		in := &frame{kind: kind, id: id, method: method, payload: payload}
+		in := &frame{kind: kind, id: id, method: method, ref: ref, payload: payload}
 		if err := writeFrame(&buf, in); err != nil {
 			t.Skip() // over-limit frames are rejected at write time
 		}
@@ -53,6 +63,14 @@ func FuzzFrameRoundTrip(f *testing.F) {
 		}
 		if out.kind != kind || out.id != id || out.method != method || !bytes.Equal(out.payload, payload) {
 			t.Fatalf("roundtrip mismatch: %+v vs %+v", out, in)
+		}
+		// A zero trace id means untraced: the span is not carried.
+		want := ref
+		if !ref.Valid() {
+			want = trace.Ref{}
+		}
+		if out.ref != want {
+			t.Fatalf("trace ref mismatch: got %+v, want %+v", out.ref, want)
 		}
 		if _, err := readFrame(&buf); err != io.EOF {
 			t.Fatalf("trailing garbage after frame: %v", err)

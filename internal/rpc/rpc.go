@@ -12,9 +12,12 @@
 // Wire format (all little-endian):
 //
 //	length  uint32  frame length excluding this field
-//	kind    uint8   1=request 2=response 3=one-way 4=error-response
+//	kind    uint8   1=request 2=response 3=one-way 4=error-response;
+//	                high bit (0x80) set when trace context follows
 //	id      uint64  request id (0 for one-way)
 //	method  uint16-prefixed string (requests and one-ways)
+//	trace   16-byte trace id + 8-byte span id, present only when the
+//	        kind's high bit is set — old peers' frames decode unchanged
 //	payload remaining bytes
 //
 // The chaos layer injects failures by wrapping net.Conn; this package is
@@ -32,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 )
 
 const (
@@ -39,6 +43,15 @@ const (
 	kindResp    uint8 = 2
 	kindOneWay  uint8 = 3
 	kindError   uint8 = 4
+
+	// kindTraceFlag marks a frame carrying trace context (16-byte trace id
+	// + 8-byte span id between the method string and the payload). The base
+	// kind is kind &^ kindTraceFlag, so peers that predate tracing never
+	// set it and their frames decode exactly as before.
+	kindTraceFlag uint8 = 0x80
+
+	// traceCtxLen is the on-wire size of a trace context.
+	traceCtxLen = 16 + 8
 
 	// maxFrame bounds a frame; larger frames indicate corruption or abuse.
 	maxFrame = 16 << 20
@@ -59,11 +72,18 @@ var (
 // waiting dequeue) without stalling the connection.
 type Handler func(payload []byte) ([]byte, error)
 
+// RefHandler is a Handler that also receives the caller's trace context
+// (zero Ref when the request was untraced). Registered via HandleRef; the
+// server wraps the handler invocation in an "rpc.<method>" span and hands
+// the handler that span's ref so downstream work parents under it.
+type RefHandler func(ref trace.Ref, payload []byte) ([]byte, error)
+
 // frame is one decoded wire frame.
 type frame struct {
 	kind    uint8
 	id      uint64
 	method  string
+	ref     trace.Ref
 	payload []byte
 }
 
@@ -72,17 +92,31 @@ func writeFrame(w io.Writer, f *frame) error {
 	if methodLen > 0xffff {
 		return fmt.Errorf("rpc: method name too long")
 	}
+	traced := f.ref.Valid()
 	n := 1 + 8 + 2 + methodLen + len(f.payload)
+	if traced {
+		n += traceCtxLen
+	}
 	if n > maxFrame {
 		return ErrTooLarge
 	}
 	buf := make([]byte, 4+n)
 	binary.LittleEndian.PutUint32(buf, uint32(n))
-	buf[4] = f.kind
+	kind := f.kind
+	if traced {
+		kind |= kindTraceFlag
+	}
+	buf[4] = kind
 	binary.LittleEndian.PutUint64(buf[5:], f.id)
 	binary.LittleEndian.PutUint16(buf[13:], uint16(methodLen))
 	copy(buf[15:], f.method)
-	copy(buf[15+methodLen:], f.payload)
+	off := 15 + methodLen
+	if traced {
+		copy(buf[off:], f.ref.Trace[:])
+		binary.LittleEndian.PutUint64(buf[off+16:], uint64(f.ref.Span))
+		off += traceCtxLen
+	}
+	copy(buf[off:], f.payload)
 	_, err := w.Write(buf)
 	return err
 }
@@ -100,13 +134,23 @@ func readFrame(r io.Reader) (*frame, error) {
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return nil, err
 	}
-	f := &frame{kind: buf[0], id: binary.LittleEndian.Uint64(buf[1:])}
+	traced := buf[0]&kindTraceFlag != 0
+	f := &frame{kind: buf[0] &^ kindTraceFlag, id: binary.LittleEndian.Uint64(buf[1:])}
 	methodLen := int(binary.LittleEndian.Uint16(buf[9:]))
-	if 11+methodLen > len(buf) {
+	off := 11 + methodLen
+	if off > len(buf) {
 		return nil, fmt.Errorf("rpc: bad method length")
 	}
-	f.method = string(buf[11 : 11+methodLen])
-	f.payload = buf[11+methodLen:]
+	f.method = string(buf[11:off])
+	if traced {
+		if off+traceCtxLen > len(buf) {
+			return nil, fmt.Errorf("rpc: truncated trace context")
+		}
+		copy(f.ref.Trace[:], buf[off:])
+		f.ref.Span = trace.SpanID(binary.LittleEndian.Uint64(buf[off+16:]))
+		off += traceCtxLen
+	}
+	f.payload = buf[off:]
 	return f, nil
 }
 
@@ -120,12 +164,14 @@ type Stats struct {
 
 // Server dispatches incoming calls to registered handlers.
 type Server struct {
-	mu       sync.RWMutex
-	handlers map[string]Handler
-	lis      net.Listener
-	conns    map[net.Conn]struct{}
-	closed   bool
-	wg       sync.WaitGroup
+	mu          sync.RWMutex
+	handlers    map[string]Handler
+	refHandlers map[string]RefHandler
+	tracer      *trace.Tracer // nil-safe; nil means tracing disabled
+	lis         net.Listener
+	conns       map[net.Conn]struct{}
+	closed      bool
+	wg          sync.WaitGroup
 
 	mSent     *obs.Counter
 	mRecv     *obs.Counter
@@ -144,13 +190,14 @@ func NewServerWith(reg *obs.Registry) *Server {
 		reg = obs.NewRegistry()
 	}
 	return &Server{
-		handlers:  make(map[string]Handler),
-		conns:     make(map[net.Conn]struct{}),
-		mSent:     reg.Counter("rpc.server.sent"),
-		mRecv:     reg.Counter("rpc.server.recv"),
-		mRequests: reg.Counter("rpc.server.requests"),
-		mOneWays:  reg.Counter("rpc.server.oneways"),
-		mErrors:   reg.Counter("rpc.server.errors"),
+		handlers:    make(map[string]Handler),
+		refHandlers: make(map[string]RefHandler),
+		conns:       make(map[net.Conn]struct{}),
+		mSent:       reg.Counter("rpc.server.sent"),
+		mRecv:       reg.Counter("rpc.server.recv"),
+		mRequests:   reg.Counter("rpc.server.requests"),
+		mOneWays:    reg.Counter("rpc.server.oneways"),
+		mErrors:     reg.Counter("rpc.server.errors"),
 	}
 }
 
@@ -159,6 +206,23 @@ func (s *Server) Handle(method string, h Handler) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.handlers[method] = h
+}
+
+// HandleRef registers a trace-aware handler for method. It takes
+// precedence over a plain Handler registered under the same name.
+func (s *Server) HandleRef(method string, h RefHandler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.refHandlers[method] = h
+}
+
+// SetTracer installs the tracer used to record server-side "rpc.<method>"
+// spans for traced requests. nil (the default) disables recording; trace
+// context still flows through to RefHandlers either way.
+func (s *Server) SetTracer(tr *trace.Tracer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tracer = tr
 }
 
 // Stats returns the server's message counters.
@@ -220,8 +284,29 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		s.mRecv.Inc()
 		s.mu.RLock()
+		rh, rok := s.refHandlers[f.method]
 		h, ok := s.handlers[f.method]
+		tr := s.tracer
 		s.mu.RUnlock()
+		if rok {
+			// Adapt once so the dispatch below has a single shape; the
+			// span (when traced) brackets the handler and hands it a
+			// child ref to parent downstream work under.
+			ref := f.ref
+			method := f.method
+			h, ok = func(payload []byte) ([]byte, error) {
+				sp, traced := tr.Begin(ref, "rpc."+method)
+				child := ref
+				if traced {
+					child = sp.Ref()
+				}
+				out, err := rh(child, payload)
+				if traced {
+					tr.Finish(&sp)
+				}
+				return out, err
+			}, true
+		}
 		switch f.kind {
 		case kindOneWay:
 			s.mOneWays.Inc()
@@ -233,6 +318,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			go func(f *frame) {
 				var resp frame
 				resp.id = f.id
+				resp.ref = f.ref // echo the trace context on the reply
 				if !ok {
 					resp.kind = kindError
 					resp.payload = []byte(ErrNoMethod.Error() + ": " + f.method)
@@ -420,7 +506,7 @@ func (c *Client) Call(ctx context.Context, method string, payload []byte) ([]byt
 	c.mSent.Inc()
 	c.mCalls.Inc()
 
-	if err := writeFrame(conn, &frame{kind: kindRequest, id: id, method: method, payload: payload}); err != nil {
+	if err := writeFrame(conn, &frame{kind: kindRequest, id: id, method: method, ref: trace.From(ctx), payload: payload}); err != nil {
 		c.mErrors.Inc()
 		c.dropConn(conn)
 		return nil, fmt.Errorf("rpc: write: %w", err)
@@ -448,6 +534,13 @@ func (c *Client) Call(ctx context.Context, method string, payload []byte) ([]byt
 
 // Send transmits a one-way message: no response, no delivery confirmation.
 func (c *Client) Send(method string, payload []byte) error {
+	return c.SendCtx(context.Background(), method, payload)
+}
+
+// SendCtx is Send carrying any trace context attached to ctx as frame
+// metadata. The context does not bound the write (one-ways are fire and
+// forget); it exists only to propagate the trace ref.
+func (c *Client) SendCtx(ctx context.Context, method string, payload []byte) error {
 	c.mu.Lock()
 	if err := c.ensureConnLocked(); err != nil {
 		c.mu.Unlock()
@@ -457,7 +550,7 @@ func (c *Client) Send(method string, payload []byte) error {
 	c.mu.Unlock()
 	c.mSent.Inc()
 	c.mOneWays.Inc()
-	if err := writeFrame(conn, &frame{kind: kindOneWay, method: method, payload: payload}); err != nil {
+	if err := writeFrame(conn, &frame{kind: kindOneWay, method: method, ref: trace.From(ctx), payload: payload}); err != nil {
 		c.mErrors.Inc()
 		c.dropConn(conn)
 		return fmt.Errorf("rpc: send: %w", err)

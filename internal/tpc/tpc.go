@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	"repro/internal/enc"
+	"repro/internal/obs/trace"
 	"repro/internal/txn"
 	"repro/internal/wal"
 )
@@ -93,9 +94,24 @@ type Coordinator struct {
 	nextSeq   uint64
 	seqCeil   uint64          // reserved up to (exclusive)
 	decisions map[uint64]bool // seq -> committed (presumed abort: only true stored)
+	tracer    *trace.Tracer   // nil-safe; records tpc.commit spans
 
 	commits uint64
 	aborts  uint64
+}
+
+// SetTracer installs the tracer recording two-phase-commit spans for
+// traced global transactions (nil disables).
+func (c *Coordinator) SetTracer(tr *trace.Tracer) {
+	c.mu.Lock()
+	c.tracer = tr
+	c.mu.Unlock()
+}
+
+func (c *Coordinator) getTracer() *trace.Tracer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tracer
 }
 
 // OpenCoordinator opens (or creates) a coordinator named name with its
@@ -174,7 +190,12 @@ type GlobalTxn struct {
 	// reissue it after a crash and wrongly resolve an old in-doubt
 	// prepare. Commit refuses and aborts instead.
 	reserveErr error
+	ref        trace.Ref // request trace driving this global transaction
 }
+
+// SetTrace attaches the driving request's trace context; Commit then
+// records a "tpc.commit" span (gtid, branch count, outcome) under it.
+func (g *GlobalTxn) SetTrace(ref trace.Ref) { g.ref = ref }
 
 // Begin starts a global transaction. Its sequence number comes from a
 // durably reserved block, so it can never be reissued after a crash.
@@ -201,6 +222,16 @@ func (g *GlobalTxn) Commit() error {
 		return ErrDone
 	}
 	g.done = true
+	tr := g.c.getTracer()
+	outcome := "abort"
+	sp, traced := tr.Begin(g.ref, "tpc.commit")
+	if traced {
+		sp.Annotate(trace.Str("gtid", g.GTID()), trace.Int64("branches", int64(len(g.branches))))
+		defer func() {
+			sp.Annotate(trace.Str("outcome", outcome))
+			tr.Finish(&sp)
+		}()
+	}
 	if g.reserveErr != nil {
 		for _, b := range g.branches {
 			_ = b.Abort()
@@ -245,6 +276,7 @@ func (g *GlobalTxn) Commit() error {
 	g.c.decisions[g.seq] = true
 	g.c.commits++
 	g.c.mu.Unlock()
+	outcome = "commit"
 	// Phase 2: commit. Failures here are participant-local; the decision
 	// stands and recovery will finish the job.
 	for _, b := range g.branches {

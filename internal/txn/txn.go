@@ -28,6 +28,7 @@ import (
 	"repro/internal/enc"
 	"repro/internal/lock"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/wal"
 )
 
@@ -133,6 +134,10 @@ type Manager struct {
 	mActive      *obs.Gauge
 	mCommitNanos *obs.Histogram
 	mPrepNanos   *obs.Histogram
+
+	// tracer records commit/prepare spans for traced transactions; nil
+	// disables them (one nil check per commit).
+	tracer *trace.Tracer
 }
 
 // NewManager returns a Manager writing to log and locking through lm, with
@@ -162,6 +167,10 @@ func NewManagerWith(log *wal.Log, lm *lock.Manager, reg *obs.Registry) *Manager 
 		mPrepNanos:   reg.Histogram("txn.prepare_ns"),
 	}
 }
+
+// SetTracer installs the tracer commit/prepare spans are recorded into
+// (nil disables). Call before traffic, alongside RegisterRM.
+func (m *Manager) SetTracer(tr *trace.Tracer) { m.tracer = tr }
 
 // RegisterRM registers a resource manager for recovery replay.
 func (m *Manager) RegisterRM(rm ResourceManager) {
@@ -232,6 +241,17 @@ type Txn struct {
 	onAbort    []func()
 	prepareLSN wal.LSN // set while Prepared; guards log truncation
 
+	// traceRef is the request trace this transaction works for; set by
+	// the server that begins the transaction (SetTrace). Commit and
+	// Prepare record spans under it.
+	traceRef trace.Ref
+	// commitLSN is the transaction's commit (or prepare) record LSN,
+	// readable from OnCommit hooks — the enqueue span's LSN annotation.
+	commitLSN wal.LSN
+	// lockWaitNS accumulates time this transaction spent blocked in
+	// Lock, annotated onto the commit span. Traced transactions only.
+	lockWaitNS int64
+
 	// doomMu guards state transitions against Doom, the only cross-
 	// goroutine entry point on a Txn. It is held across the commit-record
 	// append so that Doom's answer ("will this transaction abort?") is
@@ -242,6 +262,18 @@ type Txn struct {
 
 // ID returns the transaction id (also its lock-owner id).
 func (t *Txn) ID() uint64 { return t.id }
+
+// SetTrace attaches a request trace to the transaction; Commit and
+// Prepare then record txn.commit / txn.prepare spans parented under ref.
+func (t *Txn) SetTrace(ref trace.Ref) { t.traceRef = ref }
+
+// TraceRef returns the transaction's trace context (zero if untraced).
+func (t *Txn) TraceRef() trace.Ref { return t.traceRef }
+
+// CommitLSN returns the LSN of the transaction's commit or prepare
+// record (0 before one is written, or for read-only transactions).
+// Valid inside OnCommit hooks.
+func (t *Txn) CommitLSN() wal.LSN { return t.commitLSN }
 
 // State returns the transaction's state.
 func (t *Txn) State() State {
@@ -267,10 +299,17 @@ func (t *Txn) Doom() bool {
 }
 
 // Lock acquires resource in mode on behalf of the transaction, blocking per
-// the lock manager's rules.
+// the lock manager's rules. Traced transactions accumulate blocked time
+// for the commit span's lock_wait_ns annotation.
 func (t *Txn) Lock(ctx context.Context, resource string, mode lock.Mode) error {
 	if t.state != Active {
 		return ErrNotActive
+	}
+	if t.m.tracer.Enabled() && t.traceRef.Valid() {
+		start := time.Now()
+		err := t.m.locks.Acquire(ctx, t.id, resource, mode)
+		t.lockWaitNS += time.Since(start).Nanoseconds()
+		return err
 	}
 	return t.m.locks.Acquire(ctx, t.id, resource, mode)
 }
@@ -343,15 +382,24 @@ func (t *Txn) Commit() error {
 		t.rollback()
 		return fmt.Errorf("txn %d: %w", t.id, ErrDoomed)
 	}
+	sp, traced := t.m.tracer.Begin(t.traceRef, "txn.commit")
+	var logNS int64
 	t.m.commitGate.RLock()
 	if len(t.ops) > 0 {
 		b := enc.NewBuffer(64)
 		encodeOps(b, t.id, t.ops)
+		var logStart time.Time
+		if traced {
+			logStart = time.Now()
+		}
 		lsn, err := t.m.log.Append(recCommit, b.Bytes())
 		if err == nil {
 			// Under group commit the append is not yet durable; wait for
 			// (or lead) the batched fsync. A no-op under SyncAlways.
 			err = t.m.log.SyncTo(lsn)
+		}
+		if traced {
+			logNS = time.Since(logStart).Nanoseconds()
 		}
 		if err != nil {
 			t.m.commitGate.RUnlock()
@@ -362,6 +410,7 @@ func (t *Txn) Commit() error {
 			t.rollback()
 			return fmt.Errorf("txn %d: commit log: %w", t.id, err)
 		}
+		t.commitLSN = lsn
 	}
 	t.state = Committed
 	t.doomMu.Unlock()
@@ -369,6 +418,15 @@ func (t *Txn) Commit() error {
 		f()
 	}
 	t.m.commitGate.RUnlock()
+	if traced {
+		sp.Annotate(
+			trace.Int64("txn", int64(t.id)),
+			trace.Int64("lsn", int64(t.commitLSN)),
+			trace.Int64("log_ns", logNS),
+			trace.Int64("lock_wait_ns", t.lockWaitNS),
+		)
+		t.m.tracer.Finish(&sp)
+	}
 	t.finish(true)
 	t.m.mCommitNanos.Observe(time.Since(start).Nanoseconds())
 	return nil
@@ -432,6 +490,7 @@ func (t *Txn) Prepare(coordinator string) error {
 		t.rollback()
 		return fmt.Errorf("txn %d: %w", t.id, ErrDoomed)
 	}
+	sp, traced := t.m.tracer.Begin(t.traceRef, "txn.prepare")
 	b := enc.NewBuffer(64)
 	b.String(coordinator)
 	encodeOps(b, t.id, t.ops)
@@ -445,8 +504,18 @@ func (t *Txn) Prepare(coordinator string) error {
 		return fmt.Errorf("txn %d: prepare log: %w", t.id, err)
 	}
 	t.prepareLSN = lsn
+	t.commitLSN = lsn
 	t.state = Prepared
 	t.doomMu.Unlock()
+	if traced {
+		sp.Annotate(
+			trace.Int64("txn", int64(t.id)),
+			trace.Int64("lsn", int64(lsn)),
+			trace.Str("coordinator", coordinator),
+			trace.Int64("lock_wait_ns", t.lockWaitNS),
+		)
+		t.m.tracer.Finish(&sp)
+	}
 	t.m.mPrepared.Inc()
 	t.m.mPrepNanos.Observe(time.Since(start).Nanoseconds())
 	return nil
@@ -476,6 +545,7 @@ func (t *Txn) CommitPrepared() error {
 		t.doomMu.Unlock()
 		return fmt.Errorf("%w: txn %d is %s", ErrNotPrepared, t.id, st)
 	}
+	sp, traced := t.m.tracer.Begin(t.traceRef, "txn.commit")
 	b := enc.NewBuffer(16)
 	b.Uvarint(t.id)
 	b.Bool(true)
@@ -489,12 +559,21 @@ func (t *Txn) CommitPrepared() error {
 		t.doomMu.Unlock()
 		return fmt.Errorf("txn %d: decision log: %w", t.id, err)
 	}
+	t.commitLSN = lsn
 	t.state = Committed
 	t.doomMu.Unlock()
 	for _, f := range t.onCommit {
 		f()
 	}
 	t.m.commitGate.RUnlock()
+	if traced {
+		sp.Annotate(
+			trace.Int64("txn", int64(t.id)),
+			trace.Int64("lsn", int64(lsn)),
+			trace.Int64("prepared", 1),
+		)
+		t.m.tracer.Finish(&sp)
+	}
 	t.finish(true)
 	return nil
 }

@@ -17,14 +17,21 @@ package rrq
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/queue"
 	"repro/internal/queue/qservice"
 	"repro/internal/rpc"
@@ -53,6 +60,10 @@ type (
 	Metrics = obs.Registry
 	// MetricsSnapshot is a point-in-time copy of a registry.
 	MetricsSnapshot = obs.Snapshot
+	// Tracer records request span trees (see Node.Tracer).
+	Tracer = trace.Tracer
+	// TraceID identifies one request's span tree.
+	TraceID = trace.ID
 
 	// Clerk is the client-side runtime library (fig. 5).
 	Clerk = core.Clerk
@@ -189,12 +200,25 @@ type NodeConfig struct {
 	// recovery; nil uses only the node's own coordinator (presumed abort
 	// for foreign ones).
 	Resolver tpc.Resolver
+	// Trace enables request tracing: every layer records spans into a
+	// bounded in-memory ring, queryable via the admin endpoint
+	// (GET /trace/{id}, GET /traces?slowest=N), qmctl, or Node.Tracer.
+	Trace bool
+	// TraceSpans caps the trace ring (spans retained across all traces);
+	// zero uses 4096. Oldest spans are overwritten first.
+	TraceSpans int
+	// SlowTrace, when > 0 (and Trace is on), emits the full span tree of
+	// any request slower than this as one JSON line to TraceSink.
+	SlowTrace time.Duration
+	// TraceSink receives slow-trace lines; nil uses os.Stderr.
+	TraceSink io.Writer
 }
 
 // Node is a running back-end node.
 type Node struct {
 	repo      *queue.Repository
 	coord     *tpc.Coordinator
+	tracer    *trace.Tracer // nil when tracing is off
 	rpcSrv    *rpc.Server
 	addr      string
 	adminSrv  *http.Server
@@ -213,12 +237,29 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
+	var tracer *trace.Tracer
+	if cfg.Trace {
+		capacity := cfg.TraceSpans
+		if capacity <= 0 {
+			capacity = 4096
+		}
+		tracer = trace.New(capacity, reg)
+		tracer.SetEnabled(true)
+		if cfg.SlowTrace > 0 {
+			sink := cfg.TraceSink
+			if sink == nil {
+				sink = os.Stderr
+			}
+			tracer.SetSlowThreshold(cfg.SlowTrace, sink)
+		}
+	}
 	repo, inDoubt, err := queue.Open(cfg.Dir, queue.Options{
 		Name:          cfg.Name,
 		NoFsync:       cfg.NoFsync,
 		SnapshotEvery: cfg.SnapshotEvery,
 		GroupCommit:   cfg.GroupCommit,
 		Metrics:       reg,
+		Tracer:        tracer,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("rrq: open node %s: %w", cfg.Name, err)
@@ -236,8 +277,9 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	}
 	tpc.ResolveInDoubt(inDoubt, resolver)
 	repo.RecheckTriggers()
+	coord.SetTracer(tracer)
 
-	n := &Node{repo: repo, coord: coord}
+	n := &Node{repo: repo, coord: coord, tracer: tracer}
 	if cfg.ListenAddr != "" {
 		n.rpcSrv = rpc.NewServerWith(reg)
 		qservice.New(repo, n.rpcSrv)
@@ -258,8 +300,16 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	return n, nil
 }
 
-// startAdmin serves the admin HTTP endpoint: GET /metrics returns the
-// node's metrics registry as a deterministic JSON document.
+// startAdmin serves the admin HTTP endpoint:
+//
+//	GET /metrics          the metrics registry as deterministic JSON
+//	GET /trace/{id}       one request's assembled span tree as JSON
+//	GET /traces?slowest=N summaries of the N slowest retained traces
+//	GET /debug/pprof/...  net/http/pprof profiles
+//
+// Non-GET methods get 405. The server carries read timeouts so a stuck
+// peer cannot pin a connection; the write timeout is generous because
+// pprof profile captures stream for their ?seconds duration.
 func (n *Node) startAdmin(addr string) error {
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -267,6 +317,10 @@ func (n *Node) startAdmin(addr string) error {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
 		j, err := n.repo.Metrics().MarshalJSON()
 		if err != nil {
@@ -276,7 +330,70 @@ func (n *Node) startAdmin(addr string) error {
 		w.Write(j)
 		w.Write([]byte("\n"))
 	})
-	n.adminSrv = &http.Server{Handler: mux}
+	mux.HandleFunc("/trace/", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		idStr := strings.TrimPrefix(req.URL.Path, "/trace/")
+		id, err := trace.ParseID(idStr)
+		if err != nil {
+			http.Error(w, "bad trace id: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		nodes := n.repo.Tracer().Trace(id)
+		if len(nodes) == 0 {
+			http.Error(w, "trace not found", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		j, err := json.Marshal(nodes)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Write(j)
+		w.Write([]byte("\n"))
+	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		nSlow := 10
+		if s := req.URL.Query().Get("slowest"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v <= 0 {
+				http.Error(w, "bad slowest parameter", http.StatusBadRequest)
+				return
+			}
+			nSlow = v
+		}
+		sums := n.repo.Tracer().Slowest(nSlow)
+		if sums == nil {
+			sums = []trace.Summary{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		j, err := json.Marshal(sums)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Write(j)
+		w.Write([]byte("\n"))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	n.adminSrv = &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	n.adminLis = lis
 	n.adminAddr = lis.Addr().String()
 	go n.adminSrv.Serve(lis)
@@ -298,6 +415,10 @@ func (n *Node) AdminAddr() string { return n.adminAddr }
 
 // Metrics returns the registry all of the node's layers record into.
 func (n *Node) Metrics() *obs.Registry { return n.repo.Metrics() }
+
+// Tracer returns the node's tracer, or nil when tracing is off. A nil
+// tracer is safe to call: every method no-ops.
+func (n *Node) Tracer() *trace.Tracer { return n.tracer }
 
 // LocalConn returns an in-process clerk connection to this node.
 func (n *Node) LocalConn() QMConn { return &core.LocalConn{Repo: n.repo} }
@@ -348,13 +469,18 @@ func (n *Node) transferOne(ctx context.Context, fromQueue string, dst *Node, toQ
 	}
 	tDst := dst.repo.Begin()
 	moved := el
-	moved.EID = 0
+	moved.EID = 0 // the element keeps its trace id across nodes
+	if ref := el.TraceRef(); ref.Valid() {
+		tSrc.SetTrace(ref)
+		tDst.SetTrace(ref)
+	}
 	if _, err := dst.repo.Enqueue(tDst, toQueue, moved, "", nil); err != nil {
 		tSrc.Abort()
 		tDst.Abort()
 		return err
 	}
 	g := n.coord.Begin()
+	g.SetTrace(el.TraceRef())
 	g.Enlist(&tpc.LocalBranch{Label: n.repo.Name(), Txn: tSrc})
 	g.Enlist(&tpc.LocalBranch{Label: dst.repo.Name(), Txn: tDst})
 	return g.Commit()

@@ -1,0 +1,297 @@
+package rrq
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs/trace"
+	"repro/internal/queue"
+)
+
+// collectSpans flattens a span tree into name → span for assertions.
+// Duplicate names keep the first (earliest-started) span: the server sorts
+// siblings by start time, so for a request trace that is the request-side
+// span (e.g. the request queue's dequeue, not the reply queue's).
+func collectSpans(nodes []*trace.Node, out map[string]*trace.Node) {
+	for _, n := range nodes {
+		if prev, ok := out[n.Span.Name]; !ok || n.Span.Start < prev.Span.Start {
+			out[n.Span.Name] = n
+		}
+		collectSpans(n.Children, out)
+	}
+}
+
+func spanAttr(n *trace.Node, key string) (int64, bool) {
+	for _, a := range n.Span.Attrs {
+		if a.Key == key && a.Str == "" {
+			return a.Int, true
+		}
+	}
+	return 0, false
+}
+
+// TestTraceContinuityAcrossCrash is the trace-continuity invariant: a node
+// that crashes between dequeuing a traced request and committing must,
+// after recovery, re-execute the request under the ORIGINAL trace id —
+// the trace context is persisted in the element's WAL record — and the
+// re-execution's processing span must carry retry=1 (the redelivery).
+func TestTraceContinuityAcrossCrash(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	node, err := StartNode(NodeConfig{Dir: dir, NoFsync: true, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := node.CreateQueue(QueueConfig{Name: "requests"}); err != nil {
+		t.Fatal(err)
+	}
+	clerk := NewClerk(node.LocalConn(), ClerkConfig{
+		ClientID:     "trace-client",
+		RequestQueue: "requests",
+		Tracer:       node.Tracer(),
+	})
+	if _, err := clerk.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := clerk.Send(ctx, "rid-trace-1", []byte("work"), nil); err != nil {
+		t.Fatal(err)
+	}
+	traceID := clerk.LastTrace()
+	if traceID.IsZero() {
+		t.Fatal("Send did not stamp a trace id")
+	}
+
+	// Dequeue inside a transaction and crash before commit: the paper's
+	// recovery guarantee returns the element to the queue, and the trace
+	// guarantee keeps its identity.
+	if _, _, err := node.Repo().Register("requests", "crashsrv", false); err != nil {
+		t.Fatal(err)
+	}
+	tx := node.Begin()
+	el, err := node.Repo().Dequeue(ctx, tx, "requests", "crashsrv", queue.DequeueOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el.Trace != traceID {
+		t.Fatalf("dequeued element trace = %s, want %s", el.Trace, traceID)
+	}
+	node.Crash()
+
+	node2, err := StartNode(NodeConfig{Dir: dir, NoFsync: true, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node2.Close()
+
+	// Recovery replay must have resumed the trace: a "replay" span under
+	// the original id, before any server even runs.
+	replayed := map[string]*trace.Node{}
+	collectSpans(node2.Tracer().Trace(traceID), replayed)
+	if replayed["replay"] == nil {
+		t.Fatalf("recovery recorded no replay span for trace %s (got %v)", traceID, spanNames(replayed))
+	}
+
+	// Re-execute through a real server loop and receive the reply.
+	srv, err := NewServer(ServerConfig{
+		Repo:    node2.Repo(),
+		Queue:   "requests",
+		Name:    "crashsrv",
+		Handler: func(rc *ReqCtx) ([]byte, error) { return []byte("ok"), nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	go srv.Serve(sctx)
+	clerk2 := NewClerk(node2.LocalConn(), ClerkConfig{
+		ClientID:     "trace-client",
+		RequestQueue: "requests",
+		Tracer:       node2.Tracer(),
+	})
+	info, err := clerk2.Connect(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Outstanding {
+		t.Fatal("expected the request to be outstanding after recovery")
+	}
+	rctx, rcancel := context.WithTimeout(ctx, 10*time.Second)
+	defer rcancel()
+	rep, err := clerk2.Receive(rctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RID != "rid-trace-1" {
+		t.Fatalf("reply rid = %q", rep.RID)
+	}
+
+	spans := map[string]*trace.Node{}
+	collectSpans(node2.Tracer().Trace(traceID), spans)
+	for _, name := range []string{"replay", "dequeue", "process", "txn.commit"} {
+		if spans[name] == nil {
+			t.Errorf("trace %s missing %q span after re-execution (got %v)", traceID, name, spanNames(spans))
+		}
+	}
+	proc := spans["process"]
+	if proc == nil {
+		t.FailNow()
+	}
+	if proc.Span.Trace != traceID {
+		t.Errorf("process span trace = %s, want original %s", proc.Span.Trace, traceID)
+	}
+	retry, ok := spanAttr(proc, "retry")
+	if !ok || retry != 1 {
+		t.Errorf("process span retry = %d (present=%v), want 1", retry, ok)
+	}
+	if redeliv, ok := spanAttr(spans["dequeue"], "redelivered"); !ok || redeliv != 1 {
+		t.Errorf("dequeue span redelivered = %d (present=%v), want 1", redeliv, ok)
+	}
+}
+
+func spanNames(m map[string]*trace.Node) []string {
+	var names []string
+	for n := range m {
+		names = append(names, n)
+	}
+	return names
+}
+
+// TestTraceEndToEndAdmin drives a traced request through a node and reads
+// the assembled span tree back through GET /trace/{id}, checking the tree
+// shape and that the phase durations are consistent with the end-to-end
+// extent.
+func TestTraceEndToEndAdmin(t *testing.T) {
+	ctx := context.Background()
+	node, err := StartNode(NodeConfig{
+		Dir:       t.TempDir(),
+		NoFsync:   true,
+		AdminAddr: "127.0.0.1:0",
+		Trace:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	if err := node.CreateQueue(QueueConfig{Name: "requests"}); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := rrqNewTestServer(node, "requests")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	go srv.Serve(sctx)
+
+	clerk := NewClerk(node.LocalConn(), ClerkConfig{
+		ClientID:     "admin-client",
+		RequestQueue: "requests",
+		Tracer:       node.Tracer(),
+	})
+	if _, err := clerk.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := clerk.Transceive(ctx, "rid-admin-1", []byte("x"), nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	id := clerk.LastTrace()
+
+	resp, err := http.Get("http://" + node.AdminAddr() + "/trace/" + id.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /trace/%s: %d %s", id, resp.StatusCode, body)
+	}
+	var roots []struct {
+		Trace    string          `json:"trace"`
+		Name     string          `json:"name"`
+		Start    int64           `json:"start_ns"`
+		Dur      int64           `json:"dur_ns"`
+		Children json.RawMessage `json:"children"`
+	}
+	if err := json.Unmarshal(body, &roots); err != nil {
+		t.Fatalf("decode span tree: %v\n%s", err, body)
+	}
+	if len(roots) != 1 || roots[0].Name != "submit" {
+		t.Fatalf("expected a single submit root, got %s", body)
+	}
+	if roots[0].Trace != id.String() {
+		t.Fatalf("root trace = %s, want %s", roots[0].Trace, id)
+	}
+	// Every recorded phase must nest inside the submit..reply extent:
+	// child [start, start+dur] windows may not overflow the trace extent
+	// reported by the summary listing.
+	nodes := map[string]*trace.Node{}
+	collectSpans(node.Tracer().Trace(id), nodes)
+	for _, name := range []string{"submit", "enqueue", "dequeue", "process", "txn.commit"} {
+		if nodes[name] == nil {
+			t.Errorf("missing %q span in %s", name, body)
+		}
+	}
+	if lsn, ok := spanAttr(nodes["enqueue"], "lsn"); !ok || lsn <= 0 {
+		t.Errorf("enqueue span lsn = %d (present=%v), want > 0", lsn, ok)
+	}
+	var minStart, maxEnd int64
+	var walk func(ns []*trace.Node)
+	walk = func(ns []*trace.Node) {
+		for _, n := range ns {
+			if minStart == 0 || n.Span.Start < minStart {
+				minStart = n.Span.Start
+			}
+			if n.Span.End > maxEnd {
+				maxEnd = n.Span.End
+			}
+			walk(n.Children)
+		}
+	}
+	walk(node.Tracer().Trace(id))
+	extent := maxEnd - minStart
+	sums := node.Tracer().Slowest(1)
+	if len(sums) != 1 || sums[0].Trace != id {
+		t.Fatalf("Slowest(1) = %+v, want trace %s", sums, id)
+	}
+	// The summary's extent is computed from the same retained spans, so
+	// the two must agree within rounding (they share the clock).
+	if d := int64(sums[0].Duration) - extent; d < -extent/20 || d > extent/20 {
+		t.Errorf("summary duration %d vs recomputed extent %d (>5%% apart)", sums[0].Duration, extent)
+	}
+
+	// GET /traces lists the trace; non-GET is rejected with 405.
+	resp, err = http.Get("http://" + node.AdminAddr() + "/traces?slowest=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	list, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(list), id.String()) {
+		t.Fatalf("GET /traces: %d %s", resp.StatusCode, list)
+	}
+	for _, path := range []string{"/metrics", "/traces", "/trace/" + id.String()} {
+		resp, err := http.Post("http://"+node.AdminAddr()+path, "text/plain", strings.NewReader("x"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("POST %s = %d, want 405", path, resp.StatusCode)
+		}
+	}
+}
+
+func rrqNewTestServer(node *Node, q string) (*Server, error) {
+	return NewServer(ServerConfig{
+		Repo:    node.Repo(),
+		Queue:   q,
+		Handler: func(rc *ReqCtx) ([]byte, error) { return []byte("ok"), nil },
+	})
+}
