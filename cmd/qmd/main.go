@@ -31,6 +31,8 @@ func main() {
 		traceOn  = flag.Bool("trace", false, "record request span trees (GET /trace/{id} on the admin endpoint)")
 		traceCap = flag.Int("trace-spans", 4096, "trace ring capacity in spans")
 		slow     = flag.Duration("trace-slow", 0, "emit span trees of requests slower than this to stderr (0 disables)")
+		maxInfl  = flag.Int("max-inflight", 0, "cap on concurrently executing RPC requests node-wide; excess shed as retryable busy (0 = unlimited)")
+		maxConn  = flag.Int("max-inflight-per-conn", 0, "cap on concurrently executing requests per client connection (0 = unlimited)")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -50,6 +52,9 @@ func main() {
 		Trace:         *traceOn || *slow > 0,
 		TraceSpans:    *traceCap,
 		SlowTrace:     *slow,
+
+		MaxInflight:        *maxInfl,
+		MaxInflightPerConn: *maxConn,
 	})
 	if err != nil {
 		log.Fatalf("qmd: %v", err)

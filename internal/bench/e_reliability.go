@@ -63,7 +63,7 @@ func runE1(cfg Config) (*Table, error) {
 	}
 	n := cfg.scale(60, 300)
 	for _, p := range []float64{0.02, 0.10} {
-		for _, arm := range []string{"raw/no-retry", "raw/blind-retry", "queued"} {
+		for _, arm := range []string{"raw/no-retry", "raw/blind-retry", "queued", "queued/self-heal"} {
 			lost, dups, exact, err := e1Arm(cfg, arm, p, n)
 			if err != nil {
 				return nil, fmt.Errorf("%s p=%v: %w", arm, p, err)
@@ -155,6 +155,43 @@ func e1Arm(cfg Config, arm string, cutProb float64, n int) (lost, dups, exact in
 			if time.Now().After(deadline) {
 				return 0, 0, 0, fmt.Errorf("queued arm never completed: %w", err)
 			}
+		}
+	case "queued/self-heal":
+		if err := repo.CreateQueue(queue.QueueConfig{Name: "req"}); err != nil {
+			return 0, 0, 0, err
+		}
+		handler := countingHandler(repo)
+		coreSrv, err := core.NewServer(core.ServerConfig{Repo: repo, Queue: "req", Handler: func(rc *core.ReqCtx) ([]byte, error) {
+			return handler(rc.Ctx, rc.Txn, rc.Request.RID, rc.Request.Body)
+		}})
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		qservice.New(repo, srv)
+		addr, err = srv.ListenAndServe("127.0.0.1:0")
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+		defer cancel()
+		go coreSrv.Serve(ctx)
+
+		qc := qservice.NewClient(rpc.NewClient(addr, rpc.Dialer(net.Dialer(nil))))
+		defer qc.Close()
+		// Identical guarantee, zero recovery code at the call site: the
+		// ResilientClerk reconnects and resynchronizes internally.
+		rc := core.NewResilientClerk(qc, core.ResilientConfig{
+			Clerk:   core.ClerkConfig{ClientID: "e1r", RequestQueue: "req", ReceiveWait: 400 * time.Millisecond},
+			Backoff: core.BackoffPolicy{Initial: time.Millisecond, Max: 50 * time.Millisecond},
+			Seed:    cfg.Seed + 1,
+		})
+		for i := 0; i < n; i++ {
+			rep, err := rc.Transceive(ctx, ridOf(i), nil, nil, nil)
+			if err != nil {
+				return 0, 0, 0, fmt.Errorf("self-heal arm rid %d: %w", i, err)
+			}
+			_ = rep
+			processed[i] = true
 		}
 	default:
 		return 0, 0, 0, fmt.Errorf("unknown arm %q", arm)

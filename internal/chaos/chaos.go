@@ -125,15 +125,19 @@ type Network struct {
 	rng      *rand.Rand
 	dialFail float64 // probability a dial is refused
 	cutProb  float64 // probability each write severs the connection
+	readCut  float64 // probability each read severs the connection
 	downMu   sync.Mutex
 	down     bool // hard partition: all dials refused, all conns cut
 
-	conns []net.Conn
+	// conns tracks only live connections: a conn is removed the moment it
+	// dies (cut, partition, or Close), so long soaks that churn thousands
+	// of connections don't accumulate dead entries.
+	conns map[net.Conn]struct{}
 }
 
 // NewNetwork returns a fault-injecting network with a seeded source.
 func NewNetwork(seed int64) *Network {
-	return &Network{rng: rand.New(rand.NewSource(seed))}
+	return &Network{rng: rand.New(rand.NewSource(seed)), conns: make(map[net.Conn]struct{})}
 }
 
 // SetDialFailProb sets the probability that a dial is refused.
@@ -153,6 +157,36 @@ func (n *Network) SetCutProb(p float64) {
 	n.mu.Unlock()
 }
 
+// SetReadCutProb sets the per-read probability that the connection is
+// severed before any bytes are returned: the peer's message is lost in
+// transit. Independent of the write path, this models a reply lost on the
+// way back even when the request was delivered cleanly.
+func (n *Network) SetReadCutProb(p float64) {
+	n.mu.Lock()
+	n.readCut = p
+	n.mu.Unlock()
+}
+
+// Conns reports the number of currently live tracked connections — a
+// leak gauge for long soaks.
+func (n *Network) Conns() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.conns)
+}
+
+func (n *Network) track(c net.Conn) {
+	n.mu.Lock()
+	n.conns[c] = struct{}{}
+	n.mu.Unlock()
+}
+
+func (n *Network) untrack(c net.Conn) {
+	n.mu.Lock()
+	delete(n.conns, c)
+	n.mu.Unlock()
+}
+
 // Partition opens (true) or heals (false) a hard partition. Opening severs
 // every tracked connection immediately.
 func (n *Network) Partition(active bool) {
@@ -161,8 +195,11 @@ func (n *Network) Partition(active bool) {
 	n.downMu.Unlock()
 	if active {
 		n.mu.Lock()
-		conns := n.conns
-		n.conns = nil
+		conns := make([]net.Conn, 0, len(n.conns))
+		for c := range n.conns {
+			conns = append(conns, c)
+		}
+		n.conns = make(map[net.Conn]struct{})
 		n.mu.Unlock()
 		for _, c := range conns {
 			c.Close()
@@ -196,14 +233,12 @@ func (n *Network) Dialer(base func(addr string) (net.Conn, error)) func(addr str
 			return nil, err
 		}
 		fc := &faultConn{Conn: conn, net: n}
-		n.mu.Lock()
-		n.conns = append(n.conns, fc)
-		n.mu.Unlock()
+		n.track(fc)
 		return fc, nil
 	}
 }
 
-// faultConn severs itself probabilistically on writes.
+// faultConn severs itself probabilistically on writes and reads.
 type faultConn struct {
 	net.Conn
 	net  *Network
@@ -211,12 +246,32 @@ type faultConn struct {
 	mu   sync.Mutex
 }
 
+// die marks the conn dead, prunes it from the network's tracking map, and
+// closes the underlying conn.
+func (c *faultConn) die() {
+	c.mu.Lock()
+	c.dead = true
+	c.mu.Unlock()
+	c.net.untrack(c)
+	c.Conn.Close()
+}
+
+// Close prunes the conn from tracking before closing it, so gracefully
+// closed conns don't linger in the gauge either.
+func (c *faultConn) Close() error {
+	c.mu.Lock()
+	c.dead = true
+	c.mu.Unlock()
+	c.net.untrack(c)
+	return c.Conn.Close()
+}
+
 func (c *faultConn) Write(p []byte) (int, error) {
 	c.mu.Lock()
 	dead := c.dead
 	c.mu.Unlock()
 	if dead || c.net.partitioned() {
-		c.Conn.Close()
+		c.die()
 		return 0, errors.New("chaos: connection cut")
 	}
 	c.net.mu.Lock()
@@ -227,11 +282,28 @@ func (c *faultConn) Write(p []byte) (int, error) {
 		// message but its response has nowhere to go — the paper's
 		// lost-reply case (Section 2).
 		written, _ := c.Conn.Write(p)
-		c.mu.Lock()
-		c.dead = true
-		c.mu.Unlock()
-		c.Conn.Close()
+		c.die()
 		return written, errors.New("chaos: connection cut")
 	}
 	return c.Conn.Write(p)
+}
+
+func (c *faultConn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	dead := c.dead
+	c.mu.Unlock()
+	if dead || c.net.partitioned() {
+		c.die()
+		return 0, errors.New("chaos: connection cut")
+	}
+	c.net.mu.Lock()
+	cut := c.net.readCut > 0 && c.net.rng.Float64() < c.net.readCut
+	c.net.mu.Unlock()
+	if cut {
+		// Sever without delivering: whatever the peer sent is lost in
+		// transit — the reply-lost case, independent of the write path.
+		c.die()
+		return 0, errors.New("chaos: connection cut")
+	}
+	return c.Conn.Read(p)
 }

@@ -153,3 +153,114 @@ func TestCutProbSeversMidStream(t *testing.T) {
 func TestFaultConnImplementsNetConn(t *testing.T) {
 	var _ net.Conn = (*faultConn)(nil)
 }
+
+func TestReadCutSeversWithoutDelivering(t *testing.T) {
+	srv := rpc.NewServer()
+	srv.Handle("ping", func(p []byte) ([]byte, error) { return []byte("pong"), nil })
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	n := NewNetwork(17)
+	n.SetReadCutProb(1.0)
+	c := rpc.NewClient(addr, rpc.Dialer(n.Dialer(nil)))
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	// The request is written cleanly; the reply is lost on the read path,
+	// so the call must fail (dropped conn), not hang.
+	if _, err := c.Call(ctx, "ping", nil); err == nil {
+		t.Fatal("call survived 100% read-cut probability")
+	}
+	n.SetReadCutProb(0)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, err := c.Call(context.Background(), "ping", nil); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("client never recovered after read cuts stopped")
+		}
+	}
+}
+
+// TestConnsPrunedOnCloseAndCut: the tracking map must not leak dead
+// connections — closed, cut, or partitioned conns all drop out of the
+// Conns() gauge.
+func TestConnsPrunedOnCloseAndCut(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	go func() {
+		for {
+			c, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) { // discard everything
+				buf := make([]byte, 4096)
+				for {
+					if _, err := c.Read(buf); err != nil {
+						c.Close()
+						return
+					}
+				}
+			}(c)
+		}
+	}()
+
+	n := NewNetwork(3)
+	d := n.Dialer(nil)
+	addr := lis.Addr().String()
+
+	// Graceful close prunes.
+	for i := 0; i < 10; i++ {
+		c, err := d(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Close()
+	}
+	if got := n.Conns(); got != 0 {
+		t.Fatalf("Conns() = %d after closing all, want 0", got)
+	}
+
+	// A write cut prunes.
+	n.SetCutProb(1.0)
+	c, err := d(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write([]byte("x")); err == nil {
+		t.Fatal("write survived 100% cut")
+	}
+	if got := n.Conns(); got != 0 {
+		t.Fatalf("Conns() = %d after cut, want 0", got)
+	}
+	n.SetCutProb(0)
+
+	// A partition prunes everything at once.
+	var conns []net.Conn
+	for i := 0; i < 5; i++ {
+		c, err := d(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns = append(conns, c)
+	}
+	if got := n.Conns(); got != 5 {
+		t.Fatalf("Conns() = %d with 5 live conns, want 5", got)
+	}
+	n.Partition(true)
+	if got := n.Conns(); got != 0 {
+		t.Fatalf("Conns() = %d after partition, want 0", got)
+	}
+	n.Partition(false)
+	for _, c := range conns {
+		c.Close() // idempotent; already severed
+	}
+}

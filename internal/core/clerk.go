@@ -98,9 +98,11 @@ type Clerk struct {
 	cfg ClerkConfig
 	fsm *ClientFSM
 
-	sRID        string    // rid of the outstanding (or last) Send
-	lastSendEID queue.EID // its element id, for cancellation
-	lastTrace   trace.ID  // trace id stamped on the last Send (zero if untraced)
+	sRID        string       // rid of the outstanding (or last) Send
+	lastSendEID queue.EID    // its element id, for cancellation
+	lastTrace   trace.ID     // trace id stamped on the last Send (zero if untraced)
+	lastSpan    trace.SpanID // its root span, for parenting retries
+	resubmit    trace.Ref    // when valid, the next Send is a retry parented here
 }
 
 // NewClerk returns a disconnected clerk.
@@ -194,16 +196,32 @@ func (c *Clerk) send(ctx context.Context, ev ClientEvent, rid string, body []byt
 		return fmt.Errorf("core: illegal %s in state %s", ev, c.fsm.State())
 	}
 	e := requestElement(rid, c.cfg.ClientID, c.cfg.ReplyQueue, body, headers, scratch, step)
+	retry := c.resubmit
+	c.resubmit = trace.Ref{}
 	c.lastTrace = trace.ID{}
+	c.lastSpan = 0
 	if c.cfg.Tracer.Enabled() {
 		// Root span of the request's causal tree: everything downstream —
 		// the enqueue, the server's processing after (possibly) a crash
-		// and replay, the reply — parents under it via the element.
-		e.Trace = trace.NewID()
-		sp, _ := c.cfg.Tracer.Begin(trace.Ref{Trace: e.Trace}, "submit")
+		// and replay, the reply — parents under it via the element. A
+		// resubmission during clerk recovery reuses the original trace and
+		// parents a "submit.retry" span under the first submit, so one
+		// tree shows the whole masked failure.
+		name := "submit"
+		parent := trace.Ref{}
+		if retry.Valid() {
+			name = "submit.retry"
+			parent = retry
+			e.Trace = retry.Trace
+		} else {
+			e.Trace = trace.NewID()
+			parent = trace.Ref{Trace: e.Trace}
+		}
+		sp, _ := c.cfg.Tracer.Begin(parent, name)
 		sp.Annotate(trace.Str("rid", rid), trace.Str("client", c.cfg.ClientID))
 		e.Span = sp.ID
 		c.lastTrace = e.Trace
+		c.lastSpan = sp.ID
 		ctx = trace.With(ctx, sp.Ref())
 		defer c.cfg.Tracer.Finish(&sp)
 	}

@@ -1,0 +1,436 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/obs"
+	"repro/internal/obs/trace"
+	"repro/internal/queue"
+	"repro/internal/rpc"
+)
+
+// faultMode scripts one injected failure on a flakyConn operation.
+type faultMode int
+
+const (
+	// faultAfter performs the operation, then reports a transport failure
+	// — the ack/reply-lost case: the effect happened, the caller can't
+	// know.
+	faultAfter faultMode = iota
+	// faultBefore fails without performing — the request-lost case.
+	faultBefore
+	// faultBusy returns the admission-control shed without performing.
+	faultBusy
+)
+
+// flakyConn wraps a QMConn with scripted per-operation faults, consumed
+// FIFO. It deterministically reproduces the three loss cases the
+// recovery protocol distinguishes (Section 3 / fig. 2).
+type flakyConn struct {
+	QMConn
+	mu     sync.Mutex
+	faults map[string][]faultMode // op → pending faults
+}
+
+func newFlakyConn(inner QMConn) *flakyConn {
+	return &flakyConn{QMConn: inner, faults: make(map[string][]faultMode)}
+}
+
+func (f *flakyConn) script(op string, modes ...faultMode) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.faults[op] = append(f.faults[op], modes...)
+}
+
+// next pops the next scripted fault for op, if any.
+func (f *flakyConn) next(op string) (faultMode, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	q := f.faults[op]
+	if len(q) == 0 {
+		return 0, false
+	}
+	f.faults[op] = q[1:]
+	return q[0], true
+}
+
+func transportErr(op string) error {
+	return &rpc.TransportError{Op: op, Err: errors.New("scripted fault")}
+}
+
+func (f *flakyConn) Enqueue(ctx context.Context, qname string, e queue.Element, registrant string, tag []byte) (queue.EID, error) {
+	if mode, ok := f.next("enqueue"); ok {
+		switch mode {
+		case faultBefore:
+			return 0, transportErr("write")
+		case faultBusy:
+			return 0, rpc.ErrBusy
+		case faultAfter:
+			if _, err := f.QMConn.Enqueue(ctx, qname, e, registrant, tag); err != nil {
+				return 0, err
+			}
+			return 0, transportErr("call")
+		}
+	}
+	return f.QMConn.Enqueue(ctx, qname, e, registrant, tag)
+}
+
+func (f *flakyConn) Dequeue(ctx context.Context, qname, registrant string, tag []byte, wait time.Duration, match map[string]string) (queue.Element, error) {
+	if mode, ok := f.next("dequeue"); ok {
+		switch mode {
+		case faultBefore:
+			return queue.Element{}, transportErr("write")
+		case faultBusy:
+			return queue.Element{}, rpc.ErrBusy
+		case faultAfter:
+			// Perform the dequeue — committing it server-side — but lose
+			// the element on the way back.
+			if _, err := f.QMConn.Dequeue(ctx, qname, registrant, tag, wait, match); err != nil {
+				return queue.Element{}, err
+			}
+			return queue.Element{}, transportErr("call")
+		}
+	}
+	return f.QMConn.Dequeue(ctx, qname, registrant, tag, wait, match)
+}
+
+func (f *flakyConn) Register(ctx context.Context, qname, registrant string, stable bool) (queue.RegInfo, error) {
+	if mode, ok := f.next("register"); ok && mode == faultBefore {
+		return queue.RegInfo{}, transportErr("dial")
+	}
+	return f.QMConn.Register(ctx, qname, registrant, stable)
+}
+
+func resilientEnv(t *testing.T) (*sysEnv, *flakyConn, *obs.Registry) {
+	t.Helper()
+	e := newSysEnv(t, nil)
+	return e, newFlakyConn(&LocalConn{Repo: e.repo}), obs.NewRegistry()
+}
+
+func newResilient(fc *flakyConn, reg *obs.Registry, tr *trace.Tracer) *ResilientClerk {
+	return NewResilientClerk(fc, ResilientConfig{
+		Clerk: ClerkConfig{ClientID: "rc1", RequestQueue: "req",
+			ReceiveWait: 200 * time.Millisecond, Tracer: tr},
+		Backoff: BackoffPolicy{Initial: time.Millisecond, Max: 10 * time.Millisecond},
+		Metrics: reg,
+		Seed:    1,
+	})
+}
+
+// TestResilientLostEnqueueAckDoesNotDuplicate: the enqueue happens but
+// its ack is lost. Recovery must see SRID==rid (outstanding) and wait for
+// the reply instead of resubmitting — exactly one execution.
+func TestResilientLostEnqueueAckDoesNotDuplicate(t *testing.T) {
+	e, fc, reg := resilientEnv(t)
+	fc.script("enqueue", faultAfter)
+	rc := newResilient(fc, reg, nil)
+	ctx := context.Background()
+
+	rep, err := rc.Transceive(ctx, "rid-ack", []byte("a"), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RID != "rid-ack" || string(rep.Body) != "echo:a" {
+		t.Fatalf("reply %+v", rep)
+	}
+	if n := execCount(t, e.repo, "rid-ack"); n != 1 {
+		t.Fatalf("executions = %d, want 1 (lost ack must not duplicate)", n)
+	}
+	if rc.Recoveries() == 0 {
+		t.Fatal("expected at least one recovery")
+	}
+}
+
+// TestResilientLostReplyRereceives: the reply dequeue commits but its
+// delivery is lost. Recovery must see RRID==rid and Rereceive the QM's
+// stable copy — one execution, reply still delivered.
+func TestResilientLostReplyRereceives(t *testing.T) {
+	e, fc, reg := resilientEnv(t)
+	fc.script("dequeue", faultAfter)
+	rc := newResilient(fc, reg, nil)
+	ctx := context.Background()
+
+	rep, err := rc.Transceive(ctx, "rid-rr", []byte("b"), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RID != "rid-rr" || string(rep.Body) != "echo:b" {
+		t.Fatalf("reply %+v", rep)
+	}
+	if n := execCount(t, e.repo, "rid-rr"); n != 1 {
+		t.Fatalf("executions = %d, want 1", n)
+	}
+}
+
+// TestResilientLostRequestResubmits: the enqueue never happens. Recovery
+// must see SRID != rid and resubmit — one execution via the retry.
+func TestResilientLostRequestResubmits(t *testing.T) {
+	e, fc, reg := resilientEnv(t)
+	fc.script("enqueue", faultBefore, faultBefore)
+	rc := newResilient(fc, reg, nil)
+	ctx := context.Background()
+
+	rep, err := rc.Transceive(ctx, "rid-lost", []byte("c"), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rep.Body) != "echo:c" {
+		t.Fatalf("reply %+v", rep)
+	}
+	if n := execCount(t, e.repo, "rid-lost"); n != 1 {
+		t.Fatalf("executions = %d, want 1", n)
+	}
+	if got := reg.Counter("rpc.retries").Value(); got < 2 {
+		t.Fatalf("rpc.retries = %d, want >= 2", got)
+	}
+}
+
+// TestResilientBusyBacksOffWithoutRecovery: a shed is not a connection
+// failure — the clerk backs off and retries on the same session, so no
+// recovery is counted.
+func TestResilientBusyBacksOffWithoutRecovery(t *testing.T) {
+	e, fc, reg := resilientEnv(t)
+	fc.script("enqueue", faultBusy, faultBusy, faultBusy)
+	rc := newResilient(fc, reg, nil)
+	ctx := context.Background()
+
+	rep, err := rc.Transceive(ctx, "rid-busy", []byte("d"), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rep.Body) != "echo:d" {
+		t.Fatalf("reply %+v", rep)
+	}
+	if n := execCount(t, e.repo, "rid-busy"); n != 1 {
+		t.Fatalf("executions = %d, want 1", n)
+	}
+	if got := rc.Recoveries(); got != 0 {
+		t.Fatalf("recoveries = %d, want 0 (busy is not a connection failure)", got)
+	}
+	if got := rc.Retries(); got != 3 {
+		t.Fatalf("retries = %d, want 3", got)
+	}
+}
+
+// TestResilientSequentialRequests: several rids through one clerk, with a
+// fault on each — every one exactly once, in order.
+func TestResilientSequentialRequests(t *testing.T) {
+	e, fc, reg := resilientEnv(t)
+	rc := newResilient(fc, reg, nil)
+	ctx := context.Background()
+	rids := []string{"s-1", "s-2", "s-3", "s-4"}
+	faults := [][]string{{"enqueue"}, {"dequeue"}, {"enqueue"}, {}}
+	modes := []faultMode{faultAfter, faultAfter, faultBefore, 0}
+	for i, rid := range rids {
+		for _, op := range faults[i] {
+			fc.script(op, modes[i])
+		}
+		rep, err := rc.Transceive(ctx, rid, []byte(rid), nil, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", rid, err)
+		}
+		if rep.RID != rid || string(rep.Body) != "echo:"+rid {
+			t.Fatalf("%s: reply %+v", rid, rep)
+		}
+	}
+	for _, rid := range rids {
+		if n := execCount(t, e.repo, rid); n != 1 {
+			t.Fatalf("%s: executions = %d, want 1", rid, n)
+		}
+	}
+}
+
+// TestResilientHonorsContext: with a permanently failing transport, the
+// retry loop must end when the caller's context does.
+func TestResilientHonorsContext(t *testing.T) {
+	_, fc, reg := resilientEnv(t)
+	for i := 0; i < 10000; i++ {
+		fc.script("enqueue", faultBefore)
+	}
+	rc := newResilient(fc, reg, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	_, err := rc.Transceive(ctx, "rid-ctx", nil, nil, nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+}
+
+// TestResilientMaxAttempts: the attempt budget bounds the loop even with
+// an unbounded context.
+func TestResilientMaxAttempts(t *testing.T) {
+	e := newSysEnv(t, nil)
+	fc := newFlakyConn(&LocalConn{Repo: e.repo})
+	for i := 0; i < 100; i++ {
+		fc.script("enqueue", faultBefore)
+	}
+	rc := NewResilientClerk(fc, ResilientConfig{
+		Clerk:       ClerkConfig{ClientID: "rc2", RequestQueue: "req", ReceiveWait: 100 * time.Millisecond},
+		Backoff:     BackoffPolicy{Initial: time.Millisecond, Max: 2 * time.Millisecond},
+		MaxAttempts: 3,
+		Seed:        1,
+	})
+	_, err := rc.Transceive(context.Background(), "rid-max", nil, nil, nil)
+	if err == nil || !strings.Contains(err.Error(), "attempts exhausted") {
+		t.Fatalf("want attempts-exhausted error, got %v", err)
+	}
+}
+
+// TestResilientAppErrorIsDeliveredNotRetried: an application error is a
+// committed StatusError reply — the request executed exactly once,
+// unsuccessfully (Section 3) — so the resilient clerk delivers it rather
+// than retrying.
+func TestResilientAppErrorIsDeliveredNotRetried(t *testing.T) {
+	repo, _, err := queue.Open(t.TempDir(), queue.Options{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { repo.Close() })
+	for _, q := range []string{"work", "work.err"} {
+		if err := repo.CreateQueue(queue.QueueConfig{Name: q}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv, err := NewServer(ServerConfig{Repo: repo, Queue: "work", Name: "failer",
+		Handler: func(rc *ReqCtx) ([]byte, error) { return nil, Failf("boom") }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	go srv.Serve(ctx)
+
+	rc := NewResilientClerk(newFlakyConn(&LocalConn{Repo: repo}), ResilientConfig{
+		Clerk: ClerkConfig{ClientID: "rc3", RequestQueue: "work", ReceiveWait: 200 * time.Millisecond},
+		Seed:  1,
+	})
+	rep, err := rc.Transceive(ctx, "rid-app", []byte("x"), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.IsError() {
+		t.Fatalf("want StatusError reply, got %+v", rep)
+	}
+	if got := rc.Retries(); got != 0 {
+		t.Fatalf("retries = %d, want 0 (app error is a delivered reply)", got)
+	}
+}
+
+// TestResilientExactlyOnceDevice: the ExactlyOnceGuard protocol under
+// automatic retries. The physical device (a ticket printer) must show
+// exactly one effect when the clerk retries through a failure between
+// the reply dequeue committing and the reply being processed — the
+// worst spot (Section 3): the reply is consumed but its effect hasn't
+// happened yet.
+func TestResilientExactlyOnceDevice(t *testing.T) {
+	e, fc, reg := resilientEnv(t)
+	printer := device.NewTicketPrinter()
+	guard := &device.ExactlyOnceGuard{Device: printer}
+	ctx := context.Background()
+	cfg := ResilientConfig{
+		Clerk:   ClerkConfig{ClientID: "teller", RequestQueue: "req", ReceiveWait: 200 * time.Millisecond},
+		Backoff: BackoffPolicy{Initial: time.Millisecond, Max: 10 * time.Millisecond},
+		Metrics: reg,
+		Seed:    1,
+	}
+
+	// Life 1: the reply dequeue commits but its delivery is lost; the
+	// clerk auto-recovers and Rereceives. Then the client "crashes"
+	// before printing — after the dequeue, before the physical effect.
+	fc.script("dequeue", faultAfter)
+	rc1 := NewResilientClerk(fc, cfg)
+	rep, err := rc1.Transceive(ctx, "tick-1", []byte("ticket"), nil, guard.Ckpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc1.Recoveries() == 0 {
+		t.Fatal("expected an automatic recovery in life 1")
+	}
+	_ = rep // crashed before printing
+
+	// Life 2: reconnect. The recovered ckpt equals the device state (no
+	// print happened), so the reply must be processed — once.
+	rc2 := NewResilientClerk(fc, cfg)
+	info, err := rc2.Connect(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.RRID != "tick-1" {
+		t.Fatalf("resync RRID = %q, want tick-1", info.RRID)
+	}
+	if guard.AlreadyProcessed(info.Ckpt) {
+		t.Fatal("guard claims processed before any print")
+	}
+	rep, err = rc2.Transceive(ctx, "tick-1", []byte("ticket"), nil, guard.Ckpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	printer.Print(string(rep.Body))
+
+	// Life 3: crash after printing. The device state moved past the
+	// recovered ckpt, so the guard forbids reprocessing.
+	rc3 := NewResilientClerk(fc, cfg)
+	info, err = rc3.Connect(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !guard.AlreadyProcessed(info.Ckpt) {
+		t.Fatal("guard must report the reply as already processed")
+	}
+
+	if n := printer.Count(); n != 1 {
+		t.Fatalf("physical prints = %d, want exactly 1", n)
+	}
+	if n := execCount(t, e.repo, "tick-1"); n != 1 {
+		t.Fatalf("server executions = %d, want 1", n)
+	}
+}
+
+// TestResilientRetryTraceContinuity: a resubmission must reuse the
+// original trace id and parent a submit.retry (and clerk.recover) span
+// under the original submit, so one tree tells the whole story.
+func TestResilientRetryTraceContinuity(t *testing.T) {
+	e, fc, reg := resilientEnv(t)
+	_ = e
+	tr := trace.New(1024, reg)
+	fc.script("enqueue", faultBefore)
+	rc := newResilient(fc, reg, tr)
+	ctx := context.Background()
+	if _, err := rc.Transceive(ctx, "rid-tr", []byte("t"), nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	id := rc.LastTrace()
+	if id.IsZero() {
+		t.Fatal("no trace id recorded")
+	}
+	names := map[string]int{}
+	var walk func(nodes []*trace.Node)
+	walk = func(nodes []*trace.Node) {
+		for _, n := range nodes {
+			names[n.Span.Name]++
+			walk(n.Children)
+		}
+	}
+	roots := tr.Trace(id)
+	walk(roots)
+	if names["submit"] != 1 {
+		t.Fatalf("submit spans = %d, want 1 (tree: %v)", names["submit"], names)
+	}
+	if names["submit.retry"] != 1 {
+		t.Fatalf("submit.retry spans = %d, want 1 (tree: %v)", names["submit.retry"], names)
+	}
+	if names["clerk.recover"] != 1 {
+		t.Fatalf("clerk.recover spans = %d, want 1 (tree: %v)", names["clerk.recover"], names)
+	}
+	// All under ONE root: the original submit.
+	if len(roots) != 1 || roots[0].Span.Name != "submit" {
+		t.Fatalf("trace roots: got %d (first %q), want the single original submit",
+			len(roots), roots[0].Span.Name)
+	}
+}

@@ -1,0 +1,89 @@
+package qservice
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/queue"
+	"repro/internal/rpc"
+)
+
+// TestDeadlinePropagationAbandonsDequeue is the end-to-end deadline
+// satellite: a waiting remote dequeue whose client gives up must observe
+// the propagated deadline server-side, abandon the wait WITHOUT
+// committing a dequeue, and leave the element for redelivery to the next
+// consumer. The server counts the drop.
+func TestDeadlinePropagationAbandonsDequeue(t *testing.T) {
+	repo, _, err := queue.Open(t.TempDir(), queue.Options{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer repo.Close()
+	if err := repo.CreateQueue(queue.QueueConfig{Name: "slow"}); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	rsrv := rpc.NewServerWith(reg)
+	New(repo, rsrv)
+	addr, err := rsrv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rsrv.Close()
+
+	impatient := NewClient(rpc.NewClient(addr, nil))
+	defer impatient.Close()
+
+	// The impatient client asks for a 5s server-side wait but only has a
+	// 150ms budget. The queue is empty, so the server-side dequeue blocks;
+	// the propagated deadline must cancel it.
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = impatient.Dequeue(ctx, "slow", "c-impatient", nil, 5*time.Second, nil)
+	if err == nil {
+		t.Fatal("dequeue of empty queue succeeded")
+	}
+	// Either shape is correct — the server's cancellation racing the
+	// client's local ctx — but it must not take anywhere near the 5s wait.
+	if !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, queue.ErrEmpty) {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("dequeue held for %v; deadline did not propagate", elapsed)
+	}
+
+	// Server handler observed the cancellation.
+	deadline := time.Now().Add(2 * time.Second)
+	for reg.Counter("rpc.deadline_drops").Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("rpc.deadline_drops never incremented")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The abandoned wait committed nothing: an element enqueued after the
+	// client gave up is delivered intact to the next consumer.
+	if _, err := repo.Enqueue(nil, "slow", queue.Element{Body: []byte("late")}, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	patient := NewClient(rpc.NewClient(addr, nil))
+	defer patient.Close()
+	e, err := patient.Dequeue(context.Background(), "slow", "c-patient", nil, 2*time.Second, nil)
+	if err != nil {
+		t.Fatalf("redelivery dequeue: %v", err)
+	}
+	if string(e.Body) != "late" {
+		t.Fatalf("redelivered body %q", e.Body)
+	}
+	st, err := repo.Stats("slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Dequeues != 1 {
+		t.Fatalf("committed dequeues = %d, want 1 (abandoned wait must not commit)", st.Dequeues)
+	}
+}

@@ -156,19 +156,22 @@ type Service struct {
 }
 
 // New registers the repository's methods on srv and returns the service.
-// The hot-path methods are trace-aware (HandleRef): a traced call gets an
-// "rpc.<method>" server span and its element operations parent under it.
+// The hot-path methods are context-aware (HandleCtx): a traced call gets
+// an "rpc.<method>" server span and its element operations parent under
+// it, and a call carrying a propagated deadline is abandoned — with any
+// waiting dequeue left uncommitted — the moment the caller's time budget
+// expires.
 func New(repo *queue.Repository, srv *rpc.Server) *Service {
 	s := &Service{repo: repo, srv: srv}
 	srv.SetTracer(repo.Tracer())
 	srv.Handle(MethodRegister, s.handleRegister)
 	srv.Handle(MethodDeregister, s.handleDeregister)
-	srv.HandleRef(MethodEnqueue, s.handleEnqueue)
-	srv.HandleRef(MethodEnqueue1W, func(ref trace.Ref, p []byte) ([]byte, error) {
-		s.handleEnqueue(ref, p) // same work; the response is discarded
+	srv.HandleCtx(MethodEnqueue, s.handleEnqueue)
+	srv.HandleCtx(MethodEnqueue1W, func(ctx context.Context, p []byte) ([]byte, error) {
+		s.handleEnqueue(ctx, p) // same work; the response is discarded
 		return nil, nil
 	})
-	srv.HandleRef(MethodDequeue, s.handleDequeue)
+	srv.HandleCtx(MethodDequeue, s.handleDequeue)
 	srv.Handle(MethodReadLast, s.handleReadLast)
 	srv.Handle(MethodRead, s.handleRead)
 	srv.Handle(MethodKill, s.handleKill)
@@ -176,7 +179,7 @@ func New(repo *queue.Repository, srv *rpc.Server) *Service {
 	srv.Handle(MethodDepth, s.handleDepth)
 	srv.Handle(MethodQueues, s.handleQueues)
 	srv.Handle(MethodStats, s.handleStats)
-	srv.HandleRef(MethodDequeueSet, s.handleDequeueSet)
+	srv.HandleCtx(MethodDequeueSet, s.handleDequeueSet)
 	srv.Handle(MethodMetrics, s.handleMetrics)
 	srv.Handle(MethodTrace, s.handleTrace)
 	srv.Handle(MethodTraces, s.handleTraces)
@@ -250,7 +253,7 @@ func (s *Service) handleStats(p []byte) ([]byte, error) {
 	}), nil
 }
 
-func (s *Service) handleDequeueSet(_ trace.Ref, p []byte) ([]byte, error) {
+func (s *Service) handleDequeueSet(ctx context.Context, p []byte) ([]byte, error) {
 	r := enc.NewReader(p)
 	qnames := r.StringSlice()
 	registrant := r.String()
@@ -261,7 +264,9 @@ func (s *Service) handleDequeueSet(_ trace.Ref, p []byte) ([]byte, error) {
 		return nil, err
 	}
 	opts := queue.DequeueOpts{Tag: tag, HeaderMatch: match}
-	ctx := context.Background()
+	// ctx carries the caller's propagated deadline: a waiting dequeue is
+	// cancelled — uncommitted, the element left for redelivery — when the
+	// client's budget runs out, even before the wait parameter elapses.
 	if waitMillis > 0 {
 		opts.Wait = true
 		var cancel context.CancelFunc
@@ -306,7 +311,7 @@ func (s *Service) handleFor(qname, registrant string) *queue.Handle {
 	return s.repo.HandleFor(qname, registrant)
 }
 
-func (s *Service) handleEnqueue(ref trace.Ref, p []byte) ([]byte, error) {
+func (s *Service) handleEnqueue(ctx context.Context, p []byte) ([]byte, error) {
 	r := enc.NewReader(p)
 	qname := r.String()
 	e := readWireElement(r)
@@ -316,7 +321,8 @@ func (s *Service) handleEnqueue(ref trace.Ref, p []byte) ([]byte, error) {
 		return nil, err
 	}
 	// Parent the repository's enqueue span under the server's rpc span
-	// (ref is that span's context when the call was traced).
+	// (ctx carries that span's ref when the call was traced).
+	ref := trace.From(ctx)
 	if ref.Valid() {
 		if e.Trace.IsZero() {
 			e.Trace = ref.Trace
@@ -329,7 +335,7 @@ func (s *Service) handleEnqueue(ref trace.Ref, p []byte) ([]byte, error) {
 	return respond(err, func(b *enc.Buffer) { b.Uvarint(uint64(eid)) }), nil
 }
 
-func (s *Service) handleDequeue(_ trace.Ref, p []byte) ([]byte, error) {
+func (s *Service) handleDequeue(ctx context.Context, p []byte) ([]byte, error) {
 	r := enc.NewReader(p)
 	qname := r.String()
 	registrant := r.String()
@@ -341,7 +347,9 @@ func (s *Service) handleDequeue(_ trace.Ref, p []byte) ([]byte, error) {
 		return nil, err
 	}
 	opts := queue.DequeueOpts{Tag: tag, HeaderMatch: match, PreferHeaderDesc: preferHeader}
-	ctx := context.Background()
+	// ctx carries the caller's propagated deadline: a waiting dequeue is
+	// cancelled — uncommitted, the element left for redelivery — when the
+	// client's budget runs out, even before the wait parameter elapses.
 	if waitMillis > 0 {
 		opts.Wait = true
 		var cancel context.CancelFunc

@@ -1,0 +1,136 @@
+package rpc
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Breaker states. The classic three-state machine:
+//
+//	closed ──(threshold consecutive transport failures)──▶ open
+//	open ──(cooldown elapses)──▶ half-open
+//	half-open ──(probe succeeds)──▶ closed
+//	half-open ──(probe fails)──▶ open (cooldown restarts)
+//
+// While open, calls fail locally with ErrCircuitOpen — no dial, no
+// network traffic — so a caller retrying against a down peer fails fast
+// instead of burning a dial timeout per attempt. Half-open admits exactly
+// one probe call; concurrent calls keep getting ErrCircuitOpen until the
+// probe resolves.
+const (
+	breakerClosed int32 = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breaker is a per-endpoint circuit breaker embedded in Client. The zero
+// value (threshold 0) is disarmed: allow always succeeds and record is a
+// no-op, keeping the breaker entirely off the hot path for clients that
+// never call SetBreaker.
+type breaker struct {
+	// armed mirrors threshold > 0 so the disarmed hot path is a single
+	// atomic load, not a mutex acquisition per call.
+	armed     atomic.Bool
+	mu        sync.Mutex
+	threshold int // consecutive transport failures that trip the breaker; 0 = disarmed
+	cooldown  time.Duration
+	fails     int
+	state     int32
+	openUntil time.Time
+	opens     *obs.Counter // may be nil (zero-value breaker in tests)
+}
+
+// SetBreaker arms (or, with threshold 0, disarms) the client's circuit
+// breaker: after threshold consecutive transport failures the breaker
+// opens and calls fail fast with ErrCircuitOpen until cooldown elapses,
+// then a single probe call is admitted. Only transport failures count;
+// *RemoteError and ErrBusy mean the peer is alive and reset the failure
+// streak.
+func (c *Client) SetBreaker(threshold int, cooldown time.Duration) {
+	c.br.mu.Lock()
+	defer c.br.mu.Unlock()
+	c.br.threshold = threshold
+	c.br.cooldown = cooldown
+	c.br.fails = 0
+	c.br.state = breakerClosed
+	c.br.armed.Store(threshold > 0)
+}
+
+// BreakerState reports the breaker's current state as a string, for
+// diagnostics: "closed", "open", "half-open", or "off".
+func (c *Client) BreakerState() string {
+	c.br.mu.Lock()
+	defer c.br.mu.Unlock()
+	if c.br.threshold == 0 {
+		return "off"
+	}
+	switch c.br.state {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// allow gates a call attempt. It returns ErrCircuitOpen while the breaker
+// is open (or while a half-open probe is already in flight), and admits
+// the single probe when the cooldown has elapsed.
+func (b *breaker) allow() error {
+	if b == nil || !b.armed.Load() {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.threshold == 0 {
+		return nil
+	}
+	switch b.state {
+	case breakerOpen:
+		if time.Now().Before(b.openUntil) {
+			return ErrCircuitOpen
+		}
+		b.state = breakerHalfOpen // this caller is the probe
+		return nil
+	case breakerHalfOpen:
+		return ErrCircuitOpen
+	}
+	return nil
+}
+
+// record feeds a call outcome to the breaker. Only transport failures
+// count against it; nil closes it; anything else (remote errors, a
+// locally-closed client) is neutral.
+func (b *breaker) record(err error) {
+	if b == nil || !b.armed.Load() {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.threshold == 0 {
+		return
+	}
+	if err == nil {
+		b.fails = 0
+		b.state = breakerClosed
+		return
+	}
+	var terr *TransportError
+	if !errors.As(err, &terr) {
+		return // not a transport failure; says nothing about the peer
+	}
+	b.fails++
+	if b.state == breakerHalfOpen || b.fails >= b.threshold {
+		b.state = breakerOpen
+		b.openUntil = time.Now().Add(b.cooldown)
+		b.fails = 0
+		if b.opens != nil {
+			b.opens.Inc()
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package rpc
+
+import "errors"
+
+// The error taxonomy of the failure-masking layer. Every error a Client
+// surfaces falls in one of two classes:
+//
+//   - Retryable: the request may or may not have reached the peer; after
+//     reconnection the caller may safely try again, provided the operation
+//     itself is idempotent or the caller resynchronizes first (the clerk's
+//     recovery protocol, Section 3). Dial refusals, mid-stream connection
+//     cuts, admission-control sheds, and an open circuit breaker are all
+//     retryable.
+//   - Terminal: retrying verbatim cannot help. A *RemoteError (the peer
+//     received the call and its handler failed), a closed client, or a
+//     caller-side context expiry are terminal at this layer.
+//
+// Retryable classifies an error; TransportError and Terminal let other
+// layers mark their own errors explicitly.
+
+var (
+	// ErrBusy is the admission-control shed response: the server is alive
+	// but over its in-flight limit. Retryable after backoff.
+	ErrBusy = errors.New("rpc: server busy")
+	// ErrCircuitOpen reports a call rejected locally because the client's
+	// circuit breaker is open: the peer has failed repeatedly and the
+	// cooldown has not elapsed. Retryable after backoff.
+	ErrCircuitOpen = errors.New("rpc: circuit breaker open")
+)
+
+// TransportError marks a communication failure where the request may or
+// may not have reached the peer: a refused dial, a write onto a severed
+// connection, or a connection that died while a response was pending.
+// It is always retryable — but because delivery is unknown, a correct
+// retry must resynchronize (the clerk re-Connects and consults its
+// registration tags) rather than blindly resubmit.
+type TransportError struct {
+	// Op names the failed step ("dial <addr>", "write", "call", "send").
+	Op string
+	// Err is the underlying failure.
+	Err error
+}
+
+func (e *TransportError) Error() string { return "rpc: " + e.Op + ": " + e.Err.Error() }
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *TransportError) Unwrap() error { return e.Err }
+
+// Retryable marks every transport failure as safe to retry after
+// resynchronization.
+func (e *TransportError) Retryable() bool { return true }
+
+// Terminal wraps an error so Retryable reports false regardless of the
+// underlying error's own classification — for callers that must stop a
+// retry loop (an exhausted attempt budget, a poison request).
+type Terminal struct{ Err error }
+
+func (e *Terminal) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *Terminal) Unwrap() error { return e.Err }
+
+// Retryable marks the error as not retryable.
+func (e *Terminal) Retryable() bool { return false }
+
+// Retryable reports whether err is safe to retry after backoff (and, for
+// transport failures, resynchronization). An explicit Retryable() method
+// anywhere in the chain wins; otherwise only the retryable sentinels
+// (ErrBusy, ErrCircuitOpen) qualify.
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	var r interface{ Retryable() bool }
+	if errors.As(err, &r) {
+		return r.Retryable()
+	}
+	return errors.Is(err, ErrBusy) || errors.Is(err, ErrCircuitOpen)
+}

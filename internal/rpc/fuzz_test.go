@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"io"
 	"testing"
+	"time"
 
 	"repro/internal/obs/trace"
 )
@@ -37,8 +38,8 @@ func FuzzReadFrame(f *testing.F) {
 }
 
 // FuzzFrameRoundTrip: any legal frame — traced or not — survives
-// encode/decode. The kind's high bit is the trace flag, owned by the
-// codec, so inputs are masked to the 7-bit kind space.
+// encode/decode. The kind's high bits (trace and deadline flags) are
+// owned by the codec, so inputs are masked to the 6-bit kind space.
 func FuzzFrameRoundTrip(f *testing.F) {
 	f.Add(uint8(1), uint64(0), "method", []byte("payload"), []byte{}, uint64(0))
 	f.Add(uint8(3), uint64(1<<63), "", []byte{}, []byte{}, uint64(0))
@@ -48,7 +49,7 @@ func FuzzFrameRoundTrip(f *testing.F) {
 		if len(method) > 0xffff || len(payload) > 1<<20 {
 			t.Skip()
 		}
-		kind &^= kindTraceFlag
+		kind &^= kindFlags
 		var ref trace.Ref
 		copy(ref.Trace[:], traceID)
 		ref.Span = trace.SpanID(span)
@@ -74,6 +75,55 @@ func FuzzFrameRoundTrip(f *testing.F) {
 		}
 		if _, err := readFrame(&buf); err != io.EOF {
 			t.Fatalf("trailing garbage after frame: %v", err)
+		}
+	})
+}
+
+// FuzzFrameRoundTripDeadline: frames carrying the optional deadline
+// budget — alone or alongside trace context — survive encode/decode, and
+// the budget is preserved exactly. A separate target (rather than a new
+// parameter on FuzzFrameRoundTrip) keeps that target's seed corpus valid.
+func FuzzFrameRoundTripDeadline(f *testing.F) {
+	f.Add(uint8(1), uint64(1), "qm.dequeue", []byte("p"), []byte{}, uint64(0), int64(time.Second))
+	f.Add(uint8(1), uint64(42), "m", []byte{}, []byte{}, uint64(0), int64(1))
+	f.Add(uint8(2), uint64(9), "qm.enqueue", []byte("body"),
+		[]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}, uint64(7), int64(5*time.Minute))
+	f.Fuzz(func(t *testing.T, kind uint8, id uint64, method string, payload []byte, traceID []byte, span uint64, budget int64) {
+		if len(method) > 0xffff || len(payload) > 1<<20 {
+			t.Skip()
+		}
+		kind &^= kindFlags
+		if budget < 0 {
+			budget = -budget
+		}
+		if budget < 0 { // math.MinInt64 negates to itself
+			budget = 1
+		}
+		var ref trace.Ref
+		copy(ref.Trace[:], traceID)
+		ref.Span = trace.SpanID(span)
+		in := &frame{kind: kind, id: id, method: method, ref: ref, payload: payload,
+			budget: time.Duration(budget), hasBudget: true}
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, in); err != nil {
+			t.Skip() // over-limit frames are rejected at write time
+		}
+		out, err := readFrame(&buf)
+		if err != nil {
+			t.Fatalf("decode of own encoding: %v", err)
+		}
+		if out.kind != kind || out.id != id || out.method != method || !bytes.Equal(out.payload, payload) {
+			t.Fatalf("roundtrip mismatch: %+v vs %+v", out, in)
+		}
+		if !out.hasBudget || out.budget != time.Duration(budget) {
+			t.Fatalf("budget mismatch: got (%v,%v), want (%v,true)", out.budget, out.hasBudget, time.Duration(budget))
+		}
+		want := ref
+		if !ref.Valid() {
+			want = trace.Ref{}
+		}
+		if out.ref != want {
+			t.Fatalf("trace ref mismatch: got %+v, want %+v", out.ref, want)
 		}
 	})
 }

@@ -1,0 +1,371 @@
+package rpc
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestPlainFrameBytesUnchanged pins the legacy wire encoding: a frame
+// with neither trace context nor deadline budget must be byte-for-byte
+// identical to the pre-metadata format, so old peers interoperate.
+func TestPlainFrameBytesUnchanged(t *testing.T) {
+	var buf bytes.Buffer
+	in := &frame{kind: kindRequest, id: 0x0123456789abcdef, method: "qm.enqueue", payload: []byte("hello")}
+	if err := writeFrame(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	// Hand-assembled legacy layout: length u32 | kind u8 | id u64 |
+	// methodLen u16 | method | payload.
+	var want bytes.Buffer
+	body := 1 + 8 + 2 + len(in.method) + len(in.payload)
+	var tmp [8]byte
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(body))
+	want.Write(tmp[:4])
+	want.WriteByte(kindRequest)
+	binary.LittleEndian.PutUint64(tmp[:], in.id)
+	want.Write(tmp[:])
+	binary.LittleEndian.PutUint16(tmp[:2], uint16(len(in.method)))
+	want.Write(tmp[:2])
+	want.WriteString(in.method)
+	want.Write(in.payload)
+	if !bytes.Equal(buf.Bytes(), want.Bytes()) {
+		t.Fatalf("plain frame encoding changed:\n got %x\nwant %x", buf.Bytes(), want.Bytes())
+	}
+}
+
+// TestDeadlinePropagation: a CtxHandler observes the caller's deadline as
+// ctx cancellation, and the server counts the drop.
+func TestDeadlinePropagation(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv := NewServerWith(reg)
+	sawDeadline := make(chan time.Duration, 1)
+	srv.HandleCtx("sleep", func(ctx context.Context, payload []byte) ([]byte, error) {
+		dl, ok := ctx.Deadline()
+		if !ok {
+			sawDeadline <- -1
+		} else {
+			sawDeadline <- time.Until(dl)
+		}
+		<-ctx.Done() // sleep past the client's budget
+		return nil, ctx.Err()
+	})
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli := NewClient(addr, nil)
+	defer cli.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	_, err = cli.Call(ctx, "sleep", nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+	select {
+	case d := <-sawDeadline:
+		if d <= 0 || d > 150*time.Millisecond {
+			t.Fatalf("server saw budget %v, want (0, 150ms]", d)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("handler never invoked")
+	}
+	// The handler returns after its ctx fires; the server then records
+	// the drop. Poll briefly — the response write races the assertion.
+	deadline := time.Now().Add(2 * time.Second)
+	for reg.Counter("rpc.deadline_drops").Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("rpc.deadline_drops never incremented")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestDeadlineAbsentWithoutCtxDeadline: handlers of undeadlined calls see
+// no ctx deadline (nothing was propagated).
+func TestDeadlineAbsentWithoutCtxDeadline(t *testing.T) {
+	srv := NewServer()
+	srv.HandleCtx("probe", func(ctx context.Context, payload []byte) ([]byte, error) {
+		if _, ok := ctx.Deadline(); ok {
+			return nil, errors.New("unexpected deadline")
+		}
+		return []byte("ok"), nil
+	})
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli := NewClient(addr, nil)
+	defer cli.Close()
+	if _, err := cli.Call(context.Background(), "probe", nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAdmissionShed: requests over MaxInflight are shed with the
+// retryable ErrBusy and counted, and capacity frees up afterwards.
+func TestAdmissionShed(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv := NewServerWith(reg)
+	release := make(chan struct{})
+	started := make(chan struct{}, 16)
+	srv.Handle("block", func(payload []byte) ([]byte, error) {
+		started <- struct{}{}
+		<-release
+		return nil, nil
+	})
+	srv.SetLimits(Limits{MaxInflight: 2})
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli := NewClient(addr, nil)
+	defer cli.Close()
+
+	var wg sync.WaitGroup
+	errs := make([]error, 3)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = cli.Call(context.Background(), "block", nil)
+		}(i)
+	}
+	<-started
+	<-started // both slots occupied
+	_, shedErr := cli.Call(context.Background(), "block", nil)
+	if !errors.Is(shedErr, ErrBusy) {
+		t.Fatalf("third call: want ErrBusy, got %v", shedErr)
+	}
+	if !Retryable(shedErr) {
+		t.Fatalf("shed response must be retryable: %v", shedErr)
+	}
+	if got := reg.Counter("server.shed").Value(); got != 1 {
+		t.Fatalf("server.shed = %d, want 1", got)
+	}
+	close(release)
+	wg.Wait()
+	for i := 0; i < 2; i++ {
+		if errs[i] != nil {
+			t.Fatalf("call %d: %v", i, errs[i])
+		}
+	}
+	// Slots released: the next call succeeds.
+	if _, err := cli.Call(context.Background(), "block", nil); err != nil {
+		t.Fatalf("post-release call: %v", err)
+	}
+	if n := srv.Inflight(); n != 0 {
+		t.Fatalf("inflight = %d after all calls done", n)
+	}
+}
+
+// TestAdmissionPerConn: a second connection still gets service when one
+// connection saturates its per-conn limit.
+func TestAdmissionPerConn(t *testing.T) {
+	srv := NewServer()
+	release := make(chan struct{})
+	started := make(chan struct{}, 16)
+	srv.Handle("block", func(payload []byte) ([]byte, error) {
+		started <- struct{}{}
+		<-release
+		return nil, nil
+	})
+	defer close(release)
+	srv.Handle("ping", func(payload []byte) ([]byte, error) { return payload, nil })
+	srv.SetLimits(Limits{MaxPerConn: 1})
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	hog := NewClient(addr, nil)
+	defer hog.Close()
+	go hog.Call(context.Background(), "block", nil)
+	<-started
+	if _, err := hog.Call(context.Background(), "ping", nil); !errors.Is(err, ErrBusy) {
+		t.Fatalf("same-conn call: want ErrBusy, got %v", err)
+	}
+	other := NewClient(addr, nil)
+	defer other.Close()
+	if _, err := other.Call(context.Background(), "ping", []byte("x")); err != nil {
+		t.Fatalf("other-conn call: %v", err)
+	}
+}
+
+// TestErrorTaxonomy classifies representative errors.
+func TestErrorTaxonomy(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{&TransportError{Op: "dial x", Err: errors.New("refused")}, true},
+		{fmt.Errorf("wrapped: %w", &TransportError{Op: "write", Err: errors.New("broken")}), true},
+		{ErrBusy, true},
+		{fmt.Errorf("%w: qm.enqueue", ErrBusy), true},
+		{ErrCircuitOpen, true},
+		{&RemoteError{Msg: "handler failed"}, false},
+		{ErrConnClosed, false}, // bare = locally closed client
+		{&Terminal{Err: &TransportError{Op: "call", Err: ErrConnClosed}}, false},
+		{context.DeadlineExceeded, false},
+		{context.Canceled, false},
+	}
+	for i, c := range cases {
+		if got := Retryable(c.err); got != c.want {
+			t.Errorf("case %d (%v): Retryable = %v, want %v", i, c.err, got, c.want)
+		}
+	}
+	// Wrapping preserves errors.Is on the cause.
+	terr := &TransportError{Op: "call", Err: ErrConnClosed}
+	if !errors.Is(terr, ErrConnClosed) {
+		t.Fatal("TransportError must unwrap to its cause")
+	}
+}
+
+// TestBreakerLifecycle drives the breaker through closed → open →
+// half-open → closed against a server that is down, then up.
+func TestBreakerLifecycle(t *testing.T) {
+	reg := obs.NewRegistry()
+	var refuse atomic.Bool
+	refuse.Store(true)
+	srv := NewServer()
+	srv.Handle("ping", func(p []byte) ([]byte, error) { return p, nil })
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	dialer := func(a string) (net.Conn, error) {
+		if refuse.Load() {
+			return nil, errors.New("synthetic dial refused")
+		}
+		return net.Dial("tcp", a)
+	}
+	cli := NewClientWith(addr, dialer, reg)
+	defer cli.Close()
+	cli.SetBreaker(3, 50*time.Millisecond)
+
+	for i := 0; i < 3; i++ {
+		if _, err := cli.Call(context.Background(), "ping", nil); err == nil {
+			t.Fatal("call should fail while peer is down")
+		}
+	}
+	if st := cli.BreakerState(); st != "open" {
+		t.Fatalf("after 3 failures: state %q, want open", st)
+	}
+	if _, err := cli.Call(context.Background(), "ping", nil); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("while open: want ErrCircuitOpen (fail fast, no dial), got %v", err)
+	}
+	if got := reg.Counter("rpc.client.breaker_opens").Value(); got != 1 {
+		t.Fatalf("breaker_opens = %d, want 1", got)
+	}
+
+	time.Sleep(60 * time.Millisecond) // cooldown elapses → half-open probe
+	if _, err := cli.Call(context.Background(), "ping", nil); err == nil {
+		t.Fatal("probe should fail while peer is still down")
+	}
+	if st := cli.BreakerState(); st != "open" {
+		t.Fatalf("after failed probe: state %q, want open (reopened)", st)
+	}
+
+	refuse.Store(false) // peer recovers
+	time.Sleep(60 * time.Millisecond)
+	if _, err := cli.Call(context.Background(), "ping", []byte("hi")); err != nil {
+		t.Fatalf("probe after recovery: %v", err)
+	}
+	if st := cli.BreakerState(); st != "closed" {
+		t.Fatalf("after successful probe: state %q, want closed", st)
+	}
+}
+
+// TestBreakerIgnoresRemoteErrors: handler errors prove the peer is alive
+// and must not trip the breaker.
+func TestBreakerIgnoresRemoteErrors(t *testing.T) {
+	srv := NewServer()
+	srv.Handle("fail", func(p []byte) ([]byte, error) { return nil, errors.New("app error") })
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli := NewClient(addr, nil)
+	defer cli.Close()
+	cli.SetBreaker(2, time.Minute)
+	for i := 0; i < 10; i++ {
+		var rerr *RemoteError
+		if _, err := cli.Call(context.Background(), "fail", nil); !errors.As(err, &rerr) {
+			t.Fatalf("call %d: want RemoteError, got %v", i, err)
+		}
+	}
+	if st := cli.BreakerState(); st != "closed" {
+		t.Fatalf("state %q after remote errors, want closed", st)
+	}
+}
+
+// BenchmarkRPCRoundTrip measures a minimal echo call without deadline
+// metadata — the hot path that must not regress when the deadline feature
+// is unused.
+func BenchmarkRPCRoundTrip(b *testing.B) {
+	srv := NewServer()
+	srv.Handle("echo", func(p []byte) ([]byte, error) { return p, nil })
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	cli := NewClient(addr, nil)
+	defer cli.Close()
+	payload := []byte("0123456789abcdef")
+	ctx := context.Background()
+	if _, err := cli.Call(ctx, "echo", payload); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cli.Call(ctx, "echo", payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRPCRoundTripDeadline is the same call with a (distant)
+// deadline attached, for comparing the metadata cost.
+func BenchmarkRPCRoundTripDeadline(b *testing.B) {
+	srv := NewServer()
+	srv.Handle("echo", func(p []byte) ([]byte, error) { return p, nil })
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	cli := NewClient(addr, nil)
+	defer cli.Close()
+	payload := []byte("0123456789abcdef")
+	ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+	defer cancel()
+	if _, err := cli.Call(ctx, "echo", payload); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cli.Call(ctx, "echo", payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -11,14 +11,19 @@
 //
 // Wire format (all little-endian):
 //
-//	length  uint32  frame length excluding this field
-//	kind    uint8   1=request 2=response 3=one-way 4=error-response;
-//	                high bit (0x80) set when trace context follows
-//	id      uint64  request id (0 for one-way)
-//	method  uint16-prefixed string (requests and one-ways)
-//	trace   16-byte trace id + 8-byte span id, present only when the
-//	        kind's high bit is set — old peers' frames decode unchanged
-//	payload remaining bytes
+//	length   uint32  frame length excluding this field
+//	kind     uint8   1=request 2=response 3=one-way 4=error-response
+//	                 5=busy (admission-control shed);
+//	                 high bit (0x80) set when trace context follows,
+//	                 bit 0x40 set when a deadline budget follows
+//	id       uint64  request id (0 for one-way)
+//	method   uint16-prefixed string (requests and one-ways)
+//	trace    16-byte trace id + 8-byte span id, present only when the
+//	         kind's 0x80 bit is set — old peers' frames decode unchanged
+//	deadline uint64  remaining time budget in nanoseconds, present only
+//	         when the kind's 0x40 bit is set; a relative budget (not an
+//	         absolute timestamp) so peers need no clock agreement
+//	payload  remaining bytes
 //
 // The chaos layer injects failures by wrapping net.Conn; this package is
 // deliberately transport-agnostic.
@@ -32,6 +37,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -43,15 +49,28 @@ const (
 	kindResp    uint8 = 2
 	kindOneWay  uint8 = 3
 	kindError   uint8 = 4
+	kindBusy    uint8 = 5
 
 	// kindTraceFlag marks a frame carrying trace context (16-byte trace id
 	// + 8-byte span id between the method string and the payload). The base
-	// kind is kind &^ kindTraceFlag, so peers that predate tracing never
-	// set it and their frames decode exactly as before.
+	// kind is kind &^ kindFlags, so peers that predate tracing never set it
+	// and their frames decode exactly as before.
 	kindTraceFlag uint8 = 0x80
+
+	// kindDeadlineFlag marks a frame carrying the caller's remaining time
+	// budget (8 bytes, after any trace context). Same compatibility trick
+	// as the trace flag: frames without the bit are byte-identical to the
+	// old format, and old peers never set it.
+	kindDeadlineFlag uint8 = 0x40
+
+	// kindFlags are the metadata bits the codec owns within the kind byte.
+	kindFlags = kindTraceFlag | kindDeadlineFlag
 
 	// traceCtxLen is the on-wire size of a trace context.
 	traceCtxLen = 16 + 8
+
+	// deadlineLen is the on-wire size of a deadline budget.
+	deadlineLen = 8
 
 	// maxFrame bounds a frame; larger frames indicate corruption or abuse.
 	maxFrame = 16 << 20
@@ -78,13 +97,23 @@ type Handler func(payload []byte) ([]byte, error)
 // the handler that span's ref so downstream work parents under it.
 type RefHandler func(ref trace.Ref, payload []byte) ([]byte, error)
 
+// CtxHandler is the full-context handler shape: ctx carries the caller's
+// propagated deadline (when the request frame had one) and trace ref (via
+// trace.From), and is cancelled when the client's time budget expires —
+// so a blocking handler (a waiting dequeue) stops working for a caller
+// that has given up. Registered via HandleCtx; takes precedence over
+// RefHandler and Handler under the same name.
+type CtxHandler func(ctx context.Context, payload []byte) ([]byte, error)
+
 // frame is one decoded wire frame.
 type frame struct {
-	kind    uint8
-	id      uint64
-	method  string
-	ref     trace.Ref
-	payload []byte
+	kind      uint8
+	id        uint64
+	method    string
+	ref       trace.Ref
+	budget    time.Duration // remaining caller budget; valid when hasBudget
+	hasBudget bool
+	payload   []byte
 }
 
 func writeFrame(w io.Writer, f *frame) error {
@@ -97,6 +126,9 @@ func writeFrame(w io.Writer, f *frame) error {
 	if traced {
 		n += traceCtxLen
 	}
+	if f.hasBudget {
+		n += deadlineLen
+	}
 	if n > maxFrame {
 		return ErrTooLarge
 	}
@@ -105,6 +137,9 @@ func writeFrame(w io.Writer, f *frame) error {
 	kind := f.kind
 	if traced {
 		kind |= kindTraceFlag
+	}
+	if f.hasBudget {
+		kind |= kindDeadlineFlag
 	}
 	buf[4] = kind
 	binary.LittleEndian.PutUint64(buf[5:], f.id)
@@ -115,6 +150,14 @@ func writeFrame(w io.Writer, f *frame) error {
 		copy(buf[off:], f.ref.Trace[:])
 		binary.LittleEndian.PutUint64(buf[off+16:], uint64(f.ref.Span))
 		off += traceCtxLen
+	}
+	if f.hasBudget {
+		budget := f.budget
+		if budget < 0 {
+			budget = 0
+		}
+		binary.LittleEndian.PutUint64(buf[off:], uint64(budget))
+		off += deadlineLen
 	}
 	copy(buf[off:], f.payload)
 	_, err := w.Write(buf)
@@ -135,7 +178,8 @@ func readFrame(r io.Reader) (*frame, error) {
 		return nil, err
 	}
 	traced := buf[0]&kindTraceFlag != 0
-	f := &frame{kind: buf[0] &^ kindTraceFlag, id: binary.LittleEndian.Uint64(buf[1:])}
+	hasBudget := buf[0]&kindDeadlineFlag != 0
+	f := &frame{kind: buf[0] &^ kindFlags, id: binary.LittleEndian.Uint64(buf[1:])}
 	methodLen := int(binary.LittleEndian.Uint16(buf[9:]))
 	off := 11 + methodLen
 	if off > len(buf) {
@@ -150,6 +194,16 @@ func readFrame(r io.Reader) (*frame, error) {
 		f.ref.Span = trace.SpanID(binary.LittleEndian.Uint64(buf[off+16:]))
 		off += traceCtxLen
 	}
+	if hasBudget {
+		if off+deadlineLen > len(buf) {
+			return nil, fmt.Errorf("rpc: truncated deadline budget")
+		}
+		// The uint64→int64 cast can go negative on a hostile frame; the
+		// server treats any non-positive budget as already expired.
+		f.budget = time.Duration(binary.LittleEndian.Uint64(buf[off:]))
+		f.hasBudget = true
+		off += deadlineLen
+	}
 	f.payload = buf[off:]
 	return f, nil
 }
@@ -162,22 +216,42 @@ type Stats struct {
 	OneWays          uint64
 }
 
+// Limits bound a server's concurrently executing requests (admission
+// control). Zero values mean unlimited. Requests over a limit are shed
+// with a kindBusy response, which clients surface as the retryable
+// ErrBusy — graceful degradation under overload instead of unbounded
+// goroutine and memory growth. One-way messages are never shed (there is
+// no reply to shed them with).
+type Limits struct {
+	// MaxInflight caps requests executing across all connections.
+	MaxInflight int
+	// MaxPerConn caps requests executing on any single connection.
+	MaxPerConn int
+}
+
 // Server dispatches incoming calls to registered handlers.
 type Server struct {
 	mu          sync.RWMutex
 	handlers    map[string]Handler
 	refHandlers map[string]RefHandler
+	ctxHandlers map[string]CtxHandler
 	tracer      *trace.Tracer // nil-safe; nil means tracing disabled
 	lis         net.Listener
 	conns       map[net.Conn]struct{}
 	closed      bool
 	wg          sync.WaitGroup
 
+	maxInflight atomic.Int64 // 0 = unlimited
+	maxPerConn  atomic.Int64 // 0 = unlimited
+	inflight    atomic.Int64
+
 	mSent     *obs.Counter
 	mRecv     *obs.Counter
 	mRequests *obs.Counter
 	mOneWays  *obs.Counter
 	mErrors   *obs.Counter
+	mShed     *obs.Counter // requests rejected by admission control
+	mDropped  *obs.Counter // requests abandoned because the caller's deadline expired
 }
 
 // NewServer returns an empty server with a private metrics registry.
@@ -192,12 +266,15 @@ func NewServerWith(reg *obs.Registry) *Server {
 	return &Server{
 		handlers:    make(map[string]Handler),
 		refHandlers: make(map[string]RefHandler),
+		ctxHandlers: make(map[string]CtxHandler),
 		conns:       make(map[net.Conn]struct{}),
 		mSent:       reg.Counter("rpc.server.sent"),
 		mRecv:       reg.Counter("rpc.server.recv"),
 		mRequests:   reg.Counter("rpc.server.requests"),
 		mOneWays:    reg.Counter("rpc.server.oneways"),
 		mErrors:     reg.Counter("rpc.server.errors"),
+		mShed:       reg.Counter("server.shed"),
+		mDropped:    reg.Counter("rpc.deadline_drops"),
 	}
 }
 
@@ -214,6 +291,46 @@ func (s *Server) HandleRef(method string, h RefHandler) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.refHandlers[method] = h
+}
+
+// HandleCtx registers a context-aware handler for method: its ctx carries
+// the caller's trace ref and propagated deadline. Takes precedence over
+// HandleRef and Handle under the same name.
+func (s *Server) HandleCtx(method string, h CtxHandler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ctxHandlers[method] = h
+}
+
+// SetLimits installs admission-control limits; the zero Limits removes
+// them. Safe to call while serving.
+func (s *Server) SetLimits(l Limits) {
+	s.maxInflight.Store(int64(l.MaxInflight))
+	s.maxPerConn.Store(int64(l.MaxPerConn))
+}
+
+// Inflight reports the number of requests currently executing.
+func (s *Server) Inflight() int { return int(s.inflight.Load()) }
+
+// admit reserves an in-flight slot, reporting false (and releasing the
+// reservation) when a limit is exceeded.
+func (s *Server) admit(connInflight *atomic.Int64) bool {
+	in := s.inflight.Add(1)
+	pc := connInflight.Add(1)
+	if max := s.maxInflight.Load(); max > 0 && in > max {
+		s.release(connInflight)
+		return false
+	}
+	if max := s.maxPerConn.Load(); max > 0 && pc > max {
+		s.release(connInflight)
+		return false
+	}
+	return true
+}
+
+func (s *Server) release(connInflight *atomic.Int64) {
+	s.inflight.Add(-1)
+	connInflight.Add(-1)
 }
 
 // SetTracer installs the tracer used to record server-side "rpc.<method>"
@@ -268,6 +385,35 @@ func (s *Server) ListenAndServe(addr string) (string, error) {
 	return lis.Addr().String(), nil
 }
 
+// dispatch runs whichever handler shape is registered for f's method; the
+// span (when traced) brackets ref/ctx handlers and hands them a child ref
+// to parent downstream work under. It is a plain function taking the
+// handlers as arguments — not a per-frame adapter closure, which would
+// cost an allocation on the plain-handler hot path.
+func dispatch(ctx context.Context, tr *trace.Tracer, ch CtxHandler, cok bool, rh RefHandler, rok bool, h Handler, f *frame) ([]byte, error) {
+	switch {
+	case cok, rok:
+		sp, traced := tr.Begin(f.ref, "rpc."+f.method)
+		child := f.ref
+		if traced {
+			child = sp.Ref()
+		}
+		var out []byte
+		var err error
+		if cok {
+			out, err = ch(trace.With(ctx, child), f.payload)
+		} else {
+			out, err = rh(child, f.payload)
+		}
+		if traced {
+			tr.Finish(&sp)
+		}
+		return out, err
+	default:
+		return h(f.payload)
+	}
+}
+
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -277,6 +423,14 @@ func (s *Server) serveConn(conn net.Conn) {
 		conn.Close()
 	}()
 	var writeMu sync.Mutex
+	var connInflight atomic.Int64
+	respond := func(resp *frame) {
+		writeMu.Lock()
+		defer writeMu.Unlock()
+		if err := writeFrame(conn, resp); err == nil {
+			s.mSent.Inc()
+		}
+	}
 	for {
 		f, err := readFrame(conn)
 		if err != nil {
@@ -284,59 +438,64 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		s.mRecv.Inc()
 		s.mu.RLock()
+		ch, cok := s.ctxHandlers[f.method]
 		rh, rok := s.refHandlers[f.method]
 		h, ok := s.handlers[f.method]
 		tr := s.tracer
 		s.mu.RUnlock()
-		if rok {
-			// Adapt once so the dispatch below has a single shape; the
-			// span (when traced) brackets the handler and hands it a
-			// child ref to parent downstream work under.
-			ref := f.ref
-			method := f.method
-			h, ok = func(payload []byte) ([]byte, error) {
-				sp, traced := tr.Begin(ref, "rpc."+method)
-				child := ref
-				if traced {
-					child = sp.Ref()
-				}
-				out, err := rh(child, payload)
-				if traced {
-					tr.Finish(&sp)
-				}
-				return out, err
-			}, true
-		}
+		known := cok || rok || ok
 		switch f.kind {
 		case kindOneWay:
 			s.mOneWays.Inc()
-			if ok {
-				go h(f.payload)
+			if known {
+				go dispatch(context.Background(), tr, ch, cok, rh, rok, h, f)
 			}
 		case kindRequest:
 			s.mRequests.Inc()
+			if !s.admit(&connInflight) {
+				s.mShed.Inc()
+				respond(&frame{kind: kindBusy, id: f.id})
+				continue
+			}
+			if f.hasBudget && f.budget <= 0 {
+				// The caller's budget expired in transit; don't start
+				// work it has already abandoned.
+				s.mDropped.Inc()
+				s.release(&connInflight)
+				respond(&frame{kind: kindError, id: f.id, ref: f.ref,
+					payload: []byte(context.DeadlineExceeded.Error())})
+				continue
+			}
 			go func(f *frame) {
+				defer s.release(&connInflight)
+				ctx := context.Background()
+				if f.hasBudget {
+					var cancel context.CancelFunc
+					ctx, cancel = context.WithTimeout(ctx, f.budget)
+					defer cancel()
+				}
 				var resp frame
 				resp.id = f.id
 				resp.ref = f.ref // echo the trace context on the reply
-				if !ok {
+				if !known {
 					resp.kind = kindError
 					resp.payload = []byte(ErrNoMethod.Error() + ": " + f.method)
-				} else if out, err := h(f.payload); err != nil {
+				} else if out, err := dispatch(ctx, tr, ch, cok, rh, rok, h, f); err != nil {
 					resp.kind = kindError
 					resp.payload = []byte(err.Error())
 				} else {
 					resp.kind = kindResp
 					resp.payload = out
 				}
+				if f.hasBudget && ctx.Err() != nil {
+					// The handler ran past the caller's budget: whatever we
+					// write back will be discarded on arrival.
+					s.mDropped.Inc()
+				}
 				if resp.kind == kindError {
 					s.mErrors.Inc()
 				}
-				writeMu.Lock()
-				defer writeMu.Unlock()
-				if err := writeFrame(conn, &resp); err == nil {
-					s.mSent.Inc()
-				}
+				respond(&resp)
 			}(f)
 		}
 	}
@@ -382,6 +541,8 @@ type Client struct {
 	nextID  uint64
 	closed  bool
 
+	br breaker // per-endpoint circuit breaker; disarmed until SetBreaker
+
 	mSent     *obs.Counter
 	mRecv     *obs.Counter
 	mCalls    *obs.Counter
@@ -411,6 +572,7 @@ func NewClientWith(addr string, dialer Dialer, reg *obs.Registry) *Client {
 		addr:      addr,
 		dialer:    dialer,
 		pending:   make(map[uint64]chan *frame),
+		br:        breaker{opens: reg.Counter("rpc.client.breaker_opens")},
 		mSent:     reg.Counter("rpc.client.sent"),
 		mRecv:     reg.Counter("rpc.client.recv"),
 		mCalls:    reg.Counter("rpc.client.calls"),
@@ -442,7 +604,7 @@ func (c *Client) ensureConnLocked() error {
 	conn, err := c.dialer(c.addr)
 	if err != nil {
 		c.mErrors.Inc()
-		return fmt.Errorf("rpc: dial %s: %w", c.addr, err)
+		return &TransportError{Op: "dial " + c.addr, Err: err}
 	}
 	if c.dialed {
 		c.mRedials.Inc()
@@ -489,39 +651,65 @@ func (c *Client) dropConn(conn net.Conn) {
 }
 
 // Call performs a request/response RPC. A remote handler error comes back
-// as a *RemoteError.
+// as a *RemoteError; transport failures come back as retryable
+// *TransportError. Any deadline on ctx is propagated to the server as a
+// relative time budget in the request frame (no metadata is added when
+// ctx has no deadline, keeping such frames byte-identical to the old
+// format).
 func (c *Client) Call(ctx context.Context, method string, payload []byte) ([]byte, error) {
 	start := time.Now()
+	req := frame{kind: kindRequest, method: method, ref: trace.From(ctx), payload: payload}
+	if dl, ok := ctx.Deadline(); ok {
+		req.budget = time.Until(dl)
+		req.hasBudget = true
+		if req.budget <= 0 {
+			return nil, context.DeadlineExceeded
+		}
+	}
+	if err := c.br.allow(); err != nil {
+		return nil, err
+	}
 	c.mu.Lock()
 	if err := c.ensureConnLocked(); err != nil {
 		c.mu.Unlock()
+		c.br.record(err)
 		return nil, err
 	}
 	conn := c.conn
 	c.nextID++
 	id := c.nextID
+	req.id = id
 	ch := make(chan *frame, 1)
 	c.pending[id] = ch
 	c.mu.Unlock()
 	c.mSent.Inc()
 	c.mCalls.Inc()
 
-	if err := writeFrame(conn, &frame{kind: kindRequest, id: id, method: method, ref: trace.From(ctx), payload: payload}); err != nil {
+	if err := writeFrame(conn, &req); err != nil {
 		c.mErrors.Inc()
 		c.dropConn(conn)
-		return nil, fmt.Errorf("rpc: write: %w", err)
+		terr := &TransportError{Op: "write", Err: err}
+		c.br.record(terr)
+		return nil, terr
 	}
 	select {
 	case f, ok := <-ch:
 		if !ok {
 			c.mErrors.Inc()
-			return nil, ErrConnClosed
+			terr := &TransportError{Op: "call", Err: ErrConnClosed}
+			c.br.record(terr)
+			return nil, terr
 		}
 		// A response arrived — a complete round trip, even if the handler
-		// reported an error — so it counts toward the latency histogram.
+		// reported an error or a shed — so the peer is healthy as far as
+		// the breaker cares, and it counts toward the latency histogram.
+		c.br.record(nil)
 		c.mCallNans.Observe(time.Since(start).Nanoseconds())
-		if f.kind == kindError {
+		switch f.kind {
+		case kindError:
 			return nil, &RemoteError{Msg: string(f.payload)}
+		case kindBusy:
+			return nil, fmt.Errorf("%w: %s", ErrBusy, method)
 		}
 		return f.payload, nil
 	case <-ctx.Done():
@@ -541,9 +729,13 @@ func (c *Client) Send(method string, payload []byte) error {
 // metadata. The context does not bound the write (one-ways are fire and
 // forget); it exists only to propagate the trace ref.
 func (c *Client) SendCtx(ctx context.Context, method string, payload []byte) error {
+	if err := c.br.allow(); err != nil {
+		return err
+	}
 	c.mu.Lock()
 	if err := c.ensureConnLocked(); err != nil {
 		c.mu.Unlock()
+		c.br.record(err)
 		return err
 	}
 	conn := c.conn
@@ -553,8 +745,11 @@ func (c *Client) SendCtx(ctx context.Context, method string, payload []byte) err
 	if err := writeFrame(conn, &frame{kind: kindOneWay, method: method, ref: trace.From(ctx), payload: payload}); err != nil {
 		c.mErrors.Inc()
 		c.dropConn(conn)
-		return fmt.Errorf("rpc: send: %w", err)
+		terr := &TransportError{Op: "send", Err: err}
+		c.br.record(terr)
+		return terr
 	}
+	c.br.record(nil)
 	return nil
 }
 

@@ -118,6 +118,13 @@ type (
 	// StreamClerk is the Section 11 streaming extension (Mercury-style
 	// pipelined requests and replies).
 	StreamClerk = core.StreamClerk
+	// ResilientClerk is a self-healing clerk: it masks transport faults
+	// by re-running the fig. 2 client recovery automatically.
+	ResilientClerk = core.ResilientClerk
+	// ResilientConfig configures a ResilientClerk.
+	ResilientConfig = core.ResilientConfig
+	// BackoffPolicy shapes a ResilientClerk's retry delays.
+	BackoffPolicy = core.BackoffPolicy
 )
 
 // Re-exported constructors and constants.
@@ -139,6 +146,8 @@ var (
 	NewRequestElement = core.NewRequestElement
 	// NewThreadedClerk returns a clerk with n independent threads.
 	NewThreadedClerk = core.NewThreadedClerk
+	// NewResilientClerk returns a self-healing clerk.
+	NewResilientClerk = core.NewResilientClerk
 	// NewStreamClerk returns a windowed streaming clerk (Section 11).
 	NewStreamClerk = core.NewStreamClerk
 	// Fork fans a request out to parallel branches with a trigger-based
@@ -212,6 +221,13 @@ type NodeConfig struct {
 	SlowTrace time.Duration
 	// TraceSink receives slow-trace lines; nil uses os.Stderr.
 	TraceSink io.Writer
+	// MaxInflight caps concurrently executing RPC requests node-wide;
+	// excess requests are shed with a retryable busy response. Zero means
+	// unlimited.
+	MaxInflight int
+	// MaxInflightPerConn caps concurrently executing requests per client
+	// connection. Zero means unlimited.
+	MaxInflightPerConn int
 }
 
 // Node is a running back-end node.
@@ -282,6 +298,7 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	n := &Node{repo: repo, coord: coord, tracer: tracer}
 	if cfg.ListenAddr != "" {
 		n.rpcSrv = rpc.NewServerWith(reg)
+		n.rpcSrv.SetLimits(rpc.Limits{MaxInflight: cfg.MaxInflight, MaxPerConn: cfg.MaxInflightPerConn})
 		qservice.New(repo, n.rpcSrv)
 		addr, err := n.rpcSrv.ListenAndServe(cfg.ListenAddr)
 		if err != nil {
