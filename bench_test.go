@@ -25,7 +25,12 @@ import (
 
 func benchRepo(b *testing.B) *queue.Repository {
 	b.Helper()
-	repo, _, err := queue.Open(b.TempDir(), queue.Options{NoFsync: true})
+	return benchRepoOpts(b, queue.Options{NoFsync: true})
+}
+
+func benchRepoOpts(b *testing.B, opts queue.Options) *queue.Repository {
+	b.Helper()
+	repo, _, err := queue.Open(b.TempDir(), opts)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -528,8 +533,8 @@ func BenchmarkE10_ParallelConsumers(b *testing.B) {
 // repository's concurrency control (locks and wakeups) is the entire
 // measured cost; the durable variant shows the same effect diluted by the
 // per-commit log write.
-func benchmarkShardedContention(b *testing.B, nq int, volatile bool) {
-	repo := benchRepo(b)
+func benchmarkShardedContention(b *testing.B, nq int, volatile, group bool) {
+	repo := benchRepoOpts(b, queue.Options{NoFsync: true, GroupCommit: group})
 	for i := 0; i < nq; i++ {
 		mustQueue(b, repo, queue.QueueConfig{Name: fmt.Sprintf("q%d", i), Volatile: volatile})
 	}
@@ -567,12 +572,85 @@ func benchmarkShardedContention(b *testing.B, nq int, volatile bool) {
 	wg.Wait()
 }
 
-func BenchmarkRepositoryShardedContention_1Q(b *testing.B)  { benchmarkShardedContention(b, 1, true) }
-func BenchmarkRepositoryShardedContention_4Q(b *testing.B)  { benchmarkShardedContention(b, 4, true) }
-func BenchmarkRepositoryShardedContention_16Q(b *testing.B) { benchmarkShardedContention(b, 16, true) }
+func BenchmarkRepositoryShardedContention_1Q(b *testing.B) {
+	benchmarkShardedContention(b, 1, true, false)
+}
+func BenchmarkRepositoryShardedContention_4Q(b *testing.B) {
+	benchmarkShardedContention(b, 4, true, false)
+}
+func BenchmarkRepositoryShardedContention_16Q(b *testing.B) {
+	benchmarkShardedContention(b, 16, true, false)
+}
 
 func BenchmarkRepositoryShardedContention_16QDurable(b *testing.B) {
-	benchmarkShardedContention(b, 16, false)
+	benchmarkShardedContention(b, 16, false, false)
+}
+
+func BenchmarkRepositoryShardedContention_16QDurableGroup(b *testing.B) {
+	benchmarkShardedContention(b, 16, false, true)
+}
+
+// --- group commit: concurrent durable commit throughput ---
+
+// benchmarkGroupCommitThroughput is the regime group commit exists for:
+// one producer and one blocking consumer per queue with a *per-queue*
+// pacing token, so up to nq commits are in flight at once and the log
+// writer can coalesce them. Compare the volatile arm (no WAL at all),
+// the plain durable arm (every commit forces for itself), and the
+// group-commit arm (staged commits share forces, locks release at the
+// stage point). The contention benchmark above intentionally keeps one
+// element in flight repository-wide and therefore measures the
+// *uncontended* group-commit overhead — a batch of one plus a writer
+// handoff — not the amortization.
+func benchmarkGroupCommitThroughput(b *testing.B, nq int, volatile, group bool) {
+	repo := benchRepoOpts(b, queue.Options{NoFsync: true, GroupCommit: group})
+	for i := 0; i < nq; i++ {
+		mustQueue(b, repo, queue.QueueConfig{Name: fmt.Sprintf("q%d", i), Volatile: volatile})
+	}
+	ctx := context.Background()
+	perQ := b.N/nq + 1
+	body := []byte("x")
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for i := 0; i < nq; i++ {
+		qname := fmt.Sprintf("q%d", i)
+		token := make(chan struct{}, 1) // one element in flight per queue
+		token <- struct{}{}
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perQ; j++ {
+				<-token
+				if _, err := repo.Enqueue(nil, qname, queue.Element{Body: body}, "", nil); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perQ; j++ {
+				if _, err := repo.Dequeue(ctx, nil, qname, "", queue.DequeueOpts{Wait: true}); err != nil {
+					b.Error(err)
+					return
+				}
+				token <- struct{}{}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func BenchmarkRepositoryGroupCommit_16QVolatile(b *testing.B) {
+	benchmarkGroupCommitThroughput(b, 16, true, false)
+}
+
+func BenchmarkRepositoryGroupCommit_16QDurable(b *testing.B) {
+	benchmarkGroupCommitThroughput(b, 16, false, false)
+}
+
+func BenchmarkRepositoryGroupCommit_16QDurableGroup(b *testing.B) {
+	benchmarkGroupCommitThroughput(b, 16, false, true)
 }
 
 // --- E11: cancellation primitive ---

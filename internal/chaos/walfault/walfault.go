@@ -1,0 +1,230 @@
+// Package walfault is a crash-fault file layer for the write-ahead log.
+//
+// It implements wal.VFS, interposing on the log's segment writes to model
+// what a real power failure does to an append-only file:
+//
+//   - Data reaches "stable storage" only at Sync. Everything written
+//     after the last Sync is the *unsynced suffix*; a crash may keep any
+//     prefix of it, including a torn final write and corrupted bytes in
+//     partially-written sectors.
+//   - Sync here only advances the durability watermark — no physical
+//     fsync is issued — so torture tests get crash-accurate semantics at
+//     memory speed.
+//
+// A test arms a failure with FailAfterWrites, runs load until the
+// injected failure fires (the log's writer goroutine sees a write error
+// and poisons itself), then calls Crash to materialize a randomly torn
+// post-crash state onto the real files and reopens the log over them.
+// The layer is reusable for anything that writes through wal.VFS —
+// future replica logs and snapshot writers included.
+package walfault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+
+	"repro/internal/wal"
+)
+
+// ErrInjected is the error returned by writes and syncs after the armed
+// failure point has been reached.
+var ErrInjected = errors.New("walfault: injected write failure")
+
+// FS is a crash-fault wal.VFS. All methods are safe for concurrent use;
+// randomness is driven by the seed passed to New, so a failing torture
+// iteration reproduces from its logged seed.
+type FS struct {
+	mu        sync.Mutex
+	rng       *rand.Rand
+	files     map[string]*fileState
+	remaining int  // successful writes left before failure; <0 = disarmed
+	failed    bool // the injected failure has fired
+	writes    int
+	syncs     int
+	crashed   bool
+	dropped   int64 // bytes discarded by Crash
+}
+
+type fileState struct {
+	path   string
+	size   int64 // bytes written through this layer
+	synced int64 // durability watermark: survives Crash intact
+}
+
+// New returns a crash-fault VFS driven by the given seed.
+func New(seed int64) *FS {
+	return &FS{
+		rng:       rand.New(rand.NewSource(seed)),
+		files:     make(map[string]*fileState),
+		remaining: -1,
+	}
+}
+
+// OpenAppend implements wal.VFS. Content already on disk at open time is
+// treated as synced: it survived whatever came before.
+func (fs *FS) OpenAppend(path string) (wal.File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	fs.mu.Lock()
+	st, ok := fs.files[path]
+	if !ok {
+		st = &fileState{path: path, size: fi.Size(), synced: fi.Size()}
+		fs.files[path] = st
+	}
+	fs.mu.Unlock()
+	return &file{fs: fs, f: f, st: st}, nil
+}
+
+// FailAfterWrites arms the injector: the next n Write calls succeed,
+// after which every Write and Sync fails with ErrInjected (the final
+// failing write still lands a random torn prefix, as a dying kernel
+// would).
+func (fs *FS) FailAfterWrites(n int) {
+	fs.mu.Lock()
+	fs.remaining = n
+	fs.mu.Unlock()
+}
+
+// Failed reports whether the armed failure has fired.
+func (fs *FS) Failed() bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.failed
+}
+
+// Writes returns the number of Write calls observed (successful or not).
+func (fs *FS) Writes() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.writes
+}
+
+// DroppedBytes returns how many bytes Crash discarded or corrupted.
+func (fs *FS) DroppedBytes() int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.dropped
+}
+
+// Crash materializes a post-crash state onto the real files: for every
+// file opened through this layer, a random amount of the unsynced suffix
+// is discarded, and with probability 1/2 one byte of a surviving
+// unsynced region is flipped (a torn sector). Synced data is never
+// touched. Call it after the log over this layer has been closed.
+func (fs *FS) Crash() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.crashed = true
+	for _, st := range fs.files {
+		fi, err := os.Stat(st.path)
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue // retired by TruncateBefore
+			}
+			return fmt.Errorf("walfault: crash stat: %w", err)
+		}
+		size := fi.Size()
+		if size < st.synced {
+			return fmt.Errorf("walfault: %s shrank below its synced watermark (%d < %d)",
+				st.path, size, st.synced)
+		}
+		unsynced := size - st.synced
+		if unsynced == 0 {
+			continue
+		}
+		keep := st.synced + fs.rng.Int63n(unsynced+1)
+		if err := os.Truncate(st.path, keep); err != nil {
+			return fmt.Errorf("walfault: crash truncate: %w", err)
+		}
+		fs.dropped += size - keep
+		if surviving := keep - st.synced; surviving > 0 && fs.rng.Intn(2) == 0 {
+			off := st.synced + fs.rng.Int63n(surviving)
+			if err := flipByte(st.path, off); err != nil {
+				return err
+			}
+			fs.dropped++
+		}
+	}
+	return nil
+}
+
+func flipByte(path string, off int64) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("walfault: corrupt open: %w", err)
+	}
+	defer f.Close()
+	b := make([]byte, 1)
+	if _, err := f.ReadAt(b, off); err != nil {
+		return fmt.Errorf("walfault: corrupt read: %w", err)
+	}
+	b[0] ^= 0xff
+	if _, err := f.WriteAt(b, off); err != nil {
+		return fmt.Errorf("walfault: corrupt write: %w", err)
+	}
+	return nil
+}
+
+// file is one append handle over the real file.
+type file struct {
+	fs *FS
+	f  *os.File
+	st *fileState
+}
+
+func (w *file) Write(p []byte) (int, error) {
+	w.fs.mu.Lock()
+	w.fs.writes++
+	if w.fs.failed {
+		w.fs.mu.Unlock()
+		return 0, ErrInjected
+	}
+	if w.fs.remaining == 0 {
+		// The failure point: the write that was in flight when the
+		// machine died may have landed any prefix.
+		w.fs.failed = true
+		torn := w.fs.rng.Intn(len(p) + 1)
+		w.fs.mu.Unlock()
+		n, _ := w.f.Write(p[:torn])
+		w.fs.mu.Lock()
+		w.st.size += int64(n)
+		w.fs.mu.Unlock()
+		return n, ErrInjected
+	}
+	if w.fs.remaining > 0 {
+		w.fs.remaining--
+	}
+	w.fs.mu.Unlock()
+	n, err := w.f.Write(p)
+	w.fs.mu.Lock()
+	w.st.size += int64(n)
+	w.fs.mu.Unlock()
+	return n, err
+}
+
+// Sync advances the durability watermark without a physical fsync: from
+// here on, Crash preserves everything written so far.
+func (w *file) Sync() error {
+	w.fs.mu.Lock()
+	defer w.fs.mu.Unlock()
+	w.fs.syncs++
+	if w.fs.failed {
+		return ErrInjected
+	}
+	w.st.synced = w.st.size
+	return nil
+}
+
+func (w *file) Close() error { return w.f.Close() }
+
+var _ wal.VFS = (*FS)(nil)

@@ -1,0 +1,126 @@
+package walfault
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/wal"
+)
+
+// TestAckedPrefixSurvivesCrash drives the group-commit log directly over
+// the fault layer across many seeds: every LSN whose SyncTo returned must
+// be readable after a materialized crash, and the recovered log must be a
+// clean record sequence (torn suffixes truncated, never surfaced).
+func TestAckedPrefixSurvivesCrash(t *testing.T) {
+	for seed := int64(1); seed <= 40; seed++ {
+		dir := t.TempDir()
+		fs := New(seed)
+		l, err := wal.Open(dir, wal.Options{Sync: wal.SyncGroup, FS: fs, SegmentSize: 512})
+		if err != nil {
+			t.Fatalf("seed %d: open: %v", seed, err)
+		}
+		fs.FailAfterWrites(int(seed % 7))
+		var acked wal.LSN
+		for i := 0; ; i++ {
+			lsn, err := l.Append(1, []byte(fmt.Sprintf("record-%d", i)))
+			if err == nil {
+				err = l.SyncTo(lsn)
+			}
+			if err != nil {
+				if !errors.Is(err, ErrInjected) {
+					t.Fatalf("seed %d: unexpected error class: %v", seed, err)
+				}
+				break
+			}
+			acked = lsn
+		}
+		l.Close()
+		if err := fs.Crash(); err != nil {
+			t.Fatalf("seed %d: crash: %v", seed, err)
+		}
+
+		l2, err := wal.Open(dir, wal.Options{NoFsync: true})
+		if err != nil {
+			t.Fatalf("seed %d: recovery open: %v", seed, err)
+		}
+		recs, err := l2.ReadFrom(1)
+		if err != nil {
+			t.Fatalf("seed %d: recovery read: %v", seed, err)
+		}
+		l2.Close()
+		var last wal.LSN
+		for i, r := range recs {
+			if r.LSN != wal.LSN(i+1) {
+				t.Fatalf("seed %d: recovered sequence has a hole at %d (lsn %d)", seed, i, r.LSN)
+			}
+			last = r.LSN
+		}
+		if last < acked {
+			t.Fatalf("seed %d: acked lsn %d lost; recovered through %d", seed, acked, last)
+		}
+	}
+}
+
+// TestSyncIsTheWatermark pins the layer's core semantic: unsynced bytes
+// are fair game for Crash, synced bytes are untouchable.
+func TestSyncIsTheWatermark(t *testing.T) {
+	dir := t.TempDir()
+	fs := New(7)
+	l, err := wal.Open(dir, wal.Options{Sync: wal.SyncGroup, FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn, err := l.Append(1, []byte("synced"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.SyncTo(lsn); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	if err := fs.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := wal.Open(dir, wal.Options{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	recs, err := l2.ReadFrom(1)
+	if err != nil || len(recs) != 1 || string(recs[0].Payload) != "synced" {
+		t.Fatalf("synced record damaged by crash: %d recs, %v", len(recs), err)
+	}
+}
+
+// TestFailAfterWritesFails pins the injection mechanics: after the armed
+// count, writes and syncs report ErrInjected and Failed flips.
+func TestFailAfterWritesFails(t *testing.T) {
+	dir := t.TempDir()
+	fs := New(3)
+	f, err := fs.OpenAppend(dir + "/seg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.FailAfterWrites(2)
+	for i := 0; i < 2; i++ {
+		if _, err := f.Write([]byte("ok")); err != nil {
+			t.Fatalf("write %d failed early: %v", i, err)
+		}
+	}
+	if fs.Failed() {
+		t.Fatal("failed before the armed count")
+	}
+	if _, err := f.Write([]byte("boom")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("armed write: %v", err)
+	}
+	if !fs.Failed() {
+		t.Fatal("Failed() still false after injection")
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync after failure: %v", err)
+	}
+	if fs.Writes() != 3 {
+		t.Fatalf("writes = %d, want 3", fs.Writes())
+	}
+}

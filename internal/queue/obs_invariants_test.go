@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -44,6 +45,13 @@ func gaugeOf(s obs.Snapshot, name string, labels ...string) int64 {
 
 func counterOf(s obs.Snapshot, name string, labels ...string) uint64 {
 	return s.Counters[obs.Name(name, labels...)]
+}
+
+// histDelta returns the count and sum a histogram gained between two
+// snapshots.
+func histDelta(base, end obs.Snapshot, name string) (uint64, uint64) {
+	b, e := base.Histograms[name], end.Histograms[name]
+	return e.Count - b.Count, e.Sum - b.Sum
 }
 
 // runObsWorkload drives workers through randomized transactional
@@ -176,6 +184,23 @@ func TestObsConservationAcrossRecovery(t *testing.T) {
 			t.Fatalf("cycle %d: workload appended nothing", cycle)
 		}
 
+		// Group-commit conservation: at rest every appended record has
+		// been flushed by the writer in exactly one batch, so the batch
+		// sizes sum to the appends; each batch was one flush; and every
+		// flush carried at least its one fsync.
+		gsCount, gsSum := histDelta(base, end, "wal.group_size")
+		dFlushes := obs.CounterDelta(base, end, "wal.group_flushes")
+		if gsSum != dAppends {
+			t.Fatalf("cycle %d: Σ wal.group_size %d != wal.appends %d (staged records leaked or double-flushed)",
+				cycle, gsSum, dAppends)
+		}
+		if gsCount != dFlushes {
+			t.Fatalf("cycle %d: wal.group_size count %d != wal.group_flushes %d", cycle, gsCount, dFlushes)
+		}
+		if dFsyncs < dFlushes {
+			t.Fatalf("cycle %d: wal.fsyncs %d < wal.group_flushes %d", cycle, dFsyncs, dFlushes)
+		}
+
 		r = obsReopen(t, r, dir)
 	}
 
@@ -193,6 +218,60 @@ func TestObsConservationAcrossRecovery(t *testing.T) {
 		if g := gaugeOf(final, "queue.depth", "queue", q); g != netFlow[q] {
 			t.Fatalf("queue %s: final depth gauge %d != Σ net flow %d", q, g, netFlow[q])
 		}
+	}
+}
+
+// TestObsFsyncsPerCommitUnderGroupCommit is the point of group commit,
+// stated as a metric invariant: with concurrent committers and a batching
+// window, the writer must acknowledge strictly more commits than it
+// issues fsyncs — here at least two commits per fsync.
+func TestObsFsyncsPerCommitUnderGroupCommit(t *testing.T) {
+	dir := t.TempDir()
+	r, _, err := Open(dir, Options{
+		NoFsync:             true,
+		GroupCommit:         true,
+		GroupCommitMaxDelay: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { r.Close() })
+	mustCreate(t, r, QueueConfig{Name: "q"})
+
+	base := r.Metrics().Snapshot()
+	const workers, perWorker = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				tx := r.Begin()
+				if _, err := r.Enqueue(tx, "q", Element{Body: []byte(fmt.Sprintf("w%d-%d", w, i))}, "", nil); err != nil {
+					t.Errorf("enqueue: %v", err)
+					tx.Abort()
+					return
+				}
+				if err := tx.Commit(); err != nil {
+					t.Errorf("commit: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	end := r.Metrics().Snapshot()
+
+	dCommitted := obs.CounterDelta(base, end, "txn.committed")
+	dFsyncs := obs.CounterDelta(base, end, "wal.fsyncs")
+	if dCommitted != workers*perWorker {
+		t.Fatalf("committed = %d, want %d", dCommitted, workers*perWorker)
+	}
+	if dFsyncs*2 > dCommitted {
+		t.Fatalf("fsyncs-per-commit = %d/%d, want < 1/2 (group commit not batching)", dFsyncs, dCommitted)
+	}
+	if _, sum := histDelta(base, end, "wal.group_wait_ns"); sum == 0 {
+		t.Fatal("wal.group_wait_ns never observed a force wait")
 	}
 }
 

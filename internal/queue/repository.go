@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/enc"
 	"repro/internal/lock"
@@ -72,8 +73,21 @@ type Options struct {
 	SegmentSize int64
 	// GroupCommit batches concurrent commits' fsyncs into one (the
 	// classic group-commit optimization); durability is unchanged — a
-	// commit still returns only after its record is on disk.
+	// commit still returns only after its record is on disk. It also
+	// enables commit pipelining: locks release once the commit record is
+	// staged with the log writer, before the batched fsync completes.
 	GroupCommit bool
+	// GroupCommitMaxDelay / GroupCommitMaxBatchBytes / GroupCommitMaxWaiters
+	// tune the group-commit writer's batching window; see
+	// wal.GroupCommitConfig. Zero values mean flush as soon as the writer
+	// is free. Ignored unless GroupCommit is set.
+	GroupCommitMaxDelay      time.Duration
+	GroupCommitMaxBatchBytes int
+	GroupCommitMaxWaiters    int
+	// WALFS, when non-nil, supplies the WAL's segment files; crash tests
+	// interpose a fault layer (internal/chaos/walfault) here. nil means
+	// the real filesystem.
+	WALFS wal.VFS
 	// Metrics, when non-nil, is the registry all layers (WAL, lock, txn,
 	// queue) record into. When nil the repository creates a private one,
 	// retrievable via Metrics().
@@ -155,9 +169,15 @@ func Open(dir string, opts Options) (*Repository, []txn.InDoubt, error) {
 		NoFsync:     opts.NoFsync,
 		SegmentSize: opts.SegmentSize,
 		Metrics:     reg,
+		FS:          opts.WALFS,
 	}
 	if opts.GroupCommit {
 		walOpts.Sync = wal.SyncGroup
+		walOpts.GroupCommit = wal.GroupCommitConfig{
+			MaxDelay:      opts.GroupCommitMaxDelay,
+			MaxBatchBytes: opts.GroupCommitMaxBatchBytes,
+			MaxWaiters:    opts.GroupCommitMaxWaiters,
+		}
 	}
 	log, err := wal.Open(filepath.Join(dir, "wal"), walOpts)
 	if err != nil {

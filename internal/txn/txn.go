@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/enc"
@@ -68,6 +69,12 @@ func (s State) String() string {
 	}
 }
 
+// encBufPool recycles commit-record encode buffers. The payload handed to
+// wal.Append is consumed before Append returns (copied into the staged
+// batch under SyncGroup, written to the segment otherwise), so the buffer
+// can go straight back to the pool.
+var encBufPool = sync.Pool{New: func() any { return enc.NewBuffer(256) }}
+
 // Errors returned by the transaction manager.
 var (
 	// ErrNotActive reports an operation on a transaction that has left the
@@ -112,10 +119,15 @@ type Manager struct {
 	log   *wal.Log
 	locks *lock.Manager
 
-	mu     sync.Mutex
-	nextID uint64
-	active map[uint64]*Txn
-	rms    map[string]ResourceManager
+	mu  sync.Mutex
+	rms map[string]ResourceManager
+
+	// nextID and the active-transaction table are on every Begin/finish;
+	// the table is striped by id so concurrent committers do not
+	// serialize on one mutex (the map is bookkeeping for prepared-txn
+	// scans and recovery, never a cross-transaction ordering point).
+	nextID  atomic.Uint64
+	stripes [activeStripes]txnStripe
 
 	// commitGate serializes commits against snapshotting: commits hold it
 	// shared, snapshot serialization holds it exclusively so a snapshot
@@ -152,11 +164,9 @@ func NewManagerWith(log *wal.Log, lm *lock.Manager, reg *obs.Registry) *Manager 
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
-	return &Manager{
+	m := &Manager{
 		log:          log,
 		locks:        lm,
-		nextID:       1,
-		active:       make(map[uint64]*Txn),
 		rms:          make(map[string]ResourceManager),
 		mBegun:       reg.Counter("txn.begun"),
 		mCommitted:   reg.Counter("txn.committed"),
@@ -165,6 +175,40 @@ func NewManagerWith(log *wal.Log, lm *lock.Manager, reg *obs.Registry) *Manager 
 		mActive:      reg.Gauge("txn.active"),
 		mCommitNanos: reg.Histogram("txn.commit_ns"),
 		mPrepNanos:   reg.Histogram("txn.prepare_ns"),
+	}
+	m.nextID.Store(1)
+	for i := range m.stripes {
+		m.stripes[i].txns = make(map[uint64]*Txn)
+	}
+	return m
+}
+
+// activeStripes is the stripe count of the active-transaction table; a
+// small power of two comfortably above typical committer concurrency.
+const activeStripes = 16
+
+type txnStripe struct {
+	mu   sync.Mutex
+	txns map[uint64]*Txn
+	// pad spaces stripes a cache line apart so neighboring stripes'
+	// mutexes do not false-share.
+	_ [40]byte
+}
+
+func (m *Manager) stripe(id uint64) *txnStripe {
+	return &m.stripes[id%activeStripes]
+}
+
+// eachActive calls f on every live transaction, one stripe at a time.
+// Cold-path only (prepared scans, recovery checks).
+func (m *Manager) eachActive(f func(*Txn)) {
+	for i := range m.stripes {
+		s := &m.stripes[i]
+		s.mu.Lock()
+		for _, t := range s.txns {
+			f(t)
+		}
+		s.mu.Unlock()
 	}
 }
 
@@ -188,17 +232,16 @@ func (m *Manager) Log() *wal.Log { return m.log }
 // NextID returns the next transaction id that will be assigned. Snapshots
 // persist it so ids never repeat across restarts.
 func (m *Manager) NextID() uint64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.nextID
+	return m.nextID.Load()
 }
 
 // SetNextID raises the next transaction id; used when loading a snapshot.
 func (m *Manager) SetNextID(id uint64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if id > m.nextID {
-		m.nextID = id
+	for {
+		cur := m.nextID.Load()
+		if id <= cur || m.nextID.CompareAndSwap(cur, id) {
+			return
+		}
 	}
 }
 
@@ -209,12 +252,12 @@ func (m *Manager) Stats() (commits, aborts uint64) {
 
 // Begin starts a transaction.
 func (m *Manager) Begin() *Txn {
-	m.mu.Lock()
-	id := m.nextID
-	m.nextID++
+	id := m.nextID.Add(1) - 1
 	t := &Txn{m: m, id: id, state: Active}
-	m.active[id] = t
-	m.mu.Unlock()
+	s := m.stripe(id)
+	s.mu.Lock()
+	s.txns[id] = t
+	s.mu.Unlock()
 	m.mBegun.Inc()
 	m.mActive.Add(1)
 	return t
@@ -369,6 +412,17 @@ func decodeOps(r *enc.Reader) (id uint64, ops []Op, err error) {
 // Commit makes the transaction durable and visible: its redo ops are
 // written as one log record, commit hooks run, and all locks release. A
 // doomed transaction rolls back and reports ErrDoomed.
+//
+// When the log runs a group-commit writer (wal.SyncGroup), the commit is
+// *pipelined*: Append stages the record and returns a durable-LSN
+// promise, after which effects become visible and every lock releases —
+// the force wait happens at the very end, outside all locks, so the lock
+// hold time no longer includes the fsync. Early release is safe because
+// log order equals LSN order: any transaction that reads this one's
+// effects commits at a later LSN, so a crash can never preserve the
+// reader's commit while losing this one. Commit still returns only after
+// the record is durable — the recoverable-request contract is about the
+// acknowledgement, and the acknowledgement waits.
 func (t *Txn) Commit() error {
 	start := time.Now()
 	t.doomMu.Lock()
@@ -383,19 +437,22 @@ func (t *Txn) Commit() error {
 		return fmt.Errorf("txn %d: %w", t.id, ErrDoomed)
 	}
 	sp, traced := t.m.tracer.Begin(t.traceRef, "txn.commit")
+	pipelined := t.m.log.Pipelined()
 	var logNS int64
 	t.m.commitGate.RLock()
 	if len(t.ops) > 0 {
-		b := enc.NewBuffer(64)
+		b := encBufPool.Get().(*enc.Buffer)
+		b.Reset()
 		encodeOps(b, t.id, t.ops)
 		var logStart time.Time
 		if traced {
 			logStart = time.Now()
 		}
 		lsn, err := t.m.log.Append(recCommit, b.Bytes())
-		if err == nil {
-			// Under group commit the append is not yet durable; wait for
-			// (or lead) the batched fsync. A no-op under SyncAlways.
+		encBufPool.Put(b)
+		if err == nil && !pipelined {
+			// Non-pipelined group policies wait for (or lead) the batched
+			// fsync here, before visibility. A no-op under SyncAlways.
 			err = t.m.log.SyncTo(lsn)
 		}
 		if traced {
@@ -428,6 +485,19 @@ func (t *Txn) Commit() error {
 		t.m.tracer.Finish(&sp)
 	}
 	t.finish(true)
+	if pipelined && t.commitLSN != 0 {
+		// The pipelined force wait: effects are visible and locks are
+		// released; block only on the writer's force-completion
+		// notification before acknowledging. On failure the log has
+		// poisoned itself (sticky writer error — no later append can
+		// succeed either), so the already-visible effects can never be
+		// contradicted by a post-crash state that lost them and kept
+		// something later.
+		if err := t.m.log.SyncTo(t.commitLSN); err != nil {
+			t.m.mCommitNanos.Observe(time.Since(start).Nanoseconds())
+			return fmt.Errorf("txn %d: commit force: %w", t.id, err)
+		}
+	}
 	t.m.mCommitNanos.Observe(time.Since(start).Nanoseconds())
 	return nil
 }
@@ -462,9 +532,10 @@ func (t *Txn) rollback() {
 
 func (t *Txn) finish(committed bool) {
 	t.m.locks.ReleaseAll(t.id)
-	t.m.mu.Lock()
-	delete(t.m.active, t.id)
-	t.m.mu.Unlock()
+	s := t.m.stripe(t.id)
+	s.mu.Lock()
+	delete(s.txns, t.id)
+	s.mu.Unlock()
 	if committed {
 		t.m.mCommitted.Inc()
 	} else {
@@ -526,14 +597,12 @@ func (t *Txn) Prepare(coordinator string) error {
 // segments at or after this LSN, or recovery would lose an in-doubt
 // transaction.
 func (m *Manager) OldestPrepareLSN() wal.LSN {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	var oldest wal.LSN
-	for _, t := range m.active {
+	m.eachActive(func(t *Txn) {
 		if t.state == Prepared && t.prepareLSN != 0 && (oldest == 0 || t.prepareLSN < oldest) {
 			oldest = t.prepareLSN
 		}
-	}
+	})
 	return oldest
 }
 
@@ -697,11 +766,7 @@ func (m *Manager) Recover(snapLSN wal.LSN) ([]InDoubt, error) {
 		}
 	}
 
-	m.mu.Lock()
-	if maxID >= m.nextID {
-		m.nextID = maxID + 1
-	}
-	m.mu.Unlock()
+	m.SetNextID(maxID + 1)
 
 	var out []InDoubt
 	for _, id := range order {
@@ -722,9 +787,10 @@ func (m *Manager) Recover(snapLSN wal.LSN) ([]InDoubt, error) {
 		t.ops = p.ops
 		t.prepareLSN = p.lsn
 		t.state = Prepared
-		m.mu.Lock()
-		m.active[id] = t
-		m.mu.Unlock()
+		s := m.stripe(id)
+		s.mu.Lock()
+		s.txns[id] = t
+		s.mu.Unlock()
 		// Reinstated in-doubt txns count as begun again in this incarnation
 		// so the conservation law begun == committed+aborted+active holds
 		// across restarts.

@@ -1,0 +1,357 @@
+package wal
+
+// Group commit via a dedicated log-writer goroutine.
+//
+// Under SyncPolicy SyncGroup, Append does not touch the segment file at
+// all: it encodes the frame, assigns the LSN, and stages the bytes on an
+// in-memory list — a *durable-LSN promise*: the record WILL reach stable
+// storage at that LSN, in order, or the log will report a sticky failure.
+// A single writer goroutine drains the staged list, coalesces every
+// staged frame into one write syscall plus one fsync (rotating segments
+// as it goes), advances syncedLSN, and wakes the committers blocked in
+// SyncTo. Concurrent committers from different queue shards therefore
+// share fsyncs: while the writer is forcing batch N, new commits stage
+// batch N+1, so the fsync rate is bounded by disk latency rather than by
+// the commit rate (classic group commit).
+//
+// The commit protocol built on top (internal/txn) releases transaction
+// locks as soon as the commit record is staged, blocking only on the
+// force-completion notification — see DESIGN.md "Group commit & commit
+// pipelining" for why early release is safe: log order equals LSN order,
+// so any transaction that observed this one's effects commits at a later
+// LSN and can never survive a crash this one did not.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// GroupCommitConfig tunes the group-commit writer (SyncPolicy SyncGroup).
+// The zero value is a sensible default: flush as soon as the writer is
+// free (natural batching — commits arriving during an fsync form the next
+// batch), with a 1 MiB batch cap.
+type GroupCommitConfig struct {
+	// MaxDelay, when positive, is a deliberate batching window: after the
+	// first record of a batch is staged the writer waits up to MaxDelay
+	// for more committers before forcing, trading commit latency for
+	// larger batches (fewer fsyncs). Zero disables the window.
+	MaxDelay time.Duration
+	// MaxBatchBytes forces a flush once this many bytes are staged,
+	// cutting a MaxDelay window short. Zero means 1 MiB.
+	MaxBatchBytes int
+	// MaxWaiters, when positive, cuts a MaxDelay window short once this
+	// many committers are blocked in SyncTo — everyone who will join the
+	// batch has arrived, so waiting longer only adds latency.
+	MaxWaiters int
+}
+
+const defaultMaxBatchBytes = 1 << 20
+
+func (c GroupCommitConfig) maxBatchBytes() int {
+	if c.MaxBatchBytes > 0 {
+		return c.MaxBatchBytes
+	}
+	return defaultMaxBatchBytes
+}
+
+// VFS abstracts creation of append-mode segment files so tests can
+// interpose crash-fault layers under the log (torn tail writes, dropped
+// unsynced data — see internal/chaos/walfault). Only the write path is
+// virtualized: recovery reads, truncation, and removal act on the real
+// files, which a fault layer mutates in place to simulate a crash.
+type VFS interface {
+	// OpenAppend opens (creating if needed) path for appending.
+	OpenAppend(path string) (File, error)
+}
+
+// File is a writable segment file handle.
+type File interface {
+	io.Writer
+	// Sync forces written data to stable storage.
+	Sync() error
+	// Close closes the handle.
+	Close() error
+}
+
+// osVFS is the default VFS over the real filesystem.
+type osVFS struct{}
+
+func (osVFS) OpenAppend(path string) (File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+// stageLocked is Append under SyncGroup: encode, assign the LSN, stage
+// the frame for the writer, and return the durable-LSN promise. Caller
+// holds l.mu.
+func (l *Log) stageLocked(typ uint8, payload []byte) (LSN, error) {
+	if l.writerErr != nil {
+		return 0, fmt.Errorf("wal: append after writer failure: %w", l.writerErr)
+	}
+	lsn := l.nextLSN
+	if len(l.stagedEnds) == 0 {
+		l.stagedFirst = lsn
+	}
+	l.staged = appendFrame(l.staged, lsn, typ, payload)
+	l.stagedEnds = append(l.stagedEnds, len(l.staged))
+	l.nextLSN++
+	l.mAppends.Inc()
+	l.mAppendBytes.Add(uint64(headerSize + len(payload) + trailerSize))
+	l.writerCond.Signal()
+	return lsn, nil
+}
+
+// appendFrame appends one framed record (header + payload + CRC) to buf.
+func appendFrame(buf []byte, lsn LSN, typ uint8, payload []byte) []byte {
+	start := len(buf)
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(lsn))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(payload)))
+	hdr[12] = typ
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, payload...)
+	var tr [trailerSize]byte
+	binary.LittleEndian.PutUint32(tr[:], crc32.Checksum(buf[start:], castagnoli))
+	return append(buf, tr[:]...)
+}
+
+// encodeFrame builds one framed record as a fresh slice (non-group path).
+func encodeFrame(lsn LSN, typ uint8, payload []byte) []byte {
+	return appendFrame(make([]byte, 0, headerSize+len(payload)+trailerSize), lsn, typ, payload)
+}
+
+// syncToGroup is SyncTo under SyncGroup: block until the writer reports
+// every record up to lsn durable. Caller holds l.mu (released via the
+// cond while parked). The wait is the commit-pipelining force window and
+// is observed as wal.group_wait_ns.
+func (l *Log) syncToGroup(lsn LSN) error {
+	var waitStart time.Time
+	for l.syncedLSN < lsn {
+		if l.writerErr != nil {
+			return fmt.Errorf("wal: group sync: %w", l.writerErr)
+		}
+		if l.closed {
+			return ErrClosed
+		}
+		// Inline force: with no flush in flight and no deliberate batching
+		// window, flush the staged batch ourselves instead of handing off
+		// to the writer — the uncontended commit then never parks, saving
+		// two context switches. Under load the flushing flag is set and
+		// committers park as usual, forming the next batch.
+		if !l.flushing && !l.closing && l.gc.MaxDelay == 0 && len(l.stagedEnds) > 0 {
+			l.flushStagedLocked()
+			continue
+		}
+		if waitStart.IsZero() {
+			waitStart = time.Now()
+		}
+		l.syncWaiters++
+		l.writerCond.Signal() // a waiter may cut the batch window short
+		l.syncCond.Wait()
+		l.syncWaiters--
+	}
+	if !waitStart.IsZero() {
+		l.mGroupWait.Observe(time.Since(waitStart).Nanoseconds())
+	}
+	return nil
+}
+
+// drainGroupLocked blocks until everything staged so far is flushed (or
+// the writer has failed, in which case what is on disk is all there will
+// ever be). Caller holds l.mu. Used by ReadFrom and Sync.
+func (l *Log) drainGroupLocked() {
+	target := l.nextLSN - 1
+	for l.syncedLSN < target && l.writerErr == nil && !l.closed {
+		l.syncWaiters++
+		l.writerCond.Signal()
+		l.syncCond.Wait()
+		l.syncWaiters--
+	}
+}
+
+// writerLoop is the dedicated log writer: appends only stage, and the
+// flushing flag hands the segment file to exactly one flusher at a time
+// (this goroutine, or a committer on the inline-force path), so writes
+// and fsyncs happen entirely outside l.mu and commits keep staging while
+// a force is in flight.
+func (l *Log) writerLoop() {
+	defer close(l.writerDone)
+	l.mu.Lock()
+	for {
+		for (len(l.stagedEnds) == 0 || l.flushing) && !l.closing {
+			l.writerCond.Wait()
+		}
+		if l.flushing { // closing, but a committer owns the file: wait it out
+			l.writerCond.Wait()
+			continue
+		}
+		if len(l.stagedEnds) == 0 { // closing and fully drained
+			l.mu.Unlock()
+			return
+		}
+		if l.writerErr != nil {
+			// The log is broken: staged frames can never become durable.
+			// Fail their committers and wait for Close.
+			l.staged, l.stagedEnds = l.staged[:0], l.stagedEnds[:0]
+			l.syncCond.Broadcast()
+			continue
+		}
+		if d := l.gc.MaxDelay; d > 0 && !l.closing {
+			l.waitBatchWindowLocked(d)
+		}
+		l.flushStagedLocked()
+	}
+}
+
+// flushStagedLocked takes the staged batch (swapping the staging buffers
+// with the spares so new commits keep staging), flushes it with l.mu
+// released, and publishes the result. The flushing flag grants exclusive
+// ownership of the segment file for the duration; it is set and cleared
+// under l.mu, so the writer and an inline-forcing committer never flush
+// concurrently. Caller holds l.mu with flushing unset and at least one
+// staged frame; l.mu is held again on return.
+func (l *Log) flushStagedLocked() {
+	batch, ends, first := l.staged, l.stagedEnds, l.stagedFirst
+	l.staged, l.stagedEnds = l.spare[:0], l.spareEnds[:0]
+	l.spare, l.spareEnds = batch, ends
+	target := first + LSN(len(ends)) - 1
+	l.flushing = true
+	l.mu.Unlock()
+
+	err := l.flushBatch(batch, ends, first)
+
+	l.mu.Lock()
+	l.flushing = false
+	if err != nil {
+		l.writerErr = err
+	} else {
+		l.syncedLSN = target
+		l.mGroupSize.Observe(int64(len(ends)))
+		l.mGroupFlushes.Inc()
+	}
+	l.writerCond.Signal() // more may have staged, or Close may be waiting
+	l.syncCond.Broadcast()
+}
+
+// waitBatchWindowLocked parks the writer for up to max after the first
+// record of a batch, letting more committers join; it is cut short when
+// the staged bytes hit MaxBatchBytes, when MaxWaiters committers are
+// blocked, or at close. Caller holds l.mu.
+func (l *Log) waitBatchWindowLocked(max time.Duration) {
+	expired := false
+	tm := time.AfterFunc(max, func() {
+		l.mu.Lock()
+		expired = true
+		l.writerCond.Signal()
+		l.mu.Unlock()
+	})
+	for !expired && !l.closing && l.writerErr == nil &&
+		len(l.staged) < l.gc.maxBatchBytes() &&
+		!(l.gc.MaxWaiters > 0 && l.syncWaiters >= l.gc.MaxWaiters) {
+		l.writerCond.Wait()
+	}
+	tm.Stop()
+}
+
+// flushBatch writes a batch of staged frames with the minimum number of
+// write syscalls (one per segment touched) and exactly one fsync at the
+// end; segment rotation inside a batch adds one fsync per retired
+// segment, which is then complete and immutable. Runs with no locks held
+// except for the brief segment-list update inside rotateGroup. The batch
+// is already contiguous (frames buf[off:ends[0]], buf[ends[0]:ends[1]],
+// …), so the common no-rotation case is exactly one Write of buf.
+func (l *Log) flushBatch(buf []byte, ends []int, first LSN) error {
+	off := 0
+	for i := 0; i < len(ends); {
+		if l.activeSz >= l.opts.SegmentSize {
+			if err := l.rotateGroup(first + LSN(i)); err != nil {
+				return err
+			}
+		}
+		// Extend the chunk while the next frame would still start below
+		// the rotation threshold — the same per-record check the
+		// non-group append path applies.
+		j := i + 1
+		for j < len(ends) && l.activeSz+int64(ends[j-1]-off) < l.opts.SegmentSize {
+			j++
+		}
+		n, err := l.active.Write(buf[off:ends[j-1]])
+		l.activeSz += int64(n)
+		if err != nil {
+			return fmt.Errorf("wal: group append: %w", err)
+		}
+		off = ends[j-1]
+		i = j
+	}
+	l.mFsyncs.Inc()
+	if l.opts.NoFsync {
+		if l.testSyncDelay > 0 {
+			time.Sleep(l.testSyncDelay)
+		}
+		return nil
+	}
+	start := time.Now()
+	if err := l.active.Sync(); err != nil {
+		return fmt.Errorf("wal: group sync: %w", err)
+	}
+	l.mFsyncNanos.Observe(time.Since(start).Nanoseconds())
+	return nil
+}
+
+// rotateGroup retires the active segment (forcing it first, so rotated
+// segments are always fully durable and TruncateBefore can drop them
+// without a second look) and opens a new one whose first record will be
+// firstLSN. Only the writer calls it; l.mu is taken just for the segment
+// list update.
+func (l *Log) rotateGroup(firstLSN LSN) error {
+	l.mFsyncs.Inc()
+	if !l.opts.NoFsync {
+		if err := l.active.Sync(); err != nil {
+			return fmt.Errorf("wal: rotate sync: %w", err)
+		}
+	}
+	if err := l.active.Close(); err != nil {
+		return fmt.Errorf("wal: rotate close: %w", err)
+	}
+	path := filepath.Join(l.dir, segName(firstLSN))
+	f, err := l.fs.OpenAppend(path)
+	if err != nil {
+		return fmt.Errorf("wal: rotate open: %w", err)
+	}
+	l.mu.Lock()
+	l.segments = append(l.segments, segmentInfo{first: firstLSN, path: path})
+	l.mu.Unlock()
+	l.active = f
+	l.activeSz = 0
+	l.firstLSN = firstLSN
+	l.mRotations.Inc()
+	return nil
+}
+
+// closeGroup shuts the group-commit log down: stop accepting appends,
+// let the writer drain what is staged (committers already promised those
+// LSNs), then close the file and wake everyone still parked.
+func (l *Log) closeGroup() error {
+	if l.closing { // concurrent Close already driving the shutdown
+		l.mu.Unlock()
+		<-l.writerDone
+		return nil
+	}
+	l.closing = true
+	l.writerCond.Broadcast()
+	l.mu.Unlock()
+	<-l.writerDone
+	l.mu.Lock()
+	l.closed = true
+	err := l.writerErr
+	if cerr := l.active.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	l.syncCond.Broadcast()
+	l.mu.Unlock()
+	return err
+}

@@ -82,9 +82,17 @@ type Options struct {
 	// set it.
 	NoFsync bool
 	// Metrics receives the log's instruments (wal.appends, wal.append_bytes,
-	// wal.fsyncs, wal.fsync_ns, wal.group_commit_batch, wal.rotations). Nil
-	// gives the log a private registry, so instrumentation is always live.
+	// wal.fsyncs, wal.fsync_ns, wal.group_commit_batch, wal.group_size,
+	// wal.group_wait_ns, wal.group_flushes, wal.rotations). Nil gives the
+	// log a private registry, so instrumentation is always live.
 	Metrics *obs.Registry
+	// GroupCommit tunes the log-writer goroutine used under SyncGroup; see
+	// GroupCommitConfig. Ignored under other policies.
+	GroupCommit GroupCommitConfig
+	// FS, when non-nil, supplies segment files for the write path. Tests
+	// use it to interpose crash-fault layers (internal/chaos/walfault);
+	// nil means the real filesystem.
+	FS VFS
 }
 
 const (
@@ -110,10 +118,12 @@ var (
 type Log struct {
 	dir  string
 	opts Options
+	fs   VFS
+	gc   GroupCommitConfig
 
 	mu       sync.Mutex
 	closed   bool
-	active   *os.File
+	active   File
 	activeSz int64
 	firstLSN LSN // first LSN of the active segment
 	nextLSN  LSN
@@ -127,18 +137,45 @@ type Log struct {
 	syncing   bool
 	syncCond  *sync.Cond
 
+	// Log-writer state (SyncGroup only). Appends stage frames under mu;
+	// the writer goroutine (or a committer on the inline-force path)
+	// drains them. Whoever sets flushing owns active, activeSz, and
+	// firstLSN exclusively until it clears the flag — no other path
+	// touches them under SyncGroup between Open and Close. writerErr is
+	// sticky: once a flush fails, the promise of already-assigned LSNs
+	// cannot be kept and the log refuses further appends.
+	// Staged frames live contiguously in staged (one encoded frame after
+	// another); stagedEnds[i] is the end offset of frame i and stagedFirst
+	// the LSN of frame 0. The writer swaps the buffers with spare/spareEnds
+	// when it takes a batch, so steady state stages and flushes with zero
+	// per-record allocation and writes each batch with one syscall.
+	staged      []byte
+	stagedEnds  []int
+	stagedFirst LSN
+	spare       []byte
+	spareEnds   []int
+	writerCond  *sync.Cond // wakes the writer (work or close)
+	syncWaiters int        // committers parked in SyncTo
+	flushing    bool       // a batch flush is in flight (file owned by the flusher)
+	writerErr   error
+	closing     bool
+	writerDone  chan struct{}
+
 	// testSyncDelay simulates fsync latency when NoFsync is set, so tests
 	// can observe group-commit batching deterministically.
 	testSyncDelay time.Duration
 
 	// Instruments, resolved once at Open (obs hot-path contract). appends
 	// and syncs also back the Stats API.
-	mAppends     *obs.Counter
-	mAppendBytes *obs.Counter
-	mFsyncs      *obs.Counter
-	mFsyncNanos  *obs.Histogram
-	mGroupBatch  *obs.Histogram
-	mRotations   *obs.Counter
+	mAppends      *obs.Counter
+	mAppendBytes  *obs.Counter
+	mFsyncs       *obs.Counter
+	mFsyncNanos   *obs.Histogram
+	mGroupBatch   *obs.Histogram
+	mGroupSize    *obs.Histogram
+	mGroupWait    *obs.Histogram
+	mGroupFlushes *obs.Counter
+	mRotations    *obs.Counter
 }
 
 type segmentInfo struct {
@@ -159,14 +196,22 @@ func Open(dir string, opts Options) (*Log, error) {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
-	l := &Log{dir: dir, opts: opts, nextLSN: 1}
+	l := &Log{dir: dir, opts: opts, gc: opts.GroupCommit, nextLSN: 1}
+	l.fs = opts.FS
+	if l.fs == nil {
+		l.fs = osVFS{}
+	}
 	l.mAppends = reg.Counter("wal.appends")
 	l.mAppendBytes = reg.Counter("wal.append_bytes")
 	l.mFsyncs = reg.Counter("wal.fsyncs")
 	l.mFsyncNanos = reg.Histogram("wal.fsync_ns")
 	l.mGroupBatch = reg.Histogram("wal.group_commit_batch")
+	l.mGroupSize = reg.Histogram("wal.group_size")
+	l.mGroupWait = reg.Histogram("wal.group_wait_ns")
+	l.mGroupFlushes = reg.Counter("wal.group_flushes")
 	l.mRotations = reg.Counter("wal.rotations")
 	l.syncCond = sync.NewCond(&l.mu)
+	l.writerCond = sync.NewCond(&l.mu)
 	if err := l.loadSegments(); err != nil {
 		return nil, err
 	}
@@ -174,8 +219,17 @@ func Open(dir string, opts Options) (*Log, error) {
 		return nil, err
 	}
 	l.syncedLSN = l.nextLSN - 1 // everything recovered is on disk
+	if opts.Sync == SyncGroup {
+		l.writerDone = make(chan struct{})
+		go l.writerLoop()
+	}
 	return l, nil
 }
+
+// Pipelined reports whether the log runs a group-commit writer: Append
+// returns a durable-LSN promise rather than a durable record, and the
+// commit protocol may release locks before SyncTo returns.
+func (l *Log) Pipelined() bool { return l.opts.Sync == SyncGroup }
 
 func segName(first LSN) string {
 	return fmt.Sprintf("%s%016x%s", segPrefix, uint64(first), segSuffix)
@@ -291,11 +345,11 @@ func (l *Log) openActive() error {
 		l.segments = append(l.segments, segmentInfo{first: first, path: path})
 	}
 	path := l.segments[len(l.segments)-1].path
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := l.fs.OpenAppend(path)
 	if err != nil {
 		return fmt.Errorf("wal: open active segment: %w", err)
 	}
-	fi, err := f.Stat()
+	fi, err := os.Stat(path)
 	if err != nil {
 		f.Close()
 		return fmt.Errorf("wal: stat active segment: %w", err)
@@ -326,8 +380,11 @@ func (l *Log) LastLSN() LSN {
 func (l *Log) Append(typ uint8, payload []byte) (LSN, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.closed {
+	if l.closed || l.closing {
 		return 0, ErrClosed
+	}
+	if l.opts.Sync == SyncGroup {
+		return l.stageLocked(typ, payload)
 	}
 	lsn, err := l.appendLocked(typ, payload)
 	if err != nil {
@@ -346,8 +403,19 @@ func (l *Log) Append(typ uint8, payload []byte) (LSN, error) {
 func (l *Log) AppendBatch(recs []Record) (LSN, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.closed {
+	if l.closed || l.closing {
 		return 0, ErrClosed
+	}
+	if l.opts.Sync == SyncGroup {
+		var last LSN
+		for _, r := range recs {
+			lsn, err := l.stageLocked(r.Type, r.Payload)
+			if err != nil {
+				return 0, err
+			}
+			last = lsn
+		}
+		return last, nil
 	}
 	var last LSN
 	for _, r := range recs {
@@ -372,13 +440,7 @@ func (l *Log) appendLocked(typ uint8, payload []byte) (LSN, error) {
 		}
 	}
 	lsn := l.nextLSN
-	frame := make([]byte, headerSize+len(payload)+trailerSize)
-	binary.LittleEndian.PutUint64(frame, uint64(lsn))
-	binary.LittleEndian.PutUint32(frame[8:], uint32(len(payload)))
-	frame[12] = typ
-	copy(frame[headerSize:], payload)
-	crc := crc32.Checksum(frame[:headerSize+len(payload)], castagnoli)
-	binary.LittleEndian.PutUint32(frame[headerSize+len(payload):], crc)
+	frame := encodeFrame(lsn, typ, payload)
 	if _, err := l.active.Write(frame); err != nil {
 		return 0, fmt.Errorf("wal: append: %w", err)
 	}
@@ -399,7 +461,7 @@ func (l *Log) rotateLocked() error {
 	}
 	first := l.nextLSN
 	path := filepath.Join(l.dir, segName(first))
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND|os.O_EXCL, 0o644)
+	f, err := l.fs.OpenAppend(path)
 	if err != nil {
 		return fmt.Errorf("wal: rotate open: %w", err)
 	}
@@ -411,12 +473,16 @@ func (l *Log) rotateLocked() error {
 	return nil
 }
 
-// Sync forces buffered appends to stable storage.
+// Sync forces buffered appends to stable storage. Under SyncGroup it
+// blocks until the writer has flushed everything staged so far.
 func (l *Log) Sync() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return ErrClosed
+	}
+	if l.opts.Sync == SyncGroup {
+		return l.syncToGroup(l.nextLSN - 1)
 	}
 	return l.syncLocked()
 }
@@ -451,6 +517,9 @@ func (l *Log) syncLocked() error {
 func (l *Log) SyncTo(lsn LSN) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.opts.Sync == SyncGroup {
+		return l.syncToGroup(lsn)
+	}
 	for {
 		if l.closed {
 			return ErrClosed
@@ -548,11 +617,16 @@ func (l *Log) ReadFrom(from LSN) ([]Record, error) {
 		l.mu.Unlock()
 		return nil, ErrClosed
 	}
-	segs := append([]segmentInfo(nil), l.segments...)
-	if err := l.syncLocked(); err != nil {
+	if l.opts.Sync == SyncGroup {
+		// Drain the writer so staged records reach their segments; if the
+		// writer has failed, what is on disk is all there will ever be,
+		// which is exactly what recovery should see.
+		l.drainGroupLocked()
+	} else if err := l.syncLocked(); err != nil {
 		l.mu.Unlock()
 		return nil, err
 	}
+	segs := append([]segmentInfo(nil), l.segments...)
 	l.mu.Unlock()
 
 	var out []Record
@@ -579,13 +653,19 @@ func (l *Log) ReadFrom(from LSN) ([]Record, error) {
 	return out, nil
 }
 
-// Close syncs and closes the log.
+// Close syncs and closes the log. Under SyncGroup it first drains the
+// writer: records staged before Close carry a durable-LSN promise, so
+// they are flushed, not dropped.
 func (l *Log) Close() error {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.closed {
+		l.mu.Unlock()
 		return nil
 	}
+	if l.opts.Sync == SyncGroup {
+		return l.closeGroup() // releases l.mu itself
+	}
+	defer l.mu.Unlock()
 	err := l.syncLocked()
 	l.closed = true
 	if cerr := l.active.Close(); err == nil {

@@ -203,8 +203,21 @@ type NodeConfig struct {
 	// disables automatic checkpoints.
 	SnapshotEvery int
 	// GroupCommit batches concurrent commits' fsyncs (durability
-	// unchanged).
+	// unchanged) and pipelines commits: locks release once the commit
+	// record is staged with the log writer, and only the client
+	// acknowledgement waits for the batched fsync.
 	GroupCommit bool
+	// GroupCommitMaxDelay is the writer's deliberate batching window:
+	// after a batch's first record it waits up to this long for more
+	// committers before forcing. Zero flushes as soon as the writer is
+	// free (natural batching only).
+	GroupCommitMaxDelay time.Duration
+	// GroupCommitMaxBatchBytes forces a flush once this many bytes are
+	// staged (zero = 1 MiB).
+	GroupCommitMaxBatchBytes int
+	// GroupCommitMaxWaiters cuts the delay window short once this many
+	// committers are blocked on the force (zero = no waiter cutoff).
+	GroupCommitMaxWaiters int
 	// Resolver resolves in-doubt distributed transactions found at
 	// recovery; nil uses only the node's own coordinator (presumed abort
 	// for foreign ones).
@@ -276,6 +289,10 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		GroupCommit:   cfg.GroupCommit,
 		Metrics:       reg,
 		Tracer:        tracer,
+
+		GroupCommitMaxDelay:      cfg.GroupCommitMaxDelay,
+		GroupCommitMaxBatchBytes: cfg.GroupCommitMaxBatchBytes,
+		GroupCommitMaxWaiters:    cfg.GroupCommitMaxWaiters,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("rrq: open node %s: %w", cfg.Name, err)
