@@ -6,14 +6,17 @@ package repro
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"repro/internal/benchutil"
 	"repro/internal/core"
 	"repro/internal/core/baseline"
 	"repro/internal/queue"
@@ -588,6 +591,76 @@ func BenchmarkRepositoryShardedContention_16QDurable(b *testing.B) {
 
 func BenchmarkRepositoryShardedContention_16QDurableGroup(b *testing.B) {
 	benchmarkShardedContention(b, 16, false, true)
+}
+
+// --- volatile fast path: stocked producer/consumer throughput ---
+
+// benchmarkFastpathContention runs one producer and one non-blocking
+// consumer per queue on nq disjoint volatile queues, each queue pre-stocked
+// with a cushion of elements so consumers never park. Unlike
+// benchmarkShardedContention — whose single repository-wide pacing token
+// keeps exactly one element in flight and therefore measures wakeup
+// targeting, not op throughput — this is the regime the lock-free volatile
+// fast path serves: auto-committed, unfiltered, non-waiting traffic where
+// the per-op shard mutex (or its absence) is the entire measured cost.
+func benchmarkFastpathContention(b *testing.B, nq int) {
+	repo := benchRepoOpts(b, queue.Options{NoFsync: true})
+	const cushion = 64
+	for i := 0; i < nq; i++ {
+		qname := fmt.Sprintf("q%d", i)
+		mustQueue(b, repo, queue.QueueConfig{Name: qname, Volatile: true})
+		for j := 0; j < cushion; j++ {
+			if _, err := repo.Enqueue(nil, qname, queue.Element{}, "", nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	ctx := context.Background()
+	perQ := b.N/nq + 1
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for i := 0; i < nq; i++ {
+		qname := fmt.Sprintf("q%d", i)
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perQ; j++ {
+				if _, err := repo.Enqueue(nil, qname, queue.Element{}, "", nil); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perQ; j++ {
+				for {
+					_, err := repo.Dequeue(ctx, nil, qname, "", queue.DequeueOpts{})
+					if err == nil {
+						break
+					}
+					if !errors.Is(err, queue.ErrEmpty) {
+						b.Error(err)
+						return
+					}
+					runtime.Gosched() // producer briefly behind the cushion
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func BenchmarkRepositoryShardedContentionFastpath_1Q(b *testing.B) {
+	benchutil.WithGOMAXPROCS(b, benchutil.Procs, func(b *testing.B) {
+		benchmarkFastpathContention(b, 1)
+	})
+}
+
+func BenchmarkRepositoryShardedContentionFastpath_16Q(b *testing.B) {
+	benchutil.WithGOMAXPROCS(b, benchutil.Procs, func(b *testing.B) {
+		benchmarkFastpathContention(b, 16)
+	})
 }
 
 // --- group commit: concurrent durable commit throughput ---

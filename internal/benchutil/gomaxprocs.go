@@ -1,0 +1,30 @@
+package benchutil
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// Procs is the standard GOMAXPROCS matrix for contention-sensitive
+// testing.B benchmarks: 1 reproduces the single-CPU scheduler regime
+// recorded in BENCH_queue_sharding.json (goroutines timeshare one P, so
+// cross-core cache-line and futex effects are masked), 4 exposes real
+// multi-P contention on shared cursors and locks.
+var Procs = []int{1, 4}
+
+// WithGOMAXPROCS runs fn as one sub-benchmark per entry of procs, setting
+// GOMAXPROCS for the duration of each and restoring the previous value
+// afterwards. Sub-benchmarks are named "procs=N" so the matrix arm stays
+// in the recorded benchmark name.
+func WithGOMAXPROCS(b *testing.B, procs []int, fn func(b *testing.B)) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, p := range procs {
+		b.Run(fmt.Sprintf("procs=%d", p), func(b *testing.B) {
+			runtime.GOMAXPROCS(p)
+			defer runtime.GOMAXPROCS(prev)
+			fn(b)
+		})
+	}
+}

@@ -1,0 +1,69 @@
+package queue
+
+// Allocation regressions on the volatile fast path. The ring path exists
+// to make auto-commit volatile traffic allocation-free: an Element with
+// nil Body/Headers/ScratchPad moves through enqueue and dequeue without a
+// single heap allocation once the ring's lazily-allocated segments have
+// been touched. Pinning it to exactly zero keeps accidental escapes (a
+// fmt.Errorf on a hot return, a closure capturing the element) from
+// creeping back in.
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestVolatileFastPathZeroAlloc(t *testing.T) {
+	r, _, err := Open(t.TempDir(), Options{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := r.CreateQueue(QueueConfig{Name: "v", Volatile: true}); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// Walk the ring through a full cycle first: segments allocate lazily on
+	// first touch, and that one-time cost is not what this test pins.
+	for i := 0; i < ringCap+1; i++ {
+		if _, err := r.Enqueue(nil, "v", Element{}, "", nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Dequeue(ctx, nil, "v", "", DequeueOpts{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(1000, func() {
+		if _, err := r.Enqueue(nil, "v", Element{}, "", nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Dequeue(ctx, nil, "v", "", DequeueOpts{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("volatile enqueue/dequeue pair allocates %.2f objects/op, want 0", avg)
+	}
+}
+
+func TestVolatileFastPathEmptyPollZeroAlloc(t *testing.T) {
+	r, _, err := Open(t.TempDir(), Options{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := r.CreateQueue(QueueConfig{Name: "v", Volatile: true}); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	avg := testing.AllocsPerRun(1000, func() {
+		_, err := r.Dequeue(ctx, nil, "v", "", DequeueOpts{})
+		if !errors.Is(err, ErrEmpty) {
+			t.Fatalf("want ErrEmpty, got %v", err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("empty poll allocates %.2f objects/op, want 0", avg)
+	}
+}

@@ -1,0 +1,67 @@
+package queue
+
+// Fuzz the ring's single-threaded state machine against a slice model.
+// Concurrency is the race detector's and TestRingConcurrentExactlyOnce's
+// job; what fuzzing buys here is coverage of the transition structure —
+// full/empty edges, segment boundaries, whole-ring wraparound, lazy
+// segment allocation order — under operation sequences no hand-written
+// test would think to try.
+//
+// Each input byte is one operation: even = push, odd = pop. Sequential
+// use must be a perfect FIFO with capacity exactly ringCap, and len()
+// must agree with the model at every quiescent point.
+
+import "testing"
+
+func FuzzRingOps(f *testing.F) {
+	// Seeds cross the interesting edges: empty pops, a full segment, a
+	// full ring (push refusal), and drain-refill cycles that wrap the
+	// position space around all segments.
+	f.Add([]byte{1, 1, 0, 1, 1})
+	seg := make([]byte, ringSegSlots+2)
+	f.Add(seg) // one segment boundary, pushes only
+	full := make([]byte, ringCap+16)
+	f.Add(full) // overfill: the tail pushes must be refused
+	cycle := make([]byte, 0, 4*ringSegSlots)
+	for i := 0; i < 2*ringSegSlots; i++ {
+		cycle = append(cycle, 0, 1) // push/pop lockstep marches positions forward
+	}
+	f.Add(cycle)
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		r := newRing()
+		var model []EID
+		var next EID
+		for i, op := range ops {
+			if op%2 == 0 {
+				e := Element{EID: next}
+				ok := r.push(&e)
+				if want := len(model) < ringCap; ok != want {
+					t.Fatalf("op %d: push ok=%v with %d/%d queued", i, ok, len(model), ringCap)
+				}
+				if ok {
+					model = append(model, next)
+					next++
+				}
+			} else {
+				var out Element
+				st := r.pop(&out)
+				if len(model) == 0 {
+					if st != ringEmpty {
+						t.Fatalf("op %d: pop on empty ring = %v, want ringEmpty", i, st)
+					}
+				} else {
+					if st != ringOK {
+						t.Fatalf("op %d: pop = %v with %d queued, want ringOK", i, st, len(model))
+					}
+					if out.EID != model[0] {
+						t.Fatalf("op %d: popped EID %d, want %d (FIFO violation)", i, out.EID, model[0])
+					}
+					model = model[1:]
+				}
+			}
+			if got := r.len(); got != len(model) {
+				t.Fatalf("op %d: len() = %d, model %d", i, got, len(model))
+			}
+		}
+	})
+}

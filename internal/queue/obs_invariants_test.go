@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -353,5 +355,138 @@ func TestObsRegistrySharedAcrossLayers(t *testing.T) {
 	}
 	if _, ok := s.Histograms["wal.fsync_ns"]; !ok {
 		t.Error("wal.fsync_ns histogram missing from shared registry")
+	}
+}
+
+// TestObsFastpathConservation checks the fast-path counters' conservation
+// law: every completed auto-commit operation against a volatile queue is
+// served exactly once, by the ring (queue.fastpath_hits) or by the locked
+// shard path (queue.fastpath_fallbacks) — so at quiescence the two sum to
+// exactly the number of such operations, no double counting and no leaks,
+// even while concurrent seal/reopen churn bounces ops between the paths.
+// These are the counters qmd's /metrics endpoint and qmctl stats surface;
+// if the law breaks, the dashboards lie about where the hot path runs.
+func TestObsFastpathConservation(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	r, inDoubt, err := Open(dir, Options{NoFsync: true, Metrics: reg})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if len(inDoubt) != 0 {
+		t.Fatalf("in-doubt on fresh open: %d", len(inDoubt))
+	}
+	t.Cleanup(func() { r.Close() })
+	mustCreate(t, r, QueueConfig{Name: "v", Volatile: true})
+
+	base := reg.Snapshot()
+	const (
+		producers   = 3
+		consumers   = 3
+		perProducer = 2000
+	)
+	total := producers * perProducer
+	var fastOps atomic.Uint64 // auto-commit volatile ops issued by the test
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				if _, err := r.Enqueue(nil, "v", Element{Body: []byte(fmt.Sprintf("p%d-%d", p, i))}, "", nil); err != nil {
+					t.Errorf("enqueue: %v", err)
+					return
+				}
+				fastOps.Add(1)
+			}
+		}(p)
+	}
+	var consumed atomic.Uint64
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for consumed.Load() < uint64(total) {
+				_, err := r.Dequeue(ctx, nil, "v", "", DequeueOpts{})
+				fastOps.Add(1)
+				if errors.Is(err, ErrEmpty) {
+					runtime.Gosched()
+					continue
+				}
+				if err != nil {
+					t.Errorf("dequeue: %v", err)
+					return
+				}
+				consumed.Add(1)
+			}
+		}()
+	}
+	// Churn the fast/locked handoff while the counters accumulate:
+	// ListElements seals the ring, the next dequeue reopens it.
+	chaosDone := make(chan struct{})
+	var chaosWg sync.WaitGroup
+	chaosWg.Add(1)
+	go func() {
+		defer chaosWg.Done()
+		for {
+			select {
+			case <-chaosDone:
+				return
+			default:
+			}
+			if _, err := r.ListElements("v", 0); err != nil {
+				t.Errorf("chaos list: %v", err)
+				return
+			}
+			runtime.Gosched()
+		}
+	}()
+	wg.Wait()
+	close(chaosDone)
+	chaosWg.Wait()
+
+	// Quiescent tail: with the churn stopped, the first empty dequeue
+	// reopens the ring and the remaining pairs must ride it, so hits are
+	// guaranteed even if the churn pinned the whole workload above onto
+	// the locked path (likely on a single-CPU box).
+	if _, err := r.Dequeue(ctx, nil, "v", "", DequeueOpts{}); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("want ErrEmpty at quiescence, got %v", err)
+	}
+	fastOps.Add(1)
+	for i := 0; i < 100; i++ {
+		if _, err := r.Enqueue(nil, "v", Element{}, "", nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Dequeue(ctx, nil, "v", "", DequeueOpts{}); err != nil {
+			t.Fatal(err)
+		}
+		fastOps.Add(2)
+	}
+
+	end := reg.Snapshot()
+	hits := counterOf(end, "queue.fastpath_hits") - counterOf(base, "queue.fastpath_hits")
+	falls := counterOf(end, "queue.fastpath_fallbacks") - counterOf(base, "queue.fastpath_fallbacks")
+	if hits+falls != fastOps.Load() {
+		t.Fatalf("fastpath_hits (%d) + fastpath_fallbacks (%d) = %d, want %d auto-commit volatile ops",
+			hits, falls, hits+falls, fastOps.Load())
+	}
+	if hits == 0 {
+		t.Fatal("fastpath_hits = 0: the ring never served a single op")
+	}
+	d, err := r.Depth("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Fatalf("depth %d after balanced workload, want 0", d)
+	}
+	st, err := r.Stats("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := uint64(total + 100); st.Enqueues != want || st.Dequeues != want {
+		t.Fatalf("stats enqueues/dequeues = %d/%d, want %d/%d", st.Enqueues, st.Dequeues, want, want)
 	}
 }

@@ -3,6 +3,7 @@ package queue
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"strconv"
 	"time"
@@ -252,6 +253,7 @@ func (r *Repository) Enqueue(t *txn.Txn, qname string, e Element, registrant str
 		el.q.Store(qs)
 		qs.lock()
 		r.mu.RUnlock()
+		qs.sealFastLocked()
 		if qs.cfg.MaxDepth > 0 && qs.live() >= int(qs.cfg.MaxDepth) {
 			qs.unlock()
 			return fmt.Errorf("%w: %s at max depth %d", ErrFull, target, qs.cfg.MaxDepth)
@@ -266,6 +268,7 @@ func (r *Repository) Enqueue(t *txn.Txn, qname string, e Element, registrant str
 		t.OnUndo(func() {
 			qs.lock()
 			qs.remove(el)
+			qs.maybeReopenFastLocked()
 			qs.unlock()
 			r.elems.del(el.e.EID)
 		})
@@ -331,7 +334,10 @@ func (r *Repository) Enqueue(t *txn.Txn, qname string, e Element, registrant str
 // nothing and an auto-commit transaction around it cannot abort between
 // insert and commit, so making the element visible inside one shard
 // critical section is indistinguishable from an instantly-committed
-// transaction — without paying for one. Returns ok=false (untouched
+// transaction — without paying for one. When the op additionally carries
+// no priority, no trace to record and no trigger is watching, it skips
+// the shard lock entirely and publishes through the queue's lock-free
+// ring (see ring.go and DESIGN.md §10). Returns ok=false (untouched
 // state) when the target queue is durable and the caller must take the
 // transactional path.
 func (r *Repository) enqueueFast(qname string, e Element, registrant string, tag []byte) (EID, bool, error) {
@@ -349,24 +355,97 @@ func (r *Repository) enqueueFast(qname string, e Element, registrant string, tag
 		r.mu.RUnlock()
 		return 0, false, nil
 	}
-	e = e.clone()
-	e.EID = EID(r.nextEID.Add(1) - 1)
-	e.Queue = target
-	e.seq = r.nextSeq.Add(1) - 1
-	sp, traced := r.tracer.Begin(e.TraceRef(), "enqueue")
-	if traced {
-		sp.Annotate(trace.Str("queue", target), trace.Int64("eid", int64(e.EID)))
-		e.Span = sp.ID
+	if e.Priority == 0 && r.ntrig.Load() == 0 &&
+		!(r.tracer.Enabled() && !e.Trace.IsZero()) && qs.enterFast() {
+		r.mu.RUnlock()
+		ne := e.clone()
+		ne.EID = EID(r.nextEID.Add(1) - 1)
+		ne.Queue = target
+		ne.seq = r.nextSeq.Add(1) - 1
+		// A full ring usually means the consumer is one scheduler quantum
+		// behind, not genuinely absent; a few yields let it drain and keep
+		// a momentary burst from forcing the expensive seal-and-drain
+		// fallback. The gate is released across each yield so a sealer is
+		// never made to wait on a parked producer.
+		for attempt := 0; ; attempt++ {
+			if qs.ring.push(&ne) {
+				qs.fastEnqs.Add(1)
+				qs.m.enqueues.Inc()
+				qs.m.depth.Add(1)
+				qs.exitFast()
+				r.mFastHits.Inc()
+				r.fastRegUpdate(qname, registrant, OpEnqueue, ne.EID, tag, &ne)
+				// Close the trigger-creation race: if a trigger was
+				// installed after the gate check above, re-evaluate against
+				// the published depth. With seq-cst atomics, either this
+				// load sees the new count or CreateTrigger's post-install
+				// depth read sees our bump — one side always fires (see
+				// CreateTrigger).
+				if r.ntrig.Load() != 0 {
+					for _, tr := range r.dueTriggers(target, int(qs.m.depth.Value())) {
+						go r.fireTrigger(tr)
+					}
+				}
+				return ne.EID, true, nil
+			}
+			qs.exitFast()
+			if attempt >= ringFullYields {
+				break
+			}
+			runtime.Gosched()
+			if !qs.enterFast() { // sealed while yielding
+				break
+			}
+		}
+		// Ring still full (or sealed): land the already-prepared element
+		// via the locked path. The seal there drains the ring first, so
+		// arrival order by seq is preserved in the lists.
+		r.mu.RLock()
+		if r.closed {
+			r.mu.RUnlock()
+			return 0, true, ErrClosed
+		}
+		qs, target, err = r.resolveRedirect(qname)
+		if err != nil {
+			r.mu.RUnlock()
+			return 0, true, err
+		}
+		if !qs.volatile { // destroyed and recreated durable meanwhile
+			r.mu.RUnlock()
+			return 0, false, nil
+		}
+		ne.Queue = target
+		return r.enqueueFastLocked(qs, target, qname, ne, registrant, tag)
 	}
-	el := &elem{e: e, state: stateVisible}
+	ne := e.clone()
+	ne.EID = EID(r.nextEID.Add(1) - 1)
+	ne.Queue = target
+	ne.seq = r.nextSeq.Add(1) - 1
+	return r.enqueueFastLocked(qs, target, qname, ne, registrant, tag)
+}
+
+// enqueueFastLocked is the shard-locked tail of enqueueFast: the
+// auto-commit volatile insert for operations the ring cannot serve
+// (priority, traced, triggers watching, ring full, or fast path sealed).
+// Called with r.mu read-held; releases it. Counts one fastpath fallback
+// on every completed-op return.
+func (r *Repository) enqueueFastLocked(qs *queueState, target, qname string, ne Element, registrant string, tag []byte) (EID, bool, error) {
+	sp, traced := r.tracer.Begin(ne.TraceRef(), "enqueue")
+	if traced {
+		sp.Annotate(trace.Str("queue", target), trace.Int64("eid", int64(ne.EID)))
+		ne.Span = sp.ID
+	}
+	el := &elem{e: ne, state: stateVisible}
 	if traced {
 		el.visibleAt = time.Now().UnixNano()
 	}
 	el.q.Store(qs)
 	qs.lock()
 	r.mu.RUnlock()
+	qs.sealFastLocked()
 	if qs.cfg.MaxDepth > 0 && qs.live() >= int(qs.cfg.MaxDepth) {
 		qs.unlock()
+		r.mFastFallbacks.Inc()
 		return 0, true, fmt.Errorf("%w: %s at max depth %d", ErrFull, target, qs.cfg.MaxDepth)
 	}
 	qs.insert(el)
@@ -376,11 +455,12 @@ func (r *Repository) enqueueFast(qname string, e Element, registrant string, tag
 	alert := qs.cfg.AlertThreshold > 0 && depth == int(qs.cfg.AlertThreshold)
 	qs.notifyLocked()
 	qs.unlock()
-	r.elems.put(e.EID, el)
+	r.elems.put(ne.EID, el)
 	if traced {
 		r.tracer.Finish(&sp)
 	}
-	r.fastRegUpdate(qname, registrant, OpEnqueue, e.EID, tag, &e)
+	r.fastRegUpdate(qname, registrant, OpEnqueue, ne.EID, tag, &ne)
+	r.mFastFallbacks.Inc()
 	fires := r.dueTriggers(target, depth)
 	if alert {
 		r.fireAlert(target, depth)
@@ -388,7 +468,7 @@ func (r *Repository) enqueueFast(qname string, e Element, registrant string, tag
 	for _, tr := range fires {
 		go r.fireTrigger(tr)
 	}
-	return e.EID, true, nil
+	return ne.EID, true, nil
 }
 
 // fastRegUpdate applies a tagged-operation update for an auto-committed
@@ -468,6 +548,9 @@ func (r *Repository) Dequeue(ctx context.Context, t *txn.Txn, qname, registrant 
 // transaction around a volatile dequeue stages no log record and so
 // cannot fail between claim and commit; removing the element outright is
 // the same observable history with no window for Doom to land in.
+// Unfiltered non-waiting dequeues go further and pop the queue's
+// lock-free ring without any lock; the ring's empty answer is
+// authoritative because fast mode implies the locked lists are empty.
 // Returns ok=false (untouched state) when the queue is durable.
 func (r *Repository) dequeueFast(ctx context.Context, qname, registrant string, opts DequeueOpts, out *Element) (bool, error) {
 	var waitStart time.Time
@@ -478,6 +561,11 @@ func (r *Repository) dequeueFast(ctx context.Context, qname, registrant string, 
 			stopWatch()
 		}
 	}()
+	// Filters and comparators need a scan of the locked lists; plain
+	// front-of-queue dequeues are ring-eligible.
+	fastOK := opts.Filter == nil && opts.HeaderMatch == nil &&
+		opts.Prefer == nil && opts.PreferHeaderDesc == ""
+	tryFast := fastOK
 	for {
 		r.mu.RLock()
 		if r.closed {
@@ -493,17 +581,57 @@ func (r *Repository) dequeueFast(ctx context.Context, qname, registrant string, 
 			r.mu.RUnlock()
 			return false, nil
 		}
+		if tryFast && qs.enterFast() {
+			r.mu.RUnlock()
+			st := qs.ring.pop(out)
+			if st == ringOK {
+				qs.fastDeqs.Add(1)
+				qs.m.dequeues.Inc()
+				qs.m.depth.Add(-1)
+				qs.exitFast()
+				r.mFastHits.Inc()
+				if woken {
+					r.mWakeTargeted.Inc()
+				}
+				if !waitStart.IsZero() {
+					r.mWaitNanos.Observe(time.Since(waitStart).Nanoseconds())
+				}
+				r.fastRegUpdate(qname, registrant, OpDequeue, out.EID, opts.Tag, out)
+				r.recordFastDequeueSpan(out)
+				return true, nil
+			}
+			qs.exitFast()
+			if st == ringInflight {
+				// An enqueue has linearized but not yet published; yield to
+				// it rather than answer "empty" out of order.
+				runtime.Gosched()
+				continue
+			}
+			// ringEmpty: with fast mode on, the locked lists are empty too,
+			// so this is the queue's authoritative empty answer.
+			if !opts.Wait {
+				r.mFastHits.Inc()
+				return true, qs.errEmpty
+			}
+			// Parking needs the condition variable, which ring enqueues do
+			// not signal: take the locked path (sealing the ring) to wait.
+			tryFast = false
+			continue
+		}
 		qs.lock()
 		r.mu.RUnlock()
 		if qs.stopped {
 			qs.unlock()
+			r.mFastFallbacks.Inc()
 			return true, fmt.Errorf("%w: %s", ErrStopped, qname)
 		}
+		qs.sealFastLocked()
 		el, blocked := scanQueueLocked(qs, &opts)
 		if el != nil {
 			qs.remove(el)
 			qs.bumpDepth(-1)
 			qs.countDequeue()
+			qs.maybeReopenFastLocked()
 			qs.unlock()
 			r.elems.del(el.e.EID)
 			if woken {
@@ -514,6 +642,7 @@ func (r *Repository) dequeueFast(ctx context.Context, qname, registrant string, 
 			}
 			r.fastRegUpdate(qname, registrant, OpDequeue, el.e.EID, opts.Tag, &el.e)
 			r.recordDequeueSpan(el)
+			r.mFastFallbacks.Inc()
 			// el is unreachable now (out of the lists and the eid index);
 			// hand its element over without a defensive copy.
 			*out = el.e
@@ -521,11 +650,15 @@ func (r *Repository) dequeueFast(ctx context.Context, qname, registrant string, 
 		}
 		_ = blocked // strict-FIFO in-flight head: wait like empty
 		if !opts.Wait {
+			qs.maybeReopenFastLocked()
 			qs.unlock()
-			return true, fmt.Errorf("%w: %s", ErrEmpty, qname)
+			r.mFastFallbacks.Inc()
+			return true, qs.errEmpty
 		}
 		if ctx != nil && ctx.Err() != nil {
+			qs.maybeReopenFastLocked()
 			qs.unlock()
+			r.mFastFallbacks.Inc()
 			return true, ctx.Err()
 		}
 		if woken {
@@ -539,10 +672,28 @@ func (r *Repository) dequeueFast(ctx context.Context, qname, registrant string, 
 			// path never pays for the cancellation watcher.
 			stopWatch = context.AfterFunc(ctx, func() { r.wakeQueue(qname) })
 		}
+		qs.nwait++
 		qs.cond.Wait()
+		qs.nwait--
 		woken = true
 		qs.unlock()
+		// A locked enqueue may have been the last obstacle to fast mode;
+		// retry the ring first in case the queue reopened.
+		tryFast = fastOK
 	}
+}
+
+// recordFastDequeueSpan is the ring path's residency span: ring elements
+// carry no visibleAt (the enqueue gate routes traced elements to the
+// locked path), so tracing here is normally a no-op; the check keeps
+// late-enabled tracers from crashing on zero-trace elements.
+func (r *Repository) recordFastDequeueSpan(e *Element) {
+	if !r.tracer.Enabled() || e.Trace.IsZero() {
+		return
+	}
+	now := time.Now()
+	r.tracer.RecordAt(e.TraceRef(), "dequeue", now, now,
+		trace.Str("queue", e.Queue), trace.Int64("eid", int64(e.EID)))
 }
 
 func (r *Repository) dequeueInto(ctx context.Context, t *txn.Txn, qname, registrant string, opts DequeueOpts, out *Element) error {
@@ -571,6 +722,7 @@ func (r *Repository) dequeueInto(ctx context.Context, t *txn.Txn, qname, registr
 			qs.unlock()
 			return fmt.Errorf("%w: %s", ErrStopped, qname)
 		}
+		qs.sealFastLocked()
 		el, blocked := scanQueueLocked(qs, &opts)
 		if el != nil {
 			claimShardLocked(qs, el, t)
@@ -590,10 +742,12 @@ func (r *Repository) dequeueInto(ctx context.Context, t *txn.Txn, qname, registr
 		}
 		_ = blocked // strict-FIFO in-flight head: wait like empty
 		if !opts.Wait {
+			qs.maybeReopenFastLocked()
 			qs.unlock()
-			return fmt.Errorf("%w: %s", ErrEmpty, qname)
+			return qs.errEmpty
 		}
 		if ctx != nil && ctx.Err() != nil {
+			qs.maybeReopenFastLocked()
 			qs.unlock()
 			return ctx.Err()
 		}
@@ -612,7 +766,9 @@ func (r *Repository) dequeueInto(ctx context.Context, t *txn.Txn, qname, registr
 		// Park on this queue's condition variable; only commits touching
 		// this queue (or DDL on it, or close) signal it. The wait releases
 		// just the shard lock, so checkpoints and other queues proceed.
+		qs.nwait++
 		qs.cond.Wait()
+		qs.nwait--
 		woken = true
 		qs.unlock()
 		// Re-resolve by name: the queue may have been destroyed (dead) or
@@ -734,6 +890,7 @@ func (r *Repository) wireClaim(t *txn.Txn, el *elem, regQueue, registrant string
 		if qs.cfg.StrictFIFO {
 			qs.notifyLocked() // waiters were blocked behind this in-flight head
 		}
+		qs.maybeReopenFastLocked()
 		qs.unlock()
 		r.elems.del(el.e.EID)
 	})
@@ -763,6 +920,12 @@ func (r *Repository) undoClaim(el *elem, returned *claimReturn) {
 	}
 	lockPair(qs, eqs)
 	r.mu.RUnlock()
+	// qs is necessarily sealed (it holds el); the error queue may not be,
+	// and the diversion below inserts into its lists.
+	qs.sealFastLocked()
+	if eqs != nil && eqs != qs {
+		eqs.sealFastLocked()
+	}
 
 	qs.bumpInFlight(-1)
 	if el.killed {
@@ -772,6 +935,7 @@ func (r *Repository) undoClaim(el *elem, returned *claimReturn) {
 		if strict {
 			qs.notifyLocked() // removal unblocks waiters behind the head
 		}
+		qs.maybeReopenFastLocked()
 		unlockPair(qs, eqs)
 		r.elems.del(el.e.EID)
 		return
@@ -795,6 +959,7 @@ func (r *Repository) undoClaim(el *elem, returned *claimReturn) {
 		if eqs != qs && qs.cfg.StrictFIFO {
 			qs.notifyLocked() // head removed from the source queue
 		}
+		qs.maybeReopenFastLocked() // the diverted element left this queue
 		unlockPair(qs, eqs)
 		return
 	}
@@ -856,6 +1021,7 @@ func (r *Repository) DequeueSet(ctx context.Context, t *txn.Txn, qnames []string
 				for _, qs := range registered {
 					qs.lock()
 					delete(qs.setWaiters, sw)
+					qs.maybeReopenFastLocked()
 					qs.unlock()
 				}
 			}()
@@ -882,6 +1048,10 @@ func (r *Repository) DequeueSet(ctx context.Context, t *txn.Txn, qnames []string
 				qs.lock()
 			}
 			r.mu.RUnlock()
+			// The scan below needs every member's locked lists complete.
+			for _, qs := range cur {
+				qs.sealFastLocked()
+			}
 
 			var best *elem
 			var bestQS *queueState
@@ -904,6 +1074,7 @@ func (r *Repository) DequeueSet(ctx context.Context, t *txn.Txn, qnames []string
 			if best != nil {
 				claimShardLocked(bestQS, best, t)
 				for i := len(cur) - 1; i >= 0; i-- {
+					cur[i].maybeReopenFastLocked()
 					cur[i].unlock()
 				}
 				if woken {
@@ -919,12 +1090,14 @@ func (r *Repository) DequeueSet(ctx context.Context, t *txn.Txn, qnames []string
 			}
 			if !opts.Wait {
 				for i := len(cur) - 1; i >= 0; i-- {
+					cur[i].maybeReopenFastLocked()
 					cur[i].unlock()
 				}
 				return fmt.Errorf("%w: set %v", ErrEmpty, qnames)
 			}
 			if ctx != nil && ctx.Err() != nil {
 				for i := len(cur) - 1; i >= 0; i-- {
+					cur[i].maybeReopenFastLocked()
 					cur[i].unlock()
 				}
 				return ctx.Err()
@@ -964,6 +1137,12 @@ func (r *Repository) DequeueSet(ctx context.Context, t *txn.Txn, qnames []string
 // committed state is "in the queue"); uncommitted enqueues are not.
 func (r *Repository) Read(eid EID) (Element, error) {
 	el, ok := r.elems.get(eid)
+	if !ok {
+		// The element may be riding a lock-free ring, invisible to the eid
+		// index; sealing the fast-resident queues materializes it.
+		r.drainFastResident()
+		el, ok = r.elems.get(eid)
+	}
 	if !ok {
 		return Element{}, fmt.Errorf("%w: eid %d", ErrNotFound, eid)
 	}
@@ -1018,6 +1197,12 @@ func (r *Repository) KillElement(eid EID) (bool, error) {
 	r.mu.RUnlock()
 	el, ok := r.elems.get(eid)
 	if !ok {
+		// Ring-resident elements are not in the eid index; seal the
+		// fast-resident queues and retry before concluding it is gone.
+		r.drainFastResident()
+		el, ok = r.elems.get(eid)
+	}
+	if !ok {
 		return false, nil // already consumed (or never existed)
 	}
 	qs := r.lockElem(el)
@@ -1070,6 +1255,7 @@ func (r *Repository) KillElement(eid EID) (bool, error) {
 		qs.remove(el)
 		qs.bumpDepth(-1)
 		qs.countKill()
+		qs.maybeReopenFastLocked()
 		volatil := qs.volatile
 		qs.unlock()
 		r.elems.del(eid)

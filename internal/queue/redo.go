@@ -56,6 +56,10 @@ func (r *Repository) lockedQueue(name string) *queueState {
 	}
 	qs.lock()
 	r.mu.RUnlock()
+	// Replay mutates the locked lists directly; recovery-time rings are
+	// empty, so this only closes the fast gate until normal traffic
+	// reopens it.
+	qs.sealFastLocked()
 	return qs
 }
 
@@ -315,6 +319,7 @@ func (r *Repository) Redo(data []byte) error {
 		tr.fire = e
 		r.trigMu.Lock()
 		r.triggers[tr.id] = tr
+		r.syncTrigCount()
 		r.trigMu.Unlock()
 		return nil
 
@@ -325,6 +330,7 @@ func (r *Repository) Redo(data []byte) error {
 		}
 		r.trigMu.Lock()
 		delete(r.triggers, id)
+		r.syncTrigCount()
 		r.trigMu.Unlock()
 		return nil
 
@@ -474,17 +480,25 @@ func (r *Repository) CreateTrigger(id, watch string, threshold int32, fire Eleme
 			r.mu.RUnlock()
 			return fmt.Errorf("%w: %s", ErrNoQueue, fire.Queue)
 		}
-		watchDepth := int(r.queues[watch].m.depth.Value())
+		depthGauge := r.queues[watch].m.depth
 		r.mu.RUnlock()
 		tr := &trigger{id: id, watch: watch, threshold: threshold, fire: fire.clone()}
 		r.trigMu.Lock()
 		r.triggers[id] = tr
+		r.syncTrigCount()
 		r.trigMu.Unlock()
 		t.OnUndo(func() {
 			r.trigMu.Lock()
 			delete(r.triggers, id)
+			r.syncTrigCount()
 			r.trigMu.Unlock()
 		})
+		// Read the watch depth only after the trigger and its count are
+		// published: a concurrent lock-free enqueue either observes the
+		// count (and re-evaluates triggers itself) or its depth bump is
+		// sequenced before this read — either way the condition is
+		// checked against a depth that includes it.
+		watchDepth := int(depthGauge.Value())
 		b := enc.NewBuffer(64)
 		b.Uint8(opTriggerCreate)
 		b.String(id)
@@ -506,6 +520,7 @@ func (r *Repository) CreateTrigger(id, watch string, threshold int32, fire Eleme
 		_, ok := r.triggers[fireNow.id]
 		if ok {
 			delete(r.triggers, fireNow.id)
+			r.syncTrigCount()
 		}
 		r.trigMu.Unlock()
 		if ok {
@@ -542,6 +557,7 @@ func (r *Repository) dueTriggers(qname string, depth int) []*trigger {
 			delete(r.triggers, id) // claimed; durable removal in fireTrigger
 		}
 	}
+	r.syncTrigCount()
 	return due
 }
 
@@ -558,6 +574,7 @@ func (r *Repository) fireTrigger(tr *trigger) {
 		// Re-install so the trigger is not lost.
 		r.trigMu.Lock()
 		r.triggers[tr.id] = tr
+		r.syncTrigCount()
 		r.trigMu.Unlock()
 		return
 	}
@@ -585,6 +602,7 @@ func (r *Repository) RecheckTriggers() {
 		r.trigMu.Lock()
 		if _, ok := r.triggers[tr.id]; ok {
 			delete(r.triggers, tr.id)
+			r.syncTrigCount()
 			due = append(due, tr)
 		}
 		r.trigMu.Unlock()

@@ -130,6 +130,13 @@ type Repository struct {
 	// this to zero).
 	mWakeTargeted *obs.Counter
 	mWakeSpurious *obs.Counter
+	// mFastHits / mFastFallbacks classify completed auto-commit volatile
+	// operations: a hit was served by a queue's lock-free ring (including
+	// its authoritative empty answer), a fallback by the locked shard
+	// path. Their sum equals the number of such operations — the
+	// conservation law pinned by TestObsFastpathConservation.
+	mFastHits      *obs.Counter
+	mFastFallbacks *obs.Counter
 
 	mu     sync.RWMutex // queue map + closed; never acquired under a shard lock
 	closed bool
@@ -142,6 +149,10 @@ type Repository struct {
 
 	trigMu   sync.Mutex // triggers (leaf lock)
 	triggers map[string]*trigger
+	// ntrig mirrors len(triggers) (refreshed under trigMu by
+	// syncTrigCount) so the lock-free enqueue path can skip the trigger
+	// check without taking trigMu.
+	ntrig atomic.Int64
 
 	kvMu   sync.Mutex // key-value tables (leaf lock)
 	tables map[string]map[string][]byte
@@ -203,6 +214,8 @@ func Open(dir string, opts Options) (*Repository, []txn.InDoubt, error) {
 		mShardWait:    reg.Histogram("queue.shard_lock_wait_ns"),
 		mWakeTargeted: reg.Counter("queue.wakeups_targeted"),
 		mWakeSpurious: reg.Counter("queue.wakeups_spurious"),
+		mFastHits:      reg.Counter("queue.fastpath_hits"),
+		mFastFallbacks: reg.Counter("queue.fastpath_fallbacks"),
 		queues:        make(map[string]*queueState),
 		elems:         newElemTable(),
 		regs:          make(map[regKey]*registration),
@@ -264,6 +277,35 @@ func (r *Repository) SetAlertFunc(f AlertFunc) {
 	r.alertMu.Lock()
 	r.alertFn = f
 	r.alertMu.Unlock()
+}
+
+// syncTrigCount refreshes the lock-free trigger-count gate. Call under
+// trigMu after every mutation of r.triggers (loadSnapshot, which runs
+// single-threaded before traffic, may call it unlocked).
+func (r *Repository) syncTrigCount() {
+	r.ntrig.Store(int64(len(r.triggers)))
+}
+
+// drainFastResident seals every queue that may hold ring-resident
+// elements, materializing them in the locked lists and the eid index so
+// eid-addressed operations (Read, KillElement) can find them; each queue
+// reopens immediately if it turns out to be quiescent.
+func (r *Repository) drainFastResident() {
+	r.mu.RLock()
+	var qss []*queueState
+	for _, qs := range r.queues {
+		if qs.ring != nil &&
+			qs.fastEnqs.Load()-qs.fastDeqs.Load()-qs.fastDrained.Load() != 0 {
+			qss = append(qss, qs)
+		}
+	}
+	r.mu.RUnlock()
+	for _, qs := range qss {
+		qs.lock()
+		qs.sealFastLocked()
+		qs.maybeReopenFastLocked()
+		qs.unlock()
+	}
 }
 
 // wakeAllLocked wakes every parked waiter on every queue so they observe
@@ -372,6 +414,7 @@ func (r *Repository) DestroyQueue(name string) error {
 			return fmt.Errorf("%w: %s", ErrNoQueue, name)
 		}
 		qs.lock()
+		qs.sealFastLocked() // ring-resident elements must be found and doomed
 		var doomed []*elem
 		for _, l := range qs.lists {
 			for n := l.Front(); n != nil; n = n.Next() {
@@ -427,15 +470,23 @@ func (r *Repository) UpdateQueueConfig(cfg QueueConfig) error {
 			return fmt.Errorf("%w: %s", ErrNoQueue, cfg.Name)
 		}
 		qs.lock()
+		// The new config may be ring-ineligible (MaxDepth, alerts,
+		// redirection, strict FIFO): seal first so its constraints see the
+		// complete locked state, then let the queue reopen if the new
+		// config still allows it.
+		qs.sealFastLocked()
 		prev := qs.cfg
 		cfg.Volatile = prev.Volatile // immutable
 		qs.cfg = cfg
 		qs.notifyLocked() // strict-FIFO relaxation may unblock waiters
+		qs.maybeReopenFastLocked()
 		qs.unlock()
 		t.OnUndo(func() {
 			r.mu.Lock()
 			qs.lock()
+			qs.sealFastLocked()
 			qs.cfg = prev
+			qs.maybeReopenFastLocked()
 			qs.unlock()
 			r.mu.Unlock()
 		})
@@ -467,6 +518,14 @@ func (r *Repository) setStopped(name string, stopped bool) error {
 		qs.lock()
 		prev := qs.stopped
 		qs.stopped = stopped
+		// A stop must seal: the ring dequeue path checks no flags, so the
+		// only way to make it observe ErrStopped is to close the fast gate
+		// and let the locked path answer. A start may reopen.
+		if stopped {
+			qs.sealFastLocked()
+		} else {
+			qs.maybeReopenFastLocked()
+		}
 		// Wake parked waiters in both directions: a start lets them race
 		// for elements, a stop lets them observe ErrStopped instead of
 		// sleeping forever (with per-queue signaling there is no global
@@ -477,6 +536,11 @@ func (r *Repository) setStopped(name string, stopped bool) error {
 			r.mu.Lock()
 			qs.lock()
 			qs.stopped = prev
+			if prev {
+				qs.sealFastLocked()
+			} else {
+				qs.maybeReopenFastLocked()
+			}
 			qs.unlock()
 			r.mu.Unlock()
 		})
@@ -514,7 +578,24 @@ func (r *Repository) Stats(name string) (QueueStats, error) {
 	qs.lock()
 	r.mu.RUnlock()
 	st := qs.stats
+	// Fold in lock-free fast-path traffic, which bypasses the locked
+	// counters: ring pushes/pops count as enqueues/dequeues, and elements
+	// currently ring-resident (pushed, not popped, not drained into the
+	// lists by a seal) add to Depth. The three loads are unordered with
+	// respect to in-flight ring ops, so the residual is clamped; at
+	// quiescence it is exact.
+	fe := qs.fastEnqs.Load()
+	fd := qs.fastDeqs.Load()
+	dr := qs.fastDrained.Load()
 	qs.unlock()
+	st.Enqueues += fe
+	st.Dequeues += fd
+	if res := int64(fe) - int64(fd) - int64(dr); res > 0 {
+		st.Depth += int(res)
+	}
+	if st.Depth > st.MaxDepth {
+		st.MaxDepth = st.Depth
+	}
 	return st, nil
 }
 
@@ -554,6 +635,7 @@ func (r *Repository) ListElements(name string, max int) ([]Element, error) {
 	qs.lock()
 	r.mu.RUnlock()
 	defer qs.unlock()
+	qs.sealFastLocked() // diagnostics must see ring-resident elements too
 	var out []Element
 	for _, prio := range qs.prios {
 		for n := qs.lists[prio].Front(); n != nil; n = n.Next() {
@@ -838,6 +920,7 @@ func (r *Repository) loadSnapshot(data []byte) error {
 		tr.fire = e
 		r.triggers[tr.id] = tr
 	}
+	r.syncTrigCount() // single-threaded inside Open; no trigMu needed
 
 	ntbl := rd.Uvarint()
 	for i := uint64(0); i < ntbl && rd.Err() == nil; i++ {

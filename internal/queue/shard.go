@@ -2,6 +2,8 @@ package queue
 
 import (
 	"container/list"
+	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -73,6 +75,10 @@ type queueState struct {
 	setWaiters map[*setWaiter]struct{}
 	dead       bool // destroyed; parked callers must re-resolve by name
 
+	// errEmpty is the queue's pre-wrapped ErrEmpty, built once so the
+	// non-blocking dequeue poll loop doesn't pay fmt.Errorf per miss.
+	errEmpty error
+
 	cfg     QueueConfig // writes hold r.mu (W) AND mu; reads hold either
 	lists   map[int32]*list.List
 	prios   []int32 // sorted descending
@@ -80,9 +86,127 @@ type queueState struct {
 	stats   QueueStats
 	m       qmetrics
 
+	// nwait counts dequeuers parked on cond (guarded by mu). The fast
+	// path must stay sealed while anyone is parked, because ring enqueues
+	// do not signal cond.
+	nwait int
+
 	// mShardWait is the repository's shard-lock contention histogram
 	// (shared across queues; see lock()).
 	mShardWait *obs.Histogram
+
+	// --- lock-free volatile fast path (see ring.go and DESIGN.md §10) ---
+	//
+	// ring is non-nil iff the queue's config is ring-eligible (volatile,
+	// non-strict-FIFO, unlimited depth, no alerts/redirect). fastMode
+	// gates whether auto-commit unfiltered ops may use it; when true the
+	// locked lists are empty, so ring-empty ⇒ queue-empty. Any operation
+	// that needs the locked lists seals first (sealFastLocked): flips
+	// fastMode off, waits out the fastOps in-flight gate, and drains ring
+	// contents into the lists under mu. fastMode is re-enabled only at
+	// quiescence (maybeReopenFastLocked).
+	ring     *ring
+	fastMode atomic.Bool
+	fastOps  atomic.Int64 // in-flight ring ops (enter/exit gate)
+
+	// Fast-path op accounting, merged into stats by Repository.Stats:
+	// fastEnqs/fastDeqs count ring pushes/pops; fastDrained counts
+	// elements moved ring→lists by seals (they re-enter locked Depth, so
+	// the merge subtracts them from the fast-resident count).
+	fastEnqs    atomic.Uint64
+	fastDeqs    atomic.Uint64
+	fastDrained atomic.Uint64
+
+	// elems is the repository's eid index (fast enqueues don't register
+	// there; sealing does — see sealFastLocked and drainFastResident).
+	elems *elemTable
+}
+
+// ringEligible reports whether a config permits the lock-free fast path
+// at all: volatile (never logged), no strict-FIFO blocking semantics, no
+// depth limit or alert threshold to enforce per-op, and not a redirect
+// source. Per-op gates (txn, priority, filters, waiters, triggers) are
+// checked at the call sites in ops.go.
+func ringEligible(cfg *QueueConfig) bool {
+	return cfg.Volatile && !cfg.StrictFIFO && cfg.MaxDepth == 0 &&
+		cfg.AlertThreshold == 0 && cfg.RedirectTo == ""
+}
+
+// enterFast joins the fast-path in-flight gate. On true the caller may
+// operate on q.ring and must call exitFast when done; on false the queue
+// is sealed (or sealing) and the caller must take the locked path. The
+// re-check after the increment closes the race with a concurrent sealer:
+// either the sealer sees our increment and waits, or we see its flip and
+// back out.
+func (q *queueState) enterFast() bool {
+	if !q.fastMode.Load() {
+		return false
+	}
+	q.fastOps.Add(1)
+	if !q.fastMode.Load() {
+		q.fastOps.Add(-1)
+		return false
+	}
+	return true
+}
+
+func (q *queueState) exitFast() { q.fastOps.Add(-1) }
+
+// sealFastLocked transitions the queue to locked mode: no new ring ops
+// can start, in-flight ones are waited out, and ring contents are drained
+// into the locked lists (registering each element in the eid index) so the
+// caller sees the complete queue. Caller holds q.mu. Idempotent; cheap
+// when already sealed or never opened.
+func (q *queueState) sealFastLocked() {
+	if q.ring == nil || !q.fastMode.Load() {
+		return
+	}
+	q.fastMode.Store(false)
+	for q.fastOps.Load() != 0 {
+		runtime.Gosched()
+	}
+	var e Element
+	for {
+		switch q.ring.pop(&e) {
+		case ringOK:
+			el := &elem{e: e, state: stateVisible}
+			el.q.Store(q)
+			q.insert(el)
+			q.elems.put(e.EID, el)
+			// The enqueue was already counted (fastEnqs, m.depth); only
+			// the locked-side Depth moves here, and fastDrained keeps the
+			// Stats merge from counting the element twice.
+			q.stats.Depth++
+			q.fastDrained.Add(1)
+		case ringEmpty:
+			if q.stats.Depth > q.stats.MaxDepth {
+				q.stats.MaxDepth = q.stats.Depth
+			}
+			return
+		case ringInflight:
+			// Unreachable after the gate drained, but harmless: yield and
+			// re-pop rather than risk dropping a published element.
+			runtime.Gosched()
+		}
+	}
+}
+
+// maybeReopenFastLocked re-enables the fast path when the queue is fully
+// quiescent: configured eligible, alive, started, no parked dequeuers or
+// set waiters (ring enqueues don't signal cond), and no live elements in
+// the locked lists (preserving the fastMode ⇒ lists-empty invariant).
+// Caller holds q.mu.
+func (q *queueState) maybeReopenFastLocked() {
+	if q.ring == nil || q.fastMode.Load() || q.dead || q.stopped {
+		return
+	}
+	if q.nwait != 0 || len(q.setWaiters) != 0 {
+		return
+	}
+	if !ringEligible(&q.cfg) || q.live() != 0 {
+		return
+	}
+	q.fastMode.Store(true)
 }
 
 // lock acquires the shard latch, observing the wait only when contended
@@ -251,12 +375,18 @@ func (r *Repository) newQueueState(cfg QueueConfig) *queueState {
 	qs := &queueState{
 		name:       cfg.Name,
 		volatile:   cfg.Volatile,
+		errEmpty:   fmt.Errorf("%w: %s", ErrEmpty, cfg.Name),
 		cfg:        cfg,
 		lists:      make(map[int32]*list.List),
 		setWaiters: make(map[*setWaiter]struct{}),
 		mShardWait: r.mShardWait,
+		elems:      r.elems,
 	}
 	qs.cond = sync.NewCond(&qs.mu)
+	if ringEligible(&cfg) {
+		qs.ring = newRing()
+		qs.fastMode.Store(true)
+	}
 	qs.m = qmetrics{
 		enqueues:   r.reg.Counter("queue.enqueues", "queue", cfg.Name),
 		dequeues:   r.reg.Counter("queue.dequeues", "queue", cfg.Name),

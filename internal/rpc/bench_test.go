@@ -1,0 +1,103 @@
+package rpc
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/benchutil"
+)
+
+// benchEcho starts an echo server and a connected client over loopback
+// TCP, with one warm-up round trip so dial and handshake costs stay out
+// of the measured loop.
+func benchEcho(b *testing.B) *Client {
+	b.Helper()
+	s := NewServer()
+	s.Handle("echo", func(p []byte) ([]byte, error) { return p, nil })
+	addr, err := s.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(s.Close)
+	c := NewClient(addr, nil)
+	b.Cleanup(c.Close)
+	if _, err := c.Call(context.Background(), "echo", []byte("warm")); err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// benchmarkRoundTrip measures the serial request/response round trip —
+// the clerk's Transceive critical path. allocs/op here is the number the
+// zero-alloc hot path work is judged by (see BENCH_lockfree_fastpath.json).
+func benchmarkRoundTrip(b *testing.B, size int) {
+	c := benchEcho(b)
+	payload := make([]byte, size)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Call(ctx, "echo", payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRPCRoundTrip_128B(b *testing.B) {
+	benchutil.WithGOMAXPROCS(b, benchutil.Procs, func(b *testing.B) {
+		benchmarkRoundTrip(b, 128)
+	})
+}
+
+func BenchmarkRPCRoundTrip_4KB(b *testing.B) {
+	benchutil.WithGOMAXPROCS(b, benchutil.Procs, func(b *testing.B) {
+		benchmarkRoundTrip(b, 4096)
+	})
+}
+
+// benchmarkRoundTripConcurrent drives many in-flight calls through one
+// connection — the regime where the server's response writer can coalesce
+// small frames into a single writev instead of one syscall per response.
+func benchmarkRoundTripConcurrent(b *testing.B, callers, size int) {
+	c := benchEcho(b)
+	payload := make([]byte, size)
+	ctx := context.Background()
+	perCaller := b.N/callers + 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perCaller; j++ {
+				if _, err := c.Call(ctx, "echo", payload); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func BenchmarkRPCRoundTripConcurrent_8x128B(b *testing.B) {
+	benchutil.WithGOMAXPROCS(b, benchutil.Procs, func(b *testing.B) {
+		benchmarkRoundTripConcurrent(b, 8, 128)
+	})
+}
+
+// BenchmarkRPCOneWay_128B measures the paper's Send optimisation path: a
+// one-way frame write with no response to wait for.
+func BenchmarkRPCOneWay_128B(b *testing.B) {
+	c := benchEcho(b)
+	payload := make([]byte, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Send("echo", payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

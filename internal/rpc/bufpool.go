@@ -1,0 +1,92 @@
+package rpc
+
+// Pooled buffers and frames for the RPC hot path.
+//
+// Every call used to allocate on both sides of the wire: an encode buffer
+// per frame written, a body buffer and a frame struct per frame read.
+// Under load those are the dominant allocations in the process (the queue
+// fast path itself is allocation-free), so they all come from sync.Pools
+// here. Buffers are segregated into a few size classes rather than pooled
+// by exact size: a pool of exact sizes never hits, and a single class
+// wastes memory pinning 1 MB buffers under 100-byte frames.
+//
+// Ownership contract: a *buf or pooled *frame has exactly one owner, and
+// the owner must either release() it or hand it off (connWriter takes
+// ownership of queued buffers; a frame delivered to a pending call belongs
+// to the caller). Release is idempotent-unsafe by design — releasing twice
+// is a bug, as with any pool.
+
+import "sync"
+
+// bufClassSizes are the pooled capacity classes. Frames larger than the
+// top class are allocated directly and never pooled (class -1): they are
+// rare (maxFrame is 16 MB but typical payloads are small), and pinning
+// multi-megabyte buffers in a pool trades too much memory for too little
+// speedup.
+var bufClassSizes = [...]int{256, 4 << 10, 64 << 10, 1 << 20}
+
+var bufPools [len(bufClassSizes)]sync.Pool
+
+// buf is a pooled byte buffer. The struct (not the slice) is what cycles
+// through the pool, so neither Get nor Put boxes a slice header.
+type buf struct {
+	b     []byte
+	class int8 // index into bufPools, or -1 for unpooled
+}
+
+// getBuf returns a buffer with len n, and whether it was reused from a
+// pool (the signal behind the rpc.buf_reuse counters).
+func getBuf(n int) (p *buf, reused bool) {
+	for i := range bufClassSizes {
+		if n <= bufClassSizes[i] {
+			if v := bufPools[i].Get(); v != nil {
+				p = v.(*buf)
+				p.b = p.b[:n]
+				return p, true
+			}
+			return &buf{b: make([]byte, n, bufClassSizes[i]), class: int8(i)}, false
+		}
+	}
+	return &buf{b: make([]byte, n), class: -1}, false
+}
+
+// release returns p to its class pool. Oversize (class -1) buffers are
+// left to the garbage collector. nil-safe.
+func (p *buf) release() {
+	if p == nil || p.class < 0 {
+		return
+	}
+	bufPools[p.class].Put(p)
+}
+
+var framePool = sync.Pool{New: func() any { return new(frame) }}
+
+// getFrame returns a cleared frame from the pool.
+func getFrame() *frame {
+	return framePool.Get().(*frame)
+}
+
+// release clears f, returns its body buffer (if pooled) to its pool, and
+// returns f itself to the frame pool. After release, every slice that
+// aliased the body (methodB, payload) is dead; callers must copy what
+// they need first.
+func (f *frame) release() {
+	body := f.body
+	*f = frame{}
+	framePool.Put(f)
+	body.release()
+}
+
+// call is a pooled pending-call slot. done carries exactly one value per
+// use — the response frame, or nil when the connection died — and is
+// never closed, so the channel survives pooling. The invariant that makes
+// reuse safe: a call is only returned to the pool with an empty channel
+// (the owner either received the value or drained it via unregister).
+type call struct {
+	done chan *frame
+}
+
+var callPool = sync.Pool{New: func() any { return &call{done: make(chan *frame, 1)} }}
+
+func getCall() *call  { return callPool.Get().(*call) }
+func putCall(p *call) { callPool.Put(p) }

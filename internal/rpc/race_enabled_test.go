@@ -1,0 +1,8 @@
+//go:build race
+
+package rpc
+
+// raceEnabled reports whether this test binary was built with the race
+// detector, whose instrumentation adds allocations of its own and makes
+// testing.AllocsPerRun bounds meaningless.
+const raceEnabled = true

@@ -105,21 +105,42 @@ type RefHandler func(ref trace.Ref, payload []byte) ([]byte, error)
 // RefHandler and Handler under the same name.
 type CtxHandler func(ctx context.Context, payload []byte) ([]byte, error)
 
-// frame is one decoded wire frame.
+// frame is one decoded wire frame. Hot-path decodes (frameReader) leave
+// method empty and point methodB into body's backing; the slow, test-facing
+// readFrame materializes method as a string and leaves body nil.
 type frame struct {
 	kind      uint8
 	id        uint64
 	method    string
+	methodB   []byte // aliases body; valid until release
 	ref       trace.Ref
 	budget    time.Duration // remaining caller budget; valid when hasBudget
 	hasBudget bool
 	payload   []byte
+	body      *buf // pooled backing for methodB/payload; nil when unpooled
 }
 
-func writeFrame(w io.Writer, f *frame) error {
-	methodLen := len(f.method)
+// methodStr materializes the method name as a string, whichever way the
+// frame was decoded. Cold paths only (errors, span names).
+func (f *frame) methodStr() string {
+	if f.methodB != nil {
+		return string(f.methodB)
+	}
+	return f.method
+}
+
+// encodeFrame serializes f into a pooled buffer (length prefix included)
+// and reports whether the buffer was pool-reused. The caller owns the
+// returned buffer and must release it or hand it to a connWriter.
+func encodeFrame(f *frame) (p *buf, reused bool, err error) {
+	method := f.methodB
+	if method == nil && f.method != "" {
+		// Zero-copy view of the string; written, never mutated or kept.
+		method = []byte(f.method)
+	}
+	methodLen := len(method)
 	if methodLen > 0xffff {
-		return fmt.Errorf("rpc: method name too long")
+		return nil, false, fmt.Errorf("rpc: method name too long")
 	}
 	traced := f.ref.Valid()
 	n := 1 + 8 + 2 + methodLen + len(f.payload)
@@ -130,9 +151,10 @@ func writeFrame(w io.Writer, f *frame) error {
 		n += deadlineLen
 	}
 	if n > maxFrame {
-		return ErrTooLarge
+		return nil, false, ErrTooLarge
 	}
-	buf := make([]byte, 4+n)
+	p, reused = getBuf(4 + n)
+	buf := p.b
 	binary.LittleEndian.PutUint32(buf, uint32(n))
 	kind := f.kind
 	if traced {
@@ -144,7 +166,7 @@ func writeFrame(w io.Writer, f *frame) error {
 	buf[4] = kind
 	binary.LittleEndian.PutUint64(buf[5:], f.id)
 	binary.LittleEndian.PutUint16(buf[13:], uint16(methodLen))
-	copy(buf[15:], f.method)
+	copy(buf[15:], method)
 	off := 15 + methodLen
 	if traced {
 		copy(buf[off:], f.ref.Trace[:])
@@ -160,52 +182,188 @@ func writeFrame(w io.Writer, f *frame) error {
 		off += deadlineLen
 	}
 	copy(buf[off:], f.payload)
-	_, err := w.Write(buf)
+	return p, reused, nil
+}
+
+func writeFrame(w io.Writer, f *frame) error {
+	p, _, err := encodeFrame(f)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(p.b)
+	p.release()
 	return err
 }
 
-func readFrame(r io.Reader) (*frame, error) {
-	var lenBuf [4]byte
-	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
-		return nil, err
-	}
-	n := binary.LittleEndian.Uint32(lenBuf[:])
-	if n < 11 || n > maxFrame { // kind(1) + id(8) + methodLen(2) minimum
-		return nil, ErrTooLarge
-	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return nil, err
-	}
-	traced := buf[0]&kindTraceFlag != 0
-	hasBudget := buf[0]&kindDeadlineFlag != 0
-	f := &frame{kind: buf[0] &^ kindFlags, id: binary.LittleEndian.Uint64(buf[1:])}
-	methodLen := int(binary.LittleEndian.Uint16(buf[9:]))
+// parseFrame decodes body into f. methodB and payload alias body.
+func parseFrame(f *frame, body []byte) error {
+	traced := body[0]&kindTraceFlag != 0
+	hasBudget := body[0]&kindDeadlineFlag != 0
+	f.kind = body[0] &^ kindFlags
+	f.id = binary.LittleEndian.Uint64(body[1:])
+	methodLen := int(binary.LittleEndian.Uint16(body[9:]))
 	off := 11 + methodLen
-	if off > len(buf) {
-		return nil, fmt.Errorf("rpc: bad method length")
+	if off > len(body) {
+		return fmt.Errorf("rpc: bad method length")
 	}
-	f.method = string(buf[11:off])
+	f.methodB = body[11:off]
 	if traced {
-		if off+traceCtxLen > len(buf) {
-			return nil, fmt.Errorf("rpc: truncated trace context")
+		if off+traceCtxLen > len(body) {
+			return fmt.Errorf("rpc: truncated trace context")
 		}
-		copy(f.ref.Trace[:], buf[off:])
-		f.ref.Span = trace.SpanID(binary.LittleEndian.Uint64(buf[off+16:]))
+		copy(f.ref.Trace[:], body[off:])
+		f.ref.Span = trace.SpanID(binary.LittleEndian.Uint64(body[off+16:]))
 		off += traceCtxLen
 	}
 	if hasBudget {
-		if off+deadlineLen > len(buf) {
-			return nil, fmt.Errorf("rpc: truncated deadline budget")
+		if off+deadlineLen > len(body) {
+			return fmt.Errorf("rpc: truncated deadline budget")
 		}
 		// The uint64→int64 cast can go negative on a hostile frame; the
 		// server treats any non-positive budget as already expired.
-		f.budget = time.Duration(binary.LittleEndian.Uint64(buf[off:]))
+		f.budget = time.Duration(binary.LittleEndian.Uint64(body[off:]))
 		f.hasBudget = true
 		off += deadlineLen
 	}
-	f.payload = buf[off:]
-	return f, nil
+	f.payload = body[off:]
+	return nil
+}
+
+// frameReader decodes frames from a connection it exclusively owns. The
+// header scratch lives in the struct so the per-read io.ReadFull does not
+// force a heap-escaping stack array, and frames come from the pool.
+type frameReader struct {
+	r   io.Reader
+	hdr [4]byte
+}
+
+// read decodes the next frame. With pooledBody, the frame body comes from
+// the buffer pool and dies at frame release — the shape server reads use,
+// where payloads must not outlive the handler. Without it, the body is a
+// fresh allocation that survives release, so a response payload can be
+// handed to the caller. reused reports buffer-pool reuse for the
+// rpc.buf_reuse counters.
+func (fr *frameReader) read(pooledBody bool) (f *frame, reused bool, err error) {
+	if _, err := io.ReadFull(fr.r, fr.hdr[:]); err != nil {
+		return nil, false, err
+	}
+	n := binary.LittleEndian.Uint32(fr.hdr[:])
+	if n < 11 || n > maxFrame { // kind(1) + id(8) + methodLen(2) minimum
+		return nil, false, ErrTooLarge
+	}
+	var body []byte
+	var p *buf
+	if pooledBody {
+		p, reused = getBuf(int(n))
+		body = p.b
+	} else {
+		body = make([]byte, n)
+	}
+	if _, err := io.ReadFull(fr.r, body); err != nil {
+		p.release()
+		return nil, reused, err
+	}
+	f = getFrame()
+	f.body = p
+	if err := parseFrame(f, body); err != nil {
+		f.release()
+		return nil, reused, err
+	}
+	return f, reused, nil
+}
+
+// readFrame is the standalone decode kept for tests and cold paths: the
+// frame is unpooled and method is materialized as a string, exactly the
+// historical semantics (the fuzz and golden-bytes tests pin them).
+func readFrame(r io.Reader) (*frame, error) {
+	fr := frameReader{r: r}
+	f, _, err := fr.read(false)
+	if err != nil {
+		return nil, err
+	}
+	out := &frame{
+		kind:      f.kind,
+		id:        f.id,
+		method:    string(f.methodB),
+		ref:       f.ref,
+		budget:    f.budget,
+		hasBudget: f.hasBudget,
+		payload:   f.payload,
+	}
+	f.release()
+	return out, nil
+}
+
+// connWriter serializes and batches frame writes on one connection. A
+// writer queues its encoded frame under the mutex; whoever finds no flush
+// in progress becomes the flusher and drains the queue with a single
+// vectored write (net.Buffers → writev on TCP), so N goroutines responding
+// concurrently cost one syscall, not N. Queued buffers are owned by the
+// writer and released to the pool after the flush.
+//
+// Errors are sticky: once a write fails the connection is useless, every
+// queued-but-unflushed frame is released, and all subsequent writes fail
+// fast. A caller whose frame was queued while another goroutine held the
+// flush may get nil even though that flush later fails — the failure still
+// surfaces, through the connection teardown the sticky error triggers.
+type connWriter struct {
+	conn net.Conn
+
+	mu       sync.Mutex
+	q        net.Buffers // frames awaiting flush
+	rel      []*buf      // their pooled owners, released after flush
+	spare    net.Buffers // retired backing arrays, reused to keep append alloc-free
+	spareRel []*buf
+	wbuf     net.Buffers // WriteTo receiver; only the flusher touches it
+	flushing bool
+	err      error
+}
+
+func (w *connWriter) write(p *buf) error {
+	w.mu.Lock()
+	if w.err != nil {
+		err := w.err
+		w.mu.Unlock()
+		p.release()
+		return err
+	}
+	w.q = append(w.q, p.b)
+	w.rel = append(w.rel, p)
+	if w.flushing {
+		// The active flusher will pick our frame up in its drain loop.
+		w.mu.Unlock()
+		return nil
+	}
+	w.flushing = true
+	for len(w.q) > 0 && w.err == nil {
+		local, rel := w.q, w.rel
+		w.q, w.rel = w.spare, w.spareRel
+		w.mu.Unlock()
+		// WriteTo advances its receiver and nils consumed entries, so it
+		// runs on the wbuf field (a local receiver would escape through
+		// the io.Writer call and cost an allocation per flush); the local
+		// header still spans the full backing array and is retired as the
+		// next spare without losing capacity.
+		w.wbuf = local
+		_, err := w.wbuf.WriteTo(w.conn)
+		w.wbuf = nil
+		for _, b := range rel {
+			b.release()
+		}
+		w.mu.Lock()
+		w.spare, w.spareRel = local[:0], rel[:0]
+		if err != nil {
+			w.err = err
+			for _, b := range w.rel {
+				b.release()
+			}
+			w.q, w.rel = nil, nil
+		}
+	}
+	w.flushing = false
+	err := w.err
+	w.mu.Unlock()
+	return err
 }
 
 // Stats count wire messages for the experiment harness.
@@ -252,6 +410,7 @@ type Server struct {
 	mErrors   *obs.Counter
 	mShed     *obs.Counter // requests rejected by admission control
 	mDropped  *obs.Counter // requests abandoned because the caller's deadline expired
+	mBufReuse *obs.Counter // frame buffers served from the pool instead of the heap
 }
 
 // NewServer returns an empty server with a private metrics registry.
@@ -275,6 +434,7 @@ func NewServerWith(reg *obs.Registry) *Server {
 		mErrors:     reg.Counter("rpc.server.errors"),
 		mShed:       reg.Counter("server.shed"),
 		mDropped:    reg.Counter("rpc.deadline_drops"),
+		mBufReuse:   reg.Counter("rpc.buf_reuse"),
 	}
 }
 
@@ -393,7 +553,7 @@ func (s *Server) ListenAndServe(addr string) (string, error) {
 func dispatch(ctx context.Context, tr *trace.Tracer, ch CtxHandler, cok bool, rh RefHandler, rok bool, h Handler, f *frame) ([]byte, error) {
 	switch {
 	case cok, rok:
-		sp, traced := tr.Begin(f.ref, "rpc."+f.method)
+		sp, traced := tr.Begin(f.ref, "rpc."+f.methodStr())
 		child := f.ref
 		if traced {
 			child = sp.Ref()
@@ -414,6 +574,67 @@ func dispatch(ctx context.Context, tr *trace.Tracer, ch CtxHandler, cok bool, rh
 	}
 }
 
+// respond encodes resp and queues it on the connection's writer. The
+// response payload is copied during encode, so the caller may release any
+// buffers it aliases as soon as respond returns.
+func (s *Server) respond(w *connWriter, resp *frame) {
+	p, reused, err := encodeFrame(resp)
+	if err != nil {
+		return
+	}
+	if reused {
+		s.mBufReuse.Inc()
+	}
+	if w.write(p) == nil {
+		s.mSent.Inc()
+	}
+}
+
+// runOneWay is the one-way dispatch goroutine body: a method, not a
+// per-frame closure, so spawning it costs one argument record and nothing
+// else. It owns f and releases it after the handler returns.
+func (s *Server) runOneWay(tr *trace.Tracer, ch CtxHandler, cok bool, rh RefHandler, rok bool, h Handler, f *frame) {
+	dispatch(context.Background(), tr, ch, cok, rh, rok, h, f)
+	f.release()
+}
+
+// handleRequest is the request goroutine body. It owns f — the payload the
+// handler sees aliases f's pooled body, which dies when handleRequest
+// returns, so handlers must not retain it (the queue-manager handlers all
+// decode into their own structures before returning).
+func (s *Server) handleRequest(w *connWriter, connInflight *atomic.Int64, tr *trace.Tracer, ch CtxHandler, cok bool, rh RefHandler, rok bool, h Handler, known bool, f *frame) {
+	defer s.release(connInflight)
+	ctx := context.Background()
+	if f.hasBudget {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, f.budget)
+		defer cancel()
+	}
+	var resp frame
+	resp.id = f.id
+	resp.ref = f.ref // echo the trace context on the reply
+	if !known {
+		resp.kind = kindError
+		resp.payload = []byte(ErrNoMethod.Error() + ": " + f.methodStr())
+	} else if out, err := dispatch(ctx, tr, ch, cok, rh, rok, h, f); err != nil {
+		resp.kind = kindError
+		resp.payload = []byte(err.Error())
+	} else {
+		resp.kind = kindResp
+		resp.payload = out
+	}
+	if f.hasBudget && ctx.Err() != nil {
+		// The handler ran past the caller's budget: whatever we
+		// write back will be discarded on arrival.
+		s.mDropped.Inc()
+	}
+	if resp.kind == kindError {
+		s.mErrors.Inc()
+	}
+	s.respond(w, &resp)
+	f.release()
+}
+
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -422,25 +643,23 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 		conn.Close()
 	}()
-	var writeMu sync.Mutex
+	w := &connWriter{conn: conn}
 	var connInflight atomic.Int64
-	respond := func(resp *frame) {
-		writeMu.Lock()
-		defer writeMu.Unlock()
-		if err := writeFrame(conn, resp); err == nil {
-			s.mSent.Inc()
-		}
-	}
+	fr := frameReader{r: conn}
 	for {
-		f, err := readFrame(conn)
+		f, reused, err := fr.read(true)
 		if err != nil {
 			return
 		}
+		if reused {
+			s.mBufReuse.Inc()
+		}
 		s.mRecv.Inc()
 		s.mu.RLock()
-		ch, cok := s.ctxHandlers[f.method]
-		rh, rok := s.refHandlers[f.method]
-		h, ok := s.handlers[f.method]
+		// map[string(bytes)] lookups compile to allocation-free probes.
+		ch, cok := s.ctxHandlers[string(f.methodB)]
+		rh, rok := s.refHandlers[string(f.methodB)]
+		h, ok := s.handlers[string(f.methodB)]
 		tr := s.tracer
 		s.mu.RUnlock()
 		known := cok || rok || ok
@@ -448,13 +667,16 @@ func (s *Server) serveConn(conn net.Conn) {
 		case kindOneWay:
 			s.mOneWays.Inc()
 			if known {
-				go dispatch(context.Background(), tr, ch, cok, rh, rok, h, f)
+				go s.runOneWay(tr, ch, cok, rh, rok, h, f)
+			} else {
+				f.release()
 			}
 		case kindRequest:
 			s.mRequests.Inc()
 			if !s.admit(&connInflight) {
 				s.mShed.Inc()
-				respond(&frame{kind: kindBusy, id: f.id})
+				s.respond(w, &frame{kind: kindBusy, id: f.id})
+				f.release()
 				continue
 			}
 			if f.hasBudget && f.budget <= 0 {
@@ -462,41 +684,14 @@ func (s *Server) serveConn(conn net.Conn) {
 				// work it has already abandoned.
 				s.mDropped.Inc()
 				s.release(&connInflight)
-				respond(&frame{kind: kindError, id: f.id, ref: f.ref,
+				s.respond(w, &frame{kind: kindError, id: f.id, ref: f.ref,
 					payload: []byte(context.DeadlineExceeded.Error())})
+				f.release()
 				continue
 			}
-			go func(f *frame) {
-				defer s.release(&connInflight)
-				ctx := context.Background()
-				if f.hasBudget {
-					var cancel context.CancelFunc
-					ctx, cancel = context.WithTimeout(ctx, f.budget)
-					defer cancel()
-				}
-				var resp frame
-				resp.id = f.id
-				resp.ref = f.ref // echo the trace context on the reply
-				if !known {
-					resp.kind = kindError
-					resp.payload = []byte(ErrNoMethod.Error() + ": " + f.method)
-				} else if out, err := dispatch(ctx, tr, ch, cok, rh, rok, h, f); err != nil {
-					resp.kind = kindError
-					resp.payload = []byte(err.Error())
-				} else {
-					resp.kind = kindResp
-					resp.payload = out
-				}
-				if f.hasBudget && ctx.Err() != nil {
-					// The handler ran past the caller's budget: whatever we
-					// write back will be discarded on arrival.
-					s.mDropped.Inc()
-				}
-				if resp.kind == kindError {
-					s.mErrors.Inc()
-				}
-				respond(&resp)
-			}(f)
+			go s.handleRequest(w, &connInflight, tr, ch, cok, rh, rok, h, known, f)
+		default:
+			f.release()
 		}
 	}
 }
@@ -537,7 +732,8 @@ type Client struct {
 
 	mu      sync.Mutex
 	conn    net.Conn
-	pending map[uint64]chan *frame
+	cw      *connWriter // batching writer for conn; replaced on redial
+	pending map[uint64]*call
 	nextID  uint64
 	closed  bool
 
@@ -549,6 +745,7 @@ type Client struct {
 	mOneWays  *obs.Counter
 	mErrors   *obs.Counter // transport-level failures (dial, write, dropped conn)
 	mRedials  *obs.Counter // reconnects after the first successful dial
+	mBufReuse *obs.Counter // frame buffers served from the pool instead of the heap
 	mCallNans *obs.Histogram
 	dialed    bool // a connection has been established at least once
 }
@@ -571,7 +768,7 @@ func NewClientWith(addr string, dialer Dialer, reg *obs.Registry) *Client {
 	return &Client{
 		addr:      addr,
 		dialer:    dialer,
-		pending:   make(map[uint64]chan *frame),
+		pending:   make(map[uint64]*call),
 		br:        breaker{opens: reg.Counter("rpc.client.breaker_opens")},
 		mSent:     reg.Counter("rpc.client.sent"),
 		mRecv:     reg.Counter("rpc.client.recv"),
@@ -579,6 +776,7 @@ func NewClientWith(addr string, dialer Dialer, reg *obs.Registry) *Client {
 		mOneWays:  reg.Counter("rpc.client.oneways"),
 		mErrors:   reg.Counter("rpc.client.errors"),
 		mRedials:  reg.Counter("rpc.client.redials"),
+		mBufReuse: reg.Counter("rpc.buf_reuse"),
 		mCallNans: reg.Histogram("rpc.client.call_ns"),
 	}
 }
@@ -611,42 +809,66 @@ func (c *Client) ensureConnLocked() error {
 	}
 	c.dialed = true
 	c.conn = conn
+	c.cw = &connWriter{conn: conn}
 	go c.readLoop(conn)
 	return nil
 }
 
 func (c *Client) readLoop(conn net.Conn) {
+	fr := frameReader{r: conn}
 	for {
-		f, err := readFrame(conn)
+		// The body is unpooled on purpose: the response payload is handed
+		// to the caller, whose lifetime the pool cannot see.
+		f, _, err := fr.read(false)
 		if err != nil {
 			c.dropConn(conn)
 			return
 		}
 		c.mRecv.Inc()
 		c.mu.Lock()
-		ch, ok := c.pending[f.id]
+		pc, ok := c.pending[f.id]
 		if ok {
 			delete(c.pending, f.id)
 		}
 		c.mu.Unlock()
 		if ok {
-			ch <- f
+			pc.done <- f // cap 1, guaranteed empty while registered
+		} else {
+			f.release() // response to an abandoned (timed-out) call
 		}
 	}
 }
 
-// dropConn tears down a failed connection and fails its pending calls.
+// dropConn tears down a failed connection and fails its pending calls by
+// delivering nil (the channels are pooled and never closed).
 func (c *Client) dropConn(conn net.Conn) {
 	c.mu.Lock()
 	if c.conn == conn {
 		c.conn = nil
+		c.cw = nil
 	}
 	stale := c.pending
-	c.pending = make(map[uint64]chan *frame)
+	c.pending = make(map[uint64]*call)
 	c.mu.Unlock()
 	conn.Close()
-	for _, ch := range stale {
-		close(ch)
+	for _, pc := range stale {
+		pc.done <- nil
+	}
+}
+
+// unregister abandons a pending call. If a sender (readLoop or dropConn)
+// already claimed the entry, exactly one value is in flight or already
+// buffered; drain it so the pooled channel goes back empty.
+func (c *Client) unregister(id uint64, pc *call) {
+	c.mu.Lock()
+	if _, ok := c.pending[id]; ok {
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+	if f := <-pc.done; f != nil {
+		f.release()
 	}
 }
 
@@ -658,7 +880,11 @@ func (c *Client) dropConn(conn net.Conn) {
 // format).
 func (c *Client) Call(ctx context.Context, method string, payload []byte) ([]byte, error) {
 	start := time.Now()
-	req := frame{kind: kindRequest, method: method, ref: trace.From(ctx), payload: payload}
+	var req frame
+	req.kind = kindRequest
+	req.method = method
+	req.ref = trace.From(ctx)
+	req.payload = payload
 	if dl, ok := ctx.Deadline(); ok {
 		req.budget = time.Until(dl)
 		req.hasBudget = true
@@ -675,26 +901,38 @@ func (c *Client) Call(ctx context.Context, method string, payload []byte) ([]byt
 		c.br.record(err)
 		return nil, err
 	}
-	conn := c.conn
+	conn, cw := c.conn, c.cw
 	c.nextID++
 	id := c.nextID
 	req.id = id
-	ch := make(chan *frame, 1)
-	c.pending[id] = ch
+	pc := getCall()
+	c.pending[id] = pc
 	c.mu.Unlock()
 	c.mSent.Inc()
 	c.mCalls.Inc()
 
-	if err := writeFrame(conn, &req); err != nil {
+	p, reused, err := encodeFrame(&req)
+	if err != nil {
+		c.unregister(id, pc)
+		putCall(pc)
+		return nil, err
+	}
+	if reused {
+		c.mBufReuse.Inc()
+	}
+	if err := cw.write(p); err != nil {
 		c.mErrors.Inc()
+		c.unregister(id, pc) // before dropConn, so the pooled channel drains clean
+		putCall(pc)
 		c.dropConn(conn)
 		terr := &TransportError{Op: "write", Err: err}
 		c.br.record(terr)
 		return nil, terr
 	}
 	select {
-	case f, ok := <-ch:
-		if !ok {
+	case f := <-pc.done:
+		putCall(pc)
+		if f == nil {
 			c.mErrors.Inc()
 			terr := &TransportError{Op: "call", Err: ErrConnClosed}
 			c.br.record(terr)
@@ -707,15 +945,21 @@ func (c *Client) Call(ctx context.Context, method string, payload []byte) ([]byt
 		c.mCallNans.Observe(time.Since(start).Nanoseconds())
 		switch f.kind {
 		case kindError:
-			return nil, &RemoteError{Msg: string(f.payload)}
+			err := &RemoteError{Msg: string(f.payload)}
+			f.release()
+			return nil, err
 		case kindBusy:
+			f.release()
 			return nil, fmt.Errorf("%w: %s", ErrBusy, method)
 		}
-		return f.payload, nil
+		// The response body is unpooled (see readLoop), so the payload
+		// survives the frame's return to the pool.
+		out := f.payload
+		f.release()
+		return out, nil
 	case <-ctx.Done():
-		c.mu.Lock()
-		delete(c.pending, id)
-		c.mu.Unlock()
+		c.unregister(id, pc)
+		putCall(pc)
 		return nil, ctx.Err()
 	}
 }
@@ -738,11 +982,23 @@ func (c *Client) SendCtx(ctx context.Context, method string, payload []byte) err
 		c.br.record(err)
 		return err
 	}
-	conn := c.conn
+	conn, cw := c.conn, c.cw
 	c.mu.Unlock()
 	c.mSent.Inc()
 	c.mOneWays.Inc()
-	if err := writeFrame(conn, &frame{kind: kindOneWay, method: method, ref: trace.From(ctx), payload: payload}); err != nil {
+	var req frame
+	req.kind = kindOneWay
+	req.method = method
+	req.ref = trace.From(ctx)
+	req.payload = payload
+	p, reused, err := encodeFrame(&req)
+	if err != nil {
+		return err
+	}
+	if reused {
+		c.mBufReuse.Inc()
+	}
+	if err := cw.write(p); err != nil {
 		c.mErrors.Inc()
 		c.dropConn(conn)
 		terr := &TransportError{Op: "send", Err: err}
