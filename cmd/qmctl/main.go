@@ -6,6 +6,7 @@
 //	qmctl -addr 127.0.0.1:7070 depth -queue work
 //	qmctl -addr 127.0.0.1:7070 stats                 # full metrics registry
 //	qmctl -addr 127.0.0.1:7070 stats -queue work     # one queue's counters
+//	qmctl -addr 127.0.0.1:7070 hedge                 # hedged-request ledger + latency digest
 //	qmctl -addr 127.0.0.1:7070 read -eid 42
 //	qmctl -addr 127.0.0.1:7070 kill -eid 42
 //	qmctl -addr 127.0.0.1:7070 trace 4f3c…            # one request's span tree
@@ -29,7 +30,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: qmctl -addr HOST:PORT {create|enqueue|dequeue|depth|queues|stats|read|kill|trace|traces} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: qmctl -addr HOST:PORT {create|enqueue|dequeue|depth|queues|stats|hedge|read|kill|trace|traces} [flags]")
 	os.Exit(2)
 }
 
@@ -121,6 +122,12 @@ func main() {
 			fmt.Printf("enqueues=%d dequeues=%d abort-returns=%d error-diversions=%d kills=%d\n",
 				st.Enqueues, st.Dequeues, st.AbortReturns, st.ErrorDiversions, st.Kills)
 		}
+	case "hedge":
+		var snap obs.Snapshot
+		snap, err = cl.Metrics(ctx)
+		if err == nil {
+			err = printHedge(snap)
+		}
 	case "read":
 		fs := flag.NewFlagSet("read", flag.ExitOnError)
 		eid := fs.Uint64("eid", 0, "element id")
@@ -198,6 +205,45 @@ func printSnapshot(s obs.Snapshot) {
 		fmt.Printf("%-40s count=%d mean=%.0f p50=%d p99=%d\n",
 			n, h.Count, h.Mean(), h.Quantile(0.5), h.Quantile(0.99))
 	}
+}
+
+// printHedge renders the hedged-request ledger recorded by clerks that
+// share the node's metrics registry (co-located clients, forwarders),
+// plus the latency digest the hedge trigger is derived from, and checks
+// the ledger invariant: every hedged Transceive is accounted to exactly
+// one outcome (primary win, hedge win, timeout, or error). A violation
+// is reported as an error so scripts exit non-zero.
+func printHedge(s obs.Snapshot) error {
+	total := s.Counters["clerk.hedged_transceives"]
+	primary := s.Counters["clerk.hedge_primary_wins"]
+	wins := s.Counters["clerk.hedge_wins"]
+	timeouts := s.Counters["clerk.hedge_timeouts"]
+	errs := s.Counters["clerk.hedge_errors"]
+	clones := s.Counters["clerk.hedge_clones"]
+	if total == 0 && clones == 0 {
+		fmt.Println("(no hedged transceives recorded; hedge counters appear only when a hedged clerk records into this node's registry)")
+		return nil
+	}
+	fmt.Printf("hedged-transceives %d\n", total)
+	fmt.Printf("  hedges           %d\n", s.Counters["clerk.hedges"])
+	fmt.Printf("  clones           %d\n", clones)
+	fmt.Printf("  primary-wins     %d\n", primary)
+	fmt.Printf("  hedge-wins       %d\n", wins)
+	fmt.Printf("  timeouts         %d\n", timeouts)
+	fmt.Printf("  errors           %d\n", errs)
+	fmt.Printf("  cancels          %d\n", s.Counters["clerk.hedge_cancels"])
+	fmt.Printf("  wasted (dup)     %d\n", s.Counters["clerk.hedge_wasted"])
+	fmt.Printf("trigger            %s (quantile of observed latency, floored)\n",
+		time.Duration(s.Gauges["clerk.hedge_trigger_ns"]))
+	fmt.Printf("latency digest     p50=%s p95=%s p99=%s\n",
+		time.Duration(s.Gauges["clerk.hedge_lat_p50_ns"]),
+		time.Duration(s.Gauges["clerk.hedge_lat_p95_ns"]),
+		time.Duration(s.Gauges["clerk.hedge_lat_p99_ns"]))
+	if sum := primary + wins + timeouts + errs; sum != total {
+		return fmt.Errorf("ledger violation: primary_wins+hedge_wins+timeouts+errors = %d, want %d (hedged transceives)", sum, total)
+	}
+	fmt.Println("ledger OK: primary_wins + hedge_wins + timeouts + errors == hedged_transceives")
+	return nil
 }
 
 // traceNode mirrors the admin endpoint's span-tree JSON.

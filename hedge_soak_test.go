@@ -1,0 +1,247 @@
+package repro
+
+// The hedging soak: two queue-manager endpoints serve the same durable
+// repository, but the client's link to the primary endpoint straggles —
+// a fraction of reads stall for hundreds of milliseconds (the QM is up,
+// just slow, which fig. 2's failure masking cannot help with). An
+// unhedged clerk eats the stall every time it lands on the reply path; a
+// hedged clerk clones the request to the alternate queue through the
+// healthy endpoint after a trigger delay and takes whichever committed
+// reply surfaces first. The soak demands the tail actually collapses
+// (hedged p99 at least 2x better) while the paper's guarantee stays
+// intact: every request surfaced exactly once, at most one duplicate
+// execution per request, reply queues drained, ledger conserved.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/queue"
+	"repro/internal/queue/qservice"
+	"repro/internal/rpc"
+)
+
+// hedgeSoakWorld: one repository, two request queues each drained by its
+// own server pool, exposed through two RPC endpoints. The client reaches
+// endpoint A (primary) through a straggling chaos network and endpoint B
+// (hedge) directly.
+type hedgeSoakWorld struct {
+	repo  *queue.Repository
+	net   *chaos.Network
+	addrA string
+	addrB string
+}
+
+func newHedgeSoakWorld(t *testing.T, seed int64) *hedgeSoakWorld {
+	t.Helper()
+	repo, _, err := queue.Open(t.TempDir(), queue.Options{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { repo.Close() })
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	for _, qname := range []string{"req", "req.b"} {
+		if err := repo.CreateQueue(queue.QueueConfig{Name: qname}); err != nil {
+			t.Fatal(err)
+		}
+		for s := 0; s < 2; s++ {
+			srv, err := core.NewServer(core.ServerConfig{
+				Repo: repo, Queue: qname, Name: fmt.Sprintf("hsoak-%s-%d", qname, s),
+				Handler: countingEchoHandler,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			go srv.Serve(ctx)
+		}
+	}
+	w := &hedgeSoakWorld{repo: repo, net: chaos.NewNetwork(seed)}
+	for _, ep := range []struct {
+		addr *string
+	}{{&w.addrA}, {&w.addrB}} {
+		rsrv := rpc.NewServer()
+		qservice.New(repo, rsrv)
+		addr, err := rsrv.ListenAndServe("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { rsrv.Close() })
+		*ep.addr = addr
+	}
+	return w
+}
+
+// countingEchoHandler is the exactly-once witness: it transactionally
+// counts executions per rid, so duplicate executions are visible in the
+// durable state no matter which reply surfaced.
+func countingEchoHandler(rc *core.ReqCtx) ([]byte, error) {
+	v, _, err := rc.Repo.KVGet(rc.Ctx, rc.Txn, "execs", rc.Request.RID, true)
+	if err != nil {
+		return nil, err
+	}
+	n := 0
+	if v != nil {
+		n = int(v[0])
+	}
+	if err := rc.Repo.KVSet(rc.Ctx, rc.Txn, "execs", rc.Request.RID, []byte{byte(n + 1)}); err != nil {
+		return nil, err
+	}
+	return append([]byte("echo:"), rc.Request.Body...), nil
+}
+
+func (w *hedgeSoakWorld) execCount(t *testing.T, rid string) int {
+	t.Helper()
+	v, _, err := w.repo.KVGet(context.Background(), nil, "execs", rid, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == nil {
+		return 0
+	}
+	return int(v[0])
+}
+
+func (w *hedgeSoakWorld) waitReplyDrained(t *testing.T, qname string, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		d, err := w.repo.Depth(qname)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("reply queue %s depth = %d after %v, want 0 (undrained duplicates)", qname, d, timeout)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func p99of(durs []time.Duration) time.Duration {
+	s := append([]time.Duration(nil), durs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(0.99 * float64(len(s)))
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+func TestHedgeSoakStragglerTailCollapse(t *testing.T) {
+	n := 120
+	if testing.Short() {
+		n = 40
+	}
+	w := newHedgeSoakWorld(t, 23)
+	// 30% of reads on the primary link stall 200ms: the primary QM is
+	// healthy but its answers are late — the tail fig. 2 cannot mask.
+	w.net.SetStragglerProb(0.30, 200*time.Millisecond)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
+	defer cancel()
+
+	run := func(rc *core.ResilientClerk, prefix string) []time.Duration {
+		durs := make([]time.Duration, 0, n)
+		for i := 0; i < n; i++ {
+			rid := fmt.Sprintf("%s-%05d", prefix, i)
+			begin := time.Now()
+			rep, err := rc.Transceive(ctx, rid, []byte(rid), nil, nil)
+			durs = append(durs, time.Since(begin))
+			if err != nil {
+				t.Fatalf("%s: %v", rid, err)
+			}
+			if rep.RID != rid || string(rep.Body) != "echo:"+rid {
+				t.Fatalf("%s: reply %q/%q", rid, rep.RID, rep.Body)
+			}
+		}
+		return durs
+	}
+
+	// Arm 1: unhedged baseline through the straggling link.
+	baseCl := rpc.NewClient(w.addrA, rpc.Dialer(w.net.Dialer(nil)))
+	t.Cleanup(func() { baseCl.Close() })
+	base := core.NewResilientClerk(qservice.NewClient(baseCl), core.ResilientConfig{
+		Clerk:   core.ClerkConfig{ClientID: "hsoak-base", RequestQueue: "req", ReceiveWait: 300 * time.Millisecond},
+		Backoff: core.BackoffPolicy{Initial: time.Millisecond, Max: 50 * time.Millisecond},
+		Seed:    23,
+	})
+	unhedged := run(base, "u")
+
+	// Arm 2: hedged clerk — primary through the same straggling link, one
+	// clone arm to req.b through the healthy endpoint.
+	hedgeRPC := rpc.NewClient(w.addrA, rpc.Dialer(w.net.Dialer(nil)))
+	t.Cleanup(func() { hedgeRPC.Close() })
+	cleanRPC := rpc.NewClient(w.addrB, nil)
+	t.Cleanup(func() { cleanRPC.Close() })
+	reg := obs.NewRegistry()
+	hedged := core.NewResilientClerk(qservice.NewClient(hedgeRPC), core.ResilientConfig{
+		Clerk:   core.ClerkConfig{ClientID: "hsoak-hedge", RequestQueue: "req", ReceiveWait: 300 * time.Millisecond},
+		Backoff: core.BackoffPolicy{Initial: time.Millisecond, Max: 50 * time.Millisecond},
+		Metrics: reg,
+		Seed:    29,
+		Hedge: &core.HedgePolicy{
+			Queues:     []string{"req.b"},
+			Conns:      []core.QMConn{qservice.NewClient(cleanRPC)},
+			MinTrigger: 20 * time.Millisecond,
+			DrainWait:  250 * time.Millisecond,
+		},
+	})
+	hedgedDurs := run(hedged, "h")
+	hedged.WaitHedgeDrains()
+
+	pU, pH := p99of(unhedged), p99of(hedgedDurs)
+	t.Logf("p99 unhedged=%v hedged=%v (%d requests each)", pU, pH, n)
+	if pH*2 > pU {
+		t.Errorf("hedged p99 %v not at least 2x better than unhedged %v", pH, pU)
+	}
+
+	// Exactly-once, conservation-checked. Every Transceive above returned
+	// exactly one reply for its rid (zero lost, zero duplicates surfaced);
+	// the durable side must show at most one duplicate execution per
+	// hedged rid and exactly one per unhedged rid.
+	for i := 0; i < n; i++ {
+		if got := w.execCount(t, fmt.Sprintf("u-%05d", i)); got != 1 {
+			t.Errorf("u-%05d executed %d times, want 1", i, got)
+		}
+		got := w.execCount(t, fmt.Sprintf("h-%05d", i))
+		if got < 1 || got > 2 {
+			t.Errorf("h-%05d executed %d times, want 1 or 2", i, got)
+		}
+	}
+
+	s := reg.Snapshot()
+	c := func(name string) uint64 { return s.Counters[name] }
+	if got := c("clerk.hedged_transceives"); got != uint64(n) {
+		t.Errorf("hedged_transceives = %d, want %d", got, n)
+	}
+	if ledger := c("clerk.hedge_primary_wins") + c("clerk.hedge_wins") +
+		c("clerk.hedge_timeouts") + c("clerk.hedge_errors"); ledger != uint64(n) {
+		t.Errorf("win/timeout/error ledger = %d, want %d: %+v", ledger, n, s.Counters)
+	}
+	if c("clerk.hedge_cancels")+c("clerk.hedge_wasted") > c("clerk.hedge_clones") {
+		t.Errorf("cancels+wasted exceeds clones: %+v", s.Counters)
+	}
+
+	// Vacuity guards: the straggler must have actually stalled reads, and
+	// the hedge must have actually fired.
+	if w.net.Delays() == 0 {
+		t.Error("chaos injected no straggles; soak is vacuous")
+	}
+	if c("clerk.hedges") == 0 {
+		t.Error("no hedges fired; soak is vacuous")
+	}
+
+	// No duplicate reply may linger: the background drains scavenge every
+	// loser's reply.
+	w.waitReplyDrained(t, hedged.ReplyQueue(), 10*time.Second)
+	w.waitReplyDrained(t, base.ReplyQueue(), 10*time.Second)
+}

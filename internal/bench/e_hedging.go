@@ -1,0 +1,201 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/queue"
+)
+
+func init() { register("e14", runE14) }
+
+// runE14: request cloning (hedging) collapses the latency tail at low
+// utilization and stops paying as utilization rises — the tradeoff curve
+// of the cloning model (Pellegrini, arXiv:2002.04416; PAPERS.md), layered
+// over the paper's exactly-once Transceive.
+//
+// Two queues over one repository, two servers each. The primary queue's
+// servers straggle on marked requests (a slow QM for a subset of its
+// traffic); the alternate never does. Utilization is raised by closed-loop
+// background clients saturating both servers. The foreground client runs
+// unhedged, then hedged with one clone arm to the alternate queue.
+func runE14(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "E14",
+		Title: "Hedged requests: cloning vs. utilization",
+		Claim: "cloning model (arXiv:2002.04416): cloning the slowest requests wins large tail-latency " +
+			"factors at low utilization; at high utilization the clones queue behind real work and the " +
+			"win evaporates while duplicate executions burn capacity. Exactly-once must hold throughout.",
+		Columns: []string{"util", "arm", "requests", "p50", "p99", "hedges", "clone-wins", "cancels", "wasted", "dup-execs"},
+	}
+	var p99 = map[string]time.Duration{}
+	for _, u := range []struct {
+		label string
+		bg    int
+	}{{"low", 0}, {"high", 32}} {
+		for _, hedged := range []bool{false, true} {
+			row, p, err := e14Arm(cfg, u.bg, hedged)
+			if err != nil {
+				return nil, fmt.Errorf("util=%s hedged=%v: %w", u.label, hedged, err)
+			}
+			arm := "unhedged"
+			if hedged {
+				arm = "hedged"
+			}
+			p99[u.label+"/"+arm] = p
+			t.AddRow(append([]string{u.label, arm}, row...)...)
+		}
+	}
+	if lo, hi := p99["low/unhedged"], p99["low/hedged"]; hi > 0 {
+		t.Notef("low utilization: hedging improves p99 by %.1fx", float64(lo)/float64(hi))
+	}
+	if lo, hi := p99["high/unhedged"], p99["high/hedged"]; hi > 0 {
+		t.Notef("high utilization: p99 factor only %.1fx — the clones queue behind the backlog and the win collapses toward parity", float64(lo)/float64(hi))
+	}
+	t.Notef("straggle = +60ms on 1/32 of requests at the primary servers only; service time 3ms; trigger adapts to the p95 of observed latencies (floor 8ms)")
+	t.Notef("dup-execs counts extra committed executions of foreground rids (from the durable execs table): every one was drained, never surfaced")
+	return t, nil
+}
+
+func e14Arm(cfg Config, bg int, hedged bool) (row []string, p99 time.Duration, err error) {
+	dir, err := cfg.tempDir("e14-*")
+	if err != nil {
+		return nil, 0, err
+	}
+	defer os.RemoveAll(dir)
+	repo, _, err := queue.Open(dir, queue.Options{NoFsync: !cfg.Fsync})
+	if err != nil {
+		return nil, 0, err
+	}
+	defer repo.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const service = 3 * time.Millisecond
+	const straggle = 60 * time.Millisecond
+	for _, qname := range []string{"req", "req.b"} {
+		if err := repo.CreateQueue(queue.QueueConfig{Name: qname}); err != nil {
+			return nil, 0, err
+		}
+		primary := qname == "req"
+		for pool := 0; pool < 2; pool++ {
+			srv, serr := core.NewServer(core.ServerConfig{
+				Repo: repo, Queue: qname, Name: fmt.Sprintf("e14-%s-%d", qname, pool),
+				Handler: func(rc *core.ReqCtx) ([]byte, error) {
+					time.Sleep(service)
+					if primary && rc.Request.Headers["slow"] != "" {
+						time.Sleep(straggle)
+					}
+					v, _, err := rc.Repo.KVGet(rc.Ctx, rc.Txn, "execs", rc.Request.RID, true)
+					if err != nil {
+						return nil, err
+					}
+					n := 0
+					if v != nil {
+						n, _ = strconv.Atoi(string(v))
+					}
+					if err := rc.Repo.KVSet(rc.Ctx, rc.Txn, "execs", rc.Request.RID, []byte(strconv.Itoa(n+1))); err != nil {
+						return nil, err
+					}
+					return []byte("ok"), nil
+				},
+			})
+			if serr != nil {
+				return nil, 0, serr
+			}
+			go srv.Serve(ctx)
+		}
+	}
+
+	// Background load: closed-loop clients split across both queues keep
+	// the servers at high utilization.
+	var wg sync.WaitGroup
+	for b := 0; b < bg; b++ {
+		wg.Add(1)
+		go func(b int) {
+			defer wg.Done()
+			qname := "req"
+			if b%2 == 1 {
+				qname = "req.b"
+			}
+			rc := core.NewResilientClerk(&core.LocalConn{Repo: repo}, core.ResilientConfig{
+				Clerk: core.ClerkConfig{ClientID: fmt.Sprintf("e14-bg-%d", b), RequestQueue: qname, ReceiveWait: time.Second},
+				Seed:  cfg.Seed + int64(b),
+			})
+			for i := 0; ctx.Err() == nil; i++ {
+				rid := fmt.Sprintf("bg-%d-%d", b, i)
+				if _, err := rc.Transceive(ctx, rid, nil, nil, nil); err != nil {
+					return
+				}
+			}
+		}(b)
+	}
+	defer wg.Wait()
+	defer cancel()
+
+	reg := obs.NewRegistry()
+	rcfg := core.ResilientConfig{
+		Clerk:   core.ClerkConfig{ClientID: "e14-fg", RequestQueue: "req", ReceiveWait: time.Second},
+		Metrics: reg,
+		Seed:    cfg.Seed,
+	}
+	if hedged {
+		rcfg.Hedge = &core.HedgePolicy{
+			Queues:     []string{"req.b"},
+			MinTrigger: 8 * time.Millisecond,
+			DrainWait:  200 * time.Millisecond,
+		}
+	}
+	fg := core.NewResilientClerk(&core.LocalConn{Repo: repo}, rcfg)
+
+	n := cfg.scale(64, 240)
+	durs := make([]time.Duration, 0, n)
+	for i := 0; i < n; i++ {
+		rid := fmt.Sprintf("fg-%05d", i)
+		var hdrs map[string]string
+		if i%32 == 0 {
+			hdrs = map[string]string{"slow": "1"} // the primary QM straggles on these
+		}
+		begin := time.Now()
+		if _, err := fg.Transceive(ctx, rid, nil, hdrs, nil); err != nil {
+			return nil, 0, fmt.Errorf("fg %s: %w", rid, err)
+		}
+		durs = append(durs, time.Since(begin))
+	}
+	fg.WaitHedgeDrains()
+
+	dups := 0
+	for i := 0; i < n; i++ {
+		if c := execCount(repo, fmt.Sprintf("fg-%05d", i)); c > 1 {
+			dups += c - 1
+		}
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	quant := func(q float64) time.Duration {
+		idx := int(q * float64(len(durs)))
+		if idx >= len(durs) {
+			idx = len(durs) - 1
+		}
+		return durs[idx]
+	}
+	s := reg.Snapshot()
+	c := func(name string) uint64 { return s.Counters[name] }
+	row = []string{
+		strconv.Itoa(n),
+		fmtMs(quant(0.50).Seconds()),
+		fmtMs(quant(0.99).Seconds()),
+		strconv.FormatUint(c("clerk.hedges"), 10),
+		strconv.FormatUint(c("clerk.hedge_wins"), 10),
+		strconv.FormatUint(c("clerk.hedge_cancels"), 10),
+		strconv.FormatUint(c("clerk.hedge_wasted"), 10),
+		strconv.Itoa(dups),
+	}
+	return row, quant(0.99), nil
+}

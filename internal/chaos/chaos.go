@@ -12,6 +12,7 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"time"
 )
 
 // ErrInjected marks failures produced by this package.
@@ -126,8 +127,14 @@ type Network struct {
 	dialFail float64 // probability a dial is refused
 	cutProb  float64 // probability each write severs the connection
 	readCut  float64 // probability each read severs the connection
-	downMu   sync.Mutex
-	down     bool // hard partition: all dials refused, all conns cut
+
+	delay      time.Duration // added to every delivered read
+	stragProb  float64       // probability a read is a straggler
+	stragDelay time.Duration // extra latency for straggler reads
+	delays     int           // reads that were delayed (either knob)
+
+	downMu sync.Mutex
+	down   bool // hard partition: all dials refused, all conns cut
 
 	// conns tracks only live connections: a conn is removed the moment it
 	// dies (cut, partition, or Close), so long soaks that churn thousands
@@ -165,6 +172,37 @@ func (n *Network) SetReadCutProb(p float64) {
 	n.mu.Lock()
 	n.readCut = p
 	n.mu.Unlock()
+}
+
+// SetDelay adds a fixed latency to every delivered read: bytes arrive,
+// then sit in transit for d before the caller sees them. This models a
+// uniformly slow link (or a uniformly slow peer) without losing data —
+// the degraded-but-alive regime the paper's timeout-based recovery cannot
+// distinguish from a crash.
+func (n *Network) SetDelay(d time.Duration) {
+	n.mu.Lock()
+	n.delay = d
+	n.mu.Unlock()
+}
+
+// SetStragglerProb makes each delivered read a straggler with probability
+// p: the bytes are delayed by an extra d on top of any SetDelay baseline.
+// Independent reads straggle independently, producing the heavy-tailed
+// latency profile hedged requests are designed to mask — most replies are
+// fast, an unlucky few set the p99.
+func (n *Network) SetStragglerProb(p float64, d time.Duration) {
+	n.mu.Lock()
+	n.stragProb = p
+	n.stragDelay = d
+	n.mu.Unlock()
+}
+
+// Delays reports how many reads were artificially delayed — lets a soak
+// assert the injection actually exercised the slow path.
+func (n *Network) Delays() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.delays
 }
 
 // Conns reports the number of currently live tracked connections — a
@@ -305,5 +343,24 @@ func (c *faultConn) Read(p []byte) (int, error) {
 		c.die()
 		return 0, errors.New("chaos: connection cut")
 	}
-	return c.Conn.Read(p)
+	nr, err := c.Conn.Read(p)
+	if nr > 0 {
+		// Latency injection applies only to delivered bytes: the data is
+		// in hand, then held in "transit" before the caller sees it. Reads
+		// that block waiting for the peer are not additionally penalized,
+		// and errored reads fail fast.
+		c.net.mu.Lock()
+		d := c.net.delay
+		if c.net.stragProb > 0 && c.net.rng.Float64() < c.net.stragProb {
+			d += c.net.stragDelay
+		}
+		if d > 0 {
+			c.net.delays++
+		}
+		c.net.mu.Unlock()
+		if d > 0 {
+			time.Sleep(d)
+		}
+	}
+	return nr, err
 }

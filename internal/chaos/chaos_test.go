@@ -186,6 +186,93 @@ func TestReadCutSeversWithoutDelivering(t *testing.T) {
 	}
 }
 
+// TestSetDelayAddsLatency: a fixed read delay slows every round trip by
+// at least the configured amount without losing data.
+func TestSetDelayAddsLatency(t *testing.T) {
+	srv := rpc.NewServer()
+	srv.Handle("ping", func(p []byte) ([]byte, error) { return []byte("pong"), nil })
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	n := NewNetwork(11)
+	c := rpc.NewClient(addr, rpc.Dialer(n.Dialer(nil)))
+	defer c.Close()
+	if _, err := c.Call(context.Background(), "ping", nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Delays(); got != 0 {
+		t.Fatalf("Delays() = %d before any delay configured, want 0", got)
+	}
+
+	const d = 30 * time.Millisecond
+	n.SetDelay(d)
+	start := time.Now()
+	reply, err := c.Call(context.Background(), "ping", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(reply) != "pong" {
+		t.Fatalf("reply = %q, want pong (delay must not corrupt data)", reply)
+	}
+	if elapsed := time.Since(start); elapsed < d {
+		t.Fatalf("round trip %v under a %v read delay", elapsed, d)
+	}
+	if got := n.Delays(); got == 0 {
+		t.Fatal("Delays() = 0 after delayed round trip")
+	}
+
+	// Clearing the delay restores fast round trips.
+	n.SetDelay(0)
+	start = time.Now()
+	if _, err := c.Call(context.Background(), "ping", nil); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed >= d {
+		t.Fatalf("round trip %v after clearing delay, want < %v", elapsed, d)
+	}
+}
+
+// TestStragglerProbInjectsTail: p=1 delays every read; p=0 never does.
+// The probabilistic middle ground is exercised (and made deterministic)
+// by the seeded rng, same as the cut-probability knobs.
+func TestStragglerProbInjectsTail(t *testing.T) {
+	srv := rpc.NewServer()
+	srv.Handle("ping", func(p []byte) ([]byte, error) { return []byte("pong"), nil })
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	n := NewNetwork(23)
+	c := rpc.NewClient(addr, rpc.Dialer(n.Dialer(nil)))
+	defer c.Close()
+
+	const d = 30 * time.Millisecond
+	n.SetStragglerProb(1.0, d)
+	start := time.Now()
+	if _, err := c.Call(context.Background(), "ping", nil); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < d {
+		t.Fatalf("round trip %v under p=1 straggler of %v", elapsed, d)
+	}
+
+	n.SetStragglerProb(0, d)
+	before := n.Delays()
+	for i := 0; i < 5; i++ {
+		if _, err := c.Call(context.Background(), "ping", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := n.Delays(); got != before {
+		t.Fatalf("Delays() grew %d→%d with p=0", before, got)
+	}
+}
+
 // TestConnsPrunedOnCloseAndCut: the tracking map must not leak dead
 // connections — closed, cut, or partitioned conns all drop out of the
 // Conns() gauge.

@@ -83,6 +83,13 @@ type ClerkConfig struct {
 	// OneWaySend makes Send use a one-way message, forgoing the stable-
 	// storage acknowledgement (Section 5's optimisation).
 	OneWaySend bool
+	// FilterReplies makes every Receive dequeue with a header filter on
+	// the outstanding rid, so foreign elements in the reply queue are
+	// skipped instead of violating the protocol. Hedged clerks need it:
+	// a duplicate reply from a clone whose cancellation lost the race may
+	// sit in the reply queue until the background drain removes it, and
+	// the next request's Receive must see past it (DESIGN.md §11).
+	FilterReplies bool
 	// Tracer, when enabled, stamps every Send with a fresh trace id and a
 	// root "submit" span; the id travels with the element through the
 	// queue, the server's transaction, and recovery replay. nil disables.
@@ -250,8 +257,12 @@ func (c *Clerk) Receive(ctx context.Context, ckpt []byte) (Reply, error) {
 		return Reply{}, fmt.Errorf("core: illegal Receive in state %s: %w", c.fsm.State(), ErrNoOutstanding)
 	}
 	tag := encodeReceiveTag(c.sRID, ckpt)
+	var match map[string]string
+	if c.cfg.FilterReplies {
+		match = map[string]string{hdrRID: c.sRID}
+	}
 	for {
-		el, err := c.qm.Dequeue(ctx, c.cfg.ReplyQueue, c.cfg.ClientID, tag, c.cfg.ReceiveWait, nil)
+		el, err := c.qm.Dequeue(ctx, c.cfg.ReplyQueue, c.cfg.ClientID, tag, c.cfg.ReceiveWait, match)
 		if errors.Is(err, queue.ErrEmpty) {
 			if ctx.Err() != nil {
 				return Reply{}, ctx.Err()

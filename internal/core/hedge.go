@@ -1,0 +1,696 @@
+package core
+
+// Hedged requests: tail-latency masking for exactly-once Transceive
+// (DESIGN.md §11).
+//
+// The paper's recovery protocol (fig. 2) masks servers that *fail*; a
+// server that is merely slow is indistinguishable from a dead one to the
+// waiting client, so one straggler queue manager sets the client's p99.
+// The cloning model of PAPERS.md's reproducibility report (Pellegrini,
+// arXiv:2002.04416) is the fix: when a request has been in flight longer
+// than a trigger delay derived from the recent latency distribution,
+// clone it — same rid — to up to k alternate queues, take the first
+// committed reply, and cancel the losers.
+//
+// Exactly-once survives because every mechanism is one the recovery
+// protocol already trusts:
+//
+//   - The reply queue is the deduplication point. Every reply carries the
+//     rid as a header, so every receive in hedged mode — the primary
+//     arm's and each racer's — dequeues with a rid header filter and a
+//     registration tag. The first committed dequeue wins; the coordinator
+//     surfaces exactly the first arm result and discards the rest.
+//   - All record-bearing dequeues run under the client's registrant with
+//     the same (rid, ckpt) tag the unhedged clerk would use, so the
+//     durable registration record — the resync truth of fig. 2 — can
+//     only ever say something a single-armed clerk could have said.
+//     Duplicate-drains use the empty registrant and touch no record.
+//   - Losers are killed with KillElement (Section 7). A kill that wins
+//     deletes the clone before execution; a kill that loses means a
+//     duplicate *execution* happened — allowed only because the policy
+//     owner asserts idempotence or supplies OnDuplicate compensation —
+//     and its duplicate *reply* is drained in the background, never
+//     surfaced.
+//
+// A request may execute more than once only when cancellation loses the
+// race; the caller sees exactly one reply in all cases.
+
+import (
+	"context"
+	"errors"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/queue"
+)
+
+// hdrHedge marks a cloned request element with its arm index (provenance
+// for debugging and experiments; servers ignore it).
+const hdrHedge = "hedge"
+
+const (
+	// hedgeRetryPause is the racer's backoff after a transport error whose
+	// possibly-committed dequeue could not be recovered via ReadLast.
+	hedgeRetryPause = 20 * time.Millisecond
+	// hedgeDrainAttempts bounds the blocking attempts a background drain
+	// makes for each expected duplicate reply before concluding the
+	// duplicate was consumed some other way (e.g. by a doomed racer whose
+	// response was lost after commit).
+	hedgeDrainAttempts = 4
+	// hedgeEnqueueGrace bounds a clone enqueue that outlives its arm's
+	// cancellation: once started, the enqueue is allowed to finish (on its
+	// own deadline) so the clone's eid is always known and killable —
+	// aborting it midway could commit an orphan element nobody can cancel.
+	hedgeEnqueueGrace = time.Second
+)
+
+// HedgePolicy configures hedged Transceives on a ResilientClerk.
+//
+// Hedging may execute a request more than once (when cancellation loses
+// the race with a server that already dequeued the clone), so it is only
+// safe for idempotent handlers — or non-idempotent ones with an
+// OnDuplicate compensation hook (DESIGN.md §11).
+type HedgePolicy struct {
+	// Queues are the alternate request queues clones are submitted to, in
+	// launch order. They must already exist. A queue may equal the primary
+	// request queue (useful when one server pool drains several queues).
+	Queues []string
+	// Conns supplies the connection each clone arm uses for its enqueue
+	// and its racing receive; index-aligned with Queues. Missing or nil
+	// entries use the clerk's primary connection. Separate connections are
+	// the point: a straggling primary link cannot delay an arm that talks
+	// to a healthy one.
+	Conns []QMConn
+	// MaxClones caps how many clones one Transceive may launch; 0 or
+	// anything above len(Queues) means len(Queues).
+	MaxClones int
+	// TriggerQuantile is the latency quantile (0 < q < 1) of recent
+	// Transceives that arms the hedge timer; default 0.95 — hedge only
+	// the slowest ~5% of requests.
+	TriggerQuantile float64
+	// MinTrigger floors the trigger delay, and is the whole trigger until
+	// the latency digest has observations. Default 10ms.
+	MinTrigger time.Duration
+	// ObserveWindow sizes the sliding latency window the trigger is
+	// derived from; 0 takes the obs package default (512).
+	ObserveWindow int
+	// DrainWait bounds each blocking attempt the background drain makes
+	// while waiting for a too-late-to-cancel clone's duplicate reply.
+	// Default 2s.
+	DrainWait time.Duration
+	// OnDuplicate, when set, is called with each drained duplicate reply —
+	// the compensation hook for non-idempotent handlers (E11 semantics:
+	// the duplicate executed and committed; undo it at the application
+	// level).
+	OnDuplicate func(Reply)
+}
+
+// hedgeState is the normalized runtime of a HedgePolicy plus its
+// instruments; owned by a ResilientClerk.
+type hedgeState struct {
+	queues     []string
+	conns      []QMConn
+	maxClones  int
+	quantile   float64
+	minTrigger time.Duration
+	drainWait  time.Duration
+	onDup      func(Reply)
+
+	digest  *obs.QuantileDigest
+	drainWG sync.WaitGroup
+
+	mTransceives *obs.Counter // hedged Transceive calls
+	mHedges      *obs.Counter // calls where >=1 clone launched
+	mClones      *obs.Counter // clone enqueues committed
+	mWins        *obs.Counter // calls won by a hedge arm
+	mPrimaryWins *obs.Counter // calls won by the primary arm
+	mCancels     *obs.Counter // loser elements killed before execution
+	mWasted      *obs.Counter // duplicate replies drained (dup executions)
+	mTimeouts    *obs.Counter // calls ended by ctx expiry/cancellation
+	mErrors      *obs.Counter // calls ended by any other error
+	gTrigger     *obs.Gauge   // last computed trigger delay (ns)
+	gP50         *obs.Gauge   // digest percentiles (ns), refreshed per win
+	gP95         *obs.Gauge
+	gP99         *obs.Gauge
+}
+
+func newHedgeState(p *HedgePolicy, primary QMConn, reg *obs.Registry) *hedgeState {
+	h := &hedgeState{
+		queues:     append([]string(nil), p.Queues...),
+		maxClones:  p.MaxClones,
+		quantile:   p.TriggerQuantile,
+		minTrigger: p.MinTrigger,
+		drainWait:  p.DrainWait,
+		onDup:      p.OnDuplicate,
+		digest:     obs.NewQuantileDigest(p.ObserveWindow),
+
+		mTransceives: reg.Counter("clerk.hedged_transceives"),
+		mHedges:      reg.Counter("clerk.hedges"),
+		mClones:      reg.Counter("clerk.hedge_clones"),
+		mWins:        reg.Counter("clerk.hedge_wins"),
+		mPrimaryWins: reg.Counter("clerk.hedge_primary_wins"),
+		mCancels:     reg.Counter("clerk.hedge_cancels"),
+		mWasted:      reg.Counter("clerk.hedge_wasted"),
+		mTimeouts:    reg.Counter("clerk.hedge_timeouts"),
+		mErrors:      reg.Counter("clerk.hedge_errors"),
+		gTrigger:     reg.Gauge("clerk.hedge_trigger_ns"),
+		gP50:         reg.Gauge("clerk.hedge_lat_p50_ns"),
+		gP95:         reg.Gauge("clerk.hedge_lat_p95_ns"),
+		gP99:         reg.Gauge("clerk.hedge_lat_p99_ns"),
+	}
+	if h.maxClones <= 0 || h.maxClones > len(h.queues) {
+		h.maxClones = len(h.queues)
+	}
+	if h.quantile <= 0 || h.quantile >= 1 {
+		h.quantile = 0.95
+	}
+	if h.minTrigger <= 0 {
+		h.minTrigger = 10 * time.Millisecond
+	}
+	if h.drainWait <= 0 {
+		h.drainWait = 2 * time.Second
+	}
+	h.conns = make([]QMConn, len(h.queues))
+	for i := range h.queues {
+		if i < len(p.Conns) && p.Conns[i] != nil {
+			h.conns[i] = p.Conns[i]
+		} else {
+			h.conns[i] = primary
+		}
+	}
+	return h
+}
+
+// trigger derives the current hedge delay: the trigger quantile of recent
+// latencies, floored at MinTrigger (which is the whole answer until the
+// digest warms up).
+func (h *hedgeState) trigger() time.Duration {
+	d := time.Duration(h.digest.Quantile(h.quantile))
+	if d < h.minTrigger {
+		d = h.minTrigger
+	}
+	h.gTrigger.Set(int64(d))
+	return d
+}
+
+// observe feeds one completed Transceive's latency to the digest and
+// refreshes the percentile gauges.
+func (h *hedgeState) observe(d time.Duration) {
+	h.digest.Observe(int64(d))
+	s := h.digest.Snapshot()
+	h.gP50.Set(s.P50)
+	h.gP95.Set(s.P95)
+	h.gP99.Set(s.P99)
+}
+
+// HedgeSnapshot returns the latency digest behind the hedge trigger; ok is
+// false when the clerk has no hedge policy.
+func (r *ResilientClerk) HedgeSnapshot() (obs.QuantileSnapshot, bool) {
+	if r.hedge == nil {
+		return obs.QuantileSnapshot{}, false
+	}
+	return r.hedge.digest.Snapshot(), true
+}
+
+// WaitHedgeDrains blocks until all background loser cleanup (kills and
+// duplicate-reply drains) from completed hedged Transceives has finished.
+// Call it before tearing down the world under the clerk (tests, graceful
+// shutdown); during normal operation cleanup runs concurrently with the
+// next request.
+func (r *ResilientClerk) WaitHedgeDrains() {
+	if r.hedge != nil {
+		r.hedge.drainWG.Wait()
+	}
+}
+
+// armResult is one arm's outcome; arm -1 is the primary.
+type armResult struct {
+	arm int
+	rep Reply
+	err error
+}
+
+// hedgeArm is a clone arm's identity and — once its enqueue commits — the
+// clone element to cancel if the arm loses. eid is written by the arm
+// goroutine and read by the coordinator only after the join (WaitGroup
+// establishes the happens-before).
+type hedgeArm struct {
+	queue string
+	conn  QMConn
+	eid   queue.EID
+}
+
+// transceiveHedged runs fig. 2 with request cloning layered on: the
+// primary arm is the whole unhedged resilient loop in a goroutine; each
+// time the trigger delay elapses without a result, one more clone arm
+// launches, until MaxClones. First successful arm wins; losers are
+// canceled (or their duplicate replies drained) in the background.
+func (r *ResilientClerk) transceiveHedged(ctx context.Context, rid string, body []byte, headers map[string]string, ckpt []byte) (Reply, error) {
+	h := r.hedge
+	h.mTransceives.Inc()
+	start := time.Now()
+	trigger := h.trigger()
+
+	armCtx, cancelArms := context.WithCancel(ctx)
+	defer cancelArms()
+
+	results := make(chan armResult, 1+h.maxClones) // each arm sends exactly once
+	var wg sync.WaitGroup
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rep, err := r.transceiveUnhedged(armCtx, rid, body, headers, ckpt)
+		results <- armResult{arm: -1, rep: rep, err: err}
+	}()
+
+	var (
+		clones      []*hedgeArm
+		winner      *armResult
+		primaryErr  error
+		primaryDown bool
+		reported    = 0
+		grace       = false // primary failed; bounded wait for a clone win
+	)
+	timer := time.NewTimer(trigger)
+	defer timer.Stop()
+
+	for winner == nil {
+		select {
+		case res := <-results:
+			reported++
+			if res.err == nil {
+				winner = &res
+				continue
+			}
+			if res.arm == -1 {
+				primaryErr = res.err
+				primaryDown = true
+				if ctx.Err() != nil || len(clones) == 0 {
+					// Caller gone, or nothing else in flight: fail now.
+					return r.hedgeFail(ctx, rid, start, primaryErr, clones, cancelArms, &wg, results)
+				}
+				// The primary is authoritative for failure semantics, but a
+				// clone's committed reply may already be en route — give the
+				// survivors one more trigger period.
+				grace = true
+				if !timer.Stop() {
+					select {
+					case <-timer.C:
+					default:
+					}
+				}
+				timer.Reset(trigger)
+				continue
+			}
+			// A clone arm failed. If every arm has now failed, surface the
+			// primary's error (it speaks for the request's real state).
+			if primaryDown && reported == 1+len(clones) {
+				return r.hedgeFail(ctx, rid, start, primaryErr, clones, cancelArms, &wg, results)
+			}
+		case <-timer.C:
+			if grace {
+				return r.hedgeFail(ctx, rid, start, primaryErr, clones, cancelArms, &wg, results)
+			}
+			if len(clones) < h.maxClones {
+				if len(clones) == 0 {
+					h.mHedges.Inc()
+				}
+				clones = append(clones, r.launchClone(armCtx, &wg, len(clones), rid, body, headers, ckpt, results))
+				timer.Reset(trigger)
+			}
+		case <-ctx.Done():
+			return r.hedgeFail(ctx, rid, start, ctx.Err(), clones, cancelArms, &wg, results)
+		}
+	}
+
+	cancelArms()
+	wg.Wait() // join: arms quiesced, inner clerk and arm eids safe to touch
+	return r.hedgeWin(ctx, rid, start, *winner, clones, results)
+}
+
+// hedgeWin finalizes a won hedged Transceive: reconcile the FSM, record
+// the latency, attribute the win, sweep up duplicates already consumed by
+// losing receivers, and schedule loser cleanup. Must be called after the
+// join (all arms have sent their one result).
+func (r *ResilientClerk) hedgeWin(ctx context.Context, rid string, start time.Time, res armResult, clones []*hedgeArm, results chan armResult) (Reply, error) {
+	h := r.hedge
+	r.adoptAfterHedge(rid, res.arm)
+	h.observe(time.Since(start))
+	// Win attribution is execution provenance — which request element the
+	// surfaced reply came from — not which receiver delivered it: both the
+	// primary's rid-filtered Receive and every racer block on the same
+	// reply queue, so a clone's reply is routinely handed to the primary's
+	// (longer-waiting) receiver.
+	if res.rep.HedgeArm > 0 {
+		h.mWins.Inc()
+	} else {
+		h.mPrimaryWins.Inc()
+	}
+
+	// When duplicate replies committed close together, losing receivers
+	// may have dequeued them before cancellation landed: those replies are
+	// already consumed — account for them now, or the background drain
+	// would wait for queue elements that no longer exist.
+	consumed := 0
+	for {
+		select {
+		case extra := <-results:
+			if extra.err == nil {
+				consumed++
+				h.mWasted.Inc()
+				if h.onDup != nil {
+					h.onDup(extra.rep)
+				}
+			}
+			continue
+		default:
+		}
+		break
+	}
+
+	// Loser cleanup — kills, then duplicate drains — runs off the reply
+	// path: a kill RPC through the straggling link must not tax the
+	// latency the hedge just saved.
+	var primaryEID queue.EID
+	primaryExists := false
+	if r.inner != nil && r.inner.sRID == rid {
+		primaryEID = r.inner.lastSendEID
+		primaryExists = true
+	}
+	cleanupCtx, cleanupCancel := context.WithTimeout(context.WithoutCancel(ctx),
+		time.Duration(hedgeDrainAttempts+1)*h.drainWait)
+	// Did the surfaced reply come from an element the cleanup pass is
+	// tracking? Usually yes; the exceptions are orphans — a primary Send
+	// canceled mid-RPC after the enqueue committed server-side, or a
+	// previous life's clone found during crash resynchronisation. An
+	// orphan's reply surfacing means every tracked element is a potential
+	// duplicate, so the usual "minus the surfaced one" does not apply.
+	surfacedTracked := (res.rep.HedgeArm == 0 && primaryExists) ||
+		(res.rep.HedgeArm > 0 && res.rep.HedgeArm <= len(clones) &&
+			clones[res.rep.HedgeArm-1] != nil && clones[res.rep.HedgeArm-1].eid != 0)
+	h.drainWG.Add(1)
+	go func() {
+		defer h.drainWG.Done()
+		defer cleanupCancel()
+		r.cleanupLosers(cleanupCtx, rid, primaryExists, primaryEID, clones, consumed, surfacedTracked)
+	}()
+	return res.rep, nil
+}
+
+// hedgeFail tears down all arms and classifies the failure. Clone
+// elements already enqueued are killed where possible — a clone that
+// survives must not execute a request the caller believes failed — but
+// committed replies are NOT drained: if the caller retries the rid, fig. 2
+// resynchronisation will find and surface one of them, which is exactly
+// the recovery the paper prescribes.
+func (r *ResilientClerk) hedgeFail(ctx context.Context, rid string, start time.Time, err error, clones []*hedgeArm, cancelArms context.CancelFunc, wg *sync.WaitGroup, results chan armResult) (Reply, error) {
+	h := r.hedge
+	cancelArms()
+	wg.Wait()
+	// All sends have happened (the channel is buffered for one send per
+	// arm); a win may have raced the failure decision — prefer it, since a
+	// committed reply in hand beats reporting a failure the caller would
+	// only have to recover from.
+sweep:
+	for {
+		select {
+		case res := <-results:
+			if res.err == nil {
+				return r.hedgeWin(ctx, rid, start, res, clones, results)
+			}
+		default:
+			break sweep
+		}
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		h.mTimeouts.Inc()
+	} else {
+		h.mErrors.Inc()
+	}
+	if err == nil {
+		err = ctx.Err()
+	}
+	// Kill what we can, off-path; no drains (see above).
+	killables := cloneKillables(clones)
+	if len(killables) > 0 {
+		cleanupCtx, cancel := context.WithTimeout(context.WithoutCancel(ctx), h.drainWait)
+		h.drainWG.Add(1)
+		go func() {
+			defer h.drainWG.Done()
+			defer cancel()
+			for _, k := range killables {
+				if killed, kerr := k.conn.KillElement(cleanupCtx, k.eid); kerr == nil && killed {
+					h.mCancels.Inc()
+				}
+			}
+		}()
+	}
+	return Reply{}, err
+}
+
+type killable struct {
+	conn QMConn
+	eid  queue.EID
+}
+
+func cloneKillables(clones []*hedgeArm) []killable {
+	var ks []killable
+	for _, c := range clones {
+		if c != nil && c.eid != 0 {
+			ks = append(ks, killable{conn: c.conn, eid: c.eid})
+		}
+	}
+	return ks
+}
+
+// launchClone starts clone arm i: enqueue a copy of the request — same
+// rid, same reply queue, empty registrant so no registration record is
+// written — then race to receive the reply through this arm's connection.
+func (r *ResilientClerk) launchClone(armCtx context.Context, wg *sync.WaitGroup, i int, rid string, body []byte, headers map[string]string, ckpt []byte, results chan<- armResult) *hedgeArm {
+	h := r.hedge
+	arm := &hedgeArm{queue: h.queues[i], conn: h.conns[i]}
+	clientID := r.cfg.Clerk.ClientID
+	replyQ := r.ReplyQueue()
+	wait := r.cfg.Clerk.ReceiveWait
+	if wait <= 0 {
+		wait = 30 * time.Second
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		e := requestElement(rid, clientID, replyQ, body, headers, nil, 0)
+		e.Headers[hdrHedge] = strconv.Itoa(i + 1)
+		// The enqueue is shielded from arm cancellation (bounded by its own
+		// grace deadline): a winner declared mid-enqueue must not leave a
+		// committed-but-unknown clone element behind — with the eid in hand
+		// the cleanup pass can always kill or drain it.
+		enqCtx, enqCancel := context.WithTimeout(context.WithoutCancel(armCtx), hedgeEnqueueGrace)
+		eid, err := arm.conn.Enqueue(enqCtx, arm.queue, e, "", nil)
+		enqCancel()
+		if err != nil {
+			results <- armResult{arm: i, err: err}
+			return
+		}
+		arm.eid = eid
+		h.mClones.Inc()
+		if armCtx.Err() != nil {
+			// Canceled while enqueueing: don't race for a reply; the
+			// cleanup pass kills the clone we just recorded.
+			results <- armResult{arm: i, err: armCtx.Err()}
+			return
+		}
+
+		// The racing receive runs under the client's registrant with the
+		// same (rid, ckpt) tag the primary would use: if this dequeue
+		// commits, the durable registration record says precisely what a
+		// single-armed clerk's successful Receive would have made it say,
+		// so crash resynchronisation stays truthful. The rid filter means
+		// it can never consume another request's reply.
+		tag := encodeReceiveTag(rid, ckpt)
+		match := map[string]string{hdrRID: rid}
+		for {
+			el, err := arm.conn.Dequeue(armCtx, replyQ, clientID, tag, wait, match)
+			if errors.Is(err, queue.ErrEmpty) {
+				if armCtx.Err() != nil {
+					results <- armResult{arm: i, err: armCtx.Err()}
+					return
+				}
+				continue
+			}
+			if err != nil {
+				if armCtx.Err() != nil {
+					results <- armResult{arm: i, err: armCtx.Err()}
+					return
+				}
+				// The dequeue may have committed with its response lost in
+				// transit. The registration's stable copy is authoritative
+				// (the basis of Rereceive): if it holds this rid's reply, a
+				// commit happened — recover it instead of waiting for a
+				// reply that is already consumed.
+				if rep, ok := rereadLastReply(armCtx, arm.conn, replyQ, clientID, rid); ok {
+					results <- armResult{arm: i, rep: rep}
+					return
+				}
+				select {
+				case <-armCtx.Done():
+					results <- armResult{arm: i, err: armCtx.Err()}
+					return
+				case <-time.After(hedgeRetryPause):
+				}
+				continue
+			}
+			rep, perr := parseReply(&el)
+			if perr != nil {
+				results <- armResult{arm: i, err: perr}
+				return
+			}
+			results <- armResult{arm: i, rep: rep}
+			return
+		}
+	}()
+	return arm
+}
+
+// rereadLastReply is the racer's Rereceive-equivalent: read the
+// registration's stable last-operation copy and accept it only if it is
+// this rid's reply.
+func rereadLastReply(ctx context.Context, conn QMConn, replyQ, clientID, rid string) (Reply, bool) {
+	el, err := conn.ReadLast(ctx, replyQ, clientID)
+	if err != nil {
+		return Reply{}, false
+	}
+	rep, err := parseReply(&el)
+	if err != nil || rep.RID != rid {
+		return Reply{}, false
+	}
+	return rep, true
+}
+
+// adoptAfterHedge reconciles the primary arm's FSM with a win. Called
+// after the join, so the inner clerk is quiescent.
+//
+// If a hedge arm won, the session HAS received this rid's reply — the
+// racer's committed dequeue wrote the registration record under the
+// client's registrant — but the inner clerk doesn't know. When it sits
+// cleanly in Req-Sent for this rid, fire the Receive event it missed;
+// any other state (mid-recovery, torn down by cancellation) just drops
+// the connection flag, and the next operation resynchronizes from the
+// registration tags — which the racer kept truthful by construction.
+func (r *ResilientClerk) adoptAfterHedge(rid string, winnerArm int) {
+	if winnerArm < 0 {
+		return // primary won through the normal path; FSM already right
+	}
+	c := r.inner
+	if c != nil && c.State() == StateReqSent && c.sRID == rid {
+		if err := c.fsm.Fire(EvReceive); err == nil {
+			return
+		}
+	}
+	if c != nil && c.State() == StateReplyRecvd && c.sRID == rid {
+		return // primary's own receive also landed; nothing to adopt
+	}
+	r.connected = false
+}
+
+// cleanupLosers kills every arm's still-pending request element and
+// drains the duplicate replies of arms that were too late to kill. Runs
+// in the background after a win.
+//
+// Accounting: of the request elements that existed (primary + committed
+// clones), exactly one execution produced the surfaced reply. Each
+// successful kill removes one element before execution (hedge_cancels);
+// every remaining element was (or will be) executed, so it yields one
+// duplicate reply beyond the surfaced one — expectedDups — each of which
+// is drained with the empty registrant (no registration record) and a rid
+// filter, then counted as hedge_wasted and handed to OnDuplicate.
+// consumed is the number of duplicates losing receivers already dequeued
+// (accounted by hedgeWin); they will never appear in the queue.
+// surfacedTracked reports whether the surfaced reply's producing element
+// is among the tracked arms (if not, every tracked element is a dup).
+func (r *ResilientClerk) cleanupLosers(ctx context.Context, rid string, primaryExists bool, primaryEID queue.EID, clones []*hedgeArm, consumed int, surfacedTracked bool) {
+	h := r.hedge
+	arms := 0
+	var ks []killable
+	if primaryExists {
+		arms++
+		if primaryEID != 0 {
+			ks = append(ks, killable{conn: r.hedgeKillConn(), eid: primaryEID})
+		}
+	}
+	for _, k := range cloneKillables(clones) {
+		arms++
+		ks = append(ks, k)
+	}
+	killed := 0
+	for _, k := range ks {
+		ok, err := k.conn.KillElement(ctx, k.eid)
+		if err != nil {
+			// One retry; a kill lost to transport is treated as not-killed
+			// (the drain below will give up gracefully if no dup appears).
+			ok, err = k.conn.KillElement(ctx, k.eid)
+		}
+		if err == nil && ok {
+			killed++
+			h.mCancels.Inc()
+		}
+	}
+	expected := arms - killed - consumed
+	if surfacedTracked {
+		expected--
+	}
+	if expected < 0 {
+		expected = 0
+	}
+	r.drainDuplicates(ctx, rid, expected)
+}
+
+// hedgeKillConn picks a connection for killing the primary's element and
+// for drains: the first clone conn (assumed healthy — that's why it's an
+// alternate) when distinct, else the primary connection.
+func (r *ResilientClerk) hedgeKillConn() QMConn {
+	h := r.hedge
+	for _, c := range h.conns {
+		if c != nil {
+			return c
+		}
+	}
+	return r.qm
+}
+
+// drainDuplicates removes duplicate replies for rid from the reply queue:
+// first a non-blocking sweep (which also scavenges residue left by a
+// previous life's crashed hedges for this rid), then bounded blocking
+// waits until the expected count is met or the attempt budget concludes
+// the duplicates were consumed elsewhere.
+func (r *ResilientClerk) drainDuplicates(ctx context.Context, rid string, expected int) {
+	h := r.hedge
+	conn := r.hedgeKillConn()
+	replyQ := r.ReplyQueue()
+	match := map[string]string{hdrRID: rid}
+	drained := 0
+	drainOne := func(wait time.Duration) bool {
+		el, err := conn.Dequeue(ctx, replyQ, "", nil, wait, match)
+		if err != nil {
+			return false
+		}
+		drained++
+		h.mWasted.Inc()
+		if h.onDup != nil {
+			if rep, perr := parseReply(&el); perr == nil {
+				h.onDup(rep)
+			}
+		}
+		return true
+	}
+	for drainOne(0) {
+	}
+	for attempt := 0; drained < expected && attempt < hedgeDrainAttempts; attempt++ {
+		if ctx.Err() != nil {
+			return
+		}
+		drainOne(h.drainWait)
+	}
+}

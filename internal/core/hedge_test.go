@@ -1,0 +1,461 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/queue"
+)
+
+// hedgeEnv is a two-queue world for hedging tests: queue "req" (the
+// primary) and "req.b" (the hedge target), each drained by its own server
+// over one shared repository. Handler behavior is injectable per queue.
+type hedgeEnv struct {
+	repo   *queue.Repository
+	cancel context.CancelFunc
+}
+
+func newHedgeEnv(t *testing.T, primaryHandler, hedgeHandler Handler) *hedgeEnv {
+	t.Helper()
+	repo, _, err := queue.Open(t.TempDir(), queue.Options{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { repo.Close() })
+	for _, q := range []string{"req", "req.b"} {
+		if err := repo.CreateQueue(queue.QueueConfig{Name: q}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	for _, s := range []struct {
+		q string
+		h Handler
+	}{{"req", primaryHandler}, {"req.b", hedgeHandler}} {
+		srv, err := NewServer(ServerConfig{Repo: repo, Queue: s.q, Name: "server." + s.q, Handler: s.h})
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() { _ = srv.Serve(ctx) }()
+	}
+	return &hedgeEnv{repo: repo, cancel: cancel}
+}
+
+// delayedEcho returns an echoHandler that sleeps first — a straggler (or
+// merely busy) server.
+func delayedEcho(d time.Duration) Handler {
+	return func(rc *ReqCtx) ([]byte, error) {
+		time.Sleep(d)
+		return echoHandler(rc)
+	}
+}
+
+func newHedgedClerk(t *testing.T, repo *queue.Repository, reg *obs.Registry, pol *HedgePolicy) *ResilientClerk {
+	t.Helper()
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return NewResilientClerk(&LocalConn{Repo: repo}, ResilientConfig{
+		Clerk:   ClerkConfig{ClientID: "hc1", RequestQueue: "req", ReceiveWait: 2 * time.Second},
+		Metrics: reg,
+		Seed:    1,
+		Hedge:   pol,
+	})
+}
+
+// counters is a shorthand for reading a registry counter by name.
+func counterVal(reg *obs.Registry, name string) uint64 {
+	return reg.Snapshot().Counters[name]
+}
+
+// TestHedgedStragglerWin: the primary queue's server is a hard straggler;
+// the hedge arm must win long before the straggler finishes, the reply
+// must be correct, and cleanup must leave no residue.
+func TestHedgedStragglerWin(t *testing.T) {
+	e := newHedgeEnv(t, delayedEcho(1500*time.Millisecond), echoHandler)
+	reg := obs.NewRegistry()
+	rc := newHedgedClerk(t, e.repo, reg, &HedgePolicy{
+		Queues:     []string{"req.b"},
+		MinTrigger: 20 * time.Millisecond,
+	})
+	ctx := context.Background()
+
+	start := time.Now()
+	rep, err := rc.Transceive(ctx, "rid-straggle", []byte("x"), nil, nil)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rep.Body) != "echo:x" || rep.IsError() {
+		t.Fatalf("reply = %+v", rep)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("hedged transceive took %v; the hedge arm should have won in tens of ms", elapsed)
+	}
+	if got := counterVal(reg, "clerk.hedge_wins"); got != 1 {
+		t.Fatalf("hedge_wins = %d, want 1", got)
+	}
+	if got := counterVal(reg, "clerk.hedges"); got != 1 {
+		t.Fatalf("hedges = %d, want 1", got)
+	}
+
+	rc.WaitHedgeDrains()
+	// The straggler either never executed (its element was killed) or its
+	// duplicate reply was drained; the caller saw exactly one reply.
+	if n := execCount(t, e.repo, "rid-straggle"); n < 1 || n > 2 {
+		t.Fatalf("executions = %d, want 1 or 2", n)
+	}
+	cancels := counterVal(reg, "clerk.hedge_cancels")
+	wasted := counterVal(reg, "clerk.hedge_wasted")
+	if cancels+wasted != 1 {
+		t.Fatalf("cancels=%d wasted=%d; exactly one loser must be canceled or drained", cancels, wasted)
+	}
+	waitDepthZero(t, e.repo, rc.ReplyQueue(), 5*time.Second)
+
+	// The clerk must be usable for the next request after a hedge win.
+	rep, err = rc.Transceive(ctx, "rid-after", []byte("y"), nil, nil)
+	if err != nil || string(rep.Body) != "echo:y" {
+		t.Fatalf("follow-up transceive: %+v, %v", rep, err)
+	}
+	rc.WaitHedgeDrains() // quiesce background cleanup before teardown
+}
+
+// TestHedgedFastPrimaryNeverClones: when the primary replies well inside
+// the trigger, hedging must cost nothing — no clones, no hedge wins.
+func TestHedgedFastPrimaryNeverClones(t *testing.T) {
+	e := newHedgeEnv(t, echoHandler, echoHandler)
+	reg := obs.NewRegistry()
+	rc := newHedgedClerk(t, e.repo, reg, &HedgePolicy{
+		Queues:     []string{"req.b"},
+		MinTrigger: 2 * time.Second,
+	})
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		rid := "rid-fast-" + strconv.Itoa(i)
+		rep, err := rc.Transceive(ctx, rid, []byte("z"), nil, nil)
+		if err != nil || string(rep.Body) != "echo:z" {
+			t.Fatalf("transceive %d: %+v, %v", i, rep, err)
+		}
+		if n := execCount(t, e.repo, rid); n != 1 {
+			t.Fatalf("executions = %d, want exactly 1 (no clone should launch)", n)
+		}
+	}
+	rc.WaitHedgeDrains()
+	if got := counterVal(reg, "clerk.hedges"); got != 0 {
+		t.Fatalf("hedges = %d, want 0", got)
+	}
+	if got := counterVal(reg, "clerk.hedge_clones"); got != 0 {
+		t.Fatalf("hedge_clones = %d, want 0", got)
+	}
+	if got := counterVal(reg, "clerk.hedge_primary_wins"); got != 5 {
+		t.Fatalf("hedge_primary_wins = %d, want 5", got)
+	}
+	if s, ok := rc.HedgeSnapshot(); !ok || s.Count != 5 {
+		t.Fatalf("digest snapshot = %+v ok=%v, want 5 observations", s, ok)
+	}
+}
+
+// ridBarrier makes handlers for two queues that each block until both
+// copies of a rid are in flight, then proceed — forcing the duplicate-
+// execution race deterministically: neither kill can win, both replies
+// commit.
+type ridBarrier struct {
+	mu      sync.Mutex
+	arrived map[string]int
+	ch      map[string]chan struct{}
+}
+
+func newRIDBarrier() *ridBarrier {
+	return &ridBarrier{arrived: make(map[string]int), ch: make(map[string]chan struct{})}
+}
+
+func (b *ridBarrier) handler(rc *ReqCtx) ([]byte, error) {
+	rid := rc.Request.RID
+	b.mu.Lock()
+	if b.ch[rid] == nil {
+		b.ch[rid] = make(chan struct{})
+	}
+	b.arrived[rid]++
+	ready := b.ch[rid]
+	if b.arrived[rid] == 2 {
+		close(ready)
+	}
+	b.mu.Unlock()
+	select {
+	case <-ready:
+	case <-time.After(10 * time.Second):
+		return nil, fmt.Errorf("barrier timeout for %s", rid)
+	}
+	return echoHandler(rc)
+}
+
+// TestHedgedDuplicateReplyDedupe (-race): original and clone both commit
+// replies for the same rid; the caller sees exactly one, the loser's
+// reply is drained (compensated via OnDuplicate), and the reply queue
+// ends empty.
+func TestHedgedDuplicateReplyDedupe(t *testing.T) {
+	bar := newRIDBarrier()
+	e := newHedgeEnv(t, bar.handler, bar.handler)
+	reg := obs.NewRegistry()
+	var dupMu sync.Mutex
+	var dups []Reply
+	rc := newHedgedClerk(t, e.repo, reg, &HedgePolicy{
+		Queues:     []string{"req.b"},
+		MinTrigger: time.Millisecond, // hedge almost immediately
+		OnDuplicate: func(rep Reply) {
+			dupMu.Lock()
+			dups = append(dups, rep)
+			dupMu.Unlock()
+		},
+	})
+	ctx := context.Background()
+
+	rep, err := rc.Transceive(ctx, "rid-dup", []byte("d"), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RID != "rid-dup" || string(rep.Body) != "echo:d" {
+		t.Fatalf("reply = %+v", rep)
+	}
+	rc.WaitHedgeDrains()
+
+	if n := execCount(t, e.repo, "rid-dup"); n != 2 {
+		t.Fatalf("executions = %d, want exactly 2 (barrier forces both)", n)
+	}
+	if got := counterVal(reg, "clerk.hedge_wasted"); got != 1 {
+		t.Fatalf("hedge_wasted = %d, want 1", got)
+	}
+	if got := counterVal(reg, "clerk.hedge_cancels"); got != 0 {
+		t.Fatalf("hedge_cancels = %d, want 0 (both executed)", got)
+	}
+	dupMu.Lock()
+	defer dupMu.Unlock()
+	if len(dups) != 1 || dups[0].RID != "rid-dup" || string(dups[0].Body) != "echo:d" {
+		t.Fatalf("OnDuplicate got %+v, want exactly the one drained duplicate", dups)
+	}
+	waitDepthZero(t, e.repo, rc.ReplyQueue(), 5*time.Second)
+}
+
+// TestHedgedDedupeAcrossCrashRecovery: both the original and a clone
+// commit replies, then the client's world crashes before any receive.
+// The recovered hedged clerk must resynchronize per fig. 2, surface
+// exactly one reply, and scavenge the orphaned duplicate its previous
+// life left behind.
+func TestHedgedDedupeAcrossCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	repo, _, err := queue.Open(dir, queue.Options{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := repo.CreateQueue(queue.QueueConfig{Name: "req"}); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Life 1: a clerk sends rid-crash, and a hedge clone of it is also
+	// enqueued (registrant-free, as the hedge path does). One server
+	// executes both; two replies commit. The client "crashes" before
+	// receiving either: its in-memory state is simply abandoned.
+	clerk := NewClerk(&LocalConn{Repo: repo}, ClerkConfig{ClientID: "hc1", RequestQueue: "req"})
+	if _, err := clerk.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := clerk.Send(ctx, "rid-crash", []byte("c"), nil); err != nil {
+		t.Fatal(err)
+	}
+	clone := requestElement("rid-crash", "hc1", clerk.ReplyQueue(), []byte("c"), nil, nil, 0)
+	clone.Headers[hdrHedge] = "1"
+	if _, err := repo.Enqueue(nil, "req", clone, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	srvCtx, srvCancel := context.WithCancel(ctx)
+	srv, err := NewServer(ServerConfig{Repo: repo, Queue: "req", Name: "server.req", Handler: echoHandler})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(srvCtx) }()
+	waitDepth(t, repo, clerk.ReplyQueue(), 2, 5*time.Second)
+	srvCancel()
+	if err := repo.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Life 2: reopen the repository (recovery replays the WAL) and run a
+	// hedged resilient clerk for the same client id and rid.
+	repo2, _, err := queue.Open(dir, queue.Options{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { repo2.Close() })
+	reg := obs.NewRegistry()
+	rc := NewResilientClerk(&LocalConn{Repo: repo2}, ResilientConfig{
+		Clerk:   ClerkConfig{ClientID: "hc1", RequestQueue: "req", ReceiveWait: 2 * time.Second},
+		Metrics: reg,
+		Seed:    1,
+		Hedge:   &HedgePolicy{Queues: []string{"req"}, MinTrigger: time.Second},
+	})
+	rep, err := rc.Transceive(ctx, "rid-crash", []byte("c"), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RID != "rid-crash" || string(rep.Body) != "echo:c" {
+		t.Fatalf("recovered reply = %+v", rep)
+	}
+	rc.WaitHedgeDrains()
+	if n := execCount(t, repo2, "rid-crash"); n != 2 {
+		t.Fatalf("executions = %d, want 2 (no re-execution after recovery)", n)
+	}
+	if got := counterVal(reg, "clerk.hedge_wasted"); got != 1 {
+		t.Fatalf("hedge_wasted = %d, want 1 (the orphaned duplicate)", got)
+	}
+	waitDepthZero(t, repo2, rc.ReplyQueue(), 5*time.Second)
+
+	// And the clerk keeps working with fresh rids.
+	srv2, err := NewServer(ServerConfig{Repo: repo2, Queue: "req", Name: "server.req", Handler: echoHandler})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2Ctx, srv2Cancel := context.WithCancel(ctx)
+	t.Cleanup(srv2Cancel)
+	go func() { _ = srv2.Serve(srv2Ctx) }()
+	rep, err = rc.Transceive(ctx, "rid-crash-2", []byte("n"), nil, nil)
+	if err != nil || string(rep.Body) != "echo:n" {
+		t.Fatalf("post-recovery transceive: %+v, %v", rep, err)
+	}
+}
+
+// TestHedgeConservationInvariant: over a mixed workload (some rids hit a
+// straggling primary, some don't), the hedge ledger must balance:
+//
+//	primary_wins + hedge_wins + timeouts + errors == hedged_transceives
+//	cancels + wasted == clones                (all losers accounted)
+//	sum(executions) == transceives + wasted   (every dup execution drained)
+//
+// and the reply queue must drain to zero — zero lost, zero duplicated
+// surfaced replies.
+func TestHedgeConservationInvariant(t *testing.T) {
+	const n = 24
+	// Straggle every 3rd request on the primary queue only.
+	straggler := func(rc *ReqCtx) ([]byte, error) {
+		var i int
+		fmt.Sscanf(rc.Request.RID, "rid-inv-%d", &i)
+		if i%3 == 0 {
+			time.Sleep(300 * time.Millisecond)
+		}
+		return echoHandler(rc)
+	}
+	e := newHedgeEnv(t, straggler, echoHandler)
+	reg := obs.NewRegistry()
+	rc := newHedgedClerk(t, e.repo, reg, &HedgePolicy{
+		Queues:     []string{"req.b"},
+		MinTrigger: 30 * time.Millisecond,
+	})
+	ctx := context.Background()
+
+	surfaced := make(map[string]int)
+	for i := 0; i < n; i++ {
+		rid := fmt.Sprintf("rid-inv-%d", i)
+		rep, err := rc.Transceive(ctx, rid, []byte("v"), nil, nil)
+		if err != nil {
+			t.Fatalf("transceive %s: %v", rid, err)
+		}
+		if rep.RID != rid {
+			t.Fatalf("reply rid %q for request %q", rep.RID, rid)
+		}
+		surfaced[rid]++
+	}
+	rc.WaitHedgeDrains()
+
+	s := reg.Snapshot()
+	c := func(name string) uint64 { return s.Counters[name] }
+	if got := c("clerk.hedged_transceives"); got != n {
+		t.Fatalf("hedged_transceives = %d, want %d", got, n)
+	}
+	if wins := c("clerk.hedge_primary_wins") + c("clerk.hedge_wins") + c("clerk.hedge_timeouts") + c("clerk.hedge_errors"); wins != n {
+		t.Fatalf("win/timeout/error ledger = %d, want %d: %+v", wins, n, s.Counters)
+	}
+	if c("clerk.hedge_timeouts") != 0 || c("clerk.hedge_errors") != 0 {
+		t.Fatalf("timeouts=%d errors=%d, want 0", c("clerk.hedge_timeouts"), c("clerk.hedge_errors"))
+	}
+	if got, want := c("clerk.hedge_cancels")+c("clerk.hedge_wasted"), c("clerk.hedge_clones"); got != want {
+		t.Fatalf("cancels+wasted = %d, want clones = %d: %+v", got, want, s.Counters)
+	}
+	var execs int
+	for i := 0; i < n; i++ {
+		rid := fmt.Sprintf("rid-inv-%d", i)
+		if surfaced[rid] != 1 {
+			t.Fatalf("rid %s surfaced %d times", rid, surfaced[rid])
+		}
+		ex := execCount(t, e.repo, rid)
+		if ex < 1 || ex > 2 {
+			t.Fatalf("rid %s executed %d times", rid, ex)
+		}
+		execs += ex
+	}
+	if got, want := uint64(execs), uint64(n)+c("clerk.hedge_wasted"); got != want {
+		t.Fatalf("sum(executions) = %d, want transceives+wasted = %d", got, want)
+	}
+	waitDepthZero(t, e.repo, rc.ReplyQueue(), 5*time.Second)
+
+	// The straggler arm really fired at least once.
+	if c("clerk.hedges") == 0 {
+		t.Fatal("no hedges triggered; the straggler schedule is broken")
+	}
+}
+
+// TestHedgedReceiveSkipsForeignReplies: residue from an abandoned rid in
+// the reply queue must not break a hedged clerk's next request — the rid
+// filter skips it (where the unhedged clerk would fail the protocol).
+func TestHedgedReceiveSkipsForeignReplies(t *testing.T) {
+	e := newHedgeEnv(t, echoHandler, echoHandler)
+	reg := obs.NewRegistry()
+	rc := newHedgedClerk(t, e.repo, reg, &HedgePolicy{
+		Queues:     []string{"req.b"},
+		MinTrigger: time.Second,
+	})
+	ctx := context.Background()
+	// Plant a stale foreign reply ahead of anything the clerk will do.
+	stale := replyElement("rid-ancient", StatusOK, []byte("stale"), false, nil, 0)
+	if err := e.repo.CreateQueue(queue.QueueConfig{Name: "reply.hc1"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.repo.Enqueue(nil, "reply.hc1", stale, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := rc.Transceive(ctx, "rid-new", []byte("q"), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RID != "rid-new" || string(rep.Body) != "echo:q" {
+		t.Fatalf("reply = %+v", rep)
+	}
+}
+
+func waitDepth(t *testing.T, repo *queue.Repository, qname string, want int, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		d, err := repo.Depth(qname)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("queue %s depth = %d, want %d after %v", qname, d, want, timeout)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func waitDepthZero(t *testing.T, repo *queue.Repository, qname string, timeout time.Duration) {
+	t.Helper()
+	waitDepth(t, repo, qname, 0, timeout)
+}

@@ -207,6 +207,12 @@ func (s *Server) serveOne(ctx context.Context) error {
 	}
 	if req.ReplyTo != "" {
 		rep := replyElement(req.RID, status, body, false, nil, 0)
+		if v := req.Headers[hdrHedge]; v != "" {
+			// Echo the clone marker: the reply records which request
+			// element produced it, so hedge-win attribution is execution
+			// provenance rather than a race over delivery paths.
+			rep.Headers[hdrHedge] = v
+		}
 		rep.Priority = s.cfg.ReplyPriority
 		if traced {
 			// The reply rides the same trace; its enqueue span parents

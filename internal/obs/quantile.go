@@ -1,0 +1,163 @@
+package obs
+
+// QuantileDigest is a small streaming quantile estimator over a sliding
+// window of the most recent observations. The hedging clerk feeds it
+// submit→reply latencies and reads the trigger quantile (e.g. p95) to
+// decide when an in-flight request has gone on long enough that cloning
+// it is likely cheaper than waiting (DESIGN.md §11).
+//
+// Design constraints, in order:
+//
+//   - Recency over history. A hedge trigger must track the *current*
+//     latency regime — a straggler that appeared two minutes ago should
+//     raise the trigger now and stop raising it once it heals. A bounded
+//     window of the last W samples gives that for free; decayed sketches
+//     (t-digest and friends) would too, but need tuning and far more code
+//     for no better answer at the sizes involved.
+//   - Exactness beats compression at small W. W=512 samples is 4 KB; an
+//     exact windowed quantile at that size is cheaper to compute, test,
+//     and trust than an approximate sketch, and the estimator's error is
+//     then entirely sampling error, never sketch error.
+//   - Reads are frequent (every hedged Transceive consults the trigger),
+//     so the sorted view is cached and rebuilt at most once every
+//     digestRefresh observations rather than per read.
+//
+// All methods are safe for concurrent use. Observe is a mutex acquire,
+// one store, and an increment; Quantile is a binary-search-free index
+// into the cached sorted view except on refresh, which is an O(W log W)
+// sort of a 4 KB buffer.
+import (
+	"sort"
+	"sync"
+)
+
+const (
+	// digestDefaultWindow is the sliding-window size when the caller
+	// passes one <= 0: large enough that a p99 read has ~5 samples above
+	// it, small enough that one straggler epoch ages out quickly.
+	digestDefaultWindow = 512
+
+	// digestRefresh is how many observations may accumulate before a
+	// quantile read re-sorts the window. Staleness is bounded by
+	// digestRefresh/W of the window (≈3% at the defaults), well under
+	// the sampling noise of the quantile itself.
+	digestRefresh = 16
+)
+
+// QuantileDigest estimates quantiles over the last Window observations.
+type QuantileDigest struct {
+	mu     sync.Mutex
+	ring   []int64 // circular buffer of the last len(ring) observations
+	next   int     // ring index the next observation lands in
+	filled int     // number of valid samples in ring (≤ len(ring))
+	total  uint64  // observations ever, for conservation checks
+	stale  int     // observations since sorted was last rebuilt
+	sorted []int64 // cached ascending view of the window
+}
+
+// NewQuantileDigest returns a digest over a sliding window of the given
+// size (digestDefaultWindow if window <= 0).
+func NewQuantileDigest(window int) *QuantileDigest {
+	if window <= 0 {
+		window = digestDefaultWindow
+	}
+	return &QuantileDigest{
+		ring:   make([]int64, window),
+		sorted: make([]int64, 0, window),
+		stale:  digestRefresh, // first read after first observation sorts
+	}
+}
+
+// Observe records one sample, evicting the oldest when the window is full.
+func (d *QuantileDigest) Observe(v int64) {
+	d.mu.Lock()
+	d.ring[d.next] = v
+	d.next = (d.next + 1) % len(d.ring)
+	if d.filled < len(d.ring) {
+		d.filled++
+	}
+	d.total++
+	d.stale++
+	d.mu.Unlock()
+}
+
+// refreshLocked rebuilds the cached sorted view if it has gone stale.
+func (d *QuantileDigest) refreshLocked() {
+	if d.stale < digestRefresh && len(d.sorted) == d.filled {
+		return
+	}
+	d.sorted = d.sorted[:0]
+	if d.filled == len(d.ring) {
+		d.sorted = append(d.sorted, d.ring...)
+	} else {
+		d.sorted = append(d.sorted, d.ring[:d.filled]...)
+	}
+	sort.Slice(d.sorted, func(i, j int) bool { return d.sorted[i] < d.sorted[j] })
+	d.stale = 0
+}
+
+// Quantile returns the q-quantile (0 < q <= 1) of the current window, or
+// 0 when no observations have been recorded. The answer is an actual
+// sample from the window (the nearest-rank quantile), never interpolated,
+// so a trigger derived from it is always a latency some request really
+// exhibited.
+func (d *QuantileDigest) Quantile(q float64) int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.filled == 0 {
+		return 0
+	}
+	d.refreshLocked()
+	rank := int(q * float64(len(d.sorted)))
+	if rank >= len(d.sorted) {
+		rank = len(d.sorted) - 1
+	}
+	if rank < 0 {
+		rank = 0
+	}
+	return d.sorted[rank]
+}
+
+// Count returns the total number of observations ever recorded (not the
+// window occupancy) — the conservation-check side of the ledger.
+func (d *QuantileDigest) Count() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.total
+}
+
+// Window returns the configured sliding-window size.
+func (d *QuantileDigest) Window() int { return len(d.ring) }
+
+// QuantileSnapshot is a rendered digest state for stats surfaces. Values
+// are in the digest's native unit (nanoseconds for the clerk's latency
+// digest).
+type QuantileSnapshot struct {
+	Count  uint64 `json:"count"`  // observations ever
+	Window int    `json:"window"` // configured window size
+	Filled int    `json:"filled"` // samples currently in the window
+	P50    int64  `json:"p50"`
+	P90    int64  `json:"p90"`
+	P95    int64  `json:"p95"`
+	P99    int64  `json:"p99"`
+}
+
+// Snapshot renders the digest's standard percentiles in one pass.
+func (d *QuantileDigest) Snapshot() QuantileSnapshot {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := QuantileSnapshot{Count: d.total, Window: len(d.ring), Filled: d.filled}
+	if d.filled == 0 {
+		return s
+	}
+	d.refreshLocked()
+	at := func(q float64) int64 {
+		rank := int(q * float64(len(d.sorted)))
+		if rank >= len(d.sorted) {
+			rank = len(d.sorted) - 1
+		}
+		return d.sorted[rank]
+	}
+	s.P50, s.P90, s.P95, s.P99 = at(0.50), at(0.90), at(0.95), at(0.99)
+	return s
+}

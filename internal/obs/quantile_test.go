@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestQuantileDigestEmpty(t *testing.T) {
+	d := NewQuantileDigest(0)
+	if d.Window() != digestDefaultWindow {
+		t.Fatalf("default window = %d, want %d", d.Window(), digestDefaultWindow)
+	}
+	if got := d.Quantile(0.99); got != 0 {
+		t.Fatalf("empty digest p99 = %d, want 0", got)
+	}
+	s := d.Snapshot()
+	if s.Count != 0 || s.Filled != 0 || s.P99 != 0 {
+		t.Fatalf("empty snapshot = %+v", s)
+	}
+}
+
+// TestQuantileDigestExactOnKnownData: with a full window of 0..W-1 the
+// nearest-rank quantile is exactly computable.
+func TestQuantileDigestExactOnKnownData(t *testing.T) {
+	const w = 100
+	d := NewQuantileDigest(w)
+	perm := rand.New(rand.NewSource(1)).Perm(w)
+	for _, v := range perm {
+		d.Observe(int64(v))
+	}
+	cases := []struct {
+		q    float64
+		want int64
+	}{
+		{0.50, 50}, {0.90, 90}, {0.99, 99}, {1.0, 99}, {0.01, 1},
+	}
+	for _, c := range cases {
+		if got := d.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %d, want %d", c.q, got, c.want)
+		}
+	}
+	if d.Count() != w {
+		t.Fatalf("Count = %d, want %d", d.Count(), w)
+	}
+}
+
+// TestQuantileDigestWindowEvicts: the digest must forget old regimes —
+// after a full window of fast samples, the earlier slow epoch is gone.
+func TestQuantileDigestWindowEvicts(t *testing.T) {
+	const w = 64
+	d := NewQuantileDigest(w)
+	for i := 0; i < w; i++ {
+		d.Observe(1_000_000) // slow epoch
+	}
+	if got := d.Quantile(0.5); got != 1_000_000 {
+		t.Fatalf("p50 during slow epoch = %d", got)
+	}
+	for i := 0; i < w; i++ {
+		d.Observe(10) // straggler healed
+	}
+	if got := d.Quantile(0.99); got != 10 {
+		t.Fatalf("p99 after full window of fast samples = %d, want 10 (old epoch must age out)", got)
+	}
+	if d.Count() != 2*w {
+		t.Fatalf("Count = %d, want %d", d.Count(), 2*w)
+	}
+}
+
+// TestQuantileDigestPartialWindow: quantiles over a partially filled
+// window use only the samples observed so far.
+func TestQuantileDigestPartialWindow(t *testing.T) {
+	d := NewQuantileDigest(512)
+	d.Observe(5)
+	d.Observe(7)
+	d.Observe(9)
+	if got := d.Quantile(0.5); got != 7 {
+		t.Fatalf("p50 of {5,7,9} = %d, want 7", got)
+	}
+	s := d.Snapshot()
+	if s.Filled != 3 || s.Count != 3 {
+		t.Fatalf("snapshot = %+v, want filled=3 count=3", s)
+	}
+	if s.P50 != 7 || s.P99 != 9 {
+		t.Fatalf("snapshot percentiles = %+v", s)
+	}
+}
+
+// TestQuantileDigestCacheRefreshes: reads interleaved with writes must
+// converge on the new data within the refresh budget, not pin the first
+// sorted view forever.
+func TestQuantileDigestCacheRefreshes(t *testing.T) {
+	d := NewQuantileDigest(32)
+	for i := 0; i < 32; i++ {
+		d.Observe(1)
+	}
+	if got := d.Quantile(0.5); got != 1 {
+		t.Fatalf("p50 = %d, want 1", got)
+	}
+	// Overwrite the whole window; more than digestRefresh observations
+	// guarantees the cache goes stale regardless of read timing.
+	for i := 0; i < 32; i++ {
+		d.Observe(100)
+		d.Quantile(0.5) // interleaved reads must not wedge the cache
+	}
+	if got := d.Quantile(0.5); got != 100 {
+		t.Fatalf("p50 after overwrite = %d, want 100", got)
+	}
+}
+
+// TestQuantileDigestConcurrent: -race smoke over concurrent observers and
+// readers; also checks total-count conservation.
+func TestQuantileDigestConcurrent(t *testing.T) {
+	d := NewQuantileDigest(256)
+	const (
+		workers = 8
+		perW    = 500
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perW; i++ {
+				d.Observe(int64(rng.Intn(1000)))
+				if i%7 == 0 {
+					_ = d.Quantile(0.95)
+				}
+				if i%13 == 0 {
+					_ = d.Snapshot()
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if d.Count() != workers*perW {
+		t.Fatalf("Count = %d, want %d", d.Count(), workers*perW)
+	}
+	p99 := d.Quantile(0.99)
+	if p99 < 0 || p99 >= 1000 {
+		t.Fatalf("p99 = %d out of observed range [0,1000)", p99)
+	}
+}

@@ -392,7 +392,14 @@ func (r *Repository) enqueueFast(qname string, e Element, registrant string, tag
 			if attempt >= ringFullYields {
 				break
 			}
-			runtime.Gosched()
+			if attempt < ringSpinYields {
+				runtime.Gosched()
+			} else {
+				// Cooperative yields didn't free a slot: the consumer is
+				// not schedulable from here (oversubscribed host). Park on
+				// a timer so it can drain a stretch, not one slot.
+				time.Sleep(ringYieldSleep)
+			}
 			if !qs.enterFast() { // sealed while yielding
 				break
 			}

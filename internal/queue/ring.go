@@ -38,6 +38,7 @@ package queue
 
 import (
 	"sync/atomic"
+	"time"
 )
 
 const (
@@ -59,10 +60,30 @@ const (
 	ringCap = ringSegSlots * ringMaxSegs
 
 	// ringFullYields is how many times a producer finding the ring full
-	// yields to the scheduler before giving up and taking the locked
-	// fallback. On few-core boxes a "full" ring is usually a consumer one
-	// quantum behind; yielding is far cheaper than seal-drain-reopen.
+	// backs off before giving up and taking the locked fallback. On
+	// few-core boxes a "full" ring is usually a consumer one quantum
+	// behind; backing off is far cheaper than seal-drain-reopen.
 	ringFullYields = 64
+
+	// ringSpinYields is the cooperative-yield budget within that: the
+	// first attempts use runtime.Gosched, which is nearly free when the
+	// consumer is on the same P (the GOMAXPROCS=1 regime). When that many
+	// yields fail to free a slot, the consumer is NOT reachable by
+	// cooperative yielding — on an oversubscribed host (GOMAXPROCS >
+	// physical cores) it sits on another P's run queue that this M never
+	// steals from under Gosched, and the producer spins its whole OS
+	// quantum in lockstep. The remaining attempts park on a timer
+	// (ringYieldSleep) instead, which deschedules the M and lets the
+	// consumer drain a long stretch of the ring rather than one slot.
+	ringSpinYields = 8
+
+	// ringYieldSleep is the timer-park used after the spin budget. At 20µs
+	// a draining consumer (~200ns/op) frees ~100 slots per park, so a
+	// handful of parks beats one seal-drain-reopen; the worst case before
+	// the locked fallback is ~1.1ms, acceptable for the only case that
+	// reaches it — a consumer that is genuinely absent, for which the
+	// locked path (parking, MaxDepth, alerting) is the right home anyway.
+	ringYieldSleep = 20 * time.Microsecond
 )
 
 // ringStatus is the outcome of a pop attempt.

@@ -1,0 +1,89 @@
+package queue
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestFastpathOversubscribedYieldEscalation guards the 1Q oversubscription
+// regression: one producer + one consumer on a single volatile queue with
+// GOMAXPROCS above the physical core count. Before yield escalation
+// (ringSpinYields/ringYieldSleep), a producer that found the ring full
+// burned its entire Gosched budget in lockstep with a consumer it could
+// not schedule — every overflow ended in a seal-drain-reopen storm, which
+// is visible as a high queue.fastpath_fallbacks fraction (measured ~19% of
+// CPU in enqueueFastLocked, 1322–1476 ns/op vs ~220 at GOMAXPROCS=1).
+// With escalation the producer parks on a timer, the consumer drains a
+// long stretch, and fallbacks stay a rounding error. The threshold (5% of
+// ops) is an order of magnitude above the post-fix rate and an order of
+// magnitude below the storm rate, so it fails on regression without being
+// timing-flaky.
+func TestFastpathOversubscribedYieldEscalation(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	reg := obs.NewRegistry()
+	r, _, err := Open(t.TempDir(), Options{NoFsync: true, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	mustCreate(t, r, QueueConfig{Name: "v", Volatile: true})
+
+	const (
+		cushion = 64
+		ops     = 30000
+	)
+	for i := 0; i < cushion; i++ {
+		if _, err := r.Enqueue(nil, "v", Element{}, "", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base := reg.Snapshot()
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < ops; i++ {
+			if _, err := r.Enqueue(nil, "v", Element{}, "", nil); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < ops; i++ {
+			for {
+				_, err := r.Dequeue(ctx, nil, "v", "", DequeueOpts{})
+				if err == nil {
+					break
+				}
+				if !errors.Is(err, ErrEmpty) {
+					t.Error(err)
+					return
+				}
+				runtime.Gosched() // producer briefly behind the cushion
+			}
+		}
+	}()
+	wg.Wait()
+
+	end := reg.Snapshot()
+	hits := counterOf(end, "queue.fastpath_hits") - counterOf(base, "queue.fastpath_hits")
+	falls := counterOf(end, "queue.fastpath_fallbacks") - counterOf(base, "queue.fastpath_fallbacks")
+	total := hits + falls
+	if total == 0 {
+		t.Fatal("no fast-path ops recorded")
+	}
+	if falls*20 > total {
+		t.Fatalf("fastpath fallbacks = %d of %d ops (>5%%): full-ring yield escalation is not protecting the oversubscribed 1Q regime", falls, total)
+	}
+	t.Logf("oversubscribed 1Q: %d ops, %d fallbacks (%.3f%%)", total, falls, 100*float64(falls)/float64(total))
+}

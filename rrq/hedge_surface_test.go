@@ -1,0 +1,100 @@
+package rrq
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestHedgedClerkMetricsSurface pins the observability contract of
+// hedging: a hedged clerk that records into its node's registry surfaces
+// the full hedge ledger and the trigger's latency-digest gauges through
+// the admin endpoint's GET /metrics (the same snapshot qmctl's stats and
+// hedge subcommands render), and the ledger satisfies its conservation
+// invariant.
+func TestHedgedClerkMetricsSurface(t *testing.T) {
+	n, err := StartNode(NodeConfig{Dir: t.TempDir(), NoFsync: true, AdminAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { n.Close() })
+	for _, q := range []string{"req", "req.b"} {
+		if err := n.CreateQueue(QueueConfig{Name: q}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	// The primary queue's server straggles past the hedge trigger; the
+	// alternate answers promptly, so the one request hedges and the clone
+	// wins.
+	slow, err := NewServer(ServerConfig{Repo: n.Repo(), Queue: "req", Handler: func(rc *ReqCtx) ([]byte, error) {
+		time.Sleep(400 * time.Millisecond)
+		return []byte("slow"), nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := NewServer(ServerConfig{Repo: n.Repo(), Queue: "req.b", Handler: func(rc *ReqCtx) ([]byte, error) {
+		return []byte("fast"), nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go slow.Serve(ctx)
+	go fast.Serve(ctx)
+
+	rc := NewResilientClerk(n.LocalConn(), ResilientConfig{
+		Clerk:   ClerkConfig{ClientID: "hm", RequestQueue: "req", ReceiveWait: 2 * time.Second},
+		Metrics: n.Metrics(),
+		Seed:    1,
+		Hedge: &HedgePolicy{
+			Queues:     []string{"req.b"},
+			MinTrigger: 25 * time.Millisecond,
+			DrainWait:  250 * time.Millisecond,
+		},
+	})
+	if _, err := rc.Connect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rc.Transceive(ctx, "rid-surface", []byte("x"), nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	rc.WaitHedgeDrains()
+
+	if snap, ok := rc.HedgeSnapshot(); !ok || snap.Count != 1 {
+		t.Fatalf("HedgeSnapshot = %+v ok=%v, want one observation", snap, ok)
+	}
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", n.AdminAddr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap struct {
+		Counters map[string]uint64 `json:"counters"`
+		Gauges   map[string]int64  `json:"gauges"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	c := snap.Counters
+	if c["clerk.hedged_transceives"] != 1 {
+		t.Fatalf("clerk.hedged_transceives = %d, want 1 (counters: %v)", c["clerk.hedged_transceives"], c)
+	}
+	if got := c["clerk.hedge_primary_wins"] + c["clerk.hedge_wins"] + c["clerk.hedge_timeouts"] + c["clerk.hedge_errors"]; got != c["clerk.hedged_transceives"] {
+		t.Fatalf("ledger violation: outcomes = %d, hedged transceives = %d", got, c["clerk.hedged_transceives"])
+	}
+	if c["clerk.hedges"] != 1 || c["clerk.hedge_wins"] != 1 {
+		t.Fatalf("hedges = %d, hedge_wins = %d, want 1 and 1", c["clerk.hedges"], c["clerk.hedge_wins"])
+	}
+	if snap.Gauges["clerk.hedge_trigger_ns"] <= 0 {
+		t.Fatalf("clerk.hedge_trigger_ns gauge = %d, want > 0", snap.Gauges["clerk.hedge_trigger_ns"])
+	}
+	if _, ok := snap.Gauges["clerk.hedge_lat_p99_ns"]; !ok {
+		t.Fatal("clerk.hedge_lat_p99_ns gauge missing from /metrics")
+	}
+}
