@@ -11,6 +11,10 @@
 //	qmctl -addr 127.0.0.1:7070 kill -eid 42
 //	qmctl -addr 127.0.0.1:7070 trace 4f3c…            # one request's span tree
 //	qmctl -addr 127.0.0.1:7070 traces -slowest 5      # slowest retained traces
+//	qmctl -addr 127.0.0.1:7070 health                 # component health (exit 1 on fail)
+//	qmctl -addr 127.0.0.1:7070 logs -max 50           # recent structured events
+//	qmctl -addr 127.0.0.1:7070 flight                 # live flight-recorder snapshot
+//	qmctl -addr 127.0.0.1:7070 top -interval 2s       # live per-queue rate view
 package main
 
 import (
@@ -30,7 +34,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: qmctl -addr HOST:PORT {create|enqueue|dequeue|depth|queues|stats|hedge|read|kill|trace|traces} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: qmctl -addr HOST:PORT {create|enqueue|dequeue|depth|queues|stats|hedge|read|kill|trace|traces|health|logs|flight|top} [flags]")
 	os.Exit(2)
 }
 
@@ -158,6 +162,37 @@ func main() {
 		if err == nil {
 			err = printTraceSummaries(j)
 		}
+	case "health":
+		var j []byte
+		j, err = cl.Health(ctx)
+		if err == nil {
+			err = printHealth(j)
+		}
+	case "logs":
+		fs := flag.NewFlagSet("logs", flag.ExitOnError)
+		max := fs.Int("max", 50, "events to fetch (most recent)")
+		raw := fs.Bool("json", false, "print raw JSON instead of rendered lines")
+		fs.Parse(rest)
+		var j []byte
+		j, err = cl.Logs(ctx, *max)
+		if err == nil && *raw {
+			fmt.Printf("%s\n", j)
+		} else if err == nil {
+			err = printLogs(j)
+		}
+	case "flight":
+		var j []byte
+		j, err = cl.Flight(ctx)
+		if err == nil {
+			fmt.Printf("%s\n", j)
+		}
+	case "top":
+		fs := flag.NewFlagSet("top", flag.ExitOnError)
+		interval := fs.Duration("interval", 2*time.Second, "refresh interval")
+		iters := fs.Int("n", 0, "iterations before exiting (0 = until interrupted)")
+		plain := fs.Bool("plain", false, "append frames instead of redrawing the screen")
+		fs.Parse(rest)
+		err = runTop(ctx, cl, *interval, *iters, *plain)
 	case "kill":
 		fs := flag.NewFlagSet("kill", flag.ExitOnError)
 		eid := fs.Uint64("eid", 0, "element id")
@@ -318,6 +353,179 @@ func printTraceSummaries(j []byte) error {
 			s.Trace, time.Duration(s.Dur), s.Spans, s.Root)
 	}
 	return nil
+}
+
+// printHealth renders the qm.health document and returns an error when
+// the node reports a hard failure, so scripts exit non-zero.
+func printHealth(j []byte) error {
+	var h struct {
+		Status     string `json:"status"`
+		Node       string `json:"node"`
+		Components []struct {
+			Name   string `json:"name"`
+			Status string `json:"status"`
+			Detail string `json:"detail"`
+		} `json:"components"`
+	}
+	if err := json.Unmarshal(j, &h); err != nil {
+		return fmt.Errorf("decode health: %w", err)
+	}
+	fmt.Printf("node %s: %s\n", h.Node, h.Status)
+	for _, c := range h.Components {
+		line := fmt.Sprintf("  %-12s %s", c.Name, c.Status)
+		if c.Detail != "" {
+			line += "  (" + c.Detail + ")"
+		}
+		fmt.Println(line)
+	}
+	if h.Status == "fail" {
+		return fmt.Errorf("node unhealthy")
+	}
+	return nil
+}
+
+// printLogs renders qm.logs events (JSON objects with fixed keys ts,
+// level, sub, msg plus free-form fields) as one line each.
+func printLogs(j []byte) error {
+	var events []map[string]any
+	if err := json.Unmarshal(j, &events); err != nil {
+		return fmt.Errorf("decode logs: %w", err)
+	}
+	if len(events) == 0 {
+		fmt.Println("(no events retained)")
+		return nil
+	}
+	fixed := map[string]bool{"ts": true, "level": true, "seq": true, "sub": true, "msg": true}
+	for _, e := range events {
+		ts := ""
+		if v, ok := e["ts"].(float64); ok {
+			ts = time.Unix(0, int64(v)).UTC().Format("2006-01-02T15:04:05.000Z")
+		}
+		sub, _ := e["sub"].(string)
+		if sub != "" {
+			sub = "[" + sub + "] "
+		}
+		var keys []string
+		for k := range e {
+			if !fixed[k] {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		var kv strings.Builder
+		for _, k := range keys {
+			fmt.Fprintf(&kv, " %s=%v", k, e[k])
+		}
+		fmt.Printf("%s %-5v %s%v%s\n", ts, e["level"], sub, e["msg"], kv.String())
+	}
+	return nil
+}
+
+// labeledValue extracts metrics of the form base{queue=NAME} into a
+// name -> value map.
+func labeledValue[V uint64 | int64](m map[string]V, base string) map[string]V {
+	out := make(map[string]V)
+	prefix := base + "{queue="
+	for name, v := range m {
+		if strings.HasPrefix(name, prefix) && strings.HasSuffix(name, "}") {
+			out[name[len(prefix):len(name)-1]] = v
+		}
+	}
+	return out
+}
+
+// rate renders a counter delta as an events-per-second figure.
+func rate(delta uint64, window time.Duration) string {
+	return fmt.Sprintf("%.1f/s", float64(delta)/window.Seconds())
+}
+
+// runTop polls the node's metrics snapshot and renders a live rate view:
+// per-queue depth and enqueue/dequeue/commit rates, fsyncs-per-commit,
+// hedge rate, and the hedge digest's p99 — the counters' deltas between
+// consecutive polls, not all-time averages.
+func runTop(ctx context.Context, cl *qservice.Client, interval time.Duration, iters int, plain bool) error {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	var prev *obs.Snapshot
+	for i := 0; iters == 0 || i < iters+1; i++ {
+		callCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		snap, err := cl.Metrics(callCtx)
+		cancel()
+		if err != nil {
+			return err
+		}
+		if prev != nil {
+			if !plain {
+				fmt.Print("\x1b[2J\x1b[H") // clear screen, home cursor
+			}
+			printTopFrame(prev, &snap, interval)
+		}
+		prev = &snap
+		if iters != 0 && i == iters {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(interval):
+		}
+	}
+	return nil
+}
+
+func printTopFrame(prev, cur *obs.Snapshot, window time.Duration) {
+	d := func(name string) uint64 { return cur.Counters[name] - prev.Counters[name] }
+
+	fmt.Printf("qmctl top  %s  (window %s)\n\n", time.Now().Format("15:04:05"), window)
+
+	// Per-queue table from the labeled gauges/counters.
+	depths := labeledValue(cur.Gauges, "queue.depth")
+	enq := labeledValue(cur.Counters, "queue.enqueues")
+	prevEnq := labeledValue(prev.Counters, "queue.enqueues")
+	deq := labeledValue(cur.Counters, "queue.dequeues")
+	prevDeq := labeledValue(prev.Counters, "queue.dequeues")
+	inflight := labeledValue(cur.Gauges, "queue.in_flight")
+	var queues []string
+	for q := range depths {
+		queues = append(queues, q)
+	}
+	sort.Strings(queues)
+	if len(queues) > 0 {
+		fmt.Printf("%-24s %8s %10s %12s %12s\n", "QUEUE", "DEPTH", "IN-FLIGHT", "ENQ", "DEQ")
+		for _, q := range queues {
+			fmt.Printf("%-24s %8d %10d %12s %12s\n",
+				q, depths[q], inflight[q],
+				rate(enq[q]-prevEnq[q], window), rate(deq[q]-prevDeq[q], window))
+		}
+		fmt.Println()
+	}
+
+	commits := d("txn.committed")
+	fsyncs := d("wal.fsyncs")
+	fsyncPerCommit := "-"
+	if commits > 0 {
+		fsyncPerCommit = fmt.Sprintf("%.2f", float64(fsyncs)/float64(commits))
+	}
+	fmt.Printf("txn      commits %-10s aborts %-10s fsyncs %-10s fsyncs/commit %s\n",
+		rate(commits, window), rate(d("txn.aborted"), window), rate(fsyncs, window), fsyncPerCommit)
+	fmt.Printf("wal      appends %-10s bytes %-11s rotations %s\n",
+		rate(d("wal.appends"), window), rate(d("wal.append_bytes"), window), rate(d("wal.rotations"), window))
+	fmt.Printf("rpc      requests %-9s errors %-10s shed %s\n",
+		rate(d("rpc.server.requests"), window), rate(d("rpc.server.errors"), window), rate(d("server.shed"), window))
+	if hedged := d("clerk.hedged_transceives"); hedged > 0 || cur.Counters["clerk.hedged_transceives"] > 0 {
+		hedgeRate := "-"
+		if hedged > 0 {
+			hedgeRate = fmt.Sprintf("%.0f%%", 100*float64(d("clerk.hedges"))/float64(hedged))
+		}
+		fmt.Printf("hedge    transceives %-6s hedged %-9s p99 %s\n",
+			rate(hedged, window), hedgeRate,
+			time.Duration(cur.Gauges["clerk.hedge_lat_p99_ns"]))
+	}
+	if ring := d("queue.fastpath_hits") + d("queue.fastpath_fallbacks"); ring > 0 {
+		fmt.Printf("ring     fastpath %-9s fallbacks %s\n",
+			rate(d("queue.fastpath_hits"), window), rate(d("queue.fastpath_fallbacks"), window))
+	}
 }
 
 func printElement(e queue.Element) {

@@ -3,17 +3,22 @@
 // with rrq.Dial or the qmctl tool.
 //
 //	qmd -dir /var/lib/qmd -listen 127.0.0.1:7070 -queues requests,requests.err
+//
+// The whole process lifetime — startup, queue creation, recovery,
+// shutdown — reports through the structured event logger, so
+// -log-format=json yields machine-parseable output from the first line
+// to the last.
 package main
 
 import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/rrq"
 )
@@ -22,7 +27,7 @@ func main() {
 	var (
 		dir      = flag.String("dir", "", "durable state directory (required)")
 		listen   = flag.String("listen", "127.0.0.1:7070", "RPC listen address")
-		admin    = flag.String("admin", "", "admin HTTP listen address (GET /metrics serves the metrics registry as JSON)")
+		admin    = flag.String("admin", "", "admin HTTP listen address (/metrics, /metrics/history, /healthz, /readyz, /logs, /debug/flight, /trace/{id})")
 		name     = flag.String("name", "", "node name (default: basename of -dir)")
 		queues   = flag.String("queues", "", "comma-separated queues to create at startup")
 		snapshot = flag.Int("snapshot-every", 10000, "checkpoint after this many logged operations")
@@ -36,6 +41,15 @@ func main() {
 		slow     = flag.Duration("trace-slow", 0, "emit span trees of requests slower than this to stderr (0 disables)")
 		maxInfl  = flag.Int("max-inflight", 0, "cap on concurrently executing RPC requests node-wide; excess shed as retryable busy (0 = unlimited)")
 		maxConn  = flag.Int("max-inflight-per-conn", 0, "cap on concurrently executing requests per client connection (0 = unlimited)")
+
+		logLevel  = flag.String("log-level", "info", "structured log level: debug|info|warn|error|off")
+		logFormat = flag.String("log-format", "text", "structured log rendering: text|json")
+		logEvents = flag.Int("log-events", 1024, "in-memory ring of recent events (qmctl logs, GET /logs, flight dumps)")
+		history   = flag.Duration("metrics-history", time.Second, "metrics-history sampling interval (GET /metrics/history, rate-based health probes; 0 disables)")
+		histKeep  = flag.Int("metrics-history-samples", 120, "metrics-history ring capacity in samples")
+		flightOn  = flag.Bool("flight", false, "arm the flight recorder: dump recent events, metric history, and slow traces to -flight-path on SIGQUIT")
+		flightTo  = flag.String("flight-path", "", "flight dump destination (default: DIR/flight-<pid>.json)")
+		flightEv  = flag.Int("flight-events", 256, "events retained in a flight dump")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -44,11 +58,34 @@ func main() {
 		os.Exit(2)
 	}
 
+	level, err := rrq.ParseLogLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qmd: %v\n", err)
+		os.Exit(2)
+	}
+	reg := rrq.NewMetrics()
+	var logger *rrq.Logger
+	switch *logFormat {
+	case "json":
+		logger = rrq.NewLogger(level, reg, rrq.NewJSONLogSink(os.Stderr))
+	case "text":
+		logger = rrq.NewLogger(level, reg, rrq.NewTextLogSink(os.Stderr))
+	default:
+		fmt.Fprintf(os.Stderr, "qmd: unknown -log-format %q (want text or json)\n", *logFormat)
+		os.Exit(2)
+	}
+	qlog := logger.Named("qmd")
+	fatalf := func(msg string, fields ...rrq.LogField) {
+		qlog.Error(msg, fields...)
+		os.Exit(1)
+	}
+
 	node, err := rrq.StartNode(rrq.NodeConfig{
 		Dir:           *dir,
 		Name:          *name,
 		ListenAddr:    *listen,
 		AdminAddr:     *admin,
+		Metrics:       reg,
 		NoFsync:       *noFsync,
 		SnapshotEvery: *snapshot,
 		GroupCommit:   *groupCmt,
@@ -57,14 +94,25 @@ func main() {
 		GroupCommitMaxDelay:      *gcDelay,
 		GroupCommitMaxBatchBytes: *gcBytes,
 		GroupCommitMaxWaiters:    *gcWait,
-		TraceSpans:    *traceCap,
-		SlowTrace:     *slow,
+		TraceSpans:               *traceCap,
+		SlowTrace:                *slow,
 
 		MaxInflight:        *maxInfl,
 		MaxInflightPerConn: *maxConn,
+
+		Log:                   logger,
+		LogEvents:             *logEvents,
+		MetricsHistory:        *history,
+		MetricsHistorySamples: *histKeep,
+		Flight:                *flightOn,
+		FlightPath:            *flightTo,
+		FlightEvents:          *flightEv,
 	})
 	if err != nil {
-		log.Fatalf("qmd: %v", err)
+		fatalf("start failed", rrq.LogErr(err))
+	}
+	if rec := node.Flight(); rec != nil {
+		defer rec.DumpOnPanic()
 	}
 	for _, q := range strings.Split(*queues, ",") {
 		q = strings.TrimSpace(q)
@@ -72,26 +120,29 @@ func main() {
 			continue
 		}
 		if err := node.CreateQueue(rrq.QueueConfig{Name: q}); err != nil && !errors.Is(err, rrq.ErrQueueExists) {
-			log.Fatalf("qmd: create queue %s: %v", q, err)
+			fatalf("create queue failed", rrq.LogStr("queue", q), rrq.LogErr(err))
 		}
 	}
-	log.Printf("qmd: node %q serving on %s (state in %s)", node.Repo().Name(), node.Addr(), *dir)
+	qlog.Info("serving",
+		rrq.LogStr("node", node.Repo().Name()),
+		rrq.LogStr("addr", node.Addr()),
+		rrq.LogStr("dir", *dir))
 	if a := node.AdminAddr(); a != "" {
-		log.Printf("qmd: admin endpoint on http://%s/metrics", a)
+		qlog.Info("admin endpoint up", rrq.LogStr("url", "http://"+a+"/metrics"))
 	}
 	if node.Tracer() != nil {
-		log.Printf("qmd: tracing enabled (%d-span ring)", *traceCap)
+		qlog.Info("tracing enabled", rrq.LogInt("span_ring", *traceCap))
 	}
 	for _, q := range node.Repo().Queues() {
 		d, _ := node.Repo().Depth(q)
-		log.Printf("qmd: queue %-24s depth %d", q, d)
+		qlog.Info("queue ready", rrq.LogStr("queue", q), rrq.LogInt("depth", d))
 	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
-	log.Print("qmd: shutting down (checkpointing)")
+	s := <-sig
+	qlog.Info("shutting down (checkpointing)", rrq.LogStr("signal", s.String()))
 	if err := node.Close(); err != nil {
-		log.Fatalf("qmd: close: %v", err)
+		fatalf("close failed", rrq.LogErr(err))
 	}
 }

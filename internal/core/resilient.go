@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	rlog "repro/internal/obs/log"
 	"repro/internal/obs/trace"
 	"repro/internal/queue"
 	"repro/internal/rpc"
@@ -68,6 +69,9 @@ type ResilientConfig struct {
 	// longer than the trigger delay is cloned to alternate queues and the
 	// first committed reply wins (DESIGN.md §11). nil disables hedging.
 	Hedge *HedgePolicy
+	// Log receives recovery events (masked failures, reconnects). Nil
+	// disables logging.
+	Log *rlog.Logger
 }
 
 // ResilientClerk wraps the clerk with the paper's client recovery run
@@ -309,6 +313,11 @@ func (r *ResilientClerk) recoverOrConnect(ctx context.Context, attempt int, reas
 		return err
 	}
 	r.mRecoveries.Inc()
+	r.cfg.Log.Warn("clerk recovering session",
+		rlog.Str("rid", r.curRID),
+		rlog.Int("attempt", attempt),
+		rlog.Err(reason),
+		rlog.Trace(r.origin))
 	tr := r.cfg.Clerk.Tracer
 	if tr.Enabled() && r.origin.Valid() {
 		// The recovery span parents under the original submit, so the

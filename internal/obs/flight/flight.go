@@ -1,0 +1,224 @@
+// Package flight is the black-box flight recorder: a bounded record of
+// what the process was doing just before it stopped doing it.
+//
+// A WAL makes committed *data* recoverable after a crash, but says
+// nothing about the process's behavior — which queues were hot, whether
+// the breaker was open, what the last hundred events said. The recorder
+// closes that gap the way an aircraft flight recorder does: continuously
+// overwrite a small window of state (recent events from a log.Ring, the
+// last N metric snapshots from an obs.History, the slowest recent traces
+// from a trace.Tracer), and on panic or SIGQUIT serialize that window to
+// a dump file before the process dies. The same document is queryable
+// live via the admin endpoint GET /debug/flight, so "what would the
+// post-mortem say right now" is an ordinary HTTP request.
+package flight
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"runtime"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/log"
+	"repro/internal/obs/trace"
+)
+
+// Config wires the recorder's sources. Any source may be nil; the dump
+// simply omits that section.
+type Config struct {
+	// Node names the process in the dump header.
+	Node string
+	// Events is the ring the node's logger already tees into.
+	Events *log.Ring
+	// MaxEvents bounds how many ring events a dump carries (0 = all).
+	MaxEvents int
+	// History supplies the trailing metric snapshots.
+	History *obs.History
+	// Tracer supplies slow-trace summaries; SlowTraces bounds how many
+	// (default 10).
+	Tracer     *trace.Tracer
+	SlowTraces int
+	// Registry supplies the live point-in-time snapshot stamped into the
+	// dump (distinct from History, which holds the trailing window).
+	Registry *obs.Registry
+	// Path is where signal/panic dumps land (default "flight-<pid>.json"
+	// in the working directory).
+	Path string
+	// Logger, when set, gets one info event when a dump is written.
+	Logger *log.Logger
+}
+
+// Recorder assembles and writes flight dumps. All methods are safe for
+// concurrent use; the recorder itself holds no event state — its sources
+// (ring, history, tracer) are the storage.
+type Recorder struct {
+	cfg Config
+
+	mu       sync.Mutex
+	sigCh    chan os.Signal
+	sigDone  chan struct{}
+	lastDump time.Time
+}
+
+// Dump is the serialized flight-recorder document.
+type Dump struct {
+	Node    string    `json:"node,omitempty"`
+	At      time.Time `json:"at"`
+	Reason  string    `json:"reason"`
+	Pid     int       `json:"pid"`
+	Dropped uint64    `json:"events_dropped,omitempty"`
+
+	Events     []log.Event         `json:"events,omitempty"`
+	Metrics    *obs.Snapshot       `json:"metrics,omitempty"`
+	History    []obs.TimedSnapshot `json:"history,omitempty"`
+	SlowTraces []trace.Summary     `json:"slow_traces,omitempty"`
+
+	// Goroutines is the full stack dump — the one thing SIGQUIT's default
+	// handler prints that a post-mortem cannot do without.
+	Goroutines string `json:"goroutines,omitempty"`
+}
+
+// New returns a recorder over the given sources.
+func New(cfg Config) *Recorder {
+	if cfg.Path == "" {
+		cfg.Path = fmt.Sprintf("flight-%d.json", os.Getpid())
+	}
+	if cfg.SlowTraces == 0 {
+		cfg.SlowTraces = 10
+	}
+	return &Recorder{cfg: cfg}
+}
+
+// Path returns where signal/panic dumps are written.
+func (r *Recorder) Path() string { return r.cfg.Path }
+
+// Snapshot assembles the current dump document. reason labels why the
+// dump was taken ("signal", "panic", "request", …). stacks selects
+// whether the (large) goroutine dump is included.
+func (r *Recorder) Snapshot(reason string, stacks bool) *Dump {
+	d := &Dump{
+		Node:   r.cfg.Node,
+		At:     time.Now(),
+		Reason: reason,
+		Pid:    os.Getpid(),
+	}
+	if r.cfg.Events != nil {
+		d.Events = r.cfg.Events.Recent(r.cfg.MaxEvents)
+		d.Dropped = r.cfg.Events.Dropped()
+	}
+	if r.cfg.Registry != nil {
+		snap := r.cfg.Registry.Snapshot()
+		d.Metrics = &snap
+	}
+	if r.cfg.History != nil {
+		d.History = r.cfg.History.Samples()
+	}
+	if r.cfg.Tracer != nil {
+		d.SlowTraces = r.cfg.Tracer.Slowest(r.cfg.SlowTraces)
+	}
+	if stacks {
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		d.Goroutines = string(buf[:n])
+	}
+	return d
+}
+
+// WriteTo serializes a dump document as indented JSON.
+func (r *Recorder) WriteTo(w io.Writer, reason string, stacks bool) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot(reason, stacks))
+}
+
+// DumpFile writes the dump to the configured path (atomically: temp file
+// then rename, so a crash mid-dump never leaves a torn document at the
+// advertised path).
+func (r *Recorder) DumpFile(reason string) (string, error) {
+	r.mu.Lock()
+	r.lastDump = time.Now()
+	r.mu.Unlock()
+	tmp := r.cfg.Path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return "", err
+	}
+	werr := r.WriteTo(f, reason, true)
+	cerr := f.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return "", werr
+	}
+	if err := os.Rename(tmp, r.cfg.Path); err != nil {
+		return "", err
+	}
+	r.cfg.Logger.Info("flight dump written",
+		log.Str("path", r.cfg.Path), log.Str("reason", reason))
+	return r.cfg.Path, nil
+}
+
+// ArmSignal installs a SIGQUIT handler that writes a flight dump instead
+// of the runtime's die-with-stacks default. The process keeps running
+// after the dump (the goroutine stacks the default would have printed are
+// inside the dump). Call Disarm to restore default handling.
+func (r *Recorder) ArmSignal() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.sigCh != nil {
+		return
+	}
+	r.sigCh = make(chan os.Signal, 1)
+	r.sigDone = make(chan struct{})
+	ch, done := r.sigCh, r.sigDone
+	signal.Notify(ch, syscall.SIGQUIT)
+	go func() {
+		defer close(done)
+		for range ch {
+			if _, err := r.DumpFile("signal"); err != nil {
+				fmt.Fprintf(os.Stderr, "flight: dump failed: %v\n", err)
+			}
+		}
+	}()
+}
+
+// Disarm removes the SIGQUIT handler and waits for the handler goroutine
+// to exit. Idempotent.
+func (r *Recorder) Disarm() {
+	r.mu.Lock()
+	ch, done := r.sigCh, r.sigDone
+	r.sigCh, r.sigDone = nil, nil
+	r.mu.Unlock()
+	if ch == nil {
+		return
+	}
+	signal.Stop(ch)
+	close(ch)
+	<-done
+}
+
+// DumpOnPanic is a defer hook for main-ish goroutines: on panic it writes
+// a flight dump, then re-panics so the process still dies loudly.
+//
+//	defer rec.DumpOnPanic()
+func (r *Recorder) DumpOnPanic() {
+	if p := recover(); p != nil {
+		_, _ = r.DumpFile(fmt.Sprintf("panic: %v", p))
+		panic(p)
+	}
+}
+
+// LastDump reports when a dump was last written (zero if never).
+func (r *Recorder) LastDump() time.Time {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lastDump
+}

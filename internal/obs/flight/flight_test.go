@@ -1,0 +1,198 @@
+package flight
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/log"
+	"repro/internal/obs/trace"
+)
+
+// buildRecorder assembles a recorder over live sources with activity in
+// each: events in the ring, two history samples, one finished trace.
+func buildRecorder(t *testing.T, dir string) (*Recorder, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	ring := log.NewRing(64)
+	logger := log.New(log.LevelDebug, reg, ring)
+	logger.Named("queue").Info("enqueue", log.Str("queue", "work"), log.Int("n", 1))
+	logger.Named("wal").Warn("segment rotated", log.Uint64("seg", 3))
+
+	reg.Counter("queue.enqueues", "queue", "work").Add(10)
+	hist := obs.NewHistory(reg, 8, time.Second)
+	hist.Sample()
+	reg.Counter("queue.enqueues", "queue", "work").Add(5)
+	hist.Sample()
+
+	tr := trace.New(16, reg)
+	ref := trace.Ref{Trace: trace.NewID()}
+	sp, _ := tr.Begin(ref, "enqueue")
+	time.Sleep(time.Millisecond)
+	sp.Final = true
+	tr.Finish(&sp)
+
+	return New(Config{
+		Node:      "n1",
+		Events:    ring,
+		History:   hist,
+		Tracer:    tr,
+		Registry:  reg,
+		Path:      filepath.Join(dir, "flight.json"),
+		Logger:    logger,
+		MaxEvents: 32,
+	}), reg
+}
+
+func decodeDump(t *testing.T, b []byte) map[string]any {
+	t.Helper()
+	var doc map[string]any
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("dump is not valid JSON: %v\n%s", err, b)
+	}
+	return doc
+}
+
+// TestDumpContents pins the acceptance shape: recent events, metric
+// snapshots (live + history), and slow-trace summaries in one document.
+func TestDumpContents(t *testing.T) {
+	rec, _ := buildRecorder(t, t.TempDir())
+	var buf bytes.Buffer
+	if err := rec.WriteTo(&buf, "request", true); err != nil {
+		t.Fatal(err)
+	}
+	doc := decodeDump(t, buf.Bytes())
+	if doc["node"] != "n1" || doc["reason"] != "request" {
+		t.Fatalf("header wrong: %v", doc)
+	}
+	events, _ := doc["events"].([]any)
+	if len(events) < 2 {
+		t.Fatalf("want recent events, got %v", doc["events"])
+	}
+	ev0 := events[0].(map[string]any)
+	if ev0["sub"] != "queue" || ev0["msg"] != "enqueue" {
+		t.Fatalf("event content lost: %v", ev0)
+	}
+	metrics, _ := doc["metrics"].(map[string]any)
+	counters, _ := metrics["counters"].(map[string]any)
+	if counters["queue.enqueues{queue=work}"] != float64(15) {
+		t.Fatalf("live metrics missing: %v", counters)
+	}
+	hist, _ := doc["history"].([]any)
+	if len(hist) != 2 {
+		t.Fatalf("want 2 history samples, got %d", len(hist))
+	}
+	slow, _ := doc["slow_traces"].([]any)
+	if len(slow) != 1 {
+		t.Fatalf("want 1 slow trace, got %v", doc["slow_traces"])
+	}
+	if g, _ := doc["goroutines"].(string); !strings.Contains(g, "goroutine") {
+		t.Fatal("goroutine stacks missing from dump")
+	}
+}
+
+// TestSIGQUITDump proves the acceptance criterion end to end inside one
+// process: arm the recorder, send ourselves SIGQUIT, and find a dump file
+// with events, metric snapshots, and slow traces — while the process (this
+// test) keeps running.
+func TestSIGQUITDump(t *testing.T) {
+	rec, _ := buildRecorder(t, t.TempDir())
+	rec.ArmSignal()
+	defer rec.Disarm()
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGQUIT); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	var raw []byte
+	for {
+		var err error
+		raw, err = os.ReadFile(rec.Path())
+		if err == nil && len(raw) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no flight dump appeared after SIGQUIT")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	doc := decodeDump(t, raw)
+	if doc["reason"] != "signal" {
+		t.Fatalf("reason = %v, want signal", doc["reason"])
+	}
+	if len(doc["events"].([]any)) == 0 || len(doc["history"].([]any)) == 0 ||
+		len(doc["slow_traces"].([]any)) == 0 {
+		t.Fatalf("signal dump incomplete: events=%v history=%v slow=%v",
+			doc["events"], doc["history"], doc["slow_traces"])
+	}
+	if rec.LastDump().IsZero() {
+		t.Fatal("LastDump not stamped")
+	}
+}
+
+// TestDumpOnPanic proves the defer hook writes a dump and re-panics.
+func TestDumpOnPanic(t *testing.T) {
+	rec, _ := buildRecorder(t, t.TempDir())
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic swallowed")
+			}
+		}()
+		defer rec.DumpOnPanic()
+		panic("kaboom")
+	}()
+	raw, err := os.ReadFile(rec.Path())
+	if err != nil {
+		t.Fatalf("no panic dump: %v", err)
+	}
+	doc := decodeDump(t, raw)
+	reason, _ := doc["reason"].(string)
+	if !strings.Contains(reason, "kaboom") {
+		t.Fatalf("panic value not in reason: %q", reason)
+	}
+}
+
+// TestAtomicDump ensures a dump never leaves a torn file at the final
+// path: the temp file is cleaned up and re-dumping replaces cleanly.
+func TestAtomicDump(t *testing.T) {
+	rec, _ := buildRecorder(t, t.TempDir())
+	for i := 0; i < 3; i++ {
+		if _, err := rec.DumpFile("request"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := os.Stat(rec.Path() + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("temp file left behind")
+	}
+	decodeDump(t, mustRead(t, rec.Path()))
+}
+
+// TestNilSources: a recorder over nothing still produces a valid document.
+func TestNilSources(t *testing.T) {
+	rec := New(Config{Path: filepath.Join(t.TempDir(), "f.json")})
+	var buf bytes.Buffer
+	if err := rec.WriteTo(&buf, "request", false); err != nil {
+		t.Fatal(err)
+	}
+	doc := decodeDump(t, buf.Bytes())
+	if doc["reason"] != "request" {
+		t.Fatalf("bad doc: %v", doc)
+	}
+	rec.Disarm() // disarm without arm is a no-op
+}
+
+func mustRead(t *testing.T, path string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// TimedSnapshot is one registry snapshot stamped with when it was taken.
+type TimedSnapshot struct {
+	At   time.Time `json:"at"`
+	Snap Snapshot  `json:"snap"`
+}
+
+// History is a fixed-window time series of registry snapshots — the third
+// answer the obs plane owes an operator: not "what is the counter now"
+// (Snapshot) or "where did this request go" (trace), but "how fast is it
+// moving". A background sampler appends one snapshot per interval into a
+// bounded ring; Report subtracts the snapshot nearest the window's start
+// from the newest one to produce deltas and rates.
+//
+// Counters are monotonic, so a delta over the window is exact regardless
+// of how many samples the window spans — which is also the conservation
+// invariant the tests pin: adjacent deltas summed over a window equal the
+// endpoint difference.
+type History struct {
+	reg      *Registry
+	interval time.Duration
+
+	mu   sync.Mutex
+	buf  []TimedSnapshot
+	next int
+	full bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewHistory returns a history sampling reg, retaining the last keep
+// snapshots taken every interval. Call Start to begin sampling.
+func NewHistory(reg *Registry, keep int, interval time.Duration) *History {
+	if keep < 2 {
+		keep = 2
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+	return &History{
+		reg:      reg,
+		interval: interval,
+		buf:      make([]TimedSnapshot, keep),
+	}
+}
+
+// Interval returns the configured sampling period.
+func (h *History) Interval() time.Duration { return h.interval }
+
+// Sample takes one snapshot immediately and appends it to the ring. The
+// background sampler calls this on its tick; tests and the flight
+// recorder call it directly for deterministic timing.
+func (h *History) Sample() {
+	ts := TimedSnapshot{At: time.Now(), Snap: h.reg.Snapshot()}
+	h.mu.Lock()
+	h.buf[h.next] = ts
+	h.next++
+	if h.next == len(h.buf) {
+		h.next = 0
+		h.full = true
+	}
+	h.mu.Unlock()
+}
+
+// Start launches the background sampler. It takes an initial sample
+// immediately so Report has a baseline before the first tick.
+func (h *History) Start() {
+	h.mu.Lock()
+	if h.stop != nil {
+		h.mu.Unlock()
+		return
+	}
+	h.stop = make(chan struct{})
+	h.done = make(chan struct{})
+	stop, done := h.stop, h.done
+	h.mu.Unlock()
+
+	h.Sample()
+	go func() {
+		defer close(done)
+		t := time.NewTicker(h.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				h.Sample()
+			}
+		}
+	}()
+}
+
+// Stop halts the background sampler and waits for it to exit. Idempotent.
+func (h *History) Stop() {
+	h.mu.Lock()
+	stop, done := h.stop, h.done
+	h.stop, h.done = nil, nil
+	h.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+// Samples returns the retained snapshots, oldest first.
+func (h *History) Samples() []TimedSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var out []TimedSnapshot
+	if h.full {
+		out = append(out, h.buf[h.next:]...)
+	}
+	out = append(out, h.buf[:h.next]...)
+	return out
+}
+
+// HistoryReport is the delta/rate view over a window, as served by
+// GET /metrics/history.
+type HistoryReport struct {
+	From    time.Time `json:"from"`
+	To      time.Time `json:"to"`
+	Window  float64   `json:"window_s"` // actual span covered, seconds
+	Samples int       `json:"samples"`  // snapshots inside the window
+
+	// Counters maps name -> delta over the window; Rates maps name ->
+	// delta / Window per second. Names with zero delta are omitted.
+	Counters map[string]uint64  `json:"counters,omitempty"`
+	Rates    map[string]float64 `json:"rates,omitempty"`
+
+	// Gauges maps name -> value at the window's end (a gauge has no
+	// meaningful delta; its current level is the story).
+	Gauges map[string]int64 `json:"gauges,omitempty"`
+
+	// HistCounts/HistSums map histogram name -> observation-count and
+	// sum deltas, from which a mean-over-window falls out.
+	HistCounts map[string]uint64 `json:"hist_counts,omitempty"`
+	HistSums   map[string]uint64 `json:"hist_sums,omitempty"`
+}
+
+// Report computes deltas and per-second rates over the trailing window.
+// It returns ok=false when fewer than two samples fall in range (no
+// baseline to subtract).
+func (h *History) Report(window time.Duration) (HistoryReport, bool) {
+	samples := h.Samples()
+	if len(samples) < 2 {
+		return HistoryReport{}, false
+	}
+	newest := samples[len(samples)-1]
+	cutoff := newest.At.Add(-window)
+	// Oldest sample still inside the window is the baseline; sort.Search
+	// over the time-ordered samples finds it.
+	i := sort.Search(len(samples), func(i int) bool { return !samples[i].At.Before(cutoff) })
+	if i >= len(samples)-1 {
+		i = len(samples) - 2 // window narrower than sampling interval: use adjacent pair
+	}
+	base := samples[i]
+
+	span := newest.At.Sub(base.At).Seconds()
+	if span <= 0 {
+		return HistoryReport{}, false
+	}
+	rep := HistoryReport{
+		From:    base.At,
+		To:      newest.At,
+		Window:  span,
+		Samples: len(samples) - i,
+	}
+	for name, after := range newest.Snap.Counters {
+		d := after - base.Snap.Counters[name]
+		if d == 0 {
+			continue
+		}
+		if rep.Counters == nil {
+			rep.Counters = make(map[string]uint64)
+			rep.Rates = make(map[string]float64)
+		}
+		rep.Counters[name] = d
+		rep.Rates[name] = float64(d) / span
+	}
+	if len(newest.Snap.Gauges) > 0 {
+		rep.Gauges = make(map[string]int64, len(newest.Snap.Gauges))
+		for name, v := range newest.Snap.Gauges {
+			rep.Gauges[name] = v
+		}
+	}
+	for name, after := range newest.Snap.Histograms {
+		before := base.Snap.Histograms[name]
+		dc := after.Count - before.Count
+		if dc == 0 {
+			continue
+		}
+		if rep.HistCounts == nil {
+			rep.HistCounts = make(map[string]uint64)
+			rep.HistSums = make(map[string]uint64)
+		}
+		rep.HistCounts[name] = dc
+		rep.HistSums[name] = after.Sum - before.Sum
+	}
+	return rep, true
+}

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistoryRingRetention(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("x")
+	h := NewHistory(reg, 4, time.Second)
+	for i := 0; i < 10; i++ {
+		c.Inc()
+		h.Sample()
+	}
+	s := h.Samples()
+	if len(s) != 4 {
+		t.Fatalf("want 4 retained samples, got %d", len(s))
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i].Snap.Counters["x"] <= s[i-1].Snap.Counters["x"] {
+			t.Fatalf("samples out of order: %v", s)
+		}
+	}
+	if s[3].Snap.Counters["x"] != 10 {
+		t.Fatalf("newest sample stale: %v", s[3].Snap.Counters)
+	}
+}
+
+// TestHistoryConservation pins the invariant the /metrics/history
+// endpoint relies on: summing the deltas between every adjacent pair of
+// samples in a window reproduces exactly the live counter's movement —
+// no sample boundary loses or double-counts an increment, even while the
+// counter is being hammered concurrently with sampling.
+func TestHistoryConservation(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("ops", "queue", "work")
+	h := NewHistory(reg, 64, time.Second)
+
+	h.Sample() // baseline before any increments
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					c.Inc()
+				}
+			}
+		}()
+	}
+	for i := 0; i < 32; i++ {
+		h.Sample()
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	h.Sample() // final sample after writers quiesce
+
+	samples := h.Samples()
+	name := Name("ops", "queue", "work")
+	var summed uint64
+	for i := 1; i < len(samples); i++ {
+		summed += samples[i].Snap.Counters[name] - samples[i-1].Snap.Counters[name]
+	}
+	first := samples[0].Snap.Counters[name]
+	live := c.Value()
+	if first+summed != live {
+		t.Fatalf("conservation violated: first %d + summed deltas %d != live %d",
+			first, summed, live)
+	}
+	// And the Report window delta must equal the endpoint difference.
+	rep, ok := h.Report(time.Hour)
+	if !ok {
+		t.Fatal("Report returned no data")
+	}
+	if rep.Counters[name] != live-first {
+		t.Fatalf("report delta %d != endpoint delta %d", rep.Counters[name], live-first)
+	}
+	if rep.Rates[name] <= 0 {
+		t.Fatalf("rate not positive: %v", rep.Rates[name])
+	}
+}
+
+func TestHistoryReportWindowing(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("n")
+	g := reg.Gauge("depth")
+	hist := reg.Histogram("lat")
+	h := NewHistory(reg, 16, time.Second)
+
+	// Build samples with forced timestamps by sampling around mutations;
+	// windows narrower than the spacing must still find an adjacent pair.
+	h.Sample()
+	time.Sleep(2 * time.Millisecond)
+	c.Add(5)
+	g.Set(3)
+	hist.Observe(100)
+	hist.Observe(300)
+	h.Sample()
+
+	rep, ok := h.Report(time.Hour)
+	if !ok {
+		t.Fatal("no report")
+	}
+	if rep.Counters["n"] != 5 || rep.Gauges["depth"] != 3 {
+		t.Fatalf("wrong deltas: %+v", rep)
+	}
+	if rep.HistCounts["lat"] != 2 || rep.HistSums["lat"] != 400 {
+		t.Fatalf("histogram deltas wrong: %+v", rep)
+	}
+	if rep.Samples < 2 || rep.Window <= 0 {
+		t.Fatalf("window metadata wrong: %+v", rep)
+	}
+
+	// A single sample cannot produce a report.
+	h2 := NewHistory(reg, 8, time.Second)
+	h2.Sample()
+	if _, ok := h2.Report(time.Second); ok {
+		t.Fatal("report from one sample")
+	}
+}
+
+func TestHistoryStartStop(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("ticks")
+	h := NewHistory(reg, 32, 2*time.Millisecond)
+	h.Start()
+	h.Start() // idempotent
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		c.Inc()
+		if len(h.Samples()) >= 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("sampler did not tick")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	h.Stop()
+	h.Stop() // idempotent
+	n := len(h.Samples())
+	time.Sleep(10 * time.Millisecond)
+	if len(h.Samples()) != n {
+		t.Fatal("sampler still running after Stop")
+	}
+}

@@ -1,0 +1,245 @@
+package log
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/trace"
+)
+
+// TestDisabledLogZeroAllocs pins the tentpole guarantee: a log call below
+// the logger's level must not allocate, even with a full complement of
+// fields. If this fails, some Field or the variadic slice started
+// escaping — fix the escape, don't relax the test.
+func TestDisabledLogZeroAllocs(t *testing.T) {
+	l := New(LevelError, nil, NewJSONSink(&bytes.Buffer{})).Named("queue")
+	err := errors.New("boom")
+	allocs := testing.AllocsPerRun(1000, func() {
+		l.Debug("enqueue",
+			Str("queue", "work"),
+			Int("n", 3),
+			Uint64("lsn", 42),
+			Bool("fsync", true),
+			Dur("wait", 5*time.Microsecond),
+			Err(err),
+		)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled log call allocated %v allocs/op, want 0", allocs)
+	}
+
+	// A nil logger is the fully-disabled form libraries hold.
+	var nilL *Logger
+	allocs = testing.AllocsPerRun(1000, func() {
+		nilL.Error("x", Str("a", "b"))
+	})
+	if allocs != 0 {
+		t.Fatalf("nil logger call allocated %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestLevelGatingAndCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	ring := NewRing(64)
+	l := New(LevelWarn, reg, ring)
+	l.Debug("d")
+	l.Info("i")
+	l.Warn("w")
+	l.Error("e")
+	got := ring.Recent(0)
+	if len(got) != 2 || got[0].Msg != "w" || got[1].Msg != "e" {
+		t.Fatalf("want [w e], got %+v", got)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["log.events{level=warn}"] != 1 || snap.Counters["log.events{level=error}"] != 1 {
+		t.Fatalf("emission counters wrong: %v", snap.Counters)
+	}
+	if _, ok := snap.Counters["log.events{level=info}"]; ok && snap.Counters["log.events{level=info}"] != 0 {
+		t.Fatalf("suppressed level counted: %v", snap.Counters)
+	}
+
+	l.SetLevel(LevelDebug)
+	if !l.Enabled(LevelDebug) {
+		t.Fatal("SetLevel(debug) did not take effect")
+	}
+	l.Debug("d2")
+	if n := len(ring.Recent(0)); n != 3 {
+		t.Fatalf("after lowering level want 3 events, got %d", n)
+	}
+
+	l.SetLevel(LevelOff)
+	l.Error("silenced")
+	if n := len(ring.Recent(0)); n != 3 {
+		t.Fatalf("LevelOff still emitted: %d events", n)
+	}
+}
+
+func TestNamedSubsystems(t *testing.T) {
+	ring := NewRing(8)
+	l := New(LevelInfo, nil, ring)
+	l.Named("queue").Named("recovery").Info("scan")
+	ev := ring.Recent(0)
+	if len(ev) != 1 || ev[0].Sub != "queue.recovery" {
+		t.Fatalf("want sub queue.recovery, got %+v", ev)
+	}
+	// Named on nil stays nil and inert.
+	var nilL *Logger
+	nilL.Named("x").Info("nope")
+}
+
+func TestJSONOutputValidAndComplete(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(LevelDebug, nil, NewJSONSink(&buf)).Named("wal")
+	ref := trace.Ref{Span: 7}
+	ref.Trace[0] = 0xab
+	l.Warn("control \x01 and \"quote\" and \\slash\n",
+		Str("path", "/tmp/seg\t01.wal"),
+		Int64("neg", -5),
+		Uint64("big", 1<<63),
+		Bool("ok", false),
+		Dur("d", time.Millisecond),
+		Trace(ref),
+	)
+	line := buf.String()
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(line), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, line)
+	}
+	if doc["level"] != "warn" || doc["sub"] != "wal" {
+		t.Fatalf("level/sub wrong: %v", doc)
+	}
+	if doc["msg"] != "control \x01 and \"quote\" and \\slash\n" {
+		t.Fatalf("msg did not round-trip: %q", doc["msg"])
+	}
+	if doc["path"] != "/tmp/seg\t01.wal" || doc["neg"] != float64(-5) || doc["ok"] != false {
+		t.Fatalf("fields wrong: %v", doc)
+	}
+	if doc["trace"] != ref.Trace.String() || doc["span"] != float64(7) {
+		t.Fatalf("trace correlation missing: %v", doc)
+	}
+	if !strings.Contains(line, `"big":9223372036854775808`) {
+		t.Fatalf("uint64 lost precision: %s", line)
+	}
+}
+
+func TestTextOutput(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(LevelDebug, nil, NewTextSink(&buf)).Named("rpc")
+	l.Info("accepted", Str("peer", "1.2.3.4:9"), Dur("d", 2*time.Second))
+	line := buf.String()
+	for _, want := range []string{" info ", "[rpc]", "accepted", `peer="1.2.3.4:9"`, "d=2s"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("text line missing %q: %s", want, line)
+		}
+	}
+}
+
+func TestRingOverwriteAndOrder(t *testing.T) {
+	ring := NewRing(16)
+	l := New(LevelDebug, nil, ring)
+	for i := 0; i < 100; i++ {
+		l.Info(fmt.Sprintf("m%d", i), Int("i", i))
+	}
+	ev := ring.Recent(0)
+	if len(ev) != 16 {
+		t.Fatalf("want 16 retained, got %d", len(ev))
+	}
+	for i := 1; i < len(ev); i++ {
+		if ev[i].Seq <= ev[i-1].Seq {
+			t.Fatalf("events out of order at %d: %d then %d", i, ev[i-1].Seq, ev[i].Seq)
+		}
+	}
+	if ev[len(ev)-1].Msg != "m99" {
+		t.Fatalf("newest event missing: %+v", ev[len(ev)-1])
+	}
+	if ring.Dropped() == 0 {
+		t.Fatal("overwrites not counted as drops")
+	}
+	if got := ring.Recent(4); len(got) != 4 || got[3].Msg != "m99" {
+		t.Fatalf("Recent(4) want newest tail, got %+v", got)
+	}
+}
+
+// TestConcurrentEmit hammers every concurrent surface at once — emitters,
+// level changes, sink attachment, ring reads — and relies on -race for
+// verdict beyond basic sanity.
+func TestConcurrentEmit(t *testing.T) {
+	ring := NewRing(128)
+	var buf bytes.Buffer
+	l := New(LevelDebug, obs.NewRegistry(), ring)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sub := l.Named(fmt.Sprintf("g%d", g))
+			for i := 0; i < 500; i++ {
+				sub.Info("tick", Int("i", i), Int("g", g))
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			l.SetLevel(LevelDebug)
+			ring.Recent(16)
+		}
+	}()
+	l.AddSink(NewJSONSink(&buf))
+	wg.Wait()
+	ev := ring.Recent(0)
+	if len(ev) != 128 {
+		t.Fatalf("ring retained %d, want 128", len(ev))
+	}
+	for i := 1; i < len(ev); i++ {
+		if ev[i].Seq <= ev[i-1].Seq {
+			t.Fatalf("duplicate or disordered seq under concurrency")
+		}
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for s, want := range map[string]Level{
+		"debug": LevelDebug, "info": LevelInfo, "WARN": LevelWarn,
+		"warning": LevelWarn, "error": LevelError, "off": LevelOff,
+	} {
+		got, err := ParseLevel(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseLevel(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatal("ParseLevel accepted garbage")
+	}
+}
+
+// BenchmarkDisabledLog is the CI smoke target: the disabled hot path must
+// report 0 allocs/op.
+func BenchmarkDisabledLog(b *testing.B) {
+	l := New(LevelError, nil, NewJSONSink(&bytes.Buffer{})).Named("queue")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Debug("enqueue", Str("queue", "work"), Int("n", i), Bool("fsync", true))
+	}
+}
+
+// BenchmarkEnabledJSON prices the enabled path (event build + render + write).
+func BenchmarkEnabledJSON(b *testing.B) {
+	l := New(LevelDebug, nil, NewJSONSink(discard{})).Named("queue")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Info("enqueue", Str("queue", "work"), Int("n", i), Bool("fsync", true))
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

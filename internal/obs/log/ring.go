@@ -1,0 +1,90 @@
+package log
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// ringStripes is the number of independent sub-rings. Emitters hash onto
+// a stripe by sequence number, so concurrent emitters contend on
+// different mutexes; a global atomic sequence preserves total order for
+// reassembly in Recent.
+const ringStripes = 8
+
+// Ring is a bounded in-memory buffer of the most recent events — the
+// storage behind the flight recorder and the admin /logs endpoint. Old
+// events are overwritten, never flushed: the ring answers "what were the
+// last N things this process said", not "everything it ever said".
+type Ring struct {
+	seq     atomic.Uint64
+	dropped atomic.Uint64
+	stripes [ringStripes]ringStripe
+}
+
+type ringStripe struct {
+	mu   sync.Mutex
+	buf  []Event
+	next int // index of the slot overwritten next
+	full bool
+	_    [24]byte // keep neighboring stripes off one cache line
+}
+
+// NewRing returns a ring retaining approximately capacity events
+// (rounded up to a multiple of the stripe count, minimum one per stripe).
+func NewRing(capacity int) *Ring {
+	per := (capacity + ringStripes - 1) / ringStripes
+	if per < 1 {
+		per = 1
+	}
+	r := &Ring{}
+	for i := range r.stripes {
+		r.stripes[i].buf = make([]Event, per)
+	}
+	return r
+}
+
+// Emit stores a copy of the event, stamping it with the ring's global
+// sequence number. Implements Sink.
+func (r *Ring) Emit(e *Event) {
+	seq := r.seq.Add(1)
+	st := &r.stripes[seq%ringStripes]
+	st.mu.Lock()
+	if st.full {
+		r.dropped.Add(1)
+	}
+	st.buf[st.next] = *e
+	st.buf[st.next].Seq = seq
+	st.next++
+	if st.next == len(st.buf) {
+		st.next = 0
+		st.full = true
+	}
+	st.mu.Unlock()
+}
+
+// Dropped returns how many events have been overwritten before being read.
+func (r *Ring) Dropped() uint64 { return r.dropped.Load() }
+
+// Recent returns up to max retained events, oldest first in global
+// emission order. max <= 0 means all retained events.
+func (r *Ring) Recent(max int) []Event {
+	var out []Event
+	for i := range r.stripes {
+		st := &r.stripes[i]
+		st.mu.Lock()
+		n := st.next
+		if st.full {
+			n = len(st.buf)
+		}
+		for j := 0; j < n; j++ {
+			out = append(out, st.buf[j])
+		}
+		st.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	if max > 0 && len(out) > max {
+		out = out[len(out)-max:]
+	}
+	return out
+}

@@ -1,0 +1,176 @@
+package log
+
+import (
+	"io"
+	"strconv"
+	"sync"
+	"time"
+	"unicode/utf8"
+)
+
+// WriterSink renders events as lines to an io.Writer — one Write call per
+// event, serialized by a mutex so concurrent emitters never interleave
+// bytes. The render buffer is reused across events, so a quiet logger
+// holds one small buffer, not a buffer per event.
+type WriterSink struct {
+	mu   sync.Mutex
+	w    io.Writer
+	buf  []byte
+	json bool
+}
+
+// NewJSONSink returns a sink writing one JSON object per line — the
+// machine-readable format behind qmd's -log-format=json.
+func NewJSONSink(w io.Writer) *WriterSink { return &WriterSink{w: w, json: true} }
+
+// NewTextSink returns a sink writing human-readable "time level [sub] msg
+// k=v…" lines.
+func NewTextSink(w io.Writer) *WriterSink { return &WriterSink{w: w} }
+
+// Emit renders and writes the event. Write errors are swallowed: logging
+// must never fail the operation being logged.
+func (s *WriterSink) Emit(e *Event) {
+	s.mu.Lock()
+	s.buf = s.buf[:0]
+	if s.json {
+		s.buf = e.AppendJSON(s.buf)
+	} else {
+		s.buf = e.AppendText(s.buf)
+	}
+	s.buf = append(s.buf, '\n')
+	_, _ = s.w.Write(s.buf)
+	s.mu.Unlock()
+}
+
+// AppendJSON renders the event as a single JSON object.
+func (e *Event) AppendJSON(b []byte) []byte {
+	b = append(b, `{"ts":`...)
+	b = strconv.AppendInt(b, e.Time, 10)
+	b = append(b, `,"level":"`...)
+	b = append(b, e.Level.String()...)
+	b = append(b, '"')
+	if e.Seq != 0 {
+		b = append(b, `,"seq":`...)
+		b = strconv.AppendUint(b, e.Seq, 10)
+	}
+	if e.Sub != "" {
+		b = append(b, `,"sub":`...)
+		b = appendJSONString(b, e.Sub)
+	}
+	b = append(b, `,"msg":`...)
+	b = appendJSONString(b, e.Msg)
+	if !e.Trace.IsZero() {
+		b = append(b, `,"trace":"`...)
+		b = append(b, e.Trace.String()...)
+		b = append(b, `","span":`...)
+		b = strconv.AppendUint(b, uint64(e.Span), 10)
+	}
+	for i := 0; i < e.NField; i++ {
+		f := &e.Fields[i]
+		b = append(b, ',')
+		b = appendJSONString(b, f.Key)
+		b = append(b, ':')
+		switch f.kind {
+		case kindInt64, kindDuration:
+			b = strconv.AppendInt(b, f.num, 10)
+		case kindUint64:
+			b = strconv.AppendUint(b, uint64(f.num), 10)
+		case kindBool:
+			b = strconv.AppendBool(b, f.num != 0)
+		default:
+			b = appendJSONString(b, f.str)
+		}
+	}
+	return append(b, '}')
+}
+
+// MarshalJSON lets encoding/json embed events (flight dumps, /logs).
+func (e *Event) MarshalJSON() ([]byte, error) {
+	return e.AppendJSON(make([]byte, 0, 128)), nil
+}
+
+// AppendText renders the event as a human-readable line.
+func (e *Event) AppendText(b []byte) []byte {
+	b = time.Unix(0, e.Time).UTC().AppendFormat(b, "2006-01-02T15:04:05.000Z")
+	b = append(b, ' ')
+	b = append(b, e.Level.String()...)
+	if e.Sub != "" {
+		b = append(b, " ["...)
+		b = append(b, e.Sub...)
+		b = append(b, ']')
+	}
+	b = append(b, ' ')
+	b = append(b, e.Msg...)
+	if !e.Trace.IsZero() {
+		b = append(b, " trace="...)
+		b = append(b, e.Trace.String()...)
+	}
+	for i := 0; i < e.NField; i++ {
+		f := &e.Fields[i]
+		b = append(b, ' ')
+		b = append(b, f.Key...)
+		b = append(b, '=')
+		switch f.kind {
+		case kindInt64:
+			b = strconv.AppendInt(b, f.num, 10)
+		case kindDuration:
+			b = append(b, time.Duration(f.num).String()...)
+		case kindUint64:
+			b = strconv.AppendUint(b, uint64(f.num), 10)
+		case kindBool:
+			b = strconv.AppendBool(b, f.num != 0)
+		default:
+			b = strconv.AppendQuote(b, f.str)
+		}
+	}
+	return b
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString appends s as a JSON string literal. Hand-rolled
+// because strconv.AppendQuote emits Go escapes (\x00) that are not valid
+// JSON; this matches encoding/json's escaping for the control range.
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		c := s[i]
+		if c >= 0x20 && c != '"' && c != '\\' && c < utf8.RuneSelf {
+			i++
+			continue
+		}
+		if c >= utf8.RuneSelf {
+			// Valid multi-byte UTF-8 passes through untouched.
+			r, size := utf8.DecodeRuneInString(s[i:])
+			if r != utf8.RuneError || size > 1 {
+				i += size
+				continue
+			}
+			b = append(b, s[start:i]...)
+			b = append(b, `�`...)
+			i++
+			start = i
+			continue
+		}
+		b = append(b, s[start:i]...)
+		switch c {
+		case '"':
+			b = append(b, '\\', '"')
+		case '\\':
+			b = append(b, '\\', '\\')
+		case '\n':
+			b = append(b, '\\', 'n')
+		case '\r':
+			b = append(b, '\\', 'r')
+		case '\t':
+			b = append(b, '\\', 't')
+		default:
+			b = append(b, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xf])
+		}
+		i++
+		start = i
+	}
+	b = append(b, s[start:]...)
+	return append(b, '"')
+}

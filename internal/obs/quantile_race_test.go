@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestQuantileDigestObserveSnapshotRace hammers one digest with writers
+// and *dedicated* reader goroutines (the existing concurrent test only
+// interleaves reads inside writer goroutines): Observe racing against
+// continuous Quantile/Snapshot/Count on one ring, with percentile
+// monotonicity checked on every read.
+func TestQuantileDigestObserveSnapshotRace(t *testing.T) {
+	d := NewQuantileDigest(512)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				d.Observe(int64(g*2000 + i))
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				p50 := d.Quantile(0.50)
+				p99 := d.Quantile(0.99)
+				if p50 > 0 && p99 > 0 && p99 < p50 {
+					t.Error("p99 below p50")
+					return
+				}
+				snap := d.Snapshot()
+				if snap.P95 > 0 && snap.P99 > 0 && snap.P99 < snap.P95 {
+					t.Error("snapshot p99 below p95")
+					return
+				}
+				_ = d.Count()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := d.Count(); got != 8000 {
+		t.Fatalf("lost observations: count %d, want 8000", got)
+	}
+	if d.Quantile(1.0) == 0 {
+		t.Fatal("max quantile empty after 8000 observations")
+	}
+}

@@ -46,6 +46,26 @@ func (id ID) IsZero() bool { return id == ID{} }
 // String renders the ID as 32 lowercase hex digits.
 func (id ID) String() string { return hex.EncodeToString(id[:]) }
 
+// MarshalJSON renders the ID as a quoted hex string.
+func (id ID) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + id.String() + `"`), nil
+}
+
+// UnmarshalJSON accepts the quoted hex form produced by MarshalJSON, so
+// documents embedding trace IDs (log events, flight dumps) round-trip.
+func (id *ID) UnmarshalJSON(b []byte) error {
+	s := string(b)
+	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+		s = s[1 : len(s)-1]
+	}
+	v, err := ParseID(s)
+	if err != nil {
+		return err
+	}
+	*id = v
+	return nil
+}
+
 // ParseID parses the 32-hex-digit form produced by String.
 func ParseID(s string) (ID, error) {
 	var id ID

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/enc"
 	"repro/internal/lock"
+	rlog "repro/internal/obs/log"
 	"repro/internal/obs/trace"
 	"repro/internal/txn"
 )
@@ -968,6 +969,11 @@ func (r *Repository) undoClaim(el *elem, returned *claimReturn) {
 		}
 		qs.maybeReopenFastLocked() // the diverted element left this queue
 		unlockPair(qs, eqs)
+		r.logger.Warn("element diverted to error queue",
+			rlog.Str("queue", qs.name),
+			rlog.Str("error_queue", eqs.name),
+			rlog.Uint64("eid", uint64(el.e.EID)),
+			rlog.Int("aborts", int(el.e.AbortCount)))
 		return
 	}
 	el.state = stateVisible

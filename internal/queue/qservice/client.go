@@ -234,6 +234,40 @@ func (c *Client) Metrics(ctx context.Context) (obs.Snapshot, error) {
 	return s, nil
 }
 
+// Health fetches the node's health document as raw JSON (qm.health).
+func (c *Client) Health(ctx context.Context) ([]byte, error) {
+	r, err := c.call(ctx, MethodHealth, enc.NewBuffer(0))
+	if err != nil {
+		return nil, err
+	}
+	j := r.BytesField()
+	return j, r.Err()
+}
+
+// Logs fetches up to max recent structured log events as a raw JSON
+// array (qm.logs); max <= 0 means everything retained.
+func (c *Client) Logs(ctx context.Context, max int) ([]byte, error) {
+	b := enc.NewBuffer(8)
+	b.Uvarint(uint64(max))
+	r, err := c.call(ctx, MethodLogs, b)
+	if err != nil {
+		return nil, err
+	}
+	j := r.BytesField()
+	return j, r.Err()
+}
+
+// Flight fetches the live flight-recorder document as raw JSON
+// (qm.flight).
+func (c *Client) Flight(ctx context.Context) ([]byte, error) {
+	r, err := c.call(ctx, MethodFlight, enc.NewBuffer(0))
+	if err != nil {
+		return nil, err
+	}
+	j := r.BytesField()
+	return j, r.Err()
+}
+
 // TraceTree fetches one assembled span tree as raw JSON (an array of
 // root nodes) from the server's trace ring. ErrNotFound when the server
 // retains no spans for id.

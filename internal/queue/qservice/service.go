@@ -14,6 +14,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/enc"
@@ -40,6 +41,9 @@ const (
 	MethodMetrics     = "qm.metrics"
 	MethodTrace       = "qm.trace"  // one span tree as JSON
 	MethodTraces      = "qm.traces" // slowest-N summaries as JSON
+	MethodHealth      = "qm.health" // node health document as JSON
+	MethodLogs        = "qm.logs"   // recent structured log events as JSON
+	MethodFlight      = "qm.flight" // flight-recorder document as JSON
 )
 
 // Status codes carried in every response payload.
@@ -149,11 +153,26 @@ func readWireElement(r *enc.Reader) queue.Element {
 	return e
 }
 
+// AuxProviders supply the node-level observability documents (health,
+// recent logs, flight-recorder state) that live above the repository —
+// the node that owns the service wires them in with SetAux. Each returns
+// a complete JSON document. Nil providers answer "not available".
+type AuxProviders struct {
+	Health func() ([]byte, error)
+	Logs   func(max int) ([]byte, error)
+	Flight func() ([]byte, error)
+}
+
 // Service serves one repository.
 type Service struct {
 	repo *queue.Repository
 	srv  *rpc.Server
+	aux  atomic.Pointer[AuxProviders]
 }
+
+// SetAux installs the node-level providers behind qm.health, qm.logs and
+// qm.flight. Safe to call after serving has started.
+func (s *Service) SetAux(p AuxProviders) { s.aux.Store(&p) }
 
 // New registers the repository's methods on srv and returns the service.
 // The hot-path methods are context-aware (HandleCtx): a traced call gets
@@ -183,7 +202,47 @@ func New(repo *queue.Repository, srv *rpc.Server) *Service {
 	srv.Handle(MethodMetrics, s.handleMetrics)
 	srv.Handle(MethodTrace, s.handleTrace)
 	srv.Handle(MethodTraces, s.handleTraces)
+	srv.Handle(MethodHealth, s.handleHealth)
+	srv.Handle(MethodLogs, s.handleLogs)
+	srv.Handle(MethodFlight, s.handleFlight)
 	return s
+}
+
+var errAuxUnavailable = fmt.Errorf("%w: not enabled on this node", queue.ErrNotFound)
+
+// handleHealth returns the node's health document as JSON (qm.health).
+func (s *Service) handleHealth(p []byte) ([]byte, error) {
+	aux := s.aux.Load()
+	if aux == nil || aux.Health == nil {
+		return respond(errAuxUnavailable, nil), nil
+	}
+	j, err := aux.Health()
+	return respond(err, func(b *enc.Buffer) { b.BytesField(j) }), nil
+}
+
+// handleLogs returns up to max recent log events as a JSON array (qm.logs).
+func (s *Service) handleLogs(p []byte) ([]byte, error) {
+	r := enc.NewReader(p)
+	max := int(r.Uvarint())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	aux := s.aux.Load()
+	if aux == nil || aux.Logs == nil {
+		return respond(errAuxUnavailable, nil), nil
+	}
+	j, err := aux.Logs(max)
+	return respond(err, func(b *enc.Buffer) { b.BytesField(j) }), nil
+}
+
+// handleFlight returns the live flight-recorder document (qm.flight).
+func (s *Service) handleFlight(p []byte) ([]byte, error) {
+	aux := s.aux.Load()
+	if aux == nil || aux.Flight == nil {
+		return respond(errAuxUnavailable, nil), nil
+	}
+	j, err := aux.Flight()
+	return respond(err, func(b *enc.Buffer) { b.BytesField(j) }), nil
 }
 
 // handleTrace returns one assembled span tree as JSON (qm.trace).

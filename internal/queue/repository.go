@@ -11,6 +11,7 @@ import (
 	"repro/internal/enc"
 	"repro/internal/lock"
 	"repro/internal/obs"
+	rlog "repro/internal/obs/log"
 	"repro/internal/obs/trace"
 	"repro/internal/storage"
 	"repro/internal/txn"
@@ -96,6 +97,10 @@ type Options struct {
 	// transaction layers. nil disables tracing; every trace check then
 	// costs one nil test, keeping the hot paths unchanged.
 	Tracer *trace.Tracer
+	// Logger receives repository lifecycle events (recovery, checkpoints,
+	// DDL, error-queue diversions) and is threaded into the WAL. Nil
+	// disables logging; element hot paths never log regardless.
+	Logger *rlog.Logger
 }
 
 // Repository is a queue repository: a named set of queues, registrations,
@@ -116,6 +121,7 @@ type Repository struct {
 	snap   *storage.Snapshotter
 	reg    *obs.Registry
 	tracer *trace.Tracer // nil when tracing is off
+	logger *rlog.Logger  // nil-safe; cold paths only
 
 	// mWaitNanos records how long blocking dequeuers waited for an
 	// element to become visible.
@@ -181,6 +187,7 @@ func Open(dir string, opts Options) (*Repository, []txn.InDoubt, error) {
 		SegmentSize: opts.SegmentSize,
 		Metrics:     reg,
 		FS:          opts.WALFS,
+		Logger:      opts.Logger,
 	}
 	if opts.GroupCommit {
 		walOpts.Sync = wal.SyncGroup
@@ -210,6 +217,7 @@ func Open(dir string, opts Options) (*Repository, []txn.InDoubt, error) {
 		snap:          snap,
 		reg:           reg,
 		tracer:        opts.Tracer,
+		logger:        opts.Logger.Named("queue"),
 		mWaitNanos:    reg.Histogram("queue.dequeue_wait_ns"),
 		mShardWait:    reg.Histogram("queue.shard_lock_wait_ns"),
 		mWakeTargeted: reg.Counter("queue.wakeups_targeted"),
@@ -248,7 +256,25 @@ func Open(dir string, opts Options) (*Repository, []txn.InDoubt, error) {
 		log.Close()
 		return nil, nil, fmt.Errorf("queue: recover %s: %w", opts.Name, err)
 	}
+	r.logger.Info("repository recovered",
+		rlog.Str("name", r.name),
+		rlog.Int("queues", len(r.queues)),
+		rlog.Uint64("snapshot_lsn", uint64(snapLSN)),
+		rlog.Uint64("next_lsn", uint64(log.NextLSN())),
+		rlog.Int("in_doubt", len(inDoubt)))
 	return r, inDoubt, nil
+}
+
+// WALErr reports the durability plane's health: nil while the write-ahead
+// log accepts appends, the sticky writer error once the group-commit
+// writer has failed, ErrClosed after Close/Crash. /healthz probes this.
+func (r *Repository) WALErr() error { return r.log.Err() }
+
+// Closed reports whether the repository has been closed or crashed.
+func (r *Repository) Closed() bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.closed
 }
 
 // Name returns the repository's unique name.
@@ -329,6 +355,7 @@ func (r *Repository) Crash() {
 	r.wakeAllLocked()
 	r.mu.Unlock()
 	_ = r.log.Close()
+	r.logger.Warn("repository crashed (simulated)", rlog.Str("name", r.name))
 }
 
 // Close snapshots and closes the repository.
@@ -341,6 +368,7 @@ func (r *Repository) Close() error {
 	r.closed = true
 	r.wakeAllLocked()
 	r.mu.Unlock()
+	r.logger.Info("repository closing", rlog.Str("name", r.name))
 	if err := r.Checkpoint(); err != nil {
 		r.log.Close()
 		return err
@@ -396,6 +424,8 @@ func (r *Repository) CreateQueue(cfg QueueConfig) error {
 		b.Uint8(opCreateQueue)
 		encodeConfig(b, &cfg)
 		r.logOp(t, b.Bytes())
+		r.logger.Info("queue created",
+			rlog.Str("queue", cfg.Name), rlog.Bool("volatile", cfg.Volatile))
 		return nil
 	})
 }
@@ -450,6 +480,8 @@ func (r *Repository) DestroyQueue(name string) error {
 		b.Uint8(opDestroyQueue)
 		b.String(name)
 		r.logOp(t, b.Bytes())
+		r.logger.Info("queue destroyed",
+			rlog.Str("queue", name), rlog.Int("dropped", len(doomed)))
 		return nil
 	})
 }
@@ -732,6 +764,10 @@ func (r *Repository) Checkpoint() error {
 	if err := r.log.TruncateBefore(cutoff); err != nil {
 		return fmt.Errorf("queue: truncate %s: %w", r.name, err)
 	}
+	r.logger.Debug("checkpoint written",
+		rlog.Uint64("lsn", uint64(lastLSN)),
+		rlog.Uint64("truncate_below", uint64(cutoff)),
+		rlog.Int("bytes", len(data)))
 	return nil
 }
 

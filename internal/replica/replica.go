@@ -28,6 +28,8 @@ import (
 	"path/filepath"
 	"sync"
 	"time"
+
+	rlog "repro/internal/obs/log"
 )
 
 // Shipper incrementally mirrors a repository directory (its wal/ and snap/
@@ -41,6 +43,22 @@ type Shipper struct {
 
 	ships        uint64
 	bytesShipped uint64
+
+	logger *rlog.Logger // nil-safe
+}
+
+// SetLogger installs the logger for ship-failure events (retried on the
+// next tick, so otherwise silent). Nil disables logging.
+func (s *Shipper) SetLogger(l *rlog.Logger) {
+	s.mu.Lock()
+	s.logger = l.Named("replica")
+	s.mu.Unlock()
+}
+
+func (s *Shipper) getLogger() *rlog.Logger {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.logger
 }
 
 // NewShipper mirrors the repository at src into dst (created if needed).
@@ -162,7 +180,9 @@ func (s *Shipper) Run(ctx context.Context, interval time.Duration) {
 		case <-ctx.Done():
 			return
 		case <-tick.C:
-			_, _ = s.SyncOnce()
+			if _, err := s.SyncOnce(); err != nil {
+				s.getLogger().Warn("ship failed; retrying next tick", rlog.Err(err))
+			}
 		}
 	}
 }

@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/log"
 	"repro/internal/obs/trace"
 )
 
@@ -411,6 +412,8 @@ type Server struct {
 	mShed     *obs.Counter // requests rejected by admission control
 	mDropped  *obs.Counter // requests abandoned because the caller's deadline expired
 	mBufReuse *obs.Counter // frame buffers served from the pool instead of the heap
+
+	logger atomic.Pointer[log.Logger] // nil-safe; connection lifecycle only
 }
 
 // NewServer returns an empty server with a private metrics registry.
@@ -502,6 +505,15 @@ func (s *Server) SetTracer(tr *trace.Tracer) {
 	s.tracer = tr
 }
 
+// SetLogger installs the logger for connection lifecycle events (accept,
+// close, frame errors). nil (the default) disables logging; the
+// per-frame dispatch path never logs.
+func (s *Server) SetLogger(l *log.Logger) {
+	if l != nil {
+		s.logger.Store(l.Named("rpc"))
+	}
+}
+
 // Stats returns the server's message counters.
 func (s *Server) Stats() Stats {
 	return Stats{
@@ -529,6 +541,8 @@ func (s *Server) Serve(lis net.Listener) {
 		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
+		s.logger.Load().Debug("connection accepted",
+			log.Str("peer", conn.RemoteAddr().String()))
 		s.wg.Add(1)
 		go s.serveConn(conn)
 	}
@@ -649,6 +663,10 @@ func (s *Server) serveConn(conn net.Conn) {
 	for {
 		f, reused, err := fr.read(true)
 		if err != nil {
+			if err != io.EOF {
+				s.logger.Load().Debug("connection closed",
+					log.Str("peer", conn.RemoteAddr().String()), log.Err(err))
+			}
 			return
 		}
 		if reused {

@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	"repro/internal/enc"
+	rlog "repro/internal/obs/log"
 	"repro/internal/obs/trace"
 	"repro/internal/txn"
 	"repro/internal/wal"
@@ -95,9 +96,24 @@ type Coordinator struct {
 	seqCeil   uint64          // reserved up to (exclusive)
 	decisions map[uint64]bool // seq -> committed (presumed abort: only true stored)
 	tracer    *trace.Tracer   // nil-safe; records tpc.commit spans
+	logger    *rlog.Logger    // nil-safe; decision/abort events
 
 	commits uint64
 	aborts  uint64
+}
+
+// SetLogger installs the logger recording commit decisions and phase-2
+// failures (nil disables).
+func (c *Coordinator) SetLogger(l *rlog.Logger) {
+	c.mu.Lock()
+	c.logger = l.Named("tpc")
+	c.mu.Unlock()
+}
+
+func (c *Coordinator) getLogger() *rlog.Logger {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.logger
 }
 
 // SetTracer installs the tracer recording two-phase-commit spans for
@@ -270,6 +286,8 @@ func (g *GlobalTxn) Commit() error {
 		g.c.mu.Lock()
 		g.c.aborts++
 		g.c.mu.Unlock()
+		g.c.getLogger().Error("commit decision not durable; presumed abort",
+			rlog.Uint64("seq", g.seq), rlog.Err(err))
 		return fmt.Errorf("%w: decision log: %v", ErrAborted, err)
 	}
 	g.c.mu.Lock()

@@ -28,6 +28,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"repro/internal/obs/log"
 	"time"
 )
 
@@ -228,6 +229,10 @@ func (l *Log) flushStagedLocked() {
 	l.flushing = false
 	if err != nil {
 		l.writerErr = err
+		l.logger.Error("group-commit writer failed; log poisoned",
+			log.Err(err),
+			log.Uint64("first_lsn", uint64(first)),
+			log.Int("batch", len(ends)))
 	} else {
 		l.syncedLSN = target
 		l.mGroupSize.Observe(int64(len(ends)))

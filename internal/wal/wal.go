@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/log"
 )
 
 // LSN is a log sequence number. LSNs start at 1 and increase by one per
@@ -93,6 +94,9 @@ type Options struct {
 	// use it to interpose crash-fault layers (internal/chaos/walfault);
 	// nil means the real filesystem.
 	FS VFS
+	// Logger receives lifecycle events (open, torn-tail truncation,
+	// rotation, writer failure). Nil disables logging.
+	Logger *log.Logger
 }
 
 const (
@@ -165,6 +169,8 @@ type Log struct {
 	// can observe group-commit batching deterministically.
 	testSyncDelay time.Duration
 
+	logger *log.Logger
+
 	// Instruments, resolved once at Open (obs hot-path contract). appends
 	// and syncs also back the Stats API.
 	mAppends      *obs.Counter
@@ -197,6 +203,7 @@ func Open(dir string, opts Options) (*Log, error) {
 		reg = obs.NewRegistry()
 	}
 	l := &Log{dir: dir, opts: opts, gc: opts.GroupCommit, nextLSN: 1}
+	l.logger = opts.Logger.Named("wal")
 	l.fs = opts.FS
 	if l.fs == nil {
 		l.fs = osVFS{}
@@ -223,7 +230,29 @@ func Open(dir string, opts Options) (*Log, error) {
 		l.writerDone = make(chan struct{})
 		go l.writerLoop()
 	}
+	l.logger.Info("log opened",
+		log.Str("dir", dir),
+		log.Int("segments", len(l.segments)),
+		log.Uint64("next_lsn", uint64(l.nextLSN)),
+		log.Bool("group_commit", opts.Sync == SyncGroup))
 	return l, nil
+}
+
+// Err reports the log's health: nil while the log can accept appends,
+// the sticky writer error once an append or fsync has failed (the log is
+// poisoned — a torn frame or dropped dirty pages mean durability
+// promises can no longer be kept), or ErrClosed after Close. This is the
+// probe behind /healthz's "wal" component.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.writerErr != nil {
+		return l.writerErr
+	}
+	if l.closed || l.closing {
+		return ErrClosed
+	}
+	return nil
 }
 
 // Pipelined reports whether the log runs a group-commit writer: Append
@@ -273,6 +302,10 @@ func (l *Log) loadSegments() error {
 		if err := os.Truncate(last.path, validLen); err != nil {
 			return fmt.Errorf("wal: truncate torn tail: %w", err)
 		}
+		l.logger.Warn("torn tail truncated",
+			log.Str("segment", last.path),
+			log.Int64("torn_bytes", fi.Size()-validLen),
+			log.Uint64("last_lsn", uint64(lastLSN)))
 	}
 	if lastLSN >= l.nextLSN {
 		l.nextLSN = lastLSN + 1
@@ -434,6 +467,9 @@ func (l *Log) AppendBatch(recs []Record) (LSN, error) {
 }
 
 func (l *Log) appendLocked(typ uint8, payload []byte) (LSN, error) {
+	if l.writerErr != nil {
+		return 0, fmt.Errorf("wal: append after write failure: %w", l.writerErr)
+	}
 	if l.activeSz >= l.opts.SegmentSize {
 		if err := l.rotateLocked(); err != nil {
 			return 0, err
@@ -442,7 +478,14 @@ func (l *Log) appendLocked(typ uint8, payload []byte) (LSN, error) {
 	lsn := l.nextLSN
 	frame := encodeFrame(lsn, typ, payload)
 	if _, err := l.active.Write(frame); err != nil {
-		return 0, fmt.Errorf("wal: append: %w", err)
+		// A failed append leaves an unknown prefix of the frame on disk;
+		// writing more frames after it would strand them behind the torn
+		// one at recovery. Poison the log — Err() reports it and /healthz
+		// flips.
+		l.writerErr = fmt.Errorf("wal: append: %w", err)
+		l.logger.Error("append failed; log poisoned",
+			log.Err(err), log.Uint64("lsn", uint64(lsn)))
+		return 0, l.writerErr
 	}
 	l.activeSz += int64(len(frame))
 	l.nextLSN++
@@ -470,6 +513,9 @@ func (l *Log) rotateLocked() error {
 	l.activeSz = 0
 	l.firstLSN = first
 	l.mRotations.Inc()
+	l.logger.Debug("segment rotated",
+		log.Uint64("first_lsn", uint64(first)),
+		log.Int("segments", len(l.segments)))
 	return nil
 }
 
@@ -502,7 +548,12 @@ func (l *Log) syncLocked() error {
 	}
 	start := time.Now()
 	if err := l.active.Sync(); err != nil {
-		return fmt.Errorf("wal: sync: %w", err)
+		// A failed fsync means durability promises can no longer be kept
+		// (the kernel may have dropped the dirty pages): sticky, like a
+		// failed append.
+		l.writerErr = fmt.Errorf("wal: sync: %w", err)
+		l.logger.Error("fsync failed; log poisoned", log.Err(err))
+		return l.writerErr
 	}
 	l.mFsyncNanos.Observe(time.Since(start).Nanoseconds())
 	l.syncedLSN = l.nextLSN - 1
@@ -560,7 +611,9 @@ func (l *Log) SyncTo(lsn LSN) error {
 		}
 		l.syncCond.Broadcast()
 		if err != nil {
-			return fmt.Errorf("wal: group sync: %w", err)
+			l.writerErr = fmt.Errorf("wal: leader sync: %w", err)
+			l.logger.Error("fsync failed; log poisoned", log.Err(err))
+			return l.writerErr
 		}
 	}
 }

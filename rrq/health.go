@@ -1,0 +1,122 @@
+package rrq
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Health statuses, ordered by severity. A node's overall status is the
+// worst of its components'.
+const (
+	HealthOK       = "ok"
+	HealthDegraded = "degraded"
+	HealthFail     = "fail"
+)
+
+// HealthComponent is one probed subsystem.
+type HealthComponent struct {
+	Name   string `json:"name"`
+	Status string `json:"status"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// Health is the node health document served by GET /healthz and
+// qm.health.
+type Health struct {
+	Status     string            `json:"status"`
+	Node       string            `json:"node"`
+	At         time.Time         `json:"at"`
+	Components []HealthComponent `json:"components"`
+}
+
+func worse(a, b string) string {
+	rank := func(s string) int {
+		switch s {
+		case HealthFail:
+			return 2
+		case HealthDegraded:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if rank(b) > rank(a) {
+		return b
+	}
+	return a
+}
+
+// Health evaluates the node's live health. Hard failures (the WAL
+// poisoned or the repository closed) are "fail" — /healthz answers 503
+// and an orchestrator should restart the process. Soft signals computed
+// over the metrics-history window (admission shedding, circuit-breaker
+// opens, a collapsed ring fast path) are "degraded": the node still
+// serves, but an operator should look.
+func (n *Node) Health() Health {
+	h := Health{Status: HealthOK, Node: n.repo.Name(), At: time.Now()}
+	add := func(name, status, detail string) {
+		h.Components = append(h.Components, HealthComponent{Name: name, Status: status, Detail: detail})
+		h.Status = worse(h.Status, status)
+	}
+
+	// WAL writable and group-commit writer alive: the durability plane.
+	if err := n.repo.WALErr(); err != nil {
+		add("wal", HealthFail, err.Error())
+	} else {
+		add("wal", HealthOK, "")
+	}
+
+	// Repository open (closed/crashed nodes fail readiness).
+	if n.repo.Closed() {
+		add("repository", HealthFail, "repository closed")
+	} else {
+		add("repository", HealthOK, "")
+	}
+
+	// Rate-based probes need a history window; without one they report
+	// ok with a note rather than guessing from all-time counters.
+	if n.history == nil {
+		add("load", HealthOK, "metrics history disabled; rate probes unavailable")
+		return h
+	}
+	rep, ok := n.history.Report(time.Minute)
+	if !ok {
+		add("load", HealthOK, "warming up")
+		return h
+	}
+
+	// Admission shedding: requests bounced by MaxInflight in the window.
+	if shed := rep.Counters["server.shed"]; shed > 0 {
+		add("admission", HealthDegraded,
+			fmt.Sprintf("%d requests shed (%.1f/s)", shed, rep.Rates["server.shed"]))
+	} else {
+		add("admission", HealthOK, "")
+	}
+
+	// Circuit breakers: client-side breaker opens in the window mean a
+	// downstream this node dials is failing.
+	if opens := rep.Counters["rpc.client.breaker_opens"]; opens > 0 {
+		add("breakers", HealthDegraded, fmt.Sprintf("%d breaker opens", opens))
+	} else {
+		add("breakers", HealthOK, "")
+	}
+
+	// Ring fast path: a high fallback fraction means volatile queues are
+	// taking the locked slow path (sealed rings, contention artifacts).
+	hits := rep.Counters["queue.fastpath_hits"]
+	falls := rep.Counters["queue.fastpath_fallbacks"]
+	if total := hits + falls; total >= 100 && falls*2 > total {
+		add("fastpath", HealthDegraded,
+			fmt.Sprintf("ring fallback fraction %.0f%% (%d/%d)",
+				100*float64(falls)/float64(total), falls, total))
+	} else {
+		add("fastpath", HealthOK, "")
+	}
+	return h
+}
+
+// History returns the node's metrics-history sampler, or nil when
+// NodeConfig.MetricsHistory was zero.
+func (n *Node) History() *obs.History { return n.history }

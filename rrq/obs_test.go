@@ -1,0 +1,348 @@
+package rrq
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/chaos/walfault"
+	rlog "repro/internal/obs/log"
+	"repro/internal/queue"
+	"repro/internal/queue/qservice"
+	"repro/internal/rpc"
+)
+
+// dialQM returns the typed queue-manager client qmctl uses, closed with
+// the test.
+func dialQM(t *testing.T, addr string) *qservice.Client {
+	t.Helper()
+	qc := qservice.NewClient(rpc.NewClient(addr, nil))
+	t.Cleanup(qc.Close)
+	return qc
+}
+
+func mustOpen(t *testing.T, path string) *os.File {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+// getJSON fetches an admin endpoint and decodes its JSON body into out,
+// returning the status code.
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	// Non-2xx bodies are plain-text diagnostics except /healthz, which
+	// serves its JSON document at 503 too.
+	if out != nil && (resp.StatusCode < 300 || strings.Contains(url, "healthz") || strings.Contains(url, "readyz")) {
+		if err := json.Unmarshal(body, out); err != nil {
+			t.Fatalf("decode %s: %v\nbody: %s", url, err, body)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestHealthzFlipsOnWALFault is the health plane's acceptance test: a
+// healthy node answers /healthz 200, and once internal/chaos/walfault
+// poisons the WAL writer the same endpoint flips to 503 with the "wal"
+// component failed.
+func TestHealthzFlipsOnWALFault(t *testing.T) {
+	fs := walfault.New(1)
+	n, err := StartNode(NodeConfig{
+		Dir:       t.TempDir(),
+		Name:      "faulty",
+		AdminAddr: "127.0.0.1:0",
+		WALFS:     fs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { n.Close() })
+	if err := n.CreateQueue(QueueConfig{Name: "q"}); err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + n.AdminAddr()
+
+	var h Health
+	if code := getJSON(t, base+"/healthz", &h); code != http.StatusOK {
+		t.Fatalf("healthy node: /healthz = %d, want 200", code)
+	}
+	if h.Status != HealthOK {
+		t.Fatalf("healthy node: status %q, want %q (%+v)", h.Status, HealthOK, h)
+	}
+
+	// Poison the WAL: the very next segment write fails, the writer
+	// records the sticky error, and enqueues start failing.
+	fs.FailAfterWrites(0)
+	tx := n.Begin()
+	_, err = n.Repo().Enqueue(tx, "q", Element{Body: []byte("x")}, "", nil)
+	if err == nil {
+		err = tx.Commit()
+	} else {
+		tx.Abort()
+	}
+	if err == nil {
+		t.Fatal("enqueue on poisoned WAL unexpectedly succeeded")
+	}
+
+	h = Health{}
+	if code := getJSON(t, base+"/healthz", &h); code != http.StatusServiceUnavailable {
+		t.Fatalf("poisoned node: /healthz = %d, want 503 (%+v)", code, h)
+	}
+	if h.Status != HealthFail {
+		t.Fatalf("poisoned node: status %q, want %q", h.Status, HealthFail)
+	}
+	found := false
+	for _, c := range h.Components {
+		if c.Name == "wal" {
+			found = true
+			if c.Status != HealthFail {
+				t.Fatalf("wal component %+v, want fail", c)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no wal component in %+v", h.Components)
+	}
+
+	// Readiness mirrors the failure.
+	if code := getJSON(t, base+"/readyz", nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("poisoned node: /readyz = %d, want 503", code)
+	}
+}
+
+// TestObservabilityPlaneEndToEnd drives one node with the full plane on
+// (structured log + ring, metrics history, flight recorder, tracing) and
+// checks every admin surface and the qm.* RPC mirrors.
+func TestObservabilityPlaneEndToEnd(t *testing.T) {
+	logger := rlog.New(rlog.LevelDebug, nil)
+	n, err := StartNode(NodeConfig{
+		Dir:                   t.TempDir(),
+		Name:                  "obsnode",
+		NoFsync:               true,
+		ListenAddr:            "127.0.0.1:0",
+		AdminAddr:             "127.0.0.1:0",
+		Log:                   logger,
+		MetricsHistory:        10 * time.Millisecond,
+		MetricsHistorySamples: 32,
+		Flight:                true,
+		FlightPath:            t.TempDir() + "/dump.json",
+		Trace:                 true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { n.Close() })
+	if err := n.CreateQueue(QueueConfig{Name: "work"}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		tx := n.Begin()
+		if _, err := n.Repo().Enqueue(tx, "work", Element{Body: []byte(fmt.Sprintf("e%d", i))}, "", nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base := "http://" + n.AdminAddr()
+
+	// /logs — structured events from queue create + node start are in
+	// the ring.
+	var events []rlog.Event
+	if code := getJSON(t, base+"/logs?max=100", &events); code != http.StatusOK {
+		t.Fatalf("/logs = %d, want 200", code)
+	}
+	if len(events) == 0 {
+		t.Fatal("/logs returned no events")
+	}
+	seen := map[string]bool{}
+	for _, e := range events {
+		seen[e.Msg] = true
+	}
+	if !seen["queue created"] || !seen["node started"] {
+		t.Fatalf("expected 'queue created' and 'node started' events, got %v", seen)
+	}
+
+	// /metrics/history — wait for at least two samples, then a window
+	// report must carry the enqueue counters.
+	deadline := time.Now().Add(2 * time.Second)
+	var rep MetricsHistoryReport
+	for {
+		code := getJSON(t, base+"/metrics/history?window=10s", &rep)
+		if code == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("/metrics/history never became ready (last code %d)", code)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if rep.Samples < 2 {
+		t.Fatalf("history report has %d samples, want >= 2", rep.Samples)
+	}
+
+	// /healthz and /readyz are green.
+	var h Health
+	if code := getJSON(t, base+"/healthz", &h); code != http.StatusOK || h.Status != HealthOK {
+		t.Fatalf("/healthz = %d status %q", code, h.Status)
+	}
+	if code := getJSON(t, base+"/readyz", nil); code != http.StatusOK {
+		t.Fatalf("/readyz = %d, want 200", code)
+	}
+
+	// /debug/flight — a live snapshot carries recent events, a metrics
+	// snapshot, and history samples.
+	var dump FlightDump
+	if code := getJSON(t, base+"/debug/flight", &dump); code != http.StatusOK {
+		t.Fatalf("/debug/flight = %d, want 200", code)
+	}
+	if dump.Reason != "request" || len(dump.Events) == 0 || dump.Metrics == nil {
+		t.Fatalf("flight dump incomplete: reason=%q events=%d metrics=%v",
+			dump.Reason, len(dump.Events), dump.Metrics != nil)
+	}
+	if dump.Goroutines != "" {
+		t.Fatal("live flight snapshot should not carry goroutine stacks")
+	}
+}
+
+// TestAuxRPCRoundTrip exercises qm.health / qm.logs / qm.flight through
+// the typed client, the path qmctl health/logs/flight takes.
+func TestAuxRPCRoundTrip(t *testing.T) {
+	logger := rlog.New(rlog.LevelInfo, nil)
+	n, err := StartNode(NodeConfig{
+		Dir:            t.TempDir(),
+		Name:           "auxnode",
+		NoFsync:        true,
+		ListenAddr:     "127.0.0.1:0",
+		Log:            logger,
+		MetricsHistory: 10 * time.Millisecond,
+		Flight:         true,
+		FlightPath:     t.TempDir() + "/dump.json",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { n.Close() })
+	if err := n.CreateQueue(QueueConfig{Name: "q"}); err != nil {
+		t.Fatal(err)
+	}
+
+	qc := dialQM(t, n.Addr())
+	ctx := t.Context()
+
+	hj, err := qc.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h Health
+	if err := json.Unmarshal(hj, &h); err != nil {
+		t.Fatalf("qm.health payload: %v\n%s", err, hj)
+	}
+	if h.Status != HealthOK || h.Node != "auxnode" {
+		t.Fatalf("qm.health = %+v", h)
+	}
+
+	lj, err := qc.Logs(ctx, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []rlog.Event
+	if err := json.Unmarshal(lj, &events); err != nil || len(events) == 0 {
+		t.Fatalf("qm.logs payload: %v (%d events)\n%s", err, len(events), lj)
+	}
+
+	fj, err := qc.Flight(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(fj), `"node": "auxnode"`) {
+		t.Fatalf("qm.flight payload missing node name:\n%s", fj)
+	}
+}
+
+// TestAuxRPCUnavailable pins the error contract when the plane is off:
+// qm.health still answers (health needs no optional subsystem), while
+// qm.logs and qm.flight report not-found.
+func TestAuxRPCUnavailable(t *testing.T) {
+	n, err := StartNode(NodeConfig{
+		Dir:        t.TempDir(),
+		Name:       "bare",
+		NoFsync:    true,
+		ListenAddr: "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { n.Close() })
+
+	qc := dialQM(t, n.Addr())
+	ctx := t.Context()
+
+	if _, err := qc.Health(ctx); err != nil {
+		t.Fatalf("qm.health on bare node: %v", err)
+	}
+	if _, err := qc.Logs(ctx, 10); !errors.Is(err, queue.ErrNotFound) {
+		t.Fatalf("qm.logs on bare node: %v, want ErrNotFound", err)
+	}
+	if _, err := qc.Flight(ctx); !errors.Is(err, queue.ErrNotFound) {
+		t.Fatalf("qm.flight on bare node: %v, want ErrNotFound", err)
+	}
+}
+
+// TestFlightDumpFileOnClose checks the post-mortem path at node level: a
+// manual DumpFile (the same code SIGQUIT runs) lands an atomic JSON file
+// containing the node's recent events.
+func TestFlightDumpFileOnClose(t *testing.T) {
+	logger := rlog.New(rlog.LevelInfo, nil)
+	path := t.TempDir() + "/flight.json"
+	n, err := StartNode(NodeConfig{
+		Dir:            t.TempDir(),
+		Name:           "fdump",
+		NoFsync:        true,
+		Log:            logger,
+		MetricsHistory: 10 * time.Millisecond,
+		Flight:         true,
+		FlightPath:     path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { n.Close() })
+	if err := n.CreateQueue(QueueConfig{Name: "q"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Flight().DumpFile("test"); err != nil {
+		t.Fatal(err)
+	}
+	var dump FlightDump
+	j, err := io.ReadAll(mustOpen(t, path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(j, &dump); err != nil {
+		t.Fatal(err)
+	}
+	if dump.Node != "fdump" || len(dump.Events) == 0 || dump.Goroutines == "" {
+		t.Fatalf("dump incomplete: node=%q events=%d stacks=%d bytes",
+			dump.Node, len(dump.Events), len(dump.Goroutines))
+	}
+}

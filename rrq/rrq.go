@@ -31,12 +31,15 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
+	rlog "repro/internal/obs/log"
 	"repro/internal/obs/trace"
 	"repro/internal/queue"
 	"repro/internal/queue/qservice"
 	"repro/internal/rpc"
 	"repro/internal/tpc"
 	"repro/internal/txn"
+	"repro/internal/wal"
 )
 
 // Re-exported types: the full vocabulary a downstream user needs, in one
@@ -134,6 +137,23 @@ type (
 	// digest (e.g. the one behind a hedged clerk's trigger; see
 	// ResilientClerk.HedgeSnapshot).
 	QuantileSnapshot = obs.QuantileSnapshot
+
+	// Logger is the structured, leveled event logger every layer of a
+	// node reports through (see NodeConfig.Log).
+	Logger = rlog.Logger
+	// LogLevel orders log severities (rlog.LevelDebug … rlog.LevelOff).
+	LogLevel = rlog.Level
+	// LogEvent is one structured log record.
+	LogEvent = rlog.Event
+	// LogField is one structured key/value log annotation (built with
+	// LogStr / LogInt / LogErr / …).
+	LogField = rlog.Field
+	// MetricsHistoryReport is a windowed delta/rate view over the node's
+	// metrics-history ring (see Node.History).
+	MetricsHistoryReport = obs.HistoryReport
+	// FlightDump is a black-box flight-recorder document (see
+	// Node.Flight).
+	FlightDump = flight.Dump
 )
 
 // Re-exported constructors and constants.
@@ -166,6 +186,34 @@ var (
 	CollectJoin = core.CollectJoin
 	// DestroyJoin tears down a fork's staging queue.
 	DestroyJoin = core.DestroyJoin
+	// NewLogger builds a structured logger (see NodeConfig.Log). Sinks
+	// come from NewJSONLogSink / NewTextLogSink.
+	NewLogger = rlog.New
+	// NewJSONLogSink renders events as one JSON object per line.
+	NewJSONLogSink = rlog.NewJSONSink
+	// NewTextLogSink renders events as human-readable lines.
+	NewTextLogSink = rlog.NewTextSink
+	// ParseLogLevel parses "debug"/"info"/"warn"/"error"/"off".
+	ParseLogLevel = rlog.ParseLevel
+	// NewMetrics builds a fresh metrics registry (see NodeConfig.Metrics).
+	NewMetrics = obs.NewRegistry
+	// Log field constructors.
+	LogStr    = rlog.Str
+	LogInt    = rlog.Int
+	LogInt64  = rlog.Int64
+	LogUint64 = rlog.Uint64
+	LogBool   = rlog.Bool
+	LogDur    = rlog.Dur
+	LogErr    = rlog.Err
+)
+
+// Log levels for NewLogger.
+const (
+	LogDebug = rlog.LevelDebug
+	LogInfo  = rlog.LevelInfo
+	LogWarn  = rlog.LevelWarn
+	LogError = rlog.LevelError
+	LogOff   = rlog.LevelOff
 )
 
 // Re-exported error sentinels, matched with errors.Is.
@@ -250,6 +298,36 @@ type NodeConfig struct {
 	// MaxInflightPerConn caps concurrently executing requests per client
 	// connection. Zero means unlimited.
 	MaxInflightPerConn int
+	// Log, when non-nil, receives structured events from every layer of
+	// the node (WAL, queue repository, RPC server, coordinator). The node
+	// additionally attaches a bounded in-memory ring to it so recent
+	// events are queryable via GET /logs, qmctl logs, and flight dumps.
+	// Nil disables logging entirely (the disabled path is zero-alloc).
+	Log *rlog.Logger
+	// LogEvents caps the in-memory ring of recent events attached to Log;
+	// zero uses 1024.
+	LogEvents int
+	// WALFS, when non-nil, supplies the WAL's segment files; fault-
+	// injection tests interpose internal/chaos/walfault here. Nil uses
+	// the real filesystem.
+	WALFS wal.VFS
+	// MetricsHistory, when > 0, samples the metrics registry on this
+	// interval into a bounded time-series ring, enabling GET
+	// /metrics/history?window=…, qmctl top's rate view, and the
+	// rate-based health probes. Zero disables history.
+	MetricsHistory time.Duration
+	// MetricsHistorySamples caps the history ring; zero keeps 120
+	// samples (two minutes at the default 1s interval).
+	MetricsHistorySamples int
+	// Flight enables the black-box flight recorder: recent events,
+	// metric history, and slow-trace summaries are dumped to FlightPath
+	// on SIGQUIT and queryable live via GET /debug/flight.
+	Flight bool
+	// FlightPath is the dump destination; empty uses
+	// Dir/flight-<pid>.json.
+	FlightPath string
+	// FlightEvents caps the events section of a dump; zero uses 256.
+	FlightEvents int
 }
 
 // Node is a running back-end node.
@@ -262,6 +340,11 @@ type Node struct {
 	adminSrv  *http.Server
 	adminLis  net.Listener
 	adminAddr string
+
+	logger  *rlog.Logger     // nil when logging is off
+	ring    *rlog.Ring       // recent-events ring (nil when logging is off)
+	history *obs.History     // nil when MetricsHistory is zero
+	flight  *flight.Recorder // nil when Flight is off
 }
 
 // StartNode opens (recovering if necessary) a node. In-doubt distributed
@@ -291,6 +374,16 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 			tracer.SetSlowThreshold(cfg.SlowTrace, sink)
 		}
 	}
+	logger := cfg.Log
+	var ring *rlog.Ring
+	if logger != nil {
+		capacity := cfg.LogEvents
+		if capacity <= 0 {
+			capacity = 1024
+		}
+		ring = rlog.NewRing(capacity)
+		logger.AddSink(ring)
+	}
 	repo, inDoubt, err := queue.Open(cfg.Dir, queue.Options{
 		Name:          cfg.Name,
 		NoFsync:       cfg.NoFsync,
@@ -298,6 +391,8 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		GroupCommit:   cfg.GroupCommit,
 		Metrics:       reg,
 		Tracer:        tracer,
+		Logger:        logger,
+		WALFS:         cfg.WALFS,
 
 		GroupCommitMaxDelay:      cfg.GroupCommitMaxDelay,
 		GroupCommitMaxBatchBytes: cfg.GroupCommitMaxBatchBytes,
@@ -320,14 +415,51 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	tpc.ResolveInDoubt(inDoubt, resolver)
 	repo.RecheckTriggers()
 	coord.SetTracer(tracer)
+	coord.SetLogger(logger)
 
-	n := &Node{repo: repo, coord: coord, tracer: tracer}
+	n := &Node{repo: repo, coord: coord, tracer: tracer, logger: logger, ring: ring}
+	if cfg.MetricsHistory > 0 {
+		keep := cfg.MetricsHistorySamples
+		if keep <= 0 {
+			keep = 120
+		}
+		n.history = obs.NewHistory(reg, keep, cfg.MetricsHistory)
+		n.history.Start()
+	}
+	if cfg.Flight {
+		path := cfg.FlightPath
+		if path == "" {
+			path = filepath.Join(cfg.Dir, fmt.Sprintf("flight-%d.json", os.Getpid()))
+		}
+		maxEvents := cfg.FlightEvents
+		if maxEvents <= 0 {
+			maxEvents = 256
+		}
+		n.flight = flight.New(flight.Config{
+			Node:      cfg.Name,
+			Events:    ring,
+			MaxEvents: maxEvents,
+			History:   n.history,
+			Tracer:    tracer,
+			Registry:  reg,
+			Path:      path,
+			Logger:    logger,
+		})
+		n.flight.ArmSignal()
+	}
 	if cfg.ListenAddr != "" {
 		n.rpcSrv = rpc.NewServerWith(reg)
 		n.rpcSrv.SetLimits(rpc.Limits{MaxInflight: cfg.MaxInflight, MaxPerConn: cfg.MaxInflightPerConn})
-		qservice.New(repo, n.rpcSrv)
+		n.rpcSrv.SetLogger(logger)
+		svc := qservice.New(repo, n.rpcSrv)
+		svc.SetAux(qservice.AuxProviders{
+			Health: func() ([]byte, error) { return json.Marshal(n.Health()) },
+			Logs:   n.logsJSON,
+			Flight: n.flightJSON,
+		})
 		addr, err := n.rpcSrv.ListenAndServe(cfg.ListenAddr)
 		if err != nil {
+			n.stopObs()
 			repo.Close()
 			coord.Close()
 			return nil, fmt.Errorf("rrq: listen: %w", err)
@@ -340,15 +472,62 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 			return nil, fmt.Errorf("rrq: admin listen: %w", err)
 		}
 	}
+	if logger != nil {
+		logger.Named("node").Info("node started",
+			rlog.Str("name", cfg.Name),
+			rlog.Str("addr", n.addr),
+			rlog.Str("admin", n.adminAddr),
+			rlog.Bool("flight", n.flight != nil),
+			rlog.Bool("history", n.history != nil))
+	}
 	return n, nil
 }
 
+// stopObs tears down the observability plane: the history sampler's
+// goroutine and the flight recorder's signal handler.
+func (n *Node) stopObs() {
+	if n.history != nil {
+		n.history.Stop()
+	}
+	if n.flight != nil {
+		n.flight.Disarm()
+	}
+}
+
+// logsJSON renders up to max recent ring events (all when max <= 0) as a
+// JSON array, oldest first.
+func (n *Node) logsJSON(max int) ([]byte, error) {
+	if n.ring == nil {
+		return nil, fmt.Errorf("%w: structured logging not enabled on this node", queue.ErrNotFound)
+	}
+	return json.Marshal(n.ring.Recent(max))
+}
+
+// flightJSON builds a live flight snapshot (no goroutine stacks — those
+// are for post-mortem dumps) as indented JSON.
+func (n *Node) flightJSON() ([]byte, error) {
+	if n.flight == nil {
+		return nil, fmt.Errorf("%w: flight recorder not enabled on this node", queue.ErrNotFound)
+	}
+	d := n.flight.Snapshot("request", false)
+	return json.MarshalIndent(d, "", "  ")
+}
+
+// Flight returns the node's flight recorder, or nil when
+// NodeConfig.Flight was off.
+func (n *Node) Flight() *flight.Recorder { return n.flight }
+
 // startAdmin serves the admin HTTP endpoint:
 //
-//	GET /metrics          the metrics registry as deterministic JSON
-//	GET /trace/{id}       one request's assembled span tree as JSON
-//	GET /traces?slowest=N summaries of the N slowest retained traces
-//	GET /debug/pprof/...  net/http/pprof profiles
+//	GET /metrics            the metrics registry as deterministic JSON
+//	GET /metrics/history    windowed counter deltas/rates (?window=30s)
+//	GET /healthz            liveness: 200 unless a hard component failed
+//	GET /readyz             readiness: like /healthz, plus 503 while warming
+//	GET /logs               recent structured events (?max=N)
+//	GET /debug/flight       live flight-recorder snapshot
+//	GET /trace/{id}         one request's assembled span tree as JSON
+//	GET /traces?slowest=N   summaries of the N slowest retained traces
+//	GET /debug/pprof/...    net/http/pprof profiles
 //
 // Non-GET methods get 405. The server carries read timeouts so a stuck
 // peer cannot pin a connection; the write timeout is generous because
@@ -370,6 +549,100 @@ func (n *Node) startAdmin(addr string) error {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
+		w.Write(j)
+		w.Write([]byte("\n"))
+	})
+	mux.HandleFunc("/metrics/history", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		if n.history == nil {
+			http.Error(w, "metrics history not enabled (NodeConfig.MetricsHistory)", http.StatusNotFound)
+			return
+		}
+		window := 30 * time.Second
+		if s := req.URL.Query().Get("window"); s != "" {
+			d, err := time.ParseDuration(s)
+			if err != nil || d <= 0 {
+				http.Error(w, "bad window parameter (want e.g. 30s)", http.StatusBadRequest)
+				return
+			}
+			window = d
+		}
+		rep, ok := n.history.Report(window)
+		if !ok {
+			http.Error(w, "history warming up (need two samples)", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		j, err := json.Marshal(rep)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Write(j)
+		w.Write([]byte("\n"))
+	})
+	health := func(ready bool) http.HandlerFunc {
+		return func(w http.ResponseWriter, req *http.Request) {
+			if req.Method != http.MethodGet {
+				http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+				return
+			}
+			h := n.Health()
+			code := http.StatusOK
+			if h.Status == HealthFail {
+				code = http.StatusServiceUnavailable
+			}
+			// Readiness is stricter: a degraded node serves traffic but
+			// should be rotated out of new-connection balancing.
+			if ready && h.Status != HealthOK {
+				code = http.StatusServiceUnavailable
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(code)
+			j, _ := json.Marshal(h)
+			w.Write(j)
+			w.Write([]byte("\n"))
+		}
+	}
+	mux.HandleFunc("/healthz", health(false))
+	mux.HandleFunc("/readyz", health(true))
+	mux.HandleFunc("/logs", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		max := 100
+		if s := req.URL.Query().Get("max"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v <= 0 {
+				http.Error(w, "bad max parameter", http.StatusBadRequest)
+				return
+			}
+			max = v
+		}
+		j, err := n.logsJSON(max)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(j)
+		w.Write([]byte("\n"))
+	})
+	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		j, err := n.flightJSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
 		w.Write(j)
 		w.Write([]byte("\n"))
 	})
@@ -532,6 +805,7 @@ func (n *Node) transferOne(ctx context.Context, fromQueue string, dst *Node, toQ
 // Crash simulates a node crash (tests and experiments): all volatile state
 // is abandoned; StartNode on the same directory recovers.
 func (n *Node) Crash() {
+	n.stopObs()
 	n.repo.Crash()
 	if n.rpcSrv != nil {
 		n.rpcSrv.Close()
@@ -549,6 +823,7 @@ func (n *Node) closeAdmin() {
 
 // Close checkpoints and shuts the node down.
 func (n *Node) Close() error {
+	n.stopObs()
 	if n.rpcSrv != nil {
 		n.rpcSrv.Close()
 	}
@@ -556,6 +831,9 @@ func (n *Node) Close() error {
 	err := n.repo.Close()
 	if cerr := n.coord.Close(); err == nil {
 		err = cerr
+	}
+	if n.logger != nil {
+		n.logger.Named("node").Info("node closed", rlog.Str("name", n.repo.Name()), rlog.Err(err))
 	}
 	return err
 }
