@@ -21,6 +21,7 @@ import (
 	"repro/internal/core/baseline"
 	"repro/internal/queue"
 	"repro/internal/queue/qservice"
+	"repro/internal/replica"
 	"repro/internal/rpc"
 	"repro/internal/tpc"
 	"repro/internal/txn"
@@ -825,3 +826,52 @@ func BenchmarkE12_DistributedMove2PC(b *testing.B) {
 		src, dst = dst, src
 	}
 }
+
+// --- E13/E15: replication commit-rule cost ---
+
+// benchmarkE13Commit measures the per-commit price of each replication
+// commit rule against the same in-process standby: what a durable
+// enqueue costs unreplicated, with fire-and-forget async shipping, and
+// with the sync rule that withholds the ack until the standby has the
+// bytes (BENCH_failover.json).
+func benchmarkE13Commit(b *testing.B, mode replica.Mode, replicated bool) {
+	dir := b.TempDir()
+	opts := queue.Options{NoFsync: true}
+	if replicated {
+		rcv, err := replica.NewReceiver(b.TempDir(), replica.ReceiverOptions{NoFsync: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tr := replica.TransportFunc(func(ctx context.Context, req []byte) ([]byte, error) {
+			return rcv.Apply(req), nil
+		})
+		snd, err := replica.NewSender(dir, tr, replica.SenderOptions{Mode: mode})
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts.WALGate = snd.Gate
+		if mode == replica.ModeAsync || mode == replica.ModeSemiSync {
+			ctx, cancel := context.WithCancel(context.Background())
+			b.Cleanup(cancel)
+			go snd.Run(ctx, 5*time.Millisecond)
+		}
+	}
+	repo, _, err := queue.Open(dir, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { repo.Close() })
+	mustQueue(b, repo, queue.QueueConfig{Name: "q"})
+	body := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := repo.Enqueue(nil, "q", queue.Element{Body: body}, "", nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE13_CommitUnreplicated(b *testing.B) { benchmarkE13Commit(b, replica.ModeAsync, false) }
+func BenchmarkE13_CommitAsyncRepl(b *testing.B)    { benchmarkE13Commit(b, replica.ModeAsync, true) }
+func BenchmarkE13_CommitSemiSyncRepl(b *testing.B) { benchmarkE13Commit(b, replica.ModeSemiSync, true) }
+func BenchmarkE13_CommitSyncRepl(b *testing.B)     { benchmarkE13Commit(b, replica.ModeSync, true) }

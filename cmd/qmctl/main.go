@@ -34,7 +34,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: qmctl -addr HOST:PORT {create|enqueue|dequeue|depth|queues|stats|hedge|read|kill|trace|traces|health|logs|flight|top} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: qmctl -addr HOST:PORT {create|enqueue|dequeue|depth|queues|stats|hedge|read|kill|trace|traces|health|repl|logs|flight|top} [flags]")
 	os.Exit(2)
 }
 
@@ -167,6 +167,12 @@ func main() {
 		j, err = cl.Health(ctx)
 		if err == nil {
 			err = printHealth(j)
+		}
+	case "repl":
+		var j []byte
+		j, err = cl.Repl(ctx)
+		if err == nil {
+			err = printRepl(j)
 		}
 	case "logs":
 		fs := flag.NewFlagSet("logs", flag.ExitOnError)
@@ -380,6 +386,53 @@ func printHealth(j []byte) error {
 	}
 	if h.Status == "fail" {
 		return fmt.Errorf("node unhealthy")
+	}
+	return nil
+}
+
+// printRepl renders the qm.repl replication-status document.
+func printRepl(j []byte) error {
+	var st struct {
+		Role         string `json:"role"`
+		Mode         string `json:"mode"`
+		Epoch        uint64 `json:"epoch"`
+		DurableLSN   uint64 `json:"durable_lsn"`
+		AckedLSN     uint64 `json:"acked_lsn"`
+		AppliedLSN   uint64 `json:"applied_lsn"`
+		LagRecords   uint64 `json:"lag_records"`
+		LagBytes     int64  `json:"lag_bytes"`
+		ShipFailures uint64 `json:"ship_failures"`
+		Degraded     bool   `json:"degraded"`
+		Fenced       bool   `json:"fenced"`
+		Promoted     bool   `json:"promoted"`
+		LeaseTTLMs   int64  `json:"lease_ttl_ms"`
+		LeaseLeftMs  int64  `json:"lease_remaining_ms"`
+		Err          string `json:"err"`
+	}
+	if err := json.Unmarshal(j, &st); err != nil {
+		return fmt.Errorf("decode repl: %w", err)
+	}
+	fmt.Printf("role %s  epoch %d", st.Role, st.Epoch)
+	if st.Mode != "" {
+		fmt.Printf("  mode %s", st.Mode)
+	}
+	fmt.Println()
+	switch st.Role {
+	case "primary":
+		fmt.Printf("  durable-lsn %d  acked-lsn %d  lag %d records / %d bytes\n",
+			st.DurableLSN, st.AckedLSN, st.LagRecords, st.LagBytes)
+		fmt.Printf("  ship-failures %d  degraded %v  fenced %v\n",
+			st.ShipFailures, st.Degraded, st.Fenced)
+		if st.LeaseTTLMs > 0 {
+			fmt.Printf("  lease-ttl %dms\n", st.LeaseTTLMs)
+		}
+	case "standby":
+		fmt.Printf("  applied-lsn %d  promoted %v\n", st.AppliedLSN, st.Promoted)
+		fmt.Printf("  lease-ttl %dms  lease-remaining %dms\n", st.LeaseTTLMs, st.LeaseLeftMs)
+	}
+	if st.Err != "" {
+		fmt.Printf("  err %s\n", st.Err)
+		return fmt.Errorf("replication unhealthy")
 	}
 	return nil
 }

@@ -50,6 +50,19 @@ func main() {
 		flightOn  = flag.Bool("flight", false, "arm the flight recorder: dump recent events, metric history, and slow traces to -flight-path on SIGQUIT")
 		flightTo  = flag.String("flight-path", "", "flight dump destination (default: DIR/flight-<pid>.json)")
 		flightEv  = flag.Int("flight-events", 256, "events retained in a flight dump")
+
+		replTo      = flag.String("replicate-to", "", "standby RPC address to ship the WAL to (makes this node a replicating primary)")
+		replMode    = flag.String("repl-mode", "sync", "replication commit rule: sync|semisync|async")
+		replLagRecs = flag.Uint64("repl-max-lag-records", 0, "semisync: max unacked records before commits block (0 = 256)")
+		replLagByts = flag.Int64("repl-max-lag-bytes", 0, "semisync: max unacked bytes before commits block (0 = 1MiB)")
+		replRetries = flag.Int("repl-ship-retries", 0, "sync-mode ship attempts per commit before the failure action (0 = 3)")
+		replDegrade = flag.Bool("repl-degrade-to-async", false, "drop to async shipping when sync-mode retries exhaust, instead of poisoning the WAL")
+		replEvery   = flag.Duration("repl-ship-interval", 0, "background ship interval (0 = 50ms)")
+		replTTL     = flag.Duration("repl-lease-ttl", time.Second, "failover lease TTL advertised to the standby")
+
+		standby     = flag.Bool("standby", false, "run as a warm standby: receive the replication stream on -listen, lease-watch -primary, self-promote to a live node on lease expiry")
+		primaryAddr = flag.String("primary", "", "standby mode: the primary's RPC address to lease-ping")
+		pingEvery   = flag.Duration("ping-every", 0, "standby mode: lease ping interval (0 = TTL/4)")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -80,36 +93,114 @@ func main() {
 		os.Exit(1)
 	}
 
-	node, err := rrq.StartNode(rrq.NodeConfig{
-		Dir:           *dir,
-		Name:          *name,
-		ListenAddr:    *listen,
-		AdminAddr:     *admin,
-		Metrics:       reg,
-		NoFsync:       *noFsync,
-		SnapshotEvery: *snapshot,
-		GroupCommit:   *groupCmt,
-		Trace:         *traceOn || *slow > 0,
+	var replCfg *rrq.ReplicationConfig
+	if *replTo != "" {
+		mode, err := rrq.ParseReplicationMode(*replMode)
+		if err != nil {
+			fatalf("bad -repl-mode", rrq.LogErr(err))
+		}
+		replCfg = &rrq.ReplicationConfig{
+			Mode:           mode,
+			StandbyAddr:    *replTo,
+			MaxLagRecords:  *replLagRecs,
+			MaxLagBytes:    *replLagByts,
+			ShipRetries:    *replRetries,
+			DegradeToAsync: *replDegrade,
+			ShipInterval:   *replEvery,
+			LeaseTTL:       *replTTL,
+		}
+	}
 
-		GroupCommitMaxDelay:      *gcDelay,
-		GroupCommitMaxBatchBytes: *gcBytes,
-		GroupCommitMaxWaiters:    *gcWait,
-		TraceSpans:               *traceCap,
-		SlowTrace:                *slow,
+	startLive := func() (*rrq.Node, error) {
+		return rrq.StartNode(rrq.NodeConfig{
+			Dir:           *dir,
+			Name:          *name,
+			ListenAddr:    *listen,
+			AdminAddr:     *admin,
+			Metrics:       reg,
+			NoFsync:       *noFsync,
+			SnapshotEvery: *snapshot,
+			GroupCommit:   *groupCmt,
+			Trace:         *traceOn || *slow > 0,
 
-		MaxInflight:        *maxInfl,
-		MaxInflightPerConn: *maxConn,
+			GroupCommitMaxDelay:      *gcDelay,
+			GroupCommitMaxBatchBytes: *gcBytes,
+			GroupCommitMaxWaiters:    *gcWait,
+			TraceSpans:               *traceCap,
+			SlowTrace:                *slow,
 
-		Log:                   logger,
-		LogEvents:             *logEvents,
-		MetricsHistory:        *history,
-		MetricsHistorySamples: *histKeep,
-		Flight:                *flightOn,
-		FlightPath:            *flightTo,
-		FlightEvents:          *flightEv,
-	})
-	if err != nil {
-		fatalf("start failed", rrq.LogErr(err))
+			MaxInflight:        *maxInfl,
+			MaxInflightPerConn: *maxConn,
+
+			Log:                   logger,
+			LogEvents:             *logEvents,
+			MetricsHistory:        *history,
+			MetricsHistorySamples: *histKeep,
+			Flight:                *flightOn,
+			FlightPath:            *flightTo,
+			FlightEvents:          *flightEv,
+			Replication:           replCfg,
+		})
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	var node *rrq.Node
+	if *standby {
+		// Warm-standby mode: receive the replication stream on -listen,
+		// lease-watch the primary, and on lease expiry promote this very
+		// process into a live node over the replicated directory.
+		if *primaryAddr == "" {
+			fmt.Fprintln(os.Stderr, "qmd: -standby requires -primary")
+			os.Exit(2)
+		}
+		promoted := make(chan uint64, 1)
+		sb, err := rrq.StartStandby(rrq.StandbyConfig{
+			Dir:         *dir,
+			ListenAddr:  *listen,
+			PrimaryAddr: *primaryAddr,
+			LeaseTTL:    *replTTL,
+			PingEvery:   *pingEvery,
+			NoFsync:     *noFsync,
+			Metrics:     reg,
+			Log:         logger,
+			OnPromote:   func(e uint64) { promoted <- e },
+		})
+		if err != nil {
+			fatalf("standby start failed", rrq.LogErr(err))
+		}
+		qlog.Info("standby serving",
+			rrq.LogStr("addr", sb.Addr()),
+			rrq.LogStr("primary", *primaryAddr),
+			rrq.LogDur("lease_ttl", *replTTL),
+			rrq.LogUint64("epoch", sb.Epoch()))
+		select {
+		case s := <-sig:
+			qlog.Info("standby shutting down", rrq.LogStr("signal", s.String()))
+			sb.Close()
+			return
+		case epoch := <-promoted:
+			qlog.Info("lease expired; promoting to primary", rrq.LogUint64("epoch", epoch))
+			// The standby's RPC server just released -listen; rebinding can
+			// race the kernel briefly.
+			for attempt := 0; ; attempt++ {
+				node, err = startLive()
+				if err == nil {
+					break
+				}
+				if attempt >= 20 {
+					fatalf("promotion start failed", rrq.LogErr(err))
+				}
+				time.Sleep(50 * time.Millisecond)
+			}
+		}
+	} else {
+		var err error
+		node, err = startLive()
+		if err != nil {
+			fatalf("start failed", rrq.LogErr(err))
+		}
 	}
 	if rec := node.Flight(); rec != nil {
 		defer rec.DumpOnPanic()
@@ -133,13 +224,17 @@ func main() {
 	if node.Tracer() != nil {
 		qlog.Info("tracing enabled", rrq.LogInt("span_ring", *traceCap))
 	}
+	if st := node.Replication(); st != nil {
+		qlog.Info("replicating",
+			rrq.LogStr("mode", st.Mode),
+			rrq.LogStr("standby", *replTo),
+			rrq.LogUint64("epoch", st.Epoch))
+	}
 	for _, q := range node.Repo().Queues() {
 		d, _ := node.Repo().Depth(q)
 		qlog.Info("queue ready", rrq.LogStr("queue", q), rrq.LogInt("depth", d))
 	}
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	s := <-sig
 	qlog.Info("shutting down (checkpointing)", rrq.LogStr("signal", s.String()))
 	if err := node.Close(); err != nil {

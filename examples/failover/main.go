@@ -1,10 +1,14 @@
-// Failover: the paper's availability story (§10–11) end to end. A primary
-// node serves requests while a shipper maintains a warm standby from its
-// write-ahead log; the primary is killed mid-workload; the standby is
-// promoted (ordinary crash recovery on the shipped files); and the same
-// client — with no stable storage of its own — reconnects against the
-// standby, resynchronizes from its persistent registration, and finishes
-// its work with no request lost or duplicated.
+// Failover: the paper's availability story (§10–11) end to end, with the
+// full automatic machinery (DESIGN.md §12). A primary node serves orders
+// over RPC while replicating synchronously to a warm standby — no commit
+// is acknowledged before the standby has its WAL bytes. The primary is
+// killed mid-workload; the standby's lease expires, it promotes itself
+// (bumping the persisted fencing epoch) and opens the replicated
+// directory as a live node; and the same client — a ResilientClerk with
+// no stable storage of its own — rides through the switch: its recovery
+// loop re-resolves the primary, reconnects, resynchronizes from its
+// persistent registration, and finishes the work with no order lost or
+// duplicated.
 //
 //	go run ./examples/failover
 package main
@@ -16,9 +20,9 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"sync/atomic"
 	"time"
 
-	"repro/internal/replica"
 	"repro/rrq"
 )
 
@@ -57,34 +61,81 @@ func main() {
 	primaryDir := filepath.Join(base, "primary")
 	standbyDir := filepath.Join(base, "standby")
 
-	primary, err := rrq.StartNode(rrq.NodeConfig{Dir: primaryDir})
+	// Fixed loopback ports so each side can name the other up front.
+	const pAddr, sAddr = "127.0.0.1:17170", "127.0.0.1:17171"
+	const leaseTTL = 400 * time.Millisecond
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// activeAddr is the example's stand-in for service discovery: the
+	// ResilientClerk's Reconnect factory reads it on every recovery.
+	var activeAddr atomic.Value
+	activeAddr.Store(pAddr)
+
+	// The warm standby: receives the replication stream on sAddr and
+	// lease-watches the primary. On lease expiry it promotes: the bumped
+	// epoch is already durable (fencing any late ships), its RPC server
+	// has closed, and OnPromote opens the very same directory — with
+	// every synchronously acked order in it — as the live node.
+	promotedNode := make(chan *rrq.Node, 1)
+	standby, err := rrq.StartStandby(rrq.StandbyConfig{
+		Dir:         standbyDir,
+		ListenAddr:  sAddr,
+		PrimaryAddr: pAddr,
+		LeaseTTL:    leaseTTL,
+		OnPromote: func(epoch uint64) {
+			fmt.Printf("\n*** standby promoted (epoch %d); opening replicated directory ***\n", epoch)
+			var node *rrq.Node
+			var err error
+			for i := 0; ; i++ { // the port was released moments ago
+				node, err = rrq.StartNode(rrq.NodeConfig{Dir: standbyDir, ListenAddr: sAddr})
+				if err == nil || i >= 20 {
+					break
+				}
+				time.Sleep(20 * time.Millisecond)
+			}
+			if err != nil {
+				log.Fatal(err)
+			}
+			startServing(ctx, node)
+			activeAddr.Store(sAddr)
+			promotedNode <- node
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer standby.Close()
+
+	// The primary: sync replication — a commit's ack waits for the
+	// standby's ack of the shipped batch.
+	primary, err := rrq.StartNode(rrq.NodeConfig{
+		Dir:        primaryDir,
+		ListenAddr: pAddr,
+		Replication: &rrq.ReplicationConfig{
+			Mode:        rrq.ReplSync,
+			StandbyAddr: sAddr,
+			LeaseTTL:    leaseTTL,
+		},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	if err := primary.CreateQueue(rrq.QueueConfig{Name: "orders"}); err != nil {
 		log.Fatal(err)
 	}
-	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
 	startServing(ctx, primary)
 
-	// The shipper: every 5ms, copy the primary's new log bytes to the
-	// standby directory.
-	shipper, err := replica.NewShipper(primaryDir, standbyDir)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if _, err := shipper.SyncOnce(); err != nil {
-		log.Fatal(err)
-	}
-	shipCtx, stopShipping := context.WithCancel(ctx)
-	go shipper.Run(shipCtx, 5*time.Millisecond)
+	// The client: a self-healing clerk whose Reconnect factory re-resolves
+	// the active address — the whole failover story from its side.
+	clerk := rrq.NewResilientClerk(rrq.Dial(pAddr), rrq.ResilientConfig{
+		Clerk: rrq.ClerkConfig{ClientID: "desk-1", RequestQueue: "orders"},
+		Reconnect: func(ctx context.Context) (rrq.QMConn, error) {
+			return rrq.Dial(activeAddr.Load().(string)), nil
+		},
+	})
 
-	// The client works through half its orders against the primary.
-	clerk := rrq.NewClerk(primary.LocalConn(), rrq.ClerkConfig{ClientID: "desk-1", RequestQueue: "orders"})
-	if _, err := clerk.Connect(ctx); err != nil {
-		log.Fatal(err)
-	}
 	for i := 0; i < 5; i++ {
 		rid := fmt.Sprintf("ord-%03d", i)
 		rep, err := clerk.Transceive(ctx, rid, []byte(fmt.Sprintf("42 widgets (%s)", rid)), nil, nil)
@@ -92,65 +143,40 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("primary: %s\n", rep.Body)
-		time.Sleep(3 * time.Millisecond) // let shipping keep pace
 	}
-	// One more request is SENT but its reply not yet received when
-	// disaster strikes.
-	if err := clerk.Send(ctx, "ord-005", []byte("19 sprockets (ord-005)"), nil); err != nil {
-		log.Fatal(err)
-	}
-	time.Sleep(25 * time.Millisecond) // final changes reach the standby
 
-	fmt.Println("\n*** PRIMARY DIES (replication link included) ***")
-	stopShipping()
+	fmt.Println("\n*** PRIMARY DIES ***")
 	primary.Crash()
 
-	// Promotion: ordinary crash recovery on the shipped directory.
-	if err := replica.VerifyStandby(standbyDir); err != nil {
-		log.Fatal(err)
-	}
-	standby, err := rrq.StartNode(rrq.NodeConfig{Dir: standbyDir})
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer standby.Close()
-	startServing(ctx, standby)
-	fmt.Println("standby promoted; services restarted")
-
-	// The client reconnects against the standby. Its registration shipped
-	// with the log: resynchronization works exactly as after any failure.
-	clerk2 := rrq.NewClerk(standby.LocalConn(), rrq.ClerkConfig{ClientID: "desk-1", RequestQueue: "orders"})
-	info, err := clerk2.Connect(ctx)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("resync on standby: outstanding=%v srid=%s\n", info.Outstanding, info.SRID)
-	if info.Outstanding {
-		rep, err := clerk2.Receive(ctx, nil)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("standby: %s (the in-flight request survived the failover)\n", rep.Body)
-	}
-	for i := 6; i < 10; i++ {
+	// The same clerk keeps ordering. Its next call fails over: the dial
+	// errors are retryable, recovery re-resolves to the standby once the
+	// lease expires, and resynchronization from the shipped registration
+	// state keeps everything exactly-once.
+	for i := 5; i < 10; i++ {
 		rid := fmt.Sprintf("ord-%03d", i)
-		rep, err := clerk2.Transceive(ctx, rid, []byte(fmt.Sprintf("7 gaskets (%s)", rid)), nil, nil)
+		rep, err := clerk.Transceive(ctx, rid, []byte(fmt.Sprintf("7 gaskets (%s)", rid)), nil, nil)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("standby: %s\n", rep.Body)
 	}
 
-	// Exactly-once across the failover.
-	dups := 0
+	node := <-promotedNode
+	defer node.Close()
+
+	// Exactly-once across the failover: every synchronously replicated
+	// order executed once, on one side or the other — never twice.
+	bad := 0
 	for i := 0; i < 10; i++ {
-		v, ok, _ := standby.Repo().KVGet(ctx, nil, "orders", fmt.Sprintf("ord-%03d", i), false)
-		if ok && string(v) != "1" {
-			dups++
+		rid := fmt.Sprintf("ord-%03d", i)
+		v, ok, _ := node.Repo().KVGet(ctx, nil, "orders", rid, false)
+		if !ok || string(v) != "1" {
+			bad++
 		}
 	}
-	if dups > 0 {
-		log.Fatalf("%d orders executed more than once", dups)
+	if bad > 0 {
+		log.Fatalf("%d orders lost or duplicated", bad)
 	}
-	fmt.Println("\nevery order executed exactly once, across the failover")
+	fmt.Printf("\nfailovers masked by the clerk: %d\n", clerk.Failovers()+clerk.Recoveries())
+	fmt.Println("every order executed exactly once, across an automatic failover")
 }

@@ -1,0 +1,385 @@
+package repro
+
+// Failover under fire: the tentpole robustness proof for DESIGN.md §12.
+// A sync-replicating primary serves 8-way concurrent clerk load while a
+// warm standby lease-watches it; mid-load the primary's WAL device is
+// poisoned (internal/chaos/walfault) in the middle of group commit and
+// the node is crashed. The standby's lease expires, it self-promotes
+// with a bumped, persisted fencing epoch, and opens the replicated
+// directory as the live node. The same clerks — their Reconnect factory
+// re-resolving the active address — finish the workload against it.
+//
+// The verdict is the exactly-once witness: every request executed
+// exactly once, across the failover. Acked requests are present on the
+// new primary (a lost acked exec would read 0), unacked in-flight
+// requests were retried to completion (a non-atomic partial would read
+// 2), and nothing executed twice.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/chaos/walfault"
+	"repro/internal/replica"
+	"repro/internal/rpc"
+	"repro/rrq"
+)
+
+// serveOrders starts request servers over the node with the KV
+// exec-count exactly-once witness handler.
+func serveOrders(ctx context.Context, t *testing.T, node *rrq.Node, servers int) {
+	t.Helper()
+	for s := 0; s < servers; s++ {
+		srv, err := rrq.NewServer(rrq.ServerConfig{
+			Repo: node.Repo(), Queue: "req", Name: fmt.Sprintf("fo-srv-%d", s),
+			Handler: func(rc *rrq.ReqCtx) ([]byte, error) {
+				v, _, err := rc.Repo.KVGet(rc.Ctx, rc.Txn, "execs", rc.Request.RID, true)
+				if err != nil {
+					return nil, err
+				}
+				n := 0
+				if v != nil {
+					n, _ = strconv.Atoi(string(v))
+				}
+				if err := rc.Repo.KVSet(rc.Ctx, rc.Txn, "execs", rc.Request.RID, []byte(strconv.Itoa(n+1))); err != nil {
+					return nil, err
+				}
+				return append([]byte("echo:"), rc.Request.Body...), nil
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		go srv.Serve(ctx)
+	}
+}
+
+func TestFailoverUnderFire(t *testing.T) {
+	const clients = 8
+	perClient := 30
+	if testing.Short() {
+		perClient = 10
+	}
+	total := clients * perClient
+	const leaseTTL = 300 * time.Millisecond
+
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+
+	primaryDir, standbyDir := t.TempDir(), t.TempDir()
+	fs := walfault.New(31)
+
+	// activeAddr is the test's service discovery: clerks re-resolve it on
+	// every recovery.
+	var activeAddr atomic.Value
+
+	// The standby: ships land on its own port; the lease transport dials
+	// the primary lazily (the primary starts second, with the standby's
+	// address in hand).
+	ready := make(chan struct{})
+	var leaseRPC rrq.ReplTransport
+	leaseTr := replica.TransportFunc(func(ctx context.Context, req []byte) ([]byte, error) {
+		select {
+		case <-ready:
+			return leaseRPC.Exchange(ctx, req)
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	})
+	var promotedAt atomic.Value
+	promotedNode := make(chan *rrq.Node, 1)
+	standby, err := rrq.StartStandby(rrq.StandbyConfig{
+		Dir:            standbyDir,
+		ListenAddr:     "127.0.0.1:0",
+		LeaseTTL:       leaseTTL,
+		NoFsync:        true,
+		LeaseTransport: leaseTr,
+		OnPromote: func(epoch uint64) {
+			promotedAt.Store(time.Now())
+			node, err := rrq.StartNode(rrq.NodeConfig{
+				Dir: standbyDir, ListenAddr: "127.0.0.1:0", NoFsync: true, GroupCommit: true,
+			})
+			if err != nil {
+				t.Errorf("promotion start: %v", err)
+				return
+			}
+			serveOrders(ctx, t, node, 2)
+			activeAddr.Store(node.Addr())
+			promotedNode <- node
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer standby.Close()
+
+	// The primary: group commit plus sync replication — no ack without
+	// the standby holding the bytes — over the fault-injecting WAL device.
+	primary, err := rrq.StartNode(rrq.NodeConfig{
+		Dir:         primaryDir,
+		ListenAddr:  "127.0.0.1:0",
+		NoFsync:     true,
+		GroupCommit: true,
+		WALFS:       fs,
+		Replication: &rrq.ReplicationConfig{
+			Mode:        rrq.ReplSync,
+			StandbyAddr: standby.Addr(),
+			LeaseTTL:    leaseTTL,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := primary.CreateQueue(rrq.QueueConfig{Name: "req"}); err != nil {
+		t.Fatal(err)
+	}
+	serveOrders(ctx, t, primary, 2)
+	activeAddr.Store(primary.Addr())
+	leaseRPC = replica.NewRPCTransport(rpc.NewClient(primary.Addr(), nil), replica.MethodLease)
+	close(ready)
+
+	// The assassin: once the WAL poisons (the armed fault fired inside a
+	// group-commit flush), kill the primary outright. Its RPC server dies
+	// with it, the standby's lease runs out, and failover begins.
+	var crashedAt atomic.Value
+	monitorDone := make(chan struct{})
+	go func() {
+		defer close(monitorDone)
+		for ctx.Err() == nil {
+			if primary.Repo().WALErr() != nil {
+				crashedAt.Store(time.Now())
+				primary.Crash()
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+
+	// 8-way fire. Each clerk owns its rid space; a test-level retry wraps
+	// Transceive because commits against the poisoned-but-not-yet-crashed
+	// WAL surface as terminal server errors — re-entering with the same
+	// rid IS the paper's fig. 2 recovery, and exactly-once holds across it.
+	var completed atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rc := rrq.NewResilientClerk(rrq.Dial(activeAddr.Load().(string)), rrq.ResilientConfig{
+				Clerk:   rrq.ClerkConfig{ClientID: fmt.Sprintf("fo-c%d", c), RequestQueue: "req", ReceiveWait: 300 * time.Millisecond},
+				Backoff: rrq.BackoffPolicy{Initial: time.Millisecond, Max: 50 * time.Millisecond},
+				Seed:    int64(c + 1),
+				Reconnect: func(ctx context.Context) (rrq.QMConn, error) {
+					return rrq.Dial(activeAddr.Load().(string)), nil
+				},
+			})
+			for i := 0; i < perClient; i++ {
+				rid := fmt.Sprintf("fo-c%d-%04d", c, i)
+				for {
+					rep, err := rc.Transceive(ctx, rid, []byte(rid), nil, nil)
+					if err == nil {
+						if rep.RID != rid || string(rep.Body) != "echo:"+rid {
+							t.Errorf("%s: bad reply %q/%q", rid, rep.RID, rep.Body)
+						}
+						break
+					}
+					if ctx.Err() != nil {
+						t.Errorf("%s: %v", rid, err)
+						return
+					}
+					time.Sleep(20 * time.Millisecond)
+				}
+				// A third of the way through the workload, arm the WAL fault:
+				// a few more segment writes and a mid-group-commit flush fails
+				// with concurrent committers parked on it.
+				if completed.Add(1) == int64(total/3) {
+					fs.FailAfterWrites(3)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	<-monitorDone
+
+	if !fs.Failed() {
+		t.Fatal("the WAL fault never fired; the soak proved nothing")
+	}
+	if !standby.Promoted() {
+		t.Fatal("standby never promoted")
+	}
+	var node *rrq.Node
+	select {
+	case node = <-promotedNode:
+	case <-time.After(10 * time.Second):
+		t.Fatal("promoted node never came up")
+	}
+	defer node.Close()
+
+	// Failover latency: from the primary's crash to the standby's
+	// promotion decision must be about one lease TTL (CI slack allowed).
+	if c, p := crashedAt.Load(), promotedAt.Load(); c != nil && p != nil {
+		lat := p.(time.Time).Sub(c.(time.Time))
+		if lat > 4*leaseTTL {
+			t.Errorf("failover took %v, want about one lease TTL (%v)", lat, leaseTTL)
+		}
+		t.Logf("failover latency: %v (lease TTL %v)", lat, leaseTTL)
+	}
+
+	// The exactly-once verdict, request by request, on the new primary.
+	lost, duped := 0, 0
+	for c := 0; c < clients; c++ {
+		for i := 0; i < perClient; i++ {
+			rid := fmt.Sprintf("fo-c%d-%04d", c, i)
+			v, ok, err := node.Repo().KVGet(ctx, nil, "execs", rid, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch {
+			case !ok:
+				lost++
+				t.Errorf("%s: acked but absent on the new primary", rid)
+			case string(v) != "1":
+				duped++
+				t.Errorf("%s: executed %s times, want exactly 1", rid, v)
+			}
+		}
+	}
+	t.Logf("failover soak: %d requests, %d lost, %d duplicated, epoch %d",
+		total, lost, duped, standby.Epoch())
+}
+
+// TestSplitBrainFencing cuts ONLY the lease path, the nastiest failover:
+// the standby promotes (the primary looks dead to it) while the old
+// primary is alive, healthy, and still able to reach the standby's ship
+// endpoint. Epoch fencing must step in: the promoted receiver rejects
+// the stale-epoch ship, the sender goes sticky-fenced, and the
+// ex-primary's next commit FAILS — it can never ack a request the new
+// primary won't have. Two primaries, zero split-brain acks.
+func TestSplitBrainFencing(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	primaryDir, standbyDir := t.TempDir(), t.TempDir()
+	const leaseTTL = 200 * time.Millisecond
+
+	// Ship path: in-process, never cut. Lease path: cuttable.
+	var leaseCut atomic.Bool
+	ready := make(chan struct{})
+	var leaseRPC rrq.ReplTransport
+	leaseTr := replica.TransportFunc(func(ctx context.Context, req []byte) ([]byte, error) {
+		if leaseCut.Load() {
+			return nil, errors.New("lease path partitioned")
+		}
+		select {
+		case <-ready:
+			return leaseRPC.Exchange(ctx, req)
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	})
+	standby, err := rrq.StartStandby(rrq.StandbyConfig{
+		Dir:            standbyDir,
+		LeaseTTL:       leaseTTL,
+		NoFsync:        true,
+		LeaseTransport: leaseTr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer standby.Close()
+
+	shipTr := replica.TransportFunc(func(ctx context.Context, req []byte) ([]byte, error) {
+		return standby.Receiver().Apply(req), nil
+	})
+	primary, err := rrq.StartNode(rrq.NodeConfig{
+		Dir:        primaryDir,
+		ListenAddr: "127.0.0.1:0",
+		NoFsync:    true,
+		Replication: &rrq.ReplicationConfig{
+			Mode:      rrq.ReplSync,
+			Transport: shipTr,
+			LeaseTTL:  leaseTTL,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+	if err := primary.CreateQueue(rrq.QueueConfig{Name: "q"}); err != nil {
+		t.Fatal(err)
+	}
+	leaseRPC = replica.NewRPCTransport(rpc.NewClient(primary.Addr(), nil), replica.MethodLease)
+	close(ready)
+
+	// Healthy phase: synchronously acked commits.
+	const ackedBefore = 10
+	for i := 0; i < ackedBefore; i++ {
+		if _, err := primary.Repo().Enqueue(nil, "q", rrq.Element{Body: []byte(fmt.Sprintf("acked-%d", i))}, "", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := primary.Replication()
+	if st.AckedLSN != st.DurableLSN {
+		t.Fatalf("healthy phase: acked %d != durable %d", st.AckedLSN, st.DurableLSN)
+	}
+
+	// Partition the lease path only. The standby sees a dead primary and
+	// promotes; the primary sees nothing wrong yet.
+	leaseCut.Store(true)
+	epoch, ok := standby.WaitPromoted(ctx)
+	if !ok {
+		t.Fatal("standby did not promote after the lease cut")
+	}
+	if epoch == 0 {
+		t.Fatal("promotion without an epoch bump")
+	}
+
+	// The ex-primary tries to commit: the ship hits the promoted receiver,
+	// is answered FrameFenced, and the commit must fail fenced — the
+	// split-brain ack never happens.
+	_, err = primary.Repo().Enqueue(nil, "q", rrq.Element{Body: []byte("split-brain")}, "", nil)
+	if !errors.Is(err, rrq.ErrFenced) {
+		t.Fatalf("ex-primary commit: %v, want ErrFenced", err)
+	}
+	// The fencing is sticky: WAL poisoned, health failing, status fenced.
+	if werr := primary.Repo().WALErr(); !errors.Is(werr, rrq.ErrFenced) {
+		t.Fatalf("WALErr = %v, want fenced", werr)
+	}
+	if st := primary.Replication(); !st.Fenced {
+		t.Fatalf("replication status not fenced: %+v", st)
+	}
+	if h := primary.Health(); h.Status != rrq.HealthFail {
+		t.Fatalf("fenced primary health %q, want fail", h.Status)
+	}
+
+	// A raw stale-epoch exchange is rejected in-band too (the regression
+	// guard for the receiver's fencing rule itself).
+	stale := replica.AppendFrame(nil, &replica.Frame{Kind: replica.FrameHeartbeat, Epoch: epoch - 1, Seq: 99})
+	f, _, err := replica.DecodeFrame(standby.Receiver().Apply(stale))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Kind != replica.FrameFenced || f.Epoch != epoch {
+		t.Fatalf("stale-epoch ship answered kind %d epoch %d, want fenced at %d", f.Kind, f.Epoch, epoch)
+	}
+
+	// And nothing acked was lost: the promoted directory recovers with
+	// every synchronously acked element.
+	node, err := rrq.StartNode(rrq.NodeConfig{Dir: standbyDir, NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	d, err := node.Repo().Depth("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != ackedBefore {
+		t.Fatalf("new primary depth %d, want %d acked elements", d, ackedBefore)
+	}
+}

@@ -1,0 +1,244 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/queue"
+	"repro/internal/replica"
+)
+
+func init() { register("e15", runE15) }
+
+// e13GatedArm is the synchronous-replication counterpart of e13Arm: the
+// standby is fed through the WAL commit gate (replica.Sender) instead of
+// a background shipper, so acked loss is bounded by the commit rule —
+// zero for sync, the lag budget for semi-sync — rather than by cadence.
+func e13GatedArm(cfg Config, mode replica.Mode, maxLagRecords uint64) ([]string, error) {
+	base, err := cfg.tempDir("e13g-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(base)
+	primaryDir := filepath.Join(base, "primary")
+	standbyDir := filepath.Join(base, "standby")
+	rcv, err := replica.NewReceiver(standbyDir, replica.ReceiverOptions{NoFsync: true})
+	if err != nil {
+		return nil, err
+	}
+	tr := replica.TransportFunc(func(ctx context.Context, req []byte) ([]byte, error) {
+		return rcv.Apply(req), nil
+	})
+	snd, err := replica.NewSender(primaryDir, tr, replica.SenderOptions{
+		Mode: mode, MaxLagRecords: maxLagRecords,
+	})
+	if err != nil {
+		return nil, err
+	}
+	primary, _, err := queue.Open(primaryDir, queue.Options{NoFsync: !cfg.Fsync, WALGate: snd.Gate})
+	if err != nil {
+		return nil, err
+	}
+	defer primary.Close()
+	if err := primary.CreateQueue(queue.QueueConfig{Name: "q"}); err != nil {
+		return nil, err
+	}
+
+	body := make([]byte, 64)
+	n := cfg.scale(400, 4000)
+	for i := 0; i < n; i++ {
+		if _, err := primary.Enqueue(nil, "q", queue.Element{Body: body}, "", nil); err != nil {
+			return nil, err
+		}
+	}
+	// The crash: no goodbye ship. Whatever the commit rule forced across
+	// is all the standby has.
+	primary.Crash()
+
+	if _, err := rcv.Promote(); err != nil {
+		return nil, err
+	}
+	standby, _, err := queue.Open(standbyDir, queue.Options{NoFsync: true})
+	if err != nil {
+		return nil, fmt.Errorf("promotion failed: %w", err)
+	}
+	defer standby.Close()
+	survived, err := standby.Depth("q")
+	if err != nil {
+		return nil, err
+	}
+	st := snd.Status()
+	interval := "commit-gated"
+	if mode == replica.ModeSemiSync {
+		interval = fmt.Sprintf("lag<=%d", maxLagRecords)
+	}
+	return []string{
+		mode.String(), interval, strconv.Itoa(n), strconv.Itoa(survived), strconv.Itoa(n - survived),
+		strconv.FormatUint(st.ShipFailures, 10) + " fails",
+	}, nil
+}
+
+// runE15: failover under fire — the whole §10–11 availability story,
+// measured. A sync-replicating primary takes concurrent enqueue load
+// through the commit gate while a lease watcher guards it; the primary
+// is crashed mid-group-commit, the lease expires, the standby promotes,
+// and the promoted copy is audited element by element against the set
+// of acknowledged enqueues.
+func runE15(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "E15",
+		Title: "Failover under fire: acked survival and promotion latency by commit rule",
+		Claim: "§10–11: replicated queues make the request store highly available; the sync commit rule makes " +
+			"failover lossless for acknowledged requests, semi-sync bounds loss by the lag budget, async by the " +
+			"shipping window.",
+		Columns: []string{"mode", "acked", "survived", "lost-acked", "duplicated", "failover-latency", "lease-ttl"},
+	}
+	for _, arm := range []struct {
+		mode   replica.Mode
+		maxLag uint64
+	}{{replica.ModeSync, 0}, {replica.ModeSemiSync, 64}, {replica.ModeAsync, 0}} {
+		row, err := e15Arm(cfg, arm.mode, arm.maxLag)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(row...)
+	}
+	t.Notef("8 concurrent enqueuers; the primary is crashed mid-load with no final ship; the standby's lease " +
+		"(pings every TTL/6) expires and it promotes itself")
+	t.Notef("lost-acked counts enqueues whose ack returned before the crash but whose element is missing after " +
+		"promotion — the sync row must read 0")
+	t.Notef("failover-latency is crash-to-promotion: one lease TTL plus scheduling, the availability gap a " +
+		"Reconnect-equipped ResilientClerk rides through (TestFailoverUnderFire)")
+	return t, nil
+}
+
+func e15Arm(cfg Config, mode replica.Mode, maxLag uint64) ([]string, error) {
+	base, err := cfg.tempDir("e15-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(base)
+	primaryDir := filepath.Join(base, "primary")
+	standbyDir := filepath.Join(base, "standby")
+	rcv, err := replica.NewReceiver(standbyDir, replica.ReceiverOptions{NoFsync: true})
+	if err != nil {
+		return nil, err
+	}
+	shipTr := replica.TransportFunc(func(ctx context.Context, req []byte) ([]byte, error) {
+		return rcv.Apply(req), nil
+	})
+	snd, err := replica.NewSender(primaryDir, shipTr, replica.SenderOptions{
+		Mode: mode, MaxLagRecords: maxLag,
+	})
+	if err != nil {
+		return nil, err
+	}
+	primary, _, err := queue.Open(primaryDir, queue.Options{NoFsync: !cfg.Fsync, WALGate: snd.Gate})
+	if err != nil {
+		return nil, err
+	}
+	defer primary.Close()
+	if err := primary.CreateQueue(queue.QueueConfig{Name: "q"}); err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go snd.Run(ctx, 2*time.Millisecond)
+
+	// The lease: the standby pings the live sender until the crash cuts
+	// the path, then its TTL runs out and it promotes.
+	const ttl = 150 * time.Millisecond
+	var crashed sync.Map // "down" -> true after the crash
+	leaseTr := replica.TransportFunc(func(ctx context.Context, req []byte) ([]byte, error) {
+		if _, down := crashed.Load("down"); down {
+			return nil, fmt.Errorf("primary is down")
+		}
+		return snd.HandleLease(req), nil
+	})
+	promoted := make(chan time.Time, 1)
+	w := replica.NewWatcher(rcv, leaseTr, replica.StandbyOptions{
+		TTL: ttl, PingEvery: ttl / 6,
+		OnPromote: func(uint64) { promoted <- time.Now() },
+	})
+	go w.Run(ctx)
+
+	// 8-way fire: every enqueuer records the bodies it got acks for.
+	const clients = 8
+	perClient := cfg.scale(60, 600)
+	var mu sync.Mutex
+	acked := make(map[string]bool)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				body := fmt.Sprintf("c%d-%06d", c, i)
+				if _, err := primary.Enqueue(nil, "q", queue.Element{Body: []byte(body)}, "", nil); err != nil {
+					return // the crash: stop firing
+				}
+				mu.Lock()
+				acked[body] = true
+				mu.Unlock()
+			}
+		}(c)
+	}
+	// Crash mid-load: roughly a third of the workload in.
+	for {
+		mu.Lock()
+		n := len(acked)
+		mu.Unlock()
+		if n >= clients*perClient/3 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	crashAt := time.Now()
+	crashed.Store("down", true)
+	primary.Crash()
+	wg.Wait()
+
+	promoteAt := <-promoted
+	standby, _, err := queue.Open(standbyDir, queue.Options{NoFsync: true})
+	if err != nil {
+		return nil, fmt.Errorf("promotion failed: %w", err)
+	}
+	defer standby.Close()
+
+	// Audit: drain the promoted queue and check the acked set against it.
+	survived := make(map[string]int)
+	depth, err := standby.Depth("q")
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < depth; i++ {
+		el, err := standby.Dequeue(context.Background(), nil, "q", "", queue.DequeueOpts{})
+		if err != nil {
+			return nil, err
+		}
+		survived[string(el.Body)]++
+	}
+	lost, duplicated := 0, 0
+	mu.Lock()
+	for body := range acked {
+		if survived[body] == 0 {
+			lost++
+		}
+	}
+	nAcked := len(acked)
+	mu.Unlock()
+	for _, n := range survived {
+		if n > 1 {
+			duplicated++
+		}
+	}
+	return []string{
+		mode.String(), strconv.Itoa(nAcked), strconv.Itoa(depth), strconv.Itoa(lost),
+		strconv.Itoa(duplicated), promoteAt.Sub(crashAt).Round(time.Millisecond).String(), ttl.String(),
+	}, nil
+}

@@ -11,6 +11,7 @@ import (
 	rlog "repro/internal/obs/log"
 	"repro/internal/obs/trace"
 	"repro/internal/queue"
+	"repro/internal/replica"
 	"repro/internal/rpc"
 )
 
@@ -103,6 +104,7 @@ type ResilientClerk struct {
 
 	mRecoveries *obs.Counter
 	mRetries    *obs.Counter
+	mFailovers  *obs.Counter
 
 	hedge *hedgeState // nil unless cfg.Hedge is set
 }
@@ -130,6 +132,7 @@ func NewResilientClerk(qm QMConn, cfg ResilientConfig) *ResilientClerk {
 		rng:         rand.New(rand.NewSource(seed)),
 		mRecoveries: reg.Counter("clerk.recoveries"),
 		mRetries:    reg.Counter("rpc.retries"),
+		mFailovers:  reg.Counter("clerk.failovers"),
 	}
 	if cfg.Hedge != nil {
 		r.hedge = newHedgeState(cfg.Hedge, qm, reg)
@@ -173,6 +176,11 @@ func (r *ResilientClerk) Recoveries() uint64 { return r.mRecoveries.Value() }
 // Retries reports how many operation retries (including reconnect
 // attempts) the clerk has performed since creation.
 func (r *ResilientClerk) Retries() uint64 { return r.mRetries.Value() }
+
+// Failovers reports how many recoveries were triggered by a fencing
+// rejection — the old primary refusing to ack because a newer epoch
+// exists — as opposed to plain transport failures.
+func (r *ResilientClerk) Failovers() uint64 { return r.mFailovers.Value() }
 
 // Connect establishes the session, retrying retryable failures with
 // backoff. It is optional — operations connect on demand — but lets a
@@ -313,6 +321,12 @@ func (r *ResilientClerk) recoverOrConnect(ctx context.Context, attempt int, reas
 		return err
 	}
 	r.mRecoveries.Inc()
+	if errors.Is(reason, replica.ErrFenced) {
+		// Not a crash: the peer answered, telling us it was superseded.
+		// The Reconnect factory's re-resolution lands on the promoted
+		// standby (client-transparent promotion).
+		r.mFailovers.Inc()
+	}
 	r.cfg.Log.Warn("clerk recovering session",
 		rlog.Str("rid", r.curRID),
 		rlog.Int("attempt", attempt),
@@ -372,6 +386,11 @@ func (r *ResilientClerk) shouldRetry(err error) bool {
 		return true
 	}
 	if r.cfg.Reconnect != nil && (errors.Is(err, queue.ErrClosed) || errors.Is(err, queue.ErrStopped)) {
+		return true
+	}
+	if r.cfg.Reconnect != nil && errors.Is(err, replica.ErrFenced) {
+		// A fenced ex-primary: a promoted standby exists somewhere, and
+		// only a Reconnect factory can re-resolve to it.
 		return true
 	}
 	return false

@@ -268,6 +268,17 @@ func (c *Client) Flight(ctx context.Context) ([]byte, error) {
 	return j, r.Err()
 }
 
+// Repl fetches the node's replication status document as raw JSON
+// (qm.repl). ErrNotFound when the node is not replicated.
+func (c *Client) Repl(ctx context.Context) ([]byte, error) {
+	r, err := c.call(ctx, MethodRepl, enc.NewBuffer(0))
+	if err != nil {
+		return nil, err
+	}
+	j := r.BytesField()
+	return j, r.Err()
+}
+
 // TraceTree fetches one assembled span tree as raw JSON (an array of
 // root nodes) from the server's trace ring. ErrNotFound when the server
 // retains no spans for id.

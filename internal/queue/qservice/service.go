@@ -20,6 +20,7 @@ import (
 	"repro/internal/enc"
 	"repro/internal/obs/trace"
 	"repro/internal/queue"
+	"repro/internal/replica"
 	"repro/internal/rpc"
 )
 
@@ -44,6 +45,7 @@ const (
 	MethodHealth      = "qm.health" // node health document as JSON
 	MethodLogs        = "qm.logs"   // recent structured log events as JSON
 	MethodFlight      = "qm.flight" // flight-recorder document as JSON
+	MethodRepl        = "qm.repl"   // replication status document as JSON
 )
 
 // Status codes carried in every response payload.
@@ -56,6 +58,12 @@ const (
 	stStopped
 	stFull
 	stOther
+	// stNotPrimary rejects an operation on a fenced ex-primary: a newer
+	// epoch exists, so this node must not ack. Decoded back to
+	// replica.ErrFenced, which ResilientClerk treats as retryable — the
+	// fig. 2 recovery loop re-resolves the primary and resynchronizes
+	// against the promoted standby.
+	stNotPrimary
 )
 
 func encodeErr(err error) (uint8, string) {
@@ -74,6 +82,8 @@ func encodeErr(err error) (uint8, string) {
 		return stStopped, err.Error()
 	case errors.Is(err, queue.ErrFull):
 		return stFull, err.Error()
+	case errors.Is(err, replica.ErrFenced):
+		return stNotPrimary, err.Error()
 	case errors.Is(err, context.DeadlineExceeded):
 		// A timed-out waiting dequeue is an empty queue to the client.
 		return stEmpty, "wait timeout"
@@ -98,6 +108,8 @@ func decodeErr(code uint8, msg string) error {
 		return fmt.Errorf("%w: %s", queue.ErrStopped, msg)
 	case stFull:
 		return fmt.Errorf("%w: %s", queue.ErrFull, msg)
+	case stNotPrimary:
+		return fmt.Errorf("%w: %s", replica.ErrFenced, msg)
 	default:
 		return errors.New(msg)
 	}
@@ -161,6 +173,9 @@ type AuxProviders struct {
 	Health func() ([]byte, error)
 	Logs   func(max int) ([]byte, error)
 	Flight func() ([]byte, error)
+	// Repl returns the node's replication status document (qm.repl —
+	// `qmctl repl` reads it). Nil on unreplicated nodes.
+	Repl func() ([]byte, error)
 }
 
 // Service serves one repository.
@@ -205,6 +220,7 @@ func New(repo *queue.Repository, srv *rpc.Server) *Service {
 	srv.Handle(MethodHealth, s.handleHealth)
 	srv.Handle(MethodLogs, s.handleLogs)
 	srv.Handle(MethodFlight, s.handleFlight)
+	srv.Handle(MethodRepl, s.handleRepl)
 	return s
 }
 
@@ -243,6 +259,24 @@ func (s *Service) handleFlight(p []byte) ([]byte, error) {
 	}
 	j, err := aux.Flight()
 	return respond(err, func(b *enc.Buffer) { b.BytesField(j) }), nil
+}
+
+// handleRepl returns the node's replication status document (qm.repl).
+func (s *Service) handleRepl(p []byte) ([]byte, error) {
+	aux := s.aux.Load()
+	if aux == nil || aux.Repl == nil {
+		return respond(errAuxUnavailable, nil), nil
+	}
+	j, err := aux.Repl()
+	return respond(err, func(b *enc.Buffer) { b.BytesField(j) }), nil
+}
+
+// RespondJSON builds a response carrying one JSON document in the shape
+// the JSON-returning methods (qm.health, qm.repl, ...) use — exported so
+// a standby daemon, which has no Service until promotion, can still
+// answer qm.repl with its own status.
+func RespondJSON(j []byte, err error) []byte {
+	return respond(err, func(b *enc.Buffer) { b.BytesField(j) })
 }
 
 // handleTrace returns one assembled span tree as JSON (qm.trace).

@@ -89,6 +89,11 @@ type Options struct {
 	// interpose a fault layer (internal/chaos/walfault) here. nil means
 	// the real filesystem.
 	WALFS wal.VFS
+	// WALGate, when non-nil, runs after every WAL flush reaches local
+	// stable storage and before the covered durable-LSN promises are
+	// released — the hook synchronous replication hangs its commit rule
+	// on (see wal.Gate). A gate error poisons the log.
+	WALGate wal.Gate
 	// Metrics, when non-nil, is the registry all layers (WAL, lock, txn,
 	// queue) record into. When nil the repository creates a private one,
 	// retrievable via Metrics().
@@ -188,6 +193,7 @@ func Open(dir string, opts Options) (*Repository, []txn.InDoubt, error) {
 		Metrics:     reg,
 		FS:          opts.WALFS,
 		Logger:      opts.Logger,
+		Gate:        opts.WALGate,
 	}
 	if opts.GroupCommit {
 		walOpts.Sync = wal.SyncGroup

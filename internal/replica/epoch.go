@@ -1,0 +1,71 @@
+package replica
+
+// Epoch persistence — the fencing token.
+//
+// Each repository directory carries an EPOCH file holding the highest
+// primary epoch the node has ever served or observed. A standby bumps it
+// when it self-promotes; every shipped frame and lease message carries
+// it; both sides reject anything from a lower epoch. Because the bump is
+// persisted (write-temp, rename, fsync) *before* the promoted standby
+// accepts its first operation, a partitioned ex-primary can never be
+// acked by anyone after the new primary exists: its frames carry the old
+// epoch, and every surviving party knows a higher one.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+const epochFile = "EPOCH"
+
+// LoadEpoch reads dir's persisted epoch; a missing file is epoch 0 (a
+// node that has never been part of a replicated pair).
+func LoadEpoch(dir string) (uint64, error) {
+	b, err := os.ReadFile(filepath.Join(dir, epochFile))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("replica: load epoch: %w", err)
+	}
+	v, err := strconv.ParseUint(strings.TrimSpace(string(b)), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("replica: load epoch: malformed %q: %w", string(b), err)
+	}
+	return v, nil
+}
+
+// StoreEpoch durably records epoch in dir (temp file, rename, fsync of
+// file and directory — the same publish discipline snapshots use).
+func StoreEpoch(dir string, epoch uint64) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("replica: store epoch: %w", err)
+	}
+	tmp := filepath.Join(dir, epochFile+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("replica: store epoch: %w", err)
+	}
+	if _, err := fmt.Fprintf(f, "%d\n", epoch); err != nil {
+		f.Close()
+		return fmt.Errorf("replica: store epoch: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("replica: store epoch: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("replica: store epoch: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, epochFile)); err != nil {
+		return fmt.Errorf("replica: store epoch: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}

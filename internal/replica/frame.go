@@ -1,0 +1,193 @@
+package replica
+
+// The replication stream codec.
+//
+// Primary and standby exchange *frames*: the primary ships file deltas
+// (WAL segment suffixes, snapshot files, prune notices) and the standby
+// answers with exactly one response frame (ack, fenced, or resync).
+// Every frame carries the sender's epoch — the fencing token — and a
+// sequence number; each is CRC-framed so a torn or corrupted exchange is
+// detected at the frame boundary, never applied half-way. A request is
+// simply a concatenation of frames sharing one (epoch, seq); the
+// response is a single frame.
+//
+// Data frames address bytes by (file, offset), which makes re-delivery
+// idempotent: re-writing the same bytes at the same offset is a no-op,
+// so a retried exchange whose ack was lost is harmless. Gaps are
+// impossible by construction — the receiver rejects a write that would
+// start past the file's current size with a resync response carrying its
+// durable file sizes, and the sender restarts shipping from exactly
+// there (the torn-ship-tail recovery path).
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/enc"
+)
+
+// Frame kinds.
+const (
+	// FrameData carries bytes to write at (Path, Off) on the standby.
+	// LSN is the highest locally-durable LSN the sender's state covers.
+	FrameData uint8 = iota + 1
+	// FramePrune deletes Path on the standby (log truncation, snapshot GC).
+	FramePrune
+	// FrameHeartbeat carries no bytes; it solicits a fresh ack (used when
+	// an ack was lost but every byte already shipped).
+	FrameHeartbeat
+	// FrameLeasePing is the standby→primary lease ping.
+	FrameLeasePing
+	// FrameLeaseGrant is the primary's answer to a ping: still primary.
+	FrameLeaseGrant
+	// FrameAck is the standby's success response: everything in the
+	// exchange applied and durable; LSN echoes the standby's applied LSN.
+	FrameAck
+	// FrameFenced rejects an exchange from a stale epoch; Epoch is the
+	// rejecting side's (higher) current epoch.
+	FrameFenced
+	// FrameResync asks the sender to restart shipping from the receiver's
+	// durable state: Files lists its current file sizes, LSN its applied
+	// LSN, Seq its last applied sequence number.
+	FrameResync
+)
+
+var frameCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// Errors returned by the codec.
+var (
+	// ErrFrameTruncated reports an input that ended mid-frame (a torn
+	// ship tail).
+	ErrFrameTruncated = errors.New("replica: truncated frame")
+	// ErrFrameCorrupt reports a checksum or structural failure.
+	ErrFrameCorrupt = errors.New("replica: corrupt frame")
+)
+
+// FileState is one file's shipped length, as known by one side.
+type FileState struct {
+	Path string // relative path, e.g. "wal/wal-0000000000000001.seg"
+	Size int64
+}
+
+// Frame is one unit of the replication stream. Unused fields are zero
+// for a given kind (see the kind constants).
+type Frame struct {
+	Kind  uint8
+	Epoch uint64
+	Seq   uint64
+	LSN   uint64 // data/heartbeat: sender's durable LSN; ack/resync: receiver's applied LSN
+	Path  string
+	Off   int64
+	Data  []byte
+	Files []FileState // resync only
+}
+
+// frameMagic opens every frame, so arbitrary noise is rejected before
+// the CRC is even computed.
+const frameMagic uint8 = 0xA7
+
+// AppendFrame encodes f onto buf: magic, a length-prefixed body, and a
+// CRC-32C over the body. Returns the extended buffer.
+func AppendFrame(buf []byte, f *Frame) []byte {
+	b := enc.NewBuffer(64 + len(f.Data))
+	b.Uint8(f.Kind)
+	b.Uvarint(f.Epoch)
+	b.Uvarint(f.Seq)
+	b.Uvarint(f.LSN)
+	b.String(f.Path)
+	b.Varint(f.Off)
+	b.BytesField(f.Data)
+	b.Uvarint(uint64(len(f.Files)))
+	for _, fs := range f.Files {
+		b.String(fs.Path)
+		b.Varint(fs.Size)
+	}
+	body := b.Bytes()
+	hdr := enc.NewBuffer(16)
+	hdr.Uint8(frameMagic)
+	hdr.Uvarint(uint64(len(body)))
+	buf = append(buf, hdr.Bytes()...)
+	buf = append(buf, body...)
+	c := crc32.Checksum(body, frameCRC)
+	return append(buf, byte(c), byte(c>>8), byte(c>>16), byte(c>>24))
+}
+
+// DecodeFrame decodes one frame from the front of b, returning the frame
+// and the number of bytes consumed. ErrFrameTruncated means b ended
+// mid-frame (ship the rest and try again, or resync); ErrFrameCorrupt
+// means the bytes can never parse.
+func DecodeFrame(b []byte) (Frame, int, error) {
+	if len(b) == 0 {
+		return Frame{}, 0, ErrFrameTruncated
+	}
+	if b[0] != frameMagic {
+		return Frame{}, 0, fmt.Errorf("%w: bad magic 0x%02x", ErrFrameCorrupt, b[0])
+	}
+	r := enc.NewReader(b[1:])
+	bodyLen := r.Uvarint()
+	if r.Err() != nil {
+		return Frame{}, 0, ErrFrameTruncated
+	}
+	if bodyLen > 1<<30 {
+		return Frame{}, 0, fmt.Errorf("%w: implausible body length %d", ErrFrameCorrupt, bodyLen)
+	}
+	consumed := 1 + (len(b) - 1 - r.Remaining()) // magic + length prefix
+	rest := b[consumed:]
+	if uint64(len(rest)) < bodyLen+4 {
+		return Frame{}, 0, ErrFrameTruncated
+	}
+	body := rest[:bodyLen]
+	crc := uint32(rest[bodyLen]) | uint32(rest[bodyLen+1])<<8 | uint32(rest[bodyLen+2])<<16 | uint32(rest[bodyLen+3])<<24
+	if crc32.Checksum(body, frameCRC) != crc {
+		return Frame{}, 0, fmt.Errorf("%w: checksum mismatch", ErrFrameCorrupt)
+	}
+	fr := enc.NewReader(body)
+	var f Frame
+	f.Kind = fr.Uint8()
+	f.Epoch = fr.Uvarint()
+	f.Seq = fr.Uvarint()
+	f.LSN = fr.Uvarint()
+	f.Path = fr.String()
+	f.Off = fr.Varint()
+	f.Data = fr.BytesField()
+	nf := fr.Uvarint()
+	if fr.Err() != nil {
+		return Frame{}, 0, fmt.Errorf("%w: %v", ErrFrameCorrupt, fr.Err())
+	}
+	if nf > uint64(fr.Remaining()) { // each entry needs ≥ 2 bytes
+		return Frame{}, 0, fmt.Errorf("%w: implausible file count %d", ErrFrameCorrupt, nf)
+	}
+	for i := uint64(0); i < nf; i++ {
+		var fs FileState
+		fs.Path = fr.String()
+		fs.Size = fr.Varint()
+		if fr.Err() != nil {
+			return Frame{}, 0, fmt.Errorf("%w: %v", ErrFrameCorrupt, fr.Err())
+		}
+		f.Files = append(f.Files, fs)
+	}
+	if f.Kind < FrameData || f.Kind > FrameResync {
+		return Frame{}, 0, fmt.Errorf("%w: unknown kind %d", ErrFrameCorrupt, f.Kind)
+	}
+	if f.Off < 0 {
+		return Frame{}, 0, fmt.Errorf("%w: negative offset", ErrFrameCorrupt)
+	}
+	return f, consumed + int(bodyLen) + 4, nil
+}
+
+// DecodeFrames decodes a whole request (concatenated frames). A clean
+// prefix followed by a torn tail returns the prefix and
+// ErrFrameTruncated; corruption returns ErrFrameCorrupt.
+func DecodeFrames(b []byte) ([]Frame, error) {
+	var out []Frame
+	for len(b) > 0 {
+		f, n, err := DecodeFrame(b)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, f)
+		b = b[n:]
+	}
+	return out, nil
+}

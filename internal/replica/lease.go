@@ -1,0 +1,160 @@
+package replica
+
+// The lease protocol — who gets to be primary.
+//
+// The standby pings the primary on a short interval; each FrameLeaseGrant
+// answer renews the primary's lease for TTL. When a whole TTL passes
+// without a grant — primary dead, partitioned, or answering FrameFenced
+// because it has already observed a higher epoch — the standby promotes
+// itself: it bumps and persists the epoch (fencing every late ship from
+// the old primary) and hands control to OnPromote, which opens the
+// replicated directory as a live repository.
+//
+// The TTL is the availability/safety dial of fig. 2's single-queue-pair
+// world: failover completes within roughly one TTL of the primary's
+// death, and because the grant is the ONLY thing that renews it, a
+// primary that cannot reach its standby knows (via lease pings carrying a
+// higher epoch, or simply via fenced acks) that it may have been
+// superseded and must stop acking new work.
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	rlog "repro/internal/obs/log"
+)
+
+// StandbyOptions configure the lease watcher on the standby side.
+type StandbyOptions struct {
+	// TTL is the lease duration: a standby that has gone TTL without a
+	// grant promotes itself. Zero means 1s.
+	TTL time.Duration
+	// PingEvery is the ping interval; zero means TTL/4.
+	PingEvery time.Duration
+	// PingTimeout bounds one ping exchange; zero means PingEvery.
+	PingTimeout time.Duration
+	// OnPromote runs (once) after the epoch bump has been persisted; this
+	// is where the caller opens the directory as a live node. The watcher
+	// has already stopped when it runs.
+	OnPromote func(epoch uint64)
+	// Logger receives lease lifecycle events; nil disables logging.
+	Logger *rlog.Logger
+}
+
+// Watcher drives the standby's side of the lease protocol.
+type Watcher struct {
+	rcv  *Receiver
+	tr   Transport
+	o    StandbyOptions
+	log  *rlog.Logger
+	once sync.Once
+
+	mu        sync.Mutex
+	lastGrant time.Time
+	primLSN   uint64 // primary's durable LSN from the last grant
+}
+
+// NewWatcher builds a lease watcher pinging the primary through tr on
+// behalf of rcv. Run starts it.
+func NewWatcher(rcv *Receiver, tr Transport, o StandbyOptions) *Watcher {
+	if o.TTL <= 0 {
+		o.TTL = time.Second
+	}
+	if o.PingEvery <= 0 {
+		o.PingEvery = o.TTL / 4
+	}
+	if o.PingTimeout <= 0 {
+		o.PingTimeout = o.PingEvery
+	}
+	return &Watcher{rcv: rcv, tr: tr, o: o, log: o.Logger.Named("replica.lease")}
+}
+
+// LeaseRemaining reports how much of the current lease is left; zero or
+// negative means expired (promotion imminent or done).
+func (w *Watcher) LeaseRemaining() time.Duration {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.lastGrant.IsZero() {
+		return w.o.TTL
+	}
+	return w.o.TTL - time.Since(w.lastGrant)
+}
+
+// PrimaryLSN returns the primary's durable LSN as of the last grant.
+func (w *Watcher) PrimaryLSN() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.primLSN
+}
+
+// TTL returns the configured lease duration.
+func (w *Watcher) TTL() time.Duration { return w.o.TTL }
+
+// Run pings until ctx ends or the lease expires; expiry promotes the
+// receiver and invokes OnPromote. The initial lease starts NOW — a
+// standby that boots against a dead primary promotes after one TTL.
+func (w *Watcher) Run(ctx context.Context) {
+	w.mu.Lock()
+	w.lastGrant = time.Now()
+	w.mu.Unlock()
+	tick := time.NewTicker(w.o.PingEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		if w.rcv.Promoted() {
+			return
+		}
+		w.ping(ctx)
+		w.mu.Lock()
+		expired := time.Since(w.lastGrant) > w.o.TTL
+		w.mu.Unlock()
+		if expired {
+			w.promote()
+			return
+		}
+	}
+}
+
+func (w *Watcher) ping(ctx context.Context) {
+	req := AppendFrame(nil, &Frame{Kind: FrameLeasePing, Epoch: w.rcv.Epoch()})
+	pctx, cancel := context.WithTimeout(ctx, w.o.PingTimeout)
+	resp, err := w.tr.Exchange(pctx, req)
+	cancel()
+	if err != nil {
+		w.log.Debug("lease ping failed", rlog.Err(err))
+		return
+	}
+	f, _, err := DecodeFrame(resp)
+	if err != nil || f.Kind != FrameLeaseGrant {
+		// A fenced answer (or garbage) does not renew: the primary has
+		// stepped down or gone strange, and the lease clock keeps running.
+		w.log.Debug("lease not renewed", rlog.Err(err))
+		return
+	}
+	w.mu.Lock()
+	w.lastGrant = time.Now()
+	w.primLSN = f.LSN
+	w.mu.Unlock()
+}
+
+func (w *Watcher) promote() {
+	w.once.Do(func() {
+		epoch, err := w.rcv.Promote()
+		if err != nil {
+			// The one unrecoverable spot: we cannot durably claim the
+			// epoch, so we must NOT serve (a lost bump could resurrect
+			// split-brain after a crash). Log loudly and stay standby.
+			w.log.Error("promotion failed; staying standby", rlog.Err(err))
+			return
+		}
+		w.log.Info("lease expired; promoted", rlog.Uint64("epoch", epoch))
+		if w.o.OnPromote != nil {
+			w.o.OnPromote(epoch)
+		}
+	})
+}

@@ -1,0 +1,134 @@
+package replica
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestWatcherPromotesOnLeaseExpiry: a standby that cannot reach its
+// primary must self-promote within roughly one TTL, with the bumped
+// epoch durable before OnPromote runs.
+func TestWatcherPromotesOnLeaseExpiry(t *testing.T) {
+	dir := t.TempDir()
+	rcv, err := NewReceiver(dir, ReceiverOptions{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := TransportFunc(func(ctx context.Context, req []byte) ([]byte, error) {
+		return nil, errors.New("connection refused")
+	})
+	promoted := make(chan uint64, 1)
+	w := NewWatcher(rcv, dead, StandbyOptions{
+		TTL:       80 * time.Millisecond,
+		PingEvery: 10 * time.Millisecond,
+		OnPromote: func(e uint64) { promoted <- e },
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	start := time.Now()
+	go w.Run(ctx)
+
+	select {
+	case e := <-promoted:
+		if e != 1 {
+			t.Fatalf("promoted to epoch %d, want 1", e)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("standby never promoted against a dead primary")
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("promotion took %v, want about one TTL", d)
+	}
+	if !rcv.Promoted() {
+		t.Fatal("receiver not promoted")
+	}
+	// The epoch bump was persisted before OnPromote ran.
+	if e, err := LoadEpoch(dir); err != nil || e != 1 {
+		t.Fatalf("persisted epoch %d (%v), want 1", e, err)
+	}
+}
+
+// TestWatcherGrantsSuppressPromotion: while the primary answers pings
+// with grants the standby must never promote; once grants stop, the
+// lease runs out and it must.
+func TestWatcherGrantsSuppressPromotion(t *testing.T) {
+	rcv, err := NewReceiver(t.TempDir(), ReceiverOptions{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var granting atomic.Bool
+	granting.Store(true)
+	tr := TransportFunc(func(ctx context.Context, req []byte) ([]byte, error) {
+		f, _, err := DecodeFrame(req)
+		if err != nil || f.Kind != FrameLeasePing {
+			t.Errorf("unexpected lease request: %+v %v", f, err)
+		}
+		if !granting.Load() {
+			return nil, errors.New("primary is gone")
+		}
+		return AppendFrame(nil, &Frame{Kind: FrameLeaseGrant, Epoch: f.Epoch, LSN: 42}), nil
+	})
+	promoted := make(chan uint64, 1)
+	w := NewWatcher(rcv, tr, StandbyOptions{
+		TTL:       60 * time.Millisecond,
+		PingEvery: 10 * time.Millisecond,
+		OnPromote: func(e uint64) { promoted <- e },
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go w.Run(ctx)
+
+	// Several TTLs under grants: still a standby.
+	select {
+	case <-promoted:
+		t.Fatal("promoted while the primary was granting")
+	case <-time.After(300 * time.Millisecond):
+	}
+	if rcv.Promoted() {
+		t.Fatal("receiver promoted under live lease")
+	}
+	if w.PrimaryLSN() != 42 {
+		t.Fatalf("primary lsn from grants = %d, want 42", w.PrimaryLSN())
+	}
+	if w.LeaseRemaining() <= 0 {
+		t.Fatal("lease not being renewed")
+	}
+
+	// Primary dies: the lease runs out.
+	granting.Store(false)
+	select {
+	case <-promoted:
+	case <-time.After(2 * time.Second):
+		t.Fatal("never promoted after grants stopped")
+	}
+}
+
+// TestWatcherFencedPingDoesNotRenew: a primary answering FrameFenced
+// (poisoned, or itself fenced) must not extend the lease — the standby
+// promotes as if the primary were silent.
+func TestWatcherFencedPingDoesNotRenew(t *testing.T) {
+	rcv, err := NewReceiver(t.TempDir(), ReceiverOptions{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := TransportFunc(func(ctx context.Context, req []byte) ([]byte, error) {
+		return AppendFrame(nil, &Frame{Kind: FrameFenced, Epoch: 0}), nil
+	})
+	promoted := make(chan uint64, 1)
+	w := NewWatcher(rcv, tr, StandbyOptions{
+		TTL:       60 * time.Millisecond,
+		PingEvery: 10 * time.Millisecond,
+		OnPromote: func(e uint64) { promoted <- e },
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go w.Run(ctx)
+	select {
+	case <-promoted:
+	case <-time.After(2 * time.Second):
+		t.Fatal("fenced grants kept the standby from promoting")
+	}
+}

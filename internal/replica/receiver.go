@@ -1,0 +1,322 @@
+package replica
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/obs"
+	rlog "repro/internal/obs/log"
+)
+
+// ReceiverOptions configure a standby Receiver.
+type ReceiverOptions struct {
+	// NoFsync skips the per-exchange fsync of touched files (tests). A
+	// real standby must leave it false: the ack IS the durability promise
+	// the primary's commit gate is waiting on.
+	NoFsync bool
+	// Metrics receives replica.epoch / replica.applied_lsn gauges and the
+	// replica.exchanges / replica.resyncs counters; nil uses a private
+	// registry.
+	Metrics *obs.Registry
+	// Logger receives lifecycle events; nil disables logging.
+	Logger *rlog.Logger
+}
+
+// Receiver is the standby side of the replication stream: it applies
+// shipped frames into a repository directory that queue.Open can recover
+// at promotion time, tracks the primary's epoch, and — once promoted —
+// fences every further exchange from the old primary.
+type Receiver struct {
+	dir  string
+	opts ReceiverOptions
+
+	mu         sync.Mutex
+	epoch      uint64 // highest epoch seen or persisted
+	promoted   bool
+	lastSeq    uint64
+	appliedLSN uint64
+	sizes      map[string]int64 // relative path -> bytes applied
+
+	logger *rlog.Logger
+
+	mEpoch     *obs.Gauge
+	mApplied   *obs.Gauge
+	mExchanges *obs.Counter
+	mResyncs   *obs.Counter
+	mFenced    *obs.Counter
+}
+
+// NewReceiver opens (creating if needed) a standby over dir. Existing
+// shipped state is adopted: file sizes are scanned so a restarted
+// standby resyncs instead of re-receiving everything.
+func NewReceiver(dir string, opts ReceiverOptions) (*Receiver, error) {
+	for _, sub := range []string{"wal", "snap"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("replica: mkdir standby: %w", err)
+		}
+	}
+	epoch, err := LoadEpoch(dir)
+	if err != nil {
+		return nil, err
+	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	r := &Receiver{
+		dir:        dir,
+		opts:       opts,
+		epoch:      epoch,
+		sizes:      make(map[string]int64),
+		logger:     opts.Logger.Named("replica"),
+		mEpoch:     reg.Gauge("replica.epoch"),
+		mApplied:   reg.Gauge("replica.applied_lsn"),
+		mExchanges: reg.Counter("replica.exchanges"),
+		mResyncs:   reg.Counter("replica.resyncs"),
+		mFenced:    reg.Counter("replica.fenced_exchanges"),
+	}
+	r.mEpoch.Set(int64(epoch))
+	for _, sub := range []string{"wal", "snap"} {
+		entries, err := os.ReadDir(filepath.Join(dir, sub))
+		if err != nil {
+			continue
+		}
+		for _, e := range entries {
+			if e.IsDir() {
+				continue
+			}
+			if fi, err := e.Info(); err == nil {
+				r.sizes[filepath.Join(sub, e.Name())] = fi.Size()
+			}
+		}
+	}
+	return r, nil
+}
+
+// Dir returns the standby directory (the promotion target).
+func (r *Receiver) Dir() string { return r.dir }
+
+// Epoch returns the highest epoch the standby has seen or persisted.
+func (r *Receiver) Epoch() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.epoch
+}
+
+// AppliedLSN returns the highest primary-durable LSN whose bytes the
+// standby has applied (and, unless NoFsync, made durable).
+func (r *Receiver) AppliedLSN() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.appliedLSN
+}
+
+// Promoted reports whether Promote has run.
+func (r *Receiver) Promoted() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.promoted
+}
+
+// Promote fences the stream and claims the primacy: the epoch is bumped
+// past everything seen and durably recorded BEFORE the method returns,
+// so by the time the caller opens the directory as a live repository,
+// any exchange from the old primary already meets a higher epoch here —
+// and, through the lease protocol, at the old primary itself. Returns
+// the new epoch. Idempotent.
+func (r *Receiver) Promote() (uint64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.promoted {
+		return r.epoch, nil
+	}
+	next := r.epoch + 1
+	if err := StoreEpoch(r.dir, next); err != nil {
+		return 0, err
+	}
+	r.epoch = next
+	r.promoted = true
+	r.mEpoch.Set(int64(next))
+	r.logger.Info("standby promoted",
+		rlog.Uint64("epoch", next),
+		rlog.Uint64("applied_lsn", r.appliedLSN))
+	return next, nil
+}
+
+// resyncFrame builds the receiver's durable-state answer: file sizes,
+// applied LSN, last applied seq. The sender restarts shipping from
+// exactly here.
+func (r *Receiver) resyncFrameLocked() *Frame {
+	f := &Frame{Kind: FrameResync, Epoch: r.epoch, Seq: r.lastSeq, LSN: r.appliedLSN}
+	paths := make([]string, 0, len(r.sizes))
+	for p := range r.sizes {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		f.Files = append(f.Files, FileState{Path: p, Size: r.sizes[p]})
+	}
+	return f
+}
+
+func respondFrame(f *Frame) []byte { return AppendFrame(nil, f) }
+
+// Apply performs one ship exchange: decode the request frames, apply
+// them, answer with a single response frame. It never returns an error —
+// protocol trouble is answered in-band (fenced, resync) so the transport
+// layer stays dumb.
+func (r *Receiver) Apply(req []byte) []byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.mExchanges.Inc()
+
+	frames, derr := DecodeFrames(req)
+	if len(frames) == 0 {
+		// Nothing intelligible at all: ask for a restart from our state.
+		r.mResyncs.Inc()
+		r.logger.Warn("unintelligible exchange; resync", rlog.Err(derr))
+		return respondFrame(r.resyncFrameLocked())
+	}
+	e := frames[0].Epoch
+
+	// Fencing. A promoted standby is a primary now: nothing ships to it.
+	// A lower epoch is a demoted primary that does not yet know it.
+	if r.promoted || e < r.epoch {
+		r.mFenced.Inc()
+		r.logger.Warn("exchange fenced",
+			rlog.Uint64("their_epoch", e),
+			rlog.Uint64("our_epoch", r.epoch),
+			rlog.Bool("promoted", r.promoted))
+		return respondFrame(&Frame{Kind: FrameFenced, Epoch: r.epoch})
+	}
+	if e > r.epoch {
+		// A newer primary: adopt its epoch durably before applying
+		// anything, so a crash cannot forget who we followed.
+		if err := StoreEpoch(r.dir, e); err != nil {
+			r.logger.Error("epoch persist failed", rlog.Err(err))
+			return respondFrame(r.resyncFrameLocked())
+		}
+		r.epoch = e
+		r.mEpoch.Set(int64(e))
+	}
+
+	// Sequence discipline: an exchange must be the next one (seq+1) or an
+	// exact retry of the last (ack lost; re-application is idempotent).
+	// Anything else — a restarted sender, a restarted receiver, frames
+	// lost in between — resyncs from our durable state.
+	seq := frames[0].Seq
+	if seq != r.lastSeq+1 && seq != r.lastSeq {
+		r.mResyncs.Inc()
+		return respondFrame(r.resyncFrameLocked())
+	}
+
+	// The decode may have hit a torn tail after a clean prefix. Applying
+	// the prefix would be fine (offset-addressed writes), but the sender
+	// treats a resync as "re-ship from my state", which handles both —
+	// and the explicit answer is what the torn-ship-tail recovery wants.
+	if derr != nil {
+		r.mResyncs.Inc()
+		r.logger.Warn("torn exchange tail; resync",
+			rlog.Err(derr), rlog.Int("clean_frames", len(frames)))
+		return respondFrame(r.resyncFrameLocked())
+	}
+
+	touched := make(map[string]*os.File)
+	defer func() {
+		for _, f := range touched {
+			f.Close()
+		}
+	}()
+	maxLSN := r.appliedLSN
+	for i := range frames {
+		f := &frames[i]
+		switch f.Kind {
+		case FrameData:
+			if !validRel(f.Path) {
+				r.mResyncs.Inc()
+				return respondFrame(r.resyncFrameLocked())
+			}
+			if f.Off > r.sizes[f.Path] {
+				// A gap: we never got the bytes before Off. Resync.
+				r.mResyncs.Inc()
+				return respondFrame(r.resyncFrameLocked())
+			}
+			fh := touched[f.Path]
+			if fh == nil {
+				var err error
+				fh, err = os.OpenFile(filepath.Join(r.dir, f.Path), os.O_CREATE|os.O_WRONLY, 0o644)
+				if err != nil {
+					r.logger.Error("standby open failed", rlog.Str("path", f.Path), rlog.Err(err))
+					return respondFrame(r.resyncFrameLocked())
+				}
+				touched[f.Path] = fh
+			}
+			if f.Off == 0 {
+				// A restart from scratch (source file shrank or is new):
+				// drop whatever we had beyond the incoming bytes.
+				if err := fh.Truncate(0); err != nil {
+					return respondFrame(r.resyncFrameLocked())
+				}
+			}
+			if _, err := fh.WriteAt(f.Data, f.Off); err != nil {
+				r.logger.Error("standby write failed", rlog.Str("path", f.Path), rlog.Err(err))
+				return respondFrame(r.resyncFrameLocked())
+			}
+			if end := f.Off + int64(len(f.Data)); end > r.sizes[f.Path] || f.Off == 0 {
+				r.sizes[f.Path] = end
+			}
+			if f.LSN > maxLSN {
+				maxLSN = f.LSN
+			}
+		case FramePrune:
+			if !validRel(f.Path) {
+				continue
+			}
+			os.Remove(filepath.Join(r.dir, f.Path))
+			delete(r.sizes, f.Path)
+		case FrameHeartbeat:
+			// No bytes: the sender asserts everything through f.LSN has
+			// already been shipped and acked (it only sends a heartbeat
+			// when its diff is empty). The seq discipline above is what
+			// makes that assertion trustworthy: a sender whose session we
+			// did not fully receive would have mismatched seq and been
+			// resynced instead.
+			if f.LSN > maxLSN {
+				maxLSN = f.LSN
+			}
+		default:
+			// Lease frames and responses do not belong in a ship exchange.
+			r.mResyncs.Inc()
+			return respondFrame(r.resyncFrameLocked())
+		}
+	}
+	if !r.opts.NoFsync {
+		for _, fh := range touched {
+			if err := fh.Sync(); err != nil {
+				r.logger.Error("standby fsync failed", rlog.Err(err))
+				return respondFrame(r.resyncFrameLocked())
+			}
+		}
+	}
+	r.lastSeq = seq
+	r.appliedLSN = maxLSN
+	r.mApplied.Set(int64(maxLSN))
+	return respondFrame(&Frame{Kind: FrameAck, Epoch: r.epoch, Seq: seq, LSN: maxLSN})
+}
+
+// validRel rejects paths that would escape the standby directory or
+// touch anything but the replicated subtrees.
+func validRel(p string) bool {
+	if p == "" || filepath.IsAbs(p) {
+		return false
+	}
+	clean := filepath.Clean(p)
+	if clean != p {
+		return false
+	}
+	dir, _ := filepath.Split(clean)
+	return dir == "wal"+string(filepath.Separator) || dir == "snap"+string(filepath.Separator)
+}

@@ -1,0 +1,45 @@
+package replica
+
+import (
+	"context"
+
+	"repro/internal/rpc"
+)
+
+// RPC method names for the replication plane. They live beside the queue
+// methods on the same server/port: the standby serves MethodShip, the
+// primary serves MethodLease.
+const (
+	MethodShip  = "repl.ship"
+	MethodLease = "repl.lease"
+)
+
+// RegisterReceiver exposes rcv on srv as the ship endpoint (standby side).
+func RegisterReceiver(srv *rpc.Server, rcv *Receiver) {
+	srv.Handle(MethodShip, func(payload []byte) ([]byte, error) {
+		return rcv.Apply(payload), nil
+	})
+}
+
+// RegisterSender exposes s's lease responder on srv (primary side).
+func RegisterSender(srv *rpc.Server, s *Sender) {
+	srv.Handle(MethodLease, func(payload []byte) ([]byte, error) {
+		return s.HandleLease(payload), nil
+	})
+}
+
+// RPCTransport adapts an rpc.Client to Transport for one method.
+type RPCTransport struct {
+	c      *rpc.Client
+	method string
+}
+
+// NewRPCTransport wraps c; method is MethodShip or MethodLease.
+func NewRPCTransport(c *rpc.Client, method string) *RPCTransport {
+	return &RPCTransport{c: c, method: method}
+}
+
+// Exchange implements Transport.
+func (t *RPCTransport) Exchange(ctx context.Context, req []byte) ([]byte, error) {
+	return t.c.Call(ctx, t.method, req)
+}

@@ -1,0 +1,656 @@
+package replica
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	rlog "repro/internal/obs/log"
+	"repro/internal/wal"
+)
+
+// Mode selects the replication commit rule.
+type Mode int
+
+const (
+	// ModeAsync ships in the background; commits never wait. Loss on
+	// failover is bounded by the shipping lag (the pre-failover E13
+	// behavior).
+	ModeAsync Mode = iota
+	// ModeSemiSync lets a commit release as soon as the standby's lag is
+	// within budget (MaxLagRecords / MaxLagBytes); beyond budget the
+	// commit blocks until the standby catches up.
+	ModeSemiSync
+	// ModeSync releases no commit until the standby has acked the bytes
+	// that make it durable: zero acked loss on failover.
+	ModeSync
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeSync:
+		return "sync"
+	case ModeSemiSync:
+		return "semisync"
+	default:
+		return "async"
+	}
+}
+
+// ParseMode parses "sync", "semisync"/"semi-sync", or "async".
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "sync":
+		return ModeSync, nil
+	case "semisync", "semi-sync":
+		return ModeSemiSync, nil
+	case "async", "":
+		return ModeAsync, nil
+	}
+	return 0, fmt.Errorf("replica: unknown mode %q (want sync|semisync|async)", s)
+}
+
+// ErrFenced reports that a newer primary epoch exists: this node's
+// appends and ships are rejected everywhere that matters, so it must
+// stop acking. It poisons the WAL through the commit gate, surfaces
+// through Repository.WALErr and /healthz, and is mapped to a retryable
+// not-primary rejection on the RPC wire so clerks re-resolve.
+var ErrFenced = errors.New("replica: fenced (superseded by a newer primary epoch)")
+
+// Transport carries one ship or lease exchange to the peer and returns
+// its single response frame's bytes.
+type Transport interface {
+	Exchange(ctx context.Context, req []byte) ([]byte, error)
+}
+
+// TransportFunc adapts a function to Transport (in-process pairs, test
+// fault injection).
+type TransportFunc func(ctx context.Context, req []byte) ([]byte, error)
+
+// Exchange implements Transport.
+func (f TransportFunc) Exchange(ctx context.Context, req []byte) ([]byte, error) {
+	return f(ctx, req)
+}
+
+// SenderOptions configure a primary-side Sender.
+type SenderOptions struct {
+	// Mode is the commit rule; see Mode.
+	Mode Mode
+	// MaxLagRecords is the semi-sync budget in unacked records; zero
+	// means 256.
+	MaxLagRecords uint64
+	// MaxLagBytes is the semi-sync budget in unacked bytes; zero means
+	// 1 MiB.
+	MaxLagBytes int64
+	// ShipRetries bounds the exchange attempts per commit gate before the
+	// failure action (poison, or degrade with DegradeToAsync); zero means
+	// 3. Ship failure is never silent: it is counted, logged, and after
+	// the bound either poisons the WAL or degrades the mode — commits are
+	// never stalled forever.
+	ShipRetries int
+	// RetryBackoff is the pause between retries; zero means 10ms.
+	RetryBackoff time.Duration
+	// ShipTimeout bounds one exchange; zero means 2s.
+	ShipTimeout time.Duration
+	// DegradeToAsync, in sync/semi-sync mode, drops to async shipping
+	// after ShipRetries exhaust instead of poisoning the WAL: the node
+	// stays available at the cost of the zero-loss guarantee, and
+	// /healthz reports degraded. False keeps the guarantee: the WAL is
+	// poisoned and the node stops acking (the standby takes over).
+	DegradeToAsync bool
+	// Epoch overrides the persisted epoch (tests); zero loads dir/EPOCH.
+	Epoch uint64
+	// Metrics receives the replica.* gauges and counters; nil uses a
+	// private registry.
+	Metrics *obs.Registry
+	// Logger receives ship lifecycle events; nil disables logging.
+	Logger *rlog.Logger
+}
+
+// Status is a point-in-time view of a Sender, the primary half of
+// `qmctl repl`.
+type Status struct {
+	Role            string        `json:"role"` // "primary"
+	Mode            string        `json:"mode"`
+	Epoch           uint64        `json:"epoch"`
+	DurableLSN      uint64        `json:"durable_lsn"`
+	AckedLSN        uint64        `json:"acked_lsn"`
+	LagRecords      uint64        `json:"lag_records"`
+	LagBytes        int64         `json:"lag_bytes"`
+	ShipFailures    uint64        `json:"ship_failures"`
+	Degraded        bool          `json:"degraded"`
+	Fenced          bool          `json:"fenced"`
+	Err             string        `json:"err,omitempty"`
+	LastStandbyPing time.Duration `json:"last_standby_ping_ms,omitempty"` // since last lease ping, ms-rounded
+	LeaseTTL        time.Duration `json:"lease_ttl_ms,omitempty"`
+}
+
+// Sender is the primary side: it ships the repository's wal/ and snap/
+// files to a standby through a Transport, as frames carrying the
+// primary's epoch, and implements the WAL commit gate that makes the
+// sync and semi-sync commit rules hold.
+type Sender struct {
+	src string
+	tr  Transport
+	o   SenderOptions
+
+	// shipMu serializes exchanges and owns offsets/seq/curDiff — the
+	// gate, the background loop, and resync handling all funnel through
+	// it. mu owns the cheap state (LSNs, sticky error, mode) and is never
+	// held across an exchange, so Status() stays responsive mid-ship.
+	shipMu  sync.Mutex
+	offsets map[string]int64
+	seq     uint64
+	curDiff pendingDiff
+
+	mu           sync.Mutex
+	epoch        uint64
+	durableLSN   uint64 // highest locally durable LSN (from the gate)
+	ackedLSN     uint64 // highest standby-acked LSN
+	pendingBytes int64  // locally durable bytes not yet acked (best effort)
+	degraded     bool
+	err          error // sticky: fencing or retry exhaustion
+	lastPing     time.Time
+	leaseTTL     time.Duration
+
+	kick chan struct{} // wakes the background loop early
+
+	logger *rlog.Logger
+
+	mLagBytes   *obs.Gauge
+	mLagRecords *obs.Gauge
+	mEpoch      *obs.Gauge
+	mFailures   *obs.Counter
+	mShips      *obs.Counter
+	mShipBytes  *obs.Counter
+}
+
+// NewSender ships src (a repository directory) through tr. The epoch is
+// loaded from src/EPOCH, so a promoted standby that becomes a primary
+// automatically ships with its bumped, fencing-proof epoch.
+func NewSender(src string, tr Transport, o SenderOptions) (*Sender, error) {
+	if o.MaxLagRecords == 0 {
+		o.MaxLagRecords = 256
+	}
+	if o.MaxLagBytes == 0 {
+		o.MaxLagBytes = 1 << 20
+	}
+	if o.ShipRetries == 0 {
+		o.ShipRetries = 3
+	}
+	if o.RetryBackoff == 0 {
+		o.RetryBackoff = 10 * time.Millisecond
+	}
+	if o.ShipTimeout == 0 {
+		o.ShipTimeout = 2 * time.Second
+	}
+	if err := os.MkdirAll(src, 0o755); err != nil {
+		return nil, fmt.Errorf("replica: sender src: %w", err)
+	}
+	epoch := o.Epoch
+	if epoch == 0 {
+		var err error
+		if epoch, err = LoadEpoch(src); err != nil {
+			return nil, err
+		}
+	}
+	reg := o.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s := &Sender{
+		src:     src,
+		tr:      tr,
+		o:       o,
+		offsets: make(map[string]int64),
+		epoch:   epoch,
+		kick:    make(chan struct{}, 1),
+		logger:  o.Logger.Named("replica"),
+
+		mLagBytes:   reg.Gauge("replica.lag_bytes"),
+		mLagRecords: reg.Gauge("replica.lag_records"),
+		mEpoch:      reg.Gauge("replica.epoch"),
+		mFailures:   reg.Counter("replica.ship_failures"),
+		mShips:      reg.Counter("replica.ships"),
+		mShipBytes:  reg.Counter("replica.ship_bytes"),
+	}
+	s.mEpoch.Set(int64(epoch))
+	return s, nil
+}
+
+// Epoch returns the sender's fencing epoch.
+func (s *Sender) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// Err returns the sticky replication error: ErrFenced-wrapping once a
+// newer epoch has been observed, a ship-exhaustion error once sync-mode
+// retries ran out (without DegradeToAsync), nil otherwise.
+func (s *Sender) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// SetLeaseTTL records the advertised lease TTL (status/display only; the
+// standby enforces it).
+func (s *Sender) SetLeaseTTL(d time.Duration) {
+	s.mu.Lock()
+	s.leaseTTL = d
+	s.mu.Unlock()
+}
+
+// Status reports the sender's replication health.
+func (s *Sender) Status() Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Status{
+		Role:         "primary",
+		Mode:         s.effectiveModeLocked().String(),
+		Epoch:        s.epoch,
+		DurableLSN:   s.durableLSN,
+		AckedLSN:     s.ackedLSN,
+		LagBytes:     s.pendingBytes,
+		ShipFailures: s.mFailures.Value(),
+		Degraded:     s.degraded,
+		LeaseTTL:     s.leaseTTL / time.Millisecond * time.Millisecond,
+	}
+	if s.durableLSN > s.ackedLSN {
+		st.LagRecords = s.durableLSN - s.ackedLSN
+	}
+	if s.err != nil {
+		st.Err = s.err.Error()
+		st.Fenced = errors.Is(s.err, ErrFenced)
+	}
+	if !s.lastPing.IsZero() {
+		st.LastStandbyPing = time.Since(s.lastPing).Round(time.Millisecond)
+	}
+	return st
+}
+
+func (s *Sender) effectiveModeLocked() Mode {
+	if s.degraded {
+		return ModeAsync
+	}
+	return s.o.Mode
+}
+
+// fenceLocked records the sticky fencing state. Never degraded away: a
+// fenced primary must stop acking, full stop.
+func (s *Sender) fenceLocked(theirEpoch uint64) error {
+	if s.err == nil || !errors.Is(s.err, ErrFenced) {
+		s.err = fmt.Errorf("%w: our epoch %d, theirs %d", ErrFenced, s.epoch, theirEpoch)
+		s.logger.Error("primary fenced",
+			rlog.Uint64("our_epoch", s.epoch),
+			rlog.Uint64("their_epoch", theirEpoch))
+	}
+	return s.err
+}
+
+// Gate is the wal.Gate implementation: it runs after every local flush,
+// with the covered LSN and (when contiguous) the raw batch bytes, and
+// decides when the durable-LSN promises may be released.
+func (s *Sender) Gate(upTo wal.LSN, seg string, off int64, batch []byte) error {
+	s.mu.Lock()
+	if uint64(upTo) > s.durableLSN {
+		s.durableLSN = uint64(upTo)
+	}
+	if batch != nil {
+		s.pendingBytes += int64(len(batch))
+	}
+	s.updateLagLocked()
+	if s.err != nil {
+		err := s.err
+		s.mu.Unlock()
+		return err
+	}
+	mode := s.effectiveModeLocked()
+	s.mu.Unlock()
+
+	switch mode {
+	case ModeAsync:
+		s.Kick()
+		return nil
+	case ModeSemiSync:
+		s.mu.Lock()
+		within := s.durableLSN-s.ackedLSN <= s.o.MaxLagRecords && s.pendingBytes <= s.o.MaxLagBytes
+		s.mu.Unlock()
+		if within {
+			s.Kick()
+			return nil
+		}
+		// Over budget: this commit pays the ship, bringing lag back down.
+		return s.shipForCommit(upTo, seg, off, batch)
+	default: // ModeSync
+		return s.shipForCommit(upTo, seg, off, batch)
+	}
+}
+
+// Kick nudges the background loop to ship soon (async / within-budget
+// semi-sync commits).
+func (s *Sender) Kick() {
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
+}
+
+// shipForCommit ships until the standby has acked everything up to lsn,
+// with bounded retries; on exhaustion it degrades or poisons per
+// DegradeToAsync. Fencing always poisons.
+func (s *Sender) shipForCommit(lsn wal.LSN, seg string, off int64, batch []byte) error {
+	var lastErr error
+	for attempt := 0; attempt < s.o.ShipRetries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(s.o.RetryBackoff)
+			// The fast-path batch is only valid for the very first try —
+			// a partial application on the standby may have shifted its
+			// state, and the diff path re-derives everything.
+			seg, off, batch = "", 0, nil
+		}
+		err := s.shipOnce(seg, off, batch, uint64(lsn))
+		if err == nil {
+			s.mu.Lock()
+			acked := s.ackedLSN >= uint64(lsn)
+			s.mu.Unlock()
+			if acked {
+				return nil
+			}
+			// Ack advanced but not far enough (concurrent appends raced
+			// the diff): loop and ship again.
+			lastErr = fmt.Errorf("replica: ack behind commit lsn %d", lsn)
+			continue
+		}
+		if errors.Is(err, ErrFenced) {
+			return err // already sticky via fenceLocked
+		}
+		lastErr = err
+		s.mFailures.Inc()
+		s.logger.Warn("ship failed",
+			rlog.Int("attempt", attempt+1),
+			rlog.Int("max", s.o.ShipRetries),
+			rlog.Err(err))
+	}
+	// Bounded retry exhausted: never stall commits forever. Either shed
+	// the guarantee (degrade) or shed availability (poison) — per config.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.o.DegradeToAsync {
+		if !s.degraded {
+			s.degraded = true
+			s.logger.Error("replication degraded to async after retry exhaustion",
+				rlog.Int("retries", s.o.ShipRetries),
+				rlog.Err(lastErr))
+		}
+		return nil
+	}
+	if s.err == nil {
+		s.err = fmt.Errorf("replica: ship failed after %d attempts: %w", s.o.ShipRetries, lastErr)
+	}
+	return s.err
+}
+
+// shipOnce performs one exchange. With a contiguous batch it appends the
+// staged bytes directly (zero file reads on the hot path); otherwise, or
+// on any bookkeeping mismatch, it diffs the directory. shipMu serializes
+// it against the background loop.
+func (s *Sender) shipOnce(seg string, off int64, batch []byte, durableLSN uint64) error {
+	s.shipMu.Lock()
+	defer s.shipMu.Unlock()
+
+	s.mu.Lock()
+	if s.err != nil {
+		err := s.err
+		s.mu.Unlock()
+		return err
+	}
+	epoch := s.epoch
+	if durableLSN == 0 {
+		durableLSN = s.durableLSN
+	}
+	s.mu.Unlock()
+
+	var req []byte
+	var shipped int64
+	fastRel := ""
+	if batch != nil && seg != "" {
+		if rel, ok := s.relOf(seg); ok && s.offsets[rel] == off {
+			f := Frame{Kind: FrameData, Epoch: epoch, Seq: s.seq + 1, LSN: durableLSN, Path: rel, Off: off, Data: batch}
+			req = AppendFrame(nil, &f)
+			shipped = int64(len(batch))
+			fastRel = rel
+		}
+	}
+	if req == nil {
+		var err error
+		req, shipped, err = s.buildDiff(epoch, durableLSN)
+		if err != nil {
+			return err
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), s.o.ShipTimeout)
+	resp, err := s.tr.Exchange(ctx, req)
+	cancel()
+	if err != nil {
+		return fmt.Errorf("replica: exchange: %w", err)
+	}
+	f, _, err := DecodeFrame(resp)
+	if err != nil {
+		return fmt.Errorf("replica: bad response: %w", err)
+	}
+	switch f.Kind {
+	case FrameAck:
+		s.seq++
+		if fastRel != "" {
+			s.offsets[fastRel] = off + int64(len(batch))
+		} else {
+			s.commitDiffOffsets()
+		}
+		s.mShips.Inc()
+		s.mShipBytes.Add(uint64(shipped))
+		s.mu.Lock()
+		if f.LSN > s.ackedLSN {
+			s.ackedLSN = f.LSN
+		}
+		s.pendingBytes -= shipped
+		if s.pendingBytes < 0 {
+			s.pendingBytes = 0
+		}
+		s.updateLagLocked()
+		s.mu.Unlock()
+		return nil
+	case FrameFenced:
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.fenceLocked(f.Epoch)
+	case FrameResync:
+		// Adopt the receiver's durable state and report a retryable miss;
+		// the caller's next attempt ships the difference.
+		s.seq = f.Seq
+		s.offsets = make(map[string]int64, len(f.Files))
+		for _, fs := range f.Files {
+			s.offsets[fs.Path] = fs.Size
+		}
+		s.mu.Lock()
+		if f.LSN > s.ackedLSN {
+			s.ackedLSN = f.LSN
+		}
+		s.mu.Unlock()
+		return fmt.Errorf("replica: receiver requested resync (applied lsn %d)", f.LSN)
+	default:
+		return fmt.Errorf("%w: unexpected response kind %d", ErrFrameCorrupt, f.Kind)
+	}
+}
+
+// pendingDiff holds the offset advances of an in-flight diff exchange,
+// committed only on ack.
+type pendingDiff struct {
+	advances map[string]int64
+	deletes  []string
+}
+
+func (s *Sender) commitDiffOffsets() {
+	for rel, sz := range s.curDiff.advances {
+		s.offsets[rel] = sz
+	}
+	for _, rel := range s.curDiff.deletes {
+		delete(s.offsets, rel)
+	}
+	s.curDiff = pendingDiff{}
+}
+
+// relOf maps an absolute segment path inside src to its relative form.
+func (s *Sender) relOf(abs string) (string, bool) {
+	rel, err := filepath.Rel(s.src, abs)
+	if err != nil || len(rel) == 0 || rel[0] == '.' {
+		return "", false
+	}
+	return rel, true
+}
+
+// buildDiff scans src for bytes beyond the shipped offsets and encodes
+// them as data frames (plus prune frames for vanished files). When
+// nothing differs it encodes a single heartbeat, so the exchange still
+// refreshes the standby's ack. Offsets are NOT advanced here — only an
+// ack commits them (see commitDiffOffsets).
+func (s *Sender) buildDiff(epoch, durableLSN uint64) ([]byte, int64, error) {
+	s.curDiff = pendingDiff{advances: make(map[string]int64)}
+	seq := s.seq + 1
+	var req []byte
+	var shipped int64
+	live := make(map[string]bool)
+	var rels []string
+	for _, sub := range []string{"wal", "snap"} {
+		entries, err := os.ReadDir(filepath.Join(s.src, sub))
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			return nil, 0, fmt.Errorf("replica: read %s: %w", sub, err)
+		}
+		for _, e := range entries {
+			if e.IsDir() {
+				continue
+			}
+			rels = append(rels, filepath.Join(sub, e.Name()))
+		}
+	}
+	sort.Strings(rels)
+	for _, rel := range rels {
+		live[rel] = true
+		fi, err := os.Stat(filepath.Join(s.src, rel))
+		if err != nil {
+			continue // vanished mid-scan; reconciles next pass
+		}
+		have := s.offsets[rel]
+		if fi.Size() < have {
+			have = 0 // source shrank (torn-tail truncation): restart the file
+		}
+		if fi.Size() == have {
+			continue
+		}
+		data := make([]byte, fi.Size()-have)
+		f, err := os.Open(filepath.Join(s.src, rel))
+		if err != nil {
+			continue
+		}
+		n, err := f.ReadAt(data, have)
+		f.Close()
+		if err != nil && n == 0 {
+			continue
+		}
+		data = data[:n]
+		fr := Frame{Kind: FrameData, Epoch: epoch, Seq: seq, LSN: durableLSN, Path: rel, Off: have, Data: data}
+		req = AppendFrame(req, &fr)
+		shipped += int64(n)
+		s.curDiff.advances[rel] = have + int64(n)
+	}
+	for rel := range s.offsets {
+		if !live[rel] {
+			fr := Frame{Kind: FramePrune, Epoch: epoch, Seq: seq, Path: rel}
+			req = AppendFrame(req, &fr)
+			s.curDiff.deletes = append(s.curDiff.deletes, rel)
+		}
+	}
+	if req == nil {
+		fr := Frame{Kind: FrameHeartbeat, Epoch: epoch, Seq: seq, LSN: durableLSN}
+		req = AppendFrame(req, &fr)
+	}
+	return req, shipped, nil
+}
+
+func (s *Sender) updateLagLocked() {
+	if s.durableLSN > s.ackedLSN {
+		s.mLagRecords.Set(int64(s.durableLSN - s.ackedLSN))
+	} else {
+		s.mLagRecords.Set(0)
+	}
+	s.mLagBytes.Set(s.pendingBytes)
+}
+
+// Run ships in the background until ctx ends: on every interval tick (or
+// sooner when kicked), anything unshipped — including snapshot and
+// truncation changes that never pass through the commit gate — goes out.
+// Errors are counted and retried next tick; in async mode that is the
+// whole failure story, in sync mode the gate's bounded retry is the
+// enforcement point.
+func (s *Sender) Run(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		interval = 50 * time.Millisecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		case <-s.kick:
+		}
+		s.mu.Lock()
+		stop := s.err != nil
+		s.mu.Unlock()
+		if stop {
+			return
+		}
+		if err := s.shipOnce("", 0, nil, 0); err != nil {
+			if errors.Is(err, ErrFenced) {
+				return
+			}
+			s.mFailures.Inc()
+			s.logger.Warn("background ship failed; retrying next tick", rlog.Err(err))
+		}
+	}
+}
+
+// HandleLease answers a standby's lease ping (the primary side of the
+// lease protocol): still-primary grants, a ping carrying a higher epoch
+// fences us on the spot (the standby has promoted; stop acking).
+func (s *Sender) HandleLease(req []byte) []byte {
+	f, _, err := DecodeFrame(req)
+	if err != nil || f.Kind != FrameLeasePing {
+		return respondFrame(&Frame{Kind: FrameFenced, Epoch: s.Epoch()})
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f.Epoch > s.epoch {
+		s.fenceLocked(f.Epoch)
+		return respondFrame(&Frame{Kind: FrameFenced, Epoch: f.Epoch})
+	}
+	if s.err != nil {
+		// A poisoned/fenced primary must not extend leases it can no
+		// longer honor: let the standby's lease expire and promote.
+		return respondFrame(&Frame{Kind: FrameFenced, Epoch: s.epoch})
+	}
+	s.lastPing = time.Now()
+	return respondFrame(&Frame{Kind: FrameLeaseGrant, Epoch: s.epoch, LSN: s.durableLSN})
+}

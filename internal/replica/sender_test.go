@@ -1,0 +1,422 @@
+package replica
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/queue"
+)
+
+// applyTr wires a Sender straight into a Receiver: the in-process
+// equivalent of the RPC transport.
+func applyTr(rcv *Receiver) TransportFunc {
+	return func(ctx context.Context, req []byte) ([]byte, error) {
+		return rcv.Apply(req), nil
+	}
+}
+
+// replicatedDirsEqual compares the replicated subtrees byte for byte.
+func replicatedDirsEqual(t *testing.T, src, dst string) {
+	t.Helper()
+	for _, sub := range []string{"wal", "snap"} {
+		entries, err := os.ReadDir(filepath.Join(src, sub))
+		if os.IsNotExist(err) {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if e.IsDir() {
+				continue
+			}
+			rel := filepath.Join(sub, e.Name())
+			a, err := os.ReadFile(filepath.Join(src, rel))
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := os.ReadFile(filepath.Join(dst, rel))
+			if err != nil {
+				t.Fatalf("standby missing %s: %v", rel, err)
+			}
+			if !bytes.Equal(a, b) {
+				t.Fatalf("standby diverges on %s: %d vs %d bytes", rel, len(a), len(b))
+			}
+		}
+	}
+}
+
+// TestSyncReplicationEndToEnd: the tentpole commit rule. A repository
+// whose WAL gate is a sync-mode Sender must leave the standby holding
+// every acked record — acked LSN tracks durable LSN exactly — and the
+// promoted standby must recover the identical queue.
+func TestSyncReplicationEndToEnd(t *testing.T) {
+	primaryDir, standbyDir := t.TempDir(), t.TempDir()
+	rcv, err := NewReceiver(standbyDir, ReceiverOptions{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSender(primaryDir, applyTr(rcv), SenderOptions{Mode: ModeSync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repo, inDoubt, err := queue.Open(primaryDir, queue.Options{NoFsync: true, WALGate: s.Gate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inDoubt) != 0 {
+		t.Fatalf("in-doubt: %d", len(inDoubt))
+	}
+	if err := repo.CreateQueue(queue.QueueConfig{Name: "q"}); err != nil {
+		t.Fatal(err)
+	}
+	const n = 25
+	for i := 0; i < n; i++ {
+		if _, err := repo.Enqueue(nil, "q", queue.Element{Body: []byte(fmt.Sprintf("m%d", i))}, "", nil); err != nil {
+			t.Fatal(err)
+		}
+		st := s.Status()
+		if st.AckedLSN != st.DurableLSN {
+			t.Fatalf("after commit %d: acked %d behind durable %d — sync rule violated",
+				i, st.AckedLSN, st.DurableLSN)
+		}
+	}
+	// Compare before Close: the close-time checkpoint snapshot does not
+	// pass through the commit gate (the background Run loop ships it in
+	// production, and recovery needs only the WAL anyway).
+	replicatedDirsEqual(t, primaryDir, standbyDir)
+	repo.Close()
+
+	if _, err := rcv.Promote(); err != nil {
+		t.Fatal(err)
+	}
+	sb, inDoubt, err := queue.Open(standbyDir, queue.Options{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sb.Close()
+	if len(inDoubt) != 0 {
+		t.Fatalf("standby in-doubt: %d", len(inDoubt))
+	}
+	d, err := sb.Depth("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != n {
+		t.Fatalf("promoted standby depth %d, want %d", d, n)
+	}
+}
+
+// TestTornShipTailRecovery (satellite): a ship truncated in transit must
+// not wedge the stream or corrupt the standby — the receiver answers
+// with a resync from its last durable state and the sender's retry ships
+// the difference.
+func TestTornShipTailRecovery(t *testing.T) {
+	primaryDir, standbyDir := t.TempDir(), t.TempDir()
+	rcv, err := NewReceiver(standbyDir, ReceiverOptions{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var torn atomic.Int64
+	tr := TransportFunc(func(ctx context.Context, req []byte) ([]byte, error) {
+		// Tear the tail off the first data-carrying exchange.
+		if torn.Load() == 0 && len(req) > 8 {
+			torn.Store(1)
+			return rcv.Apply(req[:len(req)-5]), nil
+		}
+		return rcv.Apply(req), nil
+	})
+	s, err := NewSender(primaryDir, tr, SenderOptions{Mode: ModeSync, RetryBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repo, _, err := queue.Open(primaryDir, queue.Options{NoFsync: true, WALGate: s.Gate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := repo.CreateQueue(queue.QueueConfig{Name: "q"}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := repo.Enqueue(nil, "q", queue.Element{Body: []byte("payload")}, "", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if torn.Load() == 0 {
+		t.Fatal("fault never injected")
+	}
+	st := s.Status()
+	if st.AckedLSN != st.DurableLSN {
+		t.Fatalf("acked %d behind durable %d after torn-tail recovery", st.AckedLSN, st.DurableLSN)
+	}
+	if st.ShipFailures == 0 {
+		t.Fatal("torn ship was not counted as a failure")
+	}
+	replicatedDirsEqual(t, primaryDir, standbyDir)
+	repo.Close()
+}
+
+// TestShipRetryExhaustionPoisons: with DegradeToAsync off, a standby
+// that stays unreachable must poison the gate after the bounded retries
+// — the commit fails instead of stalling forever or acking unreplicated.
+func TestShipRetryExhaustionPoisons(t *testing.T) {
+	boom := errors.New("standby unreachable")
+	tr := TransportFunc(func(ctx context.Context, req []byte) ([]byte, error) {
+		return nil, boom
+	})
+	s, err := NewSender(t.TempDir(), tr, SenderOptions{
+		Mode: ModeSync, ShipRetries: 2, RetryBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = s.Gate(1, "", 0, nil)
+	if !errors.Is(err, boom) {
+		t.Fatalf("gate error %v, want wrapped transport error", err)
+	}
+	if s.Err() == nil {
+		t.Fatal("error not sticky")
+	}
+	// Sticky: the next commit fails immediately, same error.
+	if err2 := s.Gate(2, "", 0, nil); !errors.Is(err2, boom) {
+		t.Fatalf("second gate: %v", err2)
+	}
+	st := s.Status()
+	if st.Err == "" || st.Degraded {
+		t.Fatalf("status after poison: %+v", st)
+	}
+	if st.ShipFailures < 2 {
+		t.Fatalf("ship failures %d, want >= 2", st.ShipFailures)
+	}
+}
+
+// TestShipRetryExhaustionDegradesToAsync: with DegradeToAsync on, the
+// same exhaustion sheds the guarantee instead of availability — the
+// commit succeeds, the mode reads async, health reports degraded.
+func TestShipRetryExhaustionDegradesToAsync(t *testing.T) {
+	tr := TransportFunc(func(ctx context.Context, req []byte) ([]byte, error) {
+		return nil, errors.New("standby unreachable")
+	})
+	s, err := NewSender(t.TempDir(), tr, SenderOptions{
+		Mode: ModeSync, ShipRetries: 2, RetryBackoff: time.Millisecond, DegradeToAsync: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Gate(1, "", 0, nil); err != nil {
+		t.Fatalf("degrading gate returned %v, want nil", err)
+	}
+	st := s.Status()
+	if !st.Degraded {
+		t.Fatal("not degraded")
+	}
+	if st.Mode != "async" {
+		t.Fatalf("effective mode %q, want async", st.Mode)
+	}
+	if s.Err() != nil {
+		t.Fatalf("degrade must not poison: %v", s.Err())
+	}
+	// Subsequent commits are async: no exchange in the commit path.
+	if err := s.Gate(2, "", 0, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFencedShipIsSticky: a promoted standby answers FrameFenced; the
+// sender must go sticky-fenced — and DegradeToAsync must NOT rescue it
+// (a fenced primary acking async-style is exactly split-brain).
+func TestFencedShipIsSticky(t *testing.T) {
+	rcv, err := NewReceiver(t.TempDir(), ReceiverOptions{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rcv.Promote(); err != nil {
+		t.Fatal(err)
+	}
+	src := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(src, "wal"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(src, "wal", "wal-1.seg"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSender(src, applyTr(rcv), SenderOptions{
+		Mode: ModeSync, RetryBackoff: time.Millisecond, DegradeToAsync: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = s.Gate(1, "", 0, nil)
+	if !errors.Is(err, ErrFenced) {
+		t.Fatalf("gate on fenced standby: %v, want ErrFenced", err)
+	}
+	st := s.Status()
+	if !st.Fenced || st.Degraded {
+		t.Fatalf("status: %+v — fencing must never degrade away", st)
+	}
+	if err := s.Gate(2, "", 0, nil); !errors.Is(err, ErrFenced) {
+		t.Fatalf("fencing not sticky: %v", err)
+	}
+}
+
+// TestHandleLease: the primary grants while healthy, records the ping,
+// self-fences on a ping from a higher epoch, and refuses to extend
+// leases once poisoned.
+func TestHandleLease(t *testing.T) {
+	tr := TransportFunc(func(ctx context.Context, req []byte) ([]byte, error) {
+		return nil, errors.New("unused")
+	})
+	s, err := NewSender(t.TempDir(), tr, SenderOptions{Mode: ModeSync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ping := func(epoch uint64) Frame {
+		resp := s.HandleLease(AppendFrame(nil, &Frame{Kind: FrameLeasePing, Epoch: epoch}))
+		f, _, err := DecodeFrame(resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	if f := ping(0); f.Kind != FrameLeaseGrant {
+		t.Fatalf("healthy ping answered %d, want grant", f.Kind)
+	}
+	// A ping carrying a higher epoch means the standby promoted: the
+	// primary must fence itself on the spot.
+	if f := ping(5); f.Kind != FrameFenced {
+		t.Fatalf("stale-epoch ping answered %d, want fenced", f.Kind)
+	}
+	if !errors.Is(s.Err(), ErrFenced) {
+		t.Fatalf("sender not fenced: %v", s.Err())
+	}
+	// And a fenced primary never grants again.
+	if f := ping(0); f.Kind != FrameFenced {
+		t.Fatalf("fenced primary still granting: kind %d", f.Kind)
+	}
+}
+
+func applyReq(t *testing.T, rcv *Receiver, frames ...Frame) Frame {
+	t.Helper()
+	var req []byte
+	for i := range frames {
+		req = AppendFrame(req, &frames[i])
+	}
+	f, _, err := DecodeFrame(rcv.Apply(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestReceiverIdempotentRetry: an exact retry of the last exchange (ack
+// lost) must re-ack without corrupting the file.
+func TestReceiverIdempotentRetry(t *testing.T) {
+	dir := t.TempDir()
+	rcv, err := NewReceiver(dir, ReceiverOptions{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := Frame{Kind: FrameData, Epoch: 1, Seq: 1, LSN: 3, Path: "wal/wal-1.seg", Off: 0, Data: []byte("hello")}
+	if f := applyReq(t, rcv, data); f.Kind != FrameAck || f.LSN != 3 {
+		t.Fatalf("first apply: %+v", f)
+	}
+	if f := applyReq(t, rcv, data); f.Kind != FrameAck || f.LSN != 3 {
+		t.Fatalf("retry apply: %+v", f)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "wal", "wal-1.seg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "hello" {
+		t.Fatalf("file after retry: %q", b)
+	}
+	if rcv.AppliedLSN() != 3 {
+		t.Fatalf("applied lsn %d", rcv.AppliedLSN())
+	}
+}
+
+// TestReceiverSeqGapResyncs: a sequence jump means lost exchanges; the
+// receiver must answer with its durable state, not apply blind.
+func TestReceiverSeqGapResyncs(t *testing.T) {
+	rcv, err := NewReceiver(t.TempDir(), ReceiverOptions{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyReq(t, rcv, Frame{Kind: FrameData, Epoch: 1, Seq: 1, Path: "wal/wal-1.seg", Off: 0, Data: []byte("abc")})
+	f := applyReq(t, rcv, Frame{Kind: FrameData, Epoch: 1, Seq: 7, Path: "wal/wal-1.seg", Off: 3, Data: []byte("def")})
+	if f.Kind != FrameResync {
+		t.Fatalf("seq gap answered %d, want resync", f.Kind)
+	}
+	if f.Seq != 1 {
+		t.Fatalf("resync seq %d, want 1", f.Seq)
+	}
+	if len(f.Files) != 1 || f.Files[0].Path != "wal/wal-1.seg" || f.Files[0].Size != 3 {
+		t.Fatalf("resync files: %+v", f.Files)
+	}
+	// An offset gap inside an in-sequence exchange resyncs too.
+	f = applyReq(t, rcv, Frame{Kind: FrameData, Epoch: 1, Seq: 2, Path: "wal/wal-1.seg", Off: 9, Data: []byte("zzz")})
+	if f.Kind != FrameResync {
+		t.Fatalf("offset gap answered %d, want resync", f.Kind)
+	}
+}
+
+// TestReceiverEpochAdoptionPersists: a higher shipping epoch is adopted
+// durably before anything is applied — a restarted standby must still
+// know whom it followed.
+func TestReceiverEpochAdoptionPersists(t *testing.T) {
+	dir := t.TempDir()
+	rcv, err := NewReceiver(dir, ReceiverOptions{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := applyReq(t, rcv, Frame{Kind: FrameHeartbeat, Epoch: 7, Seq: 1, LSN: 0}); f.Kind != FrameAck {
+		t.Fatalf("adopting exchange: %+v", f)
+	}
+	if rcv.Epoch() != 7 {
+		t.Fatalf("epoch %d, want 7", rcv.Epoch())
+	}
+	rcv2, err := NewReceiver(dir, ReceiverOptions{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rcv2.Epoch() != 7 {
+		t.Fatalf("restarted receiver epoch %d, want 7 (not persisted)", rcv2.Epoch())
+	}
+	// And lower-epoch traffic is now fenced.
+	if f := applyReq(t, rcv2, Frame{Kind: FrameHeartbeat, Epoch: 3, Seq: 1}); f.Kind != FrameFenced {
+		t.Fatalf("stale epoch answered %d, want fenced", f.Kind)
+	}
+}
+
+// TestReceiverRestartResyncsFromScannedSizes: a restarted receiver knows
+// its file sizes and resyncs the sender to them instead of re-receiving
+// from scratch.
+func TestReceiverRestartResyncsFromScannedSizes(t *testing.T) {
+	dir := t.TempDir()
+	rcv, err := NewReceiver(dir, ReceiverOptions{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyReq(t, rcv, Frame{Kind: FrameData, Epoch: 1, Seq: 1, Path: "wal/wal-1.seg", Off: 0, Data: []byte("abcdef")})
+
+	rcv2, err := NewReceiver(dir, ReceiverOptions{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The restarted receiver lost its seq; the next exchange resyncs with
+	// the scanned size so the sender ships only the delta.
+	f := applyReq(t, rcv2, Frame{Kind: FrameData, Epoch: 1, Seq: 2, Path: "wal/wal-1.seg", Off: 6, Data: []byte("ghi")})
+	if f.Kind != FrameResync {
+		t.Fatalf("restarted receiver answered %d, want resync", f.Kind)
+	}
+	if len(f.Files) != 1 || f.Files[0].Size != 6 {
+		t.Fatalf("scanned sizes: %+v", f.Files)
+	}
+}

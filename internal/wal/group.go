@@ -220,10 +220,28 @@ func (l *Log) flushStagedLocked() {
 	l.staged, l.stagedEnds = l.spare[:0], l.spareEnds[:0]
 	l.spare, l.spareEnds = batch, ends
 	target := first + LSN(len(ends)) - 1
+	// Where this batch will land if no rotation interrupts it — handed to
+	// the replication gate so the common case ships the staged bytes
+	// directly instead of re-reading the segment.
+	segPath, segOff := l.segments[len(l.segments)-1].path, l.activeSz
 	l.flushing = true
 	l.mu.Unlock()
 
-	err := l.flushBatch(batch, ends, first)
+	rotated, err := l.flushBatch(batch, ends, first)
+
+	// Replication gate: the batch is locally durable; its durable-LSN
+	// promises are not released (syncedLSN stays put, committers stay
+	// parked) until the gate returns. Runs outside l.mu, so new commits
+	// keep staging the next batch while this one ships. The batch buffer
+	// is stable here: it becomes a staging buffer again only after a later
+	// flush swap, which cannot start until flushing clears below.
+	if err == nil && l.gate != nil {
+		if !rotated {
+			err = l.gate(target, segPath, segOff, batch[:ends[len(ends)-1]])
+		} else { // rotated mid-batch: the gate diffs the directory
+			err = l.gate(target, "", 0, nil)
+		}
+	}
 
 	l.mu.Lock()
 	l.flushing = false
@@ -268,14 +286,18 @@ func (l *Log) waitBatchWindowLocked(max time.Duration) {
 // segment, which is then complete and immutable. Runs with no locks held
 // except for the brief segment-list update inside rotateGroup. The batch
 // is already contiguous (frames buf[off:ends[0]], buf[ends[0]:ends[1]],
-// …), so the common no-rotation case is exactly one Write of buf.
-func (l *Log) flushBatch(buf []byte, ends []int, first LSN) error {
+// …), so the common no-rotation case is exactly one Write of buf. The
+// returned bool reports whether a rotation occurred (the replication
+// gate then cannot treat the batch as one contiguous append).
+func (l *Log) flushBatch(buf []byte, ends []int, first LSN) (bool, error) {
 	off := 0
+	rotated := false
 	for i := 0; i < len(ends); {
 		if l.activeSz >= l.opts.SegmentSize {
 			if err := l.rotateGroup(first + LSN(i)); err != nil {
-				return err
+				return rotated, err
 			}
+			rotated = true
 		}
 		// Extend the chunk while the next frame would still start below
 		// the rotation threshold — the same per-record check the
@@ -287,7 +309,7 @@ func (l *Log) flushBatch(buf []byte, ends []int, first LSN) error {
 		n, err := l.active.Write(buf[off:ends[j-1]])
 		l.activeSz += int64(n)
 		if err != nil {
-			return fmt.Errorf("wal: group append: %w", err)
+			return rotated, fmt.Errorf("wal: group append: %w", err)
 		}
 		off = ends[j-1]
 		i = j
@@ -297,14 +319,14 @@ func (l *Log) flushBatch(buf []byte, ends []int, first LSN) error {
 		if l.testSyncDelay > 0 {
 			time.Sleep(l.testSyncDelay)
 		}
-		return nil
+		return rotated, nil
 	}
 	start := time.Now()
 	if err := l.active.Sync(); err != nil {
-		return fmt.Errorf("wal: group sync: %w", err)
+		return rotated, fmt.Errorf("wal: group sync: %w", err)
 	}
 	l.mFsyncNanos.Observe(time.Since(start).Nanoseconds())
-	return nil
+	return rotated, nil
 }
 
 // rotateGroup retires the active segment (forcing it first, so rotated

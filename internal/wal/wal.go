@@ -97,7 +97,26 @@ type Options struct {
 	// Logger receives lifecycle events (open, torn-tail truncation,
 	// rotation, writer failure). Nil disables logging.
 	Logger *log.Logger
+	// Gate, when non-nil, is invoked after a flush reaches local stable
+	// storage and before the covered durable-LSN promises are released
+	// (syncedLSN published, committers woken). Synchronous replication
+	// hangs here: the gate ships the flushed bytes to a standby and does
+	// not return until the standby acknowledges them (or a lag budget
+	// allows release). A gate error poisons the log exactly like a failed
+	// fsync — the promise of already-assigned LSNs cannot be kept.
+	Gate Gate
 }
+
+// Gate blocks the release of durable-LSN promises after a local flush.
+// upTo is the highest LSN the flush covered. When the flushed bytes are
+// known to be a single contiguous append, seg is the segment file path,
+// off the offset the bytes landed at, and batch the raw frame bytes —
+// the ship unit, handed over without re-reading the file. When the
+// flush was not one contiguous append (a rotation inside the batch, a
+// direct-mode sync covering earlier appends), batch is nil and the gate
+// must diff the log directory itself. The gate runs outside the log
+// mutex on the group-commit path and must not call back into the Log.
+type Gate func(upTo LSN, seg string, off int64, batch []byte) error
 
 const (
 	defaultSegmentSize = 4 << 20
@@ -170,6 +189,7 @@ type Log struct {
 	testSyncDelay time.Duration
 
 	logger *log.Logger
+	gate   Gate // see Options.Gate; nil when unreplicated
 
 	// Instruments, resolved once at Open (obs hot-path contract). appends
 	// and syncs also back the Stats API.
@@ -204,6 +224,7 @@ func Open(dir string, opts Options) (*Log, error) {
 	}
 	l := &Log{dir: dir, opts: opts, gc: opts.GroupCommit, nextLSN: 1}
 	l.logger = opts.Logger.Named("wal")
+	l.gate = opts.Gate
 	l.fs = opts.FS
 	if l.fs == nil {
 		l.fs = osVFS{}
@@ -542,20 +563,29 @@ func (l *Log) syncLocked() error {
 	l.mFsyncs.Inc()
 	l.mGroupBatch.Observe(int64(l.nextLSN - 1 - l.syncedLSN))
 	l.dirty = false
-	if l.opts.NoFsync {
-		l.syncedLSN = l.nextLSN - 1
-		return nil
+	if !l.opts.NoFsync {
+		start := time.Now()
+		if err := l.active.Sync(); err != nil {
+			// A failed fsync means durability promises can no longer be kept
+			// (the kernel may have dropped the dirty pages): sticky, like a
+			// failed append.
+			l.writerErr = fmt.Errorf("wal: sync: %w", err)
+			l.logger.Error("fsync failed; log poisoned", log.Err(err))
+			return l.writerErr
+		}
+		l.mFsyncNanos.Observe(time.Since(start).Nanoseconds())
 	}
-	start := time.Now()
-	if err := l.active.Sync(); err != nil {
-		// A failed fsync means durability promises can no longer be kept
-		// (the kernel may have dropped the dirty pages): sticky, like a
-		// failed append.
-		l.writerErr = fmt.Errorf("wal: sync: %w", err)
-		l.logger.Error("fsync failed; log poisoned", log.Err(err))
-		return l.writerErr
+	// Replication gate: locally durable, but the promise is not released
+	// until the standby side of the gate lets go. Direct-mode appends
+	// already hold l.mu across the fsync, so holding it across the gate
+	// changes the locking story not at all.
+	if l.gate != nil {
+		if err := l.gate(l.nextLSN-1, "", 0, nil); err != nil {
+			l.writerErr = fmt.Errorf("wal: replication gate: %w", err)
+			l.logger.Error("replication gate failed; log poisoned", log.Err(err))
+			return l.writerErr
+		}
 	}
-	l.mFsyncNanos.Observe(time.Since(start).Nanoseconds())
 	l.syncedLSN = l.nextLSN - 1
 	return nil
 }
@@ -599,9 +629,16 @@ func (l *Log) SyncTo(lsn LSN) error {
 		} else if l.testSyncDelay > 0 {
 			time.Sleep(l.testSyncDelay)
 		}
+		// Replication gate: the records are locally durable; hold their
+		// release until the gate (standby ack, lag budget) lets go. Runs
+		// without l.mu, like the fsync it extends.
+		gated := err == nil && l.gate != nil
+		if gated {
+			err = l.gate(target, "", 0, nil)
+		}
 		l.mu.Lock()
 		l.syncing = false
-		if err != nil && l.syncedLSN >= target {
+		if err != nil && !gated && l.syncedLSN >= target {
 			// A concurrent rotation synced and closed the file under us;
 			// the records are durable regardless.
 			err = nil

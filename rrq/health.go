@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/replica"
 )
 
 // Health statuses, ordered by severity. A node's overall status is the
@@ -75,6 +76,26 @@ func (n *Node) Health() Health {
 		add("repository", HealthOK, "")
 	}
 
+	// Replication: a fenced or ship-poisoned sender is a hard failure
+	// (the node must stop acking — an orchestrator should retire it); a
+	// degraded-to-async sender or one lagging beyond the semi-sync budget
+	// still serves, but the zero-loss guarantee is suspended.
+	if n.sender != nil {
+		st := n.sender.Status()
+		switch {
+		case st.Err != "":
+			add("replication", HealthFail, st.Err)
+		case st.Degraded:
+			add("replication", HealthDegraded,
+				fmt.Sprintf("degraded to async after ship failures (%d total)", st.ShipFailures))
+		case n.replCfg != nil && n.replCfg.Mode != ReplAsync && overLagBudget(st, n.replCfg):
+			add("replication", HealthDegraded,
+				fmt.Sprintf("standby lag %d records / %d bytes over budget", st.LagRecords, st.LagBytes))
+		default:
+			add("replication", HealthOK, "")
+		}
+	}
+
 	// Rate-based probes need a history window; without one they report
 	// ok with a note rather than guessing from all-time counters.
 	if n.history == nil {
@@ -115,6 +136,19 @@ func (n *Node) Health() Health {
 		add("fastpath", HealthOK, "")
 	}
 	return h
+}
+
+// overLagBudget reports whether the sender's lag exceeds the configured
+// semi-sync budget (with the replica-package defaults applied).
+func overLagBudget(st replica.Status, cfg *ReplicationConfig) bool {
+	maxRecs, maxBytes := cfg.MaxLagRecords, cfg.MaxLagBytes
+	if maxRecs == 0 {
+		maxRecs = 256
+	}
+	if maxBytes == 0 {
+		maxBytes = 1 << 20
+	}
+	return st.LagRecords > maxRecs || st.LagBytes > maxBytes
 }
 
 // History returns the node's metrics-history sampler, or nil when

@@ -1,0 +1,328 @@
+package rrq
+
+// Replication & failover (DESIGN.md §12): a primary node ships its WAL
+// and snapshots to one standby, synchronously enough (per mode) that a
+// standby promoted after the primary's death has every acked request.
+//
+// The pieces: NodeConfig.Replication makes a node a replicating primary
+// (the WAL's commit gate blocks acks on standby acknowledgement in sync
+// mode); StartStandby runs the warm standby — a Receiver applying the
+// shipped stream plus a lease Watcher that self-promotes, with a bumped
+// and persisted fencing epoch, when the primary misses a lease TTL; and
+// ResilientClerk (with a Reconnect factory) rides through the switch:
+// fenced rejections from the ex-primary are retryable, so the fig. 2
+// recovery loop re-resolves and resynchronizes against the new primary.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	rlog "repro/internal/obs/log"
+	"repro/internal/queue"
+	"repro/internal/queue/qservice"
+	"repro/internal/replica"
+	"repro/internal/rpc"
+)
+
+// Replication modes and types, re-exported.
+type (
+	// ReplicationMode selects the commit rule: ReplAsync, ReplSemiSync,
+	// or ReplSync.
+	ReplicationMode = replica.Mode
+	// ReplTransport carries ship/lease exchanges (tests inject faults
+	// here; production uses the node's RPC substrate automatically).
+	ReplTransport = replica.Transport
+)
+
+// Replication mode constants.
+const (
+	ReplAsync    = replica.ModeAsync
+	ReplSemiSync = replica.ModeSemiSync
+	ReplSync     = replica.ModeSync
+)
+
+var (
+	// ErrFenced reports an operation rejected because a newer primary
+	// epoch exists (matched with errors.Is; retryable through a
+	// ResilientClerk with a Reconnect factory).
+	ErrFenced = replica.ErrFenced
+	// ParseReplicationMode parses "sync" | "semisync" | "async".
+	ParseReplicationMode = replica.ParseMode
+)
+
+// ReplicationConfig makes a node a replicating primary.
+type ReplicationConfig struct {
+	// Mode is the commit rule (ReplSync / ReplSemiSync / ReplAsync).
+	Mode ReplicationMode
+	// StandbyAddr is the standby's RPC address (its StartStandby
+	// ListenAddr). Ignored when Transport is set.
+	StandbyAddr string
+	// Transport overrides the ship transport (tests).
+	Transport ReplTransport
+	// MaxLagRecords / MaxLagBytes bound semi-sync lag before commits
+	// block; zeros take the replica defaults (256 records, 1 MiB).
+	MaxLagRecords uint64
+	MaxLagBytes   int64
+	// ShipRetries bounds sync-mode ship attempts per commit before the
+	// failure action; zero means 3.
+	ShipRetries int
+	// DegradeToAsync drops to async shipping (and a degraded /healthz)
+	// when sync-mode retries exhaust, instead of poisoning the WAL.
+	DegradeToAsync bool
+	// ShipInterval paces the background shipper; zero means 50ms.
+	ShipInterval time.Duration
+	// ShipTimeout bounds one ship exchange; zero means 2s.
+	ShipTimeout time.Duration
+	// LeaseTTL is the failover lease advertised in status documents (the
+	// standby enforces its own); informational on the primary.
+	LeaseTTL time.Duration
+}
+
+// ReplicationStatus is the node-role-agnostic replication document
+// served by qm.repl and printed by `qmctl repl`.
+type ReplicationStatus struct {
+	Role         string `json:"role"` // "primary" | "standby"
+	Mode         string `json:"mode,omitempty"`
+	Epoch        uint64 `json:"epoch"`
+	DurableLSN   uint64 `json:"durable_lsn,omitempty"`
+	AckedLSN     uint64 `json:"acked_lsn,omitempty"`
+	AppliedLSN   uint64 `json:"applied_lsn,omitempty"`
+	LagRecords   uint64 `json:"lag_records"`
+	LagBytes     int64  `json:"lag_bytes"`
+	ShipFailures uint64 `json:"ship_failures"`
+	Degraded     bool   `json:"degraded,omitempty"`
+	Fenced       bool   `json:"fenced,omitempty"`
+	Promoted     bool   `json:"promoted,omitempty"`
+	LeaseTTLMs   int64  `json:"lease_ttl_ms,omitempty"`
+	LeaseLeftMs  int64  `json:"lease_remaining_ms,omitempty"`
+	Err          string `json:"err,omitempty"`
+}
+
+// Replication returns the node's replication status, or nil when the
+// node is not a replicating primary.
+func (n *Node) Replication() *ReplicationStatus {
+	if n.sender == nil {
+		return nil
+	}
+	st := n.sender.Status()
+	return &ReplicationStatus{
+		Role:         st.Role,
+		Mode:         st.Mode,
+		Epoch:        st.Epoch,
+		DurableLSN:   st.DurableLSN,
+		AckedLSN:     st.AckedLSN,
+		LagRecords:   st.LagRecords,
+		LagBytes:     st.LagBytes,
+		ShipFailures: st.ShipFailures,
+		Degraded:     st.Degraded,
+		Fenced:       st.Fenced,
+		LeaseTTLMs:   int64(st.LeaseTTL / time.Millisecond),
+		Err:          st.Err,
+	}
+}
+
+func (n *Node) replJSON() ([]byte, error) {
+	st := n.Replication()
+	if st == nil {
+		return nil, fmt.Errorf("%w: replication not enabled on this node", queue.ErrNotFound)
+	}
+	return json.Marshal(st)
+}
+
+// startReplication builds the primary-side sender (called by StartNode
+// before the repository opens, so the WAL gate is in place from the very
+// first flush).
+func startReplication(cfg *ReplicationConfig, dir string, reg *obs.Registry, logger *rlog.Logger) (*replica.Sender, error) {
+	tr := cfg.Transport
+	if tr == nil {
+		if cfg.StandbyAddr == "" {
+			return nil, fmt.Errorf("rrq: replication: neither StandbyAddr nor Transport set")
+		}
+		tr = replica.NewRPCTransport(rpc.NewClient(cfg.StandbyAddr, nil), replica.MethodShip)
+	}
+	return replica.NewSender(dir, tr, replica.SenderOptions{
+		Mode:           cfg.Mode,
+		MaxLagRecords:  cfg.MaxLagRecords,
+		MaxLagBytes:    cfg.MaxLagBytes,
+		ShipRetries:    cfg.ShipRetries,
+		DegradeToAsync: cfg.DegradeToAsync,
+		ShipTimeout:    cfg.ShipTimeout,
+		Metrics:        reg,
+		Logger:         logger,
+	})
+}
+
+// StandbyConfig configures a warm standby (StartStandby).
+type StandbyConfig struct {
+	// Dir is the standby's state directory — the promotion target; after
+	// promotion the same directory is opened as a live node.
+	Dir string
+	// ListenAddr serves the ship endpoint (and qm.repl status) over RPC;
+	// "127.0.0.1:0" picks a port (see Standby.Addr).
+	ListenAddr string
+	// PrimaryAddr is the primary node's RPC address, pinged for the lease.
+	PrimaryAddr string
+	// LeaseTTL is the failover trigger: that long without a granted lease
+	// promotes the standby. Zero means 1s.
+	LeaseTTL time.Duration
+	// PingEvery is the lease ping interval; zero means LeaseTTL/4.
+	PingEvery time.Duration
+	// NoFsync skips standby fsyncs (tests only: the ack is the durability
+	// promise sync-mode commits wait on).
+	NoFsync bool
+	// Metrics receives the replica.* instruments; nil creates a private
+	// registry.
+	Metrics *obs.Registry
+	// Log receives standby lifecycle events; nil disables logging.
+	Log *rlog.Logger
+	// OnPromote runs after the lease expired and the bumped epoch is
+	// durable, with the standby's RPC server already closed — the hook
+	// where the caller opens Dir as a live Node (often on the same
+	// ListenAddr). Nil just records the promotion (see Promoted /
+	// WaitPromoted).
+	OnPromote func(epoch uint64)
+	// LeaseTransport overrides the lease ping transport (tests).
+	LeaseTransport ReplTransport
+}
+
+// Standby is a running warm standby: a ship receiver plus a lease
+// watcher that promotes when the primary goes quiet.
+type Standby struct {
+	rcv     *replica.Receiver
+	watcher *replica.Watcher
+	srv     *rpc.Server
+	addr    string
+	cancel  context.CancelFunc
+	done    chan struct{}
+
+	mu       sync.Mutex
+	promoted chan uint64 // closed-after-send on promotion
+	epoch    uint64
+}
+
+// StartStandby opens (resuming, if restarted) a standby over cfg.Dir.
+func StartStandby(cfg StandbyConfig) (*Standby, error) {
+	rcv, err := replica.NewReceiver(cfg.Dir, replica.ReceiverOptions{
+		NoFsync: cfg.NoFsync,
+		Metrics: cfg.Metrics,
+		Logger:  cfg.Log,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &Standby{rcv: rcv, promoted: make(chan uint64, 1), done: make(chan struct{})}
+
+	s.srv = rpc.NewServerWith(cfg.Metrics)
+	s.srv.SetLogger(cfg.Log)
+	replica.RegisterReceiver(s.srv, rcv)
+	s.srv.Handle(qservice.MethodRepl, func(p []byte) ([]byte, error) {
+		j, err := json.Marshal(s.Status())
+		return qservice.RespondJSON(j, err), nil
+	})
+	if cfg.ListenAddr != "" {
+		addr, err := s.srv.ListenAndServe(cfg.ListenAddr)
+		if err != nil {
+			return nil, fmt.Errorf("rrq: standby listen: %w", err)
+		}
+		s.addr = addr
+	}
+
+	ltr := cfg.LeaseTransport
+	if ltr == nil {
+		if cfg.PrimaryAddr == "" {
+			s.srv.Close()
+			return nil, fmt.Errorf("rrq: standby: neither PrimaryAddr nor LeaseTransport set")
+		}
+		ltr = replica.NewRPCTransport(rpc.NewClient(cfg.PrimaryAddr, nil), replica.MethodLease)
+	}
+	w := replica.NewWatcher(rcv, ltr, replica.StandbyOptions{
+		TTL:       cfg.LeaseTTL,
+		PingEvery: cfg.PingEvery,
+		Logger:    cfg.Log,
+		OnPromote: func(epoch uint64) {
+			// Stop serving ship/lease traffic before handing the directory
+			// to the caller: the fencing epoch is already durable, so late
+			// ships die with "connection refused" rather than fenced — the
+			// sender treats both as fatal-or-degrade, and a re-listen on
+			// this address will be the promoted live node.
+			s.srv.Close()
+			s.mu.Lock()
+			s.epoch = epoch
+			s.mu.Unlock()
+			s.promoted <- epoch
+			close(s.promoted)
+			if cfg.OnPromote != nil {
+				cfg.OnPromote(epoch)
+			}
+		},
+	})
+	s.mu.Lock()
+	s.watcher = w
+	s.mu.Unlock()
+	ctx, cancel := context.WithCancel(context.Background())
+	s.cancel = cancel
+	go func() {
+		defer close(s.done)
+		w.Run(ctx)
+	}()
+	return s, nil
+}
+
+// Addr returns the standby's RPC address ("" if not listening).
+func (s *Standby) Addr() string { return s.addr }
+
+// Receiver exposes the underlying ship receiver.
+func (s *Standby) Receiver() *replica.Receiver { return s.rcv }
+
+// Epoch returns the standby's current fencing epoch.
+func (s *Standby) Epoch() uint64 { return s.rcv.Epoch() }
+
+// Promoted reports whether the standby has promoted itself.
+func (s *Standby) Promoted() bool { return s.rcv.Promoted() }
+
+// WaitPromoted blocks until promotion (returning the new epoch) or ctx
+// ends (returning 0, false).
+func (s *Standby) WaitPromoted(ctx context.Context) (uint64, bool) {
+	select {
+	case e, ok := <-s.promoted:
+		if !ok {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return s.epoch, true
+		}
+		return e, true
+	case <-ctx.Done():
+		return 0, false
+	}
+}
+
+// Status reports the standby's replication document.
+func (s *Standby) Status() ReplicationStatus {
+	st := ReplicationStatus{
+		Role:       "standby",
+		Epoch:      s.rcv.Epoch(),
+		AppliedLSN: s.rcv.AppliedLSN(),
+		Promoted:   s.rcv.Promoted(),
+	}
+	// The RPC server starts answering before the watcher exists (a ship
+	// can land in that window); lease fields are best-effort.
+	s.mu.Lock()
+	w := s.watcher
+	s.mu.Unlock()
+	if w != nil {
+		st.LeaseTTLMs = int64(w.TTL() / time.Millisecond)
+		st.LeaseLeftMs = int64(w.LeaseRemaining() / time.Millisecond)
+	}
+	return st
+}
+
+// Close stops the standby (without promoting).
+func (s *Standby) Close() {
+	s.cancel()
+	<-s.done
+	s.srv.Close()
+}

@@ -36,6 +36,7 @@ import (
 	"repro/internal/obs/trace"
 	"repro/internal/queue"
 	"repro/internal/queue/qservice"
+	"repro/internal/replica"
 	"repro/internal/rpc"
 	"repro/internal/tpc"
 	"repro/internal/txn"
@@ -328,6 +329,11 @@ type NodeConfig struct {
 	FlightPath string
 	// FlightEvents caps the events section of a dump; zero uses 256.
 	FlightEvents int
+	// Replication, when non-nil, makes the node a replicating primary:
+	// its WAL and snapshots ship to a standby (StartStandby) and, in sync
+	// mode, no commit is acknowledged before the standby has the bytes —
+	// zero acked loss across failover. See DESIGN.md §12.
+	Replication *ReplicationConfig
 }
 
 // Node is a running back-end node.
@@ -345,6 +351,11 @@ type Node struct {
 	ring    *rlog.Ring       // recent-events ring (nil when logging is off)
 	history *obs.History     // nil when MetricsHistory is zero
 	flight  *flight.Recorder // nil when Flight is off
+
+	sender     *replica.Sender    // nil unless Replication was configured
+	replCfg    *ReplicationConfig // nil unless Replication was configured
+	replCancel context.CancelFunc // stops the background shipper
+	replDone   chan struct{}      // closed when the shipper exits
 }
 
 // StartNode opens (recovering if necessary) a node. In-doubt distributed
@@ -384,6 +395,20 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		ring = rlog.NewRing(capacity)
 		logger.AddSink(ring)
 	}
+	// The replication sender exists before the repository opens so the
+	// WAL's commit gate is in force from the very first flush — no
+	// un-gated durability window.
+	var sender *replica.Sender
+	var walGate wal.Gate
+	if cfg.Replication != nil {
+		var err error
+		sender, err = startReplication(cfg.Replication, cfg.Dir, reg, logger)
+		if err != nil {
+			return nil, err
+		}
+		sender.SetLeaseTTL(cfg.Replication.LeaseTTL)
+		walGate = sender.Gate
+	}
 	repo, inDoubt, err := queue.Open(cfg.Dir, queue.Options{
 		Name:          cfg.Name,
 		NoFsync:       cfg.NoFsync,
@@ -393,6 +418,7 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		Tracer:        tracer,
 		Logger:        logger,
 		WALFS:         cfg.WALFS,
+		WALGate:       walGate,
 
 		GroupCommitMaxDelay:      cfg.GroupCommitMaxDelay,
 		GroupCommitMaxBatchBytes: cfg.GroupCommitMaxBatchBytes,
@@ -418,6 +444,21 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	coord.SetLogger(logger)
 
 	n := &Node{repo: repo, coord: coord, tracer: tracer, logger: logger, ring: ring}
+	if sender != nil {
+		n.sender = sender
+		n.replCfg = cfg.Replication
+		n.replDone = make(chan struct{})
+		interval := cfg.Replication.ShipInterval
+		if interval <= 0 {
+			interval = 50 * time.Millisecond
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		n.replCancel = cancel
+		go func() {
+			defer close(n.replDone)
+			sender.Run(ctx, interval)
+		}()
+	}
 	if cfg.MetricsHistory > 0 {
 		keep := cfg.MetricsHistorySamples
 		if keep <= 0 {
@@ -456,7 +497,13 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 			Health: func() ([]byte, error) { return json.Marshal(n.Health()) },
 			Logs:   n.logsJSON,
 			Flight: n.flightJSON,
+			Repl:   n.replJSON,
 		})
+		if n.sender != nil {
+			// The lease endpoint lives on the primary's own port: the
+			// standby pings the node it replicates from.
+			replica.RegisterSender(n.rpcSrv, n.sender)
+		}
 		addr, err := n.rpcSrv.ListenAndServe(cfg.ListenAddr)
 		if err != nil {
 			n.stopObs()
@@ -802,9 +849,18 @@ func (n *Node) transferOne(ctx context.Context, fromQueue string, dst *Node, toQ
 	return g.Commit()
 }
 
+// stopReplication halts the background shipper (idempotent).
+func (n *Node) stopReplication() {
+	if n.replCancel != nil {
+		n.replCancel()
+		<-n.replDone
+	}
+}
+
 // Crash simulates a node crash (tests and experiments): all volatile state
 // is abandoned; StartNode on the same directory recovers.
 func (n *Node) Crash() {
+	n.stopReplication()
 	n.stopObs()
 	n.repo.Crash()
 	if n.rpcSrv != nil {
@@ -823,6 +879,7 @@ func (n *Node) closeAdmin() {
 
 // Close checkpoints and shuts the node down.
 func (n *Node) Close() error {
+	n.stopReplication()
 	n.stopObs()
 	if n.rpcSrv != nil {
 		n.rpcSrv.Close()
